@@ -1,0 +1,27 @@
+//! # ipg-baselines
+//!
+//! The remaining parsing algorithms from the paper's comparison table
+//! (Fig. 2.1) that are not covered by `ipg-lr` (LR/LALR), `ipg-glr`
+//! (Tomita) or `ipg-earley` (Earley):
+//!
+//! * [`ll`] — LL(1) table construction and predictive parsing, standing in
+//!   for the "recursive descent, LL(k)" row: fast, but limited to
+//!   non-left-recursive, non-ambiguous grammars, and the table must be
+//!   regenerated after every grammar change;
+//! * [`trie`] — a Cigale-style production trie with OBJ-style backtracking:
+//!   trivially extensible with new rules (flexible, modular), but with
+//!   backtracking cost that grows quickly on larger inputs and no support
+//!   for left recursion.
+//!
+//! The `fig2_comparison` binary in `ipg-bench` runs all seven algorithms
+//! over a matrix of grammars and inputs to regenerate the paper's
+//! qualitative table from measurements.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ll;
+pub mod trie;
+
+pub use ll::{LlConflict, LlParseError, LlParser, LlTable};
+pub use trie::{ProductionTrie, TrieParser, TrieStats};

@@ -1,0 +1,325 @@
+//! LL(1) table construction and predictive parsing — the "recursive
+//! descent, LL(k)" row of the paper's comparison (Fig. 2.1).
+//!
+//! The class of grammars is limited to non-left-recursive, non-ambiguous
+//! grammars; the table construction reports conflicts for anything outside
+//! it, which is exactly what the comparison in the `fig2_comparison`
+//! report binary exercises.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use ipg_grammar::{Grammar, GrammarAnalysis, RuleId, SymbolId};
+
+/// A conflict in the LL(1) table: two rules compete for the same
+/// (non-terminal, lookahead) cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LlConflict {
+    /// The non-terminal being expanded.
+    pub nonterminal: SymbolId,
+    /// The lookahead terminal.
+    pub lookahead: SymbolId,
+    /// The competing rules.
+    pub rules: Vec<RuleId>,
+}
+
+/// An LL(1) parse table: `(non-terminal, lookahead terminal) -> rule`.
+#[derive(Clone, Debug)]
+pub struct LlTable {
+    table: HashMap<(SymbolId, SymbolId), Vec<RuleId>>,
+    start_rule_lhs: SymbolId,
+}
+
+impl LlTable {
+    /// Builds the LL(1) table for `grammar` from FIRST/FOLLOW sets.
+    pub fn build(grammar: &Grammar) -> Self {
+        let analysis = GrammarAnalysis::compute(grammar);
+        let mut table: HashMap<(SymbolId, SymbolId), Vec<RuleId>> = HashMap::new();
+        for rule in grammar.rules() {
+            let first = analysis.first_of_sequence(&rule.rhs);
+            for &terminal in &first {
+                push_unique(&mut table, (rule.lhs, terminal), rule.id);
+            }
+            if analysis.sequence_nullable(&rule.rhs) {
+                for terminal in analysis.follow(rule.lhs) {
+                    push_unique(&mut table, (rule.lhs, terminal), rule.id);
+                }
+            }
+        }
+        LlTable {
+            table,
+            start_rule_lhs: grammar.start_symbol(),
+        }
+    }
+
+    /// The rule predicted for `(nonterminal, lookahead)`, if the cell holds
+    /// exactly one rule.
+    pub fn predict(&self, nonterminal: SymbolId, lookahead: SymbolId) -> Option<RuleId> {
+        match self.table.get(&(nonterminal, lookahead)) {
+            Some(rules) if rules.len() == 1 => Some(rules[0]),
+            _ => None,
+        }
+    }
+
+    /// All conflicts of the table; empty iff the grammar is LL(1).
+    pub fn conflicts(&self) -> Vec<LlConflict> {
+        let mut out: Vec<LlConflict> = self
+            .table
+            .iter()
+            .filter(|(_, rules)| rules.len() > 1)
+            .map(|(&(nonterminal, lookahead), rules)| LlConflict {
+                nonterminal,
+                lookahead,
+                rules: rules.clone(),
+            })
+            .collect();
+        out.sort_by_key(|c| (c.nonterminal, c.lookahead));
+        out
+    }
+
+    /// `true` iff the grammar is LL(1).
+    pub fn is_ll1(&self) -> bool {
+        self.table.values().all(|rules| rules.len() <= 1)
+    }
+
+    /// Number of filled cells.
+    pub fn num_entries(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// Renders the table, one line per filled cell.
+    pub fn render(&self, grammar: &Grammar) -> String {
+        let ordered: BTreeMap<_, _> = self.table.iter().collect();
+        let mut out = String::new();
+        for (&(nt, t), rules) in ordered {
+            let rules = rules
+                .iter()
+                .map(|r| grammar.rule(*r).display(grammar.symbols()).to_string())
+                .collect::<Vec<_>>()
+                .join(" | ");
+            out.push_str(&format!(
+                "M[{}, {}] = {}\n",
+                grammar.name(nt),
+                grammar.name(t),
+                rules
+            ));
+        }
+        out
+    }
+
+    fn start_symbol(&self) -> SymbolId {
+        self.start_rule_lhs
+    }
+}
+
+fn push_unique(
+    table: &mut HashMap<(SymbolId, SymbolId), Vec<RuleId>>,
+    key: (SymbolId, SymbolId),
+    rule: RuleId,
+) {
+    let cell = table.entry(key).or_default();
+    if !cell.contains(&rule) {
+        cell.push(rule);
+    }
+}
+
+/// Errors reported by the predictive parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LlParseError {
+    /// The table has no (unique) prediction for this cell.
+    NoPrediction {
+        /// Non-terminal on top of the prediction stack.
+        nonterminal: SymbolId,
+        /// Current lookahead terminal.
+        lookahead: SymbolId,
+        /// Token position.
+        position: usize,
+    },
+    /// A terminal on the prediction stack did not match the input.
+    Mismatch {
+        /// Expected terminal.
+        expected: SymbolId,
+        /// Terminal found in the input.
+        found: SymbolId,
+        /// Token position.
+        position: usize,
+    },
+    /// Input remained after the prediction stack emptied.
+    TrailingInput {
+        /// Position of the first unconsumed token.
+        position: usize,
+    },
+}
+
+impl fmt::Display for LlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlParseError::NoPrediction { position, .. } => {
+                write!(f, "no prediction at token {position}")
+            }
+            LlParseError::Mismatch { position, .. } => {
+                write!(f, "token mismatch at position {position}")
+            }
+            LlParseError::TrailingInput { position } => {
+                write!(f, "trailing input at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LlParseError {}
+
+/// A table-driven predictive (LL(1)) parser.
+#[derive(Debug)]
+pub struct LlParser<'g> {
+    grammar: &'g Grammar,
+    table: LlTable,
+}
+
+impl<'g> LlParser<'g> {
+    /// Builds the LL(1) table for `grammar` and wraps it in a parser.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        LlParser {
+            grammar,
+            table: LlTable::build(grammar),
+        }
+    }
+
+    /// The underlying table (e.g. to inspect conflicts).
+    pub fn table(&self) -> &LlTable {
+        &self.table
+    }
+
+    /// Recognises `tokens`; `Ok(())` means the sentence is accepted.
+    pub fn recognize(&self, tokens: &[SymbolId]) -> Result<(), LlParseError> {
+        let eof = self.grammar.eof_symbol();
+        let mut stack: Vec<SymbolId> = vec![self.table.start_symbol()];
+        let mut pos = 0usize;
+        while let Some(top) = stack.pop() {
+            let lookahead = tokens.get(pos).copied().unwrap_or(eof);
+            if self.grammar.is_terminal(top) {
+                if top == lookahead {
+                    pos += 1;
+                } else {
+                    return Err(LlParseError::Mismatch {
+                        expected: top,
+                        found: lookahead,
+                        position: pos,
+                    });
+                }
+            } else {
+                let Some(rule_id) = self.table.predict(top, lookahead) else {
+                    return Err(LlParseError::NoPrediction {
+                        nonterminal: top,
+                        lookahead,
+                        position: pos,
+                    });
+                };
+                let rule = self.grammar.rule(rule_id);
+                for &s in rule.rhs.iter().rev() {
+                    stack.push(s);
+                }
+            }
+        }
+        if pos == tokens.len() {
+            Ok(())
+        } else {
+            Err(LlParseError::TrailingInput { position: pos })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+    use ipg_lr::tokenize_names;
+
+    #[test]
+    fn statements_grammar_is_ll1_and_parses() {
+        let g = fixtures::statements();
+        let parser = LlParser::new(&g);
+        assert!(parser.table().is_ll1(), "{:?}", parser.table().conflicts());
+        for s in [
+            "id := num",
+            "if id then id := num else while num do id := id",
+            "begin id := num ; id := id end",
+        ] {
+            let tokens = tokenize_names(&g, s).unwrap();
+            assert!(parser.recognize(&tokens).is_ok(), "sentence `{s}`");
+        }
+        for s in ["id :=", "begin id := num", "if id then"] {
+            let tokens = tokenize_names(&g, s).unwrap();
+            assert!(parser.recognize(&tokens).is_err(), "sentence `{s}`");
+        }
+    }
+
+    #[test]
+    fn right_recursive_lists_are_ll1() {
+        let g = fixtures::right_recursive_list();
+        let parser = LlParser::new(&g);
+        // L ::= x , L | x is not LL(1) as written (common prefix), so the
+        // table has conflicts; the point of this test is that the conflict
+        // is *detected*, mirroring Fig. 2.1's "-" entries.
+        assert!(!parser.table().is_ll1());
+        assert!(!parser.table().conflicts().is_empty());
+    }
+
+    #[test]
+    fn left_recursion_is_rejected_as_conflict() {
+        let g = fixtures::left_recursive_list();
+        let table = LlTable::build(&g);
+        assert!(!table.is_ll1());
+        let conflicts = table.conflicts();
+        assert!(!conflicts.is_empty());
+        assert!(conflicts[0].rules.len() >= 2);
+    }
+
+    #[test]
+    fn ambiguous_grammars_are_rejected_as_conflict() {
+        let g = fixtures::booleans();
+        let table = LlTable::build(&g);
+        assert!(!table.is_ll1());
+    }
+
+    #[test]
+    fn epsilon_rules_use_follow_sets() {
+        // S ::= A b ; A ::= a | <empty> is LL(1).
+        let g = ipg_grammar::parse_bnf(
+            r#"
+            S ::= A "b"
+            A ::= "a"
+            A ::=
+            START ::= S
+            "#,
+        )
+        .unwrap();
+        let parser = LlParser::new(&g);
+        assert!(parser.table().is_ll1());
+        assert!(parser.recognize(&tokenize_names(&g, "a b").unwrap()).is_ok());
+        assert!(parser.recognize(&tokenize_names(&g, "b").unwrap()).is_ok());
+        assert!(parser.recognize(&tokenize_names(&g, "a").unwrap()).is_err());
+        assert!(parser
+            .recognize(&tokenize_names(&g, "a b b").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn table_render_and_entry_count() {
+        let g = fixtures::statements();
+        let table = LlTable::build(&g);
+        assert!(table.num_entries() > 5);
+        let text = table.render(&g);
+        assert!(text.contains("M[STMT, if]"));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let g = fixtures::statements();
+        let parser = LlParser::new(&g);
+        let err = parser
+            .recognize(&tokenize_names(&g, "id := num num").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("position"));
+    }
+}

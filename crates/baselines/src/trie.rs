@@ -1,0 +1,359 @@
+//! A Cigale-style trie parser with OBJ-style backtracking — the remaining
+//! two rows of the paper's comparison (Fig. 2.1).
+//!
+//! Cigale \[Voi86\] "builds a trie for the grammar in which production
+//! rules with the same prefix share a path. During parsing this trie is
+//! recursively traversed. A trie can easily be extended with new syntax
+//! rules". OBJ \[FGJM85\] uses recursive descent with backtracking, which
+//! "can be expensive for complex expressions".
+//!
+//! This module implements both ideas in one parser: the productions of each
+//! non-terminal are stored in a prefix-sharing trie that can be extended
+//! rule by rule (`add_rule`), and parsing is a recursive traversal of that
+//! trie with backtracking across alternatives. Left recursion is detected
+//! (a `(non-terminal, position)` pair may not recur on the active call
+//! stack) and simply fails that branch, reflecting the "non-left-recursive"
+//! restriction of this family of algorithms. The work counter exposes the
+//! exponential backtracking cost that makes the approach "less suitable for
+//! large input sentences".
+
+use std::collections::{BTreeMap, HashSet};
+
+use ipg_grammar::{Grammar, RuleId, SymbolId};
+
+/// One node of a production trie: children keyed by the next right-hand
+/// side symbol, plus the rules that *end* at this node.
+#[derive(Clone, Debug, Default)]
+struct TrieNode {
+    children: BTreeMap<SymbolId, usize>,
+    /// Rules whose complete right-hand side spells the path to this node.
+    accepting: Vec<RuleId>,
+}
+
+/// A prefix-sharing trie of the productions of all non-terminals, built
+/// incrementally.
+#[derive(Clone, Debug, Default)]
+pub struct ProductionTrie {
+    nodes: Vec<TrieNode>,
+    /// Root node per non-terminal.
+    roots: BTreeMap<SymbolId, usize>,
+    rules_added: usize,
+}
+
+impl ProductionTrie {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the trie for every active rule of `grammar`.
+    pub fn from_grammar(grammar: &Grammar) -> Self {
+        let mut trie = Self::new();
+        for rule in grammar.rules() {
+            trie.add_rule(grammar, rule.id);
+        }
+        trie
+    }
+
+    /// Adds one rule to the trie — the "easily be extended with new syntax
+    /// rules" operation. Adding the same rule twice is a no-op.
+    pub fn add_rule(&mut self, grammar: &Grammar, rule_id: RuleId) {
+        let rule = grammar.rule(rule_id);
+        let mut node = self.root_for(rule.lhs);
+        for &symbol in &rule.rhs {
+            node = self.child(node, symbol);
+        }
+        if !self.nodes[node].accepting.contains(&rule_id) {
+            self.nodes[node].accepting.push(rule_id);
+            self.rules_added += 1;
+        }
+    }
+
+    /// Number of rules stored.
+    pub fn num_rules(&self) -> usize {
+        self.rules_added
+    }
+
+    /// Number of trie nodes; prefix sharing makes this smaller than the sum
+    /// of all right-hand-side lengths.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn root_for(&mut self, nt: SymbolId) -> usize {
+        if let Some(&n) = self.roots.get(&nt) {
+            return n;
+        }
+        let n = self.push_node();
+        self.roots.insert(nt, n);
+        n
+    }
+
+    fn child(&mut self, node: usize, symbol: SymbolId) -> usize {
+        if let Some(&n) = self.nodes[node].children.get(&symbol) {
+            return n;
+        }
+        let n = self.push_node();
+        self.nodes[node].children.insert(symbol, n);
+        n
+    }
+
+    fn push_node(&mut self) -> usize {
+        self.nodes.push(TrieNode::default());
+        self.nodes.len() - 1
+    }
+}
+
+/// Statistics of one trie parse; `steps` is the backtracking cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrieStats {
+    /// Trie-node visits (the unit of backtracking work).
+    pub steps: usize,
+    /// Successful complete parses found for the start symbol (ambiguity
+    /// count as seen by the backtracking parser, bounded by the caller).
+    pub parses: usize,
+}
+
+/// The backtracking trie parser.
+#[derive(Debug)]
+pub struct TrieParser<'g> {
+    grammar: &'g Grammar,
+    trie: ProductionTrie,
+    /// Safety bound on trie-node visits per sentence (backtracking can be
+    /// exponential).
+    step_limit: usize,
+}
+
+impl<'g> TrieParser<'g> {
+    /// Builds the trie for `grammar` and wraps it in a parser.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        TrieParser {
+            grammar,
+            trie: ProductionTrie::from_grammar(grammar),
+            step_limit: 1_000_000,
+        }
+    }
+
+    /// Overrides the backtracking step limit.
+    pub fn with_step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// The underlying trie.
+    pub fn trie(&self) -> &ProductionTrie {
+        &self.trie
+    }
+
+    /// Adds a rule that was just added to the grammar; the trie is extended
+    /// in place (no regeneration), mirroring Cigale's modularity argument.
+    pub fn add_rule(&mut self, rule: RuleId) {
+        self.trie.add_rule(self.grammar, rule);
+    }
+
+    /// Recognises `tokens`. Returns `false` both for ungrammatical input
+    /// and when the step limit is exceeded (the caller can distinguish the
+    /// two through [`TrieParser::recognize_with_stats`]).
+    pub fn recognize(&self, tokens: &[SymbolId]) -> bool {
+        self.recognize_with_stats(tokens).0
+    }
+
+    /// Recognises `tokens` and reports the backtracking cost.
+    pub fn recognize_with_stats(&self, tokens: &[SymbolId]) -> (bool, TrieStats) {
+        let mut stats = TrieStats::default();
+        let mut in_progress = HashSet::new();
+        let ends = self.parse_nonterminal(
+            self.grammar.start_symbol(),
+            tokens,
+            0,
+            &mut stats,
+            &mut in_progress,
+        );
+        let accepted = ends.contains(&tokens.len());
+        if accepted {
+            stats.parses = stats.parses.max(1);
+        }
+        (accepted, stats)
+    }
+
+    /// Returns every input position at which a phrase of `nt` starting at
+    /// `start` can end.
+    fn parse_nonterminal(
+        &self,
+        nt: SymbolId,
+        tokens: &[SymbolId],
+        start: usize,
+        stats: &mut TrieStats,
+        in_progress: &mut HashSet<(SymbolId, usize)>,
+    ) -> Vec<usize> {
+        let Some(&root) = self.trie.roots.get(&nt) else {
+            return Vec::new();
+        };
+        if !in_progress.insert((nt, start)) {
+            // Left recursion: this family of parsers cannot handle it; the
+            // branch simply fails.
+            return Vec::new();
+        }
+        let mut ends = Vec::new();
+        self.walk(root, tokens, start, stats, in_progress, &mut ends);
+        in_progress.remove(&(nt, start));
+        ends.sort_unstable();
+        ends.dedup();
+        ends
+    }
+
+    fn walk(
+        &self,
+        node: usize,
+        tokens: &[SymbolId],
+        pos: usize,
+        stats: &mut TrieStats,
+        in_progress: &mut HashSet<(SymbolId, usize)>,
+        ends: &mut Vec<usize>,
+    ) {
+        stats.steps += 1;
+        if stats.steps > self.step_limit {
+            return;
+        }
+        let trie_node = &self.trie.nodes[node];
+        if !trie_node.accepting.is_empty() {
+            ends.push(pos);
+        }
+        for (&symbol, &child) in &trie_node.children {
+            if self.grammar.is_terminal(symbol) {
+                if tokens.get(pos).copied() == Some(symbol) {
+                    self.walk(child, tokens, pos + 1, stats, in_progress, ends);
+                }
+            } else {
+                for end in self.parse_nonterminal(symbol, tokens, pos, stats, in_progress) {
+                    self.walk(child, tokens, end, stats, in_progress, ends);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+    use ipg_lr::tokenize_names;
+
+    #[test]
+    fn trie_shares_prefixes() {
+        let g = fixtures::booleans();
+        let trie = ProductionTrie::from_grammar(&g);
+        assert_eq!(trie.num_rules(), g.num_active_rules());
+        // `B ::= B or B` and `B ::= B and B` share their first node.
+        let rhs_symbols: usize = g.rules().map(|r| r.rhs.len()).sum();
+        assert!(trie.num_nodes() <= rhs_symbols + g.symbols().nonterminals().count() + 1);
+    }
+
+    #[test]
+    fn recognises_right_recursive_expressions() {
+        // An LL-style expression grammar without left recursion.
+        let g = ipg_grammar::parse_bnf(
+            r#"
+            E ::= T "+" E | T
+            T ::= F "*" T | F
+            F ::= "(" E ")" | "id"
+            START ::= E
+            "#,
+        )
+        .unwrap();
+        let parser = TrieParser::new(&g);
+        for (s, expected) in [
+            ("id", true),
+            ("id + id * id", true),
+            ("( id + id ) * id", true),
+            ("id +", false),
+            ("+ id", false),
+            ("( id", false),
+        ] {
+            let tokens = tokenize_names(&g, s).unwrap();
+            assert_eq!(parser.recognize(&tokens), expected, "sentence `{s}`");
+        }
+    }
+
+    #[test]
+    fn left_recursion_fails_gracefully() {
+        let g = fixtures::left_recursive_list();
+        let parser = TrieParser::new(&g);
+        let tokens = tokenize_names(&g, "x , x").unwrap();
+        // The trie/backtracking family cannot handle left recursion; it
+        // must terminate and (conservatively) reject.
+        let (accepted, stats) = parser.recognize_with_stats(&tokens);
+        assert!(!accepted);
+        assert!(stats.steps < 1000);
+        // The single-`x` sentence is still recognised via the non-recursive
+        // alternative.
+        assert!(parser.recognize(&tokenize_names(&g, "x").unwrap()));
+    }
+
+    #[test]
+    fn incremental_rule_addition_extends_the_trie() {
+        // A non-left-recursive boolean grammar: B ::= true | false | not B.
+        let g = ipg_grammar::parse_bnf(
+            r#"
+            B ::= "true" | "false" | "not" B
+            START ::= B
+            "#,
+        )
+        .unwrap();
+        // Build the trie one rule at a time, as an editor adding rules would.
+        let mut trie = ProductionTrie::new();
+        for (i, rule) in g.rules().enumerate() {
+            trie.add_rule(&g, rule.id);
+            assert_eq!(trie.num_rules(), i + 1);
+        }
+        // Re-adding an existing rule is a no-op.
+        let first = g.rules().next().unwrap().id;
+        trie.add_rule(&g, first);
+        assert_eq!(trie.num_rules(), g.num_active_rules());
+
+        let parser = TrieParser::new(&g);
+        assert!(parser.recognize(&tokenize_names(&g, "not not false").unwrap()));
+        assert!(!parser.recognize(&tokenize_names(&g, "not").unwrap()));
+        assert_eq!(parser.trie().num_rules(), g.num_active_rules());
+    }
+
+    #[test]
+    fn backtracking_cost_grows_for_ambiguous_prefixes() {
+        let g = ipg_grammar::parse_bnf(
+            r#"
+            E ::= T "+" E | T
+            T ::= "id"
+            START ::= E
+            "#,
+        )
+        .unwrap();
+        let parser = TrieParser::new(&g);
+        let short = parser
+            .recognize_with_stats(&tokenize_names(&g, "id + id").unwrap())
+            .1
+            .steps;
+        let long = parser
+            .recognize_with_stats(&tokenize_names(&g, "id + id + id + id + id").unwrap())
+            .1
+            .steps;
+        assert!(long > short);
+    }
+
+    #[test]
+    fn step_limit_prevents_runaway_backtracking() {
+        let g = ipg_grammar::parse_bnf(
+            r#"
+            E ::= T "+" E | T
+            T ::= F "*" T | F
+            F ::= "(" E ")" | "id"
+            START ::= E
+            "#,
+        )
+        .unwrap();
+        let parser = TrieParser::new(&g).with_step_limit(10);
+        let tokens = tokenize_names(&g, "( id + id ) * id + id").unwrap();
+        let (accepted, stats) = parser.recognize_with_stats(&tokens);
+        assert!(!accepted);
+        assert!(stats.steps >= 10);
+    }
+}

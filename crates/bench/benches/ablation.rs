@@ -1,0 +1,100 @@
+//! Ablation benchmarks for design decisions called out in the paper:
+//!
+//! * §5.3 — the cost of laziness: the extra `if state is initial` test in
+//!   `ACTION`. Compares parsing over a fully expanded lazy graph against
+//!   parsing over a plain pre-computed LR(0) table.
+//! * §3.2 — parser-pool vs graph-structured-stack formulation of the
+//!   parallel parser (same language, very different constant factors on
+//!   ambiguous inputs).
+//! * §6.2 — garbage-collection policies (retain everything vs reference
+//!   counting) under a short editing session.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipg::{GcPolicy, ItemSetGraph, LazyTables};
+use ipg_bench::SdfWorkload;
+use ipg_glr::{GssParser, PoolGlrParser};
+use ipg_grammar::fixtures;
+use ipg_lr::{tokenize_names, Lr0Automaton, ParseTable};
+
+fn bench_lazy_action_overhead(c: &mut Criterion) {
+    let workload = SdfWorkload::load();
+    let grammar = &workload.grammar;
+    let input = workload.largest();
+    let mut group = c.benchmark_group("ablation/lazy_action_overhead");
+    group.sample_size(10);
+
+    let mut eager_table = ParseTable::lr0(&Lr0Automaton::build(grammar), grammar);
+    group.bench_function("eager_lr0_table", |b| {
+        let parser = GssParser::new(grammar);
+        b.iter(|| parser.recognize(&mut eager_table, &input.tokens))
+    });
+
+    let mut full_graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
+    full_graph.expand_all(grammar);
+    group.bench_function("fully_expanded_lazy_graph", |b| {
+        let parser = GssParser::new(grammar);
+        b.iter(|| parser.recognize(&mut LazyTables::new(grammar, &mut full_graph), &input.tokens))
+    });
+    group.finish();
+}
+
+fn bench_pool_vs_gss(c: &mut Criterion) {
+    let grammar = fixtures::booleans();
+    let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+    let mut group = c.benchmark_group("ablation/pool_vs_gss");
+    group.sample_size(10);
+    for operators in [8usize, 16, 24] {
+        let sentence = "true".to_owned() + &" or true".repeat(operators);
+        let tokens = tokenize_names(&grammar, &sentence).expect("tokens");
+        group.bench_with_input(BenchmarkId::new("pool", operators), &tokens, |b, tokens| {
+            let parser = PoolGlrParser::new(&grammar);
+            b.iter(|| parser.recognize(&mut table, tokens).expect("no divergence"))
+        });
+        group.bench_with_input(BenchmarkId::new("gss", operators), &tokens, |b, tokens| {
+            let parser = GssParser::new(&grammar);
+            b.iter(|| parser.recognize(&mut table, tokens))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gc_policies(c: &mut Criterion) {
+    let workload = SdfWorkload::load();
+    let (lhs, rhs) = workload.modification.clone();
+    let input = workload.input("Exam.sdf").clone();
+    let mut group = c.benchmark_group("ablation/gc_policy");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("retain_everything", GcPolicy::Retain),
+        ("refcount", GcPolicy::RefCount),
+        (
+            "refcount_plus_sweep",
+            GcPolicy::RefCountWithSweep { threshold_percent: 25 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // A short editing session: parse, add the rule, parse,
+                // remove it again, parse.
+                let mut grammar = workload.grammar.clone();
+                let mut graph = ItemSetGraph::with_policy(&grammar, policy);
+                let parser = GssParser::new(&grammar);
+                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens);
+                graph.add_rule(&mut grammar, lhs, rhs.clone());
+                let parser = GssParser::new(&grammar);
+                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens);
+                graph
+                    .remove_rule(&mut grammar, lhs, &rhs)
+                    .expect("rule exists");
+                let parser = GssParser::new(&grammar);
+                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens);
+                graph.num_live()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_lazy_action_overhead, bench_pool_vs_gss, bench_gc_policies);
+criterion_main!(ablation);

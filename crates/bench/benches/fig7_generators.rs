@@ -1,0 +1,129 @@
+//! Criterion benchmarks behind Fig. 7.1: table construction, parsing and
+//! grammar modification for the three generators (Yacc-like LALR(1), PG,
+//! IPG) on the SDF grammar and its four measurement inputs.
+//!
+//! The `fig7_report` binary prints the same scenario as one table; this
+//! bench gives statistically solid per-phase numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ipg::{GcPolicy, ItemSetGraph, LazyTables};
+use ipg_bench::SdfWorkload;
+use ipg_glr::GssParser;
+use ipg_lr::{lalr1_table, Lr0Automaton, ParseTable};
+
+fn bench_construction(c: &mut Criterion) {
+    let workload = SdfWorkload::load();
+    let grammar = &workload.grammar;
+    let mut group = c.benchmark_group("fig7/construct_table");
+    group.sample_size(10);
+    group.bench_function("yacc_lalr1", |b| b.iter(|| lalr1_table(grammar)));
+    group.bench_function("pg_lr0", |b| {
+        b.iter(|| ParseTable::lr0(&Lr0Automaton::build(grammar), grammar))
+    });
+    group.bench_function("ipg_lazy", |b| {
+        b.iter(|| ItemSetGraph::with_policy(grammar, GcPolicy::RefCount))
+    });
+    group.finish();
+}
+
+fn bench_first_and_second_parse(c: &mut Criterion) {
+    let workload = SdfWorkload::load();
+    let grammar = &workload.grammar;
+    let mut group = c.benchmark_group("fig7/parse");
+    group.sample_size(10);
+    for input in &workload.inputs {
+        // PG: the table already exists; parse cost only.
+        let mut pg_table = ParseTable::lr0(&Lr0Automaton::build(grammar), grammar);
+        group.bench_with_input(
+            BenchmarkId::new("pg_parse_with_ready_table", input.name),
+            &input.tokens,
+            |b, tokens| {
+                let parser = GssParser::new(grammar);
+                b.iter(|| parser.recognize(&mut pg_table, tokens))
+            },
+        );
+        // IPG: first parse includes lazy generation (fresh graph each
+        // iteration)...
+        group.bench_with_input(
+            BenchmarkId::new("ipg_first_parse_including_generation", input.name),
+            &input.tokens,
+            |b, tokens| {
+                let parser = GssParser::new(grammar);
+                b.iter(|| {
+                    let mut graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
+                    parser.recognize(&mut LazyTables::new(grammar, &mut graph), tokens)
+                })
+            },
+        );
+        // ... the second parse reuses the generated part of the table.
+        let mut warm_graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
+        {
+            let parser = GssParser::new(grammar);
+            parser.recognize(&mut LazyTables::new(grammar, &mut warm_graph), &input.tokens);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("ipg_second_parse_warm_table", input.name),
+            &input.tokens,
+            |b, tokens| {
+                let parser = GssParser::new(grammar);
+                b.iter(|| parser.recognize(&mut LazyTables::new(grammar, &mut warm_graph), tokens))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_modification(c: &mut Criterion) {
+    let workload = SdfWorkload::load();
+    let (lhs, rhs) = workload.modification.clone();
+    let mut group = c.benchmark_group("fig7/modify_grammar");
+    group.sample_size(10);
+
+    group.bench_function("yacc_regenerate_lalr1", |b| {
+        b.iter_batched(
+            || {
+                let mut grammar = workload.grammar.clone();
+                grammar.add_rule(lhs, rhs.clone());
+                grammar
+            },
+            |grammar| lalr1_table(&grammar),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("pg_regenerate_lr0", |b| {
+        b.iter_batched(
+            || {
+                let mut grammar = workload.grammar.clone();
+                grammar.add_rule(lhs, rhs.clone());
+                grammar
+            },
+            |grammar| ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("ipg_incremental_update", |b| {
+        b.iter_batched(
+            || {
+                let grammar = workload.grammar.clone();
+                let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
+                graph.expand_all(&grammar);
+                (grammar, graph)
+            },
+            |(mut grammar, mut graph)| {
+                graph.add_rule(&mut grammar, lhs, rhs.clone());
+                (grammar, graph)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    fig7,
+    bench_construction,
+    bench_first_and_second_parse,
+    bench_modification
+);
+criterion_main!(fig7);

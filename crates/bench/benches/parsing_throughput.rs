@@ -1,0 +1,58 @@
+//! Parsing-throughput comparison across the algorithm families of Fig. 2.1
+//! (the "fast" axis): deterministic LR, Tomita over LR(0), IPG's lazy
+//! tables, and Earley, on inputs of growing length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ipg::{ItemSetGraph, LazyTables};
+use ipg_earley::EarleyParser;
+use ipg_glr::GssParser;
+use ipg_grammar::fixtures;
+use ipg_lr::{lalr1_table, tokenize_names, Lr0Automaton, LrParser, ParseTable};
+
+fn arithmetic_sentence(terms: usize) -> String {
+    let mut s = String::from("id");
+    for i in 0..terms {
+        s.push_str(if i % 3 == 0 { " + num" } else { " * id" });
+    }
+    s
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let grammar = fixtures::arithmetic();
+    let mut group = c.benchmark_group("throughput/arithmetic");
+    group.sample_size(10);
+    for terms in [50usize, 200, 800] {
+        let sentence = arithmetic_sentence(terms);
+        let tokens = tokenize_names(&grammar, &sentence).expect("tokens");
+        group.throughput(Throughput::Elements(tokens.len() as u64));
+
+        let mut lalr = lalr1_table(&grammar);
+        group.bench_with_input(BenchmarkId::new("deterministic_lalr1", terms), &tokens, |b, t| {
+            let parser = LrParser::new(&grammar);
+            b.iter(|| parser.recognize(&mut lalr, t).expect("deterministic"))
+        });
+
+        let mut lr0 = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        group.bench_with_input(BenchmarkId::new("tomita_gss_lr0", terms), &tokens, |b, t| {
+            let parser = GssParser::new(&grammar);
+            b.iter(|| parser.recognize(&mut lr0, t))
+        });
+
+        let mut graph = ItemSetGraph::new(&grammar);
+        graph.expand_all(&grammar);
+        group.bench_with_input(BenchmarkId::new("ipg_lazy_tables", terms), &tokens, |b, t| {
+            let parser = GssParser::new(&grammar);
+            b.iter(|| parser.recognize(&mut LazyTables::new(&grammar, &mut graph), t))
+        });
+
+        group.bench_with_input(BenchmarkId::new("earley", terms), &tokens, |b, t| {
+            let parser = EarleyParser::new(&grammar);
+            b.iter(|| parser.recognize(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(throughput, bench_throughput);
+criterion_main!(throughput);

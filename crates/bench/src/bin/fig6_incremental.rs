@@ -1,0 +1,62 @@
+//! Reproduces Fig. 6.1–6.5: incremental update of the item-set graph.
+//!
+//! * Booleans + `B ::= unknown` (Fig. 6.1 / 6.4 / 6.5): only the item sets
+//!   with a transition on `B` are invalidated and re-expanded by need.
+//! * The grammar of Fig. 6.2 + `A ::= b` (Fig. 6.3): the old graph is not a
+//!   subgraph of the new one — the `b`-successor of the invalidated state
+//!   is replaced by a merged item set while the old one survives elsewhere.
+//!
+//! Run with `cargo run -p ipg-bench --bin fig6_incremental`.
+
+use ipg::{IpgSession, ItemSetKind};
+use ipg_grammar::fixtures;
+
+fn main() {
+    println!("=== Booleans + `B ::= unknown` (Fig. 6.1, 6.4, 6.5) ===\n");
+    let mut session = IpgSession::new(fixtures::booleans());
+    session.expand_all();
+    println!("fully expanded graph: {}", session.graph_size());
+
+    session
+        .add_rule_text(r#"B ::= "unknown""#)
+        .expect("rule parses");
+    let invalidated = session
+        .graph()
+        .live_nodes()
+        .filter(|n| n.kind != ItemSetKind::Complete)
+        .count();
+    println!(
+        "after ADD-RULE: {} item sets invalidated (the ones with a transition on B), {}",
+        invalidated,
+        session.graph_size()
+    );
+
+    let ok = session
+        .parse_sentence("unknown or true")
+        .expect("tokenizes")
+        .accepted;
+    println!(
+        "parse `unknown or true`: accepted = {ok}; after re-expansion by need: {}",
+        session.graph_size()
+    );
+    println!("statistics:\n{}", session.stats());
+
+    println!("=== Fig. 6.2 grammar + `A ::= b` (Fig. 6.3) ===\n");
+    let mut session = IpgSession::new(fixtures::fig62());
+    session.expand_all();
+    println!("fully expanded graph: {}", session.graph_size());
+    session.add_rule_text(r#"A ::= "b""#).expect("rule parses");
+    let invalidated: Vec<_> = session
+        .graph()
+        .live_nodes()
+        .filter(|n| n.kind != ItemSetKind::Complete)
+        .map(|n| n.id)
+        .collect();
+    println!("invalidated item sets: {invalidated:?}");
+    for sentence in ["a b", "c b"] {
+        let ok = session.parse_sentence(sentence).expect("tokenizes").accepted;
+        println!("parse `{sentence}`: accepted = {ok}");
+    }
+    println!("after re-expansion: {}", session.graph_size());
+    println!("{}", session.render_graph());
+}

@@ -1,0 +1,28 @@
+//! Reproduces Fig. 7.1: CPU times for the Yacc-like LALR(1) generator, the
+//! conventional LR(0) generator PG, and the lazy/incremental generator IPG
+//! on the SDF grammar, for the four measurement inputs.
+//!
+//! Run with `cargo run --release -p ipg-bench --bin fig7_report`.
+
+use ipg_bench::{measure_all, render, SdfWorkload};
+
+fn main() {
+    let workload = SdfWorkload::load();
+    println!("benchmark grammar: SDF ({} rules, {} symbols)",
+        workload.grammar.num_active_rules(),
+        workload.grammar.symbols().len());
+    for input in &workload.inputs {
+        println!(
+            "input {:<10} {:>4} tokens (paper: {:>3} tokens)",
+            input.name,
+            input.tokens.len(),
+            input.paper_tokens
+        );
+    }
+    println!();
+    // Warm-up round so that one-time costs (lazy statics, allocator growth)
+    // do not distort the first measured cell.
+    let _ = measure_all(&workload);
+    let rows = measure_all(&workload);
+    println!("{}", render(&rows));
+}

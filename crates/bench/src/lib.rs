@@ -1,0 +1,22 @@
+//! # ipg-bench
+//!
+//! The benchmark harness of the IPG reproduction. It contains the shared
+//! workload definitions and measurement code used by
+//!
+//! * the Criterion benches (`benches/fig7_generators.rs`,
+//!   `benches/ablation.rs`, `benches/parsing_throughput.rs`), and
+//! * the figure-report binaries (`fig2_comparison`, `fig4_table`,
+//!   `fig5_lazy`, `fig6_incremental`, `lazy_fraction`, `fig7_report`)
+//!   that print the paper's tables and figures from fresh measurements.
+//!
+//! See DESIGN.md (per-experiment index) and EXPERIMENTS.md (recorded
+//! results) at the repository root.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fig7;
+pub mod workload;
+
+pub use fig7::{measure, measure_all, render, Fig7Row, GeneratorKind};
+pub use workload::{PreLexedInput, SdfWorkload};

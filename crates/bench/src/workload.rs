@@ -1,0 +1,100 @@
+//! Workloads shared by the Criterion benchmarks and the figure-report
+//! binaries: the SDF benchmark grammar, the four pre-lexed measurement
+//! inputs, and the §7 grammar modification.
+
+use ipg_grammar::{Grammar, SymbolId};
+use ipg_sdf::fixtures::{measurement_inputs, paper_modification_rule, sdf_grammar_and_scanner};
+use ipg_sdf::NormalizedSdf;
+
+/// One pre-lexed measurement input.
+#[derive(Clone, Debug)]
+pub struct PreLexedInput {
+    /// The paper's file name (`exp.sdf`, ...).
+    pub name: &'static str,
+    /// The token stream, already in memory — exactly as in the paper, so
+    /// that scanner and I/O costs do not pollute the parser measurements.
+    pub tokens: Vec<SymbolId>,
+    /// Token count the paper reports for its original input.
+    pub paper_tokens: usize,
+}
+
+/// The full Fig. 7.1 workload.
+#[derive(Clone, Debug)]
+pub struct SdfWorkload {
+    /// The benchmark grammar: the SDF definition of SDF, normalised.
+    pub grammar: Grammar,
+    /// The four inputs, smallest to largest.
+    pub inputs: Vec<PreLexedInput>,
+    /// The added rule of §7: `"(" CF-ELEM+ ")?" -> CF-ELEM`, as interned
+    /// symbols of [`SdfWorkload::grammar`].
+    pub modification: (SymbolId, Vec<SymbolId>),
+}
+
+impl SdfWorkload {
+    /// Builds the workload: parse and normalise the SDF definition of SDF,
+    /// tokenize the four measurement inputs with the derived scanner, and
+    /// intern the symbols of the §7 modification.
+    pub fn load() -> Self {
+        let NormalizedSdf { mut grammar, mut scanner } = sdf_grammar_and_scanner();
+        let inputs = measurement_inputs()
+            .into_iter()
+            .map(|input| PreLexedInput {
+                name: input.name,
+                tokens: scanner
+                    .tokenize_for(&grammar, input.text)
+                    .expect("measurement inputs tokenize"),
+                paper_tokens: input.paper_tokens,
+            })
+            .collect();
+        let (lhs_name, rhs_names) = paper_modification_rule();
+        let lhs = grammar
+            .symbol(&lhs_name)
+            .expect("CF-ELEM exists in the SDF grammar");
+        let rhs = rhs_names
+            .iter()
+            .map(|name| match grammar.symbol(name) {
+                Some(id) => id,
+                // `")?"` is a new keyword introduced by the modification.
+                None => grammar.terminal(name),
+            })
+            .collect();
+        SdfWorkload {
+            grammar,
+            inputs,
+            modification: (lhs, rhs),
+        }
+    }
+
+    /// The input with the given paper file name.
+    pub fn input(&self, name: &str) -> &PreLexedInput {
+        self.inputs
+            .iter()
+            .find(|i| i.name == name)
+            .expect("known input name")
+    }
+
+    /// The largest input (`ASF.sdf`).
+    pub fn largest(&self) -> &PreLexedInput {
+        self.inputs.last().expect("workload has inputs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_loads_and_is_well_formed() {
+        let w = SdfWorkload::load();
+        assert_eq!(w.inputs.len(), 4);
+        w.grammar.validate().unwrap();
+        assert!(w.input("exp.sdf").tokens.len() < w.input("ASF.sdf").tokens.len());
+        assert_eq!(w.largest().name, "ASF.sdf");
+        let (lhs, rhs) = &w.modification;
+        assert!(w.grammar.is_nonterminal(*lhs));
+        assert_eq!(rhs.len(), 3);
+        assert!(w.grammar.is_terminal(rhs[0]));
+        assert!(w.grammar.is_nonterminal(rhs[1]));
+        assert!(w.grammar.is_terminal(rhs[2]));
+    }
+}

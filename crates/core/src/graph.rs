@@ -1,0 +1,812 @@
+//! The lazily generated, incrementally maintained graph of item sets — the
+//! heart of IPG (§5 and §6 of the paper).
+//!
+//! Every set of items lives in an arena and goes through the life cycle
+//!
+//! ```text
+//! initial --EXPAND--> complete --MODIFY--> initial            (no GC)
+//! initial --EXPAND--> complete --MODIFY--> dirty --RE-EXPAND--> complete   (refcount GC)
+//! ```
+//!
+//! * `EXPAND` (§4/§5) computes the closure of the kernel, creates successor
+//!   kernels and records transitions and reductions;
+//! * `MODIFY` (§6.1) adds or deletes a grammar rule and invalidates exactly
+//!   the complete item sets that had a transition on the rule's left-hand
+//!   side (plus the start item set when the rule defines `START`);
+//! * reference-count garbage collection (§6.2) reclaims item sets that are
+//!   no longer referenced after a re-expansion; an optional mark-and-sweep
+//!   pass (suggested by the paper as future work) handles cycles.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ipg_grammar::{Grammar, GrammarError, RuleId, SymbolId};
+use ipg_lr::itemset::{closure, completed_items, partition_by_next_symbol, start_kernel, ItemSet};
+use ipg_lr::{Item, StateId};
+
+use crate::stats::{GenStats, GraphSize};
+
+/// The life-cycle stage of a set of items (the paper's `type` field).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ItemSetKind {
+    /// The kernel is known but transitions and reductions have not been
+    /// computed yet.
+    Initial,
+    /// The item set was complete, but a grammar modification invalidated
+    /// it. Its *old* transitions are retained so that reference counts can
+    /// be adjusted when it is re-expanded (§6.2).
+    Dirty,
+    /// Transitions and reductions are valid for the current grammar.
+    Complete,
+}
+
+/// Garbage-collection policy for item sets that become unreachable after
+/// grammar modifications.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GcPolicy {
+    /// §6.1: invalidated item sets become `Initial`; nothing is ever
+    /// reclaimed ("when everything is retained, we end up with too much
+    /// garbage").
+    Retain,
+    /// §6.2: invalidated item sets become `Dirty`; reference counting
+    /// reclaims item sets whose count drops to zero after re-expansion.
+    #[default]
+    RefCount,
+    /// Reference counting plus a mark-and-sweep pass whenever the fraction
+    /// of dirty/garbage item sets exceeds the given percentage (0–100) of
+    /// the graph — the paper's suggested remedy for cyclic references.
+    RefCountWithSweep {
+        /// Sweep when `100 * (live - reachable) / live` exceeds this value.
+        threshold_percent: u8,
+    },
+}
+
+/// One set of items in the graph.
+#[derive(Clone, Debug)]
+pub struct ItemSetNode {
+    /// Identity of the node (index in the arena; stable for the lifetime of
+    /// the graph, even across garbage collection).
+    pub id: StateId,
+    /// The kernel: the dotted rules that are potentially being recognised.
+    pub kernel: ItemSet,
+    /// Life-cycle stage.
+    pub kind: ItemSetKind,
+    /// Closure of the kernel (valid when `Complete`; retained on `Dirty`).
+    pub closure: ItemSet,
+    /// Outgoing edges (valid when `Complete`; the *old* edges when `Dirty`).
+    pub transitions: BTreeMap<SymbolId, StateId>,
+    /// Rules that may be reduced in this state (valid when `Complete`).
+    pub reductions: Vec<RuleId>,
+    /// Whether this state has the `($ accept)` transition.
+    pub accepting: bool,
+    /// Number of transitions from live item sets that point here.
+    pub refcount: usize,
+    /// `false` once the node has been reclaimed by a garbage collector.
+    pub alive: bool,
+}
+
+impl ItemSetNode {
+    fn new(id: StateId, kernel: ItemSet) -> Self {
+        ItemSetNode {
+            id,
+            kernel,
+            kind: ItemSetKind::Initial,
+            closure: ItemSet::new(),
+            transitions: BTreeMap::new(),
+            reductions: Vec::new(),
+            accepting: false,
+            refcount: 0,
+            alive: true,
+        }
+    }
+
+    /// `true` when the node still needs (re-)expansion before its
+    /// transitions and reductions may be consulted.
+    pub fn needs_expansion(&self) -> bool {
+        self.kind != ItemSetKind::Complete
+    }
+}
+
+/// The lazily generated graph of item sets.
+#[derive(Clone, Debug)]
+pub struct ItemSetGraph {
+    nodes: Vec<ItemSetNode>,
+    /// Kernel → node index for all *live* nodes; used by `EXPAND` to share
+    /// item sets ("if a set of items with kernel kernel' does not yet
+    /// exist, it is generated").
+    kernel_index: HashMap<ItemSet, StateId>,
+    start: StateId,
+    gc: GcPolicy,
+    stats: GenStats,
+    grammar_version: u64,
+}
+
+impl ItemSetGraph {
+    /// The paper's lazy `GENERATE-PARSER` (§5.1): creates only the start
+    /// item set, as an initial set of items.
+    pub fn new(grammar: &Grammar) -> Self {
+        Self::with_policy(grammar, GcPolicy::default())
+    }
+
+    /// Like [`ItemSetGraph::new`] with an explicit garbage-collection
+    /// policy.
+    pub fn with_policy(grammar: &Grammar, gc: GcPolicy) -> Self {
+        let mut graph = ItemSetGraph {
+            nodes: Vec::new(),
+            kernel_index: HashMap::new(),
+            start: StateId(0),
+            gc,
+            stats: GenStats::default(),
+            grammar_version: grammar.version(),
+        };
+        let start = graph.intern_kernel(start_kernel(grammar));
+        graph.start = start;
+        graph
+    }
+
+    /// The state in which parsing starts.
+    pub fn start_state(&self) -> StateId {
+        self.start
+    }
+
+    /// The garbage-collection policy in force.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.gc
+    }
+
+    /// The grammar version the graph currently corresponds to. Updated by
+    /// [`ItemSetGraph::add_rule`] / [`ItemSetGraph::remove_rule`].
+    pub fn grammar_version(&self) -> u64 {
+        self.grammar_version
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &GenStats {
+        &self.stats
+    }
+
+    /// Borrow a node (dead nodes remain accessible for post-mortems).
+    pub fn node(&self, id: StateId) -> &ItemSetNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over the live nodes.
+    pub fn live_nodes(&self) -> impl Iterator<Item = &ItemSetNode> {
+        self.nodes.iter().filter(|n| n.alive)
+    }
+
+    /// Number of live nodes.
+    pub fn num_live(&self) -> usize {
+        self.live_nodes().count()
+    }
+
+    /// Size snapshot of the graph.
+    pub fn size(&self) -> GraphSize {
+        let mut size = GraphSize::default();
+        for node in self.live_nodes() {
+            size.total += 1;
+            match node.kind {
+                ItemSetKind::Initial => size.initial += 1,
+                ItemSetKind::Dirty => size.dirty += 1,
+                ItemSetKind::Complete => size.complete += 1,
+            }
+            if node.kind != ItemSetKind::Initial {
+                size.transitions += node.transitions.len();
+            }
+        }
+        size
+    }
+
+    fn intern_kernel(&mut self, kernel: ItemSet) -> StateId {
+        if let Some(&id) = self.kernel_index.get(&kernel) {
+            return id;
+        }
+        let id = StateId::from_index(self.nodes.len());
+        self.kernel_index.insert(kernel.clone(), id);
+        self.nodes.push(ItemSetNode::new(id, kernel));
+        self.stats.nodes_created += 1;
+        id
+    }
+
+    /// Ensures the node's transitions and reductions are valid for the
+    /// current grammar: the lazy `ACTION`'s "if state.type = initial then
+    /// EXPAND(state)", extended with `RE-EXPAND` for dirty nodes.
+    pub fn ensure_expanded(&mut self, grammar: &Grammar, id: StateId) {
+        match self.nodes[id.index()].kind {
+            ItemSetKind::Complete => {}
+            ItemSetKind::Initial => self.expand(grammar, id),
+            ItemSetKind::Dirty => self.re_expand(grammar, id),
+        }
+    }
+
+    /// The paper's `EXPAND`: transform an initial set of items into a
+    /// complete one.
+    fn expand(&mut self, grammar: &Grammar, id: StateId) {
+        self.stats.expansions += 1;
+        self.expand_common(grammar, id);
+    }
+
+    /// The paper's `RE-EXPAND` (§6.2): expand a dirty set of items, then
+    /// release the references its old transitions held.
+    fn re_expand(&mut self, grammar: &Grammar, id: StateId) {
+        self.stats.re_expansions += 1;
+        let old_targets: Vec<StateId> = self.nodes[id.index()]
+            .transitions
+            .values()
+            .copied()
+            .collect();
+        self.expand_common(grammar, id);
+        if self.refcounting() {
+            for target in old_targets {
+                self.decr_refcount(target);
+            }
+        }
+    }
+
+    fn expand_common(&mut self, grammar: &Grammar, id: StateId) {
+        self.stats.closures += 1;
+        let kernel = self.nodes[id.index()].kernel.clone();
+        let closed = closure(grammar, &kernel);
+        let successors = partition_by_next_symbol(grammar, &closed);
+
+        let mut transitions = BTreeMap::new();
+        for (symbol, succ_kernel) in successors {
+            let target = self.intern_kernel(succ_kernel);
+            transitions.insert(symbol, target);
+            if self.refcounting() {
+                self.nodes[target.index()].refcount += 1;
+            }
+        }
+
+        let mut reductions = Vec::new();
+        let mut accepting = false;
+        for item in completed_items(grammar, &closed) {
+            // A completed item of a rule that has been deleted from the
+            // grammar must not be reported as a reduction; such items can
+            // linger in the kernels of stale (unreachable) item sets.
+            if !grammar.is_active(item.rule) {
+                continue;
+            }
+            if grammar.rule(item.rule).lhs == grammar.start_symbol() {
+                accepting = true;
+            } else {
+                reductions.push(item.rule);
+            }
+        }
+        reductions.sort();
+        reductions.dedup();
+
+        let node = &mut self.nodes[id.index()];
+        node.closure = closed;
+        node.transitions = transitions;
+        node.reductions = reductions;
+        node.accepting = accepting;
+        node.kind = ItemSetKind::Complete;
+    }
+
+    fn refcounting(&self) -> bool {
+        !matches!(self.gc, GcPolicy::Retain)
+    }
+
+    /// The paper's `DECR-REFCOUNT`: release one reference to `id`; if the
+    /// count drops to zero the node is reclaimed and the references *it*
+    /// holds are released in turn.
+    fn decr_refcount(&mut self, id: StateId) {
+        if id == self.start {
+            return; // the start item set is never collected
+        }
+        let node = &mut self.nodes[id.index()];
+        if !node.alive {
+            return;
+        }
+        node.refcount = node.refcount.saturating_sub(1);
+        if node.refcount > 0 {
+            return;
+        }
+        node.alive = false;
+        self.stats.nodes_collected += 1;
+        let kernel = node.kernel.clone();
+        let had_transitions = node.kind != ItemSetKind::Initial;
+        let targets: Vec<StateId> = if had_transitions {
+            node.transitions.values().copied().collect()
+        } else {
+            Vec::new()
+        };
+        // Only remove the index entry if it still points at this node (a
+        // newer live node may have reused the kernel).
+        if self.kernel_index.get(&kernel) == Some(&id) {
+            self.kernel_index.remove(&kernel);
+        }
+        for target in targets {
+            self.decr_refcount(target);
+        }
+    }
+
+    /// Adds `lhs ::= rhs` to the grammar and updates the graph — the
+    /// paper's `ADD-RULE`.
+    pub fn add_rule(&mut self, grammar: &mut Grammar, lhs: SymbolId, rhs: Vec<SymbolId>) -> RuleId {
+        let rule = grammar.add_rule(lhs, rhs);
+        self.modify(grammar, lhs, rule, true);
+        rule
+    }
+
+    /// Deletes `lhs ::= rhs` from the grammar and updates the graph — the
+    /// paper's `DELETE-RULE`.
+    pub fn remove_rule(
+        &mut self,
+        grammar: &mut Grammar,
+        lhs: SymbolId,
+        rhs: &[SymbolId],
+    ) -> Result<RuleId, GrammarError> {
+        let rule = grammar.remove_rule_matching(lhs, rhs)?;
+        self.modify(grammar, lhs, rule, false);
+        Ok(rule)
+    }
+
+    /// The paper's `MODIFY`: after the grammar has been updated, invalidate
+    /// every complete item set whose expansion is no longer correct. These
+    /// are exactly the complete item sets with a transition on the rule's
+    /// left-hand side, plus the start item set when the rule defines
+    /// `START`.
+    fn modify(&mut self, grammar: &Grammar, lhs: SymbolId, rule: RuleId, added: bool) {
+        self.stats.modifications += 1;
+        self.grammar_version = grammar.version();
+        let invalidated_kind = if self.refcounting() {
+            ItemSetKind::Dirty
+        } else {
+            ItemSetKind::Initial
+        };
+
+        if lhs == grammar.start_symbol() {
+            // The start item set's kernel is derived from the START rules;
+            // keep it in sync and re-expand it lazily.
+            let start = self.start;
+            let node = &mut self.nodes[start.index()];
+            let item = Item::start(rule);
+            if added {
+                node.kernel.insert(item);
+            } else {
+                node.kernel.remove(&item);
+            }
+            if node.kind == ItemSetKind::Complete {
+                node.kind = invalidated_kind;
+                self.stats.invalidations += 1;
+            } else if node.kind == ItemSetKind::Initial && invalidated_kind == ItemSetKind::Initial
+            {
+                // Already initial: nothing to do.
+            }
+            // Keep the kernel index in sync with the changed kernel.
+            self.kernel_index.retain(|_, &mut v| v != start);
+            self.kernel_index
+                .insert(self.nodes[start.index()].kernel.clone(), start);
+        } else {
+            let affected: Vec<StateId> = self
+                .nodes
+                .iter()
+                .filter(|n| {
+                    n.alive
+                        && n.kind == ItemSetKind::Complete
+                        && n.transitions.contains_key(&lhs)
+                })
+                .map(|n| n.id)
+                .collect();
+            for id in affected {
+                self.nodes[id.index()].kind = invalidated_kind;
+                self.stats.invalidations += 1;
+            }
+        }
+
+        self.maybe_sweep(grammar);
+    }
+
+    /// Runs a mark-and-sweep pass if the policy asks for one and the
+    /// garbage fraction exceeds its threshold.
+    fn maybe_sweep(&mut self, grammar: &Grammar) {
+        let GcPolicy::RefCountWithSweep { threshold_percent } = self.gc else {
+            return;
+        };
+        let live = self.num_live();
+        if live == 0 {
+            return;
+        }
+        let reachable = self.reachable_from_start();
+        let garbage = live.saturating_sub(reachable.len());
+        if garbage * 100 > threshold_percent as usize * live {
+            self.mark_and_sweep(grammar);
+        }
+    }
+
+    fn reachable_from_start(&self) -> Vec<StateId> {
+        let mut marked = vec![false; self.nodes.len()];
+        let mut stack = vec![self.start];
+        marked[self.start.index()] = true;
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id.index()];
+            if node.kind == ItemSetKind::Initial {
+                continue;
+            }
+            for &target in node.transitions.values() {
+                if self.nodes[target.index()].alive && !marked[target.index()] {
+                    marked[target.index()] = true;
+                    stack.push(target);
+                }
+            }
+        }
+        marked
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m)
+            .map(|(i, _)| StateId::from_index(i))
+            .collect()
+    }
+
+    /// Mark-and-sweep collection: reclaims every live item set that is not
+    /// reachable from the start item set, and recomputes reference counts.
+    /// This is the paper's proposed answer to cyclic references that
+    /// reference counting alone cannot reclaim.
+    pub fn mark_and_sweep(&mut self, _grammar: &Grammar) {
+        self.stats.sweeps += 1;
+        let reachable = self.reachable_from_start();
+        let mut keep = vec![false; self.nodes.len()];
+        for id in &reachable {
+            keep[id.index()] = true;
+        }
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive && !keep[i] {
+                self.nodes[i].alive = false;
+                self.stats.nodes_swept += 1;
+                let kernel = self.nodes[i].kernel.clone();
+                if self.kernel_index.get(&kernel) == Some(&StateId::from_index(i)) {
+                    self.kernel_index.remove(&kernel);
+                }
+            }
+        }
+        // Recompute reference counts over the surviving graph.
+        for node in &mut self.nodes {
+            node.refcount = 0;
+        }
+        let edges: Vec<StateId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive && n.kind != ItemSetKind::Initial)
+            .flat_map(|n| n.transitions.values().copied().collect::<Vec<_>>())
+            .collect();
+        for target in edges {
+            if self.nodes[target.index()].alive {
+                self.nodes[target.index()].refcount += 1;
+            }
+        }
+    }
+
+    /// Forces the complete expansion of the graph (every reachable item
+    /// set). Afterwards the graph is equivalent to the conventionally
+    /// generated automaton — useful for tests and for the "PG via IPG"
+    /// comparison.
+    pub fn expand_all(&mut self, grammar: &Grammar) {
+        let mut again = true;
+        while again {
+            again = false;
+            let pending: Vec<StateId> = self
+                .nodes
+                .iter()
+                .filter(|n| n.alive && n.needs_expansion())
+                .map(|n| n.id)
+                .collect();
+            for id in pending {
+                if self.nodes[id.index()].alive && self.nodes[id.index()].needs_expansion() {
+                    self.ensure_expanded(grammar, id);
+                    again = true;
+                }
+            }
+        }
+    }
+
+    /// Renders the live part of the graph in the style of the paper's item
+    /// set diagrams.
+    pub fn render(&self, grammar: &Grammar) -> String {
+        let mut out = String::new();
+        for node in self.live_nodes() {
+            let kind = match node.kind {
+                ItemSetKind::Initial => "initial",
+                ItemSetKind::Dirty => "dirty",
+                ItemSetKind::Complete => "complete",
+            };
+            out.push_str(&format!("item set {} ({kind}, rc={}):\n", node.id, node.refcount));
+            for item in &node.kernel {
+                out.push_str(&format!("    {}\n", item.display(grammar)));
+            }
+            if node.kind == ItemSetKind::Complete {
+                for (&sym, &target) in &node.transitions {
+                    out.push_str(&format!("    --{}--> {}\n", grammar.name(sym), target));
+                }
+                for &rule in &node.reductions {
+                    out.push_str(&format!(
+                        "    reduce {}\n",
+                        grammar.rule(rule).display(grammar.symbols())
+                    ));
+                }
+                if node.accepting {
+                    out.push_str("    --$--> accept\n");
+                }
+            }
+        }
+        out
+    }
+
+    /// Declares that the grammar changed in a way that does not affect the
+    /// graph (e.g. new symbols were interned but no rule was added or
+    /// removed). Rule modifications must go through
+    /// [`ItemSetGraph::add_rule`] / [`ItemSetGraph::remove_rule`] instead.
+    pub fn acknowledge_non_structural_change(&mut self, grammar: &Grammar) {
+        self.grammar_version = grammar.version();
+    }
+
+    /// Record an `ACTION` call in the statistics (called by the lazy
+    /// tables).
+    pub(crate) fn note_action_call(&mut self) {
+        self.stats.action_calls += 1;
+    }
+
+    /// Record a `GOTO` call in the statistics (called by the lazy tables).
+    pub(crate) fn note_goto_call(&mut self) {
+        self.stats.goto_calls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    #[test]
+    fn new_graph_contains_only_the_initial_start_state() {
+        // Fig. 5.1(a): after (lazy) generation the graph consists of the
+        // start item set only, with type initial.
+        let g = fixtures::booleans();
+        let graph = ItemSetGraph::new(&g);
+        assert_eq!(graph.num_live(), 1);
+        let start = graph.node(graph.start_state());
+        assert_eq!(start.kind, ItemSetKind::Initial);
+        assert_eq!(start.kernel.len(), 1);
+        assert!(start.needs_expansion());
+    }
+
+    #[test]
+    fn expanding_the_start_state_matches_fig_51b() {
+        let g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.ensure_expanded(&g, graph.start_state());
+        // Fig. 5.1(b): the start state plus three initial successors
+        // (on B, true, false).
+        assert_eq!(graph.num_live(), 4);
+        let start = graph.node(graph.start_state());
+        assert_eq!(start.kind, ItemSetKind::Complete);
+        assert_eq!(start.transitions.len(), 3);
+        assert_eq!(graph.stats().expansions, 1);
+        let size = graph.size();
+        assert_eq!(size.complete, 1);
+        assert_eq!(size.initial, 3);
+    }
+
+    #[test]
+    fn full_expansion_matches_conventional_automaton() {
+        let g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let conventional = ipg_lr::Lr0Automaton::build(&g);
+        assert_eq!(graph.num_live(), conventional.num_states());
+        // Every kernel of the conventional automaton exists in the graph.
+        for state in conventional.states() {
+            assert!(
+                graph.live_nodes().any(|n| n.kernel == state.kernel),
+                "kernel missing: {:?}",
+                state.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn add_rule_invalidates_states_with_transition_on_lhs() {
+        // §6.1 / Fig. 6.4: adding `B ::= unknown` makes the item sets with
+        // a transition on B initial/dirty again (states 0, 4, 5 in the
+        // paper's numbering).
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let before = graph.num_live();
+        let b = g.symbol("B").unwrap();
+        let unknown = g.terminal("unknown");
+        graph.add_rule(&mut g, b, vec![unknown]);
+        let invalidated = graph
+            .live_nodes()
+            .filter(|n| n.kind != ItemSetKind::Complete)
+            .count();
+        assert_eq!(invalidated, 3, "exactly the three states with a B transition");
+        assert_eq!(graph.num_live(), before, "nothing is thrown away yet");
+        assert_eq!(graph.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn re_expansion_after_addition_reconnects_and_extends_the_graph() {
+        // Fig. 6.5: re-expanding item set 0 re-establishes its old
+        // connections and creates the new `B ::= unknown .` item set.
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let b = g.symbol("B").unwrap();
+        let unknown = g.terminal("unknown");
+        graph.add_rule(&mut g, b, vec![unknown]);
+        graph.ensure_expanded(&g, graph.start_state());
+        let start = graph.node(graph.start_state());
+        assert_eq!(start.kind, ItemSetKind::Complete);
+        assert!(start.transitions.contains_key(&unknown));
+        assert_eq!(start.transitions.len(), 4);
+        // The old successors were re-used, not regenerated.
+        assert!(graph.stats().re_expansions >= 1);
+    }
+
+    #[test]
+    fn start_rule_modification_updates_the_start_kernel() {
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        // Add `START ::= E` (with E ::= id so the grammar stays valid).
+        let e = g.nonterminal("E");
+        let id = g.terminal("id");
+        graph.add_rule(&mut g, e, vec![id]);
+        let start_sym = g.start_symbol();
+        graph.add_rule(&mut g, start_sym, vec![e]);
+        let start = graph.node(graph.start_state());
+        assert_eq!(start.kernel.len(), 2);
+        assert!(start.needs_expansion());
+        graph.ensure_expanded(&g, graph.start_state());
+        assert!(graph.node(graph.start_state()).transitions.contains_key(&e));
+    }
+
+    #[test]
+    fn delete_rule_then_reexpand_drops_the_transition() {
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let b = g.symbol("B").unwrap();
+        let fa = g.symbol("false").unwrap();
+        graph.remove_rule(&mut g, b, &[fa]).unwrap();
+        graph.ensure_expanded(&g, graph.start_state());
+        let start = graph.node(graph.start_state());
+        assert!(!start.transitions.contains_key(&fa));
+        assert_eq!(start.transitions.len(), 2);
+    }
+
+    #[test]
+    fn deleting_a_missing_rule_is_an_error_and_leaves_the_graph_intact() {
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let b = g.symbol("B").unwrap();
+        let or = g.symbol("or").unwrap();
+        let before = graph.stats().modifications;
+        assert!(graph.remove_rule(&mut g, b, &[or]).is_err());
+        assert_eq!(graph.stats().modifications, before);
+        assert!(graph.live_nodes().all(|n| n.kind == ItemSetKind::Complete));
+    }
+
+    #[test]
+    fn refcount_gc_reclaims_unreachable_states() {
+        // Deleting `B ::= B and B` and re-expanding everything reachable
+        // leaves the `and`-successor states unreferenced; with refcount GC
+        // they are reclaimed once their referrers are re-expanded.
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::with_policy(&g, GcPolicy::RefCount);
+        graph.expand_all(&g);
+        let full = graph.num_live();
+        let b = g.symbol("B").unwrap();
+        let and = g.symbol("and").unwrap();
+        graph.remove_rule(&mut g, b, &[b, and, b]).unwrap();
+        graph.expand_all(&g);
+        assert!(graph.stats().nodes_collected > 0, "GC reclaimed something");
+        assert!(graph.num_live() < full);
+    }
+
+    #[test]
+    fn retain_policy_keeps_everything() {
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::with_policy(&g, GcPolicy::Retain);
+        graph.expand_all(&g);
+        let full = graph.num_live();
+        let b = g.symbol("B").unwrap();
+        let and = g.symbol("and").unwrap();
+        graph.remove_rule(&mut g, b, &[b, and, b]).unwrap();
+        graph.expand_all(&g);
+        assert_eq!(graph.stats().nodes_collected, 0);
+        assert!(graph.num_live() >= full);
+    }
+
+    #[test]
+    fn mark_and_sweep_reclaims_unreachable_states() {
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::with_policy(&g, GcPolicy::Retain);
+        graph.expand_all(&g);
+        let b = g.symbol("B").unwrap();
+        let and = g.symbol("and").unwrap();
+        graph.remove_rule(&mut g, b, &[b, and, b]).unwrap();
+        graph.expand_all(&g);
+        let before_sweep = graph.num_live();
+        graph.mark_and_sweep(&g);
+        assert!(graph.num_live() < before_sweep);
+        assert!(graph.stats().nodes_swept > 0);
+        assert_eq!(graph.stats().sweeps, 1);
+    }
+
+    #[test]
+    fn fig62_addition_is_handled_like_fig63() {
+        // §6: adding `A ::= b` to the grammar of Fig. 6.2 invalidates item
+        // set 3 (the one with a transition on A); re-expansion replaces its
+        // `b`-successor by a new item set with kernel {B ::= b ., A ::= b .}
+        // while the old `B ::= b .` item set survives for the other branch.
+        let mut g = fixtures::fig62();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let a_sym = g.symbol("A").unwrap();
+        let b_tok = g.symbol("b").unwrap();
+        let rule_b = g.symbol("B").unwrap();
+        graph.add_rule(&mut g, a_sym, vec![b_tok]);
+        // Only the state with a transition on A is invalidated.
+        let invalidated: Vec<_> = graph
+            .live_nodes()
+            .filter(|n| n.kind != ItemSetKind::Complete)
+            .collect();
+        assert_eq!(invalidated.len(), 1);
+        assert!(invalidated[0].transitions.contains_key(&a_sym));
+        graph.expand_all(&g);
+        // There is now an item set whose kernel holds both completed rules
+        // `B ::= b .` and `A ::= b .`.
+        let double = graph.live_nodes().find(|n| {
+            n.kernel.len() == 2
+                && n.kernel
+                    .iter()
+                    .all(|i| i.is_complete(&g) && g.rule(i.rule).rhs == vec![b_tok])
+        });
+        assert!(double.is_some(), "merged b-successor item set exists");
+        // And the plain `B ::= b .` item set still exists for the other branch.
+        let single = graph.live_nodes().any(|n| {
+            n.kernel.len() == 1
+                && n.kernel.iter().all(|i| {
+                    i.is_complete(&g) && g.rule(i.rule).lhs == rule_b && g.rule(i.rule).rhs == vec![b_tok]
+                })
+        });
+        assert!(single, "original B ::= b . item set survives");
+    }
+
+    #[test]
+    fn sweep_policy_reclaims_garbage() {
+        let mut g = fixtures::booleans();
+        let mut graph =
+            ItemSetGraph::with_policy(&g, GcPolicy::RefCountWithSweep { threshold_percent: 10 });
+        graph.expand_all(&g);
+        let b = g.symbol("B").unwrap();
+        let and = g.symbol("and").unwrap();
+        let or = g.symbol("or").unwrap();
+        graph.remove_rule(&mut g, b, &[b, and, b]).unwrap();
+        graph.remove_rule(&mut g, b, &[b, or, b]).unwrap();
+        graph.expand_all(&g);
+        assert!(graph.stats().total_collected() > 0);
+        // A final sweep reduces the live graph to exactly the automaton of
+        // the reduced grammar (reference counting alone may leave cyclic
+        // garbage behind, which is precisely why the paper suggests the
+        // sweep).
+        graph.mark_and_sweep(&g);
+        let conventional = ipg_lr::Lr0Automaton::build(&g);
+        assert_eq!(graph.num_live(), conventional.num_states());
+        assert!(graph.live_nodes().all(|n| n.refcount > 0 || n.id == graph.start_state()));
+    }
+
+    #[test]
+    fn render_mentions_kinds_and_transitions() {
+        let g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        graph.ensure_expanded(&g, graph.start_state());
+        let text = graph.render(&g);
+        assert!(text.contains("complete"));
+        assert!(text.contains("initial"));
+        assert!(text.contains("--true-->"));
+    }
+}

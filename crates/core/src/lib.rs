@@ -1,0 +1,65 @@
+//! # ipg — Incremental Parser Generation
+//!
+//! A from-scratch Rust implementation of **IPG**, the lazy and incremental
+//! LR(0) parser generator of *Incremental Generation of Parsers* (J.
+//! Heering, P. Klint, J. Rekers; CWI report CS-R8822 / PLDI 1989).
+//!
+//! The system eliminates the separate parse-table generation phase:
+//!
+//! * **Lazy generation (§5)** — parsing starts against an item-set graph
+//!   that contains only the initial start state; whenever the parser asks
+//!   `ACTION` about a state that has not been expanded yet, that single
+//!   state is expanded on the spot. Input that exercises only part of the
+//!   grammar only ever generates that part of the table.
+//! * **Incremental modification (§6)** — `ADD-RULE` / `DELETE-RULE` update
+//!   the grammar and invalidate exactly the item sets whose expansion is no
+//!   longer valid (those with a transition on the rule's left-hand side).
+//!   Everything else is reused; invalidated item sets are re-expanded by
+//!   need.
+//! * **Garbage collection (§6.2)** — reference counting (plus an optional
+//!   mark-and-sweep pass) reclaims item sets that can no longer be reached
+//!   after modifications.
+//! * **Parallel parsing (§3)** — the tables are driven by the Tomita-style
+//!   parsers of `ipg-glr`, so arbitrary context-free grammars are accepted.
+//!
+//! ## Crate layout
+//!
+//! | module | paper | contents |
+//! |--------|-------|----------|
+//! | [`graph`] | §4–§6 | the item-set graph, `EXPAND`, `MODIFY`, GC |
+//! | [`tables`] | §5.1 | lazy `ACTION`/`GOTO` as `ipg_lr::ParserTables` |
+//! | [`session`] | §1, §8 | the interactive language-definition facade |
+//! | [`stats`] | §5.2, §7 | work counters and coverage measurements |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ipg::IpgSession;
+//!
+//! let mut session = IpgSession::from_bnf(r#"
+//!     B ::= "true" | "false" | B "or" B | B "and" B
+//!     START ::= B
+//! "#).unwrap();
+//!
+//! // No generation phase: parsing starts immediately and generates only
+//! // the needed parts of the parse table.
+//! assert!(session.parse_sentence("true and true").unwrap().accepted);
+//! assert!(session.coverage() < 1.0);
+//!
+//! // Modify the grammar; the existing table is updated, not regenerated.
+//! session.add_rule_text(r#"B ::= "unknown""#).unwrap();
+//! assert!(session.parse_sentence("unknown or true").unwrap().accepted);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod session;
+pub mod stats;
+pub mod tables;
+
+pub use graph::{GcPolicy, ItemSetGraph, ItemSetKind, ItemSetNode};
+pub use session::{IpgSession, SessionError};
+pub use stats::{GenStats, GraphSize};
+pub use tables::LazyTables;

@@ -1,0 +1,151 @@
+//! Counters describing how much work the lazy/incremental generator has
+//! done. These back the paper's §5.2 observation ("only 60 percent of the
+//! parse table had to be generated to parse the SDF definition of SDF
+//! itself") and the §7 measurements.
+
+use std::fmt;
+
+/// Work counters of an item-set graph. All counters are cumulative over the
+/// lifetime of the graph (they are not reset by grammar modifications).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Item sets created (initial or otherwise).
+    pub nodes_created: usize,
+    /// `EXPAND` operations on initial item sets.
+    pub expansions: usize,
+    /// `RE-EXPAND` operations on dirty item sets.
+    pub re_expansions: usize,
+    /// Closures computed (one per (re-)expansion).
+    pub closures: usize,
+    /// Calls to `ACTION` (through the lazy tables).
+    pub action_calls: usize,
+    /// Calls to `GOTO` (through the lazy tables).
+    pub goto_calls: usize,
+    /// Grammar modifications processed (`ADD-RULE` + `DELETE-RULE`).
+    pub modifications: usize,
+    /// Item sets invalidated by modifications (made initial/dirty).
+    pub invalidations: usize,
+    /// Item sets reclaimed by reference-count garbage collection.
+    pub nodes_collected: usize,
+    /// Item sets reclaimed by mark-and-sweep collection.
+    pub nodes_swept: usize,
+    /// Mark-and-sweep passes run.
+    pub sweeps: usize,
+}
+
+impl GenStats {
+    /// Total number of item sets reclaimed by any garbage collector.
+    pub fn total_collected(&self) -> usize {
+        self.nodes_collected + self.nodes_swept
+    }
+
+    /// Total number of expansion operations (lazy + re-expansions).
+    pub fn total_expansions(&self) -> usize {
+        self.expansions + self.re_expansions
+    }
+}
+
+impl fmt::Display for GenStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "item sets created:    {}", self.nodes_created)?;
+        writeln!(f, "expansions:           {}", self.expansions)?;
+        writeln!(f, "re-expansions:        {}", self.re_expansions)?;
+        writeln!(f, "ACTION calls:         {}", self.action_calls)?;
+        writeln!(f, "GOTO calls:           {}", self.goto_calls)?;
+        writeln!(f, "grammar modifications:{}", self.modifications)?;
+        writeln!(f, "item sets invalidated:{}", self.invalidations)?;
+        writeln!(f, "collected (refcount): {}", self.nodes_collected)?;
+        writeln!(f, "collected (sweep):    {}", self.nodes_swept)?;
+        Ok(())
+    }
+}
+
+/// A snapshot of the graph's size, used to measure how much of the full
+/// parse table has been generated (the §5.2 coverage numbers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphSize {
+    /// Live item sets of any kind.
+    pub total: usize,
+    /// Live item sets that are complete (expanded).
+    pub complete: usize,
+    /// Live item sets that are initial (never expanded, or invalidated
+    /// without history).
+    pub initial: usize,
+    /// Live item sets that are dirty (invalidated, history retained).
+    pub dirty: usize,
+    /// Live transitions out of complete and dirty item sets.
+    pub transitions: usize,
+}
+
+impl GraphSize {
+    /// Fraction of live item sets that have actually been expanded.
+    pub fn expanded_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.complete as f64 / self.total as f64
+        }
+    }
+
+    /// Coverage of this (lazily generated) graph relative to the state
+    /// count of a fully generated automaton: the paper's "only 60 percent
+    /// of the parse table had to be generated".
+    pub fn coverage_of(&self, full_states: usize) -> f64 {
+        if full_states == 0 {
+            0.0
+        } else {
+            self.complete as f64 / full_states as f64
+        }
+    }
+}
+
+impl fmt::Display for GraphSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} item sets ({} complete, {} initial, {} dirty), {} transitions",
+            self.total, self.complete, self.initial, self.dirty, self.transitions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let stats = GenStats {
+            nodes_collected: 3,
+            nodes_swept: 2,
+            expansions: 5,
+            re_expansions: 4,
+            ..Default::default()
+        };
+        assert_eq!(stats.total_collected(), 5);
+        assert_eq!(stats.total_expansions(), 9);
+        let text = stats.to_string();
+        assert!(text.contains("re-expansions:        4"));
+    }
+
+    #[test]
+    fn graph_size_fractions() {
+        let size = GraphSize {
+            total: 10,
+            complete: 6,
+            initial: 3,
+            dirty: 1,
+            transitions: 20,
+        };
+        assert!((size.expanded_fraction() - 0.6).abs() < 1e-9);
+        assert!((size.coverage_of(12) - 0.5).abs() < 1e-9);
+        assert!(size.to_string().contains("6 complete"));
+    }
+
+    #[test]
+    fn empty_sizes_do_not_divide_by_zero() {
+        let size = GraphSize::default();
+        assert_eq!(size.expanded_fraction(), 0.0);
+        assert_eq!(size.coverage_of(0), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The lazy `ACTION` / `GOTO` functions of §5.1, packaged as an
+//! implementation of `ipg_lr::ParserTables` so that the deterministic and
+//! parallel parsers can be driven directly by the (partially generated)
+//! item-set graph.
+
+use ipg_grammar::{Grammar, SymbolId};
+use ipg_lr::{Action, ParserTables, StateId};
+
+use crate::graph::{ItemSetGraph, ItemSetKind};
+
+/// A borrow of the grammar plus the item-set graph that behaves like a
+/// parse table. Constructing one is free; the table contents materialise
+/// on demand as the parser asks for actions.
+///
+/// ```
+/// use ipg_grammar::fixtures;
+/// use ipg_lr::{LrParser, tokenize_names};
+/// use ipg::{ItemSetGraph, LazyTables};
+///
+/// let grammar = fixtures::arithmetic();
+/// let mut graph = ItemSetGraph::new(&grammar);
+/// let parser = LrParser::new(&grammar);
+/// let tokens = tokenize_names(&grammar, "id + num").unwrap();
+/// // No table generation phase: parsing starts immediately.
+/// let mut tables = LazyTables::new(&grammar, &mut graph);
+/// assert!(parser.recognize(&mut tables, &tokens).unwrap());
+/// assert!(graph.size().complete > 0); // parts of the table now exist
+/// ```
+#[derive(Debug)]
+pub struct LazyTables<'a> {
+    grammar: &'a Grammar,
+    graph: &'a mut ItemSetGraph,
+}
+
+impl<'a> LazyTables<'a> {
+    /// Wraps the grammar and graph. The graph must have been created for
+    /// (an earlier version of) the same grammar and kept in sync through
+    /// [`ItemSetGraph::add_rule`] / [`ItemSetGraph::remove_rule`].
+    pub fn new(grammar: &'a Grammar, graph: &'a mut ItemSetGraph) -> Self {
+        debug_assert_eq!(
+            grammar.version(),
+            graph.grammar_version(),
+            "the item-set graph is out of sync with the grammar; \
+             use ItemSetGraph::add_rule/remove_rule for modifications"
+        );
+        LazyTables { grammar, graph }
+    }
+
+    /// The grammar the tables are generated from.
+    pub fn grammar(&self) -> &Grammar {
+        self.grammar
+    }
+
+    /// Read-only access to the underlying graph.
+    pub fn graph(&self) -> &ItemSetGraph {
+        self.graph
+    }
+}
+
+impl ParserTables for LazyTables<'_> {
+    fn start_state(&self) -> StateId {
+        self.graph.start_state()
+    }
+
+    /// The lazy `ACTION` of §5.1: "when state is an initial set of items it
+    /// must be expanded first", then the actions are read off the
+    /// transitions and reductions fields.
+    fn actions(&mut self, state: StateId, symbol: SymbolId) -> Vec<Action> {
+        self.graph.note_action_call();
+        self.graph.ensure_expanded(self.grammar, state);
+        let node = self.graph.node(state);
+        let mut result = Vec::new();
+        for &rule in &node.reductions {
+            result.push(Action::Reduce(rule));
+        }
+        if let Some(&target) = node.transitions.get(&symbol) {
+            result.push(Action::Shift(target));
+        }
+        if node.accepting && symbol == self.grammar.eof_symbol() {
+            result.push(Action::Accept);
+        }
+        result
+    }
+
+    /// The `GOTO` of §4. Appendix A proves that `GOTO` is only ever called
+    /// with complete item sets, so no expansion is necessary; the debug
+    /// assertion checks the invariant. (Release builds fall back to
+    /// expanding, which is harmless.)
+    fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId> {
+        self.graph.note_goto_call();
+        debug_assert_eq!(
+            self.graph.node(state).kind,
+            ItemSetKind::Complete,
+            "Appendix A invariant violated: GOTO called on a non-complete item set"
+        );
+        self.graph.ensure_expanded(self.grammar, state);
+        self.graph.node(state).transitions.get(&symbol).copied()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "lazy IPG tables ({}, grammar v{})",
+            self.graph.size(),
+            self.grammar.version()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GcPolicy;
+    use ipg_glr::{GssParser, PoolGlrParser};
+    use ipg_grammar::fixtures;
+    use ipg_lr::{tokenize_names, Lr0Automaton, LrParser, ParseTable, ParserTables};
+
+    #[test]
+    fn lazy_actions_agree_with_eager_lr0_table() {
+        let g = fixtures::booleans();
+        let automaton = Lr0Automaton::build(&g);
+        let mut eager = ParseTable::lr0(&automaton, &g);
+        let mut graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let mut lazy = LazyTables::new(&g, &mut graph);
+
+        // Compare the action sets cell by cell: states are matched through
+        // their kernels because numbering may differ.
+        for state in automaton.states() {
+            let lazy_id = lazy
+                .graph()
+                .live_nodes()
+                .find(|n| n.kernel == state.kernel)
+                .map(|n| n.id)
+                .expect("kernel exists in the lazy graph");
+            for terminal in g.symbols().terminals() {
+                let mut a: Vec<_> = eager.actions(state.id, terminal);
+                let mut b: Vec<_> = lazy.actions(lazy_id, terminal);
+                // Shift targets use different numbering; compare shapes.
+                let shape = |v: &mut Vec<Action>| {
+                    v.iter()
+                        .map(|a| match a {
+                            Action::Shift(_) => "s".to_owned(),
+                            Action::Reduce(r) => format!("r{}", r.index()),
+                            Action::Accept => "acc".to_owned(),
+                        })
+                        .collect::<std::collections::BTreeSet<_>>()
+                };
+                assert_eq!(shape(&mut a), shape(&mut b), "state {:?} symbol {:?}", state.id, terminal);
+            }
+        }
+    }
+
+    #[test]
+    fn parsing_expands_only_what_is_needed() {
+        // §5.2: sentences using only `and` and `true` never force the
+        // `false`/`or` parts of the table to be generated.
+        let g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        let parser = GssParser::new(&g);
+        let tokens = tokenize_names(&g, "true and true").unwrap();
+        {
+            let mut tables = LazyTables::new(&g, &mut graph);
+            assert!(parser.recognize(&mut tables, &tokens));
+        }
+        let size = graph.size();
+        let full = Lr0Automaton::build(&g).num_states();
+        assert!(size.complete < full, "only part of the table was generated");
+        assert!(size.complete >= 4);
+        // A second parse of the same sentence does not expand anything new.
+        let expansions_before = graph.stats().expansions;
+        {
+            let mut tables = LazyTables::new(&g, &mut graph);
+            assert!(parser.recognize(&mut tables, &tokens));
+        }
+        assert_eq!(graph.stats().expansions, expansions_before);
+    }
+
+    #[test]
+    fn lazy_tables_work_with_all_three_parsers() {
+        // The deterministic LR parser needs an LR(0) grammar; the parallel
+        // parsers handle the (non-LR(0)) arithmetic grammar as well.
+        let lists = fixtures::left_recursive_list();
+        let list_tokens = tokenize_names(&lists, "x , x , x").unwrap();
+        let mut graph = ItemSetGraph::new(&lists);
+        let det = LrParser::new(&lists);
+        assert!(det
+            .recognize(&mut LazyTables::new(&lists, &mut graph), &list_tokens)
+            .unwrap());
+
+        let g = fixtures::arithmetic();
+        let tokens = tokenize_names(&g, "id + num * id").unwrap();
+
+        let mut graph = ItemSetGraph::new(&g);
+        let pool = PoolGlrParser::new(&g);
+        assert!(pool
+            .recognize(&mut LazyTables::new(&g, &mut graph), &tokens)
+            .unwrap());
+
+        let mut graph = ItemSetGraph::new(&g);
+        let gss = GssParser::new(&g);
+        assert!(gss.recognize(&mut LazyTables::new(&g, &mut graph), &tokens));
+    }
+
+    #[test]
+    fn action_and_goto_calls_are_counted() {
+        let g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        let parser = GssParser::new(&g);
+        let tokens = tokenize_names(&g, "true or false").unwrap();
+        parser.recognize(&mut LazyTables::new(&g, &mut graph), &tokens);
+        assert!(graph.stats().action_calls > 0);
+        assert!(graph.stats().goto_calls > 0);
+        let tables = LazyTables::new(&g, &mut graph);
+        assert!(tables.describe().contains("lazy IPG tables"));
+        assert_eq!(tables.grammar().num_active_rules(), 5);
+    }
+
+    #[test]
+    fn incremental_update_keeps_lazy_tables_consistent() {
+        // Parse, modify the grammar (Fig. 6.1: add `B ::= unknown`), parse a
+        // sentence using the new rule, and one using only old rules.
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::with_policy(&g, GcPolicy::RefCount);
+        let tokens_old = tokenize_names(&g, "true or false").unwrap();
+        {
+            let parser = GssParser::new(&g);
+            assert!(parser.recognize(&mut LazyTables::new(&g, &mut graph), &tokens_old));
+        }
+        let b = g.symbol("B").unwrap();
+        let unknown = g.terminal("unknown");
+        graph.add_rule(&mut g, b, vec![unknown]);
+        let parser = GssParser::new(&g);
+        let tokens_new = tokenize_names(&g, "unknown or true and unknown").unwrap();
+        assert!(parser.recognize(&mut LazyTables::new(&g, &mut graph), &tokens_new));
+        assert!(parser.recognize(&mut LazyTables::new(&g, &mut graph), &tokens_old));
+        assert!(graph.stats().modifications == 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of sync")]
+    fn out_of_sync_grammar_is_detected() {
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::new(&g);
+        let b = g.symbol("B").unwrap();
+        let u = g.terminal("unknown");
+        // Modifying the grammar behind the graph's back is a programming
+        // error caught by the debug assertion.
+        g.add_rule(b, vec![u]);
+        let _ = LazyTables::new(&g, &mut graph);
+    }
+}

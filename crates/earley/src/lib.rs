@@ -1,0 +1,328 @@
+//! # ipg-earley
+//!
+//! Earley's general context-free parsing algorithm \[Ear70\], one of the
+//! baselines the paper compares against (§2.1): it recognises the same
+//! class of grammars as IPG but has *no* generation phase at all, which
+//! makes it trivially flexible under grammar modification and — as the
+//! paper argues — too slow for interactive parsing of longer inputs. The
+//! benchmark harness uses this crate to put IPG's "flexible *and* fast"
+//! claim in context.
+//!
+//! The implementation is a classic chart parser with the standard
+//! predictor/scanner/completer operations plus Aycock & Horspool's fix for
+//! nullable non-terminals (the predictor also completes when the predicted
+//! non-terminal is nullable).
+//!
+//! ```
+//! use ipg_grammar::fixtures;
+//! use ipg_earley::EarleyParser;
+//! use ipg_lr::tokenize_names;
+//!
+//! let grammar = fixtures::booleans();
+//! let parser = EarleyParser::new(&grammar);
+//! let tokens = tokenize_names(&grammar, "true or false").unwrap();
+//! assert!(parser.recognize(&tokens));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+
+use ipg_grammar::{Grammar, GrammarAnalysis, RuleId, SymbolId};
+
+/// A dotted rule with an origin position — Earley's "dotted rules ...
+/// with the position in the input where the recognition of the rule
+/// started" (§2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EarleyItem {
+    /// The rule being recognised.
+    pub rule: RuleId,
+    /// How many right-hand-side symbols have been recognised.
+    pub dot: usize,
+    /// Input position where recognition of this rule started.
+    pub origin: usize,
+}
+
+/// Statistics of one Earley parse; the item count is the usual proxy for
+/// the algorithm's cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EarleyStats {
+    /// Total number of items over all chart sets.
+    pub items: usize,
+    /// Number of completer operations.
+    pub completions: usize,
+    /// Number of predictor operations.
+    pub predictions: usize,
+    /// Number of scanner operations.
+    pub scans: usize,
+}
+
+/// Earley's parser. Construction performs only the cheap nullability
+/// analysis; all other work happens per sentence, which is exactly the
+/// trade-off the paper contrasts with table-driven parsing.
+#[derive(Debug)]
+pub struct EarleyParser<'g> {
+    grammar: &'g Grammar,
+    nullable: HashSet<SymbolId>,
+}
+
+impl<'g> EarleyParser<'g> {
+    /// Creates a parser for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        let analysis = GrammarAnalysis::compute(grammar);
+        let nullable = grammar
+            .symbols()
+            .nonterminals()
+            .filter(|&nt| analysis.is_nullable(nt))
+            .collect();
+        EarleyParser { grammar, nullable }
+    }
+
+    /// Recognises `tokens` (terminal symbols, without the end-marker).
+    pub fn recognize(&self, tokens: &[SymbolId]) -> bool {
+        self.recognize_with_stats(tokens).0
+    }
+
+    /// Recognises `tokens` and reports chart statistics.
+    pub fn recognize_with_stats(&self, tokens: &[SymbolId]) -> (bool, EarleyStats) {
+        let n = tokens.len();
+        let mut stats = EarleyStats::default();
+        let mut chart: Vec<Vec<EarleyItem>> = vec![Vec::new(); n + 1];
+        let mut chart_index: Vec<HashSet<EarleyItem>> = vec![HashSet::new(); n + 1];
+
+        for rule in self.grammar.rules_for(self.grammar.start_symbol()) {
+            push_item(
+                &mut chart,
+                &mut chart_index,
+                0,
+                EarleyItem {
+                    rule: rule.id,
+                    dot: 0,
+                    origin: 0,
+                },
+                &mut stats,
+            );
+        }
+
+        for pos in 0..=n {
+            let mut i = 0;
+            while i < chart[pos].len() {
+                let item = chart[pos][i];
+                i += 1;
+                let rule = self.grammar.rule(item.rule);
+                match rule.rhs.get(item.dot).copied() {
+                    None => {
+                        // Completer: the rule is fully recognised; advance
+                        // every item in the origin set that was waiting for
+                        // this non-terminal.
+                        stats.completions += 1;
+                        let lhs = rule.lhs;
+                        let origin_len = chart[item.origin].len();
+                        for j in 0..origin_len {
+                            let waiting = chart[item.origin][j];
+                            let waiting_rule = self.grammar.rule(waiting.rule);
+                            if waiting_rule.rhs.get(waiting.dot).copied() == Some(lhs) {
+                                push_item(
+                                    &mut chart,
+                                    &mut chart_index,
+                                    pos,
+                                    EarleyItem {
+                                        rule: waiting.rule,
+                                        dot: waiting.dot + 1,
+                                        origin: waiting.origin,
+                                    },
+                                    &mut stats,
+                                );
+                            }
+                        }
+                    }
+                    Some(next) if self.grammar.is_nonterminal(next) => {
+                        // Predictor.
+                        stats.predictions += 1;
+                        for predicted in self.grammar.rules_for(next) {
+                            push_item(
+                                &mut chart,
+                                &mut chart_index,
+                                pos,
+                                EarleyItem {
+                                    rule: predicted.id,
+                                    dot: 0,
+                                    origin: pos,
+                                },
+                                &mut stats,
+                            );
+                        }
+                        // Aycock–Horspool: if the predicted non-terminal is
+                        // nullable, also advance over it immediately.
+                        if self.nullable.contains(&next) {
+                            push_item(
+                                &mut chart,
+                                &mut chart_index,
+                                pos,
+                                EarleyItem {
+                                    rule: item.rule,
+                                    dot: item.dot + 1,
+                                    origin: item.origin,
+                                },
+                                &mut stats,
+                            );
+                        }
+                    }
+                    Some(terminal) => {
+                        // Scanner.
+                        if pos < n && tokens[pos] == terminal {
+                            stats.scans += 1;
+                            push_item(
+                                &mut chart,
+                                &mut chart_index,
+                                pos + 1,
+                                EarleyItem {
+                                    rule: item.rule,
+                                    dot: item.dot + 1,
+                                    origin: item.origin,
+                                },
+                                &mut stats,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        let accepted = chart[n].iter().any(|item| {
+            let rule = self.grammar.rule(item.rule);
+            rule.lhs == self.grammar.start_symbol()
+                && item.dot == rule.rhs.len()
+                && item.origin == 0
+        });
+        (accepted, stats)
+    }
+
+    /// Number of chart items needed for `tokens`; a convenient cost proxy
+    /// for comparisons with the table-driven parsers.
+    pub fn chart_size(&self, tokens: &[SymbolId]) -> usize {
+        self.recognize_with_stats(tokens).1.items
+    }
+}
+
+fn push_item(
+    chart: &mut [Vec<EarleyItem>],
+    index: &mut [HashSet<EarleyItem>],
+    pos: usize,
+    item: EarleyItem,
+    stats: &mut EarleyStats,
+) {
+    if index[pos].insert(item) {
+        chart[pos].push(item);
+        stats.items += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+    use ipg_lr::tokenize_names;
+
+    #[test]
+    fn accepts_and_rejects_boolean_sentences() {
+        let g = fixtures::booleans();
+        let p = EarleyParser::new(&g);
+        for (s, expected) in [
+            ("true", true),
+            ("true or false and true", true),
+            ("", false),
+            ("true or", false),
+            ("or true", false),
+        ] {
+            let tokens = tokenize_names(&g, s).unwrap();
+            assert_eq!(p.recognize(&tokens), expected, "sentence `{s}`");
+        }
+    }
+
+    #[test]
+    fn handles_nullable_rules_and_palindromes() {
+        let g = fixtures::palindromes();
+        let p = EarleyParser::new(&g);
+        for (s, expected) in [
+            ("", true),
+            ("a", true),
+            ("a a", true),
+            ("a b a", true),
+            ("a b a b", false),
+        ] {
+            let tokens = tokenize_names(&g, s).unwrap();
+            assert_eq!(p.recognize(&tokens), expected, "sentence `{s}`");
+        }
+    }
+
+    #[test]
+    fn handles_left_and_right_recursion() {
+        let left = fixtures::left_recursive_list();
+        let right = fixtures::right_recursive_list();
+        for g in [&left, &right] {
+            let p = EarleyParser::new(g);
+            let ok = tokenize_names(g, "x , x , x , x").unwrap();
+            let bad = tokenize_names(g, "x , , x").unwrap();
+            assert!(p.recognize(&ok));
+            assert!(!p.recognize(&bad));
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_parallel_lr_parser() {
+        use ipg_glr::GssParser;
+        use ipg_lr::{Lr0Automaton, ParseTable};
+        let g = fixtures::ambiguous_expressions();
+        let earley = EarleyParser::new(&g);
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let glr = GssParser::new(&g);
+        for s in [
+            "id",
+            "id + id * id",
+            "( id + id ) * id",
+            "id + + id",
+            "( id",
+            "id )",
+        ] {
+            let tokens = tokenize_names(&g, s).unwrap();
+            assert_eq!(
+                earley.recognize(&tokens),
+                glr.recognize(&mut table, &tokens),
+                "sentence `{s}`"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_grow_with_input_length() {
+        let g = fixtures::booleans();
+        let p = EarleyParser::new(&g);
+        let short = p.chart_size(&tokenize_names(&g, "true").unwrap());
+        let long = p.chart_size(&tokenize_names(&g, "true or true and false or true").unwrap());
+        assert!(long > short);
+        let (ok, stats) = p.recognize_with_stats(&tokenize_names(&g, "true or true").unwrap());
+        assert!(ok);
+        assert!(stats.scans >= 3);
+        assert!(stats.completions > 0);
+        assert!(stats.predictions > 0);
+    }
+
+    #[test]
+    fn grammar_modification_needs_no_regeneration() {
+        // The whole point of the comparison: with Earley a grammar change
+        // has zero update cost — a new parser object is all that is needed,
+        // and no tables are thrown away (because there are none).
+        let mut g = fixtures::booleans();
+        let p = EarleyParser::new(&g);
+        let tokens = tokenize_names(&g, "true or false").unwrap();
+        assert!(p.recognize(&tokens));
+        drop(p);
+        let b = g.symbol("B").unwrap();
+        let unknown = g.terminal("unknown");
+        g.add_rule(b, vec![unknown]);
+        let p = EarleyParser::new(&g);
+        assert!(p.recognize(&tokenize_names(&g, "unknown and true").unwrap()));
+    }
+}

@@ -1,0 +1,425 @@
+//! Shared parse forests.
+//!
+//! The parallel parser may find several derivations for (parts of) the
+//! input when the grammar is ambiguous. Instead of materialising every
+//! parse tree, derivations are packed into a *shared forest*: one node per
+//! `(non-terminal, start, end)` span, carrying every rule application that
+//! derives that span. This is the "improved sharing of parse trees" the
+//! paper mentions it adopted after a suggestion of B. Lang.
+
+use std::collections::HashMap;
+
+use ipg_grammar::{Grammar, RuleId, SymbolId};
+use ipg_lr::ParseTree;
+
+/// Identifier of a non-terminal node in a [`Forest`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A child of a derivation: either an input token or another forest node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ForestRef {
+    /// A terminal leaf (token) at the given input position.
+    Leaf {
+        /// Terminal symbol.
+        symbol: SymbolId,
+        /// 0-based token index.
+        position: usize,
+    },
+    /// A shared non-terminal node.
+    Node(NodeId),
+}
+
+/// One way of deriving a forest node: a rule plus its children.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Derivation {
+    /// The rule that was reduced.
+    pub rule: RuleId,
+    /// Children, left to right; length equals the rule's right-hand side.
+    pub children: Vec<ForestRef>,
+}
+
+/// A non-terminal node: a `(symbol, start, end)` span with one or more
+/// packed derivations.
+#[derive(Clone, Debug)]
+pub struct ForestNode {
+    /// The non-terminal this node derives.
+    pub symbol: SymbolId,
+    /// Start token index (inclusive).
+    pub start: usize,
+    /// End token index (exclusive).
+    pub end: usize,
+    /// All known derivations of this span (≥ 1 once the node is used).
+    pub derivations: Vec<Derivation>,
+}
+
+/// A shared packed parse forest.
+#[derive(Clone, Debug, Default)]
+pub struct Forest {
+    nodes: Vec<ForestNode>,
+    index: HashMap<(SymbolId, usize, usize), NodeId>,
+    roots: Vec<NodeId>,
+}
+
+impl Forest {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds or creates the node for `(symbol, start, end)`.
+    pub fn node_for(&mut self, symbol: SymbolId, start: usize, end: usize) -> NodeId {
+        if let Some(&id) = self.index.get(&(symbol, start, end)) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(ForestNode {
+            symbol,
+            start,
+            end,
+            derivations: Vec::new(),
+        });
+        self.index.insert((symbol, start, end), id);
+        id
+    }
+
+    /// Adds a derivation to a node, packing duplicates away.
+    pub fn add_derivation(&mut self, node: NodeId, rule: RuleId, children: Vec<ForestRef>) {
+        let derivation = Derivation { rule, children };
+        let derivations = &mut self.nodes[node.index()].derivations;
+        if !derivations.contains(&derivation) {
+            derivations.push(derivation);
+        }
+    }
+
+    /// Marks a node as a root (a derivation of the whole sentence).
+    pub fn add_root(&mut self, node: NodeId) {
+        if !self.roots.contains(&node) {
+            self.roots.push(node);
+        }
+    }
+
+    /// The root nodes (derivations of the full input). Empty if the input
+    /// was rejected.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Returns a node.
+    pub fn node(&self, id: NodeId) -> &ForestNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of non-terminal nodes in the forest.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of packed derivations.
+    pub fn num_derivations(&self) -> usize {
+        self.nodes.iter().map(|n| n.derivations.len()).sum()
+    }
+
+    /// `true` if any node has more than one derivation (the sentence or a
+    /// part of it is ambiguous).
+    pub fn is_ambiguous(&self) -> bool {
+        self.roots.len() > 1 || self.nodes.iter().any(|n| n.derivations.len() > 1)
+    }
+
+    /// Counts the number of distinct parse trees of the whole sentence,
+    /// saturating at `limit` (ambiguity can be exponential). Cyclic
+    /// derivations (possible with cyclic grammars) also saturate.
+    pub fn tree_count(&self, limit: usize) -> usize {
+        let mut memo: HashMap<NodeId, usize> = HashMap::new();
+        let mut in_progress = vec![false; self.nodes.len()];
+        let mut total = 0usize;
+        for &root in &self.roots {
+            total = total.saturating_add(self.count_node(root, limit, &mut memo, &mut in_progress));
+            if total >= limit {
+                return limit;
+            }
+        }
+        total.min(limit)
+    }
+
+    fn count_node(
+        &self,
+        id: NodeId,
+        limit: usize,
+        memo: &mut HashMap<NodeId, usize>,
+        in_progress: &mut [bool],
+    ) -> usize {
+        if let Some(&c) = memo.get(&id) {
+            return c;
+        }
+        if in_progress[id.index()] {
+            // Cycle: infinitely many trees; saturate.
+            return limit;
+        }
+        in_progress[id.index()] = true;
+        let mut count = 0usize;
+        for derivation in &self.nodes[id.index()].derivations {
+            let mut per_derivation = 1usize;
+            for child in &derivation.children {
+                if let ForestRef::Node(n) = child {
+                    per_derivation = per_derivation
+                        .saturating_mul(self.count_node(*n, limit, memo, in_progress));
+                    if per_derivation >= limit {
+                        per_derivation = limit;
+                        break;
+                    }
+                }
+            }
+            count = count.saturating_add(per_derivation);
+            if count >= limit {
+                count = limit;
+                break;
+            }
+        }
+        in_progress[id.index()] = false;
+        memo.insert(id, count);
+        count
+    }
+
+    /// Extracts one parse tree (the first derivation everywhere). Returns
+    /// `None` if the forest has no root.
+    pub fn first_tree(&self) -> Option<ParseTree> {
+        let &root = self.roots.first()?;
+        Some(self.build_tree(root, &mut 0))
+    }
+
+    fn build_tree(&self, id: NodeId, depth_guard: &mut usize) -> ParseTree {
+        *depth_guard += 1;
+        let node = &self.nodes[id.index()];
+        let derivation = node
+            .derivations
+            .first()
+            .expect("forest nodes reachable from a root always have a derivation");
+        ParseTree::Node {
+            rule: derivation.rule,
+            children: derivation
+                .children
+                .iter()
+                .map(|c| match c {
+                    ForestRef::Leaf { symbol, position } => ParseTree::Leaf {
+                        symbol: *symbol,
+                        position: *position,
+                    },
+                    ForestRef::Node(n) => self.build_tree(*n, depth_guard),
+                })
+                .collect(),
+        }
+    }
+
+    /// Enumerates up to `limit` complete parse trees of the sentence.
+    pub fn trees(&self, limit: usize) -> Vec<ParseTree> {
+        let mut out = Vec::new();
+        for &root in &self.roots {
+            self.enumerate(root, limit, &mut out, &mut Vec::new());
+            if out.len() >= limit {
+                break;
+            }
+        }
+        out.truncate(limit);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        id: NodeId,
+        limit: usize,
+        out: &mut Vec<ParseTree>,
+        visiting: &mut Vec<NodeId>,
+    ) {
+        let trees = self.trees_of_node(id, limit, visiting);
+        out.extend(trees);
+    }
+
+    fn trees_of_node(&self, id: NodeId, limit: usize, visiting: &mut Vec<NodeId>) -> Vec<ParseTree> {
+        if visiting.contains(&id) {
+            // Break cycles: a cyclic derivation contributes no finite tree.
+            return Vec::new();
+        }
+        visiting.push(id);
+        let node = &self.nodes[id.index()];
+        let mut results = Vec::new();
+        'derivations: for derivation in &node.derivations {
+            // Cartesian product of children alternatives, bounded by limit.
+            let mut partials: Vec<Vec<ParseTree>> = vec![Vec::new()];
+            for child in &derivation.children {
+                let child_trees = match child {
+                    ForestRef::Leaf { symbol, position } => vec![ParseTree::Leaf {
+                        symbol: *symbol,
+                        position: *position,
+                    }],
+                    ForestRef::Node(n) => self.trees_of_node(*n, limit, visiting),
+                };
+                if child_trees.is_empty() && matches!(child, ForestRef::Node(_)) {
+                    continue 'derivations;
+                }
+                let mut next = Vec::new();
+                for prefix in &partials {
+                    for t in &child_trees {
+                        let mut p = prefix.clone();
+                        p.push(t.clone());
+                        next.push(p);
+                        if next.len() >= limit {
+                            break;
+                        }
+                    }
+                    if next.len() >= limit {
+                        break;
+                    }
+                }
+                partials = next;
+            }
+            for children in partials {
+                results.push(ParseTree::Node {
+                    rule: derivation.rule,
+                    children,
+                });
+                if results.len() >= limit {
+                    break;
+                }
+            }
+            if results.len() >= limit {
+                break;
+            }
+        }
+        visiting.pop();
+        results
+    }
+
+    /// Renders a summary of the forest (node count, root count, ambiguity).
+    pub fn summary(&self, grammar: &Grammar) -> String {
+        format!(
+            "forest: {} nodes, {} derivations, {} root(s), ambiguous: {}, root symbol(s): {}",
+            self.num_nodes(),
+            self.num_derivations(),
+            self.roots.len(),
+            self.is_ambiguous(),
+            self.roots
+                .iter()
+                .map(|&r| grammar.name(self.node(r).symbol).to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    use ipg_grammar::Grammar;
+
+    /// Builds by hand the forest for `true or false` (unambiguous).
+    fn simple_forest() -> (Grammar, Forest) {
+        let g = fixtures::booleans();
+        let b = g.symbol("B").unwrap();
+        let t = g.symbol("true").unwrap();
+        let f = g.symbol("false").unwrap();
+        let or = g.symbol("or").unwrap();
+        let r_true = g.find_rule(b, &[t]).unwrap();
+        let r_false = g.find_rule(b, &[f]).unwrap();
+        let r_or = g.find_rule(b, &[b, or, b]).unwrap();
+
+        let mut forest = Forest::new();
+        let n_true = forest.node_for(b, 0, 1);
+        forest.add_derivation(n_true, r_true, vec![ForestRef::Leaf { symbol: t, position: 0 }]);
+        let n_false = forest.node_for(b, 2, 3);
+        forest.add_derivation(n_false, r_false, vec![ForestRef::Leaf { symbol: f, position: 2 }]);
+        let n_root = forest.node_for(b, 0, 3);
+        forest.add_derivation(
+            n_root,
+            r_or,
+            vec![
+                ForestRef::Node(n_true),
+                ForestRef::Leaf { symbol: or, position: 1 },
+                ForestRef::Node(n_false),
+            ],
+        );
+        forest.add_root(n_root);
+        (g, forest)
+    }
+
+    #[test]
+    fn node_sharing_by_span() {
+        let (g, mut forest) = simple_forest();
+        let b = g.symbol("B").unwrap();
+        let again = forest.node_for(b, 0, 1);
+        assert_eq!(forest.num_nodes(), 3);
+        assert_eq!(forest.node(again).start, 0);
+    }
+
+    #[test]
+    fn unambiguous_forest_counts_one_tree() {
+        let (_, forest) = simple_forest();
+        assert!(!forest.is_ambiguous());
+        assert_eq!(forest.tree_count(100), 1);
+        assert_eq!(forest.trees(10).len(), 1);
+    }
+
+    #[test]
+    fn first_tree_matches_expected_shape() {
+        let (g, forest) = simple_forest();
+        let tree = forest.first_tree().unwrap();
+        assert_eq!(tree.to_sexpr(&g), "(B (B true) or (B false))");
+        assert_eq!(tree.leaf_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_derivations_are_packed() {
+        let (g, mut forest) = simple_forest();
+        let b = g.symbol("B").unwrap();
+        let t = g.symbol("true").unwrap();
+        let r_true = g.find_rule(b, &[t]).unwrap();
+        let n = forest.node_for(b, 0, 1);
+        let before = forest.num_derivations();
+        forest.add_derivation(n, r_true, vec![ForestRef::Leaf { symbol: t, position: 0 }]);
+        assert_eq!(forest.num_derivations(), before);
+    }
+
+    #[test]
+    fn ambiguity_is_detected_and_counted() {
+        // Two derivations of the root span -> 2 trees.
+        let (g, mut forest) = simple_forest();
+        let b = g.symbol("B").unwrap();
+        let and = g.symbol("and").unwrap();
+        let r_and = g.find_rule(b, &[b, and, b]).unwrap();
+        let n_true = forest.node_for(b, 0, 1);
+        let n_false = forest.node_for(b, 2, 3);
+        let root = forest.node_for(b, 0, 3);
+        forest.add_derivation(
+            root,
+            r_and,
+            vec![
+                ForestRef::Node(n_true),
+                ForestRef::Leaf { symbol: and, position: 1 },
+                ForestRef::Node(n_false),
+            ],
+        );
+        assert!(forest.is_ambiguous());
+        assert_eq!(forest.tree_count(100), 2);
+        assert_eq!(forest.trees(100).len(), 2);
+        assert_eq!(forest.trees(1).len(), 1, "enumeration respects the limit");
+        let summary = forest.summary(&g);
+        assert!(summary.contains("ambiguous: true"));
+    }
+
+    #[test]
+    fn empty_forest_has_no_trees() {
+        let forest = Forest::new();
+        assert!(forest.first_tree().is_none());
+        assert_eq!(forest.tree_count(10), 0);
+        assert!(forest.trees(10).is_empty());
+        assert!(!forest.is_ambiguous());
+    }
+}

@@ -1,0 +1,508 @@
+//! A Tomita-style parser over a *graph-structured stack* (GSS).
+//!
+//! The paper's `PAR-PARSE` (see [`crate::pool`]) copies whole parsers; this
+//! module is the optimised formulation Tomita/Rekers actually use for real
+//! workloads: parse stacks of all parallel parsers are merged into a graph,
+//! reductions are applied path-wise, and every reduction records its
+//! derivation in a shared [`Forest`]. The observable language is the same;
+//! the ablation benchmark compares the two.
+
+use std::collections::HashMap;
+
+use ipg_grammar::{Grammar, RuleId, SymbolId};
+use ipg_lr::{Action, ParserTables, StateId};
+
+use crate::forest::{Forest, ForestRef};
+
+/// Statistics about one GSS parse, used by tests and the ablation bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GssStats {
+    /// Number of GSS nodes created.
+    pub nodes: usize,
+    /// Number of GSS edges created.
+    pub edges: usize,
+    /// Number of reductions performed (paths reduced).
+    pub reductions: usize,
+    /// Number of shift actions performed.
+    pub shifts: usize,
+}
+
+/// The result of a GSS parse: acceptance flag, shared forest and stats.
+#[derive(Clone, Debug)]
+pub struct GssParseResult {
+    /// Whether the input is a sentence of the language.
+    pub accepted: bool,
+    /// The shared parse forest; `roots()` is empty iff the input was
+    /// rejected.
+    pub forest: Forest,
+    /// Work counters.
+    pub stats: GssStats,
+}
+
+#[derive(Clone, Debug)]
+struct GssNode {
+    state: StateId,
+    level: usize,
+    /// Edges to predecessor nodes, labelled with the forest slice that the
+    /// edge spans.
+    edges: Vec<GssEdge>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct GssEdge {
+    target: usize,
+    label: ForestRef,
+}
+
+/// A pending reduction: reduce `rule` from `node`, optionally restricted to
+/// paths whose first edge is `via` (used when a new edge is added to an
+/// already-processed node, Farshi's correction to Tomita's algorithm).
+#[derive(Clone, Copy, Debug)]
+struct PendingReduction {
+    node: usize,
+    rule: RuleId,
+    via: Option<GssEdge>,
+}
+
+/// The graph-structured-stack parser.
+#[derive(Debug)]
+pub struct GssParser<'g> {
+    grammar: &'g Grammar,
+}
+
+impl<'g> GssParser<'g> {
+    /// Creates a parser for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        GssParser { grammar }
+    }
+
+    /// Recognises `tokens` without building the parse forest (reductions
+    /// still traverse the same graph-structured stack, but no forest nodes
+    /// or packed derivations are allocated).
+    pub fn recognize(&self, tables: &mut dyn ParserTables, tokens: &[SymbolId]) -> bool {
+        self.run(tables, tokens, false).accepted
+    }
+
+    /// Parses `tokens`, producing the shared forest of all derivations.
+    pub fn parse(&self, tables: &mut dyn ParserTables, tokens: &[SymbolId]) -> GssParseResult {
+        self.run(tables, tokens, true)
+    }
+
+    fn run(
+        &self,
+        tables: &mut dyn ParserTables,
+        tokens: &[SymbolId],
+        build_forest: bool,
+    ) -> GssParseResult {
+        let eof = self.grammar.eof_symbol();
+        let mut forest = Forest::new();
+        let mut stats = GssStats::default();
+        let mut accepted = false;
+
+        let mut nodes: Vec<GssNode> = Vec::new();
+        // Frontier: state -> node index, for the current input position.
+        let mut frontier: HashMap<StateId, usize> = HashMap::new();
+        let start_node = push_node(&mut nodes, &mut stats, tables.start_state(), 0);
+        frontier.insert(tables.start_state(), start_node);
+        // Nodes in which an accept action was seen; their root edges are
+        // collected at the very end, after all reductions have added edges.
+        let mut accepting_nodes: Vec<usize> = Vec::new();
+
+        let n = tokens.len();
+        for pos in 0..=n {
+            let symbol = tokens.get(pos).copied().unwrap_or(eof);
+            debug_assert!(self.grammar.is_terminal(symbol));
+
+            // --- Reducer -------------------------------------------------
+            let mut pending: Vec<PendingReduction> = Vec::new();
+            for (&state, &node) in frontier.iter() {
+                for action in tables.actions(state, symbol) {
+                    match action {
+                        Action::Reduce(rule) => pending.push(PendingReduction {
+                            node,
+                            rule,
+                            via: None,
+                        }),
+                        Action::Accept => {
+                            if symbol == eof {
+                                accepted = true;
+                                accepting_nodes.push(node);
+                            }
+                        }
+                        Action::Shift(_) => {}
+                    }
+                }
+            }
+
+            while let Some(reduction) = pending.pop() {
+                let rule = self.grammar.rule(reduction.rule);
+                let arity = rule.rhs.len();
+                if arity == 0 && reduction.via.is_some() {
+                    // Epsilon reductions do not traverse edges; they were
+                    // already handled when the node was created.
+                    continue;
+                }
+                let paths = find_paths(&nodes, reduction.node, arity, reduction.via);
+                for path in paths {
+                    stats.reductions += 1;
+                    let target = path.end;
+                    let start_level = nodes[target].level;
+                    let Some(goto_state) = tables.goto(nodes[target].state, rule.lhs) else {
+                        continue;
+                    };
+                    let label = if build_forest {
+                        let children: Vec<ForestRef> =
+                            path.labels.iter().rev().copied().collect();
+                        let forest_node = forest.node_for(rule.lhs, start_level, pos);
+                        forest.add_derivation(forest_node, reduction.rule, children);
+                        ForestRef::Node(forest_node)
+                    } else {
+                        // Recognition only: a cheap placeholder label that
+                        // still distinguishes edges by the non-terminal and
+                        // span they cover (needed for edge de-duplication).
+                        ForestRef::Leaf {
+                            symbol: rule.lhs,
+                            position: start_level,
+                        }
+                    };
+
+                    if let Some(&existing) = frontier.get(&goto_state) {
+                        let edge = GssEdge { target, label };
+                        if !nodes[existing].edges.contains(&edge) {
+                            nodes[existing].edges.push(edge);
+                            stats.edges += 1;
+                            // Re-run the reductions of the existing node,
+                            // restricted to paths through the new edge.
+                            for action in tables.actions(goto_state, symbol) {
+                                if let Action::Reduce(r) = action {
+                                    pending.push(PendingReduction {
+                                        node: existing,
+                                        rule: r,
+                                        via: Some(edge),
+                                    });
+                                }
+                            }
+                        }
+                    } else {
+                        let new_node = push_node(&mut nodes, &mut stats, goto_state, pos);
+                        nodes[new_node].edges.push(GssEdge { target, label });
+                        stats.edges += 1;
+                        frontier.insert(goto_state, new_node);
+                        for action in tables.actions(goto_state, symbol) {
+                            match action {
+                                Action::Reduce(r) => pending.push(PendingReduction {
+                                    node: new_node,
+                                    rule: r,
+                                    via: None,
+                                }),
+                                Action::Accept => {
+                                    if symbol == eof {
+                                        accepted = true;
+                                        accepting_nodes.push(new_node);
+                                    }
+                                }
+                                Action::Shift(_) => {}
+                            }
+                        }
+                    }
+                }
+            }
+
+            // On the last position (the end-marker) there is nothing to
+            // shift; acceptance has been decided above.
+            if pos == n {
+                break;
+            }
+
+            // --- Shifter -------------------------------------------------
+            let mut next_frontier: HashMap<StateId, usize> = HashMap::new();
+            let leaf = ForestRef::Leaf {
+                symbol,
+                position: pos,
+            };
+            for (&state, &node) in frontier.iter() {
+                for action in tables.actions(state, symbol) {
+                    if let Action::Shift(next_state) = action {
+                        stats.shifts += 1;
+                        let target_node = match next_frontier.get(&next_state) {
+                            Some(&existing) => existing,
+                            None => {
+                                let created =
+                                    push_node(&mut nodes, &mut stats, next_state, pos + 1);
+                                next_frontier.insert(next_state, created);
+                                created
+                            }
+                        };
+                        let edge = GssEdge {
+                            target: node,
+                            label: leaf,
+                        };
+                        if !nodes[target_node].edges.contains(&edge) {
+                            nodes[target_node].edges.push(edge);
+                            stats.edges += 1;
+                        }
+                    }
+                }
+            }
+            if next_frontier.is_empty() {
+                // Every parallel parser died: the input is rejected. (The
+                // accept flag can only have been set on the end-marker.)
+                break;
+            }
+            frontier = next_frontier;
+        }
+
+        if build_forest {
+            for &node in &accepting_nodes {
+                record_roots(&nodes, node, start_node, &mut forest);
+            }
+        }
+
+        GssParseResult {
+            accepted,
+            forest,
+            stats,
+        }
+    }
+}
+
+fn push_node(nodes: &mut Vec<GssNode>, stats: &mut GssStats, state: StateId, level: usize) -> usize {
+    nodes.push(GssNode {
+        state,
+        level,
+        edges: Vec::new(),
+    });
+    stats.nodes += 1;
+    nodes.len() - 1
+}
+
+/// When an accepting state is reached, every edge from it back to the start
+/// node spans the whole input and carries a root of the forest.
+fn record_roots(nodes: &[GssNode], accepting: usize, start_node: usize, forest: &mut Forest) {
+    for edge in &nodes[accepting].edges {
+        if edge.target == start_node {
+            if let ForestRef::Node(f) = edge.label {
+                forest.add_root(f);
+            }
+        }
+    }
+}
+
+struct ReductionPath {
+    /// Node at the far end of the path (the state to consult GOTO in).
+    end: usize,
+    /// Edge labels along the path, from the reducing node outwards
+    /// (i.e. rightmost child first).
+    labels: Vec<ForestRef>,
+}
+
+/// Enumerates all paths of exactly `length` edges starting at `from`,
+/// optionally forced to use `via` as the first edge.
+fn find_paths(
+    nodes: &[GssNode],
+    from: usize,
+    length: usize,
+    via: Option<GssEdge>,
+) -> Vec<ReductionPath> {
+    let mut result = Vec::new();
+    if length == 0 {
+        result.push(ReductionPath {
+            end: from,
+            labels: Vec::new(),
+        });
+        return result;
+    }
+    // Depth-first enumeration of paths.
+    let mut stack: Vec<(usize, usize, Vec<ForestRef>)> = Vec::new();
+    let first_edges: Vec<GssEdge> = match via {
+        Some(edge) => vec![edge],
+        None => nodes[from].edges.clone(),
+    };
+    for edge in first_edges {
+        stack.push((edge.target, 1, vec![edge.label]));
+    }
+    while let Some((node, depth, labels)) = stack.pop() {
+        if depth == length {
+            result.push(ReductionPath {
+                end: node,
+                labels,
+            });
+            continue;
+        }
+        for edge in &nodes[node].edges {
+            let mut next_labels = labels.clone();
+            next_labels.push(edge.label);
+            stack.push((edge.target, depth + 1, next_labels));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+    use ipg_lr::{tokenize_names, Lr0Automaton, ParseTable};
+
+    fn lr0_table(g: &Grammar) -> ParseTable {
+        ParseTable::lr0(&Lr0Automaton::build(g), g)
+    }
+
+    #[test]
+    fn accepts_and_rejects_boolean_sentences() {
+        let g = fixtures::booleans();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        for (sentence, expected) in [
+            ("true", true),
+            ("true or false", true),
+            ("true and false or true", true),
+            ("", false),
+            ("or true", false),
+            ("true true", false),
+        ] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert_eq!(
+                parser.recognize(&mut table, &tokens),
+                expected,
+                "sentence `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn unambiguous_sentence_yields_single_tree() {
+        let g = fixtures::booleans();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let tokens = tokenize_names(&g, "true or false").unwrap();
+        let result = parser.parse(&mut table, &tokens);
+        assert!(result.accepted);
+        assert_eq!(result.forest.tree_count(100), 1);
+        let tree = result.forest.first_tree().unwrap();
+        assert_eq!(tree.to_sexpr(&g), "(B (B true) or (B false))");
+    }
+
+    #[test]
+    fn ambiguous_sentence_packs_multiple_trees() {
+        // `true or true or true` has exactly 2 parses (left- or
+        // right-nested `or`).
+        let g = fixtures::booleans();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let tokens = tokenize_names(&g, "true or true or true").unwrap();
+        let result = parser.parse(&mut table, &tokens);
+        assert!(result.accepted);
+        assert!(result.forest.is_ambiguous());
+        assert_eq!(result.forest.tree_count(100), 2);
+        let trees = result.forest.trees(10);
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            assert_eq!(t.leaf_count(), 5);
+        }
+    }
+
+    #[test]
+    fn ambiguity_grows_with_catalan_numbers() {
+        // n operators => Catalan(n) parses: 1, 2, 5, 14 ...
+        let g = fixtures::ambiguous_expressions();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        for (ops, expected) in [(1usize, 1usize), (2, 2), (3, 5), (4, 14)] {
+            let mut sentence = String::from("id");
+            for _ in 0..ops {
+                sentence.push_str(" + id");
+            }
+            let tokens = tokenize_names(&g, &sentence).unwrap();
+            let result = parser.parse(&mut table, &tokens);
+            assert!(result.accepted);
+            assert_eq!(
+                result.forest.tree_count(1000),
+                expected,
+                "number of parses of `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn palindrome_grammar_with_epsilon_rules() {
+        let g = fixtures::palindromes();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        for (sentence, expected) in [
+            ("", true),
+            ("a", true),
+            ("a b a", true),
+            ("a b b a", true),
+            ("a b", false),
+        ] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert_eq!(
+                parser.recognize(&mut table, &tokens),
+                expected,
+                "sentence `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn gss_and_pool_agree() {
+        let g = fixtures::booleans();
+        let mut table = lr0_table(&g);
+        let gss = GssParser::new(&g);
+        let pool = crate::pool::PoolGlrParser::new(&g);
+        for sentence in [
+            "true",
+            "true or false and true or true",
+            "true and and",
+            "false or",
+            "true or true and true or false",
+        ] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert_eq!(
+                gss.recognize(&mut table, &tokens),
+                pool.recognize(&mut table, &tokens).unwrap(),
+                "sentence `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_fringe_matches_input() {
+        let g = fixtures::ambiguous_expressions();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let tokens = tokenize_names(&g, "id + id * id").unwrap();
+        let result = parser.parse(&mut table, &tokens);
+        for tree in result.forest.trees(100) {
+            assert_eq!(tree.fringe(), tokens);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = fixtures::booleans();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let tokens = tokenize_names(&g, "true or true or true").unwrap();
+        let result = parser.parse(&mut table, &tokens);
+        assert!(result.stats.nodes > 0);
+        assert!(result.stats.edges >= result.stats.nodes - 1);
+        assert!(result.stats.shifts >= tokens.len());
+        assert!(result.stats.reductions > 0);
+    }
+
+    #[test]
+    fn rejected_input_produces_empty_forest() {
+        let g = fixtures::booleans();
+        let mut table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let tokens = tokenize_names(&g, "true or").unwrap();
+        let result = parser.parse(&mut table, &tokens);
+        assert!(!result.accepted);
+        assert!(result.forest.roots().is_empty());
+        assert!(result.forest.first_tree().is_none());
+    }
+
+    use ipg_grammar::Grammar;
+}

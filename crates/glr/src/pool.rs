@@ -1,0 +1,378 @@
+//! The paper's `PAR-PARSE` (§3.2): a pool of simple LR parsers running in
+//! pseudo-parallel, synchronised on shift actions.
+//!
+//! This implementation follows the paper closely:
+//!
+//! * two pools, `this_sweep` and `next_sweep`;
+//! * for every action returned by `ACTION(state, symbol)` the parser is
+//!   *copied* and the action performed on the copy;
+//! * "the implementation of the copy operation for parsers is such that the
+//!   parse stacks become different objects which share the states on them"
+//!   — the stack is a persistent (`Rc`-linked) list, so copying a parser is
+//!   O(1) and the common prefix is shared;
+//! * the input is accepted if at least one simple parser accepts it.
+//!
+//! Like the paper's version it is a *recogniser* (no parse trees); the
+//! graph-structured-stack parser in [`crate::gss`] builds shared forests.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+use ipg_grammar::{Grammar, SymbolId};
+use ipg_lr::{Action, ParserTables, StateId};
+
+/// A persistent stack of states; `copy` shares the nodes below the top.
+#[derive(Clone, Debug)]
+struct Stack {
+    top: StateId,
+    below: Option<Rc<Stack>>,
+    depth: usize,
+}
+
+impl Stack {
+    fn new(state: StateId) -> Rc<Self> {
+        Rc::new(Stack {
+            top: state,
+            below: None,
+            depth: 1,
+        })
+    }
+
+    fn push(self: &Rc<Self>, state: StateId) -> Rc<Self> {
+        Rc::new(Stack {
+            top: state,
+            below: Some(Rc::clone(self)),
+            depth: self.depth + 1,
+        })
+    }
+
+    fn pop_n(self: &Rc<Self>, n: usize) -> Option<Rc<Self>> {
+        let mut current = Rc::clone(self);
+        for _ in 0..n {
+            current = Rc::clone(current.below.as_ref()?);
+        }
+        Some(current)
+    }
+
+    /// A content fingerprint used to de-duplicate identical parsers within a
+    /// sweep (Tomita's algorithm merges such parsers; the paper's simple
+    /// pool formulation would otherwise do duplicate work or, for cyclic
+    /// reduce chains, loop).
+    fn fingerprint(&self) -> Vec<StateId> {
+        let mut states = Vec::with_capacity(self.depth);
+        let mut current = Some(self);
+        while let Some(stack) = current {
+            states.push(stack.top);
+            current = stack.below.as_deref();
+        }
+        states
+    }
+}
+
+/// One simple LR parser of the pool: just a parse stack, as in the paper's
+/// `LRparser` object.
+#[derive(Clone, Debug)]
+struct PoolParser {
+    stack: Rc<Stack>,
+}
+
+/// Statistics gathered during a [`PoolGlrParser`] run; used by the
+/// ablation benchmarks and by tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of input symbols processed (including the end-marker).
+    pub symbols: usize,
+    /// Total number of parser copies made.
+    pub copies: usize,
+    /// Maximum number of parsers alive in a single sweep.
+    pub max_parsers: usize,
+    /// Total number of reduce actions performed.
+    pub reduces: usize,
+    /// Total number of shift actions performed.
+    pub shifts: usize,
+}
+
+/// Errors reported by the pool parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// The number of parser steps within one sweep exceeded the safety
+    /// bound, which indicates a cyclic grammar (e.g. `A ::= A`) whose
+    /// reduce chains never terminate.
+    Diverged {
+        /// Input position at which the bound was hit.
+        position: usize,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Diverged { position } => write!(
+                f,
+                "parser pool diverged at input position {position} (cyclic reduce chain?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// The (pseudo-)parallel LR parser of §3.2, operating over any
+/// [`ParserTables`] implementation.
+#[derive(Debug)]
+pub struct PoolGlrParser<'g> {
+    grammar: &'g Grammar,
+    /// Safety bound on parser actions per sweep, as a multiple of the
+    /// number of active rules (0 disables the bound).
+    sweep_bound_factor: usize,
+}
+
+impl<'g> PoolGlrParser<'g> {
+    /// Creates a parser for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        PoolGlrParser {
+            grammar,
+            sweep_bound_factor: 64,
+        }
+    }
+
+    /// Overrides the per-sweep divergence bound factor (for tests).
+    pub fn with_sweep_bound_factor(mut self, factor: usize) -> Self {
+        self.sweep_bound_factor = factor;
+        self
+    }
+
+    /// Recognises `tokens`. Returns whether at least one of the parallel
+    /// simple parsers accepted the input.
+    pub fn recognize(
+        &self,
+        tables: &mut dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<bool, PoolError> {
+        self.recognize_with_stats(tables, tokens).map(|(ok, _)| ok)
+    }
+
+    /// Recognises `tokens` and reports pool statistics.
+    pub fn recognize_with_stats(
+        &self,
+        tables: &mut dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<(bool, PoolStats), PoolError> {
+        let eof = self.grammar.eof_symbol();
+        let mut stats = PoolStats::default();
+        let mut accepted = false;
+
+        let start_parser = PoolParser {
+            stack: Stack::new(tables.start_state()),
+        };
+        let mut next_sweep = vec![start_parser];
+        let mut pos = 0usize;
+        // Bound on the amount of work per sweep; proportional to the number
+        // of live parsers times the grammar size.
+        let per_sweep_bound = |live: usize, rules: usize, factor: usize| -> usize {
+            if factor == 0 {
+                usize::MAX
+            } else {
+                factor * rules.max(1) * live.max(1)
+            }
+        };
+
+        while !next_sweep.is_empty() {
+            let symbol = tokens.get(pos).copied().unwrap_or(eof);
+            pos += 1;
+            stats.symbols += 1;
+
+            let mut this_sweep = std::mem::take(&mut next_sweep);
+            stats.max_parsers = stats.max_parsers.max(this_sweep.len());
+            let bound = per_sweep_bound(
+                this_sweep.len(),
+                self.grammar.num_active_rules(),
+                self.sweep_bound_factor,
+            );
+            let mut steps = 0usize;
+
+            // De-duplication of stacks within the two pools: identical
+            // parsers would behave identically from here on.
+            let mut seen_this: HashSet<Vec<StateId>> = this_sweep
+                .iter()
+                .map(|p| p.stack.fingerprint())
+                .collect();
+            let mut seen_next: HashSet<Vec<StateId>> = HashSet::new();
+
+            while let Some(parser) = this_sweep.pop() {
+                steps += 1;
+                if steps > bound {
+                    return Err(PoolError::Diverged { position: pos - 1 });
+                }
+                let state = parser.stack.top;
+                let actions = tables.actions(state, symbol);
+                for action in actions {
+                    // The paper copies the parser for every action.
+                    let copy = parser.clone();
+                    stats.copies += 1;
+                    match action {
+                        Action::Shift(next) => {
+                            stats.shifts += 1;
+                            let moved = PoolParser {
+                                stack: copy.stack.push(next),
+                            };
+                            if seen_next.insert(moved.stack.fingerprint()) {
+                                next_sweep.push(moved);
+                            }
+                        }
+                        Action::Reduce(rule_id) => {
+                            stats.reduces += 1;
+                            let rule = self.grammar.rule(rule_id);
+                            let Some(below) = copy.stack.pop_n(rule.rhs.len()) else {
+                                // Stack underflow can only happen with
+                                // inconsistent tables; treat as a dead parser.
+                                continue;
+                            };
+                            let Some(target) = tables.goto(below.top, rule.lhs) else {
+                                continue;
+                            };
+                            let moved = PoolParser {
+                                stack: below.push(target),
+                            };
+                            if seen_this.insert(moved.stack.fingerprint()) {
+                                this_sweep.push(moved);
+                            }
+                        }
+                        Action::Accept => {
+                            accepted = true;
+                        }
+                    }
+                }
+                // When there are no actions the parser just disappears
+                // (the error case of the paper).
+            }
+            stats.max_parsers = stats.max_parsers.max(next_sweep.len());
+        }
+        Ok((accepted, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::{fixtures, parse_bnf};
+    use ipg_lr::{tokenize_names, Lr0Automaton, ParseTable};
+
+    fn booleans_table() -> (ipg_grammar::Grammar, ParseTable) {
+        let g = fixtures::booleans();
+        let t = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        (g, t)
+    }
+
+    #[test]
+    fn accepts_the_papers_example_sentences() {
+        let (g, mut table) = booleans_table();
+        let parser = PoolGlrParser::new(&g);
+        for sentence in ["true", "false", "true or false", "true and true", "true or false and true"] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert!(
+                parser.recognize(&mut table, &tokens).unwrap(),
+                "should accept `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_ungrammatical_sentences() {
+        let (g, mut table) = booleans_table();
+        let parser = PoolGlrParser::new(&g);
+        for sentence in ["or", "true or", "true false", "and and", ""] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert!(
+                !parser.recognize(&mut table, &tokens).unwrap(),
+                "should reject `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn ambiguous_sentences_split_the_parser() {
+        let (g, mut table) = booleans_table();
+        let parser = PoolGlrParser::new(&g);
+        let tokens = tokenize_names(&g, "true or true or true").unwrap();
+        let (ok, stats) = parser.recognize_with_stats(&mut table, &tokens).unwrap();
+        assert!(ok);
+        assert!(stats.max_parsers > 1, "the parser must have split: {stats:?}");
+        assert!(stats.copies > stats.shifts);
+    }
+
+    #[test]
+    fn handles_the_palindrome_grammar() {
+        // Not LR(k) for any k; the pool parser still recognises it.
+        let g = fixtures::palindromes();
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let parser = PoolGlrParser::new(&g);
+        for (sentence, expected) in [
+            ("a b a", true),
+            ("a b b a", true),
+            ("a a a", true),
+            ("", true),
+            ("a b", false),
+            ("b a a", false),
+        ] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert_eq!(
+                parser.recognize(&mut table, &tokens).unwrap(),
+                expected,
+                "sentence `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_deterministic_parser_on_slr_grammar() {
+        let g = fixtures::arithmetic();
+        let mut table = ParseTable::slr1(&Lr0Automaton::build(&g), &g);
+        let pool = PoolGlrParser::new(&g);
+        let det = ipg_lr::LrParser::new(&g);
+        for sentence in ["id", "id + id * num", "( id + num )", "id +", "* id"] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            let expected = det.recognize(&mut table, &tokens).unwrap();
+            assert_eq!(
+                pool.recognize(&mut table, &tokens).unwrap(),
+                expected,
+                "sentence `{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_grammar_reports_divergence() {
+        // A ::= A | a — the reduce A ::= A loops forever in a naive pool;
+        // de-duplication stops it, so this must *not* diverge.
+        let g = parse_bnf(
+            r#"
+            A ::= A
+            A ::= "a"
+            START ::= A
+            "#,
+        )
+        .unwrap();
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let parser = PoolGlrParser::new(&g);
+        let tokens = tokenize_names(&g, "a").unwrap();
+        assert!(parser.recognize(&mut table, &tokens).unwrap());
+    }
+
+    #[test]
+    fn stats_count_symbols_including_eof() {
+        let (g, mut table) = booleans_table();
+        let parser = PoolGlrParser::new(&g);
+        let tokens = tokenize_names(&g, "true and false").unwrap();
+        let (_, stats) = parser.recognize_with_stats(&mut table, &tokens).unwrap();
+        assert_eq!(stats.symbols, tokens.len() + 1);
+        assert!(stats.shifts >= tokens.len());
+    }
+
+    #[test]
+    fn error_type_displays() {
+        let e = PoolError::Diverged { position: 4 };
+        assert!(e.to_string().contains("position 4"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Static grammar analysis: nullability, FIRST/FOLLOW sets, reachability
+//! and productivity.
+//!
+//! The lazy LR(0) generator itself needs none of this (that is precisely
+//! why the paper chose LR(0)), but the baselines do: SLR(1)/LALR(1) table
+//! construction needs FOLLOW/FIRST, the LL(1) baseline needs FIRST/FOLLOW,
+//! and Earley benefits from nullability pre-computation. Useless-symbol
+//! detection is also used to lint grammars in the interactive session.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::grammar::Grammar;
+use crate::rule::RuleId;
+use crate::symbol::SymbolId;
+
+/// The result of analysing a snapshot of a [`Grammar`].
+///
+/// The analysis is *not* incremental: it is recomputed from the current set
+/// of active rules when requested. It records the grammar version it was
+/// computed for so callers can detect staleness.
+#[derive(Clone, Debug)]
+pub struct GrammarAnalysis {
+    version: u64,
+    nullable: HashSet<SymbolId>,
+    first: HashMap<SymbolId, BTreeSet<SymbolId>>,
+    follow: HashMap<SymbolId, BTreeSet<SymbolId>>,
+    reachable: HashSet<SymbolId>,
+    productive: HashSet<SymbolId>,
+}
+
+impl GrammarAnalysis {
+    /// Computes nullability, FIRST, FOLLOW, reachability and productivity
+    /// for the active rules of `grammar`.
+    pub fn compute(grammar: &Grammar) -> Self {
+        let nullable = compute_nullable(grammar);
+        let first = compute_first(grammar, &nullable);
+        let follow = compute_follow(grammar, &nullable, &first);
+        let reachable = compute_reachable(grammar);
+        let productive = compute_productive(grammar);
+        GrammarAnalysis {
+            version: grammar.version(),
+            nullable,
+            first,
+            follow,
+            reachable,
+            productive,
+        }
+    }
+
+    /// The grammar version this analysis was computed for.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Is the symbol nullable (derives the empty string)? Terminals never
+    /// are.
+    pub fn is_nullable(&self, s: SymbolId) -> bool {
+        self.nullable.contains(&s)
+    }
+
+    /// Can the whole sequence derive the empty string?
+    pub fn sequence_nullable(&self, seq: &[SymbolId]) -> bool {
+        seq.iter().all(|s| self.is_nullable(*s))
+    }
+
+    /// FIRST set of a single symbol. For a terminal this is the singleton
+    /// containing the terminal itself.
+    pub fn first(&self, s: SymbolId) -> BTreeSet<SymbolId> {
+        self.first.get(&s).cloned().unwrap_or_default()
+    }
+
+    /// FIRST set of a sequence of symbols (does not include the empty
+    /// string; use [`GrammarAnalysis::sequence_nullable`] for that).
+    pub fn first_of_sequence(&self, seq: &[SymbolId]) -> BTreeSet<SymbolId> {
+        let mut out = BTreeSet::new();
+        for &s in seq {
+            out.extend(self.first(s).iter().copied());
+            if !self.is_nullable(s) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// FOLLOW set of a non-terminal. The end-marker `$` is in the FOLLOW
+    /// set of the start symbol.
+    pub fn follow(&self, s: SymbolId) -> BTreeSet<SymbolId> {
+        self.follow.get(&s).cloned().unwrap_or_default()
+    }
+
+    /// Is the symbol reachable from the start symbol?
+    pub fn is_reachable(&self, s: SymbolId) -> bool {
+        self.reachable.contains(&s)
+    }
+
+    /// Is the symbol productive (derives at least one terminal string)?
+    /// Terminals are productive by definition.
+    pub fn is_productive(&self, s: SymbolId) -> bool {
+        self.productive.contains(&s)
+    }
+
+    /// Rules that can never participate in a derivation of a sentence:
+    /// their left-hand side is unreachable or some right-hand-side symbol is
+    /// unproductive.
+    pub fn useless_rules(&self, grammar: &Grammar) -> Vec<RuleId> {
+        grammar
+            .rules()
+            .filter(|r| {
+                !self.is_reachable(r.lhs) || r.rhs.iter().any(|s| !self.is_productive(*s))
+            })
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+fn compute_nullable(grammar: &Grammar) -> HashSet<SymbolId> {
+    let mut nullable = HashSet::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in grammar.rules() {
+            if nullable.contains(&rule.lhs) {
+                continue;
+            }
+            if rule.rhs.iter().all(|s| nullable.contains(s)) {
+                nullable.insert(rule.lhs);
+                changed = true;
+            }
+        }
+    }
+    nullable
+}
+
+fn compute_first(
+    grammar: &Grammar,
+    nullable: &HashSet<SymbolId>,
+) -> HashMap<SymbolId, BTreeSet<SymbolId>> {
+    let mut first: HashMap<SymbolId, BTreeSet<SymbolId>> = HashMap::new();
+    for (id, sym) in grammar.symbols().iter() {
+        if sym.kind.is_terminal() {
+            first.entry(id).or_default().insert(id);
+        } else {
+            first.entry(id).or_default();
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in grammar.rules() {
+            let mut addition = BTreeSet::new();
+            for &s in &rule.rhs {
+                addition.extend(first.get(&s).into_iter().flatten().copied());
+                if !nullable.contains(&s) {
+                    break;
+                }
+            }
+            let entry = first.entry(rule.lhs).or_default();
+            let before = entry.len();
+            entry.extend(addition);
+            if entry.len() != before {
+                changed = true;
+            }
+        }
+    }
+    first
+}
+
+fn compute_follow(
+    grammar: &Grammar,
+    nullable: &HashSet<SymbolId>,
+    first: &HashMap<SymbolId, BTreeSet<SymbolId>>,
+) -> HashMap<SymbolId, BTreeSet<SymbolId>> {
+    let mut follow: HashMap<SymbolId, BTreeSet<SymbolId>> = HashMap::new();
+    follow
+        .entry(grammar.start_symbol())
+        .or_default()
+        .insert(grammar.eof_symbol());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in grammar.rules() {
+            // Walk the rhs from left to right, tracking what can follow each
+            // non-terminal occurrence.
+            for (i, &s) in rule.rhs.iter().enumerate() {
+                if !grammar.is_nonterminal(s) {
+                    continue;
+                }
+                let rest = &rule.rhs[i + 1..];
+                let mut addition: BTreeSet<SymbolId> = BTreeSet::new();
+                let mut rest_nullable = true;
+                for &t in rest {
+                    addition.extend(first.get(&t).into_iter().flatten().copied());
+                    if !nullable.contains(&t) {
+                        rest_nullable = false;
+                        break;
+                    }
+                }
+                if rest_nullable {
+                    addition.extend(follow.get(&rule.lhs).into_iter().flatten().copied());
+                }
+                let entry = follow.entry(s).or_default();
+                let before = entry.len();
+                entry.extend(addition);
+                if entry.len() != before {
+                    changed = true;
+                }
+            }
+        }
+    }
+    follow
+}
+
+fn compute_reachable(grammar: &Grammar) -> HashSet<SymbolId> {
+    let mut reachable = HashSet::new();
+    let mut stack = vec![grammar.start_symbol()];
+    reachable.insert(grammar.start_symbol());
+    while let Some(s) = stack.pop() {
+        for rule in grammar.rules_for(s) {
+            for &t in &rule.rhs {
+                if reachable.insert(t) && grammar.is_nonterminal(t) {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    reachable
+}
+
+fn compute_productive(grammar: &Grammar) -> HashSet<SymbolId> {
+    let mut productive: HashSet<SymbolId> =
+        grammar.symbols().terminals().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for rule in grammar.rules() {
+            if productive.contains(&rule.lhs) {
+                continue;
+            }
+            if rule.rhs.iter().all(|s| productive.contains(s)) {
+                productive.insert(rule.lhs);
+                changed = true;
+            }
+        }
+    }
+    productive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn booleans_first_sets() {
+        let g = fixtures::booleans();
+        let a = GrammarAnalysis::compute(&g);
+        let b = g.symbol("B").unwrap();
+        let t = g.symbol("true").unwrap();
+        let f = g.symbol("false").unwrap();
+        let first_b = a.first(b);
+        assert!(first_b.contains(&t));
+        assert!(first_b.contains(&f));
+        assert_eq!(first_b.len(), 2);
+        assert_eq!(a.first(t), [t].into_iter().collect());
+    }
+
+    #[test]
+    fn booleans_follow_sets() {
+        let g = fixtures::booleans();
+        let a = GrammarAnalysis::compute(&g);
+        let b = g.symbol("B").unwrap();
+        let follow_b = a.follow(b);
+        assert!(follow_b.contains(&g.symbol("or").unwrap()));
+        assert!(follow_b.contains(&g.symbol("and").unwrap()));
+        assert!(follow_b.contains(&g.eof_symbol()));
+    }
+
+    #[test]
+    fn nothing_nullable_in_booleans() {
+        let g = fixtures::booleans();
+        let a = GrammarAnalysis::compute(&g);
+        let b = g.symbol("B").unwrap();
+        assert!(!a.is_nullable(b));
+        assert!(!a.is_nullable(g.symbol("true").unwrap()));
+    }
+
+    #[test]
+    fn nullable_and_first_with_epsilon_rules() {
+        // S ::= A b ; A ::= <empty> | a
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        let a = g.nonterminal("A");
+        let ta = g.terminal("a");
+        let tb = g.terminal("b");
+        g.add_rule(s, vec![a, tb]);
+        g.add_rule(a, vec![]);
+        g.add_rule(a, vec![ta]);
+        g.add_start_rule(s);
+        let an = GrammarAnalysis::compute(&g);
+        assert!(an.is_nullable(a));
+        assert!(!an.is_nullable(s));
+        let first_s = an.first(s);
+        assert!(first_s.contains(&ta));
+        assert!(first_s.contains(&tb));
+        assert!(an.follow(a).contains(&tb));
+        assert!(an.sequence_nullable(&[a]));
+        assert!(!an.sequence_nullable(&[a, s]));
+    }
+
+    #[test]
+    fn first_of_sequence_respects_nullability() {
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        let a = g.nonterminal("A");
+        let ta = g.terminal("a");
+        let tb = g.terminal("b");
+        g.add_rule(a, vec![]);
+        g.add_rule(a, vec![ta]);
+        g.add_rule(s, vec![a, tb]);
+        g.add_start_rule(s);
+        let an = GrammarAnalysis::compute(&g);
+        let seq_first = an.first_of_sequence(&[a, tb]);
+        assert!(seq_first.contains(&ta));
+        assert!(seq_first.contains(&tb));
+        let only_a = an.first_of_sequence(&[ta]);
+        assert_eq!(only_a, [ta].into_iter().collect());
+    }
+
+    #[test]
+    fn unreachable_and_unproductive_rules_are_useless() {
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        let dead = g.nonterminal("DEAD");
+        let looping = g.nonterminal("LOOP");
+        let ta = g.terminal("a");
+        g.add_rule(s, vec![ta]);
+        g.add_rule(dead, vec![ta]); // unreachable
+        g.add_rule(s, vec![looping]); // unproductive rhs
+        g.add_rule(looping, vec![looping]); // never terminates
+        g.add_start_rule(s);
+        let an = GrammarAnalysis::compute(&g);
+        assert!(!an.is_reachable(dead));
+        assert!(an.is_productive(dead));
+        assert!(!an.is_productive(looping));
+        let useless = an.useless_rules(&g);
+        assert_eq!(useless.len(), 3);
+    }
+
+    #[test]
+    fn analysis_records_grammar_version() {
+        let mut g = fixtures::booleans();
+        let a = GrammarAnalysis::compute(&g);
+        assert_eq!(a.version(), g.version());
+        let b = g.symbol("B").unwrap();
+        let unk = g.terminal("unknown");
+        g.add_rule(b, vec![unk]);
+        assert_ne!(a.version(), g.version());
+    }
+}

@@ -1,0 +1,286 @@
+//! A small textual BNF notation for writing grammars in tests, examples and
+//! fixtures.
+//!
+//! The notation is line based:
+//!
+//! ```text
+//! // comment
+//! B ::= "true"
+//! B ::= "false"
+//! B ::= B "or" B
+//! B ::= B "and" B
+//! START ::= B
+//! A ::=            // epsilon rule: empty right-hand side
+//! ```
+//!
+//! * the left-hand side is a bare identifier and becomes a non-terminal;
+//! * quoted strings are terminals;
+//! * bare identifiers on the right-hand side are non-terminals if they occur
+//!   as a left-hand side anywhere in the text, terminals otherwise;
+//! * `|` separates alternatives within one line;
+//! * `//` and `--` start a comment that runs to the end of the line.
+
+use std::fmt;
+
+use crate::grammar::Grammar;
+
+/// Error produced while parsing the textual BNF notation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BnfError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for BnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BnfError {}
+
+/// Parses the textual BNF notation into a [`Grammar`].
+///
+/// ```
+/// let g = ipg_grammar::parse_bnf(r#"
+///     B ::= "true" | "false" | B "or" B | B "and" B
+///     START ::= B
+/// "#).unwrap();
+/// assert_eq!(g.num_active_rules(), 5);
+/// ```
+pub fn parse_bnf(text: &str) -> Result<Grammar, BnfError> {
+    let lines: Vec<(usize, String)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, strip_comment(l).trim().to_owned()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    // First pass: collect left-hand sides so bare identifiers can be
+    // classified as terminals or non-terminals.
+    let mut lhs_names = Vec::new();
+    for (lineno, line) in &lines {
+        let (lhs, _) = split_rule(line, *lineno)?;
+        lhs_names.push(lhs.to_owned());
+    }
+
+    let mut grammar = Grammar::new();
+    for (lineno, line) in &lines {
+        let (lhs, rhs_text) = split_rule(line, *lineno)?;
+        let lhs_id = grammar.nonterminal(lhs);
+        for alternative in split_alternatives(rhs_text) {
+            let mut rhs = Vec::new();
+            for token in tokenize(&alternative, *lineno)? {
+                let id = match token {
+                    BnfToken::Literal(name) => grammar.terminal(&name),
+                    BnfToken::Ident(name) => {
+                        if lhs_names.iter().any(|l| l == &name) {
+                            grammar.nonterminal(&name)
+                        } else {
+                            grammar.terminal(&name)
+                        }
+                    }
+                };
+                rhs.push(id);
+            }
+            grammar.add_rule(lhs_id, rhs);
+        }
+    }
+    Ok(grammar)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find("//")
+        .into_iter()
+        .chain(line.find("--"))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn split_rule(line: &str, lineno: usize) -> Result<(&str, &str), BnfError> {
+    let Some((lhs, rhs)) = line.split_once("::=") else {
+        return Err(BnfError {
+            line: lineno,
+            message: format!("expected `LHS ::= RHS`, got `{line}`"),
+        });
+    };
+    let lhs = lhs.trim();
+    if lhs.is_empty() || !lhs.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-') {
+        return Err(BnfError {
+            line: lineno,
+            message: format!("invalid left-hand side `{lhs}`"),
+        });
+    }
+    Ok((lhs, rhs))
+}
+
+fn split_alternatives(rhs: &str) -> Vec<String> {
+    // Split on `|` that is not inside a quoted literal.
+    let mut alternatives = Vec::new();
+    let mut current = String::new();
+    let mut in_quote = false;
+    for c in rhs.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                current.push(c);
+            }
+            '|' if !in_quote => {
+                alternatives.push(current.trim().to_owned());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    alternatives.push(current.trim().to_owned());
+    alternatives
+}
+
+enum BnfToken {
+    Literal(String),
+    Ident(String),
+}
+
+fn tokenize(alternative: &str, lineno: usize) -> Result<Vec<BnfToken>, BnfError> {
+    let mut tokens = Vec::new();
+    let mut chars = alternative.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut lit = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(ch) => lit.push(ch),
+                    None => {
+                        return Err(BnfError {
+                            line: lineno,
+                            message: "unterminated string literal".to_owned(),
+                        })
+                    }
+                }
+            }
+            tokens.push(BnfToken::Literal(lit));
+        } else if c.is_alphanumeric() || c == '_' || c == '-' || c == '\'' {
+            let mut ident = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_alphanumeric() || ch == '_' || ch == '-' || ch == '\'' {
+                    ident.push(ch);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(BnfToken::Ident(ident));
+        } else {
+            return Err(BnfError {
+                line: lineno,
+                message: format!("unexpected character `{c}`"),
+            });
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_boolean_grammar() {
+        let g = parse_bnf(
+            r#"
+            // the grammar of the Booleans from Fig. 4.1(a)
+            B ::= "true"
+            B ::= "false"
+            B ::= B "or" B
+            B ::= B "and" B
+            START ::= B
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.num_active_rules(), 5);
+        assert!(g.validate().is_ok());
+        assert!(g.is_terminal(g.symbol("or").unwrap()));
+        assert!(g.is_nonterminal(g.symbol("B").unwrap()));
+    }
+
+    #[test]
+    fn alternatives_expand_to_separate_rules() {
+        let g = parse_bnf(
+            r#"
+            B ::= "true" | "false" | B "or" B
+            START ::= B
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.num_active_rules(), 4);
+    }
+
+    #[test]
+    fn bare_idents_without_lhs_become_terminals() {
+        let g = parse_bnf(
+            r#"
+            E ::= E plus E | id
+            START ::= E
+            "#,
+        )
+        .unwrap();
+        assert!(g.is_terminal(g.symbol("plus").unwrap()));
+        assert!(g.is_terminal(g.symbol("id").unwrap()));
+        assert!(g.is_nonterminal(g.symbol("E").unwrap()));
+    }
+
+    #[test]
+    fn empty_alternative_gives_epsilon_rule() {
+        let g = parse_bnf(
+            r#"
+            A ::=
+            S ::= A b
+            START ::= S
+            "#,
+        )
+        .unwrap();
+        let a = g.symbol("A").unwrap();
+        assert!(g.rules_for(a).any(|r| r.rhs.is_empty()));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let g = parse_bnf(
+            r#"
+            -- SDF style comment
+            S ::= a  // trailing
+            START ::= S
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.num_active_rules(), 2);
+    }
+
+    #[test]
+    fn missing_arrow_is_an_error() {
+        let err = parse_bnf("S = a").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("::="));
+    }
+
+    #[test]
+    fn unterminated_literal_is_an_error() {
+        let err = parse_bnf("S ::= \"abc").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = parse_bnf("S ::= a + b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # ipg-grammar
+//!
+//! Context-free grammar representation for the IPG reproduction
+//! (*Incremental Generation of Parsers*, Heering, Klint & Rekers).
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * interned [`SymbolId`]s and a [`SymbolTable`] ([`symbol`]),
+//! * productions with stable [`RuleId`]s ([`rule`]),
+//! * a *modifiable* [`Grammar`] whose rules can be added and removed one at
+//!   a time, exactly as the paper's `ADD-RULE` / `DELETE-RULE` require
+//!   ([`grammar`]),
+//! * nullability / FIRST / FOLLOW / reachability analysis used by the
+//!   LALR(1), SLR(1), LL(1) and Earley baselines ([`analysis`]),
+//! * a small textual BNF notation for fixtures and tests ([`bnf`]),
+//! * modular grammar composition in the spirit of SDF modules
+//!   ([`modules`]), and
+//! * the grammars that appear in the paper ([`fixtures`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ipg_grammar::{parse_bnf, GrammarAnalysis};
+//!
+//! let grammar = parse_bnf(r#"
+//!     B ::= "true" | "false" | B "or" B | B "and" B
+//!     START ::= B
+//! "#).unwrap();
+//! grammar.validate().unwrap();
+//!
+//! let analysis = GrammarAnalysis::compute(&grammar);
+//! let b = grammar.symbol("B").unwrap();
+//! assert_eq!(analysis.first(b).len(), 2); // { true, false }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod bnf;
+pub mod fixtures;
+pub mod grammar;
+pub mod modules;
+pub mod rule;
+pub mod symbol;
+
+pub use analysis::GrammarAnalysis;
+pub use bnf::{parse_bnf, BnfError};
+pub use grammar::{Grammar, GrammarError, EOF_NAME, START_NAME};
+pub use modules::{ComposeError, GrammarModule, ModuleSet, NamedRule, NamedSymbol, Visibility};
+pub use rule::{Associativity, Rule, RuleId};
+pub use symbol::{Symbol, SymbolId, SymbolKind, SymbolTable};

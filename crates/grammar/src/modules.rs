@@ -1,0 +1,391 @@
+//! Modular grammar composition.
+//!
+//! The paper's motivation (§1) is languages with user-defined syntax where
+//! "each import of a module extends the syntax of the importing module with
+//! the (visible) syntax of the imported module" (LITHE, OBJ, ASF/SDF). This
+//! module provides that substrate: named grammar modules with imports and
+//! hidden/visible rule sets, and a `compose` operation that flattens a
+//! module graph into a single [`Grammar`]. The incremental generator can
+//! then be fed rule-by-rule deltas when a module is added to or removed
+//! from an import graph.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::grammar::Grammar;
+use crate::rule::Associativity;
+
+/// Visibility of a rule inside a module.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Visibility {
+    /// Exported to importing modules (the default).
+    #[default]
+    Visible,
+    /// Only available within the defining module.
+    Hidden,
+}
+
+/// A rule written with symbol *names* rather than interned ids, so modules
+/// can be authored independently of a concrete [`Grammar`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NamedRule {
+    /// Left-hand side non-terminal name.
+    pub lhs: String,
+    /// Right-hand side element names (see [`NamedSymbol`]).
+    pub rhs: Vec<NamedSymbol>,
+    /// Visibility towards importing modules.
+    pub visibility: Visibility,
+    /// Optional constructor label.
+    pub label: Option<String>,
+    /// Associativity attribute.
+    pub assoc: Associativity,
+}
+
+/// A right-hand-side element of a [`NamedRule`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NamedSymbol {
+    /// A terminal (literal keyword or token sort).
+    Terminal(String),
+    /// A non-terminal (sort).
+    NonTerminal(String),
+}
+
+impl NamedSymbol {
+    /// Shorthand constructor for a terminal.
+    pub fn t(name: &str) -> Self {
+        NamedSymbol::Terminal(name.to_owned())
+    }
+
+    /// Shorthand constructor for a non-terminal.
+    pub fn nt(name: &str) -> Self {
+        NamedSymbol::NonTerminal(name.to_owned())
+    }
+}
+
+/// A named collection of rules plus the names of the modules it imports.
+#[derive(Clone, Debug, Default)]
+pub struct GrammarModule {
+    /// Module name (e.g. `"Booleans"`).
+    pub name: String,
+    /// Names of imported modules.
+    pub imports: Vec<String>,
+    /// Rules defined by this module.
+    pub rules: Vec<NamedRule>,
+    /// Optional start sort; the start sort of the *root* module of a
+    /// composition becomes `START ::= sort`.
+    pub start_sort: Option<String>,
+}
+
+impl GrammarModule {
+    /// Creates an empty module.
+    pub fn new(name: &str) -> Self {
+        GrammarModule {
+            name: name.to_owned(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds an import.
+    pub fn import(mut self, name: &str) -> Self {
+        self.imports.push(name.to_owned());
+        self
+    }
+
+    /// Declares the start sort.
+    pub fn start(mut self, sort: &str) -> Self {
+        self.start_sort = Some(sort.to_owned());
+        self
+    }
+
+    /// Adds a visible rule.
+    pub fn rule(mut self, lhs: &str, rhs: Vec<NamedSymbol>) -> Self {
+        self.rules.push(NamedRule {
+            lhs: lhs.to_owned(),
+            rhs,
+            visibility: Visibility::Visible,
+            label: None,
+            assoc: Associativity::None,
+        });
+        self
+    }
+
+    /// Adds a hidden rule.
+    pub fn hidden_rule(mut self, lhs: &str, rhs: Vec<NamedSymbol>) -> Self {
+        self.rules.push(NamedRule {
+            lhs: lhs.to_owned(),
+            rhs,
+            visibility: Visibility::Hidden,
+            label: None,
+            assoc: Associativity::None,
+        });
+        self
+    }
+}
+
+/// Errors produced by [`ModuleSet::compose`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComposeError {
+    /// An import names a module that is not in the set.
+    UnknownModule {
+        /// The module whose import list contains the unknown name.
+        importer: String,
+        /// The name that could not be resolved.
+        imported: String,
+    },
+    /// The import graph contains a cycle through the named module.
+    ImportCycle(String),
+    /// The root module does not declare a start sort.
+    MissingStartSort(String),
+    /// The requested root module is not in the set.
+    UnknownRoot(String),
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::UnknownModule { importer, imported } => {
+                write!(f, "module `{importer}` imports unknown module `{imported}`")
+            }
+            ComposeError::ImportCycle(m) => write!(f, "import cycle through module `{m}`"),
+            ComposeError::MissingStartSort(m) => {
+                write!(f, "root module `{m}` does not declare a start sort")
+            }
+            ComposeError::UnknownRoot(m) => write!(f, "unknown root module `{m}`"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// A set of modules that can be composed into a flat grammar.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleSet {
+    modules: HashMap<String, GrammarModule>,
+}
+
+impl ModuleSet {
+    /// Creates an empty module set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a module.
+    pub fn add(&mut self, module: GrammarModule) {
+        self.modules.insert(module.name.clone(), module);
+    }
+
+    /// Looks up a module by name.
+    pub fn get(&self, name: &str) -> Option<&GrammarModule> {
+        self.modules.get(name)
+    }
+
+    /// Number of modules in the set.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Returns `true` if the set contains no modules.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Flattens the import closure of `root` into a single [`Grammar`].
+    ///
+    /// Rules of the root module are always included; rules of imported
+    /// modules are included only if they are [`Visibility::Visible`].
+    /// Imports are transitive. The root's start sort becomes the grammar's
+    /// `START` production.
+    pub fn compose(&self, root: &str) -> Result<Grammar, ComposeError> {
+        let root_module = self
+            .modules
+            .get(root)
+            .ok_or_else(|| ComposeError::UnknownRoot(root.to_owned()))?;
+        let start_sort = root_module
+            .start_sort
+            .clone()
+            .ok_or_else(|| ComposeError::MissingStartSort(root.to_owned()))?;
+
+        // Depth-first traversal of the import graph with cycle detection.
+        let mut order = Vec::new();
+        let mut visiting = HashSet::new();
+        let mut visited = HashSet::new();
+        self.visit(root, &mut visiting, &mut visited, &mut order)?;
+
+        let mut grammar = Grammar::new();
+        for module_name in &order {
+            let module = &self.modules[module_name];
+            let is_root = module_name == root;
+            for rule in &module.rules {
+                if !is_root && rule.visibility == Visibility::Hidden {
+                    continue;
+                }
+                let lhs = grammar.nonterminal(&rule.lhs);
+                let rhs = rule
+                    .rhs
+                    .iter()
+                    .map(|s| match s {
+                        NamedSymbol::Terminal(n) => grammar.terminal(n),
+                        NamedSymbol::NonTerminal(n) => grammar.nonterminal(n),
+                    })
+                    .collect();
+                grammar.add_rule_with(lhs, rhs, rule.label.clone(), rule.assoc, 0);
+            }
+        }
+        let start_nt = grammar.nonterminal(&start_sort);
+        grammar.add_start_rule(start_nt);
+        Ok(grammar)
+    }
+
+    fn visit(
+        &self,
+        name: &str,
+        visiting: &mut HashSet<String>,
+        visited: &mut HashSet<String>,
+        order: &mut Vec<String>,
+    ) -> Result<(), ComposeError> {
+        if visited.contains(name) {
+            return Ok(());
+        }
+        if !visiting.insert(name.to_owned()) {
+            return Err(ComposeError::ImportCycle(name.to_owned()));
+        }
+        let module = self.modules.get(name).ok_or_else(|| {
+            // Reported with the importer unknown here; callers of `visit`
+            // always have a parent except for the root, which is checked in
+            // `compose`.
+            ComposeError::UnknownModule {
+                importer: String::from("?"),
+                imported: name.to_owned(),
+            }
+        })?;
+        for import in &module.imports {
+            if !self.modules.contains_key(import) {
+                return Err(ComposeError::UnknownModule {
+                    importer: name.to_owned(),
+                    imported: import.clone(),
+                });
+            }
+            self.visit(import, visiting, visited, order)?;
+        }
+        visiting.remove(name);
+        visited.insert(name.to_owned());
+        order.push(name.to_owned());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use NamedSymbol as S;
+
+    fn booleans_module() -> GrammarModule {
+        GrammarModule::new("Booleans")
+            .start("B")
+            .rule("B", vec![S::t("true")])
+            .rule("B", vec![S::t("false")])
+            .rule("B", vec![S::nt("B"), S::t("or"), S::nt("B")])
+            .rule("B", vec![S::nt("B"), S::t("and"), S::nt("B")])
+    }
+
+    #[test]
+    fn compose_single_module() {
+        let mut set = ModuleSet::new();
+        set.add(booleans_module());
+        let g = set.compose("Booleans").unwrap();
+        assert_eq!(g.num_active_rules(), 5);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn imports_extend_the_syntax() {
+        let mut set = ModuleSet::new();
+        set.add(booleans_module());
+        set.add(
+            GrammarModule::new("Conditionals")
+                .import("Booleans")
+                .start("E")
+                .rule("E", vec![S::t("if"), S::nt("B"), S::t("then"), S::nt("E"), S::t("else"), S::nt("E")])
+                .rule("E", vec![S::nt("B")]),
+        );
+        let g = set.compose("Conditionals").unwrap();
+        // 4 boolean rules + 2 conditional rules + START
+        assert_eq!(g.num_active_rules(), 7);
+        assert!(g.symbol("if").is_some());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn hidden_rules_are_not_exported() {
+        let mut set = ModuleSet::new();
+        set.add(
+            GrammarModule::new("Lib")
+                .start("X")
+                .rule("X", vec![S::t("x")])
+                .hidden_rule("X", vec![S::t("secret")]),
+        );
+        set.add(
+            GrammarModule::new("App")
+                .import("Lib")
+                .start("X")
+                .rule("X", vec![S::t("app")]),
+        );
+        let g = set.compose("App").unwrap();
+        assert!(g.symbol("secret").is_none());
+        // Hidden rules of the root itself are kept.
+        let g2 = set.compose("Lib").unwrap();
+        assert!(g2.symbol("secret").is_some());
+    }
+
+    #[test]
+    fn transitive_imports_are_flattened() {
+        let mut set = ModuleSet::new();
+        set.add(GrammarModule::new("A").start("A").rule("A", vec![S::t("a")]));
+        set.add(GrammarModule::new("B").import("A").start("B").rule("B", vec![S::nt("A"), S::t("b")]));
+        set.add(GrammarModule::new("C").import("B").start("B").rule("B", vec![S::t("c")]));
+        let g = set.compose("C").unwrap();
+        assert!(g.symbol("a").is_some());
+        assert_eq!(g.num_active_rules(), 4);
+    }
+
+    #[test]
+    fn unknown_import_is_reported() {
+        let mut set = ModuleSet::new();
+        set.add(GrammarModule::new("A").import("Nope").start("A").rule("A", vec![S::t("a")]));
+        match set.compose("A") {
+            Err(ComposeError::UnknownModule { importer, imported }) => {
+                assert_eq!(importer, "A");
+                assert_eq!(imported, "Nope");
+            }
+            other => panic!("expected UnknownModule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn import_cycle_is_reported() {
+        let mut set = ModuleSet::new();
+        set.add(GrammarModule::new("A").import("B").start("A").rule("A", vec![S::t("a")]));
+        set.add(GrammarModule::new("B").import("A").rule("B", vec![S::t("b")]));
+        assert!(matches!(set.compose("A"), Err(ComposeError::ImportCycle(_))));
+    }
+
+    #[test]
+    fn missing_start_sort_is_reported() {
+        let mut set = ModuleSet::new();
+        set.add(GrammarModule::new("A").rule("A", vec![S::t("a")]));
+        assert_eq!(
+            set.compose("A").unwrap_err(),
+            ComposeError::MissingStartSort("A".to_owned())
+        );
+    }
+
+    #[test]
+    fn unknown_root_is_reported() {
+        let set = ModuleSet::new();
+        assert_eq!(
+            set.compose("A").unwrap_err(),
+            ComposeError::UnknownRoot("A".to_owned())
+        );
+        assert!(set.is_empty());
+    }
+}

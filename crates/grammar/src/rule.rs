@@ -1,0 +1,161 @@
+//! Grammar rules (productions).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::symbol::{SymbolId, SymbolTable};
+
+/// A stable identifier for a rule within one [`crate::Grammar`].
+///
+/// Rule ids are never reused: a deleted rule keeps its id (so that item-set
+/// kernels referring to it remain comparable across grammar modifications),
+/// and re-adding a textually identical rule re-activates the original id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RuleId(pub(crate) u32);
+
+impl RuleId {
+    /// Returns the raw index of this rule inside its grammar.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `RuleId` from a raw index previously obtained from
+    /// [`RuleId::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        RuleId(index as u32)
+    }
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule#{}", self.0)
+    }
+}
+
+/// Associativity attribute of a rule, as declared in SDF-style attribute
+/// lists (`{left-assoc}` etc.). The LR generators use it to resolve
+/// shift/reduce conflicts the same way Yacc does; the GLR parser ignores it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Associativity {
+    /// No associativity declared.
+    #[default]
+    None,
+    /// Left associative: prefer reduce over shift of the same operator.
+    Left,
+    /// Right associative: prefer shift over reduce of the same operator.
+    Right,
+    /// Non-associative: both shift and reduce are errors.
+    NonAssoc,
+}
+
+/// A context-free production `lhs ::= rhs[0] rhs[1] ...`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Rule {
+    /// Stable identity of the rule within its grammar.
+    pub id: RuleId,
+    /// Left-hand side non-terminal.
+    pub lhs: SymbolId,
+    /// Right-hand side symbols; empty for an epsilon rule.
+    pub rhs: Vec<SymbolId>,
+    /// Optional constructor/label name (SDF function name, semantic tag).
+    pub label: Option<String>,
+    /// Declared associativity (used only by conflict resolution).
+    pub assoc: Associativity,
+    /// Declared precedence level; higher binds tighter. `0` means undeclared.
+    pub precedence: u32,
+}
+
+impl Rule {
+    /// Number of symbols on the right-hand side.
+    pub fn len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Returns `true` for an epsilon production.
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// Renders the rule as `A ::= x y z` using `symbols` for names.
+    pub fn display<'a>(&'a self, symbols: &'a SymbolTable) -> RuleDisplay<'a> {
+        RuleDisplay { rule: self, symbols }
+    }
+}
+
+/// Helper returned by [`Rule::display`].
+pub struct RuleDisplay<'a> {
+    rule: &'a Rule,
+    symbols: &'a SymbolTable,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ::=", self.symbols.name(self.rule.lhs))?;
+        if self.rule.rhs.is_empty() {
+            write!(f, " <empty>")?;
+        }
+        for &s in &self.rule.rhs {
+            write!(f, " {}", self.symbols.name(s))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolKind;
+
+    fn sample() -> (SymbolTable, Rule) {
+        let mut t = SymbolTable::new();
+        let b = t.intern("B", SymbolKind::NonTerminal);
+        let or = t.intern("or", SymbolKind::Terminal);
+        let rule = Rule {
+            id: RuleId(2),
+            lhs: b,
+            rhs: vec![b, or, b],
+            label: None,
+            assoc: Associativity::Left,
+            precedence: 1,
+        };
+        (t, rule)
+    }
+
+    #[test]
+    fn display_renders_bnf() {
+        let (t, rule) = sample();
+        assert_eq!(rule.display(&t).to_string(), "B ::= B or B");
+    }
+
+    #[test]
+    fn empty_rule_displays_epsilon_marker() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("A", SymbolKind::NonTerminal);
+        let rule = Rule {
+            id: RuleId(0),
+            lhs: a,
+            rhs: vec![],
+            label: None,
+            assoc: Associativity::None,
+            precedence: 0,
+        };
+        assert!(rule.is_empty());
+        assert_eq!(rule.display(&t).to_string(), "A ::= <empty>");
+    }
+
+    #[test]
+    fn len_counts_rhs_symbols() {
+        let (_, rule) = sample();
+        assert_eq!(rule.len(), 3);
+        assert!(!rule.is_empty());
+    }
+
+    #[test]
+    fn rule_id_round_trips() {
+        assert_eq!(RuleId::from_index(5).index(), 5);
+        assert_eq!(format!("{:?}", RuleId(5)), "rule#5");
+    }
+}

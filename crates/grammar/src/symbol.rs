@@ -1,0 +1,239 @@
+//! Interned grammar symbols.
+//!
+//! Every terminal and non-terminal of a grammar is interned in a
+//! [`SymbolTable`] and referred to by a compact [`SymbolId`]. All other
+//! crates (item sets, parse tables, parsers, scanners) operate on
+//! [`SymbolId`]s only, which keeps comparisons and hashing cheap and keeps
+//! the representation stable while the grammar is being modified.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A compact identifier for an interned grammar symbol.
+///
+/// `SymbolId`s are only meaningful relative to the [`SymbolTable`] (and
+/// hence the [`crate::Grammar`]) that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymbolId(pub(crate) u32);
+
+impl SymbolId {
+    /// Returns the raw index of this symbol inside its table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `SymbolId` from a raw index.
+    ///
+    /// This is intended for table-driven code (dense ACTION/GOTO rows) that
+    /// needs to map array columns back to symbols; passing an index that was
+    /// not obtained from [`SymbolId::index`] on the same table produces an
+    /// id that may not resolve.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        SymbolId(index as u32)
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// Whether a symbol is a terminal (supplied by the scanner) or a
+/// non-terminal (defined by grammar rules).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SymbolKind {
+    /// A token produced by the lexical scanner (or a literal).
+    Terminal,
+    /// A symbol defined by one or more grammar rules.
+    NonTerminal,
+}
+
+impl SymbolKind {
+    /// Returns `true` for [`SymbolKind::Terminal`].
+    pub fn is_terminal(self) -> bool {
+        matches!(self, SymbolKind::Terminal)
+    }
+
+    /// Returns `true` for [`SymbolKind::NonTerminal`].
+    pub fn is_nonterminal(self) -> bool {
+        matches!(self, SymbolKind::NonTerminal)
+    }
+}
+
+/// An interned symbol: its name plus its kind.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Symbol {
+    /// The textual name of the symbol (e.g. `"B"` or `"true"`).
+    pub name: String,
+    /// Terminal or non-terminal.
+    pub kind: SymbolKind,
+}
+
+/// An interning table mapping symbol names to [`SymbolId`]s.
+///
+/// The table never forgets a symbol: symbols of deleted rules keep their
+/// ids, which is what allows the incremental parser generator to compare
+/// item-set kernels across grammar modifications.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    symbols: Vec<Symbol>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` with the given `kind`, returning its id.
+    ///
+    /// If `name` is already interned its existing id is returned. Interning
+    /// the same name with a *different* kind is a programming error and
+    /// panics: a grammar in which a name is both a terminal and a
+    /// non-terminal is not meaningful.
+    pub fn intern(&mut self, name: &str, kind: SymbolKind) -> SymbolId {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = &self.symbols[id.index()];
+            assert_eq!(
+                existing.kind, kind,
+                "symbol `{name}` interned both as {:?} and {:?}",
+                existing.kind, kind
+            );
+            return id;
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(Symbol {
+            name: name.to_owned(),
+            kind,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a symbol by name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the symbol for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this table.
+    pub fn symbol(&self, id: SymbolId) -> &Symbol {
+        &self.symbols[id.index()]
+    }
+
+    /// Returns the name of `id`.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.symbols[id.index()].name
+    }
+
+    /// Returns the kind of `id`.
+    pub fn kind(&self, id: SymbolId) -> SymbolKind {
+        self.symbols[id.index()].kind
+    }
+
+    /// Returns `true` if `id` names a terminal.
+    pub fn is_terminal(&self, id: SymbolId) -> bool {
+        self.kind(id).is_terminal()
+    }
+
+    /// Returns `true` if `id` names a non-terminal.
+    pub fn is_nonterminal(&self, id: SymbolId) -> bool {
+        self.kind(id).is_nonterminal()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over `(id, symbol)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &Symbol)> {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SymbolId(i as u32), s))
+    }
+
+    /// Iterates over all terminal ids.
+    pub fn terminals(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.iter()
+            .filter(|(_, s)| s.kind.is_terminal())
+            .map(|(id, _)| id)
+    }
+
+    /// Iterates over all non-terminal ids.
+    pub fn nonterminals(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.iter()
+            .filter(|(_, s)| s.kind.is_nonterminal())
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_returns_same_id_for_same_name() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a", SymbolKind::Terminal);
+        let b = t.intern("b", SymbolKind::Terminal);
+        let a2 = t.intern("a", SymbolKind::Terminal);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_finds_interned_symbols_only() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("A", SymbolKind::NonTerminal);
+        assert_eq!(t.lookup("A"), Some(a));
+        assert_eq!(t.lookup("B"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "interned both")]
+    fn interning_with_conflicting_kind_panics() {
+        let mut t = SymbolTable::new();
+        t.intern("x", SymbolKind::Terminal);
+        t.intern("x", SymbolKind::NonTerminal);
+    }
+
+    #[test]
+    fn kind_queries() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("A", SymbolKind::NonTerminal);
+        let x = t.intern("x", SymbolKind::Terminal);
+        assert!(t.is_nonterminal(a));
+        assert!(t.is_terminal(x));
+        assert!(!t.is_terminal(a));
+        assert_eq!(t.terminals().collect::<Vec<_>>(), vec![x]);
+        assert_eq!(t.nonterminals().collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("A", SymbolKind::NonTerminal);
+        assert_eq!(SymbolId::from_index(a.index()), a);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", SymbolId(7)), "sym#7");
+    }
+}

@@ -1,0 +1,305 @@
+//! Character classes in the style of SDF's lexical syntax (`[a-zA-Z0-9]`,
+//! `~[\n]`, ...).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of characters, represented as inclusive ranges plus an optional
+/// negation flag.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct CharClass {
+    ranges: Vec<(char, char)>,
+    negated: bool,
+}
+
+impl CharClass {
+    /// The empty class (matches nothing).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A class containing a single character.
+    pub fn single(c: char) -> Self {
+        CharClass {
+            ranges: vec![(c, c)],
+            negated: false,
+        }
+    }
+
+    /// A class containing one inclusive range.
+    pub fn range(lo: char, hi: char) -> Self {
+        assert!(lo <= hi, "invalid character range {lo:?}..{hi:?}");
+        CharClass {
+            ranges: vec![(lo, hi)],
+            negated: false,
+        }
+    }
+
+    /// Builds a class from several inclusive ranges.
+    pub fn from_ranges(ranges: impl IntoIterator<Item = (char, char)>) -> Self {
+        let mut class = CharClass::empty();
+        for (lo, hi) in ranges {
+            class = class.union_range(lo, hi);
+        }
+        class
+    }
+
+    /// Adds a range to the class.
+    pub fn union_range(mut self, lo: char, hi: char) -> Self {
+        assert!(lo <= hi, "invalid character range {lo:?}..{hi:?}");
+        assert!(!self.negated, "cannot extend a negated class");
+        self.ranges.push((lo, hi));
+        self.normalise();
+        self
+    }
+
+    /// Adds a single character to the class.
+    pub fn union_char(self, c: char) -> Self {
+        self.union_range(c, c)
+    }
+
+    /// The complement of this class (with respect to all of Unicode).
+    pub fn negate(mut self) -> Self {
+        self.negated = !self.negated;
+        self
+    }
+
+    /// `true` if `c` belongs to the class.
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+
+    /// `true` if the class matches no character at all.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty() && !self.negated
+    }
+
+    /// `true` if this is a negated class.
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    /// The (non-negated) ranges of the class.
+    pub fn ranges(&self) -> &[(char, char)] {
+        &self.ranges
+    }
+
+    /// The usual ASCII identifier-start class `[a-zA-Z_]`.
+    pub fn ident_start() -> Self {
+        Self::from_ranges([('a', 'z'), ('A', 'Z'), ('_', '_')])
+    }
+
+    /// The usual ASCII identifier-continue class `[a-zA-Z0-9_-]`.
+    pub fn ident_continue() -> Self {
+        Self::from_ranges([('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_'), ('-', '-')])
+    }
+
+    /// ASCII digits `[0-9]`.
+    pub fn digit() -> Self {
+        Self::range('0', '9')
+    }
+
+    /// ASCII whitespace (space, tab, newline, carriage return, form feed).
+    pub fn whitespace() -> Self {
+        Self::from_ranges([(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\u{c}', '\u{c}')])
+    }
+
+    /// Parses an SDF-like character-class body, e.g. `a-zA-Z0-9\-_`.
+    /// The surrounding brackets and optional leading `~` are handled by the
+    /// caller ([`CharClass::parse`]).
+    fn parse_body(body: &str) -> Result<Self, String> {
+        let mut chars = body.chars().peekable();
+        let mut class = CharClass::empty();
+        while let Some(c) = chars.next() {
+            let lo = if c == '\\' {
+                unescape(chars.next().ok_or("dangling escape in character class")?)
+            } else {
+                c
+            };
+            if chars.peek() == Some(&'-') {
+                // Possible range; a trailing `-` is a literal dash.
+                let mut look = chars.clone();
+                look.next();
+                match look.peek() {
+                    Some(&next) if next != ']' => {
+                        chars.next(); // consume '-'
+                        let hi_raw = chars.next().expect("peeked");
+                        let hi = if hi_raw == '\\' {
+                            unescape(chars.next().ok_or("dangling escape in character class")?)
+                        } else {
+                            hi_raw
+                        };
+                        if lo > hi {
+                            return Err(format!("invalid range {lo}-{hi} in character class"));
+                        }
+                        class = class.union_range(lo, hi);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            class = class.union_char(lo);
+        }
+        Ok(class)
+    }
+
+    /// Parses an SDF-like character class such as `[a-zA-Z]`, `[0-9\-]` or
+    /// `~[\n]` (negation).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (negated, rest) = match text.strip_prefix('~') {
+            Some(rest) => (true, rest),
+            None => (false, text),
+        };
+        let body = rest
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| format!("character class must be bracketed: `{text}`"))?;
+        let class = Self::parse_body(body)?;
+        Ok(if negated { class.negate() } else { class })
+    }
+
+    fn normalise(&mut self) {
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(char, char)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match merged.last_mut() {
+                Some((_, prev_hi)) if lo as u32 <= *prev_hi as u32 + 1 => {
+                    if hi > *prev_hi {
+                        *prev_hi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        'f' => '\u{c}',
+        other => other,
+    }
+}
+
+impl fmt::Display for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "~")?;
+        }
+        write!(f, "[")?;
+        for &(lo, hi) in &self.ranges {
+            if lo == hi {
+                write!(f, "{}", escape_for_display(lo))?;
+            } else {
+                write!(f, "{}-{}", escape_for_display(lo), escape_for_display(hi))?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+fn escape_for_display(c: char) -> String {
+    match c {
+        '\n' => "\\n".to_owned(),
+        '\t' => "\\t".to_owned(),
+        '\r' => "\\r".to_owned(),
+        '-' => "\\-".to_owned(),
+        ']' => "\\]".to_owned(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_range_membership() {
+        let c = CharClass::range('a', 'f');
+        assert!(c.contains('a'));
+        assert!(c.contains('f'));
+        assert!(!c.contains('g'));
+        assert!(CharClass::single('+').contains('+'));
+        assert!(!CharClass::single('+').contains('-'));
+    }
+
+    #[test]
+    fn union_merges_adjacent_ranges() {
+        let c = CharClass::range('a', 'm').union_range('n', 'z');
+        assert_eq!(c.ranges().len(), 1);
+        assert!(c.contains('q'));
+        let d = CharClass::range('a', 'c').union_range('x', 'z');
+        assert_eq!(d.ranges().len(), 2);
+    }
+
+    #[test]
+    fn negation_flips_membership() {
+        let c = CharClass::range('0', '9').negate();
+        assert!(!c.contains('5'));
+        assert!(c.contains('a'));
+        assert!(c.is_negated());
+        assert!(!c.negate().is_negated());
+    }
+
+    #[test]
+    fn parse_sdf_style_classes() {
+        let letters = CharClass::parse("[a-zA-Z]").unwrap();
+        assert!(letters.contains('q'));
+        assert!(letters.contains('Q'));
+        assert!(!letters.contains('1'));
+
+        let ident = CharClass::parse("[a-zA-Z0-9\\-_]").unwrap();
+        assert!(ident.contains('-'));
+        assert!(ident.contains('_'));
+        assert!(ident.contains('7'));
+
+        let not_newline = CharClass::parse("~[\\n]").unwrap();
+        assert!(not_newline.contains('x'));
+        assert!(!not_newline.contains('\n'));
+
+        let ws = CharClass::parse("[ \\t\\n\\r\\f]").unwrap();
+        assert!(ws.contains(' '));
+        assert!(ws.contains('\n'));
+        assert!(!ws.contains('a'));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(CharClass::parse("a-z").is_err());
+        assert!(CharClass::parse("[z-a]").is_err());
+        assert!(CharClass::parse("[abc\\").is_err());
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let c = CharClass::parse("[0-9-]").unwrap();
+        assert!(c.contains('-'));
+        assert!(c.contains('3'));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let c = CharClass::parse("[a-z0-9]").unwrap();
+        let printed = c.to_string();
+        let reparsed = CharClass::parse(&printed).unwrap();
+        assert_eq!(c, reparsed);
+        assert!(CharClass::parse("~[\\n]").unwrap().to_string().starts_with('~'));
+    }
+
+    #[test]
+    fn builtin_classes() {
+        assert!(CharClass::ident_start().contains('_'));
+        assert!(!CharClass::ident_start().contains('1'));
+        assert!(CharClass::ident_continue().contains('1'));
+        assert!(CharClass::digit().contains('0'));
+        assert!(CharClass::whitespace().contains('\t'));
+        assert!(CharClass::empty().is_empty());
+        assert!(!CharClass::empty().contains('x'));
+    }
+}

@@ -1,0 +1,210 @@
+//! Lazy subset construction: the scanner-generator analogue of the lazy
+//! parser generator.
+//!
+//! The companion report \[HKR87a\] applies the same laziness to lexical
+//! scanners (ISG): instead of determinising the NFA up front, DFA states
+//! (sets of NFA states) and their transitions are created the first time
+//! the scanner needs them and memoised for later use. Scanning text that
+//! exercises only part of the lexical syntax therefore only ever builds
+//! that part of the DFA — and after a change to the token definitions, the
+//! DFA cache is simply discarded while the (cheap) NFA is rebuilt, so new
+//! DFA states again appear by need.
+
+use std::collections::HashMap;
+
+use crate::nfa::{Nfa, TokenId};
+
+/// Work counters of a lazy DFA; the interesting quantity is how few states
+/// and transitions are materialised compared to the full subset
+/// construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DfaStats {
+    /// DFA states materialised so far.
+    pub states: usize,
+    /// Distinct `(state, character)` transitions memoised so far.
+    pub transitions: usize,
+    /// Transition-cache hits during scanning.
+    pub cache_hits: usize,
+    /// Transition-cache misses (each one ran a subset-construction step).
+    pub cache_misses: usize,
+}
+
+#[derive(Clone, Debug)]
+struct LazyDfaState {
+    /// The NFA states this DFA state represents (sorted).
+    nfa_states: Vec<usize>,
+    /// Memoised transitions, per character actually encountered.
+    transitions: HashMap<char, Option<usize>>,
+    /// Highest-priority token accepted in this state.
+    accept: Option<TokenId>,
+}
+
+/// A lazily determinised DFA over an [`Nfa`].
+#[derive(Clone, Debug)]
+pub struct LazyDfa {
+    nfa: Nfa,
+    states: Vec<LazyDfaState>,
+    index: HashMap<Vec<usize>, usize>,
+    stats: DfaStats,
+}
+
+impl LazyDfa {
+    /// Wraps an NFA; only the start DFA state is created.
+    pub fn new(nfa: Nfa) -> Self {
+        let mut dfa = LazyDfa {
+            nfa,
+            states: Vec::new(),
+            index: HashMap::new(),
+            stats: DfaStats::default(),
+        };
+        let start_set = dfa.nfa.epsilon_closure(&[dfa.nfa.start()]);
+        dfa.intern(start_set);
+        dfa
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> DfaStats {
+        self.stats
+    }
+
+    /// Number of DFA states materialised so far.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    fn intern(&mut self, nfa_states: Vec<usize>) -> usize {
+        if let Some(&id) = self.index.get(&nfa_states) {
+            return id;
+        }
+        let accept = self.nfa.accepting_token(&nfa_states);
+        let id = self.states.len();
+        self.index.insert(nfa_states.clone(), id);
+        self.states.push(LazyDfaState {
+            nfa_states,
+            transitions: HashMap::new(),
+            accept,
+        });
+        self.stats.states += 1;
+        id
+    }
+
+    /// The transition from DFA state `state` on character `c`, computing
+    /// and memoising it if necessary. `None` is the dead state.
+    pub fn step(&mut self, state: usize, c: char) -> Option<usize> {
+        if let Some(&cached) = self.states[state].transitions.get(&c) {
+            self.stats.cache_hits += 1;
+            return cached;
+        }
+        self.stats.cache_misses += 1;
+        let next_set = self.nfa.step(&self.states[state].nfa_states, c);
+        let result = if next_set.is_empty() {
+            None
+        } else {
+            Some(self.intern(next_set))
+        };
+        self.states[state].transitions.insert(c, result);
+        self.stats.transitions += 1;
+        result
+    }
+
+    /// The token accepted in `state`, if any.
+    pub fn accept(&self, state: usize) -> Option<TokenId> {
+        self.states[state].accept
+    }
+
+    /// The longest prefix of `input` starting at `start` that matches a
+    /// token, with the token id.
+    pub fn longest_match(&mut self, input: &[char], start: usize) -> Option<(usize, TokenId)> {
+        let mut state = 0usize;
+        let mut best = self.accept(state).map(|t| (0usize, t));
+        let mut len = 0usize;
+        while let Some(&c) = input.get(start + len) {
+            match self.step(state, c) {
+                Some(next) => {
+                    state = next;
+                    len += 1;
+                    if let Some(t) = self.accept(state) {
+                        best = Some((len, t));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    fn sample_dfa() -> LazyDfa {
+        let ident = Regex::parse("[a-zA-Z] [a-zA-Z0-9_]*").unwrap();
+        let number = Regex::parse("[0-9]+").unwrap();
+        let kw_if = Regex::literal("if");
+        LazyDfa::new(Nfa::build(&[kw_if, ident, number]))
+    }
+
+    #[test]
+    fn starts_with_a_single_state() {
+        let dfa = sample_dfa();
+        assert_eq!(dfa.num_states(), 1);
+        assert_eq!(dfa.stats().transitions, 0);
+    }
+
+    #[test]
+    fn matches_agree_with_the_nfa_reference() {
+        let mut dfa = sample_dfa();
+        for text in ["if", "iffy", "x1_y", "42", "007 agent", "+nope", ""] {
+            let input = chars(text);
+            assert_eq!(
+                dfa.longest_match(&input, 0),
+                dfa.nfa().clone().longest_match(&input),
+                "input `{text}`"
+            );
+        }
+    }
+
+    #[test]
+    fn states_and_transitions_materialise_on_demand() {
+        let mut dfa = sample_dfa();
+        dfa.longest_match(&chars("abc"), 0);
+        let after_ident = dfa.num_states();
+        assert!(after_ident >= 2);
+        let transitions_after_ident = dfa.stats().transitions;
+        // Scanning digits needs new states/transitions...
+        dfa.longest_match(&chars("123"), 0);
+        assert!(dfa.num_states() > 0);
+        assert!(dfa.stats().transitions > transitions_after_ident);
+        // ...but re-scanning the same kind of text hits the cache.
+        let misses = dfa.stats().cache_misses;
+        dfa.longest_match(&chars("abc"), 0);
+        assert_eq!(dfa.stats().cache_misses, misses);
+        assert!(dfa.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn longest_match_respects_start_offset() {
+        let mut dfa = sample_dfa();
+        let input = chars("xy 42");
+        assert_eq!(dfa.longest_match(&input, 3), Some((2, 2)));
+        assert_eq!(dfa.longest_match(&input, 2), None); // space matches nothing
+    }
+
+    #[test]
+    fn keyword_beats_identifier_on_equal_length() {
+        let mut dfa = sample_dfa();
+        assert_eq!(dfa.longest_match(&chars("if("), 0), Some((2, 0)));
+        assert_eq!(dfa.longest_match(&chars("ifx"), 0), Some((3, 1)));
+    }
+}

@@ -1,0 +1,351 @@
+//! Regular expressions over characters — the notation in which token
+//! definitions (SDF lexical functions) are written before they are compiled
+//! to automata.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::charclass::CharClass;
+
+/// A regular expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Regex {
+    /// Matches the empty string.
+    Epsilon,
+    /// Matches exactly the given literal text.
+    Literal(String),
+    /// Matches one character from the class.
+    Class(CharClass),
+    /// Matches the concatenation of the parts.
+    Concat(Vec<Regex>),
+    /// Matches any one of the alternatives.
+    Alt(Vec<Regex>),
+    /// Matches zero or more repetitions.
+    Star(Box<Regex>),
+    /// Matches one or more repetitions.
+    Plus(Box<Regex>),
+    /// Matches zero or one occurrence.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// A literal string.
+    pub fn literal(text: &str) -> Self {
+        Regex::Literal(text.to_owned())
+    }
+
+    /// A single character class.
+    pub fn class(class: CharClass) -> Self {
+        Regex::Class(class)
+    }
+
+    /// Concatenation of several expressions.
+    pub fn concat(parts: impl IntoIterator<Item = Regex>) -> Self {
+        let parts: Vec<Regex> = parts.into_iter().collect();
+        match parts.len() {
+            0 => Regex::Epsilon,
+            1 => parts.into_iter().next().expect("length checked"),
+            _ => Regex::Concat(parts),
+        }
+    }
+
+    /// Alternation of several expressions.
+    pub fn alt(parts: impl IntoIterator<Item = Regex>) -> Self {
+        let parts: Vec<Regex> = parts.into_iter().collect();
+        match parts.len() {
+            0 => Regex::Epsilon,
+            1 => parts.into_iter().next().expect("length checked"),
+            _ => Regex::Alt(parts),
+        }
+    }
+
+    /// Zero or more repetitions of `self`.
+    pub fn star(self) -> Self {
+        Regex::Star(Box::new(self))
+    }
+
+    /// One or more repetitions of `self`.
+    pub fn plus(self) -> Self {
+        Regex::Plus(Box::new(self))
+    }
+
+    /// Zero or one occurrence of `self`.
+    pub fn opt(self) -> Self {
+        Regex::Opt(Box::new(self))
+    }
+
+    /// `true` if the expression can match the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Regex::Epsilon | Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Literal(s) => s.is_empty(),
+            Regex::Class(_) => false,
+            Regex::Concat(parts) => parts.iter().all(Regex::is_nullable),
+            Regex::Alt(parts) => parts.iter().any(Regex::is_nullable),
+            Regex::Plus(inner) => inner.is_nullable(),
+        }
+    }
+
+    /// Parses a small textual regex notation:
+    ///
+    /// * `'text'` — literal (single quotes; `''` escapes a quote)
+    /// * `[a-z]`, `~[a-z]` — character classes
+    /// * `.` — any character
+    /// * juxtaposition — concatenation, `|` — alternation
+    /// * postfix `*`, `+`, `?`, parentheses for grouping
+    ///
+    /// ```
+    /// use ipg_lexer::Regex;
+    /// let ident = Regex::parse("[a-zA-Z] [a-zA-Z0-9_]*").unwrap();
+    /// assert!(!ident.is_nullable());
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut parser = RegexParser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        let re = parser.parse_alt()?;
+        parser.skip_ws();
+        if parser.pos != parser.chars.len() {
+            return Err(format!("unexpected `{}` at offset {}", parser.chars[parser.pos], parser.pos));
+        }
+        Ok(re)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Epsilon => write!(f, "''"),
+            Regex::Literal(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Regex::Class(c) => write!(f, "{c}"),
+            Regex::Concat(parts) => {
+                let rendered: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", rendered.join(" "))
+            }
+            Regex::Alt(parts) => {
+                let rendered: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", rendered.join(" | "))
+            }
+            Regex::Star(inner) => write!(f, "{inner}*"),
+            Regex::Plus(inner) => write!(f, "{inner}+"),
+            Regex::Opt(inner) => write!(f, "{inner}?"),
+        }
+    }
+}
+
+struct RegexParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl RegexParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, String> {
+        let mut parts = vec![self.parse_concat()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                parts.push(self.parse_concat()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, String> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some('|') | Some(')') => break,
+                _ => parts.push(self.parse_postfix()?),
+            }
+        }
+        if parts.is_empty() {
+            return Ok(Regex::Epsilon);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, String> {
+        let mut atom = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    atom = atom.star();
+                }
+                Some('+') => {
+                    self.bump();
+                    atom = atom.plus();
+                }
+                Some('?') => {
+                    self.bump();
+                    atom = atom.opt();
+                }
+                _ => break,
+            }
+        }
+        Ok(atom)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err("missing closing parenthesis".to_owned());
+                }
+                Ok(inner)
+            }
+            Some('\'') => {
+                self.bump();
+                let mut text = String::new();
+                loop {
+                    match self.bump() {
+                        Some('\'') => {
+                            if self.peek() == Some('\'') {
+                                self.bump();
+                                text.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err("unterminated literal".to_owned()),
+                    }
+                }
+                if text.is_empty() {
+                    Ok(Regex::Epsilon)
+                } else {
+                    Ok(Regex::Literal(text))
+                }
+            }
+            Some('[') | Some('~') => {
+                let start = self.pos;
+                if self.peek() == Some('~') {
+                    self.bump();
+                }
+                if self.bump() != Some('[') {
+                    return Err("expected `[` after `~`".to_owned());
+                }
+                loop {
+                    match self.bump() {
+                        Some(']') => break,
+                        Some('\\') => {
+                            self.bump();
+                        }
+                        Some(_) => {}
+                        None => return Err("unterminated character class".to_owned()),
+                    }
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                CharClass::parse(&text).map(Regex::Class)
+            }
+            Some('.') => {
+                self.bump();
+                Ok(Regex::Class(CharClass::empty().negate()))
+            }
+            Some(c) => Err(format!("unexpected `{c}` in regular expression")),
+            None => Err("unexpected end of regular expression".to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinators_build_expected_shapes() {
+        let re = Regex::concat([
+            Regex::class(CharClass::ident_start()),
+            Regex::class(CharClass::ident_continue()).star(),
+        ]);
+        assert!(matches!(re, Regex::Concat(ref v) if v.len() == 2));
+        assert!(!re.is_nullable());
+        assert!(Regex::literal("").is_nullable());
+        assert!(Regex::literal("x").opt().is_nullable());
+        assert!(Regex::alt([Regex::literal("a"), Regex::Epsilon]).is_nullable());
+        assert!(!Regex::class(CharClass::digit()).plus().is_nullable());
+    }
+
+    #[test]
+    fn single_element_constructors_collapse() {
+        assert_eq!(Regex::concat([Regex::literal("a")]), Regex::literal("a"));
+        assert_eq!(Regex::alt([Regex::literal("a")]), Regex::literal("a"));
+        assert_eq!(Regex::concat(std::iter::empty()), Regex::Epsilon);
+    }
+
+    #[test]
+    fn parses_identifier_regex() {
+        let re = Regex::parse("[a-zA-Z] [a-zA-Z0-9_]*").unwrap();
+        assert!(matches!(re, Regex::Concat(_)));
+        let num = Regex::parse("[0-9]+").unwrap();
+        assert!(matches!(num, Regex::Plus(_)));
+    }
+
+    #[test]
+    fn parses_literals_alternation_and_groups() {
+        let re = Regex::parse("'if' | 'then' | 'else'").unwrap();
+        assert!(matches!(re, Regex::Alt(ref v) if v.len() == 3));
+        let re = Regex::parse("('+' | '-')? [0-9]+").unwrap();
+        assert!(matches!(re, Regex::Concat(_)));
+        let quoted = Regex::parse("'it''s'").unwrap();
+        assert_eq!(quoted, Regex::Literal("it's".to_owned()));
+    }
+
+    #[test]
+    fn parses_negated_class_and_dot() {
+        let re = Regex::parse("~[\\n]*").unwrap();
+        assert!(matches!(re, Regex::Star(_)));
+        let any = Regex::parse(".").unwrap();
+        match any {
+            Regex::Class(c) => assert!(c.contains('x') && c.contains('\n')),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::parse("(abc").is_err());
+        assert!(Regex::parse("'abc").is_err());
+        assert!(Regex::parse("[abc").is_err());
+        assert!(Regex::parse("*").is_err());
+        assert!(Regex::parse("a").is_err());
+        assert!(Regex::parse("'a' )").is_err());
+    }
+
+    #[test]
+    fn display_produces_parseable_text_for_simple_cases() {
+        for text in ["'if'", "[0-9]+", "('+' | '-')? [0-9]+"] {
+            let re = Regex::parse(text).unwrap();
+            let printed = re.to_string();
+            let reparsed = Regex::parse(&printed).unwrap();
+            assert_eq!(re, reparsed, "round-trip of `{text}` via `{printed}`");
+        }
+    }
+}

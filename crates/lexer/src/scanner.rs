@@ -1,0 +1,355 @@
+//! The incremental scanner generator ISG: named token definitions, layout
+//! skipping, longest-match scanning, and incremental addition/removal of
+//! token definitions.
+//!
+//! The scanner produced here feeds the parsers: its token *names* are
+//! mapped to grammar terminals by name (see [`Scanner::tokenize_for`]), so
+//! an SDF-style definition can drive lexer and parser from one source.
+
+use std::fmt;
+
+use ipg_grammar::{Grammar, SymbolId};
+
+use crate::dfa::{DfaStats, LazyDfa};
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// One token definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenDef {
+    /// The token's name; for keywords and punctuation this is usually the
+    /// literal text itself (matching the grammar's terminal names).
+    pub name: String,
+    /// The regular expression it matches.
+    pub regex: Regex,
+    /// Layout tokens (whitespace, comments) are matched and then skipped.
+    pub layout: bool,
+}
+
+impl TokenDef {
+    /// A normal (non-layout) token.
+    pub fn new(name: &str, regex: Regex) -> Self {
+        TokenDef {
+            name: name.to_owned(),
+            regex,
+            layout: false,
+        }
+    }
+
+    /// A keyword or punctuation token whose name equals its literal text.
+    pub fn keyword(text: &str) -> Self {
+        TokenDef::new(text, Regex::literal(text))
+    }
+
+    /// A layout token (matched but not reported).
+    pub fn layout(name: &str, regex: Regex) -> Self {
+        TokenDef {
+            name: name.to_owned(),
+            regex,
+            layout: true,
+        }
+    }
+}
+
+/// A token produced by the scanner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Name of the matching token definition.
+    pub name: String,
+    /// The matched text.
+    pub text: String,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Errors produced while scanning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanError {
+    /// No token definition matches at this offset.
+    UnexpectedCharacter {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// The character itself.
+        character: char,
+    },
+    /// A token name has no corresponding terminal in the grammar (only
+    /// reported by [`Scanner::tokenize_for`]).
+    UnknownTerminal {
+        /// The token name that could not be mapped.
+        name: String,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::UnexpectedCharacter { offset, character } => {
+                write!(f, "unexpected character {character:?} at offset {offset}")
+            }
+            ScanError::UnknownTerminal { name } => {
+                write!(f, "token `{name}` has no terminal in the grammar")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// The incremental, lazily determinising scanner.
+#[derive(Clone, Debug)]
+pub struct Scanner {
+    definitions: Vec<TokenDef>,
+    dfa: LazyDfa,
+    /// Number of times the DFA was rebuilt because of a definition change.
+    rebuilds: usize,
+}
+
+impl Scanner {
+    /// Builds a scanner for the given token definitions. Definition order
+    /// is the tie-breaking priority: earlier definitions win on equal match
+    /// length (put keywords before identifiers).
+    pub fn new(definitions: Vec<TokenDef>) -> Self {
+        let dfa = Self::compile(&definitions);
+        Scanner {
+            definitions,
+            dfa,
+            rebuilds: 0,
+        }
+    }
+
+    fn compile(definitions: &[TokenDef]) -> LazyDfa {
+        let regexes: Vec<Regex> = definitions.iter().map(|d| d.regex.clone()).collect();
+        LazyDfa::new(Nfa::build(&regexes))
+    }
+
+    /// The current token definitions.
+    pub fn definitions(&self) -> &[TokenDef] {
+        &self.definitions
+    }
+
+    /// DFA work counters (note that they reset when the DFA is rebuilt
+    /// after a definition change).
+    pub fn dfa_stats(&self) -> DfaStats {
+        self.dfa.stats()
+    }
+
+    /// How many times the token definitions have been changed.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Adds a token definition (at the lowest priority). The DFA cache is
+    /// discarded; it will be re-materialised lazily while scanning.
+    pub fn add_definition(&mut self, definition: TokenDef) {
+        self.definitions.push(definition);
+        self.dfa = Self::compile(&self.definitions);
+        self.rebuilds += 1;
+    }
+
+    /// Removes the definition with the given name. Returns `true` if one
+    /// was removed.
+    pub fn remove_definition(&mut self, name: &str) -> bool {
+        let before = self.definitions.len();
+        self.definitions.retain(|d| d.name != name);
+        if self.definitions.len() == before {
+            return false;
+        }
+        self.dfa = Self::compile(&self.definitions);
+        self.rebuilds += 1;
+        true
+    }
+
+    /// Scans `input` into tokens, skipping layout.
+    pub fn tokenize(&mut self, input: &str) -> Result<Vec<Token>, ScanError> {
+        let chars: Vec<char> = input.chars().collect();
+        // Byte offset of every char index (plus the end), for spans.
+        let mut offsets = Vec::with_capacity(chars.len() + 1);
+        let mut acc = 0usize;
+        for &c in &chars {
+            offsets.push(acc);
+            acc += c.len_utf8();
+        }
+        offsets.push(acc);
+
+        let mut tokens = Vec::new();
+        let mut pos = 0usize;
+        while pos < chars.len() {
+            match self.dfa.longest_match(&chars, pos) {
+                Some((len, token_id)) if len > 0 => {
+                    let def = &self.definitions[token_id];
+                    if !def.layout {
+                        tokens.push(Token {
+                            name: def.name.clone(),
+                            text: chars[pos..pos + len].iter().collect(),
+                            start: offsets[pos],
+                            end: offsets[pos + len],
+                        });
+                    }
+                    pos += len;
+                }
+                _ => {
+                    return Err(ScanError::UnexpectedCharacter {
+                        offset: offsets[pos],
+                        character: chars[pos],
+                    })
+                }
+            }
+        }
+        Ok(tokens)
+    }
+
+    /// Scans `input` and maps each token to the grammar terminal with the
+    /// same name — the form the parsers consume. The paper's measurements
+    /// feed the parsers exactly such pre-scanned in-memory token streams.
+    pub fn tokenize_for(
+        &mut self,
+        grammar: &Grammar,
+        input: &str,
+    ) -> Result<Vec<SymbolId>, ScanError> {
+        let tokens = self.tokenize(input)?;
+        tokens
+            .iter()
+            .map(|t| {
+                grammar
+                    .symbol(&t.name)
+                    .filter(|&s| grammar.is_terminal(s))
+                    .ok_or_else(|| ScanError::UnknownTerminal {
+                        name: t.name.clone(),
+                    })
+            })
+            .collect()
+    }
+}
+
+/// A ready-made scanner for identifier/number/keyword languages, used by
+/// examples and tests: layout is ASCII whitespace, `--`-comments run to the
+/// end of the line, identifiers are `[a-zA-Z][a-zA-Z0-9_-]*`, numbers are
+/// `[0-9]+`, and every supplied keyword or punctuation literal is its own
+/// token named after its text.
+pub fn simple_scanner(keywords: &[&str]) -> Scanner {
+    let mut defs = vec![
+        TokenDef::layout("WHITESPACE", Regex::class(crate::charclass::CharClass::whitespace()).plus()),
+        TokenDef::layout(
+            "COMMENT",
+            Regex::concat([
+                Regex::literal("--"),
+                Regex::class(crate::charclass::CharClass::single('\n').negate()).star(),
+            ]),
+        ),
+    ];
+    for kw in keywords {
+        defs.push(TokenDef::keyword(kw));
+    }
+    defs.push(TokenDef::new(
+        "id",
+        Regex::concat([
+            Regex::class(crate::charclass::CharClass::ident_start()),
+            Regex::class(crate::charclass::CharClass::ident_continue()).star(),
+        ]),
+    ));
+    defs.push(TokenDef::new(
+        "num",
+        Regex::class(crate::charclass::CharClass::digit()).plus(),
+    ));
+    Scanner::new(defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    #[test]
+    fn scans_keywords_identifiers_and_numbers() {
+        let mut scanner = simple_scanner(&["if", "then", "else", ":=", "(", ")"]);
+        let tokens = scanner
+            .tokenize("if x1 then y := 42 -- trailing comment\nelse ( z )")
+            .unwrap();
+        let names: Vec<&str> = tokens.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["if", "id", "then", "id", ":=", "num", "else", "(", "id", ")"]
+        );
+        let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts[1], "x1");
+        assert_eq!(texts[5], "42");
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let mut scanner = simple_scanner(&[]);
+        let tokens = scanner.tokenize("ab  cd").unwrap();
+        assert_eq!(tokens[0].start, 0);
+        assert_eq!(tokens[0].end, 2);
+        assert_eq!(tokens[1].start, 4);
+        assert_eq!(tokens[1].end, 6);
+    }
+
+    #[test]
+    fn keywords_take_priority_over_identifiers_only_on_exact_match() {
+        let mut scanner = simple_scanner(&["if"]);
+        let tokens = scanner.tokenize("if iffy").unwrap();
+        assert_eq!(tokens[0].name, "if");
+        assert_eq!(tokens[1].name, "id");
+        assert_eq!(tokens[1].text, "iffy");
+    }
+
+    #[test]
+    fn unexpected_characters_are_reported_with_offsets() {
+        let mut scanner = simple_scanner(&[]);
+        let err = scanner.tokenize("abc $ def").unwrap_err();
+        assert_eq!(
+            err,
+            ScanError::UnexpectedCharacter {
+                offset: 4,
+                character: '$'
+            }
+        );
+        assert!(err.to_string().contains("offset 4"));
+    }
+
+    #[test]
+    fn incremental_definition_changes_rebuild_lazily() {
+        let mut scanner = simple_scanner(&[]);
+        assert!(scanner.tokenize("x % y").is_err());
+        scanner.add_definition(TokenDef::keyword("%"));
+        assert_eq!(scanner.rebuilds(), 1);
+        let tokens = scanner.tokenize("x % y").unwrap();
+        assert_eq!(tokens[1].name, "%");
+        // The freshly rebuilt DFA only materialised what this input needed.
+        assert!(scanner.dfa_stats().states > 1);
+        assert!(scanner.remove_definition("%"));
+        assert!(!scanner.remove_definition("%"));
+        assert!(scanner.tokenize("x % y").is_err());
+        assert_eq!(scanner.rebuilds(), 2);
+    }
+
+    #[test]
+    fn tokenize_for_maps_to_grammar_terminals() {
+        let g = fixtures::booleans();
+        let mut scanner = simple_scanner(&["true", "false", "or", "and"]);
+        let symbols = scanner.tokenize_for(&g, "true or false and true").unwrap();
+        assert_eq!(symbols.len(), 5);
+        assert!(symbols.iter().all(|&s| g.is_terminal(s)));
+        // Unknown terminal: `id` is not part of the boolean grammar.
+        let err = scanner.tokenize_for(&g, "true or banana").unwrap_err();
+        assert_eq!(err, ScanError::UnknownTerminal { name: "id".to_owned() });
+    }
+
+    #[test]
+    fn layout_only_input_produces_no_tokens() {
+        let mut scanner = simple_scanner(&[]);
+        assert!(scanner.tokenize("   \n\t -- just a comment").unwrap().is_empty());
+        assert!(scanner.tokenize("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn definition_accessors() {
+        let scanner = simple_scanner(&["+"]);
+        assert!(scanner.definitions().iter().any(|d| d.name == "+"));
+        assert!(scanner.definitions().iter().any(|d| d.layout));
+        assert_eq!(scanner.rebuilds(), 0);
+    }
+}

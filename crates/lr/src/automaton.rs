@@ -1,0 +1,399 @@
+//! The conventional (eager) LR(0) "graph of item sets" generator — the
+//! paper's parser generator **PG** from §4 (`GENERATE-PARSER`, `EXPAND`,
+//! `CLOSURE`).
+//!
+//! The lazy/incremental generator in the `ipg` crate maintains the same
+//! kind of graph but builds it on demand; this eager version is used as the
+//! baseline ("PG") in the Fig. 7.1 measurements and as the reference
+//! implementation that the lazy generator is checked against.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ipg_grammar::{Grammar, RuleId, SymbolId};
+
+use crate::item::Item;
+use crate::itemset::{closure, completed_items, partition_by_next_symbol, start_kernel, ItemSet};
+
+/// Identifier of a state (a set of items) in an LR automaton or parse
+/// table. State 0 is always the start state.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Raw index of the state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `StateId` from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        StateId(index as u32)
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state#{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One state of the LR(0) automaton: a *complete* set of items in the
+/// paper's terminology (its transitions and reductions have been computed).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct State {
+    /// The state's identity.
+    pub id: StateId,
+    /// The kernel items (dotted rules) that define the state.
+    pub kernel: ItemSet,
+    /// The closure of the kernel.
+    pub closure: ItemSet,
+    /// Outgoing edges, labelled with the symbol that was moved over.
+    pub transitions: BTreeMap<SymbolId, StateId>,
+    /// Rules that are completely recognised in this state and may be
+    /// reduced.
+    pub reductions: Vec<RuleId>,
+    /// `true` if this state contains a completed `START` rule, i.e. it has
+    /// the paper's `($ accept)` transition.
+    pub accepting: bool,
+}
+
+/// The eagerly generated LR(0) automaton (graph of item sets).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lr0Automaton {
+    states: Vec<State>,
+    start: StateId,
+    grammar_version: u64,
+}
+
+impl Lr0Automaton {
+    /// Builds the complete graph of item sets for `grammar` — the paper's
+    /// conventional `GENERATE-PARSER` of §4.
+    pub fn build(grammar: &Grammar) -> Self {
+        let mut builder = Builder {
+            grammar,
+            states: Vec::new(),
+            kernel_index: HashMap::new(),
+        };
+        let start = builder.state_for_kernel(start_kernel(grammar));
+        // Expand states until none is left initial. States are appended to
+        // `states`, so a simple index loop visits them all.
+        let mut i = 0;
+        while i < builder.states.len() {
+            builder.expand(StateId::from_index(i));
+            i += 1;
+        }
+        Lr0Automaton {
+            states: builder.states,
+            start,
+            grammar_version: grammar.version(),
+        }
+    }
+
+    /// The start state (state 0).
+    pub fn start_state(&self) -> StateId {
+        self.start
+    }
+
+    /// Returns a state by id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this automaton.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.index()]
+    }
+
+    /// All states in creation order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Number of states (rows of the would-be parse table).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The grammar version the automaton was built from.
+    pub fn grammar_version(&self) -> u64 {
+        self.grammar_version
+    }
+
+    /// Total number of transitions (shift + goto edges).
+    pub fn num_transitions(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+
+    /// Renders the graph of item sets as readable text, one box per state —
+    /// the textual analogue of Fig. 4.1(c).
+    pub fn render(&self, grammar: &Grammar) -> String {
+        let mut out = String::new();
+        for state in &self.states {
+            out.push_str(&format!("state {}:\n", state.id));
+            for item in &state.closure {
+                let marker = if item.is_complete(grammar) { "*" } else { " " };
+                out.push_str(&format!("  {} {}\n", marker, item.display(grammar)));
+            }
+            for (&sym, &target) in &state.transitions {
+                out.push_str(&format!("    --{}--> state {}\n", grammar.name(sym), target));
+            }
+            if state.accepting {
+                out.push_str("    --$--> accept\n");
+            }
+        }
+        out
+    }
+
+    /// Renders the graph in Graphviz DOT format.
+    pub fn to_dot(&self, grammar: &Grammar) -> String {
+        let mut out = String::from("digraph itemsets {\n  node [shape=box, fontname=monospace];\n");
+        for state in &self.states {
+            let mut label = format!("{}\\n", state.id);
+            for item in &state.kernel {
+                label.push_str(&format!("{}\\l", item.display(grammar)));
+            }
+            out.push_str(&format!("  s{} [label=\"{}\"];\n", state.id, label));
+            for (&sym, &target) in &state.transitions {
+                out.push_str(&format!(
+                    "  s{} -> s{} [label=\"{}\"];\n",
+                    state.id,
+                    target,
+                    grammar.name(sym)
+                ));
+            }
+            if state.accepting {
+                out.push_str(&format!("  s{} -> accept [label=\"$\"];\n", state.id));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+struct Builder<'g> {
+    grammar: &'g Grammar,
+    states: Vec<State>,
+    kernel_index: HashMap<ItemSet, StateId>,
+}
+
+impl Builder<'_> {
+    /// Finds or creates the state whose kernel is `kernel`.
+    fn state_for_kernel(&mut self, kernel: ItemSet) -> StateId {
+        if let Some(&id) = self.kernel_index.get(&kernel) {
+            return id;
+        }
+        let id = StateId::from_index(self.states.len());
+        self.kernel_index.insert(kernel.clone(), id);
+        self.states.push(State {
+            id,
+            kernel,
+            closure: ItemSet::new(),
+            transitions: BTreeMap::new(),
+            reductions: Vec::new(),
+            accepting: false,
+        });
+        id
+    }
+
+    /// The paper's `EXPAND`: computes closure, successor kernels,
+    /// transitions and reductions of one state.
+    fn expand(&mut self, id: StateId) {
+        let kernel = self.states[id.index()].kernel.clone();
+        let closed = closure(self.grammar, &kernel);
+        let successors = partition_by_next_symbol(self.grammar, &closed);
+
+        let mut transitions = BTreeMap::new();
+        for (symbol, kernel) in successors {
+            let target = self.state_for_kernel(kernel);
+            transitions.insert(symbol, target);
+        }
+
+        let mut reductions = Vec::new();
+        let mut accepting = false;
+        for item in completed_items(self.grammar, &closed) {
+            let rule = self.grammar.rule(item.rule);
+            if rule.lhs == self.grammar.start_symbol() {
+                accepting = true;
+            } else {
+                reductions.push(item.rule);
+            }
+        }
+        reductions.sort();
+        reductions.dedup();
+
+        let state = &mut self.states[id.index()];
+        state.closure = closed;
+        state.transitions = transitions;
+        state.reductions = reductions;
+        state.accepting = accepting;
+    }
+}
+
+/// Convenience: the number of states and transitions the conventional
+/// generator produces, used by the lazy-fraction measurements (§5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AutomatonSize {
+    /// Number of states (sets of items).
+    pub states: usize,
+    /// Number of labelled edges.
+    pub transitions: usize,
+}
+
+impl Lr0Automaton {
+    /// Returns the size of the automaton.
+    pub fn size(&self) -> AutomatonSize {
+        AutomatonSize {
+            states: self.num_states(),
+            transitions: self.num_transitions(),
+        }
+    }
+
+    /// Looks up a state by kernel, if the automaton contains one.
+    pub fn find_state_by_kernel(&self, kernel: &ItemSet) -> Option<StateId> {
+        self.states
+            .iter()
+            .find(|s| &s.kernel == kernel)
+            .map(|s| s.id)
+    }
+
+    /// Iterates over `(state, item)` pairs of every kernel item — useful for
+    /// statistics and debugging.
+    pub fn kernel_items(&self) -> impl Iterator<Item = (StateId, Item)> + '_ {
+        self.states
+            .iter()
+            .flat_map(|s| s.kernel.iter().map(move |&i| (s.id, i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    #[test]
+    fn booleans_automaton_has_eight_states() {
+        // Fig. 4.1(b)/(c): the Booleans grammar has states 0..=7.
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        assert_eq!(a.num_states(), 8);
+    }
+
+    #[test]
+    fn start_state_is_state_zero() {
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        assert_eq!(a.start_state(), StateId(0));
+        let start = a.state(a.start_state());
+        assert_eq!(start.kernel.len(), 1);
+        assert_eq!(start.closure.len(), 5);
+        assert!(!start.accepting);
+    }
+
+    #[test]
+    fn accept_state_follows_goto_on_b() {
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        let b = g.symbol("B").unwrap();
+        let start = a.state(a.start_state());
+        let after_b = a.state(start.transitions[&b]);
+        assert!(after_b.accepting, "state after shifting B accepts on $");
+        // It can also still shift `or` / `and`.
+        assert!(after_b.transitions.contains_key(&g.symbol("or").unwrap()));
+        assert!(after_b.transitions.contains_key(&g.symbol("and").unwrap()));
+    }
+
+    #[test]
+    fn reduce_states_reference_the_right_rules() {
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        let t = g.symbol("true").unwrap();
+        let b = g.symbol("B").unwrap();
+        let start = a.state(a.start_state());
+        let after_true = a.state(start.transitions[&t]);
+        assert_eq!(after_true.reductions.len(), 1);
+        let rule = g.rule(after_true.reductions[0]);
+        assert_eq!(rule.lhs, b);
+        assert_eq!(rule.rhs, vec![t]);
+    }
+
+    #[test]
+    fn identical_kernels_are_shared() {
+        // In the Booleans automaton, `B ::= true .` is reached from the
+        // start state and from the states after `or`/`and`; the item set is
+        // created only once.
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        let t = g.symbol("true").unwrap();
+        let or = g.symbol("or").unwrap();
+        let b = g.symbol("B").unwrap();
+        let start = a.state(a.start_state());
+        let s_true = start.transitions[&t];
+        let s_b = start.transitions[&b];
+        let s_or = a.state(s_b).transitions[&or];
+        assert_eq!(a.state(s_or).transitions[&t], s_true);
+    }
+
+    #[test]
+    fn fig62_automaton_builds() {
+        let g = fixtures::fig62();
+        let a = Lr0Automaton::build(&g);
+        // Fig. 6.2(b) shows 10 item sets (0..=9).
+        assert_eq!(a.num_states(), 10);
+    }
+
+    #[test]
+    fn automaton_size_and_render() {
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        let size = a.size();
+        assert_eq!(size.states, 8);
+        assert!(size.transitions > 10);
+        let text = a.render(&g);
+        assert!(text.contains("state 0:"));
+        assert!(text.contains("--$--> accept"));
+        let dot = a.to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("accept"));
+    }
+
+    #[test]
+    fn find_state_by_kernel_round_trips() {
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        for s in a.states() {
+            assert_eq!(a.find_state_by_kernel(&s.kernel), Some(s.id));
+        }
+        assert!(a.kernel_items().count() >= a.num_states());
+    }
+
+    #[test]
+    fn grammar_version_is_recorded() {
+        let mut g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        assert_eq!(a.grammar_version(), g.version());
+        let b = g.symbol("B").unwrap();
+        let u = g.terminal("unknown");
+        g.add_rule(b, vec![u]);
+        assert_ne!(a.grammar_version(), g.version());
+    }
+
+    #[test]
+    fn epsilon_rules_produce_reductions_in_start_state() {
+        let g = fixtures::palindromes();
+        let a = Lr0Automaton::build(&g);
+        let start = a.state(a.start_state());
+        assert!(
+            !start.reductions.is_empty(),
+            "S ::= . is completed in the start state"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! LR items ("dotted rules").
+//!
+//! An LR(0) item is a grammar rule with a cursor (the *dot*) marking how far
+//! the parser has progressed in recognising the rule — `B ::= B • or B` in
+//! the paper's diagrams. An LR(1) item additionally carries one lookahead
+//! terminal; it is used only by the canonical-LR(1)/LALR(1) baseline
+//! generators, never by IPG itself (which is deliberately LR(0), see §8 of
+//! the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ipg_grammar::{Grammar, RuleId, SymbolId};
+
+/// An LR(0) item: a rule plus a dot position (`0 ..= rule.len()`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Item {
+    /// The rule being recognised.
+    pub rule: RuleId,
+    /// Number of right-hand-side symbols already recognised.
+    pub dot: usize,
+}
+
+impl Item {
+    /// Creates an item with the dot at the start of the rule.
+    pub fn start(rule: RuleId) -> Self {
+        Item { rule, dot: 0 }
+    }
+
+    /// The symbol immediately after the dot, or `None` if the dot is at the
+    /// end of the rule.
+    pub fn next_symbol(&self, grammar: &Grammar) -> Option<SymbolId> {
+        grammar.rule(self.rule).rhs.get(self.dot).copied()
+    }
+
+    /// Returns `true` if the dot is at the end of the rule (the rule has
+    /// been recognised completely).
+    pub fn is_complete(&self, grammar: &Grammar) -> bool {
+        self.dot >= grammar.rule(self.rule).rhs.len()
+    }
+
+    /// The item with the dot advanced over one symbol.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the item is already complete.
+    pub fn advance(&self) -> Item {
+        Item {
+            rule: self.rule,
+            dot: self.dot + 1,
+        }
+    }
+
+    /// Renders the item in the paper's notation, e.g. `B ::= B . or B`.
+    pub fn display<'a>(&self, grammar: &'a Grammar) -> ItemDisplay<'a> {
+        ItemDisplay {
+            item: *self,
+            grammar,
+        }
+    }
+}
+
+/// Helper returned by [`Item::display`].
+pub struct ItemDisplay<'a> {
+    item: Item,
+    grammar: &'a Grammar,
+}
+
+impl fmt::Display for ItemDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rule = self.grammar.rule(self.item.rule);
+        write!(f, "{} ::=", self.grammar.name(rule.lhs))?;
+        for (i, &s) in rule.rhs.iter().enumerate() {
+            if i == self.item.dot {
+                write!(f, " .")?;
+            }
+            write!(f, " {}", self.grammar.name(s))?;
+        }
+        if self.item.dot == rule.rhs.len() {
+            write!(f, " .")?;
+        }
+        Ok(())
+    }
+}
+
+/// An LR(1) item: an LR(0) core plus a single lookahead terminal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Lr1Item {
+    /// The LR(0) core of the item.
+    pub core: Item,
+    /// The lookahead terminal: the rule may be reduced only when this
+    /// terminal is the next input symbol.
+    pub lookahead: SymbolId,
+}
+
+impl Lr1Item {
+    /// Creates an LR(1) item with the dot at the start of the rule.
+    pub fn start(rule: RuleId, lookahead: SymbolId) -> Self {
+        Lr1Item {
+            core: Item::start(rule),
+            lookahead,
+        }
+    }
+
+    /// The item with the dot advanced over one symbol; the lookahead is
+    /// unchanged.
+    pub fn advance(&self) -> Lr1Item {
+        Lr1Item {
+            core: self.core.advance(),
+            lookahead: self.lookahead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    #[test]
+    fn item_progression() {
+        let g = fixtures::booleans();
+        let b = g.symbol("B").unwrap();
+        let or = g.symbol("or").unwrap();
+        let rule = g.find_rule(b, &[b, or, b]).unwrap();
+        let mut item = Item::start(rule);
+        assert_eq!(item.next_symbol(&g), Some(b));
+        item = item.advance();
+        assert_eq!(item.next_symbol(&g), Some(or));
+        item = item.advance();
+        assert_eq!(item.next_symbol(&g), Some(b));
+        item = item.advance();
+        assert!(item.is_complete(&g));
+        assert_eq!(item.next_symbol(&g), None);
+    }
+
+    #[test]
+    fn item_display_matches_paper_notation() {
+        let g = fixtures::booleans();
+        let b = g.symbol("B").unwrap();
+        let or = g.symbol("or").unwrap();
+        let rule = g.find_rule(b, &[b, or, b]).unwrap();
+        let item = Item { rule, dot: 1 };
+        assert_eq!(item.display(&g).to_string(), "B ::= B . or B");
+        let done = Item { rule, dot: 3 };
+        assert_eq!(done.display(&g).to_string(), "B ::= B or B .");
+    }
+
+    #[test]
+    fn lr1_item_keeps_lookahead_on_advance() {
+        let g = fixtures::booleans();
+        let b = g.symbol("B").unwrap();
+        let t = g.symbol("true").unwrap();
+        let rule = g.find_rule(b, &[t]).unwrap();
+        let item = Lr1Item::start(rule, g.eof_symbol());
+        let advanced = item.advance();
+        assert_eq!(advanced.lookahead, g.eof_symbol());
+        assert_eq!(advanced.core.dot, 1);
+    }
+
+    #[test]
+    fn items_order_deterministically() {
+        let a = Item { rule: RuleId::from_index(0), dot: 1 };
+        let b = Item { rule: RuleId::from_index(1), dot: 0 };
+        assert!(a < b);
+    }
+}

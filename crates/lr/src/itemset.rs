@@ -1,0 +1,182 @@
+//! Sets of LR(0) items, closure and goto — the building blocks of the
+//! "graph of item sets" from §4 of the paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ipg_grammar::{Grammar, SymbolId};
+
+use crate::item::Item;
+
+/// A kernel (or closure) of LR(0) items, kept sorted so that kernels can be
+/// compared for equality when searching `Itemsets` for an existing state.
+pub type ItemSet = BTreeSet<Item>;
+
+/// Computes the closure of `kernel` under the current grammar, exactly as
+/// the paper's `CLOSURE`: whenever an item `A ::= α . B β` is in the
+/// closure and `B ::= γ` is a rule, `B ::= . γ` is added.
+pub fn closure(grammar: &Grammar, kernel: &ItemSet) -> ItemSet {
+    let mut result = kernel.clone();
+    let mut work: Vec<Item> = kernel.iter().copied().collect();
+    while let Some(item) = work.pop() {
+        let Some(next) = item.next_symbol(grammar) else {
+            continue;
+        };
+        if !grammar.is_nonterminal(next) {
+            continue;
+        }
+        for rule in grammar.rules_for(next) {
+            let new_item = Item::start(rule.id);
+            if result.insert(new_item) {
+                work.push(new_item);
+            }
+        }
+    }
+    result
+}
+
+/// Partitions the items of a closed item set by the symbol after their dot,
+/// producing the kernels of the successor states: the paper's `EXPAND`
+/// phrase "this extended kernel is partitioned in subsets of rules having
+/// the same symbol S after the dot ... the associated subset is transformed
+/// into a new kernel by moving the dot over the S".
+///
+/// The returned map is ordered by symbol id so state numbering is
+/// deterministic.
+pub fn partition_by_next_symbol(
+    grammar: &Grammar,
+    closed: &ItemSet,
+) -> BTreeMap<SymbolId, ItemSet> {
+    let mut map: BTreeMap<SymbolId, ItemSet> = BTreeMap::new();
+    for item in closed {
+        if let Some(next) = item.next_symbol(grammar) {
+            map.entry(next).or_default().insert(item.advance());
+        }
+    }
+    map
+}
+
+/// Returns the completed items of a closed item set (dot at the end).
+pub fn completed_items(grammar: &Grammar, closed: &ItemSet) -> Vec<Item> {
+    closed
+        .iter()
+        .copied()
+        .filter(|i| i.is_complete(grammar))
+        .collect()
+}
+
+/// The kernel of the start state: every `START ::= . β` for the active
+/// rules of the grammar.
+pub fn start_kernel(grammar: &Grammar) -> ItemSet {
+    grammar
+        .rules_for(grammar.start_symbol())
+        .map(|r| Item::start(r.id))
+        .collect()
+}
+
+/// Computes the GOTO set of a *closed* item set for `symbol` directly
+/// (closure of the moved kernel). Convenience used by tests and by the
+/// Earley-style comparisons; the generators use
+/// [`partition_by_next_symbol`] instead to build all successors at once.
+pub fn goto_set(grammar: &Grammar, closed: &ItemSet, symbol: SymbolId) -> ItemSet {
+    let kernel: ItemSet = closed
+        .iter()
+        .filter(|i| i.next_symbol(grammar) == Some(symbol))
+        .map(|i| i.advance())
+        .collect();
+    closure(grammar, &kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    fn names(grammar: &Grammar, set: &ItemSet) -> Vec<String> {
+        set.iter().map(|i| i.display(grammar).to_string()).collect()
+    }
+
+    #[test]
+    fn closure_of_start_kernel_matches_fig_51b() {
+        // Fig. 5.1(b): the start state of the Booleans contains the START
+        // rule plus all four B rules with the dot at the start.
+        let g = fixtures::booleans();
+        let kernel = start_kernel(&g);
+        assert_eq!(kernel.len(), 1);
+        let closed = closure(&g, &kernel);
+        assert_eq!(closed.len(), 5);
+        let rendered = names(&g, &closed);
+        assert!(rendered.contains(&"START ::= . B".to_owned()));
+        assert!(rendered.contains(&"B ::= . true".to_owned()));
+        assert!(rendered.contains(&"B ::= . B or B".to_owned()));
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let g = fixtures::booleans();
+        let closed = closure(&g, &start_kernel(&g));
+        assert_eq!(closure(&g, &closed), closed);
+    }
+
+    #[test]
+    fn partition_groups_by_next_symbol() {
+        let g = fixtures::booleans();
+        let closed = closure(&g, &start_kernel(&g));
+        let parts = partition_by_next_symbol(&g, &closed);
+        let b = g.symbol("B").unwrap();
+        let t = g.symbol("true").unwrap();
+        let f = g.symbol("false").unwrap();
+        // Successors on B, true and false — exactly the three arrows out of
+        // state 0 in Fig. 4.1(c).
+        assert_eq!(parts.len(), 3);
+        assert!(parts.contains_key(&b));
+        assert!(parts.contains_key(&t));
+        assert!(parts.contains_key(&f));
+        // The B successor contains three items: START ::= B ., B ::= B . or B,
+        // B ::= B . and B.
+        assert_eq!(parts[&b].len(), 3);
+        assert_eq!(parts[&t].len(), 1);
+    }
+
+    #[test]
+    fn completed_items_are_detected() {
+        let g = fixtures::booleans();
+        let closed = closure(&g, &start_kernel(&g));
+        assert!(completed_items(&g, &closed).is_empty());
+        let b = g.symbol("B").unwrap();
+        let after_b = goto_set(&g, &closed, b);
+        let done = completed_items(&g, &after_b);
+        assert_eq!(done.len(), 1); // START ::= B .
+        assert_eq!(g.rule(done[0].rule).lhs, g.start_symbol());
+    }
+
+    #[test]
+    fn goto_set_on_terminal() {
+        let g = fixtures::booleans();
+        let closed = closure(&g, &start_kernel(&g));
+        let t = g.symbol("true").unwrap();
+        let after_true = goto_set(&g, &closed, t);
+        assert_eq!(after_true.len(), 1); // B ::= true .
+        assert!(after_true.iter().next().unwrap().is_complete(&g));
+    }
+
+    #[test]
+    fn closure_handles_epsilon_rules() {
+        let g = fixtures::palindromes();
+        let closed = closure(&g, &start_kernel(&g));
+        // S ::= . is both "dot at start" and complete.
+        assert!(completed_items(&g, &closed).len() == 1);
+    }
+
+    #[test]
+    fn closure_reflects_grammar_modification() {
+        // The same kernel closes differently after `B ::= unknown` is added:
+        // this is what drives the incremental generator's re-expansion.
+        let mut g = fixtures::booleans();
+        let before = closure(&g, &start_kernel(&g)).len();
+        let b = g.symbol("B").unwrap();
+        let unknown = g.terminal("unknown");
+        g.add_rule(b, vec![unknown]);
+        let after = closure(&g, &start_kernel(&g)).len();
+        assert_eq!(after, before + 1);
+    }
+}

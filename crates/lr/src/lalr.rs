@@ -1,0 +1,291 @@
+//! Canonical LR(1) and LALR(1) table construction — the "Yacc" baseline of
+//! the paper's measurements (§7) and of Horspool's competing approach
+//! discussed in the postscript.
+//!
+//! The LALR(1) table is obtained by building the canonical LR(1) collection
+//! and merging states with identical LR(0) cores. This is slower than
+//! lookahead-propagation algorithms but simple, obviously correct, and more
+//! than fast enough for the grammar sizes of the evaluation; its cost also
+//! mirrors the paper's observation that LALR(1) generation is substantially
+//! more expensive than LR(0) generation, which is exactly the trade-off IPG
+//! exploits.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ipg_grammar::{Grammar, GrammarAnalysis, SymbolId};
+
+use crate::automaton::StateId;
+use crate::item::{Item, Lr1Item};
+use crate::table::{Action, ParseTable, TableKind};
+
+/// Sizes observed while constructing an LALR(1) table; the LR(1)-state
+/// count illustrates why merging matters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LalrStats {
+    /// Number of canonical LR(1) states before merging.
+    pub lr1_states: usize,
+    /// Number of LALR(1) states after merging (equals the LR(0) state
+    /// count).
+    pub lalr_states: usize,
+}
+
+type Lr1Kernel = BTreeSet<Lr1Item>;
+
+struct Lr1Collection {
+    /// Closed item sets.
+    states: Vec<Lr1Kernel>,
+    /// Transitions between states.
+    transitions: Vec<BTreeMap<SymbolId, usize>>,
+}
+
+fn closure1(grammar: &Grammar, analysis: &GrammarAnalysis, kernel: &Lr1Kernel) -> Lr1Kernel {
+    let mut result = kernel.clone();
+    let mut work: Vec<Lr1Item> = kernel.iter().copied().collect();
+    while let Some(item) = work.pop() {
+        let Some(next) = item.core.next_symbol(grammar) else {
+            continue;
+        };
+        if !grammar.is_nonterminal(next) {
+            continue;
+        }
+        // Lookaheads for the new items: FIRST(β a) where the item is
+        // [A ::= α . B β, a].
+        let rule = grammar.rule(item.core.rule);
+        let beta = &rule.rhs[item.core.dot + 1..];
+        let mut lookaheads = analysis.first_of_sequence(beta);
+        if analysis.sequence_nullable(beta) {
+            lookaheads.insert(item.lookahead);
+        }
+        for new_rule in grammar.rules_for(next) {
+            for &la in &lookaheads {
+                let new_item = Lr1Item::start(new_rule.id, la);
+                if result.insert(new_item) {
+                    work.push(new_item);
+                }
+            }
+        }
+    }
+    result
+}
+
+fn build_lr1_collection(grammar: &Grammar, analysis: &GrammarAnalysis) -> Lr1Collection {
+    let start_kernel: Lr1Kernel = grammar
+        .rules_for(grammar.start_symbol())
+        .map(|r| Lr1Item::start(r.id, grammar.eof_symbol()))
+        .collect();
+    let start_closed = closure1(grammar, analysis, &start_kernel);
+
+    let mut states = vec![start_closed.clone()];
+    let mut index: HashMap<Lr1Kernel, usize> = HashMap::new();
+    index.insert(start_closed, 0);
+    let mut transitions: Vec<BTreeMap<SymbolId, usize>> = vec![BTreeMap::new()];
+
+    let mut i = 0;
+    while i < states.len() {
+        // Partition the closed set by the symbol after the dot.
+        let mut successors: BTreeMap<SymbolId, Lr1Kernel> = BTreeMap::new();
+        for item in &states[i] {
+            if let Some(next) = item.core.next_symbol(grammar) {
+                successors.entry(next).or_default().insert(item.advance());
+            }
+        }
+        for (symbol, kernel) in successors {
+            let closed = closure1(grammar, analysis, &kernel);
+            let target = match index.get(&closed) {
+                Some(&t) => t,
+                None => {
+                    let t = states.len();
+                    index.insert(closed.clone(), t);
+                    states.push(closed);
+                    transitions.push(BTreeMap::new());
+                    t
+                }
+            };
+            transitions[i].insert(symbol, target);
+        }
+        i += 1;
+    }
+    Lr1Collection { states, transitions }
+}
+
+fn table_from_collection(
+    grammar: &Grammar,
+    collection: &Lr1Collection,
+    kind: TableKind,
+) -> ParseTable {
+    let n = collection.states.len();
+    let mut actions: Vec<BTreeMap<SymbolId, Vec<Action>>> = vec![BTreeMap::new(); n];
+    let mut gotos: Vec<BTreeMap<SymbolId, StateId>> = vec![BTreeMap::new(); n];
+    for (i, state) in collection.states.iter().enumerate() {
+        for (&symbol, &target) in &collection.transitions[i] {
+            if grammar.is_terminal(symbol) {
+                actions[i]
+                    .entry(symbol)
+                    .or_default()
+                    .push(Action::Shift(StateId::from_index(target)));
+            } else {
+                gotos[i].insert(symbol, StateId::from_index(target));
+            }
+        }
+        for item in state {
+            if !item.core.is_complete(grammar) {
+                continue;
+            }
+            let rule = grammar.rule(item.core.rule);
+            let entry = actions[i].entry(item.lookahead).or_default();
+            let action = if rule.lhs == grammar.start_symbol() {
+                Action::Accept
+            } else {
+                Action::Reduce(item.core.rule)
+            };
+            if !entry.contains(&action) {
+                entry.push(action);
+            }
+        }
+    }
+    for row in &mut actions {
+        for cell in row.values_mut() {
+            cell.sort();
+            cell.dedup();
+        }
+    }
+    ParseTable::from_rows(kind, StateId(0), actions, gotos)
+}
+
+/// Builds the canonical LR(1) parse table for `grammar`.
+pub fn canonical_lr1_table(grammar: &Grammar) -> ParseTable {
+    let analysis = GrammarAnalysis::compute(grammar);
+    let collection = build_lr1_collection(grammar, &analysis);
+    table_from_collection(grammar, &collection, TableKind::Lr1)
+}
+
+/// Builds the LALR(1) parse table for `grammar` (the Yacc baseline).
+pub fn lalr1_table(grammar: &Grammar) -> ParseTable {
+    lalr1_table_with_stats(grammar).0
+}
+
+/// Builds the LALR(1) table and reports how many LR(1) states were merged.
+pub fn lalr1_table_with_stats(grammar: &Grammar) -> (ParseTable, LalrStats) {
+    let analysis = GrammarAnalysis::compute(grammar);
+    let collection = build_lr1_collection(grammar, &analysis);
+
+    // Merge states with identical LR(0) cores.
+    let core_of = |state: &Lr1Kernel| -> BTreeSet<Item> {
+        state.iter().map(|i| i.core).collect()
+    };
+    let mut core_index: HashMap<BTreeSet<Item>, usize> = HashMap::new();
+    let mut merged_of: Vec<usize> = Vec::with_capacity(collection.states.len());
+    let mut merged_states: Vec<Lr1Kernel> = Vec::new();
+    for state in &collection.states {
+        let core = core_of(state);
+        let merged = *core_index.entry(core).or_insert_with(|| {
+            merged_states.push(Lr1Kernel::new());
+            merged_states.len() - 1
+        });
+        merged_of.push(merged);
+        merged_states[merged].extend(state.iter().copied());
+    }
+
+    // Rebuild transitions in terms of merged states. Merging states with
+    // equal cores maps consistent successors onto each other, so inserting
+    // repeatedly is safe.
+    let mut merged_transitions: Vec<BTreeMap<SymbolId, usize>> =
+        vec![BTreeMap::new(); merged_states.len()];
+    for (i, row) in collection.transitions.iter().enumerate() {
+        for (&symbol, &target) in row {
+            merged_transitions[merged_of[i]].insert(symbol, merged_of[target]);
+        }
+    }
+
+    let stats = LalrStats {
+        lr1_states: collection.states.len(),
+        lalr_states: merged_states.len(),
+    };
+    let merged = Lr1Collection {
+        states: merged_states,
+        transitions: merged_transitions,
+    };
+    // The start state must remain state 0: it is the first state processed,
+    // so its merged index is 0 by construction.
+    debug_assert_eq!(merged_of[0], 0);
+    (
+        table_from_collection(grammar, &merged, TableKind::Lalr1),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Lr0Automaton;
+    use crate::parser::LrParser;
+    use crate::table::ParserTables;
+    use ipg_grammar::fixtures;
+
+    #[test]
+    fn arithmetic_lalr_table_is_deterministic() {
+        let g = fixtures::arithmetic();
+        let table = lalr1_table(&g);
+        assert!(table.is_deterministic());
+        assert_eq!(table.kind(), TableKind::Lalr1);
+    }
+
+    #[test]
+    fn lalr_has_as_many_states_as_lr0() {
+        let g = fixtures::arithmetic();
+        let (_, stats) = lalr1_table_with_stats(&g);
+        let lr0 = Lr0Automaton::build(&g);
+        assert_eq!(stats.lalr_states, lr0.num_states());
+        assert!(stats.lr1_states >= stats.lalr_states);
+    }
+
+    #[test]
+    fn canonical_lr1_has_at_least_as_many_states_as_lalr() {
+        let g = fixtures::arithmetic();
+        let lr1 = canonical_lr1_table(&g);
+        let (lalr, stats) = lalr1_table_with_stats(&g);
+        assert_eq!(lr1.num_states(), stats.lr1_states);
+        assert!(lr1.num_states() >= lalr.num_states());
+        assert!(lr1.is_deterministic());
+    }
+
+    #[test]
+    fn lalr_parses_arithmetic_sentences() {
+        let g = fixtures::arithmetic();
+        let mut table = lalr1_table(&g);
+        let parser = LrParser::new(&g);
+        let tokens: Vec<_> = ["id", "+", "num", "*", "(", "id", ")"]
+            .iter()
+            .map(|s| g.symbol(s).unwrap())
+            .collect();
+        assert!(parser.recognize(&mut table, &tokens).unwrap());
+        let bad: Vec<_> = ["id", "+", "+"].iter().map(|s| g.symbol(s).unwrap()).collect();
+        assert!(!parser.recognize(&mut table, &bad).unwrap());
+    }
+
+    #[test]
+    fn ambiguous_grammar_still_has_conflicts_under_lalr() {
+        let g = fixtures::booleans();
+        let table = lalr1_table(&g);
+        assert!(!table.is_deterministic());
+        // But strictly fewer conflict cells than the LR(0) table: reduces
+        // are confined to FOLLOW-compatible lookaheads.
+        let lr0 = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        assert!(table.num_action_entries() < lr0.num_action_entries());
+    }
+
+    #[test]
+    fn lalr_accept_is_reachable() {
+        let g = fixtures::arithmetic();
+        let mut table = lalr1_table(&g);
+        let id = g.symbol("id").unwrap();
+        let e = g.symbol("E").unwrap();
+        let start = table.start_state();
+        let shifted = match table.actions(start, id)[0] {
+            Action::Shift(s) => s,
+            other => panic!("expected shift, got {other:?}"),
+        };
+        assert_ne!(shifted, start);
+        assert!(table.goto(start, e).is_some());
+    }
+}

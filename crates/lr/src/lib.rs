@@ -1,0 +1,53 @@
+//! # ipg-lr
+//!
+//! Conventional LR parse-table generation and deterministic LR parsing for
+//! the IPG reproduction (*Incremental Generation of Parsers*, Heering,
+//! Klint & Rekers).
+//!
+//! This crate contains the two *non-incremental* generators the paper
+//! measures against, plus everything they share with the lazy generator:
+//!
+//! * [`item`] / [`itemset`] — LR(0)/LR(1) items, `CLOSURE`, kernels;
+//! * [`automaton`] — the eager LR(0) "graph of item sets" generator, i.e.
+//!   the paper's **PG** (§4: `GENERATE-PARSER` / `EXPAND`);
+//! * [`table`] — ACTION/GOTO parse tables (Fig. 4.1(b)), conflict
+//!   reporting, and the [`ParserTables`] trait every table-driven parser in
+//!   this repository is written against;
+//! * [`lalr`] — canonical LR(1) and LALR(1) construction, the **Yacc**
+//!   baseline of §7;
+//! * [`parser`] — the deterministic `LR-PARSE` of §3.1 with tree building
+//!   and tracing (Fig. 4.2);
+//! * [`tree`] — concrete parse trees.
+//!
+//! ## Example: generate a table and parse
+//!
+//! ```
+//! use ipg_grammar::fixtures;
+//! use ipg_lr::{lalr1_table, LrParser, tokenize_names};
+//!
+//! let grammar = fixtures::arithmetic();
+//! let mut table = lalr1_table(&grammar);
+//! let parser = LrParser::new(&grammar);
+//! let tokens = tokenize_names(&grammar, "id + num * id").unwrap();
+//! let tree = parser.parse(&mut table, &tokens).unwrap();
+//! assert_eq!(tree.leaf_count(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod automaton;
+pub mod item;
+pub mod itemset;
+pub mod lalr;
+pub mod parser;
+pub mod table;
+pub mod tree;
+
+pub use automaton::{AutomatonSize, Lr0Automaton, State, StateId};
+pub use item::{Item, Lr1Item};
+pub use itemset::{closure, goto_set, partition_by_next_symbol, start_kernel, ItemSet};
+pub use lalr::{canonical_lr1_table, lalr1_table, lalr1_table_with_stats, LalrStats};
+pub use parser::{render_trace, tokenize_names, LrParser, ParseError, TraceStep};
+pub use table::{Action, Conflict, ParseTable, ParserTables, TableKind};
+pub use tree::ParseTree;

@@ -1,0 +1,386 @@
+//! The deterministic LR parser `LR-PARSE` from §3.1 of the paper, extended
+//! with parse-tree construction and an optional trace of its moves
+//! (Fig. 4.2).
+//!
+//! The parser is written against the [`ParserTables`] trait, so it can be
+//! driven by an eagerly generated [`crate::ParseTable`] as well as by the
+//! lazy item-set graph of the `ipg` crate (as long as the grammar is
+//! deterministic for the given input — otherwise use the parallel parser in
+//! `ipg-glr`).
+
+use std::fmt;
+
+use ipg_grammar::{Grammar, SymbolId};
+
+use crate::automaton::StateId;
+use crate::table::{Action, ParserTables};
+use crate::tree::ParseTree;
+
+/// Errors produced by the deterministic LR parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The tables contain more than one action for a state/symbol pair; a
+    /// deterministic parser cannot proceed. Use the parallel parser.
+    Conflict {
+        /// State in which the conflict occurred.
+        state: StateId,
+        /// Current input symbol.
+        symbol: SymbolId,
+        /// The conflicting actions.
+        actions: Vec<Action>,
+    },
+    /// The input is not a sentence of the language.
+    SyntaxError {
+        /// 0-based index of the offending token (== input length for
+        /// end-of-input errors).
+        position: usize,
+        /// State in which the error was detected.
+        state: StateId,
+        /// The offending symbol (the end-marker for end-of-input errors).
+        symbol: SymbolId,
+    },
+    /// The tables are inconsistent: a reduce action had no GOTO entry.
+    /// This indicates a bug in the table generator, not in the input.
+    MissingGoto {
+        /// State on top of the stack after popping the rule's right-hand side.
+        state: StateId,
+        /// The non-terminal that was reduced to.
+        symbol: SymbolId,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Conflict { state, symbol, actions } => write!(
+                f,
+                "parse-table conflict in state {state} on {symbol:?}: {} actions",
+                actions.len()
+            ),
+            ParseError::SyntaxError { position, state, symbol } => {
+                write!(f, "syntax error at token {position} ({symbol:?}) in state {state}")
+            }
+            ParseError::MissingGoto { state, symbol } => {
+                write!(f, "missing GOTO entry for {symbol:?} in state {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One step of the parser's walk through the graph of item sets, in the
+/// spirit of Fig. 4.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Step counter (0-based).
+    pub step: usize,
+    /// State on top of the stack before the action.
+    pub state: StateId,
+    /// Current input symbol.
+    pub symbol: SymbolId,
+    /// The action performed.
+    pub action: Action,
+    /// Depth of the state stack before the action.
+    pub stack_depth: usize,
+}
+
+/// Renders a trace as readable text (one line per move).
+pub fn render_trace(grammar: &Grammar, trace: &[TraceStep]) -> String {
+    let mut out = String::new();
+    for step in trace {
+        let action = match step.action {
+            Action::Shift(s) => format!("shift to state {s}"),
+            Action::Reduce(r) => format!("reduce {}", grammar.rule(r).display(grammar.symbols())),
+            Action::Accept => "accept".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:>3}: state {:>3}, lookahead {:<8} -> {}\n",
+            step.step,
+            step.state,
+            grammar.name(step.symbol),
+            action
+        ));
+    }
+    out
+}
+
+/// The deterministic LR parser.
+///
+/// The parser itself is stateless between calls; it borrows the grammar to
+/// know rule lengths and left-hand sides during reduces and for tree
+/// construction.
+#[derive(Debug)]
+pub struct LrParser<'g> {
+    grammar: &'g Grammar,
+}
+
+impl<'g> LrParser<'g> {
+    /// Creates a parser for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        LrParser { grammar }
+    }
+
+    /// Recognises `tokens` (a sentence of terminal symbols, without the
+    /// end-marker). Returns `Ok(true)`/`Ok(false)` for accept/reject and an
+    /// error only if the tables are unusable (conflict or missing GOTO).
+    pub fn recognize(
+        &self,
+        tables: &mut dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<bool, ParseError> {
+        match self.run(tables, tokens, false, None) {
+            Ok(_) => Ok(true),
+            Err(ParseError::SyntaxError { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parses `tokens` and returns the parse tree.
+    pub fn parse(
+        &self,
+        tables: &mut dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<ParseTree, ParseError> {
+        self.run(tables, tokens, true, None)
+            .map(|t| t.expect("tree construction was requested"))
+    }
+
+    /// Parses `tokens`, recording every move in `trace`.
+    pub fn parse_with_trace(
+        &self,
+        tables: &mut dyn ParserTables,
+        tokens: &[SymbolId],
+        trace: &mut Vec<TraceStep>,
+    ) -> Result<ParseTree, ParseError> {
+        self.run(tables, tokens, true, Some(trace))
+            .map(|t| t.expect("tree construction was requested"))
+    }
+
+    fn run(
+        &self,
+        tables: &mut dyn ParserTables,
+        tokens: &[SymbolId],
+        build_tree: bool,
+        mut trace: Option<&mut Vec<TraceStep>>,
+    ) -> Result<Option<ParseTree>, ParseError> {
+        let eof = self.grammar.eof_symbol();
+        let mut stack: Vec<StateId> = vec![tables.start_state()];
+        let mut values: Vec<ParseTree> = Vec::new();
+        let mut pos = 0usize;
+        let mut step = 0usize;
+
+        loop {
+            let state = *stack.last().expect("stack never empties");
+            let symbol = tokens.get(pos).copied().unwrap_or(eof);
+            debug_assert!(
+                self.grammar.is_terminal(symbol),
+                "input must consist of terminals"
+            );
+            let actions = tables.actions(state, symbol);
+            let action = match actions.len() {
+                0 => {
+                    return Err(ParseError::SyntaxError {
+                        position: pos,
+                        state,
+                        symbol,
+                    })
+                }
+                1 => actions[0],
+                _ => {
+                    return Err(ParseError::Conflict {
+                        state,
+                        symbol,
+                        actions,
+                    })
+                }
+            };
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(TraceStep {
+                    step,
+                    state,
+                    symbol,
+                    action,
+                    stack_depth: stack.len(),
+                });
+            }
+            step += 1;
+
+            match action {
+                Action::Shift(next) => {
+                    stack.push(next);
+                    if build_tree {
+                        values.push(ParseTree::Leaf {
+                            symbol,
+                            position: pos,
+                        });
+                    }
+                    pos += 1;
+                }
+                Action::Reduce(rule_id) => {
+                    let rule = self.grammar.rule(rule_id);
+                    let arity = rule.rhs.len();
+                    for _ in 0..arity {
+                        stack.pop();
+                    }
+                    let top = *stack.last().expect("stack never empties");
+                    let Some(next) = tables.goto(top, rule.lhs) else {
+                        return Err(ParseError::MissingGoto {
+                            state: top,
+                            symbol: rule.lhs,
+                        });
+                    };
+                    stack.push(next);
+                    if build_tree {
+                        let children = values.split_off(values.len() - arity);
+                        values.push(ParseTree::Node {
+                            rule: rule_id,
+                            children,
+                        });
+                    }
+                }
+                Action::Accept => {
+                    if !build_tree {
+                        return Ok(None);
+                    }
+                    // The value stack now holds exactly the tree for the
+                    // START rule's right-hand side (a single non-terminal,
+                    // per the grammar well-formedness rules).
+                    return Ok(values.pop().map(Some).unwrap_or(None));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: maps a whitespace-separated sentence of terminal *names* to
+/// symbol ids. Unknown names produce `None`.
+pub fn tokenize_names(grammar: &Grammar, sentence: &str) -> Option<Vec<SymbolId>> {
+    sentence
+        .split_whitespace()
+        .map(|name| grammar.symbol(name).filter(|&s| grammar.is_terminal(s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Lr0Automaton;
+    use crate::lalr::lalr1_table;
+    use crate::table::ParseTable;
+    use ipg_grammar::fixtures;
+
+    #[test]
+    fn parses_unambiguous_boolean_sentence_with_lr0_table() {
+        // `true` on its own never touches a conflicted cell.
+        let g = fixtures::booleans();
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let parser = LrParser::new(&g);
+        let tokens = tokenize_names(&g, "true").unwrap();
+        let tree = parser.parse(&mut table, &tokens).unwrap();
+        assert_eq!(tree.to_sexpr(&g), "(B true)");
+    }
+
+    #[test]
+    fn conflicted_cell_is_reported() {
+        // `true or false or true` reaches the shift/reduce conflict of the
+        // ambiguous Booleans grammar.
+        let g = fixtures::booleans();
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let parser = LrParser::new(&g);
+        let tokens = tokenize_names(&g, "true or false or true").unwrap();
+        match parser.parse(&mut table, &tokens) {
+            Err(ParseError::Conflict { actions, .. }) => assert_eq!(actions.len(), 2),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_with_lalr_table() {
+        let g = fixtures::arithmetic();
+        let mut table = lalr1_table(&g);
+        let parser = LrParser::new(&g);
+        let tokens = tokenize_names(&g, "id + num * ( id )").unwrap();
+        let tree = parser.parse(&mut table, &tokens).unwrap();
+        assert_eq!(tree.leaf_count(), tokens.len());
+        let fringe = tree.fringe();
+        assert_eq!(fringe, tokens);
+    }
+
+    #[test]
+    fn syntax_errors_report_position() {
+        let g = fixtures::arithmetic();
+        let mut table = lalr1_table(&g);
+        let parser = LrParser::new(&g);
+        let tokens = tokenize_names(&g, "id + )").unwrap();
+        match parser.parse(&mut table, &tokens) {
+            Err(ParseError::SyntaxError { position, .. }) => assert_eq!(position, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        assert!(!parser.recognize(&mut table, &tokens).unwrap());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let g = fixtures::arithmetic();
+        let mut table = lalr1_table(&g);
+        let parser = LrParser::new(&g);
+        let tokens = tokenize_names(&g, "id +").unwrap();
+        match parser.parse(&mut table, &tokens) {
+            Err(ParseError::SyntaxError { position, symbol, .. }) => {
+                assert_eq!(position, 2);
+                assert_eq!(symbol, g.eof_symbol());
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_matches_fig_42_shape() {
+        // Parsing `true or false` with a deterministic (SLR) table performs
+        // shifts and reduces ending in accept, cf. Fig. 4.2.
+        let g = fixtures::arithmetic();
+        let mut table = lalr1_table(&g);
+        let parser = LrParser::new(&g);
+        let tokens = tokenize_names(&g, "id + id").unwrap();
+        let mut trace = Vec::new();
+        parser.parse_with_trace(&mut table, &tokens, &mut trace).unwrap();
+        assert!(matches!(trace.last().unwrap().action, Action::Accept));
+        let shifts = trace.iter().filter(|s| matches!(s.action, Action::Shift(_))).count();
+        assert_eq!(shifts, 3);
+        let text = render_trace(&g, &trace);
+        assert!(text.contains("accept"));
+        assert!(text.contains("reduce"));
+    }
+
+    #[test]
+    fn tokenize_names_rejects_unknown_and_nonterminal_names() {
+        let g = fixtures::booleans();
+        assert!(tokenize_names(&g, "true maybe").is_none());
+        assert!(tokenize_names(&g, "B").is_none());
+        assert_eq!(tokenize_names(&g, "true or false").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_rejected_for_booleans() {
+        let g = fixtures::booleans();
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let parser = LrParser::new(&g);
+        assert!(!parser.recognize(&mut table, &[]).unwrap());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ParseError::SyntaxError {
+            position: 3,
+            state: StateId(1),
+            symbol: SymbolId::from_index(0),
+        };
+        assert!(e.to_string().contains("token 3"));
+        let c = ParseError::MissingGoto {
+            state: StateId(0),
+            symbol: SymbolId::from_index(1),
+        };
+        assert!(c.to_string().contains("GOTO"));
+    }
+}

@@ -1,0 +1,421 @@
+//! Parse tables: the tabular ACTION / GOTO representation of a graph of
+//! item sets (Fig. 4.1(b)), conflict reporting, and the [`ParserTables`]
+//! abstraction shared by every table-driven parser in this repository.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ipg_grammar::{Grammar, GrammarAnalysis, RuleId, SymbolId};
+
+use crate::automaton::{Lr0Automaton, StateId};
+
+/// A single parser action, as returned by the paper's `ACTION` function.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Action {
+    /// Push the given state and advance the input.
+    Shift(StateId),
+    /// Reduce by the given rule and consult GOTO.
+    Reduce(RuleId),
+    /// The input is a sentence of the language.
+    Accept,
+}
+
+/// The source of lookahead information used when a table was constructed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TableKind {
+    /// LR(0): reduce actions appear under every terminal.
+    Lr0,
+    /// SLR(1): reduce actions appear only under FOLLOW(lhs).
+    Slr1,
+    /// LALR(1): reduce actions appear under the merged LR(1) lookaheads.
+    Lalr1,
+    /// Canonical LR(1).
+    Lr1,
+}
+
+impl fmt::Display for TableKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TableKind::Lr0 => "LR(0)",
+            TableKind::Slr1 => "SLR(1)",
+            TableKind::Lalr1 => "LALR(1)",
+            TableKind::Lr1 => "LR(1)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A conflict: a table cell with more than one action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// State (row) of the conflicting cell.
+    pub state: StateId,
+    /// Terminal (column) of the conflicting cell.
+    pub symbol: SymbolId,
+    /// All actions in the cell.
+    pub actions: Vec<Action>,
+}
+
+impl Conflict {
+    /// `true` if the conflict involves a shift and a reduce.
+    pub fn is_shift_reduce(&self) -> bool {
+        self.actions.iter().any(|a| matches!(a, Action::Shift(_)))
+            && self.actions.iter().any(|a| matches!(a, Action::Reduce(_)))
+    }
+
+    /// `true` if the conflict involves two different reduces.
+    pub fn is_reduce_reduce(&self) -> bool {
+        self.actions
+            .iter()
+            .filter(|a| matches!(a, Action::Reduce(_)))
+            .count()
+            > 1
+    }
+}
+
+/// Access interface shared by all table-driven parsers.
+///
+/// The deterministic [`crate::parser::LrParser`] and the parallel parser in
+/// `ipg-glr` are written against this trait, so the same driver runs over
+/// an eagerly generated [`ParseTable`] *and* over the lazily generated
+/// item-set graph of the `ipg` crate — whose `actions` implementation
+/// expands item sets on demand, which is why the methods take `&mut self`.
+pub trait ParserTables {
+    /// The state in which parsing starts.
+    fn start_state(&self) -> StateId;
+
+    /// The paper's `ACTION(state, symbol)`: the set of possible actions for
+    /// `state` with the terminal `symbol` as the current input symbol.
+    fn actions(&mut self, state: StateId, symbol: SymbolId) -> Vec<Action>;
+
+    /// The paper's `GOTO(state, symbol)`: the successor state after
+    /// reducing a rule that delivered the non-terminal `symbol`.
+    fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId>;
+
+    /// Human-readable description of the table (used in reports).
+    fn describe(&self) -> String {
+        "parser tables".to_owned()
+    }
+}
+
+/// A fully materialised ACTION/GOTO table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParseTable {
+    kind: TableKind,
+    start: StateId,
+    /// `actions[state][terminal] -> actions` (sparse, ordered for
+    /// deterministic rendering).
+    actions: Vec<BTreeMap<SymbolId, Vec<Action>>>,
+    /// `gotos[state][nonterminal] -> state`.
+    gotos: Vec<BTreeMap<SymbolId, StateId>>,
+}
+
+impl ParseTable {
+    /// Builds an LR(0) table from an eagerly generated automaton: reduce
+    /// actions are entered under *every* terminal (including `$`), exactly
+    /// as in Fig. 4.1(b).
+    pub fn lr0(automaton: &Lr0Automaton, grammar: &Grammar) -> Self {
+        Self::from_automaton(automaton, grammar, TableKind::Lr0, |_rule, _terminal| true)
+    }
+
+    /// Builds an SLR(1) table: reduce `A ::= β` only under terminals in
+    /// FOLLOW(A).
+    pub fn slr1(automaton: &Lr0Automaton, grammar: &Grammar) -> Self {
+        let analysis = GrammarAnalysis::compute(grammar);
+        Self::from_automaton(automaton, grammar, TableKind::Slr1, |rule, terminal| {
+            analysis.follow(grammar.rule(rule).lhs).contains(&terminal)
+        })
+    }
+
+    fn from_automaton(
+        automaton: &Lr0Automaton,
+        grammar: &Grammar,
+        kind: TableKind,
+        mut reduce_on: impl FnMut(RuleId, SymbolId) -> bool,
+    ) -> Self {
+        let terminals: Vec<SymbolId> = grammar.symbols().terminals().collect();
+        let mut actions = Vec::with_capacity(automaton.num_states());
+        let mut gotos = Vec::with_capacity(automaton.num_states());
+        for state in automaton.states() {
+            let mut row: BTreeMap<SymbolId, Vec<Action>> = BTreeMap::new();
+            let mut goto_row = BTreeMap::new();
+            for (&symbol, &target) in &state.transitions {
+                if grammar.is_terminal(symbol) {
+                    row.entry(symbol).or_default().push(Action::Shift(target));
+                } else {
+                    goto_row.insert(symbol, target);
+                }
+            }
+            for &rule in &state.reductions {
+                for &terminal in &terminals {
+                    if reduce_on(rule, terminal) {
+                        row.entry(terminal).or_default().push(Action::Reduce(rule));
+                    }
+                }
+            }
+            if state.accepting {
+                row.entry(grammar.eof_symbol())
+                    .or_default()
+                    .push(Action::Accept);
+            }
+            actions.push(row);
+            gotos.push(goto_row);
+        }
+        ParseTable {
+            kind,
+            start: automaton.start_state(),
+            actions,
+            gotos,
+        }
+    }
+
+    /// Creates a table directly from rows; used by the LALR(1)/LR(1)
+    /// constructions in [`crate::lalr`].
+    pub(crate) fn from_rows(
+        kind: TableKind,
+        start: StateId,
+        actions: Vec<BTreeMap<SymbolId, Vec<Action>>>,
+        gotos: Vec<BTreeMap<SymbolId, StateId>>,
+    ) -> Self {
+        ParseTable {
+            kind,
+            start,
+            actions,
+            gotos,
+        }
+    }
+
+    /// The lookahead discipline used to build this table.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// Number of states (rows).
+    pub fn num_states(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Total number of ACTION entries (counting every action in every cell).
+    pub fn num_action_entries(&self) -> usize {
+        self.actions
+            .iter()
+            .map(|row| row.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Total number of GOTO entries.
+    pub fn num_goto_entries(&self) -> usize {
+        self.gotos.iter().map(BTreeMap::len).sum()
+    }
+
+    /// The actions of one cell (empty slice means error).
+    pub fn actions_at(&self, state: StateId, symbol: SymbolId) -> &[Action] {
+        self.actions[state.index()]
+            .get(&symbol)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The GOTO entry of a cell.
+    pub fn goto_at(&self, state: StateId, symbol: SymbolId) -> Option<StateId> {
+        self.gotos[state.index()].get(&symbol).copied()
+    }
+
+    /// All conflicting cells.
+    pub fn conflicts(&self) -> Vec<Conflict> {
+        let mut out = Vec::new();
+        for (i, row) in self.actions.iter().enumerate() {
+            for (&symbol, cell) in row {
+                if cell.len() > 1 {
+                    out.push(Conflict {
+                        state: StateId::from_index(i),
+                        symbol,
+                        actions: cell.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if no cell holds more than one action, i.e. the table can be
+    /// used by a deterministic LR parser.
+    pub fn is_deterministic(&self) -> bool {
+        self.actions
+            .iter()
+            .all(|row| row.values().all(|cell| cell.len() <= 1))
+    }
+
+    /// Renders the table in the style of Fig. 4.1(b): one row per state,
+    /// one column per terminal (ACTION) and non-terminal (GOTO).
+    pub fn render(&self, grammar: &Grammar) -> String {
+        let terminals: Vec<SymbolId> = grammar.symbols().terminals().collect();
+        let nonterminals: Vec<SymbolId> = grammar
+            .symbols()
+            .nonterminals()
+            .filter(|&nt| nt != grammar.start_symbol())
+            .collect();
+
+        let mut out = String::new();
+        out.push_str(&format!("{} parse table\n", self.kind));
+        out.push_str("state |");
+        for &t in &terminals {
+            out.push_str(&format!(" {:>8}", grammar.name(t)));
+        }
+        out.push_str(" |");
+        for &nt in &nonterminals {
+            out.push_str(&format!(" {:>4}", grammar.name(nt)));
+        }
+        out.push('\n');
+        for (i, row) in self.actions.iter().enumerate() {
+            out.push_str(&format!("{:>5} |", i));
+            for &t in &terminals {
+                let cell = row
+                    .get(&t)
+                    .map(|actions| {
+                        actions
+                            .iter()
+                            .map(|a| render_action(*a))
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    })
+                    .unwrap_or_default();
+                out.push_str(&format!(" {cell:>8}"));
+            }
+            out.push_str(" |");
+            for &nt in &nonterminals {
+                let cell = self.gotos[i]
+                    .get(&nt)
+                    .map(|s| s.to_string())
+                    .unwrap_or_default();
+                out.push_str(&format!(" {cell:>4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_action(action: Action) -> String {
+    match action {
+        Action::Shift(s) => format!("s{}", s.0),
+        Action::Reduce(r) => format!("r{}", r.index()),
+        Action::Accept => "acc".to_owned(),
+    }
+}
+
+impl ParserTables for ParseTable {
+    fn start_state(&self) -> StateId {
+        self.start
+    }
+
+    fn actions(&mut self, state: StateId, symbol: SymbolId) -> Vec<Action> {
+        self.actions_at(state, symbol).to_vec()
+    }
+
+    fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId> {
+        self.goto_at(state, symbol)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} table with {} states", self.kind, self.num_states())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    fn booleans_lr0() -> (ipg_grammar::Grammar, ParseTable) {
+        let g = fixtures::booleans();
+        let a = Lr0Automaton::build(&g);
+        let t = ParseTable::lr0(&a, &g);
+        (g, t)
+    }
+
+    #[test]
+    fn booleans_lr0_table_shape() {
+        let (g, t) = booleans_lr0();
+        assert_eq!(t.num_states(), 8);
+        assert_eq!(t.kind(), TableKind::Lr0);
+        // Fig. 4.1(b): the LR(0) table of the (ambiguous) Booleans grammar
+        // has shift/reduce conflicts in the states after `B or B` / `B and B`.
+        assert!(!t.is_deterministic());
+        let conflicts = t.conflicts();
+        assert!(!conflicts.is_empty());
+        assert!(conflicts.iter().all(Conflict::is_shift_reduce));
+        assert!(conflicts.iter().all(|c| !c.is_reduce_reduce()));
+        assert!(t.num_action_entries() > t.num_states());
+        assert!(t.num_goto_entries() >= 3);
+        let _ = g;
+    }
+
+    #[test]
+    fn start_state_shifts_on_true() {
+        let (g, t) = booleans_lr0();
+        let tt = g.symbol("true").unwrap();
+        let actions = t.actions_at(t.start_state(), tt);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], Action::Shift(_)));
+    }
+
+    #[test]
+    fn accept_appears_under_eof() {
+        let (g, t) = booleans_lr0();
+        let b = g.symbol("B").unwrap();
+        let after_b = t.goto_at(t.start_state(), b).unwrap();
+        let actions = t.actions_at(after_b, g.eof_symbol());
+        assert!(actions.contains(&Action::Accept));
+    }
+
+    #[test]
+    fn error_cells_are_empty() {
+        let (g, t) = booleans_lr0();
+        let or = g.symbol("or").unwrap();
+        assert!(t.actions_at(t.start_state(), or).is_empty());
+        assert_eq!(t.goto_at(t.start_state(), g.start_symbol()), None);
+    }
+
+    #[test]
+    fn slr_table_of_arithmetic_is_deterministic() {
+        let g = fixtures::arithmetic();
+        let a = Lr0Automaton::build(&g);
+        let lr0 = ParseTable::lr0(&a, &g);
+        let slr = ParseTable::slr1(&a, &g);
+        // The arithmetic grammar is not LR(0) but is SLR(1).
+        assert!(!lr0.is_deterministic());
+        assert!(slr.is_deterministic());
+        assert_eq!(slr.kind(), TableKind::Slr1);
+        assert!(slr.num_action_entries() < lr0.num_action_entries());
+    }
+
+    #[test]
+    fn parser_tables_trait_round_trip() {
+        let (g, mut t) = booleans_lr0();
+        let tt = g.symbol("true").unwrap();
+        let b = g.symbol("B").unwrap();
+        let start = <ParseTable as ParserTables>::start_state(&t);
+        assert_eq!(start, StateId(0));
+        assert_eq!(t.actions(start, tt).len(), 1);
+        assert!(t.goto(start, b).is_some());
+        assert!(t.describe().contains("LR(0)"));
+    }
+
+    #[test]
+    fn render_produces_rows_for_every_state() {
+        let (g, t) = booleans_lr0();
+        let text = t.render(&g);
+        assert!(text.contains("LR(0) parse table"));
+        assert!(text.contains("acc"));
+        assert_eq!(text.lines().count(), 2 + t.num_states());
+    }
+
+    #[test]
+    fn table_kind_display() {
+        assert_eq!(TableKind::Lalr1.to_string(), "LALR(1)");
+        assert_eq!(TableKind::Lr0.to_string(), "LR(0)");
+    }
+}

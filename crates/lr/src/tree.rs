@@ -1,0 +1,214 @@
+//! Concrete parse trees produced by the deterministic LR parser.
+//!
+//! The parallel parser in `ipg-glr` produces a *shared forest* instead; it
+//! can be lowered to (one or all of) these plain trees.
+
+use std::fmt;
+
+use ipg_grammar::{Grammar, RuleId, SymbolId};
+
+/// A concrete syntax tree: leaves are input tokens, internal nodes are rule
+/// applications.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseTree {
+    /// A terminal leaf: the token's symbol and its position in the input.
+    Leaf {
+        /// Terminal symbol of the token.
+        symbol: SymbolId,
+        /// 0-based index of the token in the input sentence.
+        position: usize,
+    },
+    /// An application of `rule`, with one child per right-hand-side symbol.
+    Node {
+        /// The rule that was reduced.
+        rule: RuleId,
+        /// Children in left-to-right order (empty for epsilon rules).
+        children: Vec<ParseTree>,
+    },
+}
+
+impl ParseTree {
+    /// The symbol this tree derives: the terminal of a leaf or the
+    /// left-hand side of a node's rule.
+    pub fn symbol(&self, grammar: &Grammar) -> SymbolId {
+        match self {
+            ParseTree::Leaf { symbol, .. } => *symbol,
+            ParseTree::Node { rule, .. } => grammar.rule(*rule).lhs,
+        }
+    }
+
+    /// Total number of nodes (leaves + internal).
+    pub fn size(&self) -> usize {
+        match self {
+            ParseTree::Leaf { .. } => 1,
+            ParseTree::Node { children, .. } => 1 + children.iter().map(ParseTree::size).sum::<usize>(),
+        }
+    }
+
+    /// Number of leaves, i.e. the number of input tokens covered.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ParseTree::Leaf { .. } => 1,
+            ParseTree::Node { children, .. } => {
+                children.iter().map(ParseTree::leaf_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Height of the tree (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        match self {
+            ParseTree::Leaf { .. } => 1,
+            ParseTree::Node { children, .. } => {
+                1 + children.iter().map(ParseTree::height).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// The sequence of leaf symbols, left to right (the yield of the tree).
+    pub fn fringe(&self) -> Vec<SymbolId> {
+        let mut out = Vec::new();
+        self.collect_fringe(&mut out);
+        out
+    }
+
+    fn collect_fringe(&self, out: &mut Vec<SymbolId>) {
+        match self {
+            ParseTree::Leaf { symbol, .. } => out.push(*symbol),
+            ParseTree::Node { children, .. } => {
+                for c in children {
+                    c.collect_fringe(out);
+                }
+            }
+        }
+    }
+
+    /// Renders the tree as an indented outline, e.g.
+    ///
+    /// ```text
+    /// B ::= B or B
+    ///   B ::= true
+    ///   or
+    ///   B ::= false
+    /// ```
+    pub fn render(&self, grammar: &Grammar) -> String {
+        let mut out = String::new();
+        self.render_into(grammar, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, grammar: &Grammar, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            ParseTree::Leaf { symbol, .. } => {
+                out.push_str(grammar.name(*symbol));
+                out.push('\n');
+            }
+            ParseTree::Node { rule, children } => {
+                out.push_str(&grammar.rule(*rule).display(grammar.symbols()).to_string());
+                out.push('\n');
+                for c in children {
+                    c.render_into(grammar, depth + 1, out);
+                }
+            }
+        }
+    }
+
+    /// Renders the tree as a single-line s-expression, handy in tests:
+    /// `(B (B true) or (B false))`.
+    pub fn to_sexpr(&self, grammar: &Grammar) -> String {
+        match self {
+            ParseTree::Leaf { symbol, .. } => grammar.name(*symbol).to_owned(),
+            ParseTree::Node { rule, children } => {
+                let mut out = format!("({}", grammar.name(grammar.rule(*rule).lhs));
+                for c in children {
+                    out.push(' ');
+                    out.push_str(&c.to_sexpr(grammar));
+                }
+                out.push(')');
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Display for ParseTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTree::Leaf { symbol, position } => write!(f, "leaf({symbol:?}@{position})"),
+            ParseTree::Node { rule, children } => {
+                write!(f, "node({rule:?}, {} children)", children.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+
+    fn sample_tree() -> (Grammar, ParseTree) {
+        let g = fixtures::booleans();
+        let b = g.symbol("B").unwrap();
+        let t = g.symbol("true").unwrap();
+        let f = g.symbol("false").unwrap();
+        let or = g.symbol("or").unwrap();
+        let r_true = g.find_rule(b, &[t]).unwrap();
+        let r_false = g.find_rule(b, &[f]).unwrap();
+        let r_or = g.find_rule(b, &[b, or, b]).unwrap();
+        let tree = ParseTree::Node {
+            rule: r_or,
+            children: vec![
+                ParseTree::Node {
+                    rule: r_true,
+                    children: vec![ParseTree::Leaf { symbol: t, position: 0 }],
+                },
+                ParseTree::Leaf { symbol: or, position: 1 },
+                ParseTree::Node {
+                    rule: r_false,
+                    children: vec![ParseTree::Leaf { symbol: f, position: 2 }],
+                },
+            ],
+        };
+        (g, tree)
+    }
+
+    #[test]
+    fn size_and_counts() {
+        let (_, tree) = sample_tree();
+        assert_eq!(tree.size(), 6);
+        assert_eq!(tree.leaf_count(), 3);
+        assert_eq!(tree.height(), 3);
+    }
+
+    #[test]
+    fn fringe_is_the_input_sentence() {
+        let (g, tree) = sample_tree();
+        let names: Vec<_> = tree.fringe().iter().map(|&s| g.name(s).to_owned()).collect();
+        assert_eq!(names, vec!["true", "or", "false"]);
+    }
+
+    #[test]
+    fn symbol_is_lhs_of_root_rule() {
+        let (g, tree) = sample_tree();
+        assert_eq!(tree.symbol(&g), g.symbol("B").unwrap());
+    }
+
+    #[test]
+    fn sexpr_rendering() {
+        let (g, tree) = sample_tree();
+        assert_eq!(tree.to_sexpr(&g), "(B (B true) or (B false))");
+    }
+
+    #[test]
+    fn outline_rendering_mentions_rules_and_leaves() {
+        let (g, tree) = sample_tree();
+        let text = tree.render(&g);
+        assert!(text.contains("B ::= B or B"));
+        assert!(text.contains("  or"));
+        assert!(format!("{tree}").contains("children"));
+    }
+}

@@ -1,0 +1,378 @@
+//! Normalisation of an SDF definition into the two artefacts the rest of
+//! the system consumes:
+//!
+//! * a context-free [`Grammar`] (iterations `A+`, `A*` and `{A ","}+` are
+//!   expanded into auxiliary non-terminals, literals become terminals,
+//!   lexical sorts become terminals), and
+//! * a [`Scanner`] whose token definitions are derived from the lexical
+//!   syntax (layout sorts become skipped tokens, context-free literals
+//!   become keywords).
+//!
+//! This mirrors what the ASF/SDF system does before handing the grammar to
+//! ISG/IPG.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use ipg_grammar::{Associativity, Grammar, SymbolId};
+use ipg_lexer::{Regex, Scanner, TokenDef};
+
+use crate::ast::{CfElem, LexElem, SdfDefinition, SdfIterator};
+
+/// Errors produced during normalisation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// The definition has no context-free sort to use as the start sort.
+    NoStartSort,
+    /// A sort is referenced but declared neither as a lexical nor as a
+    /// context-free sort with functions.
+    UndefinedLexicalSort(String),
+    /// Lexical sorts may not be (mutually) recursive: their definitions
+    /// must reduce to regular expressions.
+    RecursiveLexicalSort(String),
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::NoStartSort => write!(f, "the definition declares no start sort"),
+            NormalizeError::UndefinedLexicalSort(s) => {
+                write!(f, "lexical sort `{s}` has no defining function")
+            }
+            NormalizeError::RecursiveLexicalSort(s) => {
+                write!(f, "lexical sort `{s}` is defined recursively")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// The result of normalising an SDF definition.
+#[derive(Debug)]
+pub struct NormalizedSdf {
+    /// The context-free grammar (with `START ::= <start sort>`).
+    pub grammar: Grammar,
+    /// The scanner derived from the lexical syntax plus the grammar's
+    /// keyword literals.
+    pub scanner: Scanner,
+}
+
+/// The name of the auxiliary non-terminal generated for an iterated sort,
+/// e.g. `CF-ELEM+`. Exposed so that grammar modifications (like the one in
+/// the paper's §7 measurement) can refer to the same symbol.
+pub fn iter_symbol_name(sort: &str, iter: SdfIterator) -> String {
+    format!("{sort}{iter}")
+}
+
+/// The name of the auxiliary non-terminal generated for a separated
+/// iteration, e.g. `{SORT ","}+`.
+pub fn sep_iter_symbol_name(sort: &str, separator: &str, iter: SdfIterator) -> String {
+    format!("{{{sort} \"{separator}\"}}{iter}")
+}
+
+/// Converts the definition into a grammar and a scanner.
+pub fn normalize(def: &SdfDefinition) -> Result<NormalizedSdf, NormalizeError> {
+    let grammar = to_grammar(def)?;
+    let scanner = to_scanner(def)?;
+    Ok(NormalizedSdf { grammar, scanner })
+}
+
+/// Converts only the context-free part into a grammar.
+pub fn to_grammar(def: &SdfDefinition) -> Result<Grammar, NormalizeError> {
+    let start_sort = def.start_sort().ok_or(NormalizeError::NoStartSort)?.to_owned();
+    let mut grammar = Grammar::new();
+    let mut generated_aux: HashSet<String> = HashSet::new();
+
+    for function in &def.cf_functions {
+        let lhs = grammar.nonterminal(&function.sort);
+        let mut rhs = Vec::with_capacity(function.elems.len());
+        for elem in &function.elems {
+            let symbol = cf_elem_symbol(def, &mut grammar, &mut generated_aux, elem);
+            rhs.push(symbol);
+        }
+        let assoc = associativity_of(&function.attributes);
+        grammar.add_rule_with(lhs, rhs, None, assoc, 0);
+    }
+
+    let start_nt = grammar.nonterminal(&start_sort);
+    grammar.add_start_rule(start_nt);
+    Ok(grammar)
+}
+
+fn associativity_of(attributes: &[String]) -> Associativity {
+    for attr in attributes {
+        match attr.as_str() {
+            "left-assoc" | "assoc" => return Associativity::Left,
+            "right-assoc" => return Associativity::Right,
+            "non-assoc" => return Associativity::NonAssoc,
+            _ => {}
+        }
+    }
+    Associativity::None
+}
+
+/// Maps a context-free element to a grammar symbol, creating auxiliary
+/// iteration non-terminals (and their rules) on first use.
+fn cf_elem_symbol(
+    def: &SdfDefinition,
+    grammar: &mut Grammar,
+    generated: &mut HashSet<String>,
+    elem: &CfElem,
+) -> SymbolId {
+    match elem {
+        CfElem::Literal(text) => grammar.terminal(text),
+        CfElem::Sort(name) => sort_symbol(def, grammar, name),
+        CfElem::Iter(name, iter) => {
+            let aux_name = iter_symbol_name(name, *iter);
+            let aux = grammar.nonterminal(&aux_name);
+            if generated.insert(aux_name) {
+                let element = sort_symbol(def, grammar, name);
+                // aux+ ::= aux+ elem | elem       aux* ::= aux* elem | <empty>
+                grammar.add_rule(aux, vec![aux, element]);
+                match iter {
+                    SdfIterator::Plus => grammar.add_rule(aux, vec![element]),
+                    SdfIterator::Star => grammar.add_rule(aux, vec![]),
+                };
+            }
+            aux
+        }
+        CfElem::SepIter { sort, separator, iter } => {
+            let aux_name = sep_iter_symbol_name(sort, separator, *iter);
+            let aux = grammar.nonterminal(&aux_name);
+            if generated.insert(aux_name) {
+                let element = sort_symbol(def, grammar, sort);
+                let sep = grammar.terminal(separator);
+                grammar.add_rule(aux, vec![aux, sep, element]);
+                match iter {
+                    SdfIterator::Plus => grammar.add_rule(aux, vec![element]),
+                    SdfIterator::Star => {
+                        grammar.add_rule(aux, vec![element]);
+                        grammar.add_rule(aux, vec![])
+                    }
+                };
+            }
+            aux
+        }
+    }
+}
+
+fn sort_symbol(def: &SdfDefinition, grammar: &mut Grammar, name: &str) -> SymbolId {
+    if def.is_lexical_sort(name) {
+        grammar.terminal(name)
+    } else {
+        grammar.nonterminal(name)
+    }
+}
+
+/// Derives the scanner: layout definitions, keyword literals of the
+/// context-free syntax, then the lexical sorts used as terminals.
+pub fn to_scanner(def: &SdfDefinition) -> Result<Scanner, NormalizeError> {
+    let mut definitions = Vec::new();
+    for layout in &def.layout_sorts {
+        let regex = regex_for_sort(def, layout, &mut HashSet::new())?;
+        definitions.push(TokenDef::layout(layout, regex));
+    }
+    for keyword in def.cf_literals() {
+        definitions.push(TokenDef::keyword(&keyword));
+    }
+    for sort in def.terminal_sorts() {
+        let regex = regex_for_sort(def, &sort, &mut HashSet::new())?;
+        definitions.push(TokenDef::new(&sort, regex));
+    }
+    Ok(Scanner::new(definitions))
+}
+
+/// Builds the regular expression of a lexical sort by inlining the sorts it
+/// references (lexical definitions must be non-recursive).
+fn regex_for_sort(
+    def: &SdfDefinition,
+    sort: &str,
+    visiting: &mut HashSet<String>,
+) -> Result<Regex, NormalizeError> {
+    if !visiting.insert(sort.to_owned()) {
+        return Err(NormalizeError::RecursiveLexicalSort(sort.to_owned()));
+    }
+    let mut alternatives = Vec::new();
+    for function in def.lexical_functions.iter().filter(|f| f.sort == sort) {
+        let mut parts = Vec::with_capacity(function.elems.len());
+        for elem in &function.elems {
+            let part = match elem {
+                LexElem::Literal(text) => Regex::literal(text),
+                LexElem::Class(class) => Regex::class(class.clone()),
+                LexElem::ClassIter(class, SdfIterator::Plus) => Regex::class(class.clone()).plus(),
+                LexElem::ClassIter(class, SdfIterator::Star) => Regex::class(class.clone()).star(),
+                LexElem::Sort(name) => regex_for_sort(def, name, visiting)?,
+                LexElem::Iter(name, SdfIterator::Plus) => {
+                    regex_for_sort(def, name, visiting)?.plus()
+                }
+                LexElem::Iter(name, SdfIterator::Star) => {
+                    regex_for_sort(def, name, visiting)?.star()
+                }
+            };
+            parts.push(part);
+        }
+        alternatives.push(Regex::concat(parts));
+    }
+    visiting.remove(sort);
+    if alternatives.is_empty() {
+        return Err(NormalizeError::UndefinedLexicalSort(sort.to_owned()));
+    }
+    Ok(Regex::alt(alternatives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_sdf;
+    use ipg::IpgSession;
+    use ipg_glr::GssParser;
+    use ipg_lr::{Lr0Automaton, ParseTable};
+
+    const BOOLEANS: &str = r#"
+        module Booleans
+        begin
+            lexical syntax
+                sorts IDENT
+                layout WHITE-SPACE
+                functions
+                    [a-z] [a-z0-9]*  -> IDENT
+                    [ \t\n]+         -> WHITE-SPACE
+            context-free syntax
+                sorts B
+                functions
+                    "true"       -> B
+                    "false"      -> B
+                    B "or" B     -> B {left-assoc}
+                    B "and" B    -> B {left-assoc}
+        end Booleans
+    "#;
+
+    const LISTS: &str = r#"
+        module Lists
+        begin
+            lexical syntax
+                sorts NAME
+                layout WS
+                functions
+                    [a-zA-Z]+   -> NAME
+                    [ \t\n]+    -> WS
+            context-free syntax
+                sorts DECLS, DECL
+                functions
+                    "declare" {DECL ","}+ "end"  -> DECLS
+                    NAME NAME*                   -> DECL
+        end Lists
+    "#;
+
+    #[test]
+    fn boolean_module_round_trips_to_a_working_parser() {
+        let def = parse_sdf(BOOLEANS).unwrap();
+        let normalized = normalize(&def).unwrap();
+        let mut scanner = normalized.scanner;
+        let grammar = normalized.grammar;
+        grammar.validate().unwrap();
+        let tokens = scanner.tokenize_for(&grammar, "true or false and true").unwrap();
+        assert_eq!(tokens.len(), 5);
+        let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let parser = GssParser::new(&grammar);
+        assert!(parser.recognize(&mut table, &tokens));
+        let bad = scanner.tokenize_for(&grammar, "true or or").unwrap();
+        assert!(!parser.recognize(&mut table, &bad));
+    }
+
+    #[test]
+    fn associativity_attributes_are_applied() {
+        let def = parse_sdf(BOOLEANS).unwrap();
+        let grammar = to_grammar(&def).unwrap();
+        let b = grammar.symbol("B").unwrap();
+        let or = grammar.symbol("or").unwrap();
+        let rule = grammar.find_rule(b, &[b, or, b]).unwrap();
+        assert_eq!(grammar.rule(rule).assoc, Associativity::Left);
+    }
+
+    #[test]
+    fn iterations_expand_to_auxiliary_nonterminals() {
+        let def = parse_sdf(LISTS).unwrap();
+        let grammar = to_grammar(&def).unwrap();
+        grammar.validate().unwrap();
+        let star = grammar.symbol(&iter_symbol_name("NAME", SdfIterator::Star)).unwrap();
+        assert!(grammar.is_nonterminal(star));
+        assert_eq!(grammar.rules_for(star).count(), 2);
+        let seplist = grammar
+            .symbol(&sep_iter_symbol_name("DECL", ",", SdfIterator::Plus))
+            .unwrap();
+        assert_eq!(grammar.rules_for(seplist).count(), 2);
+        // Lexical sorts become terminals.
+        assert!(grammar.is_terminal(grammar.symbol("NAME").unwrap()));
+    }
+
+    #[test]
+    fn normalized_module_parses_separated_lists_end_to_end() {
+        let def = parse_sdf(LISTS).unwrap();
+        let NormalizedSdf { grammar, mut scanner } = normalize(&def).unwrap();
+        let text = "declare point x y, circle centre radius, empty end";
+        let tokens = scanner.tokenize_for(&grammar, text).unwrap();
+        let mut session = IpgSession::new(grammar);
+        assert!(session.parse(&tokens).accepted);
+        let bad = scanner
+            .tokenize_for(session.grammar(), "declare , end")
+            .unwrap();
+        assert!(!session.parse(&bad).accepted);
+    }
+
+    #[test]
+    fn missing_lexical_definitions_are_reported() {
+        let def = parse_sdf(
+            r#"
+            module Broken
+            begin
+                lexical syntax
+                    sorts ID
+                context-free syntax
+                    sorts S
+                    functions
+                        ID -> S
+            end Broken
+            "#,
+        )
+        .unwrap();
+        assert!(to_grammar(&def).is_ok());
+        assert_eq!(
+            to_scanner(&def).unwrap_err(),
+            NormalizeError::UndefinedLexicalSort("ID".to_owned())
+        );
+    }
+
+    #[test]
+    fn recursive_lexical_sorts_are_rejected() {
+        let def = parse_sdf(
+            r#"
+            module Rec
+            begin
+                lexical syntax
+                    sorts A
+                    functions
+                        "x" A -> A
+                context-free syntax
+                    sorts S
+                    functions
+                        A -> S
+            end Rec
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            to_scanner(&def).unwrap_err(),
+            NormalizeError::RecursiveLexicalSort("A".to_owned())
+        );
+    }
+
+    #[test]
+    fn empty_definition_has_no_start() {
+        let def = SdfDefinition::default();
+        assert_eq!(to_grammar(&def).unwrap_err(), NormalizeError::NoStartSort);
+        let err = NormalizeError::NoStartSort;
+        assert!(err.to_string().contains("start sort"));
+    }
+}

@@ -1,0 +1,625 @@
+//! A hand-written parser for the SDF subset.
+//!
+//! This is the bootstrap parser: it reads SDF definitions as text (most
+//! importantly the SDF definition of SDF from Appendix B) so that the
+//! resulting grammar can in turn be handed to PG / IPG — which is exactly
+//! the paper's experimental setup, where "the grammar of SDF has to be
+//! expressed in SDF itself to be acceptable to PG and IPG".
+
+use std::fmt;
+
+use ipg_lexer::CharClass;
+
+use crate::ast::{CfElem, CfFunction, LexElem, LexicalFunction, SdfDefinition, SdfIterator};
+
+/// A parse error with a line number and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SdfParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SdfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SDF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SdfParseError {}
+
+/// Tokens of the SDF notation itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Literal(String),
+    Class(String),
+    Arrow,
+    Plus,
+    Star,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Greater,
+    Less,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Spanned>, SdfParseError> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Comment to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut lit = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            let escaped = chars.get(i + 1).copied().ok_or_else(|| SdfParseError {
+                                line,
+                                message: "dangling escape in literal".to_owned(),
+                            })?;
+                            lit.push(match escaped {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            lit.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(SdfParseError {
+                                line,
+                                message: "unterminated literal".to_owned(),
+                            })
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Literal(lit), line });
+            }
+            '[' | '~' => {
+                let start = i;
+                if chars[i] == '~' {
+                    i += 1;
+                    if chars.get(i) != Some(&'[') {
+                        return Err(SdfParseError {
+                            line,
+                            message: "expected `[` after `~`".to_owned(),
+                        });
+                    }
+                }
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some(']') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => i += 2,
+                        Some(_) => i += 1,
+                        None => {
+                            return Err(SdfParseError {
+                                line,
+                                message: "unterminated character class".to_owned(),
+                            })
+                        }
+                    }
+                }
+                let class: String = chars[start..i].iter().collect();
+                out.push(Spanned { tok: Tok::Class(class), line });
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                out.push(Spanned { tok: Tok::Arrow, line });
+                i += 2;
+            }
+            '+' => {
+                out.push(Spanned { tok: Tok::Plus, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Tok::Star, line });
+                i += 1;
+            }
+            '{' => {
+                out.push(Spanned { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Spanned { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Tok::RParen, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Tok::Comma, line });
+                i += 1;
+            }
+            '>' => {
+                out.push(Spanned { tok: Tok::Greater, line });
+                i += 1;
+            }
+            '<' => {
+                out.push(Spanned { tok: Tok::Less, line });
+                i += 1;
+            }
+            c if c.is_alphabetic() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '-' || chars[i] == '_')
+                {
+                    // Do not swallow a `--` comment or `->` arrow that
+                    // immediately follows an identifier.
+                    if chars[i] == '-'
+                        && matches!(chars.get(i + 1), Some(&'-') | Some(&'>'))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                out.push(Spanned { tok: Tok::Ident(ident), line });
+            }
+            other => {
+                return Err(SdfParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SdfParseError {
+        SdfParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_ident(&mut self, expected: &str) -> Result<(), SdfParseError> {
+        match self.bump() {
+            Some(Tok::Ident(id)) if id == expected => Ok(()),
+            other => Err(self.error(format!("expected `{expected}`, found {other:?}"))),
+        }
+    }
+
+    fn take_ident(&mut self) -> Result<String, SdfParseError> {
+        match self.bump() {
+            Some(Tok::Ident(id)) => Ok(id),
+            other => Err(self.error(format!("expected an identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(id)) if id == word)
+    }
+}
+
+/// Parses an SDF module.
+pub fn parse_sdf(text: &str) -> Result<SdfDefinition, SdfParseError> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut def = SdfDefinition::default();
+
+    p.expect_ident("module")?;
+    def.name = p.take_ident()?;
+    p.expect_ident("begin")?;
+
+    // Sections may appear in any order; Appendix B uses lexical syntax then
+    // context-free syntax.
+    loop {
+        if p.at_ident("end") {
+            break;
+        }
+        if p.at_ident("lexical") {
+            p.bump();
+            p.expect_ident("syntax")?;
+            parse_lexical_section(&mut p, &mut def)?;
+        } else if p.at_ident("context-free") {
+            p.bump();
+            p.expect_ident("syntax")?;
+            parse_context_free_section(&mut p, &mut def)?;
+        } else {
+            return Err(p.error(format!(
+                "expected `lexical syntax`, `context-free syntax` or `end`, found {:?}",
+                p.peek()
+            )));
+        }
+    }
+    p.expect_ident("end")?;
+    let closing = p.take_ident()?;
+    if closing != def.name {
+        return Err(p.error(format!(
+            "module `{}` closed by `end {closing}`",
+            def.name
+        )));
+    }
+    Ok(def)
+}
+
+fn parse_sort_list(p: &mut Parser) -> Result<Vec<String>, SdfParseError> {
+    let mut sorts = vec![p.take_ident()?];
+    while matches!(p.peek(), Some(Tok::Comma)) {
+        p.bump();
+        sorts.push(p.take_ident()?);
+    }
+    Ok(sorts)
+}
+
+fn section_keyword(p: &Parser) -> bool {
+    p.at_ident("sorts")
+        || p.at_ident("layout")
+        || p.at_ident("functions")
+        || p.at_ident("priorities")
+        || p.at_ident("lexical")
+        || p.at_ident("context-free")
+        || p.at_ident("end")
+}
+
+fn parse_lexical_section(p: &mut Parser, def: &mut SdfDefinition) -> Result<(), SdfParseError> {
+    loop {
+        if p.at_ident("sorts") {
+            p.bump();
+            def.lexical_sorts.extend(parse_sort_list(p)?);
+        } else if p.at_ident("layout") {
+            p.bump();
+            def.layout_sorts.extend(parse_sort_list(p)?);
+        } else if p.at_ident("functions") {
+            p.bump();
+            while !section_keyword(p) && p.peek().is_some() {
+                def.lexical_functions.push(parse_lexical_function(p)?);
+            }
+        } else {
+            return Ok(());
+        }
+    }
+}
+
+fn parse_lexical_function(p: &mut Parser) -> Result<LexicalFunction, SdfParseError> {
+    let mut elems = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::Arrow) => {
+                p.bump();
+                let sort = p.take_ident()?;
+                return Ok(LexicalFunction { elems, sort });
+            }
+            Some(Tok::Ident(_)) => {
+                let name = p.take_ident()?;
+                match p.peek() {
+                    Some(Tok::Plus) => {
+                        p.bump();
+                        elems.push(LexElem::Iter(name, SdfIterator::Plus));
+                    }
+                    Some(Tok::Star) => {
+                        p.bump();
+                        elems.push(LexElem::Iter(name, SdfIterator::Star));
+                    }
+                    _ => elems.push(LexElem::Sort(name)),
+                }
+            }
+            Some(Tok::Literal(_)) => {
+                if let Some(Tok::Literal(l)) = p.bump() {
+                    elems.push(LexElem::Literal(l));
+                }
+            }
+            Some(Tok::Class(_)) => {
+                if let Some(Tok::Class(text)) = p.bump() {
+                    let class = CharClass::parse(&text)
+                        .map_err(|e| p.error(format!("bad character class: {e}")))?;
+                    match p.peek() {
+                        Some(Tok::Plus) => {
+                            p.bump();
+                            elems.push(LexElem::ClassIter(class, SdfIterator::Plus));
+                        }
+                        Some(Tok::Star) => {
+                            p.bump();
+                            elems.push(LexElem::ClassIter(class, SdfIterator::Star));
+                        }
+                        _ => elems.push(LexElem::Class(class)),
+                    }
+                }
+            }
+            other => return Err(p.error(format!("unexpected {other:?} in lexical function"))),
+        }
+    }
+}
+
+fn parse_context_free_section(
+    p: &mut Parser,
+    def: &mut SdfDefinition,
+) -> Result<(), SdfParseError> {
+    loop {
+        if p.at_ident("sorts") {
+            p.bump();
+            def.cf_sorts.extend(parse_sort_list(p)?);
+        } else if p.at_ident("priorities") {
+            p.bump();
+            // Priorities are recorded as raw token text up to the next
+            // section keyword; they are not needed for the measurements.
+            let mut raw = String::new();
+            while !section_keyword(p) && p.peek().is_some() {
+                raw.push_str(&format!("{:?} ", p.bump().expect("peeked")));
+            }
+            def.priorities.push(raw.trim().to_owned());
+        } else if p.at_ident("functions") {
+            p.bump();
+            while !section_keyword(p) && p.peek().is_some() {
+                def.cf_functions.push(parse_cf_function(p)?);
+            }
+        } else {
+            return Ok(());
+        }
+    }
+}
+
+fn parse_cf_function(p: &mut Parser) -> Result<CfFunction, SdfParseError> {
+    let mut elems = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::Arrow) => {
+                p.bump();
+                let sort = p.take_ident()?;
+                let mut attributes = Vec::new();
+                // A `{` after the sort is an attribute list only if it looks
+                // like `{ ident , ... }`; otherwise it is the start of the
+                // next function's `{SORT "sep"}+` element.
+                let looks_like_attributes = matches!(p.peek(), Some(Tok::LBrace))
+                    && matches!(p.tokens.get(p.pos + 1).map(|s| &s.tok), Some(Tok::Ident(_)))
+                    && matches!(
+                        p.tokens.get(p.pos + 2).map(|s| &s.tok),
+                        Some(Tok::Comma) | Some(Tok::RBrace)
+                    );
+                if looks_like_attributes {
+                    p.bump();
+                    loop {
+                        match p.bump() {
+                            Some(Tok::Ident(a)) => attributes.push(a),
+                            Some(Tok::Comma) => {}
+                            Some(Tok::RBrace) => break,
+                            other => {
+                                return Err(
+                                    p.error(format!("unexpected {other:?} in attribute list"))
+                                )
+                            }
+                        }
+                    }
+                }
+                return Ok(CfFunction { elems, sort, attributes });
+            }
+            Some(Tok::Ident(_)) => {
+                let name = p.take_ident()?;
+                match p.peek() {
+                    Some(Tok::Plus) => {
+                        p.bump();
+                        elems.push(CfElem::Iter(name, SdfIterator::Plus));
+                    }
+                    Some(Tok::Star) => {
+                        p.bump();
+                        elems.push(CfElem::Iter(name, SdfIterator::Star));
+                    }
+                    _ => elems.push(CfElem::Sort(name)),
+                }
+            }
+            Some(Tok::Literal(_)) => {
+                if let Some(Tok::Literal(l)) = p.bump() {
+                    elems.push(CfElem::Literal(l));
+                }
+            }
+            Some(Tok::LBrace) => {
+                p.bump();
+                let sort = p.take_ident()?;
+                let separator = match p.bump() {
+                    Some(Tok::Literal(l)) => l,
+                    other => {
+                        return Err(p.error(format!("expected separator literal, found {other:?}")))
+                    }
+                };
+                match p.bump() {
+                    Some(Tok::RBrace) => {}
+                    other => return Err(p.error(format!("expected `}}`, found {other:?}"))),
+                }
+                let iter = match p.bump() {
+                    Some(Tok::Plus) => SdfIterator::Plus,
+                    Some(Tok::Star) => SdfIterator::Star,
+                    other => {
+                        return Err(p.error(format!("expected `+` or `*`, found {other:?}")))
+                    }
+                };
+                elems.push(CfElem::SepIter { sort, separator, iter });
+            }
+            other => return Err(p.error(format!("unexpected {other:?} in context-free function"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SdfIterator;
+
+    const SMALL: &str = r#"
+        module Booleans
+        begin
+            lexical syntax
+                sorts ID
+                layout WHITE-SPACE
+                functions
+                    [a-z]+          -> ID
+                    [ \t\n]         -> WHITE-SPACE
+            context-free syntax
+                sorts B
+                functions
+                    "true"          -> B
+                    "false"         -> B
+                    B "or" B        -> B  {left-assoc}
+                    B "and" B       -> B  {left-assoc}
+        end Booleans
+    "#;
+
+    #[test]
+    fn parses_a_small_module() {
+        let def = parse_sdf(SMALL).unwrap();
+        assert_eq!(def.name, "Booleans");
+        assert_eq!(def.lexical_sorts, vec!["ID"]);
+        assert_eq!(def.layout_sorts, vec!["WHITE-SPACE"]);
+        assert_eq!(def.lexical_functions.len(), 2);
+        assert_eq!(def.cf_sorts, vec!["B"]);
+        assert_eq!(def.cf_functions.len(), 4);
+        assert_eq!(def.cf_functions[2].attributes, vec!["left-assoc"]);
+        assert_eq!(def.start_sort(), Some("B"));
+    }
+
+    #[test]
+    fn parses_iterations_and_separated_lists() {
+        let def = parse_sdf(
+            r#"
+            module Lists
+            begin
+                context-free syntax
+                    sorts LIST, ELEM
+                    functions
+                        "[" {ELEM ","}* "]" -> LIST
+                        ELEM+               -> LIST
+                        "x"                 -> ELEM
+            end Lists
+            "#,
+        )
+        .unwrap();
+        assert_eq!(def.cf_functions.len(), 3);
+        match &def.cf_functions[0].elems[1] {
+            CfElem::SepIter { sort, separator, iter } => {
+                assert_eq!(sort, "ELEM");
+                assert_eq!(separator, ",");
+                assert_eq!(*iter, SdfIterator::Star);
+            }
+            other => panic!("expected separated iteration, got {other:?}"),
+        }
+        match &def.cf_functions[1].elems[0] {
+            CfElem::Iter(sort, SdfIterator::Plus) => assert_eq!(sort, "ELEM"),
+            other => panic!("expected iteration, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_empty_productions() {
+        let def = parse_sdf(
+            r#"
+            module Empties
+            begin
+                context-free syntax
+                    sorts OPT
+                    functions
+                        -- empty --
+                                -> OPT
+                        "x"     -> OPT
+            end Empties
+            "#,
+        )
+        .unwrap();
+        assert_eq!(def.cf_functions.len(), 2);
+        assert!(def.cf_functions[0].elems.is_empty());
+    }
+
+    #[test]
+    fn priorities_are_recorded_but_not_interpreted() {
+        let def = parse_sdf(
+            r#"
+            module Prio
+            begin
+                context-free syntax
+                    sorts E
+                    priorities
+                        "*" > "+"
+                    functions
+                        E "+" E -> E
+                        E "*" E -> E
+                        "id"    -> E
+            end Prio
+            "#,
+        )
+        .unwrap();
+        assert_eq!(def.priorities.len(), 1);
+        assert!(def.priorities[0].contains('*'));
+        assert_eq!(def.cf_functions.len(), 3);
+    }
+
+    #[test]
+    fn error_reporting_mentions_lines() {
+        let err = parse_sdf("module X begin garbage end X").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        assert!(parse_sdf("module X begin end Y").is_err());
+        assert!(parse_sdf("module X begin lexical syntax functions \"a -> B end X").is_err());
+    }
+
+    #[test]
+    fn mismatched_class_and_literal_errors() {
+        assert!(parse_sdf("module X begin lexical syntax functions [a-z -> ID end X").is_err());
+        assert!(parse_sdf("module X begin context-free syntax functions { B \",\" -> L end X").is_err());
+    }
+}

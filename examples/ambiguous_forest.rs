@@ -1,0 +1,51 @@
+//! Parsing with ambiguous grammars: the parallel LR parser returns a shared
+//! forest containing *every* derivation, with local ambiguities packed —
+//! the behaviour that makes IPG suitable for the user-defined syntax /
+//! expression grammars of the paper's introduction (OBJ, ASF/SDF).
+//!
+//! Run with `cargo run --example ambiguous_forest`.
+
+use ipg::IpgSession;
+use ipg_grammar::fixtures;
+
+fn main() {
+    // E ::= E + E | E * E | ( E ) | id  — the classic ambiguous expression
+    // grammar; no precedence, no associativity.
+    let mut session = IpgSession::new(fixtures::ambiguous_expressions());
+
+    for sentence in [
+        "id + id",
+        "id + id * id",
+        "id + id + id + id",
+        "( id + id ) * id",
+    ] {
+        let result = session.parse_sentence(sentence).expect("tokens known");
+        let count = result.forest.tree_count(10_000);
+        println!(
+            "`{sentence}`: {} parse(s), forest has {} nodes / {} packed derivations",
+            count,
+            result.forest.num_nodes(),
+            result.forest.num_derivations()
+        );
+        for (i, tree) in result.forest.trees(3).iter().enumerate() {
+            println!("  parse {}: {}", i + 1, tree.to_sexpr(session.grammar()));
+        }
+        if count > 3 {
+            println!("  ... and {} more", count - 3);
+        }
+    }
+
+    // The number of parses of id + id + ... + id grows with the Catalan
+    // numbers — but the forest stays polynomial thanks to sharing.
+    println!("\nCatalan growth (parses vs forest size):");
+    for operators in 1..=8 {
+        let sentence = "id".to_owned() + &" + id".repeat(operators);
+        let result = session.parse_sentence(&sentence).expect("tokens known");
+        println!(
+            "  {} operators: {:>5} parses, {:>4} forest nodes",
+            operators,
+            result.forest.tree_count(1_000_000),
+            result.forest.num_nodes()
+        );
+    }
+}

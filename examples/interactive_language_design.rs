@@ -1,0 +1,104 @@
+//! The paper's motivating scenario (§1): a language is being *designed*,
+//! so its grammar changes all the time, and each change must be absorbed
+//! without regenerating the parser — while sentences are being parsed
+//! continuously, as a syntax-directed editor would.
+//!
+//! This example grows a small statement language step by step, parses
+//! after every step, and prints how much of the parser was reused.
+//!
+//! Run with `cargo run --example interactive_language_design`.
+
+use ipg::IpgSession;
+
+fn step(session: &mut IpgSession, action: &str, sentences: &[(&str, bool)]) {
+    println!("== {action}");
+    for (sentence, expected) in sentences {
+        let accepted = session
+            .parse_sentence(sentence)
+            .map(|r| r.accepted)
+            .unwrap_or(false);
+        let marker = if accepted == *expected { "ok " } else { "?? " };
+        println!("   {marker} `{sentence}` -> {}", if accepted { "accepted" } else { "rejected" });
+        assert_eq!(accepted, *expected, "unexpected verdict for `{sentence}`");
+    }
+    let size = session.graph_size();
+    let stats = session.stats();
+    println!(
+        "   table: {size}; expansions so far: {} (+{} re-expansions), modifications: {}\n",
+        stats.expansions, stats.re_expansions, stats.modifications
+    );
+}
+
+fn main() {
+    let mut session = IpgSession::from_bnf(
+        r#"
+        STMT ::= "print" EXPR
+        EXPR ::= "num"
+        START ::= STMT
+        "#,
+    )
+    .expect("grammar parses");
+
+    step(
+        &mut session,
+        "initial language: `print num`",
+        &[("print num", true), ("num", false)],
+    );
+
+    session.add_rule_text(r#"EXPR ::= EXPR "+" EXPR"#).expect("rule ok");
+    step(
+        &mut session,
+        "add infix addition",
+        &[("print num + num + num", true), ("print +", false)],
+    );
+
+    session.add_rule_text(r#"STMT ::= "if" EXPR "then" STMT "else" STMT"#).expect("rule ok");
+    session.add_rule_text(r#"EXPR ::= "id""#).expect("rule ok");
+    step(
+        &mut session,
+        "add conditionals and identifiers",
+        &[
+            ("if id + num then print id else print num", true),
+            ("if then else", false),
+        ],
+    );
+
+    // Both rules go in one fragment so that `STMTS` is recognised as a
+    // non-terminal (it has a defining rule in the same text).
+    session
+        .add_rule_text(
+            r#"
+            STMT ::= "begin" STMTS "end"
+            STMTS ::= STMT | STMTS ";" STMT
+            "#,
+        )
+        .expect("rules ok");
+    step(
+        &mut session,
+        "add statement blocks",
+        &[
+            ("begin print num ; print id ; if id then print num else print id end", true),
+            ("begin end", false),
+        ],
+    );
+
+    // The designer reconsiders: conditionals should not need an else branch,
+    // and the old form is removed.
+    session.add_rule_text(r#"STMT ::= "if" EXPR "then" STMT"#).expect("rule ok");
+    session
+        .remove_rule_text(r#"STMT ::= "if" EXPR "then" STMT "else" STMT"#)
+        .expect("rule existed");
+    step(
+        &mut session,
+        "replace if/then/else by if/then",
+        &[
+            ("if id then print num", true),
+            ("if id + num then print id else print num", false),
+        ],
+    );
+
+    // Garbage-collect item sets that the removed rule left behind.
+    session.collect_garbage();
+    println!("after garbage collection: {}", session.graph_size());
+    println!("final statistics:\n{}", session.stats());
+}

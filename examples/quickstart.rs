@@ -1,0 +1,48 @@
+//! Quickstart: lazy and incremental parsing with IPG in a dozen lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ipg::IpgSession;
+
+fn main() {
+    // The grammar of the Booleans from Fig. 4.1(a) of the paper. The
+    // grammar is ambiguous — that is fine, the parser is a Tomita-style
+    // parallel LR parser.
+    let mut session = IpgSession::from_bnf(
+        r#"
+        B ::= "true" | "false" | B "or" B | B "and" B
+        START ::= B
+        "#,
+    )
+    .expect("grammar parses");
+
+    // There is no parser-generation phase: parsing starts immediately and
+    // the parse table materialises behind the scenes, by need.
+    let result = session.parse_sentence("true and true").expect("known tokens");
+    println!("`true and true` accepted: {}", result.accepted);
+    println!(
+        "item sets generated so far: {} ({:.0}% of the full table)",
+        session.graph_size().complete,
+        session.coverage() * 100.0
+    );
+
+    // Ambiguous sentences yield a shared forest with every parse.
+    let result = session.parse_sentence("true or true or true").expect("known tokens");
+    println!(
+        "`true or true or true` has {} parses",
+        result.forest.tree_count(100)
+    );
+    if let Some(tree) = result.forest.first_tree() {
+        println!("one of them:\n{}", tree.render(session.grammar()));
+    }
+
+    // The language designer changes the grammar; the existing parse table
+    // is updated incrementally, not regenerated.
+    session.add_rule_text(r#"B ::= "unknown""#).expect("rule parses");
+    let result = session.parse_sentence("unknown or false").expect("known tokens");
+    println!("`unknown or false` accepted after the change: {}", result.accepted);
+    println!(
+        "\ngenerator statistics after the whole session:\n{}",
+        session.stats()
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the whole IPG reproduction for the examples
+//! and integration tests. Downstream users normally depend on the individual
+//! crates (`ipg`, `ipg-lr`, `ipg-glr`, ...) directly.
+
+pub use ipg as core;
+pub use ipg_baselines as baselines;
+pub use ipg_earley as earley;
+pub use ipg_glr as glr;
+pub use ipg_grammar as grammar;
+pub use ipg_lexer as lexer;
+pub use ipg_lr as lr;
+pub use ipg_sdf as sdf;

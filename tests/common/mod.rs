@@ -1,0 +1,91 @@
+//! Shared helpers for the integration tests: random-grammar and
+//! random-sentence strategies used by the property tests.
+
+use ipg_grammar::Grammar;
+use proptest::prelude::*;
+
+/// A compact, serialisable description of a random grammar, from which a
+/// real [`Grammar`] is built. Keeping the description simple makes proptest
+/// shrinking meaningful.
+#[derive(Clone, Debug)]
+pub struct GrammarSpec {
+    /// For each non-terminal (index 0 is the start), its rules; each rule
+    /// is a list of symbol codes: `0..num_terminals` are terminals,
+    /// `num_terminals..` are non-terminals.
+    pub rules: Vec<Vec<Vec<usize>>>,
+    /// Number of terminal symbols in the alphabet.
+    pub num_terminals: usize,
+}
+
+pub const TERMINAL_NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+pub const NONTERMINAL_NAMES: [&str; 4] = ["N0", "N1", "N2", "N3"];
+
+impl GrammarSpec {
+    /// Materialises the spec as a grammar with `START ::= N0`.
+    pub fn build(&self) -> Grammar {
+        let mut g = Grammar::new();
+        let terminals: Vec<_> = TERMINAL_NAMES[..self.num_terminals]
+            .iter()
+            .map(|n| g.terminal(n))
+            .collect();
+        let nonterminals: Vec<_> = NONTERMINAL_NAMES[..self.rules.len()]
+            .iter()
+            .map(|n| g.nonterminal(n))
+            .collect();
+        for (nt_index, rules) in self.rules.iter().enumerate() {
+            for rhs_codes in rules {
+                let rhs = rhs_codes
+                    .iter()
+                    .map(|&code| {
+                        if code < self.num_terminals {
+                            terminals[code]
+                        } else {
+                            nonterminals[(code - self.num_terminals) % self.rules.len()]
+                        }
+                    })
+                    .collect();
+                g.add_rule(nonterminals[nt_index], rhs);
+            }
+        }
+        g.add_start_rule(nonterminals[0]);
+        g
+    }
+}
+
+/// Strategy for random grammar specs.
+///
+/// `allow_epsilon` controls whether empty right-hand sides are generated
+/// (they are the main source of pathological interactions in generalised
+/// LR parsing, so some properties want them and some do not).
+pub fn grammar_spec(allow_epsilon: bool) -> impl Strategy<Value = GrammarSpec> {
+    let num_terminals = 3usize;
+    let num_nonterminals = 3usize;
+    let min_len = usize::from(!allow_epsilon);
+    let symbol = 0..(num_terminals + num_nonterminals);
+    let rhs = prop::collection::vec(symbol, min_len..=3);
+    let rules_per_nt = prop::collection::vec(rhs, 1..=3);
+    prop::collection::vec(rules_per_nt, num_nonterminals..=num_nonterminals).prop_map(move |rules| {
+        GrammarSpec {
+            rules,
+            num_terminals,
+        }
+    })
+}
+
+/// Strategy for random sentences over the first `num_terminals` terminal
+/// names, to be resolved against a concrete grammar.
+pub fn sentence(max_len: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..3usize, 0..=max_len)
+}
+
+/// Resolves a sentence of terminal codes against a grammar.
+pub fn resolve_sentence(grammar: &Grammar, codes: &[usize]) -> Vec<ipg_grammar::SymbolId> {
+    codes
+        .iter()
+        .map(|&c| {
+            grammar
+                .symbol(TERMINAL_NAMES[c])
+                .expect("terminal interned by GrammarSpec::build")
+        })
+        .collect()
+}

@@ -1,0 +1,169 @@
+//! The central correctness property of the paper: after any sequence of
+//! `ADD-RULE` / `DELETE-RULE` operations, the incrementally updated
+//! item-set graph accepts exactly the same sentences as a parser generated
+//! from scratch for the modified grammar.
+
+mod common;
+
+use common::{grammar_spec, resolve_sentence, sentence, NONTERMINAL_NAMES, TERMINAL_NAMES};
+use proptest::prelude::*;
+
+use ipg::{GcPolicy, ItemSetGraph, LazyTables};
+use ipg_glr::GssParser;
+use ipg_grammar::Grammar;
+use ipg_lr::{Lr0Automaton, ParseTable};
+
+/// One grammar modification in a random editing session.
+#[derive(Clone, Debug)]
+enum Edit {
+    /// Add rule `N_{lhs} ::= rhs` (same symbol coding as [`GrammarSpec`]).
+    Add { lhs: usize, rhs: Vec<usize> },
+    /// Remove the i-th currently active rule (modulo the number of rules).
+    RemoveNth(usize),
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0..3usize, prop::collection::vec(0..6usize, 0..=3))
+            .prop_map(|(lhs, rhs)| Edit::Add { lhs, rhs }),
+        (0..12usize).prop_map(Edit::RemoveNth),
+    ]
+}
+
+fn symbol_for_code(grammar: &mut Grammar, code: usize) -> ipg_grammar::SymbolId {
+    if code < 3 {
+        grammar.terminal(TERMINAL_NAMES[code])
+    } else {
+        grammar.nonterminal(NONTERMINAL_NAMES[(code - 3) % 3])
+    }
+}
+
+/// Applies one edit to a grammar+graph pair (incremental path) and to a
+/// plain grammar (from-scratch path), keeping both grammars identical.
+fn apply_edit(
+    edit: &Edit,
+    grammar: &mut Grammar,
+    graph: &mut ItemSetGraph,
+) {
+    match edit {
+        Edit::Add { lhs, rhs } => {
+            let lhs = grammar.nonterminal(NONTERMINAL_NAMES[*lhs % 3]);
+            let rhs: Vec<_> = rhs.iter().map(|&c| symbol_for_code(grammar, c)).collect();
+            graph.acknowledge_non_structural_change(grammar);
+            graph.add_rule(grammar, lhs, rhs);
+        }
+        Edit::RemoveNth(n) => {
+            // Never remove the START rule (the paper's grammars always keep
+            // their start production; removing it would just make every
+            // sentence unparseable).
+            let removable: Vec<_> = grammar
+                .rules()
+                .filter(|r| r.lhs != grammar.start_symbol())
+                .map(|r| (r.lhs, r.rhs.clone()))
+                .collect();
+            if removable.is_empty() {
+                return;
+            }
+            let (lhs, rhs) = removable[n % removable.len()].clone();
+            graph
+                .remove_rule(grammar, lhs, &rhs)
+                .expect("rule taken from the active set");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After every edit of a random editing session, the incrementally
+    /// maintained graph and a freshly generated LR(0) table accept exactly
+    /// the same sentences.
+    #[test]
+    fn incremental_update_equals_regeneration(
+        spec in grammar_spec(true),
+        edits in prop::collection::vec(edit_strategy(), 1..6),
+        sentences in prop::collection::vec(sentence(5), 4),
+        policy_choice in 0..3usize,
+    ) {
+        let mut grammar = spec.build();
+        prop_assume!(grammar.validate().is_ok());
+        let policy = match policy_choice {
+            0 => GcPolicy::Retain,
+            1 => GcPolicy::RefCount,
+            _ => GcPolicy::RefCountWithSweep { threshold_percent: 20 },
+        };
+        let mut graph = ItemSetGraph::with_policy(&grammar, policy);
+
+        // Warm the lazy graph a little before editing, as an editor would.
+        {
+            let parser = GssParser::new(&grammar);
+            for codes in &sentences {
+                let tokens = resolve_sentence(&grammar, codes);
+                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+            }
+        }
+
+        for edit in &edits {
+            apply_edit(edit, &mut grammar, &mut graph);
+
+            // Reference: a parser generated from scratch for the *current*
+            // grammar.
+            let mut fresh = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+            let parser = GssParser::new(&grammar);
+            for codes in &sentences {
+                let tokens = resolve_sentence(&grammar, codes);
+                let expected = parser.recognize(&mut fresh, &tokens);
+                let incremental =
+                    parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+                prop_assert_eq!(
+                    incremental,
+                    expected,
+                    "divergence after edit {:?} on sentence {:?}",
+                    edit,
+                    codes
+                );
+            }
+        }
+    }
+
+    /// Removing a rule and adding it back restores the original language.
+    #[test]
+    fn remove_then_re_add_is_identity(
+        spec in grammar_spec(false),
+        sentences in prop::collection::vec(sentence(5), 4),
+        pick in 0..8usize,
+    ) {
+        let mut grammar = spec.build();
+        prop_assume!(grammar.validate().is_ok());
+        let removable: Vec<_> = grammar
+            .rules()
+            .filter(|r| r.lhs != grammar.start_symbol())
+            .map(|r| (r.lhs, r.rhs.clone()))
+            .collect();
+        prop_assume!(!removable.is_empty());
+        let (lhs, rhs) = removable[pick % removable.len()].clone();
+
+        let parser = GssParser::new(&grammar);
+        let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
+        let before: Vec<bool> = sentences
+            .iter()
+            .map(|codes| {
+                let tokens = resolve_sentence(&grammar, codes);
+                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens)
+            })
+            .collect();
+
+        graph.remove_rule(&mut grammar, lhs, &rhs).expect("active rule");
+        graph.add_rule(&mut grammar, lhs, rhs.clone());
+
+        let parser = GssParser::new(&grammar);
+        let after: Vec<bool> = sentences
+            .iter()
+            .map(|codes| {
+                let tokens = resolve_sentence(&grammar, codes);
+                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens)
+            })
+            .collect();
+        prop_assert_eq!(before, after);
+    }
+}

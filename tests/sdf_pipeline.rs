@@ -1,0 +1,141 @@
+//! End-to-end integration of the full ASF/SDF-style pipeline: SDF text →
+//! (ISG scanner + IPG parser) → parse SDF inputs, modify the grammar,
+//! parse again. This is the paper's experimental setup (§7) as a test.
+
+use ipg::{GcPolicy, IpgSession, ItemSetGraph, LazyTables};
+use ipg_glr::GssParser;
+use ipg_lexer::TokenDef;
+use ipg_lr::{Lr0Automaton, ParseTable};
+use ipg_sdf::fixtures::{measurement_inputs, paper_modification_rule, sdf_grammar_and_scanner};
+use ipg_sdf::NormalizedSdf;
+
+#[test]
+fn all_measurement_inputs_parse_with_ipg_and_pg() {
+    let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+    let mut pg_table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+    let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
+    let parser = GssParser::new(&grammar);
+    for input in measurement_inputs() {
+        let tokens = scanner.tokenize_for(&grammar, input.text).expect(input.name);
+        assert!(
+            parser.recognize(&mut pg_table, &tokens),
+            "{} must parse with the eager PG table",
+            input.name
+        );
+        assert!(
+            parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens),
+            "{} must parse with the lazy IPG tables",
+            input.name
+        );
+    }
+}
+
+#[test]
+fn lazy_coverage_is_partial_and_close_to_the_papers_figure() {
+    // §5.2: "only 60 percent of the parse table had to be generated to
+    // parse the SDF definition of SDF itself".
+    let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+    let full = Lr0Automaton::build(&grammar).num_states();
+    let sdf_sdf = measurement_inputs()
+        .into_iter()
+        .find(|i| i.name == "SDF.sdf")
+        .expect("SDF.sdf is a measurement input");
+    let tokens = scanner.tokenize_for(&grammar, sdf_sdf.text).expect("scans");
+
+    let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
+    let parser = GssParser::new(&grammar);
+    assert!(parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens));
+    let coverage = graph.size().coverage_of(full);
+    assert!(
+        coverage > 0.35 && coverage < 0.9,
+        "coverage {coverage:.2} should be a strict subset of the table, in the region of the paper's ~0.6"
+    );
+}
+
+#[test]
+fn paper_modification_is_absorbed_incrementally() {
+    let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+    let mut session = IpgSession::new(grammar);
+
+    // Parse everything once.
+    let mut token_streams = Vec::new();
+    for input in measurement_inputs() {
+        let tokens = scanner
+            .tokenize_for(session.grammar(), input.text)
+            .expect(input.name);
+        assert!(session.parse(&tokens).accepted, "{}", input.name);
+        token_streams.push((input.name, tokens));
+    }
+    let expansions_before = session.stats().expansions;
+
+    // Apply the §7 modification through the session.
+    let (lhs_name, rhs_names) = paper_modification_rule();
+    let lhs = session.nonterminal(&lhs_name);
+    let rhs: Vec<_> = rhs_names
+        .iter()
+        .map(|n| {
+            if n.ends_with('+') {
+                session.nonterminal(n)
+            } else {
+                session.terminal(n)
+            }
+        })
+        .collect();
+    session.add_rule(lhs, rhs);
+    assert_eq!(session.stats().modifications, 1);
+    assert!(session.stats().invalidations > 0);
+
+    // Everything still parses; only the invalidated item sets are
+    // re-expanded, not the whole table.
+    for (name, tokens) in &token_streams {
+        assert!(session.parse(tokens).accepted, "{name} after modification");
+    }
+    let re_expanded = session.stats().re_expansions;
+    assert!(re_expanded > 0, "some item sets must have been re-expanded");
+    assert!(
+        re_expanded + (session.stats().expansions - expansions_before)
+            < expansions_before,
+        "the incremental update re-did less work than the original generation \
+         (re-expansions: {re_expanded}, original expansions: {expansions_before})"
+    );
+
+    // A module that actually uses the new `( ... )?` syntax now parses.
+    scanner.add_definition(TokenDef::keyword(")?"));
+    let optional_module = r#"
+        module Optional
+        begin
+            context-free syntax
+                sorts D
+                functions
+                    "unit" ( D D )? -> D
+        end Optional
+    "#;
+    let tokens = scanner
+        .tokenize_for(session.grammar(), optional_module)
+        .expect("new syntax scans");
+    assert!(session.parse(&tokens).accepted);
+}
+
+#[test]
+fn sdf_sourced_grammar_agrees_with_earley() {
+    // Cross-check the normalised SDF grammar with a completely independent
+    // parsing algorithm on a modest input.
+    let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+    let exp = measurement_inputs()
+        .into_iter()
+        .find(|i| i.name == "exp.sdf")
+        .expect("exp.sdf exists");
+    let tokens = scanner.tokenize_for(&grammar, exp.text).expect("scans");
+    let earley = ipg_earley::EarleyParser::new(&grammar);
+    assert!(earley.recognize(&tokens));
+
+    // And a corrupted input is rejected by both.
+    let mut broken = tokens.clone();
+    broken.truncate(broken.len() - 2);
+    let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+    assert_eq!(
+        earley.recognize(&broken),
+        GssParser::new(&grammar).recognize(&mut table, &broken)
+    );
+    assert!(!earley.recognize(&broken));
+}
