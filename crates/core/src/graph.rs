@@ -60,6 +60,44 @@ pub enum GcPolicy {
     },
 }
 
+/// A dense, symbol-indexed shadow of a complete item set's transitions —
+/// the action-row cache of the lazy tables (the §5.1 `ACTION`/`GOTO` hot
+/// path). One `u32` per interned symbol maps the symbol to its shift/GOTO
+/// target (`0` = no edge), so a steady-state table query is a single array
+/// load instead of a `BTreeMap` walk, with zero heap allocation.
+///
+/// A row's validity is tied to the life cycle of the item set it shadows:
+/// it is built lazily on the first query after the node becomes `Complete`
+/// and dropped the moment the node is invalidated by `MODIFY` or replaced
+/// by `RE-EXPAND` — exactly when the underlying expansion itself becomes
+/// invalid (§6 semantics).
+#[derive(Clone, Debug)]
+pub struct ActionRow {
+    /// Grammar version at build time (diagnostic; validity is structural).
+    version: u64,
+    /// `symbol index -> target state + 1`, `0` meaning no transition.
+    targets: Vec<u32>,
+}
+
+impl ActionRow {
+    /// The shift/GOTO target recorded for `symbol`, if any. Symbols
+    /// interned after the row was built read as "no transition", which is
+    /// correct: the node cannot have grown an edge on them without being
+    /// re-expanded (which drops the row).
+    #[inline]
+    pub fn target(&self, symbol: SymbolId) -> Option<StateId> {
+        match self.targets.get(symbol.index()) {
+            Some(&t) if t != 0 => Some(StateId(t - 1)),
+            _ => None,
+        }
+    }
+
+    /// The grammar version the row was built against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
 /// One set of items in the graph.
 #[derive(Clone, Debug)]
 pub struct ItemSetNode {
@@ -82,6 +120,9 @@ pub struct ItemSetNode {
     pub refcount: usize,
     /// `false` once the node has been reclaimed by a garbage collector.
     pub alive: bool,
+    /// Dense table-row cache over `transitions`; `None` until the first
+    /// query after (re-)expansion, dropped on every invalidation.
+    pub row: Option<ActionRow>,
 }
 
 impl ItemSetNode {
@@ -96,6 +137,7 @@ impl ItemSetNode {
             accepting: false,
             refcount: 0,
             alive: true,
+            row: None,
         }
     }
 
@@ -118,6 +160,13 @@ pub struct ItemSetGraph {
     gc: GcPolicy,
     stats: GenStats,
     grammar_version: u64,
+    /// Scratch for `RE-EXPAND`'s old-target snapshot (reused, not
+    /// reallocated per re-expansion).
+    scratch_targets: Vec<StateId>,
+    /// Scratch for `expand_all`'s pending list.
+    scratch_pending: Vec<StateId>,
+    /// Scratch work-stack for iterative `DECR-REFCOUNT`.
+    gc_stack: Vec<StateId>,
 }
 
 impl ItemSetGraph {
@@ -137,6 +186,9 @@ impl ItemSetGraph {
             gc,
             stats: GenStats::default(),
             grammar_version: grammar.version(),
+            scratch_targets: Vec::new(),
+            scratch_pending: Vec::new(),
+            gc_stack: Vec::new(),
         };
         let start = graph.intern_kernel(start_kernel(grammar));
         graph.start = start;
@@ -229,17 +281,16 @@ impl ItemSetGraph {
     /// release the references its old transitions held.
     fn re_expand(&mut self, grammar: &Grammar, id: StateId) {
         self.stats.re_expansions += 1;
-        let old_targets: Vec<StateId> = self.nodes[id.index()]
-            .transitions
-            .values()
-            .copied()
-            .collect();
+        let mut old_targets = std::mem::take(&mut self.scratch_targets);
+        old_targets.clear();
+        old_targets.extend(self.nodes[id.index()].transitions.values().copied());
         self.expand_common(grammar, id);
         if self.refcounting() {
-            for target in old_targets {
+            for &target in &old_targets {
                 self.decr_refcount(target);
             }
         }
+        self.scratch_targets = old_targets;
     }
 
     fn expand_common(&mut self, grammar: &Grammar, id: StateId) {
@@ -281,6 +332,40 @@ impl ItemSetGraph {
         node.reductions = reductions;
         node.accepting = accepting;
         node.kind = ItemSetKind::Complete;
+        // The dense row shadows the (old) transitions; rebuild on demand.
+        node.row = None;
+    }
+
+    /// Builds the dense [`ActionRow`] of a complete node if it is missing.
+    /// The row is the steady-state `ACTION`/`GOTO` fast path: after this,
+    /// table queries for the node are array loads with no allocation.
+    ///
+    /// # Panics
+    /// Debug-asserts that the node is `Complete`; rows of initial/dirty
+    /// nodes would shadow invalid transitions.
+    pub fn ensure_row(&mut self, grammar: &Grammar, id: StateId) {
+        let num_symbols = grammar.symbols().len();
+        let version = grammar.version();
+        let node = &mut self.nodes[id.index()];
+        debug_assert_eq!(
+            node.kind,
+            ItemSetKind::Complete,
+            "action rows only shadow complete item sets"
+        );
+        if node.row.is_some() {
+            return;
+        }
+        let mut targets = vec![0u32; num_symbols];
+        for (&symbol, &target) in &node.transitions {
+            targets[symbol.index()] = target.0 + 1;
+        }
+        node.row = Some(ActionRow { version, targets });
+        self.stats.rows_built += 1;
+    }
+
+    /// The dense action row of a node, if one has been built and is valid.
+    pub fn action_row(&self, id: StateId) -> Option<&ActionRow> {
+        self.nodes[id.index()].row.as_ref()
     }
 
     fn refcounting(&self) -> bool {
@@ -289,36 +374,40 @@ impl ItemSetGraph {
 
     /// The paper's `DECR-REFCOUNT`: release one reference to `id`; if the
     /// count drops to zero the node is reclaimed and the references *it*
-    /// holds are released in turn.
+    /// holds are released in turn. Iterative over a reused work stack, so
+    /// deep release chains neither recurse nor allocate in steady state.
     fn decr_refcount(&mut self, id: StateId) {
-        if id == self.start {
-            return; // the start item set is never collected
+        let mut stack = std::mem::take(&mut self.gc_stack);
+        debug_assert!(stack.is_empty());
+        stack.push(id);
+        while let Some(id) = stack.pop() {
+            if id == self.start {
+                continue; // the start item set is never collected
+            }
+            let idx = id.index();
+            let node = &mut self.nodes[idx];
+            if !node.alive {
+                continue;
+            }
+            node.refcount = node.refcount.saturating_sub(1);
+            if node.refcount > 0 {
+                continue;
+            }
+            node.alive = false;
+            // A dead node is never queried again; free its row (the
+            // largest per-node allocation) immediately.
+            node.row = None;
+            self.stats.nodes_collected += 1;
+            // Only remove the index entry if it still points at this node
+            // (a newer live node may have reused the kernel).
+            if self.kernel_index.get(&self.nodes[idx].kernel) == Some(&id) {
+                self.kernel_index.remove(&self.nodes[idx].kernel);
+            }
+            if self.nodes[idx].kind != ItemSetKind::Initial {
+                stack.extend(self.nodes[idx].transitions.values().copied());
+            }
         }
-        let node = &mut self.nodes[id.index()];
-        if !node.alive {
-            return;
-        }
-        node.refcount = node.refcount.saturating_sub(1);
-        if node.refcount > 0 {
-            return;
-        }
-        node.alive = false;
-        self.stats.nodes_collected += 1;
-        let kernel = node.kernel.clone();
-        let had_transitions = node.kind != ItemSetKind::Initial;
-        let targets: Vec<StateId> = if had_transitions {
-            node.transitions.values().copied().collect()
-        } else {
-            Vec::new()
-        };
-        // Only remove the index entry if it still points at this node (a
-        // newer live node may have reused the kernel).
-        if self.kernel_index.get(&kernel) == Some(&id) {
-            self.kernel_index.remove(&kernel);
-        }
-        for target in targets {
-            self.decr_refcount(target);
-        }
+        self.gc_stack = stack;
     }
 
     /// Adds `lhs ::= rhs` to the grammar and updates the graph — the
@@ -369,6 +458,7 @@ impl ItemSetGraph {
             }
             if node.kind == ItemSetKind::Complete {
                 node.kind = invalidated_kind;
+                node.row = None;
                 self.stats.invalidations += 1;
             } else if node.kind == ItemSetKind::Initial && invalidated_kind == ItemSetKind::Initial
             {
@@ -379,19 +469,17 @@ impl ItemSetGraph {
             self.kernel_index
                 .insert(self.nodes[start.index()].kernel.clone(), start);
         } else {
-            let affected: Vec<StateId> = self
-                .nodes
-                .iter()
-                .filter(|n| {
-                    n.alive
-                        && n.kind == ItemSetKind::Complete
-                        && n.transitions.contains_key(&lhs)
-                })
-                .map(|n| n.id)
-                .collect();
-            for id in affected {
-                self.nodes[id.index()].kind = invalidated_kind;
-                self.stats.invalidations += 1;
+            // Invalidate in place: the cached action rows are dropped in
+            // the same breath as the item sets they shadow.
+            for node in self.nodes.iter_mut() {
+                if node.alive
+                    && node.kind == ItemSetKind::Complete
+                    && node.transitions.contains_key(&lhs)
+                {
+                    node.kind = invalidated_kind;
+                    node.row = None;
+                    self.stats.invalidations += 1;
+                }
             }
         }
 
@@ -450,30 +538,34 @@ impl ItemSetGraph {
         for id in &reachable {
             keep[id.index()] = true;
         }
-        for i in 0..self.nodes.len() {
-            if self.nodes[i].alive && !keep[i] {
+        for (i, &keep_node) in keep.iter().enumerate() {
+            if self.nodes[i].alive && !keep_node {
                 self.nodes[i].alive = false;
+                self.nodes[i].row = None;
                 self.stats.nodes_swept += 1;
-                let kernel = self.nodes[i].kernel.clone();
-                if self.kernel_index.get(&kernel) == Some(&StateId::from_index(i)) {
-                    self.kernel_index.remove(&kernel);
+                if self.kernel_index.get(&self.nodes[i].kernel) == Some(&StateId::from_index(i)) {
+                    self.kernel_index.remove(&self.nodes[i].kernel);
                 }
             }
         }
-        // Recompute reference counts over the surviving graph.
+        // Recompute reference counts over the surviving graph. The edge map
+        // of each node is moved out for the duration of its scan, which
+        // lets the targets be bumped without collecting the edges into a
+        // temporary vector first.
         for node in &mut self.nodes {
             node.refcount = 0;
         }
-        let edges: Vec<StateId> = self
-            .nodes
-            .iter()
-            .filter(|n| n.alive && n.kind != ItemSetKind::Initial)
-            .flat_map(|n| n.transitions.values().copied().collect::<Vec<_>>())
-            .collect();
-        for target in edges {
-            if self.nodes[target.index()].alive {
-                self.nodes[target.index()].refcount += 1;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive || self.nodes[i].kind == ItemSetKind::Initial {
+                continue;
             }
+            let transitions = std::mem::take(&mut self.nodes[i].transitions);
+            for &target in transitions.values() {
+                if self.nodes[target.index()].alive {
+                    self.nodes[target.index()].refcount += 1;
+                }
+            }
+            self.nodes[i].transitions = transitions;
         }
     }
 
@@ -482,22 +574,25 @@ impl ItemSetGraph {
     /// generated automaton — useful for tests and for the "PG via IPG"
     /// comparison.
     pub fn expand_all(&mut self, grammar: &Grammar) {
-        let mut again = true;
-        while again {
-            again = false;
-            let pending: Vec<StateId> = self
-                .nodes
-                .iter()
-                .filter(|n| n.alive && n.needs_expansion())
-                .map(|n| n.id)
-                .collect();
-            for id in pending {
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        loop {
+            pending.clear();
+            pending.extend(
+                self.nodes
+                    .iter()
+                    .filter(|n| n.alive && n.needs_expansion())
+                    .map(|n| n.id),
+            );
+            if pending.is_empty() {
+                break;
+            }
+            for &id in &pending {
                 if self.nodes[id.index()].alive && self.nodes[id.index()].needs_expansion() {
                     self.ensure_expanded(grammar, id);
-                    again = true;
                 }
             }
         }
+        self.scratch_pending = pending;
     }
 
     /// Renders the live part of the graph in the style of the paper's item

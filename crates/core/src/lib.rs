@@ -26,8 +26,8 @@
 //!
 //! | module | paper | contents |
 //! |--------|-------|----------|
-//! | [`graph`] | §4–§6 | the item-set graph, `EXPAND`, `MODIFY`, GC |
-//! | [`tables`] | §5.1 | lazy `ACTION`/`GOTO` as `ipg_lr::ParserTables` |
+//! | [`graph`] | §4–§6 | the item-set graph, `EXPAND`, `MODIFY`, GC, and the dense [`ActionRow`] cache shadowing complete item sets |
+//! | [`tables`] | §5.1 | lazy `ACTION`/`GOTO` as `ipg_lr::ParserTables` — borrow-based, allocation-free on the steady-state path |
 //! | [`session`] | §1, §8 | the interactive language-definition facade |
 //! | [`stats`] | §5.2, §7 | work counters and coverage measurements |
 //!
@@ -50,6 +50,29 @@
 //! session.add_rule_text(r#"B ::= "unknown""#).unwrap();
 //! assert!(session.parse_sentence("unknown or true").unwrap().accepted);
 //! ```
+//!
+//! ## Driving the tables directly
+//!
+//! `ParserTables::actions` answers with a borrowed
+//! [`ipg_lr::ActionsRef`] — the reduce set, the optional shift target and
+//! the accept flag of one ACTION cell, read from a dense per-state row
+//! without allocating:
+//!
+//! ```
+//! use ipg::{ItemSetGraph, LazyTables};
+//! use ipg_grammar::fixtures;
+//! use ipg_lr::ParserTables;
+//!
+//! let grammar = fixtures::booleans();
+//! let mut graph = ItemSetGraph::new(&grammar);
+//! let mut tables = LazyTables::new(&grammar, &mut graph);
+//!
+//! let start = tables.start_state();
+//! let tru = grammar.symbol("true").unwrap();
+//! let cell = tables.actions(start, tru); // expands the start state
+//! assert!(cell.shift.is_some());
+//! assert!(cell.reductions.is_empty() && !cell.accept);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -59,7 +82,7 @@ pub mod session;
 pub mod stats;
 pub mod tables;
 
-pub use graph::{GcPolicy, ItemSetGraph, ItemSetKind, ItemSetNode};
+pub use graph::{ActionRow, GcPolicy, ItemSetGraph, ItemSetKind, ItemSetNode};
 pub use session::{IpgSession, SessionError};
 pub use stats::{GenStats, GraphSize};
 pub use tables::LazyTables;

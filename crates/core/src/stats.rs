@@ -31,6 +31,9 @@ pub struct GenStats {
     pub nodes_swept: usize,
     /// Mark-and-sweep passes run.
     pub sweeps: usize,
+    /// Dense action rows built (once per node per structural change; a
+    /// steady-state parse builds none).
+    pub rows_built: usize,
 }
 
 impl GenStats {
@@ -56,6 +59,7 @@ impl fmt::Display for GenStats {
         writeln!(f, "item sets invalidated:{}", self.invalidations)?;
         writeln!(f, "collected (refcount): {}", self.nodes_collected)?;
         writeln!(f, "collected (sweep):    {}", self.nodes_swept)?;
+        writeln!(f, "action rows built:    {}", self.rows_built)?;
         Ok(())
     }
 }

@@ -4,7 +4,7 @@
 //! item-set graph.
 
 use ipg_grammar::{Grammar, SymbolId};
-use ipg_lr::{Action, ParserTables, StateId};
+use ipg_lr::{ActionsRef, ParserTables, StateId};
 
 use crate::graph::{ItemSetGraph, ItemSetKind};
 
@@ -63,29 +63,29 @@ impl ParserTables for LazyTables<'_> {
     }
 
     /// The lazy `ACTION` of §5.1: "when state is an initial set of items it
-    /// must be expanded first", then the actions are read off the
-    /// transitions and reductions fields.
-    fn actions(&mut self, state: StateId, symbol: SymbolId) -> Vec<Action> {
+    /// must be expanded first", then the actions are read off the node.
+    ///
+    /// Steady-state path (complete node, dense row built): two array loads
+    /// and zero heap allocations — the returned [`ActionsRef`] borrows the
+    /// node's reduction list and reads the shift target from the row.
+    fn actions(&mut self, state: StateId, symbol: SymbolId) -> ActionsRef<'_> {
         self.graph.note_action_call();
         self.graph.ensure_expanded(self.grammar, state);
+        self.graph.ensure_row(self.grammar, state);
         let node = self.graph.node(state);
-        let mut result = Vec::new();
-        for &rule in &node.reductions {
-            result.push(Action::Reduce(rule));
+        let row = node.row.as_ref().expect("row built by ensure_row");
+        ActionsRef {
+            reductions: &node.reductions,
+            shift: row.target(symbol),
+            accept: node.accepting && symbol == self.grammar.eof_symbol(),
         }
-        if let Some(&target) = node.transitions.get(&symbol) {
-            result.push(Action::Shift(target));
-        }
-        if node.accepting && symbol == self.grammar.eof_symbol() {
-            result.push(Action::Accept);
-        }
-        result
     }
 
     /// The `GOTO` of §4. Appendix A proves that `GOTO` is only ever called
-    /// with complete item sets, so no expansion is necessary; the debug
-    /// assertion checks the invariant. (Release builds fall back to
-    /// expanding, which is harmless.)
+    /// with complete item sets, so no expansion is performed — in debug
+    /// *and* release builds alike. The debug assertion checks the
+    /// invariant; a violating call reads as an error entry (`None`) instead
+    /// of silently expanding the set.
     fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId> {
         self.graph.note_goto_call();
         debug_assert_eq!(
@@ -93,8 +93,16 @@ impl ParserTables for LazyTables<'_> {
             ItemSetKind::Complete,
             "Appendix A invariant violated: GOTO called on a non-complete item set"
         );
-        self.graph.ensure_expanded(self.grammar, state);
-        self.graph.node(state).transitions.get(&symbol).copied()
+        if self.graph.node(state).kind != ItemSetKind::Complete {
+            return None;
+        }
+        self.graph.ensure_row(self.grammar, state);
+        self.graph
+            .node(state)
+            .row
+            .as_ref()
+            .expect("row built by ensure_row")
+            .target(symbol)
     }
 
     fn describe(&self) -> String {
@@ -112,7 +120,7 @@ mod tests {
     use crate::graph::GcPolicy;
     use ipg_glr::{GssParser, PoolGlrParser};
     use ipg_grammar::fixtures;
-    use ipg_lr::{tokenize_names, Lr0Automaton, LrParser, ParseTable, ParserTables};
+    use ipg_lr::{tokenize_names, Action, Lr0Automaton, LrParser, ParseTable, ParserTables};
 
     #[test]
     fn lazy_actions_agree_with_eager_lr0_table() {
@@ -133,10 +141,10 @@ mod tests {
                 .map(|n| n.id)
                 .expect("kernel exists in the lazy graph");
             for terminal in g.symbols().terminals() {
-                let mut a: Vec<_> = eager.actions(state.id, terminal);
-                let mut b: Vec<_> = lazy.actions(lazy_id, terminal);
+                let a = eager.actions(state.id, terminal).to_vec();
+                let b = lazy.actions(lazy_id, terminal).to_vec();
                 // Shift targets use different numbering; compare shapes.
-                let shape = |v: &mut Vec<Action>| {
+                let shape = |v: &[Action]| {
                     v.iter()
                         .map(|a| match a {
                             Action::Shift(_) => "s".to_owned(),
@@ -145,7 +153,7 @@ mod tests {
                         })
                         .collect::<std::collections::BTreeSet<_>>()
                 };
-                assert_eq!(shape(&mut a), shape(&mut b), "state {:?} symbol {:?}", state.id, terminal);
+                assert_eq!(shape(&a), shape(&b), "state {:?} symbol {:?}", state.id, terminal);
             }
         }
     }

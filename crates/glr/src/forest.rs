@@ -12,12 +12,15 @@ use std::collections::HashMap;
 use ipg_grammar::{Grammar, RuleId, SymbolId};
 use ipg_lr::ParseTree;
 
+use crate::fxhash::FxHashMap;
+
 /// Identifier of a non-terminal node in a [`Forest`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(u32);
 
 impl NodeId {
-    fn index(self) -> usize {
+    /// Raw index of the node inside its forest.
+    pub fn index(self) -> usize {
         self.0 as usize
     }
 }
@@ -63,7 +66,8 @@ pub struct ForestNode {
 #[derive(Clone, Debug, Default)]
 pub struct Forest {
     nodes: Vec<ForestNode>,
-    index: HashMap<(SymbolId, usize, usize), NodeId>,
+    /// Span interning map; on the parse hot path, hence the fast hasher.
+    index: FxHashMap<(SymbolId, usize, usize), NodeId>,
     roots: Vec<NodeId>,
 }
 

@@ -6,13 +6,27 @@
 //! reductions are applied path-wise, and every reduction records its
 //! derivation in a shared [`Forest`]. The observable language is the same;
 //! the ablation benchmark compares the two.
-
-use std::collections::HashMap;
+//!
+//! ## Hot-loop engineering
+//!
+//! The driver is written to be allocation-free per token once its scratch
+//! structures have warmed up:
+//!
+//! * GSS edges live in one pooled `Vec` as per-node linked lists (no
+//!   per-node edge vectors);
+//! * the active frontier is a pair of reusable dense state-indexed maps
+//!   (`state -> node`, O(1) lookup, O(live states) clear), double-buffered
+//!   between input positions;
+//! * edge de-duplication is a single probe of an [`FxHashSet`] keyed by
+//!   `(from, to, label)` instead of a linear scan of the node's edges;
+//! * reduction paths are enumerated into reusable flat scratch buffers —
+//!   no per-path label vectors are cloned.
 
 use ipg_grammar::{Grammar, RuleId, SymbolId};
-use ipg_lr::{Action, ParserTables, StateId};
+use ipg_lr::{ParserTables, StateId};
 
 use crate::forest::{Forest, ForestRef};
+use crate::fxhash::FxHashSet;
 
 /// Statistics about one GSS parse, used by tests and the ablation bench.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,18 +53,23 @@ pub struct GssParseResult {
     pub stats: GssStats,
 }
 
-#[derive(Clone, Debug)]
+/// Sentinel for "no edge" in the pooled edge lists.
+const NO_EDGE: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
 struct GssNode {
     state: StateId,
     level: usize,
-    /// Edges to predecessor nodes, labelled with the forest slice that the
-    /// edge spans.
-    edges: Vec<GssEdge>,
+    /// Head of this node's edge list in the shared pool.
+    first_edge: u32,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug)]
 struct GssEdge {
-    target: usize,
+    target: u32,
+    /// Next edge of the same source node (`NO_EDGE` terminates).
+    next: u32,
+    /// The forest slice the edge spans.
     label: ForestRef,
 }
 
@@ -59,9 +78,62 @@ struct GssEdge {
 /// already-processed node, Farshi's correction to Tomita's algorithm).
 #[derive(Clone, Copy, Debug)]
 struct PendingReduction {
-    node: usize,
+    node: u32,
     rule: RuleId,
-    via: Option<GssEdge>,
+    via: Option<(u32, ForestRef)>,
+}
+
+/// A reusable dense `state -> GSS node` map for one input position. Lookup
+/// is an array load; clearing walks only the entries actually inserted.
+#[derive(Debug, Default)]
+struct Frontier {
+    /// `state index -> node + 1` (0 = absent).
+    slots: Vec<u32>,
+    /// Insertion-ordered `(state, node)` pairs for iteration and clearing.
+    entries: Vec<(StateId, u32)>,
+}
+
+impl Frontier {
+    #[inline]
+    fn get(&self, state: StateId) -> Option<u32> {
+        match self.slots.get(state.index()) {
+            Some(&v) if v != 0 => Some(v - 1),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, state: StateId, node: u32) {
+        let i = state.index();
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, 0);
+        }
+        debug_assert_eq!(self.slots[i], 0, "frontier holds one node per state");
+        self.slots[i] = node + 1;
+        self.entries.push((state, node));
+    }
+
+    fn clear(&mut self) {
+        for &(state, _) in &self.entries {
+            self.slots[state.index()] = 0;
+        }
+        self.entries.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Packs a [`ForestRef`] into a hashable/dedupable key.
+#[inline]
+fn label_key(label: ForestRef) -> u64 {
+    match label {
+        ForestRef::Leaf { symbol, position } => {
+            (1 << 63) | ((symbol.index() as u64) << 32) | position as u64
+        }
+        ForestRef::Node(node) => node.index() as u64,
+    }
 }
 
 /// The graph-structured-stack parser.
@@ -100,13 +172,23 @@ impl<'g> GssParser<'g> {
         let mut accepted = false;
 
         let mut nodes: Vec<GssNode> = Vec::new();
-        // Frontier: state -> node index, for the current input position.
-        let mut frontier: HashMap<StateId, usize> = HashMap::new();
-        let start_node = push_node(&mut nodes, &mut stats, tables.start_state(), 0);
-        frontier.insert(tables.start_state(), start_node);
+        let mut edges: Vec<GssEdge> = Vec::new();
+        // Edge de-duplication over the whole parse: `(from, to, label)`.
+        let mut seen_edges: FxHashSet<(u32, u32, u64)> = FxHashSet::default();
+        // Double-buffered frontiers for the current/next input position.
+        let mut cur = Frontier::default();
+        let mut next = Frontier::default();
+        let mut pending: Vec<PendingReduction> = Vec::new();
+        // Flat scratch for reduction-path enumeration.
+        let mut path_ends: Vec<u32> = Vec::new();
+        let mut path_labels: Vec<ForestRef> = Vec::new();
+        let mut dfs_labels: Vec<ForestRef> = Vec::new();
         // Nodes in which an accept action was seen; their root edges are
         // collected at the very end, after all reductions have added edges.
-        let mut accepting_nodes: Vec<usize> = Vec::new();
+        let mut accepting_nodes: Vec<u32> = Vec::new();
+
+        let start_node = push_node(&mut nodes, &mut stats, tables.start_state(), 0);
+        cur.insert(tables.start_state(), start_node);
 
         let n = tokens.len();
         for pos in 0..=n {
@@ -114,23 +196,20 @@ impl<'g> GssParser<'g> {
             debug_assert!(self.grammar.is_terminal(symbol));
 
             // --- Reducer -------------------------------------------------
-            let mut pending: Vec<PendingReduction> = Vec::new();
-            for (&state, &node) in frontier.iter() {
-                for action in tables.actions(state, symbol) {
-                    match action {
-                        Action::Reduce(rule) => pending.push(PendingReduction {
-                            node,
-                            rule,
-                            via: None,
-                        }),
-                        Action::Accept => {
-                            if symbol == eof {
-                                accepted = true;
-                                accepting_nodes.push(node);
-                            }
-                        }
-                        Action::Shift(_) => {}
-                    }
+            debug_assert!(pending.is_empty());
+            for i in 0..cur.entries.len() {
+                let (state, node) = cur.entries[i];
+                let actions = tables.actions(state, symbol);
+                for &rule in actions.reductions {
+                    pending.push(PendingReduction {
+                        node,
+                        rule,
+                        via: None,
+                    });
+                }
+                if actions.accept && symbol == eof {
+                    accepted = true;
+                    accepting_nodes.push(node);
                 }
             }
 
@@ -142,17 +221,31 @@ impl<'g> GssParser<'g> {
                     // already handled when the node was created.
                     continue;
                 }
-                let paths = find_paths(&nodes, reduction.node, arity, reduction.via);
-                for path in paths {
+                path_ends.clear();
+                path_labels.clear();
+                find_paths(
+                    &nodes,
+                    &edges,
+                    reduction.node,
+                    arity,
+                    reduction.via,
+                    &mut dfs_labels,
+                    &mut path_ends,
+                    &mut path_labels,
+                );
+                for path in 0..path_ends.len() {
                     stats.reductions += 1;
-                    let target = path.end;
-                    let start_level = nodes[target].level;
-                    let Some(goto_state) = tables.goto(nodes[target].state, rule.lhs) else {
+                    let target = path_ends[path];
+                    let labels = &path_labels[path * arity..(path + 1) * arity];
+                    let start_level = nodes[target as usize].level;
+                    let Some(goto_state) = tables.goto(nodes[target as usize].state, rule.lhs)
+                    else {
                         continue;
                     };
                     let label = if build_forest {
-                        let children: Vec<ForestRef> =
-                            path.labels.iter().rev().copied().collect();
+                        // Labels run from the reducing node outwards, i.e.
+                        // rightmost child first; reverse them for the rule.
+                        let children: Vec<ForestRef> = labels.iter().rev().copied().collect();
                         let forest_node = forest.node_for(rule.lhs, start_level, pos);
                         forest.add_derivation(forest_node, reduction.rule, children);
                         ForestRef::Node(forest_node)
@@ -166,43 +259,50 @@ impl<'g> GssParser<'g> {
                         }
                     };
 
-                    if let Some(&existing) = frontier.get(&goto_state) {
-                        let edge = GssEdge { target, label };
-                        if !nodes[existing].edges.contains(&edge) {
-                            nodes[existing].edges.push(edge);
-                            stats.edges += 1;
+                    if let Some(existing) = cur.get(goto_state) {
+                        if add_edge(
+                            &mut nodes,
+                            &mut edges,
+                            &mut seen_edges,
+                            &mut stats,
+                            existing,
+                            target,
+                            label,
+                        ) {
                             // Re-run the reductions of the existing node,
                             // restricted to paths through the new edge.
-                            for action in tables.actions(goto_state, symbol) {
-                                if let Action::Reduce(r) = action {
-                                    pending.push(PendingReduction {
-                                        node: existing,
-                                        rule: r,
-                                        via: Some(edge),
-                                    });
-                                }
+                            let actions = tables.actions(goto_state, symbol);
+                            for &rule in actions.reductions {
+                                pending.push(PendingReduction {
+                                    node: existing,
+                                    rule,
+                                    via: Some((target, label)),
+                                });
                             }
                         }
                     } else {
                         let new_node = push_node(&mut nodes, &mut stats, goto_state, pos);
-                        nodes[new_node].edges.push(GssEdge { target, label });
-                        stats.edges += 1;
-                        frontier.insert(goto_state, new_node);
-                        for action in tables.actions(goto_state, symbol) {
-                            match action {
-                                Action::Reduce(r) => pending.push(PendingReduction {
-                                    node: new_node,
-                                    rule: r,
-                                    via: None,
-                                }),
-                                Action::Accept => {
-                                    if symbol == eof {
-                                        accepted = true;
-                                        accepting_nodes.push(new_node);
-                                    }
-                                }
-                                Action::Shift(_) => {}
-                            }
+                        add_edge(
+                            &mut nodes,
+                            &mut edges,
+                            &mut seen_edges,
+                            &mut stats,
+                            new_node,
+                            target,
+                            label,
+                        );
+                        cur.insert(goto_state, new_node);
+                        let actions = tables.actions(goto_state, symbol);
+                        for &rule in actions.reductions {
+                            pending.push(PendingReduction {
+                                node: new_node,
+                                rule,
+                                via: None,
+                            });
+                        }
+                        if actions.accept && symbol == eof {
+                            accepted = true;
+                            accepting_nodes.push(new_node);
                         }
                     }
                 }
@@ -215,46 +315,47 @@ impl<'g> GssParser<'g> {
             }
 
             // --- Shifter -------------------------------------------------
-            let mut next_frontier: HashMap<StateId, usize> = HashMap::new();
             let leaf = ForestRef::Leaf {
                 symbol,
                 position: pos,
             };
-            for (&state, &node) in frontier.iter() {
-                for action in tables.actions(state, symbol) {
-                    if let Action::Shift(next_state) = action {
-                        stats.shifts += 1;
-                        let target_node = match next_frontier.get(&next_state) {
-                            Some(&existing) => existing,
-                            None => {
-                                let created =
-                                    push_node(&mut nodes, &mut stats, next_state, pos + 1);
-                                next_frontier.insert(next_state, created);
-                                created
-                            }
-                        };
-                        let edge = GssEdge {
-                            target: node,
-                            label: leaf,
-                        };
-                        if !nodes[target_node].edges.contains(&edge) {
-                            nodes[target_node].edges.push(edge);
-                            stats.edges += 1;
+            for i in 0..cur.entries.len() {
+                let (state, node) = cur.entries[i];
+                let actions = tables.actions(state, symbol);
+                if let Some(next_state) = actions.shift {
+                    stats.shifts += 1;
+                    let target_node = match next.get(next_state) {
+                        Some(existing) => existing,
+                        None => {
+                            let created =
+                                push_node(&mut nodes, &mut stats, next_state, pos + 1);
+                            next.insert(next_state, created);
+                            created
                         }
-                    }
+                    };
+                    add_edge(
+                        &mut nodes,
+                        &mut edges,
+                        &mut seen_edges,
+                        &mut stats,
+                        target_node,
+                        node,
+                        leaf,
+                    );
                 }
             }
-            if next_frontier.is_empty() {
+            if next.is_empty() {
                 // Every parallel parser died: the input is rejected. (The
                 // accept flag can only have been set on the end-marker.)
                 break;
             }
-            frontier = next_frontier;
+            std::mem::swap(&mut cur, &mut next);
+            next.clear();
         }
 
         if build_forest {
             for &node in &accepting_nodes {
-                record_roots(&nodes, node, start_node, &mut forest);
+                record_roots(&nodes, &edges, node, start_node, &mut forest);
             }
         }
 
@@ -266,76 +367,136 @@ impl<'g> GssParser<'g> {
     }
 }
 
-fn push_node(nodes: &mut Vec<GssNode>, stats: &mut GssStats, state: StateId, level: usize) -> usize {
+fn push_node(
+    nodes: &mut Vec<GssNode>,
+    stats: &mut GssStats,
+    state: StateId,
+    level: usize,
+) -> u32 {
     nodes.push(GssNode {
         state,
         level,
-        edges: Vec::new(),
+        first_edge: NO_EDGE,
     });
     stats.nodes += 1;
-    nodes.len() - 1
+    (nodes.len() - 1) as u32
+}
+
+/// Adds the edge `from -> to` with `label` unless an identical edge exists.
+/// Returns whether the edge was new.
+fn add_edge(
+    nodes: &mut [GssNode],
+    edges: &mut Vec<GssEdge>,
+    seen: &mut FxHashSet<(u32, u32, u64)>,
+    stats: &mut GssStats,
+    from: u32,
+    to: u32,
+    label: ForestRef,
+) -> bool {
+    if !seen.insert((from, to, label_key(label))) {
+        return false;
+    }
+    let node = &mut nodes[from as usize];
+    edges.push(GssEdge {
+        target: to,
+        next: node.first_edge,
+        label,
+    });
+    node.first_edge = (edges.len() - 1) as u32;
+    stats.edges += 1;
+    true
 }
 
 /// When an accepting state is reached, every edge from it back to the start
 /// node spans the whole input and carries a root of the forest.
-fn record_roots(nodes: &[GssNode], accepting: usize, start_node: usize, forest: &mut Forest) {
-    for edge in &nodes[accepting].edges {
+fn record_roots(
+    nodes: &[GssNode],
+    edges: &[GssEdge],
+    accepting: u32,
+    start_node: u32,
+    forest: &mut Forest,
+) {
+    let mut e = nodes[accepting as usize].first_edge;
+    while e != NO_EDGE {
+        let edge = edges[e as usize];
         if edge.target == start_node {
             if let ForestRef::Node(f) = edge.label {
                 forest.add_root(f);
             }
         }
+        e = edge.next;
     }
 }
 
-struct ReductionPath {
-    /// Node at the far end of the path (the state to consult GOTO in).
-    end: usize,
-    /// Edge labels along the path, from the reducing node outwards
-    /// (i.e. rightmost child first).
-    labels: Vec<ForestRef>,
-}
-
-/// Enumerates all paths of exactly `length` edges starting at `from`,
-/// optionally forced to use `via` as the first edge.
+/// Enumerates all paths of exactly `arity` edges starting at `from`,
+/// optionally forced to use `via` as the first edge. Results land in the
+/// reusable flat buffers: `ends[i]` is the far end of path `i`, and
+/// `out_labels[i*arity..(i+1)*arity]` its edge labels from the reducing
+/// node outwards (rightmost child first).
+#[allow(clippy::too_many_arguments)]
 fn find_paths(
     nodes: &[GssNode],
-    from: usize,
-    length: usize,
-    via: Option<GssEdge>,
-) -> Vec<ReductionPath> {
-    let mut result = Vec::new();
-    if length == 0 {
-        result.push(ReductionPath {
-            end: from,
-            labels: Vec::new(),
-        });
-        return result;
+    edges: &[GssEdge],
+    from: u32,
+    arity: usize,
+    via: Option<(u32, ForestRef)>,
+    dfs_labels: &mut Vec<ForestRef>,
+    ends: &mut Vec<u32>,
+    out_labels: &mut Vec<ForestRef>,
+) {
+    if arity == 0 {
+        ends.push(from);
+        return;
     }
-    // Depth-first enumeration of paths.
-    let mut stack: Vec<(usize, usize, Vec<ForestRef>)> = Vec::new();
-    let first_edges: Vec<GssEdge> = match via {
-        Some(edge) => vec![edge],
-        None => nodes[from].edges.clone(),
-    };
-    for edge in first_edges {
-        stack.push((edge.target, 1, vec![edge.label]));
-    }
-    while let Some((node, depth, labels)) = stack.pop() {
-        if depth == length {
-            result.push(ReductionPath {
-                end: node,
-                labels,
-            });
-            continue;
+    dfs_labels.clear();
+    dfs_labels.resize(
+        arity,
+        ForestRef::Leaf {
+            symbol: ipg_grammar::SymbolId::from_index(0),
+            position: 0,
+        },
+    );
+    match via {
+        Some((target, label)) => {
+            dfs_labels[0] = label;
+            dfs(nodes, edges, target, 1, arity, dfs_labels, ends, out_labels);
         }
-        for edge in &nodes[node].edges {
-            let mut next_labels = labels.clone();
-            next_labels.push(edge.label);
-            stack.push((edge.target, depth + 1, next_labels));
-        }
+        None => dfs(nodes, edges, from, 0, arity, dfs_labels, ends, out_labels),
     }
-    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    nodes: &[GssNode],
+    edges: &[GssEdge],
+    node: u32,
+    depth: usize,
+    arity: usize,
+    labels: &mut Vec<ForestRef>,
+    ends: &mut Vec<u32>,
+    out_labels: &mut Vec<ForestRef>,
+) {
+    if depth == arity {
+        ends.push(node);
+        out_labels.extend_from_slice(labels);
+        return;
+    }
+    let mut e = nodes[node as usize].first_edge;
+    while e != NO_EDGE {
+        let edge = edges[e as usize];
+        labels[depth] = edge.label;
+        dfs(
+            nodes,
+            edges,
+            edge.target,
+            depth + 1,
+            arity,
+            labels,
+            ends,
+            out_labels,
+        );
+        e = edge.next;
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod forest;
+pub mod fxhash;
 pub mod gss;
 pub mod pool;
 

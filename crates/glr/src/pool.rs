@@ -15,12 +15,13 @@
 //! Like the paper's version it is a *recogniser* (no parse trees); the
 //! graph-structured-stack parser in [`crate::gss`] builds shared forests.
 
-use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
-use ipg_grammar::{Grammar, SymbolId};
-use ipg_lr::{Action, ParserTables, StateId};
+use ipg_grammar::{Grammar, RuleId, SymbolId};
+use ipg_lr::{ParserTables, StateId};
+
+use crate::fxhash::FxHashSet;
 
 /// A persistent stack of states; `copy` shares the nodes below the top.
 #[derive(Clone, Debug)]
@@ -58,15 +59,16 @@ impl Stack {
     /// A content fingerprint used to de-duplicate identical parsers within a
     /// sweep (Tomita's algorithm merges such parsers; the paper's simple
     /// pool formulation would otherwise do duplicate work or, for cyclic
-    /// reduce chains, loop).
-    fn fingerprint(&self) -> Vec<StateId> {
-        let mut states = Vec::with_capacity(self.depth);
+    /// reduce chains, loop). Writes into a reusable buffer so membership
+    /// probes allocate nothing.
+    fn fingerprint_into(&self, out: &mut Vec<StateId>) {
+        out.clear();
+        out.reserve(self.depth);
         let mut current = Some(self);
         while let Some(stack) = current {
-            states.push(stack.top);
+            out.push(stack.top);
             current = stack.below.as_deref();
         }
-        states
     }
 }
 
@@ -168,6 +170,12 @@ impl<'g> PoolGlrParser<'g> {
         };
         let mut next_sweep = vec![start_parser];
         let mut pos = 0usize;
+        // Reused scratch: the reduce set of the current cell and the
+        // current parser's stack fingerprint.
+        let mut reduce_scratch: Vec<RuleId> = Vec::new();
+        let mut fingerprint: Vec<StateId> = Vec::new();
+        let mut seen_this: FxHashSet<Vec<StateId>> = FxHashSet::default();
+        let mut seen_next: FxHashSet<Vec<StateId>> = FxHashSet::default();
         // Bound on the amount of work per sweep; proportional to the number
         // of live parsers times the grammar size.
         let per_sweep_bound = |live: usize, rules: usize, factor: usize| -> usize {
@@ -194,11 +202,14 @@ impl<'g> PoolGlrParser<'g> {
 
             // De-duplication of stacks within the two pools: identical
             // parsers would behave identically from here on.
-            let mut seen_this: HashSet<Vec<StateId>> = this_sweep
-                .iter()
-                .map(|p| p.stack.fingerprint())
-                .collect();
-            let mut seen_next: HashSet<Vec<StateId>> = HashSet::new();
+            seen_this.clear();
+            seen_next.clear();
+            for p in &this_sweep {
+                p.stack.fingerprint_into(&mut fingerprint);
+                if !seen_this.contains(&fingerprint) {
+                    seen_this.insert(fingerprint.clone());
+                }
+            }
 
             while let Some(parser) = this_sweep.pop() {
                 steps += 1;
@@ -207,42 +218,49 @@ impl<'g> PoolGlrParser<'g> {
                 }
                 let state = parser.stack.top;
                 let actions = tables.actions(state, symbol);
-                for action in actions {
-                    // The paper copies the parser for every action.
+                let shift = actions.shift;
+                let accept = actions.accept;
+                reduce_scratch.clear();
+                reduce_scratch.extend_from_slice(actions.reductions);
+                // The paper copies the parser for every action.
+                for &rule_id in &reduce_scratch {
                     let copy = parser.clone();
                     stats.copies += 1;
-                    match action {
-                        Action::Shift(next) => {
-                            stats.shifts += 1;
-                            let moved = PoolParser {
-                                stack: copy.stack.push(next),
-                            };
-                            if seen_next.insert(moved.stack.fingerprint()) {
-                                next_sweep.push(moved);
-                            }
-                        }
-                        Action::Reduce(rule_id) => {
-                            stats.reduces += 1;
-                            let rule = self.grammar.rule(rule_id);
-                            let Some(below) = copy.stack.pop_n(rule.rhs.len()) else {
-                                // Stack underflow can only happen with
-                                // inconsistent tables; treat as a dead parser.
-                                continue;
-                            };
-                            let Some(target) = tables.goto(below.top, rule.lhs) else {
-                                continue;
-                            };
-                            let moved = PoolParser {
-                                stack: below.push(target),
-                            };
-                            if seen_this.insert(moved.stack.fingerprint()) {
-                                this_sweep.push(moved);
-                            }
-                        }
-                        Action::Accept => {
-                            accepted = true;
-                        }
+                    stats.reduces += 1;
+                    let rule = self.grammar.rule(rule_id);
+                    let Some(below) = copy.stack.pop_n(rule.rhs.len()) else {
+                        // Stack underflow can only happen with
+                        // inconsistent tables; treat as a dead parser.
+                        continue;
+                    };
+                    let Some(target) = tables.goto(below.top, rule.lhs) else {
+                        continue;
+                    };
+                    let moved = PoolParser {
+                        stack: below.push(target),
+                    };
+                    moved.stack.fingerprint_into(&mut fingerprint);
+                    if !seen_this.contains(&fingerprint) {
+                        seen_this.insert(fingerprint.clone());
+                        this_sweep.push(moved);
                     }
+                }
+                if let Some(next) = shift {
+                    let copy = parser.clone();
+                    stats.copies += 1;
+                    stats.shifts += 1;
+                    let moved = PoolParser {
+                        stack: copy.stack.push(next),
+                    };
+                    moved.stack.fingerprint_into(&mut fingerprint);
+                    if !seen_next.contains(&fingerprint) {
+                        seen_next.insert(fingerprint.clone());
+                        next_sweep.push(moved);
+                    }
+                }
+                if accept {
+                    stats.copies += 1;
+                    accepted = true;
                 }
                 // When there are no actions the parser just disappears
                 // (the error case of the paper).

@@ -149,7 +149,7 @@ fn table_from_collection(
             cell.dedup();
         }
     }
-    ParseTable::from_rows(kind, StateId(0), actions, gotos)
+    ParseTable::from_rows(kind, StateId(0), grammar, actions, gotos)
 }
 
 /// Builds the canonical LR(1) parse table for `grammar`.
@@ -281,8 +281,8 @@ mod tests {
         let id = g.symbol("id").unwrap();
         let e = g.symbol("E").unwrap();
         let start = table.start_state();
-        let shifted = match table.actions(start, id)[0] {
-            Action::Shift(s) => s,
+        let shifted = match table.actions(start, id).single() {
+            Some(Action::Shift(s)) => s,
             other => panic!("expected shift, got {other:?}"),
         };
         assert_ne!(shifted, start);

@@ -49,5 +49,7 @@ pub use item::{Item, Lr1Item};
 pub use itemset::{closure, goto_set, partition_by_next_symbol, start_kernel, ItemSet};
 pub use lalr::{canonical_lr1_table, lalr1_table, lalr1_table_with_stats, LalrStats};
 pub use parser::{render_trace, tokenize_names, LrParser, ParseError, TraceStep};
-pub use table::{Action, Conflict, ParseTable, ParserTables, TableKind};
+pub use table::{
+    Action, ActionsIter, ActionsRef, Conflict, ParseTable, ParserTables, TableKind, EMPTY_ACTIONS,
+};
 pub use tree::ParseTree;

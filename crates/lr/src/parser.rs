@@ -178,22 +178,19 @@ impl<'g> LrParser<'g> {
                 "input must consist of terminals"
             );
             let actions = tables.actions(state, symbol);
-            let action = match actions.len() {
-                0 => {
+            let Some(action) = actions.single() else {
+                if actions.is_empty() {
                     return Err(ParseError::SyntaxError {
                         position: pos,
                         state,
                         symbol,
-                    })
+                    });
                 }
-                1 => actions[0],
-                _ => {
-                    return Err(ParseError::Conflict {
-                        state,
-                        symbol,
-                        actions,
-                    })
-                }
+                return Err(ParseError::Conflict {
+                    state,
+                    symbol,
+                    actions: actions.to_vec(),
+                });
             };
             if let Some(trace) = trace.as_deref_mut() {
                 trace.push(TraceStep {

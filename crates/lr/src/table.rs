@@ -1,6 +1,13 @@
 //! Parse tables: the tabular ACTION / GOTO representation of a graph of
 //! item sets (Fig. 4.1(b)), conflict reporting, and the [`ParserTables`]
 //! abstraction shared by every table-driven parser in this repository.
+//!
+//! The ACTION interface is deliberately *borrowing*: a [`ParserTables`]
+//! implementation answers `ACTION(state, symbol)` with an [`ActionsRef`]
+//! view into its own storage, so the parser hot loops perform zero heap
+//! allocations per query. [`ParseTable`] itself stores its cells as dense,
+//! symbol-indexed rows (one flat `Vec` per table) rather than per-state
+//! `BTreeMap`s, for the same reason.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -20,6 +27,109 @@ pub enum Action {
     Reduce(RuleId),
     /// The input is a sentence of the language.
     Accept,
+}
+
+/// A borrowed view of one ACTION cell: every action possible for a
+/// `(state, symbol)` pair, fused into a compact shape. An LR cell holds at
+/// most one shift and at most one accept; only reduces can be plural, so a
+/// borrowed rule slice plus two scalars represents any cell without
+/// allocating.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ActionsRef<'a> {
+    /// Rules that may be reduced in this cell.
+    pub reductions: &'a [RuleId],
+    /// Shift target, if the cell shifts.
+    pub shift: Option<StateId>,
+    /// `true` if the cell accepts the input.
+    pub accept: bool,
+}
+
+/// The empty cell (an error entry).
+pub const EMPTY_ACTIONS: ActionsRef<'static> = ActionsRef {
+    reductions: &[],
+    shift: None,
+    accept: false,
+};
+
+impl<'a> ActionsRef<'a> {
+    /// Number of actions in the cell.
+    pub fn len(&self) -> usize {
+        self.reductions.len() + usize::from(self.shift.is_some()) + usize::from(self.accept)
+    }
+
+    /// `true` if the cell holds no action (a syntax-error entry).
+    pub fn is_empty(&self) -> bool {
+        self.reductions.is_empty() && self.shift.is_none() && !self.accept
+    }
+
+    /// The single action of a deterministic cell, or `None` when the cell
+    /// is empty or conflicted.
+    pub fn single(&self) -> Option<Action> {
+        match (self.reductions, self.shift, self.accept) {
+            ([], Some(s), false) => Some(Action::Shift(s)),
+            ([r], None, false) => Some(Action::Reduce(*r)),
+            ([], None, true) => Some(Action::Accept),
+            _ => None,
+        }
+    }
+
+    /// `true` if the cell contains the given action.
+    pub fn contains(&self, action: Action) -> bool {
+        match action {
+            Action::Shift(s) => self.shift == Some(s),
+            Action::Reduce(r) => self.reductions.contains(&r),
+            Action::Accept => self.accept,
+        }
+    }
+
+    /// Iterates over the actions (reduces first, then shift, then accept).
+    pub fn iter(&self) -> ActionsIter<'a> {
+        ActionsIter {
+            reductions: self.reductions.iter(),
+            shift: self.shift,
+            accept: self.accept,
+        }
+    }
+
+    /// Materialises the cell as a vector (cold paths: errors, reports).
+    pub fn to_vec(&self) -> Vec<Action> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for ActionsRef<'a> {
+    type Item = Action;
+    type IntoIter = ActionsIter<'a>;
+
+    fn into_iter(self) -> ActionsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the actions of an [`ActionsRef`].
+#[derive(Clone, Debug)]
+pub struct ActionsIter<'a> {
+    reductions: std::slice::Iter<'a, RuleId>,
+    shift: Option<StateId>,
+    accept: bool,
+}
+
+impl Iterator for ActionsIter<'_> {
+    type Item = Action;
+
+    fn next(&mut self) -> Option<Action> {
+        if let Some(&rule) = self.reductions.next() {
+            return Some(Action::Reduce(rule));
+        }
+        if let Some(target) = self.shift.take() {
+            return Some(Action::Shift(target));
+        }
+        if self.accept {
+            self.accept = false;
+            return Some(Action::Accept);
+        }
+        None
+    }
 }
 
 /// The source of lookahead information used when a table was constructed.
@@ -77,18 +187,22 @@ impl Conflict {
 
 /// Access interface shared by all table-driven parsers.
 ///
-/// The deterministic [`crate::parser::LrParser`] and the parallel parser in
+/// The deterministic [`crate::parser::LrParser`] and the parallel parsers in
 /// `ipg-glr` are written against this trait, so the same driver runs over
 /// an eagerly generated [`ParseTable`] *and* over the lazily generated
 /// item-set graph of the `ipg` crate — whose `actions` implementation
 /// expands item sets on demand, which is why the methods take `&mut self`.
+///
+/// `actions` returns a borrowed [`ActionsRef`] instead of a `Vec<Action>`:
+/// the query is on the per-token hot path of every parser, and the borrow
+/// makes it allocation-free for every implementation.
 pub trait ParserTables {
     /// The state in which parsing starts.
     fn start_state(&self) -> StateId;
 
     /// The paper's `ACTION(state, symbol)`: the set of possible actions for
     /// `state` with the terminal `symbol` as the current input symbol.
-    fn actions(&mut self, state: StateId, symbol: SymbolId) -> Vec<Action>;
+    fn actions(&mut self, state: StateId, symbol: SymbolId) -> ActionsRef<'_>;
 
     /// The paper's `GOTO(state, symbol)`: the successor state after
     /// reducing a rule that delivered the non-terminal `symbol`.
@@ -100,16 +214,32 @@ pub trait ParserTables {
     }
 }
 
-/// A fully materialised ACTION/GOTO table.
+/// One dense table cell. `target_plus1` holds shift targets in terminal
+/// columns and GOTO targets in non-terminal columns (0 = none); reduces
+/// live in a per-table rule pool addressed by `[red_start, red_start+red_len)`.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+struct Cell {
+    target_plus1: u32,
+    red_start: u32,
+    red_len: u32,
+    accept: bool,
+}
+
+/// A fully materialised ACTION/GOTO table with dense symbol-indexed rows.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ParseTable {
     kind: TableKind,
     start: StateId,
-    /// `actions[state][terminal] -> actions` (sparse, ordered for
-    /// deterministic rendering).
-    actions: Vec<BTreeMap<SymbolId, Vec<Action>>>,
-    /// `gotos[state][nonterminal] -> state`.
-    gotos: Vec<BTreeMap<SymbolId, StateId>>,
+    num_states: usize,
+    /// Row stride: number of symbols interned when the table was built.
+    num_symbols: usize,
+    /// `true` for terminal columns (ACTION), `false` for non-terminal
+    /// columns (GOTO).
+    terminal_mask: Vec<bool>,
+    /// `num_states * num_symbols` cells, row-major.
+    cells: Vec<Cell>,
+    /// Flattened reduce sets referenced by the cells.
+    reduction_pool: Vec<RuleId>,
 }
 
 impl ParseTable {
@@ -129,6 +259,28 @@ impl ParseTable {
         })
     }
 
+    fn empty(kind: TableKind, start: StateId, num_states: usize, grammar: &Grammar) -> Self {
+        let num_symbols = grammar.symbols().len();
+        let terminal_mask = (0..num_symbols)
+            .map(|i| grammar.is_terminal(SymbolId::from_index(i)))
+            .collect();
+        ParseTable {
+            kind,
+            start,
+            num_states,
+            num_symbols,
+            terminal_mask,
+            cells: vec![Cell::default(); num_states * num_symbols],
+            reduction_pool: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn cell_index(&self, state: StateId, symbol: SymbolId) -> Option<usize> {
+        let (s, c) = (state.index(), symbol.index());
+        (s < self.num_states && c < self.num_symbols).then(|| s * self.num_symbols + c)
+    }
+
     fn from_automaton(
         automaton: &Lr0Automaton,
         grammar: &Grammar,
@@ -136,55 +288,78 @@ impl ParseTable {
         mut reduce_on: impl FnMut(RuleId, SymbolId) -> bool,
     ) -> Self {
         let terminals: Vec<SymbolId> = grammar.symbols().terminals().collect();
-        let mut actions = Vec::with_capacity(automaton.num_states());
-        let mut gotos = Vec::with_capacity(automaton.num_states());
+        let mut table = Self::empty(kind, automaton.start_state(), automaton.num_states(), grammar);
         for state in automaton.states() {
-            let mut row: BTreeMap<SymbolId, Vec<Action>> = BTreeMap::new();
-            let mut goto_row = BTreeMap::new();
             for (&symbol, &target) in &state.transitions {
-                if grammar.is_terminal(symbol) {
-                    row.entry(symbol).or_default().push(Action::Shift(target));
-                } else {
-                    goto_row.insert(symbol, target);
-                }
+                let i = table.cell_index(state.id, symbol).expect("symbol in range");
+                table.cells[i].target_plus1 = target.0 + 1;
             }
-            for &rule in &state.reductions {
-                for &terminal in &terminals {
-                    if reduce_on(rule, terminal) {
-                        row.entry(terminal).or_default().push(Action::Reduce(rule));
-                    }
+            for &terminal in &terminals {
+                let i = table.cell_index(state.id, terminal).expect("terminal in range");
+                let red_start = table.reduction_pool.len() as u32;
+                table.reduction_pool.extend(
+                    state
+                        .reductions
+                        .iter()
+                        .copied()
+                        .filter(|&rule| reduce_on(rule, terminal)),
+                );
+                let red_len = table.reduction_pool.len() as u32 - red_start;
+                if red_len > 0 {
+                    table.cells[i].red_start = red_start;
+                    table.cells[i].red_len = red_len;
                 }
             }
             if state.accepting {
-                row.entry(grammar.eof_symbol())
-                    .or_default()
-                    .push(Action::Accept);
+                let i = table
+                    .cell_index(state.id, grammar.eof_symbol())
+                    .expect("eof in range");
+                table.cells[i].accept = true;
             }
-            actions.push(row);
-            gotos.push(goto_row);
         }
-        ParseTable {
-            kind,
-            start: automaton.start_state(),
-            actions,
-            gotos,
-        }
+        table
     }
 
-    /// Creates a table directly from rows; used by the LALR(1)/LR(1)
+    /// Creates a table from sparse rows; used by the LALR(1)/LR(1)
     /// constructions in [`crate::lalr`].
     pub(crate) fn from_rows(
         kind: TableKind,
         start: StateId,
+        grammar: &Grammar,
         actions: Vec<BTreeMap<SymbolId, Vec<Action>>>,
         gotos: Vec<BTreeMap<SymbolId, StateId>>,
     ) -> Self {
-        ParseTable {
-            kind,
-            start,
-            actions,
-            gotos,
+        debug_assert_eq!(actions.len(), gotos.len());
+        let mut table = Self::empty(kind, start, actions.len(), grammar);
+        for (s, row) in actions.iter().enumerate() {
+            for (&symbol, cell_actions) in row {
+                let i = table
+                    .cell_index(StateId::from_index(s), symbol)
+                    .expect("symbol in range");
+                let red_start = table.reduction_pool.len() as u32;
+                for action in cell_actions {
+                    match *action {
+                        Action::Shift(target) => table.cells[i].target_plus1 = target.0 + 1,
+                        Action::Reduce(rule) => table.reduction_pool.push(rule),
+                        Action::Accept => table.cells[i].accept = true,
+                    }
+                }
+                let red_len = table.reduction_pool.len() as u32 - red_start;
+                if red_len > 0 {
+                    table.cells[i].red_start = red_start;
+                    table.cells[i].red_len = red_len;
+                }
+            }
         }
+        for (s, row) in gotos.iter().enumerate() {
+            for (&symbol, &target) in row {
+                let i = table
+                    .cell_index(StateId::from_index(s), symbol)
+                    .expect("symbol in range");
+                table.cells[i].target_plus1 = target.0 + 1;
+            }
+        }
+        table
     }
 
     /// The lookahead discipline used to build this table.
@@ -194,45 +369,86 @@ impl ParseTable {
 
     /// Number of states (rows).
     pub fn num_states(&self) -> usize {
-        self.actions.len()
+        self.num_states
     }
 
     /// Total number of ACTION entries (counting every action in every cell).
     pub fn num_action_entries(&self) -> usize {
-        self.actions
-            .iter()
-            .map(|row| row.values().map(Vec::len).sum::<usize>())
-            .sum()
+        self.for_each_action_cell_sum(|actions| actions.len())
     }
 
     /// Total number of GOTO entries.
     pub fn num_goto_entries(&self) -> usize {
-        self.gotos.iter().map(BTreeMap::len).sum()
+        let mut total = 0;
+        for s in 0..self.num_states {
+            for c in 0..self.num_symbols {
+                if !self.terminal_mask[c] && self.cells[s * self.num_symbols + c].target_plus1 != 0
+                {
+                    total += 1;
+                }
+            }
+        }
+        total
     }
 
-    /// The actions of one cell (empty slice means error).
-    pub fn actions_at(&self, state: StateId, symbol: SymbolId) -> &[Action] {
-        self.actions[state.index()]
-            .get(&symbol)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    fn for_each_action_cell_sum(&self, mut f: impl FnMut(ActionsRef<'_>) -> usize) -> usize {
+        let mut total = 0;
+        for s in 0..self.num_states {
+            for c in 0..self.num_symbols {
+                if self.terminal_mask[c] {
+                    total += f(self.actions_at(
+                        StateId::from_index(s),
+                        SymbolId::from_index(c),
+                    ));
+                }
+            }
+        }
+        total
+    }
+
+    /// The actions of one cell (empty means error). Allocation-free.
+    pub fn actions_at(&self, state: StateId, symbol: SymbolId) -> ActionsRef<'_> {
+        let Some(i) = self.cell_index(state, symbol) else {
+            return EMPTY_ACTIONS;
+        };
+        if !self.terminal_mask[symbol.index()] {
+            return EMPTY_ACTIONS;
+        }
+        let cell = self.cells[i];
+        ActionsRef {
+            reductions: &self.reduction_pool
+                [cell.red_start as usize..(cell.red_start + cell.red_len) as usize],
+            shift: (cell.target_plus1 != 0).then(|| StateId(cell.target_plus1 - 1)),
+            accept: cell.accept,
+        }
     }
 
     /// The GOTO entry of a cell.
     pub fn goto_at(&self, state: StateId, symbol: SymbolId) -> Option<StateId> {
-        self.gotos[state.index()].get(&symbol).copied()
+        let i = self.cell_index(state, symbol)?;
+        if self.terminal_mask[symbol.index()] {
+            return None;
+        }
+        let t = self.cells[i].target_plus1;
+        (t != 0).then(|| StateId(t - 1))
     }
 
     /// All conflicting cells.
     pub fn conflicts(&self) -> Vec<Conflict> {
         let mut out = Vec::new();
-        for (i, row) in self.actions.iter().enumerate() {
-            for (&symbol, cell) in row {
+        for s in 0..self.num_states {
+            for c in 0..self.num_symbols {
+                if !self.terminal_mask[c] {
+                    continue;
+                }
+                let state = StateId::from_index(s);
+                let symbol = SymbolId::from_index(c);
+                let cell = self.actions_at(state, symbol);
                 if cell.len() > 1 {
                     out.push(Conflict {
-                        state: StateId::from_index(i),
+                        state,
                         symbol,
-                        actions: cell.clone(),
+                        actions: cell.to_vec(),
                     });
                 }
             }
@@ -243,9 +459,19 @@ impl ParseTable {
     /// `true` if no cell holds more than one action, i.e. the table can be
     /// used by a deterministic LR parser.
     pub fn is_deterministic(&self) -> bool {
-        self.actions
-            .iter()
-            .all(|row| row.values().all(|cell| cell.len() <= 1))
+        for s in 0..self.num_states {
+            for c in 0..self.num_symbols {
+                if self.terminal_mask[c]
+                    && self
+                        .actions_at(StateId::from_index(s), SymbolId::from_index(c))
+                        .len()
+                        > 1
+                {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Renders the table in the style of Fig. 4.1(b): one row per state,
@@ -269,25 +495,22 @@ impl ParseTable {
             out.push_str(&format!(" {:>4}", grammar.name(nt)));
         }
         out.push('\n');
-        for (i, row) in self.actions.iter().enumerate() {
+        for i in 0..self.num_states {
+            let state = StateId::from_index(i);
             out.push_str(&format!("{:>5} |", i));
             for &t in &terminals {
-                let cell = row
-                    .get(&t)
-                    .map(|actions| {
-                        actions
-                            .iter()
-                            .map(|a| render_action(*a))
-                            .collect::<Vec<_>>()
-                            .join("/")
-                    })
-                    .unwrap_or_default();
+                let cell = self
+                    .actions_at(state, t)
+                    .iter()
+                    .map(render_action)
+                    .collect::<Vec<_>>()
+                    .join("/");
                 out.push_str(&format!(" {cell:>8}"));
             }
             out.push_str(" |");
             for &nt in &nonterminals {
-                let cell = self.gotos[i]
-                    .get(&nt)
+                let cell = self
+                    .goto_at(state, nt)
                     .map(|s| s.to_string())
                     .unwrap_or_default();
                 out.push_str(&format!(" {cell:>4}"));
@@ -311,8 +534,8 @@ impl ParserTables for ParseTable {
         self.start
     }
 
-    fn actions(&mut self, state: StateId, symbol: SymbolId) -> Vec<Action> {
-        self.actions_at(state, symbol).to_vec()
+    fn actions(&mut self, state: StateId, symbol: SymbolId) -> ActionsRef<'_> {
+        self.actions_at(state, symbol)
     }
 
     fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId> {
@@ -359,7 +582,7 @@ mod tests {
         let tt = g.symbol("true").unwrap();
         let actions = t.actions_at(t.start_state(), tt);
         assert_eq!(actions.len(), 1);
-        assert!(matches!(actions[0], Action::Shift(_)));
+        assert!(matches!(actions.single(), Some(Action::Shift(_))));
     }
 
     #[test]
@@ -368,7 +591,8 @@ mod tests {
         let b = g.symbol("B").unwrap();
         let after_b = t.goto_at(t.start_state(), b).unwrap();
         let actions = t.actions_at(after_b, g.eof_symbol());
-        assert!(actions.contains(&Action::Accept));
+        assert!(actions.contains(Action::Accept));
+        assert!(actions.iter().any(|a| a == Action::Accept));
     }
 
     #[test]
@@ -377,6 +601,18 @@ mod tests {
         let or = g.symbol("or").unwrap();
         assert!(t.actions_at(t.start_state(), or).is_empty());
         assert_eq!(t.goto_at(t.start_state(), g.start_symbol()), None);
+    }
+
+    #[test]
+    fn queries_with_unknown_symbols_are_error_cells() {
+        // Symbols interned after the table was built fall outside the dense
+        // rows; they must read as error cells, not out-of-bounds panics.
+        let (mut g, t) = booleans_lr0();
+        let new_terminal = g.terminal("brand-new");
+        assert!(t.actions_at(t.start_state(), new_terminal).is_empty());
+        assert_eq!(t.goto_at(t.start_state(), new_terminal), None);
+        let b = g.symbol("B").unwrap();
+        assert_eq!(t.goto_at(StateId::from_index(9999), b), None);
     }
 
     #[test]
@@ -402,6 +638,30 @@ mod tests {
         assert_eq!(t.actions(start, tt).len(), 1);
         assert!(t.goto(start, b).is_some());
         assert!(t.describe().contains("LR(0)"));
+    }
+
+    #[test]
+    fn actions_ref_iteration_order_and_helpers() {
+        let reds = [ipg_grammar::RuleId::from_index(3)];
+        let cell = ActionsRef {
+            reductions: &reds,
+            shift: Some(StateId(7)),
+            accept: true,
+        };
+        assert_eq!(cell.len(), 3);
+        assert!(!cell.is_empty());
+        assert_eq!(cell.single(), None);
+        let collected = cell.to_vec();
+        assert_eq!(
+            collected,
+            vec![
+                Action::Reduce(ipg_grammar::RuleId::from_index(3)),
+                Action::Shift(StateId(7)),
+                Action::Accept
+            ]
+        );
+        assert!(EMPTY_ACTIONS.is_empty());
+        assert_eq!(EMPTY_ACTIONS.single(), None);
     }
 
     #[test]

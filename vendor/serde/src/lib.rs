@@ -1,0 +1,14 @@
+//! Offline stub of `serde`: blanket marker traits plus the no-op derives
+//! from the sibling `serde_derive` stub. Sufficient for code that only
+//! *annotates* types with `#[derive(Serialize, Deserialize)]` and never
+//! actually serialises.
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stub of `serde_derive`: the derives expand to nothing, so
+//! `#[derive(Serialize, Deserialize)]` annotations compile without pulling
+//! in the real serde machinery (this repository never serialises anything).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
