@@ -24,24 +24,24 @@ fn bench_lazy_action_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/lazy_action_overhead");
     group.sample_size(10);
 
-    let mut eager_table = ParseTable::lr0(&Lr0Automaton::build(grammar), grammar);
+    let eager_table = ParseTable::lr0(&Lr0Automaton::build(grammar), grammar);
     group.bench_function("eager_lr0_table", |b| {
         let parser = GssParser::new(grammar);
-        b.iter(|| parser.recognize(&mut eager_table, &input.tokens))
+        b.iter(|| parser.recognize(&eager_table, &input.tokens))
     });
 
-    let mut full_graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
+    let full_graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
     full_graph.expand_all(grammar);
     group.bench_function("fully_expanded_lazy_graph", |b| {
         let parser = GssParser::new(grammar);
-        b.iter(|| parser.recognize(&mut LazyTables::new(grammar, &mut full_graph), &input.tokens))
+        b.iter(|| parser.recognize(&LazyTables::new(grammar, &full_graph).unwrap(), &input.tokens))
     });
     group.finish();
 }
 
 fn bench_pool_vs_gss(c: &mut Criterion) {
     let grammar = fixtures::booleans();
-    let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+    let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
     let mut group = c.benchmark_group("ablation/pool_vs_gss");
     group.sample_size(10);
     for operators in [8usize, 16, 24] {
@@ -49,11 +49,11 @@ fn bench_pool_vs_gss(c: &mut Criterion) {
         let tokens = tokenize_names(&grammar, &sentence).expect("tokens");
         group.bench_with_input(BenchmarkId::new("pool", operators), &tokens, |b, tokens| {
             let parser = PoolGlrParser::new(&grammar);
-            b.iter(|| parser.recognize(&mut table, tokens).expect("no divergence"))
+            b.iter(|| parser.recognize(&table, tokens).expect("no divergence"))
         });
         group.bench_with_input(BenchmarkId::new("gss", operators), &tokens, |b, tokens| {
             let parser = GssParser::new(&grammar);
-            b.iter(|| parser.recognize(&mut table, tokens))
+            b.iter(|| parser.recognize(&table, tokens))
         });
     }
     group.finish();
@@ -80,15 +80,15 @@ fn bench_gc_policies(c: &mut Criterion) {
                 let mut grammar = workload.grammar.clone();
                 let mut graph = ItemSetGraph::with_policy(&grammar, policy);
                 let parser = GssParser::new(&grammar);
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens);
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &input.tokens);
                 graph.add_rule(&mut grammar, lhs, rhs.clone());
                 let parser = GssParser::new(&grammar);
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens);
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &input.tokens);
                 graph
                     .remove_rule(&mut grammar, lhs, &rhs)
                     .expect("rule exists");
                 let parser = GssParser::new(&grammar);
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens);
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &input.tokens);
                 graph.num_live()
             })
         });

@@ -34,13 +34,13 @@ fn bench_first_and_second_parse(c: &mut Criterion) {
     group.sample_size(10);
     for input in &workload.inputs {
         // PG: the table already exists; parse cost only.
-        let mut pg_table = ParseTable::lr0(&Lr0Automaton::build(grammar), grammar);
+        let pg_table = ParseTable::lr0(&Lr0Automaton::build(grammar), grammar);
         group.bench_with_input(
             BenchmarkId::new("pg_parse_with_ready_table", input.name),
             &input.tokens,
             |b, tokens| {
                 let parser = GssParser::new(grammar);
-                b.iter(|| parser.recognize(&mut pg_table, tokens))
+                b.iter(|| parser.recognize(&pg_table, tokens))
             },
         );
         // IPG: first parse includes lazy generation (fresh graph each
@@ -51,23 +51,24 @@ fn bench_first_and_second_parse(c: &mut Criterion) {
             |b, tokens| {
                 let parser = GssParser::new(grammar);
                 b.iter(|| {
-                    let mut graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
-                    parser.recognize(&mut LazyTables::new(grammar, &mut graph), tokens)
+                    let graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
+                    let tables = LazyTables::new(grammar, &graph).unwrap();
+                    parser.recognize(&tables, tokens)
                 })
             },
         );
         // ... the second parse reuses the generated part of the table.
-        let mut warm_graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
+        let warm_graph = ItemSetGraph::with_policy(grammar, GcPolicy::RefCount);
         {
             let parser = GssParser::new(grammar);
-            parser.recognize(&mut LazyTables::new(grammar, &mut warm_graph), &input.tokens);
+            parser.recognize(&LazyTables::new(grammar, &warm_graph).unwrap(), &input.tokens);
         }
         group.bench_with_input(
             BenchmarkId::new("ipg_second_parse_warm_table", input.name),
             &input.tokens,
             |b, tokens| {
                 let parser = GssParser::new(grammar);
-                b.iter(|| parser.recognize(&mut LazyTables::new(grammar, &mut warm_graph), tokens))
+                b.iter(|| parser.recognize(&LazyTables::new(grammar, &warm_graph).unwrap(), tokens))
             },
         );
     }
@@ -106,7 +107,7 @@ fn bench_modification(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let grammar = workload.grammar.clone();
-                let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
+                let graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
                 graph.expand_all(&grammar);
                 (grammar, graph)
             },

@@ -27,23 +27,23 @@ fn bench_throughput(c: &mut Criterion) {
         let tokens = tokenize_names(&grammar, &sentence).expect("tokens");
         group.throughput(Throughput::Elements(tokens.len() as u64));
 
-        let mut lalr = lalr1_table(&grammar);
+        let lalr = lalr1_table(&grammar);
         group.bench_with_input(BenchmarkId::new("deterministic_lalr1", terms), &tokens, |b, t| {
             let parser = LrParser::new(&grammar);
-            b.iter(|| parser.recognize(&mut lalr, t).expect("deterministic"))
+            b.iter(|| parser.recognize(&lalr, t).expect("deterministic"))
         });
 
-        let mut lr0 = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let lr0 = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
         group.bench_with_input(BenchmarkId::new("tomita_gss_lr0", terms), &tokens, |b, t| {
             let parser = GssParser::new(&grammar);
-            b.iter(|| parser.recognize(&mut lr0, t))
+            b.iter(|| parser.recognize(&lr0, t))
         });
 
-        let mut graph = ItemSetGraph::new(&grammar);
+        let graph = ItemSetGraph::new(&grammar);
         graph.expand_all(&grammar);
         group.bench_with_input(BenchmarkId::new("ipg_lazy_tables", terms), &tokens, |b, t| {
             let parser = GssParser::new(&grammar);
-            b.iter(|| parser.recognize(&mut LazyTables::new(&grammar, &mut graph), t))
+            b.iter(|| parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), t))
         });
 
         group.bench_with_input(BenchmarkId::new("earley", terms), &tokens, |b, t| {

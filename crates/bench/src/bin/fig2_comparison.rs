@@ -80,14 +80,13 @@ fn main() {
                 if !table.is_deterministic() {
                     return false;
                 }
-                let mut table = table;
                 let tokens = tokenize_names(g, s).expect("tokens");
-                LrParser::new(g).recognize(&mut table, &tokens).unwrap_or(false) == *expected
+                LrParser::new(g).recognize(&table, &tokens).unwrap_or(false) == *expected
             })
             .count();
-        let mut table = lalr1_table(&arithmetic);
+        let table = lalr1_table(&arithmetic);
         let start = Instant::now();
-        let _ = LrParser::new(&arithmetic).recognize(&mut table, &fast_tokens);
+        let _ = LrParser::new(&arithmetic).recognize(&table, &fast_tokens);
         let fast = start.elapsed();
         let full = Instant::now();
         let _ = lalr1_table(&arithmetic);
@@ -187,14 +186,14 @@ fn main() {
         let handled = suite
             .iter()
             .filter(|(_, g, s, expected)| {
-                let mut table = ParseTable::lr0(&Lr0Automaton::build(g), g);
-                GssParser::new(g).recognize(&mut table, &tokenize_names(g, s).expect("tokens"))
+                let table = ParseTable::lr0(&Lr0Automaton::build(g), g);
+                GssParser::new(g).recognize(&table, &tokenize_names(g, s).expect("tokens"))
                     == *expected
             })
             .count();
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&arithmetic), &arithmetic);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&arithmetic), &arithmetic);
         let start = Instant::now();
-        let _ = GssParser::new(&arithmetic).recognize(&mut table, &fast_tokens);
+        let _ = GssParser::new(&arithmetic).recognize(&table, &fast_tokens);
         let fast = start.elapsed();
         let start = Instant::now();
         let _ = ParseTable::lr0(&Lr0Automaton::build(&arithmetic), &arithmetic);
@@ -213,21 +212,20 @@ fn main() {
         let handled = suite
             .iter()
             .filter(|(_, g, s, expected)| {
-                let mut graph = ItemSetGraph::new(g);
-                GssParser::new(g).recognize(
-                    &mut LazyTables::new(g, &mut graph),
-                    &tokenize_names(g, s).expect("tokens"),
-                ) == *expected
+                let graph = ItemSetGraph::new(g);
+                let tables = LazyTables::new(g, &graph).unwrap();
+                GssParser::new(g).recognize(&tables, &tokenize_names(g, s).expect("tokens"))
+                    == *expected
             })
             .count();
         // "fast": a lazily generated (and by now warm) table over the
         // arithmetic grammar.
-        let mut arith_graph = ItemSetGraph::new(&arithmetic);
+        let arith_graph = ItemSetGraph::new(&arithmetic);
         let _ = GssParser::new(&arithmetic)
-            .recognize(&mut LazyTables::new(&arithmetic, &mut arith_graph), &fast_tokens);
+            .recognize(&LazyTables::new(&arithmetic, &arith_graph).unwrap(), &fast_tokens);
         let start = Instant::now();
         let _ = GssParser::new(&arithmetic)
-            .recognize(&mut LazyTables::new(&arithmetic, &mut arith_graph), &fast_tokens);
+            .recognize(&LazyTables::new(&arithmetic, &arith_graph).unwrap(), &fast_tokens);
         let fast = start.elapsed();
         // "flexible": an editing step on a warm boolean session.
         let mut session = IpgSession::new(booleans.clone());

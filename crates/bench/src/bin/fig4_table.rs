@@ -32,9 +32,9 @@ fn main() {
         // part of the table.
         let tokens = tokenize_names(&grammar, "true or false").expect("tokens exist");
         let parser = LrParser::new(&grammar);
-        let mut table = ParseTable::lr0(&automaton, &grammar);
+        let table = ParseTable::lr0(&automaton, &grammar);
         let mut trace = Vec::new();
-        match parser.parse_with_trace(&mut table, &tokens, &mut trace) {
+        match parser.parse_with_trace(&table, &tokens, &mut trace) {
             Ok(tree) => {
                 println!("Fig. 4.2 — the parsing of `true or false`");
                 println!("{}", render_trace(&grammar, &trace));

@@ -12,7 +12,7 @@ use ipg_lr::Lr0Automaton;
 fn main() {
     let grammar = fixtures::booleans();
     let full_states = Lr0Automaton::build(&grammar).num_states();
-    let mut session = IpgSession::new(grammar);
+    let session = IpgSession::new(grammar);
 
     println!("Fig. 5.1(a) — after lazy GENERATE-PARSER:");
     println!("  {}", session.graph_size());

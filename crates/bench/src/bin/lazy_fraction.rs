@@ -21,10 +21,10 @@ fn main() {
     );
     println!("input        tokens   states generated   fraction of full table");
     for input in &workload.inputs {
-        let mut graph = ItemSetGraph::with_policy(&workload.grammar, GcPolicy::RefCount);
+        let graph = ItemSetGraph::with_policy(&workload.grammar, GcPolicy::RefCount);
         let parser = GssParser::new(&workload.grammar);
         let accepted = parser.recognize(
-            &mut LazyTables::new(&workload.grammar, &mut graph),
+            &LazyTables::new(&workload.grammar, &graph).unwrap(),
             &input.tokens,
         );
         assert!(accepted, "{} must be accepted", input.name);
@@ -39,11 +39,11 @@ fn main() {
     }
 
     // Cumulative coverage: parse all four inputs against one graph.
-    let mut graph = ItemSetGraph::with_policy(&workload.grammar, GcPolicy::RefCount);
+    let graph = ItemSetGraph::with_policy(&workload.grammar, GcPolicy::RefCount);
     let parser = GssParser::new(&workload.grammar);
     for input in &workload.inputs {
         parser.recognize(
-            &mut LazyTables::new(&workload.grammar, &mut graph),
+            &LazyTables::new(&workload.grammar, &graph).unwrap(),
             &input.tokens,
         );
     }

@@ -1,0 +1,213 @@
+//! Multi-threaded serving throughput of the shared-table layer: 1/2/4/8
+//! threads drive one `IpgServer` over the Fig. 7 SDF workload, with a warm
+//! table, a cold (lazily generated under contention) table, and a warm
+//! table with `MODIFY` cycles mixed in.
+//!
+//! Prints a human-readable table and writes `BENCH_serving.json` to the
+//! current directory so CI can track the serving-perf trajectory.
+//!
+//! Run with `cargo run --release -p ipg-bench --bin serving`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use ipg::{IpgServer, IpgSession};
+use ipg_bench::SdfWorkload;
+
+/// One measured configuration.
+struct Row {
+    scenario: &'static str,
+    threads: usize,
+    requests: usize,
+    tokens: usize,
+    elapsed_s: f64,
+    modifications: usize,
+}
+
+impl Row {
+    fn tokens_per_sec(&self) -> f64 {
+        self.tokens as f64 / self.elapsed_s
+    }
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.elapsed_s
+    }
+}
+
+fn batch(workload: &SdfWorkload, repeats: usize) -> (Vec<Vec<ipg_grammar::SymbolId>>, usize) {
+    let mut requests = Vec::new();
+    for _ in 0..repeats {
+        for input in &workload.inputs {
+            requests.push(input.tokens.clone());
+        }
+    }
+    let tokens = requests.iter().map(Vec::len).sum();
+    (requests, tokens)
+}
+
+fn run_warm(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
+    let server = IpgServer::new(IpgSession::new(workload.grammar.clone()));
+    server.warm();
+    let (requests, tokens) = batch(workload, repeats);
+    // Untimed warm-up pass, then best of three timed runs.
+    server.parse_many(&requests[..requests.len().min(8)], threads);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        server.parse_many(&requests, threads);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Row {
+        scenario: "warm",
+        threads,
+        requests: requests.len(),
+        tokens,
+        elapsed_s: best,
+        modifications: 0,
+    }
+}
+
+fn run_cold(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
+    let (requests, tokens) = batch(workload, repeats);
+    // The cold run includes lazy generation racing across threads; a fresh
+    // server per run, best of three.
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let server = IpgServer::new(IpgSession::new(workload.grammar.clone()));
+        let start = Instant::now();
+        server.parse_many(&requests, threads);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Row {
+        scenario: "cold",
+        threads,
+        requests: requests.len(),
+        tokens,
+        elapsed_s: best,
+        modifications: 0,
+    }
+}
+
+fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
+    let server = IpgServer::new(IpgSession::new(workload.grammar.clone()));
+    server.warm();
+    let (requests, tokens) = batch(workload, repeats);
+    let (lhs, rhs) = workload.modification.clone();
+    let done = AtomicBool::new(false);
+    let mut modifications = 0usize;
+    let mut elapsed_s = 0.0f64;
+    thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            // The §7 ADD-RULE/DELETE-RULE cycle, applied continuously while
+            // the parse batch drains.
+            let mut applied = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                server.modify(|s| {
+                    s.add_rule(lhs, rhs.clone());
+                });
+                server.modify(|s| {
+                    s.remove_rule(lhs, &rhs).expect("rule was just added");
+                });
+                applied += 2;
+                thread::yield_now();
+            }
+            applied
+        });
+        let start = Instant::now();
+        server.parse_many(&requests, threads);
+        elapsed_s = start.elapsed().as_secs_f64();
+        done.store(true, Ordering::Relaxed);
+        modifications = writer.join().expect("writer thread panicked");
+    });
+    Row {
+        scenario: "warm+modify",
+        threads,
+        requests: requests.len(),
+        tokens,
+        elapsed_s,
+        modifications,
+    }
+}
+
+fn main() {
+    let workload = SdfWorkload::load();
+    let repeats = 50; // 50 × 4 inputs = 200 requests per run
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        rows.push(run_warm(&workload, threads, repeats));
+    }
+    for &threads in &thread_counts {
+        rows.push(run_cold(&workload, threads, repeats));
+    }
+    for &threads in &thread_counts {
+        rows.push(run_with_modify(&workload, threads, repeats));
+    }
+
+    println!("Shared-table serving throughput (Fig. 7 SDF workload, 200 requests/run)");
+    println!("scenario     | threads |   req/s |  tokens/s | modifications");
+    for row in &rows {
+        println!(
+            "{:<12} | {:>7} | {:>7.0} | {:>9.0} | {:>5}",
+            row.scenario,
+            row.threads,
+            row.requests_per_sec(),
+            row.tokens_per_sec(),
+            row.modifications,
+        );
+    }
+
+    let speedup = |scenario: &str, threads: usize| -> f64 {
+        let of = |t: usize| {
+            rows.iter()
+                .find(|r| r.scenario == scenario && r.threads == t)
+                .expect("measured configuration")
+                .tokens_per_sec()
+        };
+        of(threads) / of(1)
+    };
+    let warm4 = speedup("warm", 4);
+    println!("\nwarm-table speedups vs 1 thread:");
+    for &t in &thread_counts[1..] {
+        println!("  {t} threads: {:.2}x", speedup("warm", t));
+    }
+    println!("cold-table 4-thread speedup: {:.2}x", speedup("cold", 4));
+
+    // Hand-rolled JSON (the vendored serde stub has no serializer).
+    let mut json = String::from("{\n  \"benchmark\": \"serving\",\n  \"workload\": \"fig7-sdf\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"threads\": {}, \"requests\": {}, \"tokens\": {}, \
+             \"elapsed_s\": {:.6}, \"tokens_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \
+             \"modifications\": {}}}{}",
+            row.scenario,
+            row.threads,
+            row.requests,
+            row.tokens,
+            row.elapsed_s,
+            row.tokens_per_sec(),
+            row.requests_per_sec(),
+            row.modifications,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"warm_speedup_4_threads\": {:.3},\n  \"warm_speedup_8_threads\": {:.3}\n}}\n",
+        warm4,
+        speedup("warm", 8)
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
+
+    // Scaling is only observable with real cores; on a single-core host the
+    // interesting number is the (near-zero) locking overhead instead.
+    let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host parallelism: {cores} core(s)");
+    if cores >= 4 && warm4 < 2.5 {
+        eprintln!("WARNING: 4-thread warm speedup {warm4:.2}x below the 2.5x target on a {cores}-core host");
+    }
+}

@@ -102,7 +102,7 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// Parses with the deterministic LR parser when the table is conflict-free,
 /// falling back to the parallel parser otherwise. Returns `true` when the
 /// input was accepted.
-fn parse_with_table(grammar: &Grammar, table: &mut ParseTable, input: &PreLexedInput) -> bool {
+fn parse_with_table(grammar: &Grammar, table: &ParseTable, input: &PreLexedInput) -> bool {
     if table.is_deterministic() {
         LrParser::new(grammar)
             .recognize(table, &input.tokens)
@@ -119,23 +119,23 @@ pub fn measure(workload: &SdfWorkload, generator: GeneratorKind, input_name: &st
     match generator {
         GeneratorKind::Yacc => {
             let mut grammar = workload.grammar.clone();
-            let (mut table, construct_ms) = time(|| {
+            let (table, construct_ms) = time(|| {
                 let table = lalr1_table(&grammar);
                 // Stand-in for writing the generated parser out (the paper's
                 // Yacc emits C source; compiling it is not modelled).
                 let _ = table.render(&grammar);
                 table
             });
-            let (ok1, parse1_ms) = time(|| parse_with_table(&grammar, &mut table, &input));
-            let (_, parse2_ms) = time(|| parse_with_table(&grammar, &mut table, &input));
-            let (mut table, modify_ms) = time(|| {
+            let (ok1, parse1_ms) = time(|| parse_with_table(&grammar, &table, &input));
+            let (_, parse2_ms) = time(|| parse_with_table(&grammar, &table, &input));
+            let (table, modify_ms) = time(|| {
                 grammar.add_rule(lhs, rhs.clone());
                 let table = lalr1_table(&grammar);
                 let _ = table.render(&grammar);
                 table
             });
-            let (ok3, parse3_ms) = time(|| parse_with_table(&grammar, &mut table, &input));
-            let (_, parse4_ms) = time(|| parse_with_table(&grammar, &mut table, &input));
+            let (ok3, parse3_ms) = time(|| parse_with_table(&grammar, &table, &input));
+            let (_, parse4_ms) = time(|| parse_with_table(&grammar, &table, &input));
             assert!(ok1 && ok3, "Yacc baseline rejected {input_name}");
             Fig7Row {
                 generator,
@@ -151,18 +151,18 @@ pub fn measure(workload: &SdfWorkload, generator: GeneratorKind, input_name: &st
         }
         GeneratorKind::Pg => {
             let mut grammar = workload.grammar.clone();
-            let (mut table, construct_ms) =
+            let (table, construct_ms) =
                 time(|| ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar));
             let parser = GssParser::new(&grammar);
-            let (ok1, parse1_ms) = time(|| parser.recognize(&mut table, &input.tokens));
-            let (_, parse2_ms) = time(|| parser.recognize(&mut table, &input.tokens));
-            let (mut table, modify_ms) = time(|| {
+            let (ok1, parse1_ms) = time(|| parser.recognize(&table, &input.tokens));
+            let (_, parse2_ms) = time(|| parser.recognize(&table, &input.tokens));
+            let (table, modify_ms) = time(|| {
                 grammar.add_rule(lhs, rhs.clone());
                 ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar)
             });
             let parser = GssParser::new(&grammar);
-            let (ok3, parse3_ms) = time(|| parser.recognize(&mut table, &input.tokens));
-            let (_, parse4_ms) = time(|| parser.recognize(&mut table, &input.tokens));
+            let (ok3, parse3_ms) = time(|| parser.recognize(&table, &input.tokens));
+            let (_, parse4_ms) = time(|| parser.recognize(&table, &input.tokens));
             assert!(ok1 && ok3, "PG rejected {input_name}");
             Fig7Row {
                 generator,
@@ -182,18 +182,18 @@ pub fn measure(workload: &SdfWorkload, generator: GeneratorKind, input_name: &st
                 time(|| ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount));
             let parser = GssParser::new(&grammar);
             let (ok1, parse1_ms) = time(|| {
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens)
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &input.tokens)
             });
             let (_, parse2_ms) = time(|| {
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens)
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &input.tokens)
             });
             let (_, modify_ms) = time(|| graph.add_rule(&mut grammar, lhs, rhs.clone()));
             let parser = GssParser::new(&grammar);
             let (ok3, parse3_ms) = time(|| {
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens)
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &input.tokens)
             });
             let (_, parse4_ms) = time(|| {
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &input.tokens)
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &input.tokens)
             });
             assert!(ok1 && ok3, "IPG rejected {input_name}");
             Fig7Row {

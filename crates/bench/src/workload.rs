@@ -35,7 +35,7 @@ impl SdfWorkload {
     /// tokenize the four measurement inputs with the derived scanner, and
     /// intern the symbols of the §7 modification.
     pub fn load() -> Self {
-        let NormalizedSdf { mut grammar, mut scanner } = sdf_grammar_and_scanner();
+        let NormalizedSdf { mut grammar, scanner } = sdf_grammar_and_scanner();
         let inputs = measurement_inputs()
             .into_iter()
             .map(|input| PreLexedInput {

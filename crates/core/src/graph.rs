@@ -1,5 +1,7 @@
 //! The lazily generated, incrementally maintained graph of item sets — the
-//! heart of IPG (§5 and §6 of the paper).
+//! heart of IPG (§5 and §6 of the paper) — in a **shared-table** design:
+//! any number of parser threads may *read* the graph concurrently while
+//! expansion and `MODIFY` remain serialized writes.
 //!
 //! Every set of items lives in an arena and goes through the life cycle
 //!
@@ -16,8 +18,28 @@
 //! * reference-count garbage collection (§6.2) reclaims item sets that are
 //!   no longer referenced after a re-expansion; an optional mark-and-sweep
 //!   pass (suggested by the paper as future work) handles cycles.
+//!
+//! ## Concurrency design
+//!
+//! Node storage is **sharded**: node `id` lives in shard `id % 16`, and
+//! each shard is guarded by its own `RwLock`. The steady-state read path
+//! ([`ItemSetGraph::try_read_actions`] via the lazy tables) takes a single
+//! shard *read* lock, reads the published dense [`ActionRow`] plus the
+//! node's reduce set, and returns — readers of complete rows never block
+//! each other, and queries for different states mostly touch different
+//! lock words.
+//!
+//! All structural mutation (EXPAND / RE-EXPAND / row publication / MODIFY /
+//! GC) is funnelled through one internal `Mutex` (the *writer*), which
+//! additionally owns the kernel index, the work counters and the reusable
+//! scratch buffers. A writer takes the inner mutex first and then at most
+//! one shard lock at a time, so writers serialize among themselves, block
+//! readers only for the shard they are touching, and cannot deadlock.
 
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ipg_grammar::{Grammar, GrammarError, RuleId, SymbolId};
 use ipg_lr::itemset::{closure, completed_items, partition_by_next_symbol, start_kernel, ItemSet};
@@ -60,6 +82,32 @@ pub enum GcPolicy {
     },
 }
 
+/// Errors reported by the public node accessors of the shared graph.
+///
+/// A server that hands `StateId`s across grammar modifications can end up
+/// holding stale ids; resolving them must be an error, not a panic that
+/// poisons the shared graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The id does not name any node of this graph.
+    UnknownState(StateId),
+    /// The node existed but has been reclaimed by garbage collection.
+    CollectedState(StateId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownState(id) => write!(f, "state {id} does not exist in this graph"),
+            GraphError::CollectedState(id) => {
+                write!(f, "state {id} has been reclaimed by garbage collection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A dense, symbol-indexed shadow of a complete item set's transitions —
 /// the action-row cache of the lazy tables (the §5.1 `ACTION`/`GOTO` hot
 /// path). One `u32` per interned symbol maps the symbol to its shift/GOTO
@@ -95,6 +143,43 @@ impl ActionRow {
     /// The grammar version the row was built against.
     pub fn version(&self) -> u64 {
         self.version
+    }
+}
+
+/// The immutable, published read-view of one complete state: its dense
+/// row, reduce set and accept flag. Entries are shared via `Arc` between
+/// the graph and any number of pinned reader snapshots.
+#[derive(Debug)]
+pub(crate) struct PublishedState {
+    pub(crate) row: ActionRow,
+    pub(crate) reductions: Vec<RuleId>,
+    pub(crate) accepting: bool,
+}
+
+/// An immutable snapshot of every published state, indexed by state id.
+///
+/// This is the *epoch* half of the read/expand split: the writer publishes
+/// a fresh `Arc<TableSnapshot>` whenever it materialises (or retracts) a
+/// row, and each `LazyTables` handle pins one snapshot and serves all its
+/// steady-state queries from it with **no locking or atomics at all**.
+/// Pinning is sound because everything that could make a published entry
+/// *wrong* — `MODIFY`, mark-and-sweep — requires `&mut ItemSetGraph`,
+/// which the borrow checker refuses while any handle (a `&` borrow) is
+/// alive. The one `&self` writer that retracts entries, refcount GC
+/// during re-expansion, only collects states unreachable under the
+/// current grammar — a parse in flight holds published predecessors
+/// (whose refcounts pin their successors), so it can never be directed
+/// into a collected state. Concurrent lazy expansion only ever *adds*
+/// entries, which a pinned reader picks up by refreshing on a miss.
+#[derive(Debug, Default)]
+pub(crate) struct TableSnapshot {
+    states: Vec<Option<Arc<PublishedState>>>,
+}
+
+impl TableSnapshot {
+    #[inline]
+    pub(crate) fn get(&self, id: StateId) -> Option<&PublishedState> {
+        self.states.get(id.index()).and_then(|e| e.as_deref())
     }
 }
 
@@ -148,16 +233,31 @@ impl ItemSetNode {
     }
 }
 
-/// The lazily generated graph of item sets.
+/// Number of storage shards. A small power of two: enough to spread the
+/// read-lock words of concurrently queried states across cache lines,
+/// small enough that full-graph writer scans stay cheap.
+const NUM_SHARDS: usize = 16;
+
+#[inline]
+fn shard_of(id: StateId) -> usize {
+    (id.0 as usize) % NUM_SHARDS
+}
+
+#[inline]
+fn slot_of(id: StateId) -> usize {
+    (id.0 as usize) / NUM_SHARDS
+}
+
+/// Writer-owned state: everything only structural mutation touches.
 #[derive(Clone, Debug)]
-pub struct ItemSetGraph {
-    nodes: Vec<ItemSetNode>,
+struct GraphInner {
+    /// Total number of nodes ever created (dense id space).
+    len: usize,
     /// Kernel → node index for all *live* nodes; used by `EXPAND` to share
     /// item sets ("if a set of items with kernel kernel' does not yet
     /// exist, it is generated").
     kernel_index: HashMap<ItemSet, StateId>,
-    start: StateId,
-    gc: GcPolicy,
+    /// Work counters (query counters live outside, see `ItemSetGraph`).
     stats: GenStats,
     grammar_version: u64,
     /// Scratch for `RE-EXPAND`'s old-target snapshot (reused, not
@@ -167,6 +267,52 @@ pub struct ItemSetGraph {
     scratch_pending: Vec<StateId>,
     /// Scratch work-stack for iterative `DECR-REFCOUNT`.
     gc_stack: Vec<StateId>,
+}
+
+/// The lazily generated, concurrently readable graph of item sets.
+///
+/// All read-path methods take `&self` and may be called from any number of
+/// threads; the expansion entry points ([`ItemSetGraph::ensure_expanded`],
+/// [`ItemSetGraph::ensure_row`], [`ItemSetGraph::ensure_state`],
+/// [`ItemSetGraph::expand_all`]) also take `&self` but serialize internally
+/// as writers. Grammar modifications (`add_rule` / `remove_rule` /
+/// `mark_and_sweep`) keep `&mut self`: they change the *language* the graph
+/// answers for, so callers must hold exclusive access (the `IpgServer`
+/// enforces this with a session-level `RwLock`, giving per-parse
+/// consistency against `MODIFY`).
+#[derive(Debug)]
+pub struct ItemSetGraph {
+    shards: Vec<RwLock<Vec<ItemSetNode>>>,
+    inner: Mutex<GraphInner>,
+    /// The current published snapshot (see [`TableSnapshot`]). Readers
+    /// clone the `Arc` once per handle refresh, not per query.
+    published: RwLock<Arc<TableSnapshot>>,
+    /// `ACTION` query count, aggregated from the per-handle counters of the
+    /// lazy tables (relaxed; flushed once per table handle, not per query).
+    action_calls: AtomicUsize,
+    /// `GOTO` query count (see `action_calls`).
+    goto_calls: AtomicUsize,
+    start: StateId,
+    gc: GcPolicy,
+}
+
+impl Clone for ItemSetGraph {
+    fn clone(&self) -> Self {
+        let inner = self.inner.lock().unwrap();
+        ItemSetGraph {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(s.read().unwrap().clone()))
+                .collect(),
+            inner: Mutex::new(inner.clone()),
+            published: RwLock::new(self.published.read().unwrap().clone()),
+            action_calls: AtomicUsize::new(self.action_calls.load(Ordering::Relaxed)),
+            goto_calls: AtomicUsize::new(self.goto_calls.load(Ordering::Relaxed)),
+            start: self.start,
+            gc: self.gc,
+        }
+    }
 }
 
 impl ItemSetGraph {
@@ -179,19 +325,28 @@ impl ItemSetGraph {
     /// Like [`ItemSetGraph::new`] with an explicit garbage-collection
     /// policy.
     pub fn with_policy(grammar: &Grammar, gc: GcPolicy) -> Self {
-        let mut graph = ItemSetGraph {
-            nodes: Vec::new(),
-            kernel_index: HashMap::new(),
+        let graph = ItemSetGraph {
+            shards: (0..NUM_SHARDS).map(|_| RwLock::new(Vec::new())).collect(),
+            published: RwLock::new(Arc::new(TableSnapshot::default())),
+            inner: Mutex::new(GraphInner {
+                len: 0,
+                kernel_index: HashMap::new(),
+                stats: GenStats::default(),
+                grammar_version: grammar.version(),
+                scratch_targets: Vec::new(),
+                scratch_pending: Vec::new(),
+                gc_stack: Vec::new(),
+            }),
+            action_calls: AtomicUsize::new(0),
+            goto_calls: AtomicUsize::new(0),
             start: StateId(0),
             gc,
-            stats: GenStats::default(),
-            grammar_version: grammar.version(),
-            scratch_targets: Vec::new(),
-            scratch_pending: Vec::new(),
-            gc_stack: Vec::new(),
         };
-        let start = graph.intern_kernel(start_kernel(grammar));
-        graph.start = start;
+        {
+            let mut inner = graph.inner.lock().unwrap();
+            let start = graph.intern_kernel_locked(&mut inner, start_kernel(grammar));
+            debug_assert_eq!(start, StateId(0));
+        }
         graph
     }
 
@@ -208,103 +363,254 @@ impl ItemSetGraph {
     /// The grammar version the graph currently corresponds to. Updated by
     /// [`ItemSetGraph::add_rule`] / [`ItemSetGraph::remove_rule`].
     pub fn grammar_version(&self) -> u64 {
-        self.grammar_version
+        self.inner.lock().unwrap().grammar_version
     }
 
-    /// Work counters.
-    pub fn stats(&self) -> &GenStats {
-        &self.stats
+    /// A snapshot of the work counters.
+    pub fn stats(&self) -> GenStats {
+        let mut stats = self.inner.lock().unwrap().stats;
+        stats.action_calls += self.action_calls.load(Ordering::Relaxed);
+        stats.goto_calls += self.goto_calls.load(Ordering::Relaxed);
+        stats
     }
 
-    /// Borrow a node (dead nodes remain accessible for post-mortems).
-    pub fn node(&self, id: StateId) -> &ItemSetNode {
-        &self.nodes[id.index()]
+    /// A snapshot of a node, or an error for ids that were never handed out
+    /// by this graph or whose node has been garbage-collected. This is the
+    /// accessor server-side callers should use: a stale [`StateId`] must
+    /// not be able to crash (or poison) a graph shared by many parsers.
+    pub fn try_node(&self, id: StateId) -> Result<ItemSetNode, GraphError> {
+        let shard = self.shards[shard_of(id)].read().unwrap();
+        match shard.get(slot_of(id)) {
+            None => Err(GraphError::UnknownState(id)),
+            Some(node) if !node.alive => Err(GraphError::CollectedState(id)),
+            Some(node) => Ok(node.clone()),
+        }
     }
 
-    /// Iterates over the live nodes.
-    pub fn live_nodes(&self) -> impl Iterator<Item = &ItemSetNode> {
-        self.nodes.iter().filter(|n| n.alive)
+    /// The life-cycle stage of a node, without cloning it — the cheap
+    /// accessor for callers (and tests) that only need the kind.
+    pub fn node_kind(&self, id: StateId) -> Result<ItemSetKind, GraphError> {
+        let shard = self.shards[shard_of(id)].read().unwrap();
+        match shard.get(slot_of(id)) {
+            None => Err(GraphError::UnknownState(id)),
+            Some(node) if !node.alive => Err(GraphError::CollectedState(id)),
+            Some(node) => Ok(node.kind),
+        }
+    }
+
+    /// A snapshot of a node (dead nodes remain accessible for
+    /// post-mortems).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when `id` is out of range; use
+    /// [`ItemSetGraph::try_node`] when the id may be stale.
+    pub fn node(&self, id: StateId) -> ItemSetNode {
+        let shard = self.shards[shard_of(id)].read().unwrap();
+        shard
+            .get(slot_of(id))
+            .unwrap_or_else(|| panic!("{}", GraphError::UnknownState(id)))
+            .clone()
+    }
+
+    /// A point-in-time snapshot of the live nodes, in id order.
+    pub fn live_nodes(&self) -> impl Iterator<Item = ItemSetNode> {
+        let mut nodes: Vec<ItemSetNode> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().unwrap();
+            nodes.extend(shard.iter().filter(|n| n.alive).cloned());
+        }
+        nodes.sort_by_key(|n| n.id.index());
+        nodes.into_iter()
     }
 
     /// Number of live nodes.
     pub fn num_live(&self) -> usize {
-        self.live_nodes().count()
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap().iter().filter(|n| n.alive).count())
+            .sum()
     }
 
     /// Size snapshot of the graph.
     pub fn size(&self) -> GraphSize {
         let mut size = GraphSize::default();
-        for node in self.live_nodes() {
-            size.total += 1;
-            match node.kind {
-                ItemSetKind::Initial => size.initial += 1,
-                ItemSetKind::Dirty => size.dirty += 1,
-                ItemSetKind::Complete => size.complete += 1,
-            }
-            if node.kind != ItemSetKind::Initial {
-                size.transitions += node.transitions.len();
+        for shard in &self.shards {
+            let shard = shard.read().unwrap();
+            for node in shard.iter().filter(|n| n.alive) {
+                size.total += 1;
+                match node.kind {
+                    ItemSetKind::Initial => size.initial += 1,
+                    ItemSetKind::Dirty => size.dirty += 1,
+                    ItemSetKind::Complete => size.complete += 1,
+                }
+                if node.kind != ItemSetKind::Initial {
+                    size.transitions += node.transitions.len();
+                }
             }
         }
         size
     }
 
-    fn intern_kernel(&mut self, kernel: ItemSet) -> StateId {
-        if let Some(&id) = self.kernel_index.get(&kernel) {
+    /// Runs `f` on a shared borrow of the node.
+    fn with_node<R>(&self, id: StateId, f: impl FnOnce(&ItemSetNode) -> R) -> R {
+        let shard = self.shards[shard_of(id)].read().unwrap();
+        f(&shard[slot_of(id)])
+    }
+
+    /// Runs `f` on an exclusive borrow of the node.
+    fn with_node_mut<R>(&self, id: StateId, f: impl FnOnce(&mut ItemSetNode) -> R) -> R {
+        let mut shard = self.shards[shard_of(id)].write().unwrap();
+        f(&mut shard[slot_of(id)])
+    }
+
+    fn intern_kernel_locked(&self, inner: &mut GraphInner, kernel: ItemSet) -> StateId {
+        if let Some(&id) = inner.kernel_index.get(&kernel) {
             return id;
         }
-        let id = StateId::from_index(self.nodes.len());
-        self.kernel_index.insert(kernel.clone(), id);
-        self.nodes.push(ItemSetNode::new(id, kernel));
-        self.stats.nodes_created += 1;
+        let id = StateId::from_index(inner.len);
+        inner.len += 1;
+        inner.kernel_index.insert(kernel.clone(), id);
+        let mut shard = self.shards[shard_of(id)].write().unwrap();
+        debug_assert_eq!(shard.len(), slot_of(id));
+        shard.push(ItemSetNode::new(id, kernel));
+        inner.stats.nodes_created += 1;
         id
     }
+
+    // ------------------------------------------------------------------
+    // Read path (`&self`, pinned snapshots — no locks per query)
+    // ------------------------------------------------------------------
+
+    /// The current published snapshot. A `LazyTables` handle pins one of
+    /// these and refreshes it on a miss; all steady-state queries are then
+    /// plain array reads against immutable data.
+    pub(crate) fn published_snapshot(&self) -> Arc<TableSnapshot> {
+        self.published.read().unwrap().clone()
+    }
+
+    /// `true` when `id` names a live node. Must be consulted *under the
+    /// inner mutex* before materialising anything for `id`: refcount GC
+    /// runs on the `&self` writer path (re-expansion of dirty nodes), so
+    /// a lock-free liveness check could race a collection and resurrect a
+    /// dead node into the published snapshot.
+    fn is_live_locked(&self, inner: &GraphInner, id: StateId) -> bool {
+        id.index() < inner.len && self.with_node(id, |n| n.alive)
+    }
+
+    /// The `ACTION` miss path: materialise and publish `state` if it is a
+    /// real, live state. Returns `false` for stale ids (out of range, or
+    /// reclaimed by GC), which read as error cells. The liveness check
+    /// happens under the writer mutex, so a concurrent collection cannot
+    /// slip between the check and the (re-)publication.
+    pub(crate) fn ensure_state_checked(&self, grammar: &Grammar, id: StateId) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if !self.is_live_locked(&inner, id) {
+            return false;
+        }
+        self.ensure_expanded_locked(&mut inner, grammar, id);
+        self.ensure_row_locked(&mut inner, grammar, id);
+        true
+    }
+
+    /// The `GOTO` miss path. Appendix A proves `GOTO` is only called with
+    /// complete item sets, so no expansion is performed — a non-complete
+    /// (or stale) state reads as an error entry after a debug assertion;
+    /// for a complete state the dense row is published so the caller can
+    /// refresh its snapshot and read the target.
+    pub(crate) fn prepare_goto(&self, grammar: &Grammar, id: StateId) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if !self.is_live_locked(&inner, id) {
+            return false;
+        }
+        let kind = self.with_node(id, |n| n.kind);
+        debug_assert_eq!(
+            kind,
+            ItemSetKind::Complete,
+            "Appendix A invariant violated: GOTO called on a non-complete item set"
+        );
+        if kind != ItemSetKind::Complete {
+            return false;
+        }
+        self.ensure_row_locked(&mut inner, grammar, id);
+        true
+    }
+
+    /// Flush per-handle query counters into the graph-wide aggregates
+    /// (called when a lazy-tables handle is dropped).
+    pub(crate) fn record_queries(&self, action_calls: usize, goto_calls: usize) {
+        if action_calls > 0 {
+            self.action_calls.fetch_add(action_calls, Ordering::Relaxed);
+        }
+        if goto_calls > 0 {
+            self.goto_calls.fetch_add(goto_calls, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (serialized on the inner mutex)
+    // ------------------------------------------------------------------
 
     /// Ensures the node's transitions and reductions are valid for the
     /// current grammar: the lazy `ACTION`'s "if state.type = initial then
     /// EXPAND(state)", extended with `RE-EXPAND` for dirty nodes.
-    pub fn ensure_expanded(&mut self, grammar: &Grammar, id: StateId) {
-        match self.nodes[id.index()].kind {
+    pub fn ensure_expanded(&self, grammar: &Grammar, id: StateId) {
+        let mut inner = self.inner.lock().unwrap();
+        self.ensure_expanded_locked(&mut inner, grammar, id);
+    }
+
+    /// Ensures the node is expanded *and* its dense row is published — the
+    /// single writer entry point behind the lazy tables' read path.
+    pub fn ensure_state(&self, grammar: &Grammar, id: StateId) {
+        let mut inner = self.inner.lock().unwrap();
+        self.ensure_expanded_locked(&mut inner, grammar, id);
+        self.ensure_row_locked(&mut inner, grammar, id);
+    }
+
+    fn ensure_expanded_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
+        match self.with_node(id, |n| n.kind) {
             ItemSetKind::Complete => {}
-            ItemSetKind::Initial => self.expand(grammar, id),
-            ItemSetKind::Dirty => self.re_expand(grammar, id),
+            ItemSetKind::Initial => self.expand_locked(inner, grammar, id),
+            ItemSetKind::Dirty => self.re_expand_locked(inner, grammar, id),
         }
     }
 
     /// The paper's `EXPAND`: transform an initial set of items into a
     /// complete one.
-    fn expand(&mut self, grammar: &Grammar, id: StateId) {
-        self.stats.expansions += 1;
-        self.expand_common(grammar, id);
+    fn expand_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
+        inner.stats.expansions += 1;
+        self.expand_common_locked(inner, grammar, id);
     }
 
     /// The paper's `RE-EXPAND` (§6.2): expand a dirty set of items, then
     /// release the references its old transitions held.
-    fn re_expand(&mut self, grammar: &Grammar, id: StateId) {
-        self.stats.re_expansions += 1;
-        let mut old_targets = std::mem::take(&mut self.scratch_targets);
+    fn re_expand_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
+        inner.stats.re_expansions += 1;
+        let mut old_targets = std::mem::take(&mut inner.scratch_targets);
         old_targets.clear();
-        old_targets.extend(self.nodes[id.index()].transitions.values().copied());
-        self.expand_common(grammar, id);
+        self.with_node(id, |n| {
+            old_targets.extend(n.transitions.values().copied());
+        });
+        self.expand_common_locked(inner, grammar, id);
         if self.refcounting() {
             for &target in &old_targets {
-                self.decr_refcount(target);
+                self.decr_refcount_locked(inner, target);
             }
         }
-        self.scratch_targets = old_targets;
+        inner.scratch_targets = old_targets;
     }
 
-    fn expand_common(&mut self, grammar: &Grammar, id: StateId) {
-        self.stats.closures += 1;
-        let kernel = self.nodes[id.index()].kernel.clone();
+    fn expand_common_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
+        inner.stats.closures += 1;
+        let kernel = self.with_node(id, |n| n.kernel.clone());
         let closed = closure(grammar, &kernel);
         let successors = partition_by_next_symbol(grammar, &closed);
 
         let mut transitions = BTreeMap::new();
         for (symbol, succ_kernel) in successors {
-            let target = self.intern_kernel(succ_kernel);
+            let target = self.intern_kernel_locked(inner, succ_kernel);
             transitions.insert(symbol, target);
             if self.refcounting() {
-                self.nodes[target.index()].refcount += 1;
+                self.with_node_mut(target, |n| n.refcount += 1);
             }
         }
 
@@ -326,14 +632,17 @@ impl ItemSetGraph {
         reductions.sort();
         reductions.dedup();
 
-        let node = &mut self.nodes[id.index()];
-        node.closure = closed;
-        node.transitions = transitions;
-        node.reductions = reductions;
-        node.accepting = accepting;
-        node.kind = ItemSetKind::Complete;
-        // The dense row shadows the (old) transitions; rebuild on demand.
-        node.row = None;
+        self.with_node_mut(id, move |node| {
+            node.closure = closed;
+            node.transitions = transitions;
+            node.reductions = reductions;
+            node.accepting = accepting;
+            node.kind = ItemSetKind::Complete;
+            // The dense row shadows the (old) transitions; rebuild on
+            // demand. Readers observe the kind change and the dropped row
+            // atomically: both happen under this shard write lock.
+            node.row = None;
+        });
     }
 
     /// Builds the dense [`ActionRow`] of a complete node if it is missing.
@@ -343,29 +652,125 @@ impl ItemSetGraph {
     /// # Panics
     /// Debug-asserts that the node is `Complete`; rows of initial/dirty
     /// nodes would shadow invalid transitions.
-    pub fn ensure_row(&mut self, grammar: &Grammar, id: StateId) {
+    pub fn ensure_row(&self, grammar: &Grammar, id: StateId) {
+        let mut inner = self.inner.lock().unwrap();
+        self.ensure_row_locked(&mut inner, grammar, id);
+    }
+
+    fn ensure_row_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
+        self.build_row_locked(inner, grammar, id);
+        // Publish (or re-publish after invalidation) the read-view entry so
+        // pinned reader snapshots can pick it up on their next refresh.
+        self.publish_entry(id);
+    }
+
+    /// Builds the dense row in the node storage without touching the
+    /// published snapshot (the caller publishes, either per entry or in
+    /// one batch).
+    fn build_row_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
         let num_symbols = grammar.symbols().len();
         let version = grammar.version();
-        let node = &mut self.nodes[id.index()];
-        debug_assert_eq!(
-            node.kind,
-            ItemSetKind::Complete,
-            "action rows only shadow complete item sets"
-        );
-        if node.row.is_some() {
-            return;
+        let built = self.with_node_mut(id, |node| {
+            debug_assert_eq!(
+                node.kind,
+                ItemSetKind::Complete,
+                "action rows only shadow complete item sets"
+            );
+            if node.row.is_some() {
+                return false;
+            }
+            let mut targets = vec![0u32; num_symbols];
+            for (&symbol, &target) in &node.transitions {
+                targets[symbol.index()] = target.0 + 1;
+            }
+            node.row = Some(ActionRow { version, targets });
+            true
+        });
+        if built {
+            inner.stats.rows_built += 1;
         }
-        let mut targets = vec![0u32; num_symbols];
-        for (&symbol, &target) in &node.transitions {
-            targets[symbol.index()] = target.0 + 1;
+    }
+
+    /// Copies the node's row/reductions/accept flag into a fresh published
+    /// snapshot (copy-on-write over the shared entry `Arc`s). A no-op when
+    /// the entry is already present: an existing entry is always current,
+    /// because every path that drops or replaces a row first retracts the
+    /// entry (MODIFY/sweep rebuild the snapshot, GC unpublishes).
+    ///
+    /// The per-publication COW clone makes cold generation quadratic in
+    /// state count *in pointer copies*, which measures as noise next to
+    /// the closure computation each new state also pays (the cold serving
+    /// scenario runs at warm-throughput parity); batch paths that build
+    /// many rows at once ([`ItemSetGraph::publish_all_rows`]) swap one
+    /// rebuilt snapshot instead.
+    fn publish_entry(&self, id: StateId) {
+        {
+            let published = self.published.read().unwrap();
+            if published.get(id).is_some() {
+                return;
+            }
         }
-        node.row = Some(ActionRow { version, targets });
-        self.stats.rows_built += 1;
+        let entry = self.with_node(id, |node| {
+            node.row.as_ref().map(|row| {
+                Arc::new(PublishedState {
+                    row: row.clone(),
+                    reductions: node.reductions.clone(),
+                    accepting: node.accepting,
+                })
+            })
+        });
+        let Some(entry) = entry else { return };
+        let mut published = self.published.write().unwrap();
+        let mut states = published.states.clone();
+        if states.len() <= id.index() {
+            states.resize(id.index() + 1, None);
+        }
+        states[id.index()] = Some(entry);
+        *published = Arc::new(TableSnapshot { states });
+    }
+
+    /// Drops a state's published entry (after garbage collection).
+    fn unpublish_entry(&self, id: StateId) {
+        let mut published = self.published.write().unwrap();
+        if published
+            .states
+            .get(id.index())
+            .is_some_and(|e| e.is_some())
+        {
+            let mut states = published.states.clone();
+            states[id.index()] = None;
+            *published = Arc::new(TableSnapshot { states });
+        }
+    }
+
+    /// Rebuilds the published snapshot from the node storage — used by the
+    /// exclusive (`&mut self`) mutations, which may invalidate many rows
+    /// at once.
+    fn rebuild_published(&self) {
+        let mut states: Vec<Option<Arc<PublishedState>>> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().unwrap();
+            for node in shard.iter() {
+                let (Some(row), true) = (&node.row, node.alive && node.kind == ItemSetKind::Complete)
+                else {
+                    continue;
+                };
+                if states.len() <= node.id.index() {
+                    states.resize(node.id.index() + 1, None);
+                }
+                states[node.id.index()] = Some(Arc::new(PublishedState {
+                    row: row.clone(),
+                    reductions: node.reductions.clone(),
+                    accepting: node.accepting,
+                }));
+            }
+        }
+        *self.published.write().unwrap() = Arc::new(TableSnapshot { states });
     }
 
     /// The dense action row of a node, if one has been built and is valid.
-    pub fn action_row(&self, id: StateId) -> Option<&ActionRow> {
-        self.nodes[id.index()].row.as_ref()
+    pub fn action_row(&self, id: StateId) -> Option<ActionRow> {
+        self.with_node(id, |n| n.row.clone())
     }
 
     fn refcounting(&self) -> bool {
@@ -376,16 +781,16 @@ impl ItemSetGraph {
     /// count drops to zero the node is reclaimed and the references *it*
     /// holds are released in turn. Iterative over a reused work stack, so
     /// deep release chains neither recurse nor allocate in steady state.
-    fn decr_refcount(&mut self, id: StateId) {
-        let mut stack = std::mem::take(&mut self.gc_stack);
+    fn decr_refcount_locked(&self, inner: &mut GraphInner, id: StateId) {
+        let mut stack = std::mem::take(&mut inner.gc_stack);
         debug_assert!(stack.is_empty());
         stack.push(id);
         while let Some(id) = stack.pop() {
             if id == self.start {
                 continue; // the start item set is never collected
             }
-            let idx = id.index();
-            let node = &mut self.nodes[idx];
+            let mut shard = self.shards[shard_of(id)].write().unwrap();
+            let node = &mut shard[slot_of(id)];
             if !node.alive {
                 continue;
             }
@@ -397,29 +802,36 @@ impl ItemSetGraph {
             // A dead node is never queried again; free its row (the
             // largest per-node allocation) immediately.
             node.row = None;
-            self.stats.nodes_collected += 1;
+            inner.stats.nodes_collected += 1;
             // Only remove the index entry if it still points at this node
             // (a newer live node may have reused the kernel).
-            if self.kernel_index.get(&self.nodes[idx].kernel) == Some(&id) {
-                self.kernel_index.remove(&self.nodes[idx].kernel);
+            if inner.kernel_index.get(&node.kernel) == Some(&id) {
+                inner.kernel_index.remove(&node.kernel);
             }
-            if self.nodes[idx].kind != ItemSetKind::Initial {
-                stack.extend(self.nodes[idx].transitions.values().copied());
+            if node.kind != ItemSetKind::Initial {
+                stack.extend(node.transitions.values().copied());
             }
+            drop(shard);
+            self.unpublish_entry(id);
         }
-        self.gc_stack = stack;
+        inner.gc_stack = stack;
     }
 
     /// Adds `lhs ::= rhs` to the grammar and updates the graph — the
     /// paper's `ADD-RULE`.
+    ///
+    /// `MODIFY` requires exclusive access (`&mut self`): it changes the
+    /// language the graph answers for, so no parse may be in flight.
     pub fn add_rule(&mut self, grammar: &mut Grammar, lhs: SymbolId, rhs: Vec<SymbolId>) -> RuleId {
         let rule = grammar.add_rule(lhs, rhs);
-        self.modify(grammar, lhs, rule, true);
+        let mut inner = self.inner.lock().unwrap();
+        self.modify_locked(&mut inner, grammar, lhs, rule, true);
         rule
     }
 
     /// Deletes `lhs ::= rhs` from the grammar and updates the graph — the
-    /// paper's `DELETE-RULE`.
+    /// paper's `DELETE-RULE`. Exclusive for the same reason as
+    /// [`ItemSetGraph::add_rule`].
     pub fn remove_rule(
         &mut self,
         grammar: &mut Grammar,
@@ -427,7 +839,8 @@ impl ItemSetGraph {
         rhs: &[SymbolId],
     ) -> Result<RuleId, GrammarError> {
         let rule = grammar.remove_rule_matching(lhs, rhs)?;
-        self.modify(grammar, lhs, rule, false);
+        let mut inner = self.inner.lock().unwrap();
+        self.modify_locked(&mut inner, grammar, lhs, rule, false);
         Ok(rule)
     }
 
@@ -436,9 +849,16 @@ impl ItemSetGraph {
     /// are exactly the complete item sets with a transition on the rule's
     /// left-hand side, plus the start item set when the rule defines
     /// `START`.
-    fn modify(&mut self, grammar: &Grammar, lhs: SymbolId, rule: RuleId, added: bool) {
-        self.stats.modifications += 1;
-        self.grammar_version = grammar.version();
+    fn modify_locked(
+        &self,
+        inner: &mut GraphInner,
+        grammar: &Grammar,
+        lhs: SymbolId,
+        rule: RuleId,
+        added: bool,
+    ) {
+        inner.stats.modifications += 1;
+        inner.grammar_version = grammar.version();
         let invalidated_kind = if self.refcounting() {
             ItemSetKind::Dirty
         } else {
@@ -449,46 +869,53 @@ impl ItemSetGraph {
             // The start item set's kernel is derived from the START rules;
             // keep it in sync and re-expand it lazily.
             let start = self.start;
-            let node = &mut self.nodes[start.index()];
-            let item = Item::start(rule);
-            if added {
-                node.kernel.insert(item);
-            } else {
-                node.kernel.remove(&item);
-            }
-            if node.kind == ItemSetKind::Complete {
-                node.kind = invalidated_kind;
-                node.row = None;
-                self.stats.invalidations += 1;
-            } else if node.kind == ItemSetKind::Initial && invalidated_kind == ItemSetKind::Initial
-            {
-                // Already initial: nothing to do.
+            let (was_complete, new_kernel) = self.with_node_mut(start, |node| {
+                let item = Item::start(rule);
+                if added {
+                    node.kernel.insert(item);
+                } else {
+                    node.kernel.remove(&item);
+                }
+                let was_complete = node.kind == ItemSetKind::Complete;
+                if was_complete {
+                    node.kind = invalidated_kind;
+                    node.row = None;
+                }
+                (was_complete, node.kernel.clone())
+            });
+            if was_complete {
+                inner.stats.invalidations += 1;
             }
             // Keep the kernel index in sync with the changed kernel.
-            self.kernel_index.retain(|_, &mut v| v != start);
-            self.kernel_index
-                .insert(self.nodes[start.index()].kernel.clone(), start);
+            inner.kernel_index.retain(|_, &mut v| v != start);
+            inner.kernel_index.insert(new_kernel, start);
         } else {
             // Invalidate in place: the cached action rows are dropped in
             // the same breath as the item sets they shadow.
-            for node in self.nodes.iter_mut() {
-                if node.alive
-                    && node.kind == ItemSetKind::Complete
-                    && node.transitions.contains_key(&lhs)
-                {
-                    node.kind = invalidated_kind;
-                    node.row = None;
-                    self.stats.invalidations += 1;
+            for shard in &self.shards {
+                let mut shard = shard.write().unwrap();
+                for node in shard.iter_mut() {
+                    if node.alive
+                        && node.kind == ItemSetKind::Complete
+                        && node.transitions.contains_key(&lhs)
+                    {
+                        node.kind = invalidated_kind;
+                        node.row = None;
+                        inner.stats.invalidations += 1;
+                    }
                 }
             }
         }
 
-        self.maybe_sweep(grammar);
+        self.maybe_sweep_locked(inner, grammar);
+        // Invalidation dropped rows in place; retract them from the
+        // published snapshot too (exclusive: no reader holds a handle).
+        self.rebuild_published();
     }
 
     /// Runs a mark-and-sweep pass if the policy asks for one and the
     /// garbage fraction exceeds its threshold.
-    fn maybe_sweep(&mut self, grammar: &Grammar) {
+    fn maybe_sweep_locked(&self, inner: &mut GraphInner, grammar: &Grammar) {
         let GcPolicy::RefCountWithSweep { threshold_percent } = self.gc else {
             return;
         };
@@ -496,24 +923,27 @@ impl ItemSetGraph {
         if live == 0 {
             return;
         }
-        let reachable = self.reachable_from_start();
+        let reachable = self.reachable_from_start_locked(inner);
         let garbage = live.saturating_sub(reachable.len());
         if garbage * 100 > threshold_percent as usize * live {
-            self.mark_and_sweep(grammar);
+            self.mark_and_sweep_locked(inner, grammar);
         }
     }
 
-    fn reachable_from_start(&self) -> Vec<StateId> {
-        let mut marked = vec![false; self.nodes.len()];
+    fn reachable_from_start_locked(&self, inner: &GraphInner) -> Vec<StateId> {
+        let mut marked = vec![false; inner.len];
         let mut stack = vec![self.start];
         marked[self.start.index()] = true;
+        let mut targets: Vec<StateId> = Vec::new();
         while let Some(id) = stack.pop() {
-            let node = &self.nodes[id.index()];
-            if node.kind == ItemSetKind::Initial {
-                continue;
-            }
-            for &target in node.transitions.values() {
-                if self.nodes[target.index()].alive && !marked[target.index()] {
+            targets.clear();
+            self.with_node(id, |node| {
+                if node.kind != ItemSetKind::Initial {
+                    targets.extend(node.transitions.values().copied());
+                }
+            });
+            for &target in &targets {
+                if !marked[target.index()] && self.with_node(target, |n| n.alive) {
                     marked[target.index()] = true;
                     stack.push(target);
                 }
@@ -530,69 +960,100 @@ impl ItemSetGraph {
     /// Mark-and-sweep collection: reclaims every live item set that is not
     /// reachable from the start item set, and recomputes reference counts.
     /// This is the paper's proposed answer to cyclic references that
-    /// reference counting alone cannot reclaim.
-    pub fn mark_and_sweep(&mut self, _grammar: &Grammar) {
-        self.stats.sweeps += 1;
-        let reachable = self.reachable_from_start();
-        let mut keep = vec![false; self.nodes.len()];
+    /// reference counting alone cannot reclaim. Exclusive, like `MODIFY`.
+    pub fn mark_and_sweep(&mut self, grammar: &Grammar) {
+        let mut inner = self.inner.lock().unwrap();
+        self.mark_and_sweep_locked(&mut inner, grammar);
+        self.rebuild_published();
+    }
+
+    fn mark_and_sweep_locked(&self, inner: &mut GraphInner, _grammar: &Grammar) {
+        inner.stats.sweeps += 1;
+        let reachable = self.reachable_from_start_locked(inner);
+        let mut keep = vec![false; inner.len];
         for id in &reachable {
             keep[id.index()] = true;
         }
         for (i, &keep_node) in keep.iter().enumerate() {
-            if self.nodes[i].alive && !keep_node {
-                self.nodes[i].alive = false;
-                self.nodes[i].row = None;
-                self.stats.nodes_swept += 1;
-                if self.kernel_index.get(&self.nodes[i].kernel) == Some(&StateId::from_index(i)) {
-                    self.kernel_index.remove(&self.nodes[i].kernel);
+            let id = StateId::from_index(i);
+            let mut shard = self.shards[shard_of(id)].write().unwrap();
+            let node = &mut shard[slot_of(id)];
+            if node.alive && !keep_node {
+                node.alive = false;
+                node.row = None;
+                inner.stats.nodes_swept += 1;
+                if inner.kernel_index.get(&node.kernel) == Some(&id) {
+                    inner.kernel_index.remove(&node.kernel);
                 }
             }
         }
-        // Recompute reference counts over the surviving graph. The edge map
-        // of each node is moved out for the duration of its scan, which
-        // lets the targets be bumped without collecting the edges into a
-        // temporary vector first.
-        for node in &mut self.nodes {
-            node.refcount = 0;
+        // Recompute reference counts over the surviving graph.
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap();
+            for node in shard.iter_mut() {
+                node.refcount = 0;
+            }
         }
-        for i in 0..self.nodes.len() {
-            if !self.nodes[i].alive || self.nodes[i].kind == ItemSetKind::Initial {
-                continue;
-            }
-            let transitions = std::mem::take(&mut self.nodes[i].transitions);
-            for &target in transitions.values() {
-                if self.nodes[target.index()].alive {
-                    self.nodes[target.index()].refcount += 1;
+        let mut targets: Vec<StateId> = Vec::new();
+        for i in 0..inner.len {
+            let id = StateId::from_index(i);
+            targets.clear();
+            self.with_node(id, |node| {
+                if node.alive && node.kind != ItemSetKind::Initial {
+                    targets.extend(node.transitions.values().copied());
                 }
+            });
+            for &target in &targets {
+                self.with_node_mut(target, |n| {
+                    if n.alive {
+                        n.refcount += 1;
+                    }
+                });
             }
-            self.nodes[i].transitions = transitions;
         }
     }
 
     /// Forces the complete expansion of the graph (every reachable item
     /// set). Afterwards the graph is equivalent to the conventionally
-    /// generated automaton — useful for tests and for the "PG via IPG"
-    /// comparison.
-    pub fn expand_all(&mut self, grammar: &Grammar) {
-        let mut pending = std::mem::take(&mut self.scratch_pending);
+    /// generated automaton — useful for tests, for the "PG via IPG"
+    /// comparison, and for warming a served table before taking traffic.
+    pub fn expand_all(&self, grammar: &Grammar) {
+        let mut inner = self.inner.lock().unwrap();
+        let mut pending = std::mem::take(&mut inner.scratch_pending);
         loop {
             pending.clear();
-            pending.extend(
-                self.nodes
-                    .iter()
-                    .filter(|n| n.alive && n.needs_expansion())
-                    .map(|n| n.id),
-            );
+            for i in 0..inner.len {
+                let id = StateId::from_index(i);
+                if self.with_node(id, |n| n.alive && n.needs_expansion()) {
+                    pending.push(id);
+                }
+            }
             if pending.is_empty() {
                 break;
             }
             for &id in &pending {
-                if self.nodes[id.index()].alive && self.nodes[id.index()].needs_expansion() {
-                    self.ensure_expanded(grammar, id);
+                if self.with_node(id, |n| n.alive && n.needs_expansion()) {
+                    self.ensure_expanded_locked(&mut inner, grammar, id);
                 }
             }
         }
-        self.scratch_pending = pending;
+        inner.scratch_pending = pending;
+    }
+
+    /// Publishes the dense action row of every live complete node — used
+    /// together with [`ItemSetGraph::expand_all`] to fully warm a served
+    /// table.
+    pub fn publish_all_rows(&self, grammar: &Grammar) {
+        let mut inner = self.inner.lock().unwrap();
+        for i in 0..inner.len {
+            let id = StateId::from_index(i);
+            if self.with_node(id, |n| n.alive && n.kind == ItemSetKind::Complete) {
+                self.build_row_locked(&mut inner, grammar, id);
+            }
+        }
+        // One batch publication instead of a copy-on-write snapshot per
+        // row (which would be quadratic in the number of states).
+        self.rebuild_published();
     }
 
     /// Renders the live part of the graph in the style of the paper's item
@@ -632,21 +1093,9 @@ impl ItemSetGraph {
     /// removed). Rule modifications must go through
     /// [`ItemSetGraph::add_rule`] / [`ItemSetGraph::remove_rule`] instead.
     pub fn acknowledge_non_structural_change(&mut self, grammar: &Grammar) {
-        self.grammar_version = grammar.version();
-    }
-
-    /// Record an `ACTION` call in the statistics (called by the lazy
-    /// tables).
-    pub(crate) fn note_action_call(&mut self) {
-        self.stats.action_calls += 1;
-    }
-
-    /// Record a `GOTO` call in the statistics (called by the lazy tables).
-    pub(crate) fn note_goto_call(&mut self) {
-        self.stats.goto_calls += 1;
+        self.inner.lock().unwrap().grammar_version = grammar.version();
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,7 +1117,7 @@ mod tests {
     #[test]
     fn expanding_the_start_state_matches_fig_51b() {
         let g = fixtures::booleans();
-        let mut graph = ItemSetGraph::new(&g);
+        let graph = ItemSetGraph::new(&g);
         graph.ensure_expanded(&g, graph.start_state());
         // Fig. 5.1(b): the start state plus three initial successors
         // (on B, true, false).
@@ -685,7 +1134,7 @@ mod tests {
     #[test]
     fn full_expansion_matches_conventional_automaton() {
         let g = fixtures::booleans();
-        let mut graph = ItemSetGraph::new(&g);
+        let graph = ItemSetGraph::new(&g);
         graph.expand_all(&g);
         let conventional = ipg_lr::Lr0Automaton::build(&g);
         assert_eq!(graph.num_live(), conventional.num_states());
@@ -897,11 +1346,70 @@ mod tests {
     #[test]
     fn render_mentions_kinds_and_transitions() {
         let g = fixtures::booleans();
-        let mut graph = ItemSetGraph::new(&g);
+        let graph = ItemSetGraph::new(&g);
         graph.ensure_expanded(&g, graph.start_state());
         let text = graph.render(&g);
         assert!(text.contains("complete"));
         assert!(text.contains("initial"));
         assert!(text.contains("--true-->"));
+    }
+
+    #[test]
+    fn try_node_reports_stale_ids_as_errors() {
+        let mut g = fixtures::booleans();
+        let mut graph = ItemSetGraph::with_policy(&g, GcPolicy::RefCount);
+        graph.expand_all(&g);
+        assert!(graph.try_node(graph.start_state()).is_ok());
+        let bogus = StateId::from_index(9999);
+        assert_eq!(graph.try_node(bogus).map(|_| ()), Err(GraphError::UnknownState(bogus)));
+        assert!(GraphError::UnknownState(bogus).to_string().contains("9999"));
+        // Collect something, then resolve its id.
+        let b = g.symbol("B").unwrap();
+        let and = g.symbol("and").unwrap();
+        graph.remove_rule(&mut g, b, &[b, and, b]).unwrap();
+        graph.expand_all(&g);
+        let dead = (0..graph.stats().nodes_created)
+            .map(StateId::from_index)
+            .find(|&id| !graph.node(id).alive)
+            .expect("refcount GC collected a node");
+        assert_eq!(graph.try_node(dead).map(|_| ()), Err(GraphError::CollectedState(dead)));
+        assert!(GraphError::CollectedState(dead).to_string().contains("reclaimed"));
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_lazily_expanded_graph() {
+        use ipg_glr::GssParser;
+        use ipg_lr::tokenize_names;
+
+        let g = fixtures::booleans();
+        let graph = ItemSetGraph::new(&g);
+        let sentences = ["true and true", "false or true", "true or false and true"];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let parser = GssParser::new(&g);
+                    for sentence in sentences {
+                        let tokens = tokenize_names(&g, sentence).unwrap();
+                        let tables = crate::tables::LazyTables::new(&g, &graph).unwrap();
+                        assert!(parser.recognize(&tables, &tokens), "`{sentence}`");
+                    }
+                });
+            }
+        });
+        // All threads drove the same graph; it expanded each state once.
+        let full = ipg_lr::Lr0Automaton::build(&g).num_states();
+        assert!(graph.stats().expansions <= full);
+        assert!(graph.size().complete > 0);
+    }
+
+    #[test]
+    fn graph_clone_is_deep() {
+        let g = fixtures::booleans();
+        let graph = ItemSetGraph::new(&g);
+        graph.ensure_expanded(&g, graph.start_state());
+        let clone = graph.clone();
+        assert_eq!(clone.num_live(), graph.num_live());
+        clone.expand_all(&g);
+        assert!(clone.num_live() >= graph.num_live());
     }
 }

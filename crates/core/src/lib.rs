@@ -53,10 +53,10 @@
 //!
 //! ## Driving the tables directly
 //!
-//! `ParserTables::actions` answers with a borrowed
-//! [`ipg_lr::ActionsRef`] — the reduce set, the optional shift target and
-//! the accept flag of one ACTION cell, read from a dense per-state row
-//! without allocating:
+//! `ParserTables::actions_into` fills a reusable [`ipg_lr::ActionCell`] —
+//! the reduce set, the optional shift target and the accept flag of one
+//! ACTION cell, read from a dense per-state row without allocating (the
+//! `actions` convenience below returns a fresh cell):
 //!
 //! ```
 //! use ipg::{ItemSetGraph, LazyTables};
@@ -64,8 +64,8 @@
 //! use ipg_lr::ParserTables;
 //!
 //! let grammar = fixtures::booleans();
-//! let mut graph = ItemSetGraph::new(&grammar);
-//! let mut tables = LazyTables::new(&grammar, &mut graph);
+//! let graph = ItemSetGraph::new(&grammar);
+//! let tables = LazyTables::new(&grammar, &graph).unwrap();
 //!
 //! let start = tables.start_state();
 //! let tru = grammar.symbol("true").unwrap();
@@ -73,16 +73,27 @@
 //! assert!(cell.shift.is_some());
 //! assert!(cell.reductions.is_empty() && !cell.accept);
 //! ```
+//!
+//! ## Serving many parsers from one graph
+//!
+//! The table stack is split into a `&self` **read path** (steady-state
+//! `ACTION`/`GOTO` queries never block each other) and serialized
+//! **writers** (lazy expansion, `MODIFY`, GC). [`IpgServer`] packages the
+//! split for multi-threaded use: N threads parse one shared, lazily
+//! generated graph while grammar modifications are applied between (or
+//! under) load with the paper's invalidation semantics — see [`server`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod graph;
+pub mod server;
 pub mod session;
 pub mod stats;
 pub mod tables;
 
-pub use graph::{ActionRow, GcPolicy, ItemSetGraph, ItemSetKind, ItemSetNode};
+pub use graph::{ActionRow, GcPolicy, GraphError, ItemSetGraph, ItemSetKind, ItemSetNode};
+pub use server::{IpgServer, ServerError, ServerStats};
 pub use session::{IpgSession, SessionError};
 pub use stats::{GenStats, GraphSize};
-pub use tables::LazyTables;
+pub use tables::{LazyTables, StaleGraphError};

@@ -1,0 +1,534 @@
+//! `IpgServer`: the shared-table serving layer.
+//!
+//! The paper amortises table generation across parses (§5); this module
+//! amortises it across *parsers*. One lazily generated item-set graph — and
+//! optionally one lazily determinised scanner — serves parse requests from
+//! any number of threads, while grammar modifications are applied between
+//! (or under) load with the paper's `MODIFY` invalidation semantics (§6).
+//!
+//! ## Locking model
+//!
+//! The server wraps an [`IpgSession`] in one `RwLock`:
+//!
+//! * **parses share the read lock** — [`IpgSession`]'s parse methods take
+//!   `&self`, and the item-set graph underneath synchronises its own lazy
+//!   expansion (sharded reader locks on the steady path, one serialized
+//!   writer for EXPAND), so N readers genuinely run in parallel;
+//! * **modifications take the write lock** — `ADD-RULE`/`DELETE-RULE`
+//!   drain the in-flight parses, apply the paper's invalidation, and
+//!   release. Every parse therefore sees one consistent grammar version
+//!   end to end, which is exactly the consistency the stress tests assert
+//!   against a single-threaded oracle.
+//!
+//! ```
+//! use ipg::IpgServer;
+//!
+//! let server = IpgServer::from_bnf(r#"
+//!     B ::= "true" | "false" | B "or" B | B "and" B
+//!     START ::= B
+//! "#).unwrap();
+//!
+//! // Threads parse one shared, lazily generated graph...
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         scope.spawn(|| {
+//!             assert!(server.parse_sentence("true and true").unwrap().accepted);
+//!         });
+//!     }
+//! });
+//!
+//! // ...and the language designer modifies the grammar under load.
+//! server.add_rule_text(r#"B ::= "unknown""#).unwrap();
+//! assert!(server.parse_sentence("true or unknown").unwrap().accepted);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, RwLock};
+use std::thread;
+
+use ipg_glr::{GssParseResult, GssParser};
+use ipg_grammar::{RuleId, SymbolId};
+use ipg_lexer::{ScanError, Scanner};
+
+use crate::session::{IpgSession, SessionError};
+use crate::stats::GenStats;
+use crate::tables::LazyTables;
+
+/// Errors returned by [`IpgServer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// An error from the underlying session (unknown token, BNF, grammar).
+    Session(SessionError),
+    /// An error from the shared scanner while lexing request text.
+    Scan(ScanError),
+    /// [`IpgServer::parse_text`] was called on a server without a scanner.
+    NoScanner,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Session(e) => write!(f, "{e}"),
+            ServerError::Scan(e) => write!(f, "scan error: {e}"),
+            ServerError::NoScanner => write!(f, "this server was built without a scanner"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        ServerError::Session(e)
+    }
+}
+
+impl From<ScanError> for ServerError {
+    fn from(e: ScanError) -> Self {
+        ServerError::Scan(e)
+    }
+}
+
+/// Per-thread query statistics of one server, plus the graph-wide
+/// generator counters — the aggregation [`IpgServer::stats`] reports.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// The shared graph's work counters (expansions, invalidations, GC,
+    /// rows built, plus all flushed query counts).
+    pub graph: GenStats,
+    /// Parses served and `ACTION`/`GOTO` queries issued, per serving
+    /// thread (keyed by a debug rendering of the thread id).
+    pub per_thread: Vec<(String, GenStats)>,
+}
+
+impl ServerStats {
+    /// Total parses served across all threads.
+    pub fn total_parses(&self) -> usize {
+        self.per_thread.iter().map(|(_, s)| s.parses).sum()
+    }
+
+    /// Total `ACTION` queries across all threads.
+    pub fn total_action_calls(&self) -> usize {
+        self.per_thread.iter().map(|(_, s)| s.action_calls).sum()
+    }
+}
+
+/// A multi-reader serving layer over one [`IpgSession`].
+///
+/// `&IpgServer` is `Sync`: share it across threads (scoped threads, a
+/// thread pool, an async runtime's blocking pool) and call the parse
+/// methods freely. Modification methods serialize against all parses.
+#[derive(Debug)]
+pub struct IpgServer {
+    state: RwLock<IpgSession>,
+    /// Optional shared scanner for [`IpgServer::parse_text`]. Scanning
+    /// takes `&self` (the lazy DFA synchronises internally); definition
+    /// changes go through [`IpgServer::modify_scanner`]'s write lock.
+    scanner: Option<RwLock<Scanner>>,
+    /// Per-thread query counters, updated once per parse (not per query).
+    /// Bounded: once `MAX_TRACKED_THREADS` distinct threads have been
+    /// seen, further threads fold into one overflow aggregate, so a
+    /// server driven from a churning thread pool cannot leak one entry
+    /// per retired `ThreadId`.
+    per_thread: Mutex<PerThreadStats>,
+}
+
+/// Cap on individually tracked serving threads (see `IpgServer::per_thread`).
+const MAX_TRACKED_THREADS: usize = 64;
+
+#[derive(Debug, Default)]
+struct PerThreadStats {
+    tracked: HashMap<thread::ThreadId, GenStats>,
+    /// Aggregate of every thread beyond the tracking cap.
+    overflow: GenStats,
+}
+
+impl IpgServer {
+    /// Wraps a session for serving.
+    pub fn new(session: IpgSession) -> Self {
+        IpgServer {
+            state: RwLock::new(session),
+            scanner: None,
+            per_thread: Mutex::new(PerThreadStats::default()),
+        }
+    }
+
+    /// Creates a server from the textual BNF notation.
+    pub fn from_bnf(text: &str) -> Result<Self, SessionError> {
+        Ok(Self::new(IpgSession::from_bnf(text)?))
+    }
+
+    /// Attaches a shared scanner, enabling [`IpgServer::parse_text`].
+    pub fn with_scanner(mut self, scanner: Scanner) -> Self {
+        self.scanner = Some(RwLock::new(scanner));
+        self
+    }
+
+    /// Runs `f` on a shared borrow of the session (a read lock: parses in
+    /// other threads keep running).
+    pub fn read<R>(&self, f: impl FnOnce(&IpgSession) -> R) -> R {
+        f(&self.state.read().unwrap())
+    }
+
+    /// Runs `f` on an exclusive borrow of the session (the write lock:
+    /// drains in-flight parses first). This is the `MODIFY` entry point
+    /// for structural changes beyond the convenience methods below.
+    pub fn modify<R>(&self, f: impl FnOnce(&mut IpgSession) -> R) -> R {
+        f(&mut self.state.write().unwrap())
+    }
+
+    /// Runs `f` on an exclusive borrow of the shared scanner.
+    pub fn modify_scanner<R>(&self, f: impl FnOnce(&mut Scanner) -> R) -> Result<R, ServerError> {
+        match &self.scanner {
+            Some(scanner) => Ok(f(&mut scanner.write().unwrap())),
+            None => Err(ServerError::NoScanner),
+        }
+    }
+
+    /// The grammar version currently being served.
+    pub fn grammar_version(&self) -> u64 {
+        self.read(|s| s.grammar().version())
+    }
+
+    /// Warms the shared table: fully expands the item-set graph and
+    /// publishes every dense row, so subsequent parses are pure reads.
+    pub fn warm(&self) {
+        self.read(|s| s.expand_all());
+    }
+
+    /// Converts a whitespace-separated sentence of terminal names into
+    /// symbol ids against the current grammar.
+    pub fn tokens(&self, sentence: &str) -> Result<Vec<SymbolId>, SessionError> {
+        self.read(|s| s.tokens(sentence))
+    }
+
+    /// The one serve path every parse method goes through: take the read
+    /// lock, hand the session and a fresh lazy-tables handle to `f`, then
+    /// record the handle's query counts against the calling thread. A
+    /// request that fails before parsing (unknown token, scan error) still
+    /// counts as a served request with zero queries.
+    fn serve<R>(&self, f: impl FnOnce(&IpgSession, &LazyTables<'_>) -> R) -> R {
+        let session = self.state.read().unwrap();
+        let tables: LazyTables<'_> = session.tables();
+        let result = f(&session, &tables);
+        let (action_calls, goto_calls) = tables.query_counts();
+        drop(tables);
+        drop(session);
+        self.note_parse(action_calls, goto_calls);
+        result
+    }
+
+    /// Parses a token sentence against the shared graph. Concurrent with
+    /// other parses; serialized against modifications.
+    pub fn parse(&self, tokens: &[SymbolId]) -> GssParseResult {
+        self.parse_versioned(tokens).1
+    }
+
+    /// Like [`IpgServer::parse`], also returning the grammar version the
+    /// parse ran against — captured under the same read lock, so the pair
+    /// is consistent even while a writer is applying modifications.
+    pub fn parse_versioned(&self, tokens: &[SymbolId]) -> (u64, GssParseResult) {
+        self.serve(|session, tables| {
+            let version = session.grammar().version();
+            (version, GssParser::new(session.grammar()).parse(tables, tokens))
+        })
+    }
+
+    /// Recognises a token sentence (no forest construction).
+    pub fn recognize(&self, tokens: &[SymbolId]) -> bool {
+        self.serve(|session, tables| {
+            GssParser::new(session.grammar()).recognize(tables, tokens)
+        })
+    }
+
+    /// Convenience: [`IpgServer::parse`] on a whitespace-separated sentence
+    /// of terminal names (tokenized and parsed under one read lock, so the
+    /// sentence is interpreted by the same grammar version it is parsed
+    /// with).
+    pub fn parse_sentence(&self, sentence: &str) -> Result<GssParseResult, SessionError> {
+        self.serve(|session, tables| {
+            let tokens = session.tokens(sentence)?;
+            Ok(GssParser::new(session.grammar()).parse(tables, &tokens))
+        })
+    }
+
+    /// Lexes `input` with the shared scanner and parses the token stream —
+    /// the full text-to-forest pipeline under one grammar read lock. The
+    /// scanner's lazy DFA synchronises internally, so concurrent
+    /// `parse_text` calls share its cache without blocking each other.
+    pub fn parse_text(&self, input: &str) -> Result<GssParseResult, ServerError> {
+        let scanner = self.scanner.as_ref().ok_or(ServerError::NoScanner)?;
+        self.serve(|session, tables| {
+            let tokens = scanner
+                .read()
+                .unwrap()
+                .tokenize_for(session.grammar(), input)?;
+            Ok(GssParser::new(session.grammar()).parse(tables, &tokens))
+        })
+    }
+
+    /// Adds a rule written in the textual BNF notation — the paper's
+    /// `ADD-RULE` under the write lock.
+    pub fn add_rule_text(&self, text: &str) -> Result<RuleId, SessionError> {
+        self.modify(|s| s.add_rule_text(text))
+    }
+
+    /// Deletes a rule written in the textual BNF notation — the paper's
+    /// `DELETE-RULE` under the write lock.
+    pub fn remove_rule_text(&self, text: &str) -> Result<RuleId, SessionError> {
+        self.modify(|s| s.remove_rule_text(text))
+    }
+
+    /// Runs a mark-and-sweep collection over the shared graph (exclusive,
+    /// like a modification).
+    pub fn collect_garbage(&self) {
+        self.modify(|s| s.collect_garbage());
+    }
+
+    /// Parses every request, fanned out over `threads` scoped worker
+    /// threads (request `i` goes to worker `i % threads`). Results come
+    /// back in request order. A convenience for benches, tests and batch
+    /// callers; network frontends would call [`IpgServer::parse`] from
+    /// their own threads instead.
+    pub fn parse_many(&self, requests: &[Vec<SymbolId>], threads: usize) -> Vec<GssParseResult> {
+        let threads = threads.max(1);
+        let mut results: Vec<Option<GssParseResult>> = vec![None; requests.len()];
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut i = t;
+                    while i < requests.len() {
+                        out.push((i, self.parse(&requests[i])));
+                        i += threads;
+                    }
+                    out
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("worker thread panicked") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every request was served"))
+            .collect()
+    }
+
+    /// The aggregated statistics: the shared graph's counters plus the
+    /// per-thread query/parse counts.
+    pub fn stats(&self) -> ServerStats {
+        let graph = self.read(|s| s.stats());
+        let per_thread = self.per_thread.lock().unwrap();
+        let mut entries: Vec<(String, GenStats)> = per_thread
+            .tracked
+            .iter()
+            .map(|(id, stats)| (format!("{id:?}"), *stats))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        if per_thread.overflow.parses > 0 {
+            entries.push(("(untracked threads)".to_owned(), per_thread.overflow));
+        }
+        ServerStats {
+            graph,
+            per_thread: entries,
+        }
+    }
+
+    fn note_parse(&self, action_calls: usize, goto_calls: usize) {
+        let mut per_thread = self.per_thread.lock().unwrap();
+        let id = thread::current().id();
+        let entry = if per_thread.tracked.contains_key(&id)
+            || per_thread.tracked.len() < MAX_TRACKED_THREADS
+        {
+            per_thread.tracked.entry(id).or_default()
+        } else {
+            &mut per_thread.overflow
+        };
+        entry.parses += 1;
+        entry.action_calls += action_calls;
+        entry.goto_calls += goto_calls;
+    }
+}
+
+// The whole point of the serving layer: one server instance may be shared
+// across threads.
+#[allow(dead_code)]
+fn _assert_server_is_sync() {
+    fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<IpgServer>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::fixtures;
+    use ipg_lexer::simple_scanner;
+
+    fn boolean_server() -> IpgServer {
+        IpgServer::new(IpgSession::new(fixtures::booleans()))
+    }
+
+    #[test]
+    fn serves_parses_from_many_threads() {
+        let server = boolean_server();
+        let sentences = ["true", "true and true", "false or true", "true or"];
+        let expected = [true, true, true, false];
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (sentence, expect) in sentences.iter().zip(expected) {
+                        let result = server.parse_sentence(sentence).unwrap();
+                        assert_eq!(result.accepted, expect, "`{sentence}`");
+                    }
+                });
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.total_parses(), 16);
+        assert!(!stats.per_thread.is_empty());
+        assert!(stats.total_action_calls() > 0);
+        assert!(stats.graph.expansions > 0);
+    }
+
+    #[test]
+    fn modification_under_load_keeps_every_parse_consistent() {
+        let server = boolean_server();
+        let base_version = server.grammar_version();
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let tokens = match server.tokens("unknown or true") {
+                            Ok(tokens) => tokens,
+                            // `unknown` not interned yet: pre-modification.
+                            Err(_) => server.tokens("true or true").unwrap(),
+                        };
+                        // Whichever grammar version the parse ran against,
+                        // the sentence was chosen to be in its language.
+                        let (version, result) = server.parse_versioned(&tokens);
+                        assert!(result.accepted, "grammar v{version}");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                server.add_rule_text(r#"B ::= "unknown""#).unwrap();
+            });
+        });
+        assert!(server.grammar_version() > base_version);
+        assert!(server.parse_sentence("unknown and false").unwrap().accepted);
+    }
+
+    #[test]
+    fn parse_many_round_robins_and_preserves_order() {
+        let server = boolean_server();
+        server.warm();
+        let requests: Vec<Vec<_>> = (0..17)
+            .map(|i| {
+                let sentence = if i % 3 == 0 { "true or false" } else { "true and" };
+                server.tokens(sentence).unwrap()
+            })
+            .collect();
+        let expansions_before = server.stats().graph.total_expansions();
+        let results = server.parse_many(&requests, 4);
+        assert_eq!(results.len(), 17);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.accepted, i % 3 == 0, "request {i}");
+        }
+        // Warm table: serving did not expand anything new.
+        assert_eq!(server.stats().graph.total_expansions(), expansions_before);
+    }
+
+    #[test]
+    fn text_pipeline_with_shared_scanner() {
+        let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+            .with_scanner(simple_scanner(&["true", "false", "or", "and"]));
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    assert!(server.parse_text("true or false -- comment\n").unwrap().accepted);
+                    assert!(!server.parse_text("true or").unwrap().accepted);
+                });
+            }
+        });
+        assert!(matches!(
+            server.parse_text("true $ false"),
+            Err(ServerError::Scan(_))
+        ));
+        let err = boolean_server().parse_text("true").unwrap_err();
+        assert_eq!(err, ServerError::NoScanner);
+        assert!(err.to_string().contains("scanner"));
+    }
+
+    #[test]
+    fn scanner_modifications_take_the_write_path() {
+        let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+            .with_scanner(simple_scanner(&["true", "or"]));
+        assert!(server.parse_text("true % true").is_err());
+        server
+            .modify_scanner(|s| s.add_definition(ipg_lexer::TokenDef::keyword("%")))
+            .unwrap();
+        // `%` now scans but is not a grammar terminal: an unknown-terminal
+        // scan error, not an unexpected-character one.
+        assert!(matches!(
+            server.parse_text("true % true"),
+            Err(ServerError::Scan(ScanError::UnknownTerminal { .. }))
+        ));
+        assert!(boolean_server().modify_scanner(|_| ()).is_err());
+    }
+
+    #[test]
+    fn read_and_modify_expose_the_session() {
+        let server = boolean_server();
+        let rules = server.read(|s| s.grammar().num_active_rules());
+        assert_eq!(rules, 5);
+        server.modify(|s| {
+            s.add_rule_text(r#"B ::= "maybe""#).unwrap();
+        });
+        assert_eq!(server.read(|s| s.grammar().num_active_rules()), 6);
+        server.collect_garbage();
+        assert!(matches!(
+            server.remove_rule_text(r#"B ::= "never""#),
+            Err(SessionError::UnknownToken(_)) | Err(SessionError::Grammar(_))
+        ));
+    }
+
+    #[test]
+    fn per_thread_tracking_is_bounded() {
+        let server = boolean_server();
+        server.warm();
+        let tokens = server.tokens("true or false").unwrap();
+        // Far more threads than the tracking cap, one parse each.
+        let total = MAX_TRACKED_THREADS + 8;
+        for _ in 0..total {
+            let server = &server;
+            let tokens = &tokens;
+            thread::scope(|scope| {
+                scope.spawn(move || {
+                    assert!(server.parse(tokens).accepted);
+                });
+            });
+        }
+        let stats = server.stats();
+        // Every parse is accounted for, but the per-thread list stays at
+        // the cap plus the single overflow aggregate.
+        assert_eq!(stats.total_parses(), total);
+        assert!(stats.per_thread.len() <= MAX_TRACKED_THREADS + 1);
+        assert!(stats
+            .per_thread
+            .iter()
+            .any(|(name, s)| name == "(untracked threads)" && s.parses == 8));
+    }
+
+    #[test]
+    fn server_error_display() {
+        let e: ServerError = SessionError::UnknownToken("zzz".into()).into();
+        assert!(e.to_string().contains("zzz"));
+        let s: ServerError = ScanError::UnexpectedCharacter { offset: 1, character: '$' }.into();
+        assert!(s.to_string().contains("scan error"));
+    }
+}

@@ -6,7 +6,19 @@
 //! grammar change must be absorbed without a full regeneration of the
 //! parser. `IpgSession` packages the grammar, the lazily generated item-set
 //! graph, the parallel parser and the statistics into one object with that
-//! workflow:
+//! workflow.
+//!
+//! ## Read/write split
+//!
+//! The session mirrors the shared-table design underneath it: every *parse*
+//! method takes `&self` — parsing only reads the grammar and drives the
+//! item-set graph's internally synchronised lazy expansion — while every
+//! *modification* (`add_rule`, `remove_rule`, `collect_garbage`, …) takes
+//! `&mut self`. Because of that, any number of threads can parse against
+//! one session at the same time; to interleave modifications with parses,
+//! wrap the session in [`crate::IpgServer`], which layers an `RwLock` on
+//! top (parses share the read lock, `MODIFY` takes the write lock) and adds
+//! per-thread statistics aggregation:
 //!
 //! ```
 //! use ipg::IpgSession;
@@ -110,8 +122,8 @@ impl IpgSession {
         &self.graph
     }
 
-    /// Generator work counters.
-    pub fn stats(&self) -> &GenStats {
+    /// A snapshot of the generator work counters.
+    pub fn stats(&self) -> GenStats {
         self.graph.stats()
     }
 
@@ -232,68 +244,75 @@ impl IpgSession {
             .collect()
     }
 
+    /// A read-path handle on the lazy tables of this session — the same
+    /// handle the parse methods use internally. The session keeps grammar
+    /// and graph in sync, so construction cannot fail.
+    pub fn tables(&self) -> LazyTables<'_> {
+        LazyTables::new(&self.grammar, &self.graph)
+            .expect("the session keeps grammar and graph in sync")
+    }
+
     /// Parses a token sentence with the parallel (GSS) parser over the lazy
     /// tables, returning the full result (acceptance, forest, statistics).
-    pub fn parse(&mut self, tokens: &[SymbolId]) -> GssParseResult {
+    ///
+    /// Takes `&self`: parsing is a shared read (lazy expansion serializes
+    /// internally), so threads may parse one session concurrently.
+    pub fn parse(&self, tokens: &[SymbolId]) -> GssParseResult {
         let parser = GssParser::new(&self.grammar);
-        let mut tables = LazyTables::new(&self.grammar, &mut self.graph);
-        parser.parse(&mut tables, tokens)
+        parser.parse(&self.tables(), tokens)
     }
 
     /// Convenience: [`IpgSession::parse`] on a whitespace-separated
     /// sentence of terminal names.
-    pub fn parse_sentence(&mut self, sentence: &str) -> Result<GssParseResult, SessionError> {
+    pub fn parse_sentence(&self, sentence: &str) -> Result<GssParseResult, SessionError> {
         let tokens = self.tokens(sentence)?;
         Ok(self.parse(&tokens))
     }
 
     /// Recognises a token sentence (no forest construction).
-    pub fn recognize(&mut self, tokens: &[SymbolId]) -> bool {
+    pub fn recognize(&self, tokens: &[SymbolId]) -> bool {
         let parser = GssParser::new(&self.grammar);
-        let mut tables = LazyTables::new(&self.grammar, &mut self.graph);
-        parser.recognize(&mut tables, tokens)
+        parser.recognize(&self.tables(), tokens)
     }
 
     /// Recognises a sentence with the paper-faithful parser-pool algorithm
     /// instead of the graph-structured stack (used by the ablation
     /// benches; the result is the same).
-    pub fn recognize_with_pool(&mut self, tokens: &[SymbolId]) -> bool {
+    pub fn recognize_with_pool(&self, tokens: &[SymbolId]) -> bool {
         let parser = PoolGlrParser::new(&self.grammar);
-        let mut tables = LazyTables::new(&self.grammar, &mut self.graph);
         parser
-            .recognize(&mut tables, tokens)
+            .recognize(&self.tables(), tokens)
             .expect("pool parser diverged on a non-cyclic grammar")
     }
 
     /// Parses deterministically (plain `LR-PARSE`), returning a single
     /// parse tree. Fails with [`SessionError::NotDeterministic`] if the
     /// lazily generated LR(0) table has a conflict on this input.
-    pub fn parse_deterministic(&mut self, tokens: &[SymbolId]) -> Result<ParseTree, SessionError> {
+    pub fn parse_deterministic(&self, tokens: &[SymbolId]) -> Result<ParseTree, SessionError> {
         let parser = LrParser::new(&self.grammar);
-        let mut tables = LazyTables::new(&self.grammar, &mut self.graph);
         parser
-            .parse(&mut tables, tokens)
+            .parse(&self.tables(), tokens)
             .map_err(SessionError::NotDeterministic)
     }
 
     /// Like [`IpgSession::parse_deterministic`], recording the parser's
     /// moves (Fig. 4.2).
     pub fn parse_deterministic_with_trace(
-        &mut self,
+        &self,
         tokens: &[SymbolId],
         trace: &mut Vec<TraceStep>,
     ) -> Result<ParseTree, SessionError> {
         let parser = LrParser::new(&self.grammar);
-        let mut tables = LazyTables::new(&self.grammar, &mut self.graph);
         parser
-            .parse_with_trace(&mut tables, tokens, trace)
+            .parse_with_trace(&self.tables(), tokens, trace)
             .map_err(SessionError::NotDeterministic)
     }
 
     /// Forces full expansion of the item-set graph (turning IPG into PG);
-    /// mainly useful for measurements.
-    pub fn expand_all(&mut self) {
+    /// useful for measurements and for warming a served table.
+    pub fn expand_all(&self) {
         self.graph.expand_all(&self.grammar);
+        self.graph.publish_all_rows(&self.grammar);
     }
 
     /// Runs a mark-and-sweep collection over the item-set graph.
@@ -328,7 +347,7 @@ mod tests {
 
     #[test]
     fn parse_accepts_and_rejects() {
-        let mut s = boolean_session();
+        let s = boolean_session();
         assert!(s.parse_sentence("true or false").unwrap().accepted);
         assert!(!s.parse_sentence("true or").unwrap().accepted);
         assert!(matches!(
@@ -339,7 +358,7 @@ mod tests {
 
     #[test]
     fn lazy_generation_is_observable_through_stats() {
-        let mut s = boolean_session();
+        let s = boolean_session();
         assert_eq!(s.graph_size().complete, 0);
         s.parse_sentence("true and true").unwrap();
         let after_first = s.graph_size().complete;
@@ -377,7 +396,7 @@ mod tests {
 
     #[test]
     fn deterministic_parse_and_trace() {
-        let mut s = IpgSession::new(fixtures::arithmetic());
+        let s = IpgSession::new(fixtures::arithmetic());
         let tokens = s.tokens("id + num").unwrap();
         let tree = s.parse_deterministic(&tokens).unwrap();
         assert_eq!(tree.leaf_count(), 3);
@@ -389,7 +408,7 @@ mod tests {
 
     #[test]
     fn deterministic_parse_reports_conflicts() {
-        let mut s = boolean_session();
+        let s = boolean_session();
         let tokens = s.tokens("true or true or true").unwrap();
         assert!(matches!(
             s.parse_deterministic(&tokens),
@@ -399,7 +418,7 @@ mod tests {
 
     #[test]
     fn pool_and_gss_agree_in_the_session() {
-        let mut s = boolean_session();
+        let s = boolean_session();
         let tokens = s.tokens("true or false and true").unwrap();
         assert_eq!(s.recognize(&tokens), s.recognize_with_pool(&tokens));
         let bad = s.tokens("or or").unwrap();
@@ -408,7 +427,7 @@ mod tests {
 
     #[test]
     fn ambiguous_sentences_report_all_parses() {
-        let mut s = boolean_session();
+        let s = boolean_session();
         let result = s.parse_sentence("true or true or true").unwrap();
         assert!(result.accepted);
         assert_eq!(result.forest.tree_count(100), 2);
@@ -416,7 +435,7 @@ mod tests {
 
     #[test]
     fn expand_all_reaches_full_coverage() {
-        let mut s = boolean_session();
+        let s = boolean_session();
         s.expand_all();
         assert!((s.coverage() - 1.0).abs() < 1e-9);
         let text = s.render_graph();

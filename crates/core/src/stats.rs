@@ -34,6 +34,9 @@ pub struct GenStats {
     /// Dense action rows built (once per node per structural change; a
     /// steady-state parse builds none).
     pub rows_built: usize,
+    /// Parses served (counted by the serving layer's per-thread
+    /// aggregation; zero for counters read directly off a graph).
+    pub parses: usize,
 }
 
 impl GenStats {
@@ -60,6 +63,9 @@ impl fmt::Display for GenStats {
         writeln!(f, "collected (refcount): {}", self.nodes_collected)?;
         writeln!(f, "collected (sweep):    {}", self.nodes_swept)?;
         writeln!(f, "action rows built:    {}", self.rows_built)?;
+        if self.parses > 0 {
+            writeln!(f, "parses served:        {}", self.parses)?;
+        }
         Ok(())
     }
 }

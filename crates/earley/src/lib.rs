@@ -276,7 +276,7 @@ mod tests {
         use ipg_lr::{Lr0Automaton, ParseTable};
         let g = fixtures::ambiguous_expressions();
         let earley = EarleyParser::new(&g);
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
         let glr = GssParser::new(&g);
         for s in [
             "id",
@@ -289,7 +289,7 @@ mod tests {
             let tokens = tokenize_names(&g, s).unwrap();
             assert_eq!(
                 earley.recognize(&tokens),
-                glr.recognize(&mut table, &tokens),
+                glr.recognize(&table, &tokens),
                 "sentence `{s}`"
             );
         }

@@ -23,7 +23,7 @@
 //!   no per-path label vectors are cloned.
 
 use ipg_grammar::{Grammar, RuleId, SymbolId};
-use ipg_lr::{ParserTables, StateId};
+use ipg_lr::{ActionCell, ParserTables, StateId};
 
 use crate::forest::{Forest, ForestRef};
 use crate::fxhash::FxHashSet;
@@ -151,18 +151,18 @@ impl<'g> GssParser<'g> {
     /// Recognises `tokens` without building the parse forest (reductions
     /// still traverse the same graph-structured stack, but no forest nodes
     /// or packed derivations are allocated).
-    pub fn recognize(&self, tables: &mut dyn ParserTables, tokens: &[SymbolId]) -> bool {
+    pub fn recognize(&self, tables: &dyn ParserTables, tokens: &[SymbolId]) -> bool {
         self.run(tables, tokens, false).accepted
     }
 
     /// Parses `tokens`, producing the shared forest of all derivations.
-    pub fn parse(&self, tables: &mut dyn ParserTables, tokens: &[SymbolId]) -> GssParseResult {
+    pub fn parse(&self, tables: &dyn ParserTables, tokens: &[SymbolId]) -> GssParseResult {
         self.run(tables, tokens, true)
     }
 
     fn run(
         &self,
-        tables: &mut dyn ParserTables,
+        tables: &dyn ParserTables,
         tokens: &[SymbolId],
         build_forest: bool,
     ) -> GssParseResult {
@@ -183,6 +183,10 @@ impl<'g> GssParser<'g> {
         let mut path_ends: Vec<u32> = Vec::new();
         let mut path_labels: Vec<ForestRef> = Vec::new();
         let mut dfs_labels: Vec<ForestRef> = Vec::new();
+        // Reusable ACTION cell: the tables fill it in place, so steady-state
+        // queries against a warm (or shared, concurrently served) table do
+        // not allocate.
+        let mut actions = ActionCell::default();
         // Nodes in which an accept action was seen; their root edges are
         // collected at the very end, after all reductions have added edges.
         let mut accepting_nodes: Vec<u32> = Vec::new();
@@ -199,8 +203,8 @@ impl<'g> GssParser<'g> {
             debug_assert!(pending.is_empty());
             for i in 0..cur.entries.len() {
                 let (state, node) = cur.entries[i];
-                let actions = tables.actions(state, symbol);
-                for &rule in actions.reductions {
+                tables.actions_into(state, symbol, &mut actions);
+                for &rule in &actions.reductions {
                     pending.push(PendingReduction {
                         node,
                         rule,
@@ -271,8 +275,8 @@ impl<'g> GssParser<'g> {
                         ) {
                             // Re-run the reductions of the existing node,
                             // restricted to paths through the new edge.
-                            let actions = tables.actions(goto_state, symbol);
-                            for &rule in actions.reductions {
+                            tables.actions_into(goto_state, symbol, &mut actions);
+                            for &rule in &actions.reductions {
                                 pending.push(PendingReduction {
                                     node: existing,
                                     rule,
@@ -292,8 +296,8 @@ impl<'g> GssParser<'g> {
                             label,
                         );
                         cur.insert(goto_state, new_node);
-                        let actions = tables.actions(goto_state, symbol);
-                        for &rule in actions.reductions {
+                        tables.actions_into(goto_state, symbol, &mut actions);
+                        for &rule in &actions.reductions {
                             pending.push(PendingReduction {
                                 node: new_node,
                                 rule,
@@ -321,7 +325,7 @@ impl<'g> GssParser<'g> {
             };
             for i in 0..cur.entries.len() {
                 let (state, node) = cur.entries[i];
-                let actions = tables.actions(state, symbol);
+                tables.actions_into(state, symbol, &mut actions);
                 if let Some(next_state) = actions.shift {
                     stats.shifts += 1;
                     let target_node = match next.get(next_state) {
@@ -512,7 +516,7 @@ mod tests {
     #[test]
     fn accepts_and_rejects_boolean_sentences() {
         let g = fixtures::booleans();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         for (sentence, expected) in [
             ("true", true),
@@ -524,7 +528,7 @@ mod tests {
         ] {
             let tokens = tokenize_names(&g, sentence).unwrap();
             assert_eq!(
-                parser.recognize(&mut table, &tokens),
+                parser.recognize(&table, &tokens),
                 expected,
                 "sentence `{sentence}`"
             );
@@ -534,10 +538,10 @@ mod tests {
     #[test]
     fn unambiguous_sentence_yields_single_tree() {
         let g = fixtures::booleans();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         let tokens = tokenize_names(&g, "true or false").unwrap();
-        let result = parser.parse(&mut table, &tokens);
+        let result = parser.parse(&table, &tokens);
         assert!(result.accepted);
         assert_eq!(result.forest.tree_count(100), 1);
         let tree = result.forest.first_tree().unwrap();
@@ -549,10 +553,10 @@ mod tests {
         // `true or true or true` has exactly 2 parses (left- or
         // right-nested `or`).
         let g = fixtures::booleans();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         let tokens = tokenize_names(&g, "true or true or true").unwrap();
-        let result = parser.parse(&mut table, &tokens);
+        let result = parser.parse(&table, &tokens);
         assert!(result.accepted);
         assert!(result.forest.is_ambiguous());
         assert_eq!(result.forest.tree_count(100), 2);
@@ -567,7 +571,7 @@ mod tests {
     fn ambiguity_grows_with_catalan_numbers() {
         // n operators => Catalan(n) parses: 1, 2, 5, 14 ...
         let g = fixtures::ambiguous_expressions();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         for (ops, expected) in [(1usize, 1usize), (2, 2), (3, 5), (4, 14)] {
             let mut sentence = String::from("id");
@@ -575,7 +579,7 @@ mod tests {
                 sentence.push_str(" + id");
             }
             let tokens = tokenize_names(&g, &sentence).unwrap();
-            let result = parser.parse(&mut table, &tokens);
+            let result = parser.parse(&table, &tokens);
             assert!(result.accepted);
             assert_eq!(
                 result.forest.tree_count(1000),
@@ -588,7 +592,7 @@ mod tests {
     #[test]
     fn palindrome_grammar_with_epsilon_rules() {
         let g = fixtures::palindromes();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         for (sentence, expected) in [
             ("", true),
@@ -599,7 +603,7 @@ mod tests {
         ] {
             let tokens = tokenize_names(&g, sentence).unwrap();
             assert_eq!(
-                parser.recognize(&mut table, &tokens),
+                parser.recognize(&table, &tokens),
                 expected,
                 "sentence `{sentence}`"
             );
@@ -609,7 +613,7 @@ mod tests {
     #[test]
     fn gss_and_pool_agree() {
         let g = fixtures::booleans();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let gss = GssParser::new(&g);
         let pool = crate::pool::PoolGlrParser::new(&g);
         for sentence in [
@@ -621,8 +625,8 @@ mod tests {
         ] {
             let tokens = tokenize_names(&g, sentence).unwrap();
             assert_eq!(
-                gss.recognize(&mut table, &tokens),
-                pool.recognize(&mut table, &tokens).unwrap(),
+                gss.recognize(&table, &tokens),
+                pool.recognize(&table, &tokens).unwrap(),
                 "sentence `{sentence}`"
             );
         }
@@ -631,10 +635,10 @@ mod tests {
     #[test]
     fn forest_fringe_matches_input() {
         let g = fixtures::ambiguous_expressions();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         let tokens = tokenize_names(&g, "id + id * id").unwrap();
-        let result = parser.parse(&mut table, &tokens);
+        let result = parser.parse(&table, &tokens);
         for tree in result.forest.trees(100) {
             assert_eq!(tree.fringe(), tokens);
         }
@@ -643,10 +647,10 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let g = fixtures::booleans();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         let tokens = tokenize_names(&g, "true or true or true").unwrap();
-        let result = parser.parse(&mut table, &tokens);
+        let result = parser.parse(&table, &tokens);
         assert!(result.stats.nodes > 0);
         assert!(result.stats.edges >= result.stats.nodes - 1);
         assert!(result.stats.shifts >= tokens.len());
@@ -656,10 +660,10 @@ mod tests {
     #[test]
     fn rejected_input_produces_empty_forest() {
         let g = fixtures::booleans();
-        let mut table = lr0_table(&g);
+        let table = lr0_table(&g);
         let parser = GssParser::new(&g);
         let tokens = tokenize_names(&g, "true or").unwrap();
-        let result = parser.parse(&mut table, &tokens);
+        let result = parser.parse(&table, &tokens);
         assert!(!result.accepted);
         assert!(result.forest.roots().is_empty());
         assert!(result.forest.first_tree().is_none());

@@ -22,10 +22,10 @@
 //! use ipg_glr::GssParser;
 //!
 //! let grammar = fixtures::booleans();
-//! let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+//! let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
 //! let parser = GssParser::new(&grammar);
 //! let tokens = tokenize_names(&grammar, "true or true or true").unwrap();
-//! let result = parser.parse(&mut table, &tokens);
+//! let result = parser.parse(&table, &tokens);
 //! assert!(result.accepted);
 //! assert_eq!(result.forest.tree_count(100), 2); // two ways to nest `or`
 //! ```

@@ -18,8 +18,8 @@
 use std::fmt;
 use std::rc::Rc;
 
-use ipg_grammar::{Grammar, RuleId, SymbolId};
-use ipg_lr::{ParserTables, StateId};
+use ipg_grammar::{Grammar, SymbolId};
+use ipg_lr::{ActionCell, ParserTables, StateId};
 
 use crate::fxhash::FxHashSet;
 
@@ -149,7 +149,7 @@ impl<'g> PoolGlrParser<'g> {
     /// simple parsers accepted the input.
     pub fn recognize(
         &self,
-        tables: &mut dyn ParserTables,
+        tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> Result<bool, PoolError> {
         self.recognize_with_stats(tables, tokens).map(|(ok, _)| ok)
@@ -158,7 +158,7 @@ impl<'g> PoolGlrParser<'g> {
     /// Recognises `tokens` and reports pool statistics.
     pub fn recognize_with_stats(
         &self,
-        tables: &mut dyn ParserTables,
+        tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> Result<(bool, PoolStats), PoolError> {
         let eof = self.grammar.eof_symbol();
@@ -170,9 +170,9 @@ impl<'g> PoolGlrParser<'g> {
         };
         let mut next_sweep = vec![start_parser];
         let mut pos = 0usize;
-        // Reused scratch: the reduce set of the current cell and the
-        // current parser's stack fingerprint.
-        let mut reduce_scratch: Vec<RuleId> = Vec::new();
+        // Reused scratch: the current ACTION cell and the current parser's
+        // stack fingerprint.
+        let mut actions = ActionCell::default();
         let mut fingerprint: Vec<StateId> = Vec::new();
         let mut seen_this: FxHashSet<Vec<StateId>> = FxHashSet::default();
         let mut seen_next: FxHashSet<Vec<StateId>> = FxHashSet::default();
@@ -217,13 +217,11 @@ impl<'g> PoolGlrParser<'g> {
                     return Err(PoolError::Diverged { position: pos - 1 });
                 }
                 let state = parser.stack.top;
-                let actions = tables.actions(state, symbol);
+                tables.actions_into(state, symbol, &mut actions);
                 let shift = actions.shift;
                 let accept = actions.accept;
-                reduce_scratch.clear();
-                reduce_scratch.extend_from_slice(actions.reductions);
                 // The paper copies the parser for every action.
-                for &rule_id in &reduce_scratch {
+                for &rule_id in &actions.reductions {
                     let copy = parser.clone();
                     stats.copies += 1;
                     stats.reduces += 1;
@@ -285,12 +283,12 @@ mod tests {
 
     #[test]
     fn accepts_the_papers_example_sentences() {
-        let (g, mut table) = booleans_table();
+        let (g, table) = booleans_table();
         let parser = PoolGlrParser::new(&g);
         for sentence in ["true", "false", "true or false", "true and true", "true or false and true"] {
             let tokens = tokenize_names(&g, sentence).unwrap();
             assert!(
-                parser.recognize(&mut table, &tokens).unwrap(),
+                parser.recognize(&table, &tokens).unwrap(),
                 "should accept `{sentence}`"
             );
         }
@@ -298,12 +296,12 @@ mod tests {
 
     #[test]
     fn rejects_ungrammatical_sentences() {
-        let (g, mut table) = booleans_table();
+        let (g, table) = booleans_table();
         let parser = PoolGlrParser::new(&g);
         for sentence in ["or", "true or", "true false", "and and", ""] {
             let tokens = tokenize_names(&g, sentence).unwrap();
             assert!(
-                !parser.recognize(&mut table, &tokens).unwrap(),
+                !parser.recognize(&table, &tokens).unwrap(),
                 "should reject `{sentence}`"
             );
         }
@@ -311,10 +309,10 @@ mod tests {
 
     #[test]
     fn ambiguous_sentences_split_the_parser() {
-        let (g, mut table) = booleans_table();
+        let (g, table) = booleans_table();
         let parser = PoolGlrParser::new(&g);
         let tokens = tokenize_names(&g, "true or true or true").unwrap();
-        let (ok, stats) = parser.recognize_with_stats(&mut table, &tokens).unwrap();
+        let (ok, stats) = parser.recognize_with_stats(&table, &tokens).unwrap();
         assert!(ok);
         assert!(stats.max_parsers > 1, "the parser must have split: {stats:?}");
         assert!(stats.copies > stats.shifts);
@@ -324,7 +322,7 @@ mod tests {
     fn handles_the_palindrome_grammar() {
         // Not LR(k) for any k; the pool parser still recognises it.
         let g = fixtures::palindromes();
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
         let parser = PoolGlrParser::new(&g);
         for (sentence, expected) in [
             ("a b a", true),
@@ -336,7 +334,7 @@ mod tests {
         ] {
             let tokens = tokenize_names(&g, sentence).unwrap();
             assert_eq!(
-                parser.recognize(&mut table, &tokens).unwrap(),
+                parser.recognize(&table, &tokens).unwrap(),
                 expected,
                 "sentence `{sentence}`"
             );
@@ -346,14 +344,14 @@ mod tests {
     #[test]
     fn agrees_with_deterministic_parser_on_slr_grammar() {
         let g = fixtures::arithmetic();
-        let mut table = ParseTable::slr1(&Lr0Automaton::build(&g), &g);
+        let table = ParseTable::slr1(&Lr0Automaton::build(&g), &g);
         let pool = PoolGlrParser::new(&g);
         let det = ipg_lr::LrParser::new(&g);
         for sentence in ["id", "id + id * num", "( id + num )", "id +", "* id"] {
             let tokens = tokenize_names(&g, sentence).unwrap();
-            let expected = det.recognize(&mut table, &tokens).unwrap();
+            let expected = det.recognize(&table, &tokens).unwrap();
             assert_eq!(
-                pool.recognize(&mut table, &tokens).unwrap(),
+                pool.recognize(&table, &tokens).unwrap(),
                 expected,
                 "sentence `{sentence}`"
             );
@@ -372,18 +370,18 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
         let parser = PoolGlrParser::new(&g);
         let tokens = tokenize_names(&g, "a").unwrap();
-        assert!(parser.recognize(&mut table, &tokens).unwrap());
+        assert!(parser.recognize(&table, &tokens).unwrap());
     }
 
     #[test]
     fn stats_count_symbols_including_eof() {
-        let (g, mut table) = booleans_table();
+        let (g, table) = booleans_table();
         let parser = PoolGlrParser::new(&g);
         let tokens = tokenize_names(&g, "true and false").unwrap();
-        let (_, stats) = parser.recognize_with_stats(&mut table, &tokens).unwrap();
+        let (_, stats) = parser.recognize_with_stats(&table, &tokens).unwrap();
         assert_eq!(stats.symbols, tokens.len() + 1);
         assert!(stats.shifts >= tokens.len());
     }

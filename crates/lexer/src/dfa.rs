@@ -9,8 +9,19 @@
 //! that part of the DFA — and after a change to the token definitions, the
 //! DFA cache is simply discarded while the (cheap) NFA is rebuilt, so new
 //! DFA states again appear by need.
+//!
+//! ## Shared scanning
+//!
+//! Like the item-set graph, the lazy DFA follows the read/expand split:
+//! [`LazyDfa::step`] and [`LazyDfa::longest_match`] take `&self`, so any
+//! number of threads can scan against one DFA at the same time. The
+//! memoised transition cache lives behind an `RwLock` — a cache hit is a
+//! read lock (concurrent readers never block each other), and only a miss
+//! (one subset-construction step) takes the write lock.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 use crate::nfa::{Nfa, TokenId};
 
@@ -39,27 +50,51 @@ struct LazyDfaState {
     accept: Option<TokenId>,
 }
 
-/// A lazily determinised DFA over an [`Nfa`].
+/// The lock-guarded, lazily materialised part of the DFA.
 #[derive(Clone, Debug)]
-pub struct LazyDfa {
-    nfa: Nfa,
+struct DfaCache {
     states: Vec<LazyDfaState>,
     index: HashMap<Vec<usize>, usize>,
+    /// Counters updated under the write lock (misses, states,
+    /// transitions); cache hits are counted in the atomic outside.
     stats: DfaStats,
+}
+
+/// A lazily determinised DFA over an [`Nfa`], shareable across threads.
+#[derive(Debug)]
+pub struct LazyDfa {
+    nfa: Nfa,
+    cache: RwLock<DfaCache>,
+    /// Cache hits happen under the read lock, so they are counted with a
+    /// relaxed atomic instead of a write.
+    cache_hits: AtomicUsize,
+}
+
+impl Clone for LazyDfa {
+    fn clone(&self) -> Self {
+        LazyDfa {
+            nfa: self.nfa.clone(),
+            cache: RwLock::new(self.cache.read().unwrap().clone()),
+            cache_hits: AtomicUsize::new(self.cache_hits.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl LazyDfa {
     /// Wraps an NFA; only the start DFA state is created.
     pub fn new(nfa: Nfa) -> Self {
-        let mut dfa = LazyDfa {
-            nfa,
+        let mut cache = DfaCache {
             states: Vec::new(),
             index: HashMap::new(),
             stats: DfaStats::default(),
         };
-        let start_set = dfa.nfa.epsilon_closure(&[dfa.nfa.start()]);
-        dfa.intern(start_set);
-        dfa
+        let start_set = nfa.epsilon_closure(&[nfa.start()]);
+        Self::intern(&nfa, &mut cache, start_set);
+        LazyDfa {
+            nfa,
+            cache: RwLock::new(cache),
+            cache_hits: AtomicUsize::new(0),
+        }
     }
 
     /// The underlying NFA.
@@ -69,66 +104,87 @@ impl LazyDfa {
 
     /// Work counters.
     pub fn stats(&self) -> DfaStats {
-        self.stats
+        let mut stats = self.cache.read().unwrap().stats;
+        stats.cache_hits += self.cache_hits.load(Ordering::Relaxed);
+        stats
     }
 
     /// Number of DFA states materialised so far.
     pub fn num_states(&self) -> usize {
-        self.states.len()
+        self.cache.read().unwrap().states.len()
     }
 
-    fn intern(&mut self, nfa_states: Vec<usize>) -> usize {
-        if let Some(&id) = self.index.get(&nfa_states) {
+    fn intern(nfa: &Nfa, cache: &mut DfaCache, nfa_states: Vec<usize>) -> usize {
+        if let Some(&id) = cache.index.get(&nfa_states) {
             return id;
         }
-        let accept = self.nfa.accepting_token(&nfa_states);
-        let id = self.states.len();
-        self.index.insert(nfa_states.clone(), id);
-        self.states.push(LazyDfaState {
+        let accept = nfa.accepting_token(&nfa_states);
+        let id = cache.states.len();
+        cache.index.insert(nfa_states.clone(), id);
+        cache.states.push(LazyDfaState {
             nfa_states,
             transitions: HashMap::new(),
             accept,
         });
-        self.stats.states += 1;
+        cache.stats.states += 1;
         id
+    }
+
+    /// The transition from DFA state `state` on character `c`, together
+    /// with the token accepted in the *target* state, computing and
+    /// memoising the transition if necessary. `None` is the dead state.
+    fn step_with_accept(&self, state: usize, c: char) -> Option<(usize, Option<TokenId>)> {
+        // Fast path: a memoised transition under the shared read lock.
+        {
+            let cache = self.cache.read().unwrap();
+            if let Some(&cached) = cache.states[state].transitions.get(&c) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return cached.map(|next| (next, cache.states[next].accept));
+            }
+        }
+        // Miss: run one subset-construction step under the write lock.
+        let mut cache = self.cache.write().unwrap();
+        // Double-check: another thread may have filled the entry while we
+        // were waiting for the write lock.
+        if let Some(&cached) = cache.states[state].transitions.get(&c) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.map(|next| (next, cache.states[next].accept));
+        }
+        cache.stats.cache_misses += 1;
+        let next_set = self.nfa.step(&cache.states[state].nfa_states, c);
+        let result = if next_set.is_empty() {
+            None
+        } else {
+            Some(Self::intern(&self.nfa, &mut cache, next_set))
+        };
+        cache.states[state].transitions.insert(c, result);
+        cache.stats.transitions += 1;
+        result.map(|next| (next, cache.states[next].accept))
     }
 
     /// The transition from DFA state `state` on character `c`, computing
     /// and memoising it if necessary. `None` is the dead state.
-    pub fn step(&mut self, state: usize, c: char) -> Option<usize> {
-        if let Some(&cached) = self.states[state].transitions.get(&c) {
-            self.stats.cache_hits += 1;
-            return cached;
-        }
-        self.stats.cache_misses += 1;
-        let next_set = self.nfa.step(&self.states[state].nfa_states, c);
-        let result = if next_set.is_empty() {
-            None
-        } else {
-            Some(self.intern(next_set))
-        };
-        self.states[state].transitions.insert(c, result);
-        self.stats.transitions += 1;
-        result
+    pub fn step(&self, state: usize, c: char) -> Option<usize> {
+        self.step_with_accept(state, c).map(|(next, _)| next)
     }
 
     /// The token accepted in `state`, if any.
     pub fn accept(&self, state: usize) -> Option<TokenId> {
-        self.states[state].accept
+        self.cache.read().unwrap().states[state].accept
     }
 
     /// The longest prefix of `input` starting at `start` that matches a
     /// token, with the token id.
-    pub fn longest_match(&mut self, input: &[char], start: usize) -> Option<(usize, TokenId)> {
+    pub fn longest_match(&self, input: &[char], start: usize) -> Option<(usize, TokenId)> {
         let mut state = 0usize;
         let mut best = self.accept(state).map(|t| (0usize, t));
         let mut len = 0usize;
         while let Some(&c) = input.get(start + len) {
-            match self.step(state, c) {
-                Some(next) => {
+            match self.step_with_accept(state, c) {
+                Some((next, accept)) => {
                     state = next;
                     len += 1;
-                    if let Some(t) = self.accept(state) {
+                    if let Some(t) = accept {
                         best = Some((len, t));
                     }
                 }
@@ -164,7 +220,7 @@ mod tests {
 
     #[test]
     fn matches_agree_with_the_nfa_reference() {
-        let mut dfa = sample_dfa();
+        let dfa = sample_dfa();
         for text in ["if", "iffy", "x1_y", "42", "007 agent", "+nope", ""] {
             let input = chars(text);
             assert_eq!(
@@ -177,7 +233,7 @@ mod tests {
 
     #[test]
     fn states_and_transitions_materialise_on_demand() {
-        let mut dfa = sample_dfa();
+        let dfa = sample_dfa();
         dfa.longest_match(&chars("abc"), 0);
         let after_ident = dfa.num_states();
         assert!(after_ident >= 2);
@@ -195,7 +251,7 @@ mod tests {
 
     #[test]
     fn longest_match_respects_start_offset() {
-        let mut dfa = sample_dfa();
+        let dfa = sample_dfa();
         let input = chars("xy 42");
         assert_eq!(dfa.longest_match(&input, 3), Some((2, 2)));
         assert_eq!(dfa.longest_match(&input, 2), None); // space matches nothing
@@ -203,8 +259,31 @@ mod tests {
 
     #[test]
     fn keyword_beats_identifier_on_equal_length() {
-        let mut dfa = sample_dfa();
+        let dfa = sample_dfa();
         assert_eq!(dfa.longest_match(&chars("if("), 0), Some((2, 0)));
         assert_eq!(dfa.longest_match(&chars("ifx"), 0), Some((3, 1)));
+    }
+
+    #[test]
+    fn concurrent_scans_share_one_lazily_built_dfa() {
+        let dfa = sample_dfa();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for text in ["if", "iffy", "x1_y", "42", "agent 007"] {
+                        let input = chars(text);
+                        assert_eq!(
+                            dfa.longest_match(&input, 0),
+                            dfa.nfa().clone().longest_match(&input),
+                            "input `{text}`"
+                        );
+                    }
+                });
+            }
+        });
+        // All threads materialised one shared cache.
+        assert!(dfa.stats().cache_hits > 0);
+        let clone = dfa.clone();
+        assert_eq!(clone.num_states(), dfa.num_states());
     }
 }

@@ -98,6 +98,13 @@ impl fmt::Display for ScanError {
 impl std::error::Error for ScanError {}
 
 /// The incremental, lazily determinising scanner.
+///
+/// Scanning ([`Scanner::tokenize`] / [`Scanner::tokenize_for`]) takes
+/// `&self`: the lazily materialised DFA synchronises internally, so many
+/// threads can tokenize against one shared scanner (the serving layer's
+/// lexing stage) without exclusive access. Definition changes
+/// ([`Scanner::add_definition`] / [`Scanner::remove_definition`]) remain
+/// `&mut self` writes, mirroring the parser's read/`MODIFY` split.
 #[derive(Clone, Debug)]
 pub struct Scanner {
     definitions: Vec<TokenDef>,
@@ -161,8 +168,9 @@ impl Scanner {
         true
     }
 
-    /// Scans `input` into tokens, skipping layout.
-    pub fn tokenize(&mut self, input: &str) -> Result<Vec<Token>, ScanError> {
+    /// Scans `input` into tokens, skipping layout. Takes `&self`: threads
+    /// may scan concurrently against one scanner.
+    pub fn tokenize(&self, input: &str) -> Result<Vec<Token>, ScanError> {
         let chars: Vec<char> = input.chars().collect();
         // Byte offset of every char index (plus the end), for spans.
         let mut offsets = Vec::with_capacity(chars.len() + 1);
@@ -204,7 +212,7 @@ impl Scanner {
     /// same name — the form the parsers consume. The paper's measurements
     /// feed the parsers exactly such pre-scanned in-memory token streams.
     pub fn tokenize_for(
-        &mut self,
+        &self,
         grammar: &Grammar,
         input: &str,
     ) -> Result<Vec<SymbolId>, ScanError> {
@@ -263,7 +271,7 @@ mod tests {
 
     #[test]
     fn scans_keywords_identifiers_and_numbers() {
-        let mut scanner = simple_scanner(&["if", "then", "else", ":=", "(", ")"]);
+        let scanner = simple_scanner(&["if", "then", "else", ":=", "(", ")"]);
         let tokens = scanner
             .tokenize("if x1 then y := 42 -- trailing comment\nelse ( z )")
             .unwrap();
@@ -279,7 +287,7 @@ mod tests {
 
     #[test]
     fn spans_are_byte_offsets() {
-        let mut scanner = simple_scanner(&[]);
+        let scanner = simple_scanner(&[]);
         let tokens = scanner.tokenize("ab  cd").unwrap();
         assert_eq!(tokens[0].start, 0);
         assert_eq!(tokens[0].end, 2);
@@ -289,7 +297,7 @@ mod tests {
 
     #[test]
     fn keywords_take_priority_over_identifiers_only_on_exact_match() {
-        let mut scanner = simple_scanner(&["if"]);
+        let scanner = simple_scanner(&["if"]);
         let tokens = scanner.tokenize("if iffy").unwrap();
         assert_eq!(tokens[0].name, "if");
         assert_eq!(tokens[1].name, "id");
@@ -298,7 +306,7 @@ mod tests {
 
     #[test]
     fn unexpected_characters_are_reported_with_offsets() {
-        let mut scanner = simple_scanner(&[]);
+        let scanner = simple_scanner(&[]);
         let err = scanner.tokenize("abc $ def").unwrap_err();
         assert_eq!(
             err,
@@ -329,7 +337,7 @@ mod tests {
     #[test]
     fn tokenize_for_maps_to_grammar_terminals() {
         let g = fixtures::booleans();
-        let mut scanner = simple_scanner(&["true", "false", "or", "and"]);
+        let scanner = simple_scanner(&["true", "false", "or", "and"]);
         let symbols = scanner.tokenize_for(&g, "true or false and true").unwrap();
         assert_eq!(symbols.len(), 5);
         assert!(symbols.iter().all(|&s| g.is_terminal(s)));
@@ -340,7 +348,7 @@ mod tests {
 
     #[test]
     fn layout_only_input_produces_no_tokens() {
-        let mut scanner = simple_scanner(&[]);
+        let scanner = simple_scanner(&[]);
         assert!(scanner.tokenize("   \n\t -- just a comment").unwrap().is_empty());
         assert!(scanner.tokenize("").unwrap().is_empty());
     }

@@ -252,15 +252,15 @@ mod tests {
     #[test]
     fn lalr_parses_arithmetic_sentences() {
         let g = fixtures::arithmetic();
-        let mut table = lalr1_table(&g);
+        let table = lalr1_table(&g);
         let parser = LrParser::new(&g);
         let tokens: Vec<_> = ["id", "+", "num", "*", "(", "id", ")"]
             .iter()
             .map(|s| g.symbol(s).unwrap())
             .collect();
-        assert!(parser.recognize(&mut table, &tokens).unwrap());
+        assert!(parser.recognize(&table, &tokens).unwrap());
         let bad: Vec<_> = ["id", "+", "+"].iter().map(|s| g.symbol(s).unwrap()).collect();
-        assert!(!parser.recognize(&mut table, &bad).unwrap());
+        assert!(!parser.recognize(&table, &bad).unwrap());
     }
 
     #[test]
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn lalr_accept_is_reachable() {
         let g = fixtures::arithmetic();
-        let mut table = lalr1_table(&g);
+        let table = lalr1_table(&g);
         let id = g.symbol("id").unwrap();
         let e = g.symbol("E").unwrap();
         let start = table.start_state();

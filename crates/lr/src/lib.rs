@@ -26,10 +26,10 @@
 //! use ipg_lr::{lalr1_table, LrParser, tokenize_names};
 //!
 //! let grammar = fixtures::arithmetic();
-//! let mut table = lalr1_table(&grammar);
+//! let table = lalr1_table(&grammar);
 //! let parser = LrParser::new(&grammar);
 //! let tokens = tokenize_names(&grammar, "id + num * id").unwrap();
-//! let tree = parser.parse(&mut table, &tokens).unwrap();
+//! let tree = parser.parse(&table, &tokens).unwrap();
 //! assert_eq!(tree.leaf_count(), 5);
 //! ```
 
@@ -50,6 +50,7 @@ pub use itemset::{closure, goto_set, partition_by_next_symbol, start_kernel, Ite
 pub use lalr::{canonical_lr1_table, lalr1_table, lalr1_table_with_stats, LalrStats};
 pub use parser::{render_trace, tokenize_names, LrParser, ParseError, TraceStep};
 pub use table::{
-    Action, ActionsIter, ActionsRef, Conflict, ParseTable, ParserTables, TableKind, EMPTY_ACTIONS,
+    Action, ActionCell, ActionsIter, ActionsRef, Conflict, ParseTable, ParserTables,
+    TableExpansion, TableKind, EMPTY_ACTIONS,
 };
 pub use tree::ParseTree;

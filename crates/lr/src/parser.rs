@@ -13,7 +13,7 @@ use std::fmt;
 use ipg_grammar::{Grammar, SymbolId};
 
 use crate::automaton::StateId;
-use crate::table::{Action, ParserTables};
+use crate::table::{Action, ActionCell, ParserTables};
 use crate::tree::ParseTree;
 
 /// Errors produced by the deterministic LR parser.
@@ -126,7 +126,7 @@ impl<'g> LrParser<'g> {
     /// error only if the tables are unusable (conflict or missing GOTO).
     pub fn recognize(
         &self,
-        tables: &mut dyn ParserTables,
+        tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> Result<bool, ParseError> {
         match self.run(tables, tokens, false, None) {
@@ -139,7 +139,7 @@ impl<'g> LrParser<'g> {
     /// Parses `tokens` and returns the parse tree.
     pub fn parse(
         &self,
-        tables: &mut dyn ParserTables,
+        tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> Result<ParseTree, ParseError> {
         self.run(tables, tokens, true, None)
@@ -149,7 +149,7 @@ impl<'g> LrParser<'g> {
     /// Parses `tokens`, recording every move in `trace`.
     pub fn parse_with_trace(
         &self,
-        tables: &mut dyn ParserTables,
+        tables: &dyn ParserTables,
         tokens: &[SymbolId],
         trace: &mut Vec<TraceStep>,
     ) -> Result<ParseTree, ParseError> {
@@ -159,7 +159,7 @@ impl<'g> LrParser<'g> {
 
     fn run(
         &self,
-        tables: &mut dyn ParserTables,
+        tables: &dyn ParserTables,
         tokens: &[SymbolId],
         build_tree: bool,
         mut trace: Option<&mut Vec<TraceStep>>,
@@ -167,6 +167,7 @@ impl<'g> LrParser<'g> {
         let eof = self.grammar.eof_symbol();
         let mut stack: Vec<StateId> = vec![tables.start_state()];
         let mut values: Vec<ParseTree> = Vec::new();
+        let mut actions = ActionCell::default();
         let mut pos = 0usize;
         let mut step = 0usize;
 
@@ -177,7 +178,7 @@ impl<'g> LrParser<'g> {
                 self.grammar.is_terminal(symbol),
                 "input must consist of terminals"
             );
-            let actions = tables.actions(state, symbol);
+            tables.actions_into(state, symbol, &mut actions);
             let Some(action) = actions.single() else {
                 if actions.is_empty() {
                     return Err(ParseError::SyntaxError {
@@ -271,10 +272,10 @@ mod tests {
     fn parses_unambiguous_boolean_sentence_with_lr0_table() {
         // `true` on its own never touches a conflicted cell.
         let g = fixtures::booleans();
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
         let parser = LrParser::new(&g);
         let tokens = tokenize_names(&g, "true").unwrap();
-        let tree = parser.parse(&mut table, &tokens).unwrap();
+        let tree = parser.parse(&table, &tokens).unwrap();
         assert_eq!(tree.to_sexpr(&g), "(B true)");
     }
 
@@ -283,10 +284,10 @@ mod tests {
         // `true or false or true` reaches the shift/reduce conflict of the
         // ambiguous Booleans grammar.
         let g = fixtures::booleans();
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
         let parser = LrParser::new(&g);
         let tokens = tokenize_names(&g, "true or false or true").unwrap();
-        match parser.parse(&mut table, &tokens) {
+        match parser.parse(&table, &tokens) {
             Err(ParseError::Conflict { actions, .. }) => assert_eq!(actions.len(), 2),
             other => panic!("expected conflict, got {other:?}"),
         }
@@ -295,10 +296,10 @@ mod tests {
     #[test]
     fn parses_arithmetic_with_lalr_table() {
         let g = fixtures::arithmetic();
-        let mut table = lalr1_table(&g);
+        let table = lalr1_table(&g);
         let parser = LrParser::new(&g);
         let tokens = tokenize_names(&g, "id + num * ( id )").unwrap();
-        let tree = parser.parse(&mut table, &tokens).unwrap();
+        let tree = parser.parse(&table, &tokens).unwrap();
         assert_eq!(tree.leaf_count(), tokens.len());
         let fringe = tree.fringe();
         assert_eq!(fringe, tokens);
@@ -307,23 +308,23 @@ mod tests {
     #[test]
     fn syntax_errors_report_position() {
         let g = fixtures::arithmetic();
-        let mut table = lalr1_table(&g);
+        let table = lalr1_table(&g);
         let parser = LrParser::new(&g);
         let tokens = tokenize_names(&g, "id + )").unwrap();
-        match parser.parse(&mut table, &tokens) {
+        match parser.parse(&table, &tokens) {
             Err(ParseError::SyntaxError { position, .. }) => assert_eq!(position, 2),
             other => panic!("expected syntax error, got {other:?}"),
         }
-        assert!(!parser.recognize(&mut table, &tokens).unwrap());
+        assert!(!parser.recognize(&table, &tokens).unwrap());
     }
 
     #[test]
     fn truncated_input_is_rejected() {
         let g = fixtures::arithmetic();
-        let mut table = lalr1_table(&g);
+        let table = lalr1_table(&g);
         let parser = LrParser::new(&g);
         let tokens = tokenize_names(&g, "id +").unwrap();
-        match parser.parse(&mut table, &tokens) {
+        match parser.parse(&table, &tokens) {
             Err(ParseError::SyntaxError { position, symbol, .. }) => {
                 assert_eq!(position, 2);
                 assert_eq!(symbol, g.eof_symbol());
@@ -337,11 +338,11 @@ mod tests {
         // Parsing `true or false` with a deterministic (SLR) table performs
         // shifts and reduces ending in accept, cf. Fig. 4.2.
         let g = fixtures::arithmetic();
-        let mut table = lalr1_table(&g);
+        let table = lalr1_table(&g);
         let parser = LrParser::new(&g);
         let tokens = tokenize_names(&g, "id + id").unwrap();
         let mut trace = Vec::new();
-        parser.parse_with_trace(&mut table, &tokens, &mut trace).unwrap();
+        parser.parse_with_trace(&table, &tokens, &mut trace).unwrap();
         assert!(matches!(trace.last().unwrap().action, Action::Accept));
         let shifts = trace.iter().filter(|s| matches!(s.action, Action::Shift(_))).count();
         assert_eq!(shifts, 3);
@@ -361,9 +362,9 @@ mod tests {
     #[test]
     fn empty_input_is_rejected_for_booleans() {
         let g = fixtures::booleans();
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&g), &g);
         let parser = LrParser::new(&g);
-        assert!(!parser.recognize(&mut table, &[]).unwrap());
+        assert!(!parser.recognize(&table, &[]).unwrap());
     }
 
     #[test]

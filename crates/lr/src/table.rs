@@ -106,6 +106,95 @@ impl<'a> IntoIterator for ActionsRef<'a> {
     }
 }
 
+/// An owned, reusable ACTION cell: the by-value counterpart of
+/// [`ActionsRef`].
+///
+/// The `&self` read path of [`ParserTables`] cannot hand out borrows into
+/// shared, concurrently expanded table storage (the storage may be behind a
+/// lock whose guard must be released before the call returns), so the
+/// parsers own a scratch `ActionCell` and ask the tables to *fill* it via
+/// [`ParserTables::actions_into`]. In steady state the buffer's capacity is
+/// reused, so a query still performs zero heap allocations — it just copies
+/// the (almost always empty or single-element) reduce set.
+#[derive(Clone, Debug, Default)]
+pub struct ActionCell {
+    /// Rules that may be reduced in this cell.
+    pub reductions: Vec<RuleId>,
+    /// Shift target, if the cell shifts.
+    pub shift: Option<StateId>,
+    /// `true` if the cell accepts the input.
+    pub accept: bool,
+}
+
+impl ActionCell {
+    /// Resets the cell to the empty (error) entry, keeping its capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.reductions.clear();
+        self.shift = None;
+        self.accept = false;
+    }
+
+    /// Overwrites the cell with the contents of a borrowed view.
+    #[inline]
+    pub fn fill_from(&mut self, actions: ActionsRef<'_>) {
+        self.reductions.clear();
+        self.reductions.extend_from_slice(actions.reductions);
+        self.shift = actions.shift;
+        self.accept = actions.accept;
+    }
+
+    /// A borrowed view of the cell (for the shared [`ActionsRef`] helpers).
+    #[inline]
+    pub fn as_ref(&self) -> ActionsRef<'_> {
+        ActionsRef {
+            reductions: &self.reductions,
+            shift: self.shift,
+            accept: self.accept,
+        }
+    }
+
+    /// Number of actions in the cell.
+    pub fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+
+    /// `true` if the cell holds no action (a syntax-error entry).
+    pub fn is_empty(&self) -> bool {
+        self.as_ref().is_empty()
+    }
+
+    /// The single action of a deterministic cell, or `None` when the cell
+    /// is empty or conflicted.
+    pub fn single(&self) -> Option<Action> {
+        self.as_ref().single()
+    }
+
+    /// `true` if the cell contains the given action.
+    pub fn contains(&self, action: Action) -> bool {
+        self.as_ref().contains(action)
+    }
+
+    /// Iterates over the actions (reduces first, then shift, then accept).
+    pub fn iter(&self) -> ActionsIter<'_> {
+        self.as_ref().iter()
+    }
+
+    /// Materialises the cell as a vector (cold paths: errors, reports).
+    pub fn to_vec(&self) -> Vec<Action> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl<'a> IntoIterator for &'a ActionCell {
+    type Item = Action;
+    type IntoIter = ActionsIter<'a>;
+
+    fn into_iter(self) -> ActionsIter<'a> {
+        self.iter()
+    }
+}
+
 /// Iterator over the actions of an [`ActionsRef`].
 #[derive(Clone, Debug)]
 pub struct ActionsIter<'a> {
@@ -185,33 +274,67 @@ impl Conflict {
     }
 }
 
-/// Access interface shared by all table-driven parsers.
+/// The **read path** shared by all table-driven parsers.
 ///
 /// The deterministic [`crate::parser::LrParser`] and the parallel parsers in
 /// `ipg-glr` are written against this trait, so the same driver runs over
 /// an eagerly generated [`ParseTable`] *and* over the lazily generated
-/// item-set graph of the `ipg` crate — whose `actions` implementation
-/// expands item sets on demand, which is why the methods take `&mut self`.
+/// item-set graph of the `ipg` crate.
 ///
-/// `actions` returns a borrowed [`ActionsRef`] instead of a `Vec<Action>`:
-/// the query is on the per-token hot path of every parser, and the borrow
-/// makes it allocation-free for every implementation.
+/// Every method takes `&self`: a table is a *shared* object that any number
+/// of parsers may query concurrently. Implementations that materialise
+/// table contents on demand (the lazy item-set graph) hide their writer
+/// behind interior mutability — expanding a missing state is a serialized
+/// write, but queries against already-complete states never block each
+/// other. The explicit writer side of that split is [`TableExpansion`].
+///
+/// `actions_into` fills a caller-owned [`ActionCell`] instead of returning
+/// a borrow: the query is on the per-token hot path of every parser, and
+/// the reusable buffer keeps it allocation-free while letting shared
+/// implementations release their internal locks before returning.
 pub trait ParserTables {
     /// The state in which parsing starts.
     fn start_state(&self) -> StateId;
 
-    /// The paper's `ACTION(state, symbol)`: the set of possible actions for
-    /// `state` with the terminal `symbol` as the current input symbol.
-    fn actions(&mut self, state: StateId, symbol: SymbolId) -> ActionsRef<'_>;
+    /// The paper's `ACTION(state, symbol)`: fills `out` with the set of
+    /// possible actions for `state` with the terminal `symbol` as the
+    /// current input symbol.
+    fn actions_into(&self, state: StateId, symbol: SymbolId, out: &mut ActionCell);
 
     /// The paper's `GOTO(state, symbol)`: the successor state after
     /// reducing a rule that delivered the non-terminal `symbol`.
-    fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId>;
+    fn goto(&self, state: StateId, symbol: SymbolId) -> Option<StateId>;
 
     /// Human-readable description of the table (used in reports).
     fn describe(&self) -> String {
         "parser tables".to_owned()
     }
+
+    /// Convenience for cold paths and tests: the actions of one cell as a
+    /// freshly allocated [`ActionCell`]. Hot loops should own a scratch
+    /// cell and use [`ParserTables::actions_into`] instead.
+    fn actions(&self, state: StateId, symbol: SymbolId) -> ActionCell {
+        let mut cell = ActionCell::default();
+        self.actions_into(state, symbol, &mut cell);
+        cell
+    }
+}
+
+/// The **write path** of a table: explicit, serialized materialisation.
+///
+/// [`ParserTables`] is the `&self` read interface; this companion trait is
+/// the explicit `ensure`/expansion entry point for tables whose contents
+/// appear on demand. For an eagerly generated [`ParseTable`] both methods
+/// are no-ops; for the lazy tables of the `ipg` crate they funnel into the
+/// item-set graph's serialized writer.
+pub trait TableExpansion {
+    /// Ensures `state` is fully materialised (expanded, with its dense row
+    /// published), so that subsequent read-path queries for it are pure.
+    fn ensure_state(&self, state: StateId);
+
+    /// Fully materialises the table (turns lazy generation into eager
+    /// generation). Used to warm a table before serving traffic.
+    fn warm(&self) {}
 }
 
 /// One dense table cell. `target_plus1` holds shift targets in terminal
@@ -534,17 +657,22 @@ impl ParserTables for ParseTable {
         self.start
     }
 
-    fn actions(&mut self, state: StateId, symbol: SymbolId) -> ActionsRef<'_> {
-        self.actions_at(state, symbol)
+    fn actions_into(&self, state: StateId, symbol: SymbolId, out: &mut ActionCell) {
+        out.fill_from(self.actions_at(state, symbol));
     }
 
-    fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId> {
+    fn goto(&self, state: StateId, symbol: SymbolId) -> Option<StateId> {
         self.goto_at(state, symbol)
     }
 
     fn describe(&self) -> String {
         format!("{} table with {} states", self.kind, self.num_states())
     }
+}
+
+impl TableExpansion for ParseTable {
+    /// An eager table is always fully materialised.
+    fn ensure_state(&self, _state: StateId) {}
 }
 
 #[cfg(test)]
@@ -630,7 +758,7 @@ mod tests {
 
     #[test]
     fn parser_tables_trait_round_trip() {
-        let (g, mut t) = booleans_lr0();
+        let (g, t) = booleans_lr0();
         let tt = g.symbol("true").unwrap();
         let b = g.symbol("B").unwrap();
         let start = <ParseTable as ParserTables>::start_state(&t);
@@ -638,6 +766,32 @@ mod tests {
         assert_eq!(t.actions(start, tt).len(), 1);
         assert!(t.goto(start, b).is_some());
         assert!(t.describe().contains("LR(0)"));
+        // The read path is `&self`: two borrows may query concurrently.
+        let (a, b2) = (&t, &t);
+        assert_eq!(a.actions(start, tt).single(), b2.actions(start, tt).single());
+        // The expansion entry point is a no-op for an eager table.
+        t.ensure_state(start);
+        t.warm();
+    }
+
+    #[test]
+    fn action_cell_reuse_and_helpers() {
+        let (g, t) = booleans_lr0();
+        let tt = g.symbol("true").unwrap();
+        let or = g.symbol("or").unwrap();
+        let mut cell = ActionCell::default();
+        t.actions_into(t.start_state(), tt, &mut cell);
+        assert_eq!(cell.len(), 1);
+        assert!(matches!(cell.single(), Some(Action::Shift(_))));
+        assert!(cell.contains(cell.single().unwrap()));
+        assert_eq!(cell.iter().count(), 1);
+        assert_eq!((&cell).into_iter().count(), 1);
+        // Refilling with an error cell clears the previous contents.
+        t.actions_into(t.start_state(), or, &mut cell);
+        assert!(cell.is_empty());
+        assert!(cell.to_vec().is_empty());
+        cell.clear();
+        assert!(cell.is_empty());
     }
 
     #[test]

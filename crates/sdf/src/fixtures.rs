@@ -322,7 +322,7 @@ mod tests {
     fn measurement_inputs_are_ordered_by_size() {
         let inputs = measurement_inputs();
         assert_eq!(inputs.len(), 4);
-        let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+        let NormalizedSdf { grammar, scanner } = sdf_grammar_and_scanner();
         let sizes: Vec<usize> = inputs
             .iter()
             .map(|i| scanner.tokenize_for(&grammar, i.text).expect(i.name).len())
@@ -337,7 +337,7 @@ mod tests {
 
     #[test]
     fn scanner_tokenizes_every_measurement_input() {
-        let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+        let NormalizedSdf { grammar, scanner } = sdf_grammar_and_scanner();
         for input in measurement_inputs() {
             let tokens = scanner
                 .tokenize_for(&grammar, input.text)

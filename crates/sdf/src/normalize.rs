@@ -269,16 +269,16 @@ mod tests {
     fn boolean_module_round_trips_to_a_working_parser() {
         let def = parse_sdf(BOOLEANS).unwrap();
         let normalized = normalize(&def).unwrap();
-        let mut scanner = normalized.scanner;
+        let scanner = normalized.scanner;
         let grammar = normalized.grammar;
         grammar.validate().unwrap();
         let tokens = scanner.tokenize_for(&grammar, "true or false and true").unwrap();
         assert_eq!(tokens.len(), 5);
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
         let parser = GssParser::new(&grammar);
-        assert!(parser.recognize(&mut table, &tokens));
+        assert!(parser.recognize(&table, &tokens));
         let bad = scanner.tokenize_for(&grammar, "true or or").unwrap();
-        assert!(!parser.recognize(&mut table, &bad));
+        assert!(!parser.recognize(&table, &bad));
     }
 
     #[test]
@@ -310,10 +310,10 @@ mod tests {
     #[test]
     fn normalized_module_parses_separated_lists_end_to_end() {
         let def = parse_sdf(LISTS).unwrap();
-        let NormalizedSdf { grammar, mut scanner } = normalize(&def).unwrap();
+        let NormalizedSdf { grammar, scanner } = normalize(&def).unwrap();
         let text = "declare point x y, circle centre radius, empty end";
         let tokens = scanner.tokenize_for(&grammar, text).unwrap();
-        let mut session = IpgSession::new(grammar);
+        let session = IpgSession::new(grammar);
         assert!(session.parse(&tokens).accepted);
         let bad = scanner
             .tokenize_for(session.grammar(), "declare , end")

@@ -11,7 +11,7 @@ use ipg_grammar::fixtures;
 fn main() {
     // E ::= E + E | E * E | ( E ) | id  — the classic ambiguous expression
     // grammar; no precedence, no associativity.
-    let mut session = IpgSession::new(fixtures::ambiguous_expressions());
+    let session = IpgSession::new(fixtures::ambiguous_expressions());
 
     for sentence in [
         "id + id",

@@ -29,9 +29,9 @@ fn main() {
         "sentence", "LALR(1)", "Tomita/LR0", "IPG lazy", "Earley", "LL(1)", "trie"
     );
 
-    let mut lalr = lalr1_table(&grammar);
-    let mut lr0 = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
-    let mut graph = ItemSetGraph::new(&grammar);
+    let lalr = lalr1_table(&grammar);
+    let lr0 = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+    let graph = ItemSetGraph::new(&grammar);
     let earley = EarleyParser::new(&grammar);
     let ll = LlParser::new(&grammar);
     let trie = TrieParser::new(&grammar);
@@ -39,11 +39,11 @@ fn main() {
     for (sentence, expected) in sentences {
         let tokens = tokenize_names(&grammar, sentence).expect("tokens known");
         let det = LrParser::new(&grammar)
-            .recognize(&mut lalr, &tokens)
+            .recognize(&lalr, &tokens)
             .expect("LALR(1) table is deterministic for this grammar");
-        let tomita = GssParser::new(&grammar).recognize(&mut lr0, &tokens);
+        let tomita = GssParser::new(&grammar).recognize(&lr0, &tokens);
         let ipg_lazy =
-            GssParser::new(&grammar).recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+            GssParser::new(&grammar).recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens);
         let earley_ok = earley.recognize(&tokens);
         // LL(1): the arithmetic grammar is left-recursive, so the LL table
         // has conflicts — the honest answer is "not applicable".

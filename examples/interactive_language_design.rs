@@ -1,28 +1,42 @@
-//! The paper's motivating scenario (§1): a language is being *designed*,
-//! so its grammar changes all the time, and each change must be absorbed
-//! without regenerating the parser — while sentences are being parsed
-//! continuously, as a syntax-directed editor would.
-//!
-//! This example grows a small statement language step by step, parses
-//! after every step, and prints how much of the parser was reused.
+//! The paper's motivating scenario (§1), scaled to the serving layer: a
+//! language is being *designed*, so its grammar changes all the time, and
+//! each change must be absorbed without regenerating the parser — while
+//! sentences are being parsed continuously. Here the "syntax-directed
+//! editor" is an `IpgServer`: several worker threads parse against one
+//! shared, lazily generated item-set graph, and the language designer's
+//! `ADD-RULE`/`DELETE-RULE` edits are applied under load with the paper's
+//! invalidation semantics.
 //!
 //! Run with `cargo run --example interactive_language_design`.
 
-use ipg::IpgSession;
+use std::thread;
 
-fn step(session: &mut IpgSession, action: &str, sentences: &[(&str, bool)]) {
+use ipg::IpgServer;
+
+/// Parses every sentence from four worker threads at once and checks the
+/// verdicts; prints what the shared table looks like afterwards.
+fn step(server: &IpgServer, action: &str, sentences: &[(&str, bool)]) {
     println!("== {action}");
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for (sentence, expected) in sentences {
+                    let accepted = server
+                        .parse_sentence(sentence)
+                        .map(|r| r.accepted)
+                        .unwrap_or(false);
+                    assert_eq!(accepted, *expected, "unexpected verdict for `{sentence}`");
+                }
+            });
+        }
+    });
     for (sentence, expected) in sentences {
-        let accepted = session
-            .parse_sentence(sentence)
-            .map(|r| r.accepted)
-            .unwrap_or(false);
-        let marker = if accepted == *expected { "ok " } else { "?? " };
-        println!("   {marker} `{sentence}` -> {}", if accepted { "accepted" } else { "rejected" });
-        assert_eq!(accepted, *expected, "unexpected verdict for `{sentence}`");
+        println!(
+            "   ok  `{sentence}` -> {}",
+            if *expected { "accepted" } else { "rejected" }
+        );
     }
-    let size = session.graph_size();
-    let stats = session.stats();
+    let (size, stats) = server.read(|s| (s.graph_size(), s.stats()));
     println!(
         "   table: {size}; expansions so far: {} (+{} re-expansions), modifications: {}\n",
         stats.expansions, stats.re_expansions, stats.modifications
@@ -30,7 +44,7 @@ fn step(session: &mut IpgSession, action: &str, sentences: &[(&str, bool)]) {
 }
 
 fn main() {
-    let mut session = IpgSession::from_bnf(
+    let server = IpgServer::from_bnf(
         r#"
         STMT ::= "print" EXPR
         EXPR ::= "num"
@@ -40,22 +54,24 @@ fn main() {
     .expect("grammar parses");
 
     step(
-        &mut session,
-        "initial language: `print num`",
+        &server,
+        "initial language: `print num` (4 threads, one shared table)",
         &[("print num", true), ("num", false)],
     );
 
-    session.add_rule_text(r#"EXPR ::= EXPR "+" EXPR"#).expect("rule ok");
+    server.add_rule_text(r#"EXPR ::= EXPR "+" EXPR"#).expect("rule ok");
     step(
-        &mut session,
-        "add infix addition",
+        &server,
+        "add infix addition (MODIFY under the write lock)",
         &[("print num + num + num", true), ("print +", false)],
     );
 
-    session.add_rule_text(r#"STMT ::= "if" EXPR "then" STMT "else" STMT"#).expect("rule ok");
-    session.add_rule_text(r#"EXPR ::= "id""#).expect("rule ok");
+    server
+        .add_rule_text(r#"STMT ::= "if" EXPR "then" STMT "else" STMT"#)
+        .expect("rule ok");
+    server.add_rule_text(r#"EXPR ::= "id""#).expect("rule ok");
     step(
-        &mut session,
+        &server,
         "add conditionals and identifiers",
         &[
             ("if id + num then print id else print num", true),
@@ -65,7 +81,7 @@ fn main() {
 
     // Both rules go in one fragment so that `STMTS` is recognised as a
     // non-terminal (it has a defining rule in the same text).
-    session
+    server
         .add_rule_text(
             r#"
             STMT ::= "begin" STMTS "end"
@@ -74,7 +90,7 @@ fn main() {
         )
         .expect("rules ok");
     step(
-        &mut session,
+        &server,
         "add statement blocks",
         &[
             ("begin print num ; print id ; if id then print num else print id end", true),
@@ -83,13 +99,13 @@ fn main() {
     );
 
     // The designer reconsiders: conditionals should not need an else branch,
-    // and the old form is removed.
-    session.add_rule_text(r#"STMT ::= "if" EXPR "then" STMT"#).expect("rule ok");
-    session
+    // and the old form is removed — while the workers keep parsing.
+    server.add_rule_text(r#"STMT ::= "if" EXPR "then" STMT"#).expect("rule ok");
+    server
         .remove_rule_text(r#"STMT ::= "if" EXPR "then" STMT "else" STMT"#)
         .expect("rule existed");
     step(
-        &mut session,
+        &server,
         "replace if/then/else by if/then",
         &[
             ("if id then print num", true),
@@ -97,8 +113,18 @@ fn main() {
         ],
     );
 
-    // Garbage-collect item sets that the removed rule left behind.
-    session.collect_garbage();
-    println!("after garbage collection: {}", session.graph_size());
-    println!("final statistics:\n{}", session.stats());
+    // Garbage-collect item sets that the removed rule left behind
+    // (exclusive, like a modification).
+    server.collect_garbage();
+    println!("after garbage collection: {}", server.read(|s| s.graph_size()));
+
+    // The per-thread aggregation shows how the work was spread.
+    let stats = server.stats();
+    println!(
+        "served {} parses from {} threads ({} ACTION queries in total)",
+        stats.total_parses(),
+        stats.per_thread.len(),
+        stats.total_action_calls()
+    );
+    println!("final generator statistics:\n{}", stats.graph);
 }

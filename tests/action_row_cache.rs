@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use ipg::{GcPolicy, ItemSetGraph, ItemSetKind, LazyTables};
 use ipg_glr::GssParser;
 use ipg_grammar::{Grammar, RuleId, SymbolId};
-use ipg_lr::{ActionsRef, ParserTables, StateId};
+use ipg_lr::{ActionCell, ParserTables, StateId};
 use ipg_sdf::fixtures::{paper_modification_rule, sdf_grammar_and_scanner};
 use ipg_sdf::NormalizedSdf;
 
@@ -22,7 +22,7 @@ use ipg_sdf::NormalizedSdf;
 /// tables' dense-row answer equals the naive read-off of the node's
 /// `transitions` / `reductions` / `accepting` fields, and likewise for
 /// `GOTO` over the non-terminals.
-fn assert_rows_agree_with_naive_readoff(grammar: &Grammar, graph: &mut ItemSetGraph) {
+fn assert_rows_agree_with_naive_readoff(grammar: &Grammar, graph: &ItemSetGraph) {
     let ids: Vec<StateId> = graph
         .live_nodes()
         .filter(|n| !n.needs_expansion())
@@ -39,17 +39,17 @@ fn assert_rows_agree_with_naive_readoff(grammar: &Grammar, graph: &mut ItemSetGr
                 node.accepting,
             )
         };
-        let mut tables = LazyTables::new(grammar, graph);
+        let tables = LazyTables::new(grammar, graph).unwrap();
         for &terminal in &terminals {
-            let cell: ActionsRef<'_> = tables.actions(id, terminal);
+            let cell: ActionCell = tables.actions(id, terminal);
             assert_eq!(
                 cell.shift,
                 transitions.get(&terminal).copied(),
                 "shift mismatch in state {id:?} on {terminal:?}"
             );
             assert_eq!(
-                cell.reductions,
-                &reductions[..],
+                cell.reductions[..],
+                reductions[..],
                 "reduce mismatch in state {id:?} on {terminal:?}"
             );
             assert_eq!(
@@ -80,14 +80,14 @@ impl ParserTables for GotoInvariantChecked<'_> {
         self.inner.start_state()
     }
 
-    fn actions(&mut self, state: StateId, symbol: SymbolId) -> ActionsRef<'_> {
-        self.inner.actions(state, symbol)
+    fn actions_into(&self, state: StateId, symbol: SymbolId, out: &mut ActionCell) {
+        self.inner.actions_into(state, symbol, out);
     }
 
-    fn goto(&mut self, state: StateId, symbol: SymbolId) -> Option<StateId> {
+    fn goto(&self, state: StateId, symbol: SymbolId) -> Option<StateId> {
         assert_eq!(
-            self.inner.graph().node(state).kind,
-            ItemSetKind::Complete,
+            self.inner.graph().node_kind(state),
+            Ok(ItemSetKind::Complete),
             "Appendix A invariant violated: GOTO asked about a non-complete item set"
         );
         self.inner.goto(state, symbol)
@@ -112,7 +112,7 @@ fn sdf_rows_agree_before_and_after_the_paper_modification() {
 
     let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
     graph.expand_all(&grammar);
-    assert_rows_agree_with_naive_readoff(&grammar, &mut graph);
+    assert_rows_agree_with_naive_readoff(&grammar, &graph);
 
     // Count rows present, apply ADD-RULE, and check the §6 precision: rows
     // disappear exactly where item sets were invalidated.
@@ -145,7 +145,7 @@ fn sdf_rows_agree_before_and_after_the_paper_modification() {
     );
 
     graph.expand_all(&grammar);
-    assert_rows_agree_with_naive_readoff(&grammar, &mut graph);
+    assert_rows_agree_with_naive_readoff(&grammar, &graph);
     // Rows rebuilt after the modification carry the current grammar
     // version.
     for node in graph.live_nodes() {
@@ -158,7 +158,7 @@ fn sdf_rows_agree_before_and_after_the_paper_modification() {
     // the smaller rule count.
     graph.remove_rule(&mut grammar, lhs, &rhs).expect("rule active");
     graph.expand_all(&grammar);
-    assert_rows_agree_with_naive_readoff(&grammar, &mut graph);
+    assert_rows_agree_with_naive_readoff(&grammar, &graph);
 }
 
 proptest! {
@@ -187,10 +187,10 @@ proptest! {
             let parser = GssParser::new(&grammar);
             for codes in &sentences {
                 let tokens = resolve_sentence(&grammar, codes);
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens);
             }
         }
-        assert_rows_agree_with_naive_readoff(&grammar, &mut graph);
+        assert_rows_agree_with_naive_readoff(&grammar, &graph);
 
         // ADD-RULE: reuse the first non-terminal with a fresh terminal.
         let lhs = grammar.symbol("N0").expect("spec interns N0");
@@ -198,12 +198,12 @@ proptest! {
         graph.acknowledge_non_structural_change(&grammar);
         graph.add_rule(&mut grammar, lhs, vec![fresh]);
         graph.expand_all(&grammar);
-        assert_rows_agree_with_naive_readoff(&grammar, &mut graph);
+        assert_rows_agree_with_naive_readoff(&grammar, &graph);
 
         // DELETE-RULE: remove it again.
         graph.remove_rule(&mut grammar, lhs, &[fresh]).expect("active rule");
         graph.expand_all(&grammar);
-        assert_rows_agree_with_naive_readoff(&grammar, &mut graph);
+        assert_rows_agree_with_naive_readoff(&grammar, &graph);
     }
 
     /// Appendix A in practice: driving the GSS parser over modified
@@ -220,10 +220,10 @@ proptest! {
             let parser = GssParser::new(&grammar);
             for codes in &sentences {
                 let tokens = resolve_sentence(&grammar, codes);
-                let mut tables = GotoInvariantChecked {
-                    inner: LazyTables::new(&grammar, &mut graph),
+                let tables = GotoInvariantChecked {
+                    inner: LazyTables::new(&grammar, &graph).unwrap(),
                 };
-                parser.recognize(&mut tables, &tokens);
+                parser.recognize(&tables, &tokens);
             }
         }
         // Modify, then parse again: the invariant must survive
@@ -235,10 +235,10 @@ proptest! {
         let parser = GssParser::new(&grammar);
         for codes in &sentences {
             let tokens = resolve_sentence(&grammar, codes);
-            let mut tables = GotoInvariantChecked {
-                inner: LazyTables::new(&grammar, &mut graph),
+            let tables = GotoInvariantChecked {
+                inner: LazyTables::new(&grammar, &graph).unwrap(),
             };
-            parser.recognize(&mut tables, &tokens);
+            parser.recognize(&tables, &tokens);
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Concurrent correctness of the shared-table serving layer: N threads
+//! parse the Fig. 7 SDF workload against one `IpgServer` while a writer
+//! applies the §7 `ADD-RULE`/`DELETE-RULE` sequence. Every parse must
+//! agree — accept/reject verdict *and* forest digest — with a
+//! single-threaded oracle run against the grammar version the parse
+//! observed.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::thread;
+
+use ipg::{IpgServer, IpgSession};
+use ipg_bench::SdfWorkload;
+use ipg_glr::GssParseResult;
+
+/// A structural digest of one parse result: verdict, root count, bounded
+/// ambiguity count, and a hash of the first derivation tree. Forest
+/// construction is deterministic for a fixed grammar and input (reduce
+/// sets are sorted, frontier iteration is insertion-ordered), so equal
+/// grammars must produce equal digests regardless of which thread parsed
+/// or how the shared graph's states happened to be numbered.
+fn digest(result: &GssParseResult) -> (bool, usize, usize, u64) {
+    let tree_hash = match result.forest.first_tree() {
+        Some(tree) => {
+            let mut hasher = DefaultHasher::new();
+            format!("{tree:?}").hash(&mut hasher);
+            hasher.finish()
+        }
+        None => 0,
+    };
+    (
+        result.accepted,
+        result.forest.roots().len(),
+        result.forest.tree_count(4),
+        tree_hash,
+    )
+}
+
+#[test]
+fn racing_parsers_and_modify_agree_with_the_oracle() {
+    let workload = SdfWorkload::load();
+    let (lhs, rhs) = workload.modification.clone();
+    // The two smaller measurement inputs keep the debug-build runtime sane;
+    // the release-mode CI job runs the same test over the full set.
+    let input_names: &[&str] = if cfg!(debug_assertions) {
+        &["exp.sdf", "Exam.sdf"]
+    } else {
+        &["exp.sdf", "Exam.sdf", "SDF.sdf", "ASF.sdf"]
+    };
+    let mut inputs: Vec<(&str, Vec<_>)> = input_names
+        .iter()
+        .map(|name| (*name, workload.input(name).tokens.clone()))
+        .collect();
+    // A module that uses the added `( ... )?` syntax: rejected by the base
+    // grammar, accepted once the §7 rule is in — the discriminating input
+    // that makes the two oracle phases observably different.
+    {
+        use ipg_lexer::TokenDef;
+        use ipg_sdf::fixtures::sdf_grammar_and_scanner;
+        let mut scanner = sdf_grammar_and_scanner().scanner;
+        scanner.add_definition(TokenDef::keyword(")?"));
+        let optional_module = r#"
+            module Optional
+            begin
+                context-free syntax
+                    sorts D
+                    functions
+                        "unit" ( D D )? -> D
+            end Optional
+        "#;
+        let tokens = scanner
+            .tokenize_for(&workload.grammar, optional_module)
+            .expect("optional-group module scans");
+        inputs.push(("optional-group module", tokens));
+    }
+
+    // --- Single-threaded oracle -----------------------------------------
+    // Phase `false` = base grammar, phase `true` = with the §7 rule added.
+    let oracle = |modified: bool| -> Vec<(bool, usize, usize, u64)> {
+        let mut session = IpgSession::new(workload.grammar.clone());
+        if modified {
+            session.add_rule(lhs, rhs.clone());
+        }
+        inputs
+            .iter()
+            .map(|(_, tokens)| digest(&session.parse(tokens)))
+            .collect()
+    };
+    let oracle_base = oracle(false);
+    let oracle_modified = oracle(true);
+    assert_ne!(
+        oracle_base, oracle_modified,
+        "the §7 modification must be observable in the digests"
+    );
+
+    // --- Serving run ------------------------------------------------------
+    let server = IpgServer::new(IpgSession::new(workload.grammar.clone()));
+    let base_version = server.grammar_version();
+    // Log of (grammar version, modified?) transitions, written under the
+    // same write lock as the modification itself.
+    let version_log: Mutex<Vec<(u64, bool)>> = Mutex::new(vec![(base_version, false)]);
+    let phase_of = |log: &[(u64, bool)], version: u64| -> bool {
+        log.iter()
+            .rev()
+            .find(|(v, _)| *v <= version)
+            .expect("every version is at or above the base version")
+            .1
+    };
+
+    let rounds = if cfg!(debug_assertions) { 12 } else { 30 };
+    let parser_threads = 4;
+    thread::scope(|scope| {
+        for t in 0..parser_threads {
+            let server = &server;
+            let inputs = &inputs;
+            let version_log = &version_log;
+            let oracle_base = &oracle_base;
+            let oracle_modified = &oracle_modified;
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    for (i, (name, tokens)) in inputs.iter().enumerate() {
+                        let (version, result) = server.parse_versioned(tokens);
+                        let modified = phase_of(&version_log.lock().unwrap(), version);
+                        let expected = if modified {
+                            oracle_modified[i]
+                        } else {
+                            oracle_base[i]
+                        };
+                        assert_eq!(
+                            digest(&result),
+                            expected,
+                            "thread {t}, round {round}, input {name}, \
+                             grammar v{version} (modified: {modified})"
+                        );
+                    }
+                }
+            });
+        }
+        // The writer races the parsers: add the §7 rule, then delete it
+        // again, several times. Each transition is logged under the same
+        // exclusive lock that applies it, so the log is consistent with
+        // every version number a parse can observe.
+        scope.spawn(|| {
+            let cycles = if cfg!(debug_assertions) { 4 } else { 10 };
+            for _ in 0..cycles {
+                server.modify(|s| {
+                    s.add_rule(lhs, rhs.clone());
+                    version_log
+                        .lock()
+                        .unwrap()
+                        .push((s.grammar().version(), true));
+                });
+                thread::yield_now();
+                server.modify(|s| {
+                    s.remove_rule(lhs, &rhs).expect("rule was just added");
+                    version_log
+                        .lock()
+                        .unwrap()
+                        .push((s.grammar().version(), false));
+                });
+                thread::yield_now();
+            }
+        });
+    });
+
+    // The writer really ran, and the graph absorbed its invalidations.
+    let stats = server.stats();
+    assert!(stats.graph.modifications >= 8);
+    assert!(stats.graph.invalidations > 0);
+    assert_eq!(
+        stats.total_parses(),
+        parser_threads * rounds * inputs.len(),
+        "every parse was served and recorded"
+    );
+    // Per-thread aggregation saw every parser thread.
+    assert!(stats.per_thread.len() >= parser_threads);
+}
+
+#[test]
+fn warm_shared_table_serves_identical_results_across_thread_counts() {
+    let workload = SdfWorkload::load();
+    let server = IpgServer::new(IpgSession::new(workload.grammar.clone()));
+    server.warm();
+    let requests: Vec<Vec<_>> = (0..12)
+        .map(|i| workload.inputs[i % 2].tokens.clone())
+        .collect();
+    let expansions_before = server.stats().graph.total_expansions();
+
+    let single: Vec<_> = server.parse_many(&requests, 1).iter().map(digest).collect();
+    for threads in [2, 4, 8] {
+        let multi: Vec<_> = server
+            .parse_many(&requests, threads)
+            .iter()
+            .map(digest)
+            .collect();
+        assert_eq!(single, multi, "{threads}-thread results differ");
+    }
+    // A warm table serves reads only: no expansion happened.
+    assert_eq!(server.stats().graph.total_expansions(), expansions_before);
+}

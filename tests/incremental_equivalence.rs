@@ -99,7 +99,7 @@ proptest! {
             let parser = GssParser::new(&grammar);
             for codes in &sentences {
                 let tokens = resolve_sentence(&grammar, codes);
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens);
             }
         }
 
@@ -108,13 +108,13 @@ proptest! {
 
             // Reference: a parser generated from scratch for the *current*
             // grammar.
-            let mut fresh = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+            let fresh = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
             let parser = GssParser::new(&grammar);
             for codes in &sentences {
                 let tokens = resolve_sentence(&grammar, codes);
-                let expected = parser.recognize(&mut fresh, &tokens);
+                let expected = parser.recognize(&fresh, &tokens);
                 let incremental =
-                    parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+                    parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens);
                 prop_assert_eq!(
                     incremental,
                     expected,
@@ -149,7 +149,7 @@ proptest! {
             .iter()
             .map(|codes| {
                 let tokens = resolve_sentence(&grammar, codes);
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens)
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens)
             })
             .collect();
 
@@ -161,7 +161,7 @@ proptest! {
             .iter()
             .map(|codes| {
                 let tokens = resolve_sentence(&grammar, codes);
-                parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens)
+                parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens)
             })
             .collect();
         prop_assert_eq!(before, after);

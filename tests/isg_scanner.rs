@@ -59,7 +59,7 @@ proptest! {
             .collect();
         prop_assume!(!chosen.is_empty());
         let nfa = Nfa::build(&chosen);
-        let mut dfa = LazyDfa::new(Nfa::build(&chosen));
+        let dfa = LazyDfa::new(Nfa::build(&chosen));
         let chars: Vec<char> = input.chars().collect();
         for start in 0..=chars.len() {
             let reference = nfa.longest_match(&chars[start..]);
@@ -74,7 +74,7 @@ proptest! {
     fn incremental_definition_addition_equals_rebuild(input in input_strategy()) {
         let mut incremental = simple_scanner(&["->", "--"]);
         incremental.add_definition(TokenDef::keyword("if"));
-        let mut fresh = Scanner::new({
+        let fresh = Scanner::new({
             let mut defs = simple_scanner(&["->", "--"]).definitions().to_vec();
             defs.push(TokenDef::keyword("if"));
             defs
@@ -88,7 +88,7 @@ proptest! {
     /// a position-accurate error.
     #[test]
     fn scanning_is_total(input in input_strategy()) {
-        let mut scanner = simple_scanner(&["if", "->", "--"]);
+        let scanner = simple_scanner(&["if", "->", "--"]);
         match scanner.tokenize(&input) {
             Ok(tokens) => {
                 // Tokens are in order and non-overlapping.

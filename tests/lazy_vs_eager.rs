@@ -24,13 +24,13 @@ proptest! {
         prop_assume!(grammar.validate().is_ok());
         let tokens = resolve_sentence(&grammar, &codes);
 
-        let mut eager = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
-        let mut graph = ItemSetGraph::new(&grammar);
+        let eager = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let graph = ItemSetGraph::new(&grammar);
         let parser = GssParser::new(&grammar);
 
-        let eager_verdict = parser.recognize(&mut eager, &tokens);
+        let eager_verdict = parser.recognize(&eager, &tokens);
         let lazy_verdict =
-            parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+            parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens);
         prop_assert_eq!(eager_verdict, lazy_verdict);
     }
 
@@ -47,10 +47,10 @@ proptest! {
         let grammar = spec.build();
         prop_assume!(grammar.validate().is_ok());
         let tokens = resolve_sentence(&grammar, &codes);
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
 
-        let gss = GssParser::new(&grammar).recognize(&mut table, &tokens);
-        let pool = PoolGlrParser::new(&grammar).recognize(&mut table, &tokens);
+        let gss = GssParser::new(&grammar).recognize(&table, &tokens);
+        let pool = PoolGlrParser::new(&grammar).recognize(&table, &tokens);
         prop_assert_eq!(gss, pool.expect("pool parser terminates on epsilon-free grammars"));
     }
 
@@ -62,10 +62,10 @@ proptest! {
         let grammar = spec.build();
         prop_assume!(grammar.validate().is_ok());
         let tokens = resolve_sentence(&grammar, &codes);
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
 
-        let gss = GssParser::new(&grammar).recognize(&mut table, &tokens);
-        match PoolGlrParser::new(&grammar).recognize(&mut table, &tokens) {
+        let gss = GssParser::new(&grammar).recognize(&table, &tokens);
+        match PoolGlrParser::new(&grammar).recognize(&table, &tokens) {
             Ok(verdict) => prop_assert_eq!(verdict, gss),
             Err(ipg_glr::PoolError::Diverged { .. }) => {
                 // Acceptable: cyclic epsilon-reduce chain detected.
@@ -82,8 +82,8 @@ proptest! {
         prop_assume!(grammar.validate().is_ok());
         let tokens = resolve_sentence(&grammar, &codes);
 
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
-        let glr = GssParser::new(&grammar).recognize(&mut table, &tokens);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let glr = GssParser::new(&grammar).recognize(&table, &tokens);
         let earley = EarleyParser::new(&grammar).recognize(&tokens);
         prop_assert_eq!(glr, earley);
     }
@@ -96,7 +96,7 @@ proptest! {
         let grammar = spec.build();
         prop_assume!(grammar.validate().is_ok());
         let conventional = Lr0Automaton::build(&grammar);
-        let mut graph = ItemSetGraph::new(&grammar);
+        let graph = ItemSetGraph::new(&grammar);
         graph.expand_all(&grammar);
         prop_assert_eq!(graph.num_live(), conventional.num_states());
     }
@@ -108,8 +108,8 @@ proptest! {
         let grammar = spec.build();
         prop_assume!(grammar.validate().is_ok());
         let tokens = resolve_sentence(&grammar, &codes);
-        let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
-        let result = GssParser::new(&grammar).parse(&mut table, &tokens);
+        let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+        let result = GssParser::new(&grammar).parse(&table, &tokens);
         if result.accepted {
             for tree in result.forest.trees(16) {
                 prop_assert_eq!(tree.fringe(), tokens.clone());

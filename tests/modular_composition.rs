@@ -39,7 +39,7 @@ fn base_modules() -> ModuleSet {
 fn composed_module_grammar_parses_sentences_of_both_modules() {
     let set = base_modules();
     let grammar = set.compose("Comparisons").unwrap();
-    let mut session = IpgSession::new(grammar);
+    let session = IpgSession::new(grammar);
     for (sentence, expected) in [
         ("true or false", true),
         ("zero < succ ( zero )", true),

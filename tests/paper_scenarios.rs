@@ -16,10 +16,9 @@ fn fig4_boolean_table() {
     assert_eq!(automaton.num_states(), 8);
     let table = ParseTable::lr0(&automaton, &grammar);
     assert!(!table.is_deterministic());
-    let mut table = table;
     let parser = GssParser::new(&grammar);
     let tokens = tokenize_names(&grammar, "true or false").unwrap();
-    let result = parser.parse(&mut table, &tokens);
+    let result = parser.parse(&table, &tokens);
     assert!(result.accepted);
     assert_eq!(result.forest.tree_count(10), 1);
 }
@@ -29,7 +28,7 @@ fn fig4_boolean_table() {
 /// remaining states appear when `or`/`false` are used.
 #[test]
 fn fig5_lazy_growth() {
-    let mut session = IpgSession::new(fixtures::booleans());
+    let session = IpgSession::new(fixtures::booleans());
     assert_eq!(session.graph_size().total, 1);
     assert_eq!(session.graph_size().complete, 0);
 
@@ -73,7 +72,7 @@ fn fig6_boolean_modification() {
     // the sentence `unknown` exercises the new item set of Fig. 6.5.
     let parser = GssParser::new(&grammar);
     let tokens = tokenize_names(&grammar, "unknown and true").unwrap();
-    assert!(parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens));
+    assert!(parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens));
     assert!(graph
         .live_nodes()
         .any(|n| n.kind == ItemSetKind::Complete && n.transitions.contains_key(&unknown)));
@@ -105,12 +104,12 @@ fn fig6_counterexample_grammar() {
     for sentence in ["a b", "c b"] {
         let tokens = tokenize_names(&grammar, sentence).unwrap();
         assert!(
-            parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens),
+            parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens),
             "`{sentence}`"
         );
     }
     let bad = tokenize_names(&grammar, "c a").unwrap();
-    assert!(!parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &bad));
+    assert!(!parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &bad));
 }
 
 /// §6.2: with reference-counting garbage collection a long editing session
@@ -168,13 +167,13 @@ fn appendix_a_goto_invariant_holds_under_all_drivers() {
             _ if grammar.symbol("c").is_some() => &["a b", "c b", "a a"],
             _ => &["a b a", "a b", ""],
         };
-        let mut graph = ItemSetGraph::new(&grammar);
+        let graph = ItemSetGraph::new(&grammar);
         let gss = GssParser::new(&grammar);
         let pool = ipg_glr::PoolGlrParser::new(&grammar);
         for sentence in sentences {
             let tokens = tokenize_names(&grammar, sentence).unwrap();
-            let _ = gss.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
-            let _ = pool.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens);
+            let _ = gss.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens);
+            let _ = pool.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens);
         }
     }
 }

@@ -11,19 +11,19 @@ use ipg_sdf::NormalizedSdf;
 
 #[test]
 fn all_measurement_inputs_parse_with_ipg_and_pg() {
-    let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
-    let mut pg_table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
-    let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
+    let NormalizedSdf { grammar, scanner } = sdf_grammar_and_scanner();
+    let pg_table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+    let graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
     let parser = GssParser::new(&grammar);
     for input in measurement_inputs() {
         let tokens = scanner.tokenize_for(&grammar, input.text).expect(input.name);
         assert!(
-            parser.recognize(&mut pg_table, &tokens),
+            parser.recognize(&pg_table, &tokens),
             "{} must parse with the eager PG table",
             input.name
         );
         assert!(
-            parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens),
+            parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens),
             "{} must parse with the lazy IPG tables",
             input.name
         );
@@ -34,7 +34,7 @@ fn all_measurement_inputs_parse_with_ipg_and_pg() {
 fn lazy_coverage_is_partial_and_close_to_the_papers_figure() {
     // §5.2: "only 60 percent of the parse table had to be generated to
     // parse the SDF definition of SDF itself".
-    let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+    let NormalizedSdf { grammar, scanner } = sdf_grammar_and_scanner();
     let full = Lr0Automaton::build(&grammar).num_states();
     let sdf_sdf = measurement_inputs()
         .into_iter()
@@ -42,9 +42,9 @@ fn lazy_coverage_is_partial_and_close_to_the_papers_figure() {
         .expect("SDF.sdf is a measurement input");
     let tokens = scanner.tokenize_for(&grammar, sdf_sdf.text).expect("scans");
 
-    let mut graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
+    let graph = ItemSetGraph::with_policy(&grammar, GcPolicy::RefCount);
     let parser = GssParser::new(&grammar);
-    assert!(parser.recognize(&mut LazyTables::new(&grammar, &mut graph), &tokens));
+    assert!(parser.recognize(&LazyTables::new(&grammar, &graph).unwrap(), &tokens));
     let coverage = graph.size().coverage_of(full);
     assert!(
         coverage > 0.35 && coverage < 0.9,
@@ -120,7 +120,7 @@ fn paper_modification_is_absorbed_incrementally() {
 fn sdf_sourced_grammar_agrees_with_earley() {
     // Cross-check the normalised SDF grammar with a completely independent
     // parsing algorithm on a modest input.
-    let NormalizedSdf { grammar, mut scanner } = sdf_grammar_and_scanner();
+    let NormalizedSdf { grammar, scanner } = sdf_grammar_and_scanner();
     let exp = measurement_inputs()
         .into_iter()
         .find(|i| i.name == "exp.sdf")
@@ -132,10 +132,10 @@ fn sdf_sourced_grammar_agrees_with_earley() {
     // And a corrupted input is rejected by both.
     let mut broken = tokens.clone();
     broken.truncate(broken.len() - 2);
-    let mut table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
+    let table = ParseTable::lr0(&Lr0Automaton::build(&grammar), &grammar);
     assert_eq!(
         earley.recognize(&broken),
-        GssParser::new(&grammar).recognize(&mut table, &broken)
+        GssParser::new(&grammar).recognize(&table, &broken)
     );
     assert!(!earley.recognize(&broken));
 }
