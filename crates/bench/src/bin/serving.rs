@@ -1,7 +1,10 @@
 //! Multi-threaded serving throughput of the shared-table layer: 1/2/4/8
 //! threads drive one `IpgServer` over the Fig. 7 SDF workload, with a warm
-//! table, a cold (lazily generated under contention) table, and a warm
-//! table with `MODIFY` cycles mixed in.
+//! table, a cold (lazily generated under contention) table, a warm table
+//! with `MODIFY` cycles mixed in, and a `modify-concurrent` scenario that
+//! measures **edit publication latency** while parses are in flight — the
+//! epoch claim: an edit lands in the time it takes to fork the table state
+//! and apply the §7 rule, independent of the longest running parse.
 //!
 //! Prints a human-readable table and writes `BENCH_serving.json` to the
 //! current directory so CI can track the serving-perf trajectory.
@@ -11,7 +14,7 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ipg::{IpgServer, IpgSession};
 use ipg_bench::SdfWorkload;
@@ -24,6 +27,10 @@ struct Row {
     tokens: usize,
     elapsed_s: f64,
     modifications: usize,
+    /// Mean/max `MODIFY` publication latency in microseconds (zero for
+    /// scenarios that do not time edits).
+    edit_mean_us: f64,
+    edit_max_us: f64,
 }
 
 impl Row {
@@ -65,6 +72,8 @@ fn run_warm(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
         tokens,
         elapsed_s: best,
         modifications: 0,
+        edit_mean_us: 0.0,
+        edit_max_us: 0.0,
     }
 }
 
@@ -86,6 +95,8 @@ fn run_cold(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
         tokens,
         elapsed_s: best,
         modifications: 0,
+        edit_mean_us: 0.0,
+        edit_max_us: 0.0,
     }
 }
 
@@ -127,6 +138,76 @@ fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Ro
         tokens,
         elapsed_s,
         modifications,
+        edit_mean_us: 0.0,
+        edit_max_us: 0.0,
+    }
+}
+
+/// The epoch scenario: `threads` workers loop the *largest* input (the
+/// longest-running parses the workload has) while the main thread times
+/// each `MODIFY` publication. With `threads == 0` the same edits run on an
+/// idle server — the baseline that the loaded latencies are compared
+/// against.
+fn run_modify_concurrent(workload: &SdfWorkload, threads: usize, edits: usize) -> Row {
+    let server = IpgServer::new(IpgSession::new(workload.grammar.clone()));
+    server.warm();
+    let (lhs, rhs) = workload.modification.clone();
+    let slow_tokens = &workload.largest().tokens;
+    let stop = AtomicBool::new(false);
+    let mut latencies: Vec<f64> = Vec::with_capacity(edits);
+    let mut requests = 0usize;
+    let mut elapsed_s = 0.0f64;
+    thread::scope(|scope| {
+        // The throughput window covers the workers' whole lifetime (spawn
+        // to join), so the req/s / tokens/s columns divide matching
+        // quantities; the edit latencies are timed per edit inside it.
+        let run_start = Instant::now();
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            workers.push(scope.spawn(|| {
+                let mut count = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    server.parse(slow_tokens);
+                    count += 1;
+                }
+                count
+            }));
+        }
+        if threads > 0 {
+            // Let the long parses get airborne before timing edits.
+            thread::sleep(Duration::from_millis(20));
+        }
+        for i in 0..edits {
+            let edit_start = Instant::now();
+            if i % 2 == 0 {
+                server.modify(|s| {
+                    s.add_rule(lhs, rhs.clone());
+                });
+            } else {
+                server.modify(|s| {
+                    s.remove_rule(lhs, &rhs).expect("rule was just added");
+                });
+            }
+            latencies.push(edit_start.elapsed().as_secs_f64());
+            thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for worker in workers {
+            requests += worker.join().expect("worker thread panicked");
+        }
+        elapsed_s = run_start.elapsed().as_secs_f64();
+    });
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+    Row {
+        scenario: "modify-concurrent",
+        threads,
+        requests,
+        tokens: requests * slow_tokens.len(),
+        elapsed_s,
+        modifications: edits,
+        edit_mean_us: mean * 1e6,
+        edit_max_us: max * 1e6,
     }
 }
 
@@ -134,6 +215,7 @@ fn main() {
     let workload = SdfWorkload::load();
     let repeats = 50; // 50 × 4 inputs = 200 requests per run
     let thread_counts = [1usize, 2, 4, 8];
+    let edits = 40;
 
     let mut rows = Vec::new();
     for &threads in &thread_counts {
@@ -145,12 +227,18 @@ fn main() {
     for &threads in &thread_counts {
         rows.push(run_with_modify(&workload, threads, repeats));
     }
+    // Edit latency on an idle server, then with 1..8 threads of long
+    // parses in flight.
+    rows.push(run_modify_concurrent(&workload, 0, edits));
+    for &threads in &thread_counts {
+        rows.push(run_modify_concurrent(&workload, threads, edits));
+    }
 
     println!("Shared-table serving throughput (Fig. 7 SDF workload, 200 requests/run)");
-    println!("scenario     | threads |   req/s |  tokens/s | modifications");
+    println!("scenario          | threads |   req/s |  tokens/s | modifications");
     for row in &rows {
         println!(
-            "{:<12} | {:>7} | {:>7.0} | {:>9.0} | {:>5}",
+            "{:<17} | {:>7} | {:>7.0} | {:>9.0} | {:>5}",
             row.scenario,
             row.threads,
             row.requests_per_sec(),
@@ -175,6 +263,41 @@ fn main() {
     }
     println!("cold-table 4-thread speedup: {:.2}x", speedup("cold", 4));
 
+    println!("\nMODIFY publication latency (epochs; {edits} edits per configuration):");
+    let idle_mean = rows
+        .iter()
+        .find(|r| r.scenario == "modify-concurrent" && r.threads == 0)
+        .map(|r| r.edit_mean_us)
+        .unwrap_or(0.0);
+    for row in rows.iter().filter(|r| r.scenario == "modify-concurrent") {
+        let label = if row.threads == 0 {
+            "idle server".to_owned()
+        } else {
+            format!("{} parse threads in flight", row.threads)
+        };
+        println!(
+            "  {label:<27}: mean {:>8.1} µs, max {:>8.1} µs{}",
+            row.edit_mean_us,
+            row.edit_max_us,
+            if row.threads > 0 && idle_mean > 0.0 {
+                format!(" ({:.2}x idle mean)", row.edit_mean_us / idle_mean)
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!(
+        "  (edits publish new epochs: latency tracks the table fork, not the longest parse)"
+    );
+    let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < thread_counts[thread_counts.len() - 1] {
+        println!(
+            "  note: host has {cores} core(s); with more parse threads than cores the \
+             writer thread is starved by the scheduler, so those rows measure OS \
+             timeslicing, not epoch publication (compare the ≤{cores}-thread rows)."
+        );
+    }
+
     // Hand-rolled JSON (the vendored serde stub has no serializer).
     let mut json = String::from("{\n  \"benchmark\": \"serving\",\n  \"workload\": \"fig7-sdf\",\n  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -182,7 +305,7 @@ fn main() {
             json,
             "    {{\"scenario\": \"{}\", \"threads\": {}, \"requests\": {}, \"tokens\": {}, \
              \"elapsed_s\": {:.6}, \"tokens_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \
-             \"modifications\": {}}}{}",
+             \"modifications\": {}, \"edit_mean_us\": {:.2}, \"edit_max_us\": {:.2}}}{}",
             row.scenario,
             row.threads,
             row.requests,
@@ -191,21 +314,34 @@ fn main() {
             row.tokens_per_sec(),
             row.requests_per_sec(),
             row.modifications,
+            row.edit_mean_us,
+            row.edit_max_us,
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
+    // The loaded-latency summary only considers configurations the host
+    // can actually schedule in parallel (threads <= cores); oversubscribed
+    // rows measure OS timeslicing, not epoch publication (see the printed
+    // note), and would otherwise dominate the trend series.
+    let loaded_mean = rows
+        .iter()
+        .filter(|r| r.scenario == "modify-concurrent" && r.threads >= 1 && r.threads <= cores)
+        .map(|r| r.edit_mean_us)
+        .fold(0.0f64, f64::max);
     let _ = write!(
         json,
-        "  ],\n  \"warm_speedup_4_threads\": {:.3},\n  \"warm_speedup_8_threads\": {:.3}\n}}\n",
+        "  ],\n  \"warm_speedup_4_threads\": {:.3},\n  \"warm_speedup_8_threads\": {:.3},\n  \
+         \"modify_concurrent_idle_mean_us\": {:.2},\n  \"modify_concurrent_loaded_mean_us\": {:.2}\n}}\n",
         warm4,
-        speedup("warm", 8)
+        speedup("warm", 8),
+        idle_mean,
+        loaded_mean,
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("\nwrote BENCH_serving.json");
 
     // Scaling is only observable with real cores; on a single-core host the
     // interesting number is the (near-zero) locking overhead instead.
-    let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("host parallelism: {cores} core(s)");
     if cores >= 4 && warm4 < 2.5 {
         eprintln!("WARNING: 4-thread warm speedup {warm4:.2}x below the 2.5x target on a {cores}-core host");

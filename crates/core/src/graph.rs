@@ -277,9 +277,11 @@ struct GraphInner {
 /// [`ItemSetGraph::expand_all`]) also take `&self` but serialize internally
 /// as writers. Grammar modifications (`add_rule` / `remove_rule` /
 /// `mark_and_sweep`) keep `&mut self`: they change the *language* the graph
-/// answers for, so callers must hold exclusive access (the `IpgServer`
-/// enforces this with a session-level `RwLock`, giving per-parse
-/// consistency against `MODIFY`).
+/// answers for, so callers must hold exclusive access. The `IpgServer`
+/// satisfies this without draining readers by *forking*: `Clone` produces
+/// a deep, consistent copy (taken under the internal writer mutex),
+/// `MODIFY` runs on the private fork, and the fork is published as a new
+/// grammar epoch while parses in flight keep reading the original.
 #[derive(Debug)]
 pub struct ItemSetGraph {
     shards: Vec<RwLock<Vec<ItemSetNode>>>,

@@ -79,9 +79,12 @@
 //! The table stack is split into a `&self` **read path** (steady-state
 //! `ACTION`/`GOTO` queries never block each other) and serialized
 //! **writers** (lazy expansion, `MODIFY`, GC). [`IpgServer`] packages the
-//! split for multi-threaded use: N threads parse one shared, lazily
-//! generated graph while grammar modifications are applied between (or
-//! under) load with the paper's invalidation semantics — see [`server`].
+//! split for multi-threaded use with **grammar epochs**: N threads parse
+//! one shared, lazily generated graph, and each modification forks the
+//! table state, applies the paper's invalidation privately and publishes
+//! the result as a new immutable epoch — in-flight parses finish on the
+//! epoch they pinned instead of being drained, and retired epochs are
+//! reclaimed once their last reader leaves — see [`server`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -93,7 +96,7 @@ pub mod stats;
 pub mod tables;
 
 pub use graph::{ActionRow, GcPolicy, GraphError, ItemSetGraph, ItemSetKind, ItemSetNode};
-pub use server::{IpgServer, ServerError, ServerStats};
+pub use server::{GrammarEpoch, IpgServer, ServerError, ServerStats};
 pub use session::{IpgSession, SessionError};
 pub use stats::{GenStats, GraphSize};
 pub use tables::{LazyTables, StaleGraphError};

@@ -1,24 +1,54 @@
-//! `IpgServer`: the shared-table serving layer.
+//! `IpgServer`: the epoch-versioned shared-table serving layer.
 //!
 //! The paper amortises table generation across parses (§5); this module
 //! amortises it across *parsers*. One lazily generated item-set graph — and
 //! optionally one lazily determinised scanner — serves parse requests from
-//! any number of threads, while grammar modifications are applied between
-//! (or under) load with the paper's `MODIFY` invalidation semantics (§6).
+//! any number of threads, while grammar modifications are applied under
+//! load with the paper's `MODIFY` invalidation semantics (§6) and **never
+//! drain in-flight parses**.
 //!
-//! ## Locking model
+//! ## Grammar epochs
 //!
-//! The server wraps an [`IpgSession`] in one `RwLock`:
+//! The server's unit of consistency is the [`GrammarEpoch`]: an immutable
+//! bundle of one grammar version's table state (an [`IpgSession`] holding
+//! the grammar plus its item-set graph, whose published
+//! `Arc<TableSnapshot>` rows the lazy tables pin) and the scanner whose
+//! lazily determinised DFA snapshot belongs to the same version. Epochs
+//! move through four stages:
 //!
-//! * **parses share the read lock** — [`IpgSession`]'s parse methods take
-//!   `&self`, and the item-set graph underneath synchronises its own lazy
-//!   expansion (sharded reader locks on the steady path, one serialized
-//!   writer for EXPAND), so N readers genuinely run in parallel;
-//! * **modifications take the write lock** — `ADD-RULE`/`DELETE-RULE`
-//!   drain the in-flight parses, apply the paper's invalidation, and
-//!   release. Every parse therefore sees one consistent grammar version
-//!   end to end, which is exactly the consistency the stress tests assert
-//!   against a single-threaded oracle.
+//! ```text
+//!        pin                         publish
+//! parse ----> epoch k  ...  MODIFY ---------> epoch k+1 becomes current
+//!                                |
+//!                                v            retire          reclaim
+//!                        epoch k is retired -------> pinned? ---------> freed
+//!                                                    (readers finish)
+//! ```
+//!
+//! * **pin** — every parse clones the current `Arc<GrammarEpoch>` once and
+//!   runs entirely against it: ACTION/GOTO from the epoch's pinned table
+//!   snapshot, `tokenize` from the epoch's pinned DFA snapshot. No lock is
+//!   held while parsing.
+//! * **publish** — `MODIFY` (`ADD-RULE`/`DELETE-RULE`), scanner-definition
+//!   changes and GC each *fork* the current epoch's state, apply the change
+//!   privately (the paper's §6 invalidation runs on the fork), and swap the
+//!   result in as the new current epoch. Publication cost is the fork +
+//!   the edit — independent of how long any in-flight parse still runs.
+//! * **retire** — the replaced epoch is parked on a retired list. Parses
+//!   that pinned it keep reading it; they observe the grammar version they
+//!   started with, end to end.
+//! * **reclaim** — the deferred sweep drops a retired epoch (freeing its
+//!   item sets, dense rows and DFA snapshot) once its last reader has left:
+//!   it runs when a parse releases a stale pin and on the next publication,
+//!   never while anyone can still query the storage.
+//!
+//! ## What serializes with what
+//!
+//! | operation                  | parses (readers)  | other writers |
+//! |----------------------------|-------------------|---------------|
+//! | `parse*`, `recognize`      | fully concurrent  | never blocked by writers (pin the old epoch) |
+//! | `MODIFY`, `modify_scanner`, `collect_garbage` | do **not** wait for parses | serialize among themselves |
+//! | epoch swap                 | nanoseconds (pointer swap) | under the writer lock |
 //!
 //! ```
 //! use ipg::IpgServer;
@@ -37,14 +67,16 @@
 //!     }
 //! });
 //!
-//! // ...and the language designer modifies the grammar under load.
+//! // ...and the language designer modifies the grammar under load: the
+//! // edit is published as a new epoch without draining running parses.
 //! server.add_rule_text(r#"B ::= "unknown""#).unwrap();
 //! assert!(server.parse_sentence("true or unknown").unwrap().accepted);
 //! ```
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 
 use ipg_glr::{GssParseResult, GssParser};
@@ -90,16 +122,66 @@ impl From<ScanError> for ServerError {
     }
 }
 
+/// One immutable grammar epoch: the table state of one grammar version
+/// plus the scanner whose DFA snapshot matches it.
+///
+/// Epochs are handed out as `Arc<GrammarEpoch>` by
+/// [`IpgServer::current_epoch`] and pinned internally by every parse. The
+/// bundled [`IpgSession`] is only ever *read* once the epoch is published
+/// (its item-set graph still grows lazily under its own internal writer,
+/// which is sound — lazy expansion adds entries, it never changes what an
+/// existing entry means); all `MODIFY`-style mutation happens on a private
+/// fork before the successor epoch is published.
+#[derive(Debug)]
+pub struct GrammarEpoch {
+    /// Monotonic epoch number (0 for the epoch the server was built with).
+    number: u64,
+    /// The epoch's grammar + item-set graph. `Arc`-shared so a
+    /// scanner-only epoch can reuse the table state of its predecessor.
+    session: Arc<IpgSession>,
+    /// The epoch's scanner (lexical syntax + lazily determinised DFA).
+    scanner: Option<Arc<Scanner>>,
+}
+
+impl GrammarEpoch {
+    /// The epoch number (increments on every publication).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The epoch's session: grammar plus item-set graph.
+    pub fn session(&self) -> &IpgSession {
+        &self.session
+    }
+
+    /// The grammar version this epoch serves.
+    pub fn grammar_version(&self) -> u64 {
+        self.session.grammar().version()
+    }
+
+    /// The epoch's scanner, if the server was built with one.
+    pub fn scanner(&self) -> Option<&Scanner> {
+        self.scanner.as_deref()
+    }
+}
+
 /// Per-thread query statistics of one server, plus the graph-wide
 /// generator counters — the aggregation [`IpgServer::stats`] reports.
 #[derive(Clone, Debug, Default)]
 pub struct ServerStats {
-    /// The shared graph's work counters (expansions, invalidations, GC,
-    /// rows built, plus all flushed query counts).
+    /// The current epoch's graph work counters (expansions, invalidations,
+    /// GC, rows built, flushed query counts — carried forward across
+    /// epochs by the fork) plus the server's epoch counters
+    /// (`epochs_published` / `epochs_retired` / `epochs_reclaimed`).
     pub graph: GenStats,
-    /// Parses served and `ACTION`/`GOTO` queries issued, per serving
-    /// thread (keyed by a debug rendering of the thread id).
+    /// Parses served, `ACTION`/`GOTO` queries issued and epoch
+    /// reclamations triggered, per serving thread (keyed by a debug
+    /// rendering of the thread id).
     pub per_thread: Vec<(String, GenStats)>,
+    /// Epochs retired but not yet reclaimed: still pinned by at least one
+    /// in-flight parse (or an externally held [`IpgServer::current_epoch`]
+    /// handle).
+    pub retired_epochs: usize,
 }
 
 impl ServerStats {
@@ -114,18 +196,23 @@ impl ServerStats {
     }
 }
 
-/// A multi-reader serving layer over one [`IpgSession`].
+/// A multi-reader serving layer over epoch-versioned [`IpgSession`]s.
 ///
 /// `&IpgServer` is `Sync`: share it across threads (scoped threads, a
 /// thread pool, an async runtime's blocking pool) and call the parse
-/// methods freely. Modification methods serialize against all parses.
+/// methods freely. Modification methods publish new epochs and therefore
+/// never wait for in-flight parses; they serialize only among themselves.
 #[derive(Debug)]
 pub struct IpgServer {
-    state: RwLock<IpgSession>,
-    /// Optional shared scanner for [`IpgServer::parse_text`]. Scanning
-    /// takes `&self` (the lazy DFA synchronises internally); definition
-    /// changes go through [`IpgServer::modify_scanner`]'s write lock.
-    scanner: Option<RwLock<Scanner>>,
+    /// The current epoch. Readers hold this lock only long enough to
+    /// clone the `Arc`; the writer holds it only for the pointer swap.
+    current: RwLock<Arc<GrammarEpoch>>,
+    /// Shadow of `current`'s epoch number, so a parse releasing its pin
+    /// can detect "my epoch was retired" with one atomic load instead of
+    /// a lock.
+    current_number: AtomicU64,
+    /// The write side: serializes publications and owns the retired list.
+    writer: Mutex<EpochWriter>,
     /// Per-thread query counters, updated once per parse (not per query).
     /// Bounded: once `MAX_TRACKED_THREADS` distinct threads have been
     /// seen, further threads fold into one overflow aggregate, so a
@@ -144,12 +231,33 @@ struct PerThreadStats {
     overflow: GenStats,
 }
 
+/// Serialized write-side state: the retired-epoch park and the lifetime
+/// epoch counters.
+#[derive(Debug, Default)]
+struct EpochWriter {
+    /// Epochs that are no longer current but may still be pinned by
+    /// readers. Swept (deferred reclamation) on release and publication.
+    retired: Vec<Arc<GrammarEpoch>>,
+    /// Epochs published over the server's lifetime (the initial epoch is
+    /// not counted — it was never *published* over a predecessor).
+    published: usize,
+    /// Epochs retired over the server's lifetime.
+    retired_total: usize,
+    /// Retired epochs whose storage has been reclaimed.
+    reclaimed_total: usize,
+}
+
 impl IpgServer {
-    /// Wraps a session for serving.
+    /// Wraps a session for serving (epoch 0).
     pub fn new(session: IpgSession) -> Self {
         IpgServer {
-            state: RwLock::new(session),
-            scanner: None,
+            current: RwLock::new(Arc::new(GrammarEpoch {
+                number: 0,
+                session: Arc::new(session),
+                scanner: None,
+            })),
+            current_number: AtomicU64::new(0),
+            writer: Mutex::new(EpochWriter::default()),
             per_thread: Mutex::new(PerThreadStats::default()),
         }
     }
@@ -159,31 +267,110 @@ impl IpgServer {
         Ok(Self::new(IpgSession::from_bnf(text)?))
     }
 
-    /// Attaches a shared scanner, enabling [`IpgServer::parse_text`].
-    pub fn with_scanner(mut self, scanner: Scanner) -> Self {
-        self.scanner = Some(RwLock::new(scanner));
+    /// Attaches a shared scanner, enabling [`IpgServer::parse_text`]. A
+    /// construction-time convenience: the scanner joins the current epoch
+    /// in place (no publication).
+    pub fn with_scanner(self, scanner: Scanner) -> Self {
+        {
+            let mut current = self.current.write().unwrap();
+            *current = Arc::new(GrammarEpoch {
+                number: current.number,
+                session: current.session.clone(),
+                scanner: Some(Arc::new(scanner)),
+            });
+        }
         self
     }
 
-    /// Runs `f` on a shared borrow of the session (a read lock: parses in
-    /// other threads keep running).
-    pub fn read<R>(&self, f: impl FnOnce(&IpgSession) -> R) -> R {
-        f(&self.state.read().unwrap())
+    // ------------------------------------------------------------------
+    // Epoch lifecycle
+    // ------------------------------------------------------------------
+
+    /// Pins the current epoch: clones the `Arc` under a momentary read
+    /// lock. Everything a parse needs afterwards comes from the pin.
+    fn acquire(&self) -> Arc<GrammarEpoch> {
+        self.current.read().unwrap().clone()
     }
 
-    /// Runs `f` on an exclusive borrow of the session (the write lock:
-    /// drains in-flight parses first). This is the `MODIFY` entry point
-    /// for structural changes beyond the convenience methods below.
-    pub fn modify<R>(&self, f: impl FnOnce(&mut IpgSession) -> R) -> R {
-        f(&mut self.state.write().unwrap())
+    /// The current epoch, pinned. Public for observability (tests, tools
+    /// that want to tag work with an epoch); dropping the `Arc` releases
+    /// the pin, and any storage it kept alive is reclaimed by the next
+    /// deferred sweep (a parse release or a publication).
+    pub fn current_epoch(&self) -> Arc<GrammarEpoch> {
+        self.acquire()
     }
 
-    /// Runs `f` on an exclusive borrow of the shared scanner.
-    pub fn modify_scanner<R>(&self, f: impl FnOnce(&mut Scanner) -> R) -> Result<R, ServerError> {
-        match &self.scanner {
-            Some(scanner) => Ok(f(&mut scanner.write().unwrap())),
-            None => Err(ServerError::NoScanner),
+    /// The current epoch number (0 until the first publication).
+    pub fn epoch_number(&self) -> u64 {
+        self.current_number.load(Ordering::Acquire)
+    }
+
+    /// Number of retired epochs still pinned by readers (awaiting
+    /// deferred reclamation).
+    pub fn retired_epochs(&self) -> usize {
+        self.writer.lock().unwrap().retired.len()
+    }
+
+    /// Releases a pin. If the epoch was retired while the caller used it,
+    /// run the deferred sweep so the storage of epochs whose last reader
+    /// just left is reclaimed promptly. `try_lock`: if a publication is
+    /// in progress the sweep is skipped — that publication sweeps itself,
+    /// so a parse never blocks on a writer here.
+    fn release(&self, epoch: Arc<GrammarEpoch>) {
+        let number = epoch.number;
+        drop(epoch);
+        if number == self.current_number.load(Ordering::Acquire) {
+            return;
         }
+        if let Ok(mut writer) = self.writer.try_lock() {
+            let reclaimed = Self::sweep_locked(&mut writer);
+            drop(writer);
+            if reclaimed > 0 {
+                self.note_epochs(0, reclaimed);
+            }
+        }
+    }
+
+    /// Publishes `next` as the current epoch, retires the predecessor and
+    /// sweeps. Returns the number of epochs reclaimed by the sweep.
+    fn install_locked(&self, writer: &mut EpochWriter, next: GrammarEpoch) -> usize {
+        let next = Arc::new(next);
+        self.current_number.store(next.number, Ordering::Release);
+        let old = {
+            let mut current = self.current.write().unwrap();
+            std::mem::replace(&mut *current, next)
+        };
+        writer.published += 1;
+        writer.retired_total += 1;
+        writer.retired.push(old);
+        Self::sweep_locked(writer)
+    }
+
+    /// Drops every retired epoch whose last reader has left (strong count
+    /// 1 = only the retired list itself). This is the deferred
+    /// reclamation: the item sets, dense rows and DFA snapshot of a
+    /// retired epoch are freed here, never while a reader could still
+    /// query them.
+    fn sweep_locked(writer: &mut EpochWriter) -> usize {
+        let before = writer.retired.len();
+        writer.retired.retain(|epoch| Arc::strong_count(epoch) > 1);
+        let reclaimed = before - writer.retired.len();
+        writer.reclaimed_total += reclaimed;
+        reclaimed
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Runs `f` on the current epoch's session (a pinned read: writers
+    /// publishing new epochs neither wait for `f` nor invalidate what it
+    /// sees).
+    pub fn read<R>(&self, f: impl FnOnce(&IpgSession) -> R) -> R {
+        let epoch = self.acquire();
+        let result = f(&epoch.session);
+        self.release(epoch);
+        result
     }
 
     /// The grammar version currently being served.
@@ -191,8 +378,9 @@ impl IpgServer {
         self.read(|s| s.grammar().version())
     }
 
-    /// Warms the shared table: fully expands the item-set graph and
-    /// publishes every dense row, so subsequent parses are pure reads.
+    /// Warms the shared table: fully expands the current epoch's item-set
+    /// graph and publishes every dense row, so subsequent parses are pure
+    /// reads.
     pub fn warm(&self) {
         self.read(|s| s.expand_all());
     }
@@ -203,88 +391,149 @@ impl IpgServer {
         self.read(|s| s.tokens(sentence))
     }
 
-    /// The one serve path every parse method goes through: take the read
-    /// lock, hand the session and a fresh lazy-tables handle to `f`, then
-    /// record the handle's query counts against the calling thread. A
-    /// request that fails before parsing (unknown token, scan error) still
-    /// counts as a served request with zero queries.
-    fn serve<R>(&self, f: impl FnOnce(&IpgSession, &LazyTables<'_>) -> R) -> R {
-        let session = self.state.read().unwrap();
-        let tables: LazyTables<'_> = session.tables();
-        let result = f(&session, &tables);
+    /// The one serve path every parse method goes through: pin the current
+    /// epoch, hand it and a fresh lazy-tables handle to `f`, record the
+    /// handle's query counts against the calling thread, release the pin.
+    /// A request that fails before parsing (unknown token, scan error)
+    /// still counts as a served request with zero queries.
+    fn serve<R>(&self, f: impl FnOnce(&GrammarEpoch, &LazyTables<'_>) -> R) -> R {
+        let epoch = self.acquire();
+        let tables: LazyTables<'_> = epoch.session.tables();
+        let result = f(&epoch, &tables);
         let (action_calls, goto_calls) = tables.query_counts();
         drop(tables);
-        drop(session);
+        self.release(epoch);
         self.note_parse(action_calls, goto_calls);
         result
     }
 
     /// Parses a token sentence against the shared graph. Concurrent with
-    /// other parses; serialized against modifications.
+    /// other parses *and* with modifications (which publish new epochs;
+    /// this parse completes on the epoch it pinned).
     pub fn parse(&self, tokens: &[SymbolId]) -> GssParseResult {
         self.parse_versioned(tokens).1
     }
 
     /// Like [`IpgServer::parse`], also returning the grammar version the
-    /// parse ran against — captured under the same read lock, so the pair
-    /// is consistent even while a writer is applying modifications.
+    /// parse ran against — the version tag of the pinned epoch, which the
+    /// result's own `grammar_version` field repeats, so the pair stays
+    /// consistent however many epochs writers publish meanwhile.
     pub fn parse_versioned(&self, tokens: &[SymbolId]) -> (u64, GssParseResult) {
-        self.serve(|session, tables| {
-            let version = session.grammar().version();
-            (version, GssParser::new(session.grammar()).parse(tables, tokens))
+        self.serve(|epoch, tables| {
+            let result = GssParser::new(epoch.session.grammar()).parse(tables, tokens);
+            debug_assert_eq!(result.grammar_version, epoch.grammar_version());
+            (result.grammar_version, result)
         })
     }
 
     /// Recognises a token sentence (no forest construction).
     pub fn recognize(&self, tokens: &[SymbolId]) -> bool {
-        self.serve(|session, tables| {
-            GssParser::new(session.grammar()).recognize(tables, tokens)
+        self.serve(|epoch, tables| {
+            GssParser::new(epoch.session.grammar()).recognize(tables, tokens)
         })
     }
 
     /// Convenience: [`IpgServer::parse`] on a whitespace-separated sentence
-    /// of terminal names (tokenized and parsed under one read lock, so the
-    /// sentence is interpreted by the same grammar version it is parsed
-    /// with).
+    /// of terminal names (tokenized and parsed against one pinned epoch,
+    /// so the sentence is interpreted by the same grammar version it is
+    /// parsed with).
     pub fn parse_sentence(&self, sentence: &str) -> Result<GssParseResult, SessionError> {
-        self.serve(|session, tables| {
-            let tokens = session.tokens(sentence)?;
-            Ok(GssParser::new(session.grammar()).parse(tables, &tokens))
+        self.serve(|epoch, tables| {
+            let tokens = epoch.session.tokens(sentence)?;
+            Ok(GssParser::new(epoch.session.grammar()).parse(tables, &tokens))
         })
     }
 
-    /// Lexes `input` with the shared scanner and parses the token stream —
-    /// the full text-to-forest pipeline under one grammar read lock. The
-    /// scanner's lazy DFA synchronises internally, so concurrent
-    /// `parse_text` calls share its cache without blocking each other.
+    /// Lexes `input` with the pinned epoch's scanner and parses the token
+    /// stream — the full text-to-forest pipeline against one epoch, so
+    /// lexical and context-free syntax can never be observed from two
+    /// different versions within one request. The scanner serves the hot
+    /// path from its pinned DFA snapshot, so concurrent `parse_text`
+    /// calls share its cache without blocking each other.
     pub fn parse_text(&self, input: &str) -> Result<GssParseResult, ServerError> {
-        let scanner = self.scanner.as_ref().ok_or(ServerError::NoScanner)?;
-        self.serve(|session, tables| {
-            let tokens = scanner
-                .read()
-                .unwrap()
-                .tokenize_for(session.grammar(), input)?;
-            Ok(GssParser::new(session.grammar()).parse(tables, &tokens))
+        self.serve(|epoch, tables| {
+            let scanner = epoch.scanner().ok_or(ServerError::NoScanner)?;
+            let tokens = scanner.tokenize_for(epoch.session.grammar(), input)?;
+            Ok(GssParser::new(epoch.session.grammar()).parse(tables, &tokens))
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (epoch publication)
+    // ------------------------------------------------------------------
+
+    /// Runs `f` on a private fork of the current epoch's session and
+    /// publishes the result as the next epoch — the `MODIFY` entry point
+    /// for structural changes beyond the convenience methods below.
+    ///
+    /// Publication cost is the fork (a deep copy of grammar + item-set
+    /// graph) plus whatever `f` does; it does **not** wait for in-flight
+    /// parses, which keep reading the epoch they pinned.
+    pub fn modify<R>(&self, f: impl FnOnce(&mut IpgSession) -> R) -> R {
+        let mut writer = self.writer.lock().unwrap();
+        let cur = self.acquire();
+        let mut session = (*cur.session).clone();
+        let result = f(&mut session);
+        let next = GrammarEpoch {
+            number: cur.number + 1,
+            session: Arc::new(session),
+            scanner: cur.scanner.clone(),
+        };
+        drop(cur);
+        let reclaimed = self.install_locked(&mut writer, next);
+        drop(writer);
+        self.note_epochs(1, reclaimed);
+        result
+    }
+
+    /// Runs `f` on a private fork of the current epoch's scanner and
+    /// publishes the result as the next epoch (which shares the
+    /// predecessor's table state — lexical edits do not fork the parser
+    /// tables). In-flight `parse_text` calls finish on the DFA snapshot
+    /// they pinned.
+    pub fn modify_scanner<R>(&self, f: impl FnOnce(&mut Scanner) -> R) -> Result<R, ServerError> {
+        let mut writer = self.writer.lock().unwrap();
+        let cur = self.acquire();
+        let Some(scanner) = cur.scanner.as_deref() else {
+            return Err(ServerError::NoScanner);
+        };
+        let mut scanner = scanner.clone();
+        let result = f(&mut scanner);
+        let next = GrammarEpoch {
+            number: cur.number + 1,
+            session: cur.session.clone(),
+            scanner: Some(Arc::new(scanner)),
+        };
+        drop(cur);
+        let reclaimed = self.install_locked(&mut writer, next);
+        drop(writer);
+        self.note_epochs(1, reclaimed);
+        Ok(result)
     }
 
     /// Adds a rule written in the textual BNF notation — the paper's
-    /// `ADD-RULE` under the write lock.
+    /// `ADD-RULE`, published as a new epoch.
     pub fn add_rule_text(&self, text: &str) -> Result<RuleId, SessionError> {
         self.modify(|s| s.add_rule_text(text))
     }
 
     /// Deletes a rule written in the textual BNF notation — the paper's
-    /// `DELETE-RULE` under the write lock.
+    /// `DELETE-RULE`, published as a new epoch.
     pub fn remove_rule_text(&self, text: &str) -> Result<RuleId, SessionError> {
         self.modify(|s| s.remove_rule_text(text))
     }
 
-    /// Runs a mark-and-sweep collection over the shared graph (exclusive,
-    /// like a modification).
+    /// Runs a mark-and-sweep collection: like `MODIFY`, the collection
+    /// happens on a private fork that is then published, so parses in
+    /// flight keep their (uncollected) epoch until they finish and the
+    /// old storage is reclaimed by the deferred sweep.
     pub fn collect_garbage(&self) {
         self.modify(|s| s.collect_garbage());
     }
+
+    // ------------------------------------------------------------------
+    // Batch + statistics
+    // ------------------------------------------------------------------
 
     /// Parses every request, fanned out over `threads` scoped worker
     /// threads (request `i` goes to worker `i % threads`). Results come
@@ -319,10 +568,20 @@ impl IpgServer {
             .collect()
     }
 
-    /// The aggregated statistics: the shared graph's counters plus the
-    /// per-thread query/parse counts.
+    /// The aggregated statistics: the current epoch's graph counters
+    /// (carried forward across epochs), the server's epoch counters and
+    /// the per-thread query/parse counts. Runs an opportunistic sweep so
+    /// reclamation is visible promptly.
     pub fn stats(&self) -> ServerStats {
-        let graph = self.read(|s| s.stats());
+        let mut graph = self.read(|s| s.stats());
+        let retired_epochs = {
+            let mut writer = self.writer.lock().unwrap();
+            Self::sweep_locked(&mut writer);
+            graph.epochs_published += writer.published;
+            graph.epochs_retired += writer.retired_total;
+            graph.epochs_reclaimed += writer.reclaimed_total;
+            writer.retired.len()
+        };
         let per_thread = self.per_thread.lock().unwrap();
         let mut entries: Vec<(String, GenStats)> = per_thread
             .tracked
@@ -330,28 +589,43 @@ impl IpgServer {
             .map(|(id, stats)| (format!("{id:?}"), *stats))
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
-        if per_thread.overflow.parses > 0 {
+        if per_thread.overflow != GenStats::default() {
             entries.push(("(untracked threads)".to_owned(), per_thread.overflow));
         }
         ServerStats {
             graph,
             per_thread: entries,
+            retired_epochs,
         }
     }
 
     fn note_parse(&self, action_calls: usize, goto_calls: usize) {
         let mut per_thread = self.per_thread.lock().unwrap();
+        let entry = Self::entry_mut(&mut per_thread);
+        entry.parses += 1;
+        entry.action_calls += action_calls;
+        entry.goto_calls += goto_calls;
+    }
+
+    fn note_epochs(&self, retired: usize, reclaimed: usize) {
+        if retired == 0 && reclaimed == 0 {
+            return;
+        }
+        let mut per_thread = self.per_thread.lock().unwrap();
+        let entry = Self::entry_mut(&mut per_thread);
+        entry.epochs_published += retired;
+        entry.epochs_retired += retired;
+        entry.epochs_reclaimed += reclaimed;
+    }
+
+    fn entry_mut(per_thread: &mut PerThreadStats) -> &mut GenStats {
         let id = thread::current().id();
-        let entry = if per_thread.tracked.contains_key(&id)
-            || per_thread.tracked.len() < MAX_TRACKED_THREADS
+        if per_thread.tracked.contains_key(&id) || per_thread.tracked.len() < MAX_TRACKED_THREADS
         {
             per_thread.tracked.entry(id).or_default()
         } else {
             &mut per_thread.overflow
-        };
-        entry.parses += 1;
-        entry.action_calls += action_calls;
-        entry.goto_calls += goto_calls;
+        }
     }
 }
 
@@ -361,6 +635,7 @@ impl IpgServer {
 fn _assert_server_is_sync() {
     fn is_send_sync<T: Send + Sync>() {}
     is_send_sync::<IpgServer>();
+    is_send_sync::<GrammarEpoch>();
 }
 
 #[cfg(test)]
@@ -465,13 +740,18 @@ mod tests {
     }
 
     #[test]
-    fn scanner_modifications_take_the_write_path() {
+    fn scanner_modifications_publish_a_new_epoch() {
         let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
             .with_scanner(simple_scanner(&["true", "or"]));
+        let epoch_before = server.epoch_number();
+        let version_before = server.grammar_version();
         assert!(server.parse_text("true % true").is_err());
         server
             .modify_scanner(|s| s.add_definition(ipg_lexer::TokenDef::keyword("%")))
             .unwrap();
+        // A lexical edit publishes an epoch but shares the table state.
+        assert_eq!(server.epoch_number(), epoch_before + 1);
+        assert_eq!(server.grammar_version(), version_before);
         // `%` now scans but is not a grammar terminal: an unknown-terminal
         // scan error, not an unexpected-character one.
         assert!(matches!(
@@ -495,6 +775,44 @@ mod tests {
             server.remove_rule_text(r#"B ::= "never""#),
             Err(SessionError::UnknownToken(_)) | Err(SessionError::Grammar(_))
         ));
+    }
+
+    #[test]
+    fn modifications_retire_and_reclaim_epochs() {
+        let server = boolean_server();
+        server.warm();
+        assert_eq!(server.epoch_number(), 0);
+        let weak = Arc::downgrade(&server.current_epoch());
+        server.add_rule_text(r#"B ::= "maybe""#).unwrap();
+        assert_eq!(server.epoch_number(), 1);
+        let stats = server.stats();
+        assert_eq!(stats.graph.epochs_published, 1);
+        assert_eq!(stats.graph.epochs_retired, 1);
+        // No reader pinned epoch 0, so the publication's own sweep (or the
+        // one in `stats`) already reclaimed it: the item-set storage of
+        // the retired epoch is gone.
+        assert_eq!(stats.graph.epochs_reclaimed, 1);
+        assert_eq!(stats.retired_epochs, 0);
+        assert!(weak.upgrade().is_none(), "retired epoch 0 was freed");
+    }
+
+    #[test]
+    fn pinned_epoch_defers_reclamation_until_released() {
+        let server = boolean_server();
+        let pinned = server.current_epoch();
+        let weak = Arc::downgrade(&pinned);
+        server.add_rule_text(r#"B ::= "maybe""#).unwrap();
+        // The pin keeps the retired epoch (and its storage) alive...
+        assert_eq!(server.stats().retired_epochs, 1);
+        assert!(weak.upgrade().is_some());
+        // ...and the pinned state still answers for its own version.
+        assert!(pinned.grammar_version() < server.grammar_version());
+        drop(pinned);
+        // The next sweep (here: via stats) reclaims it.
+        let stats = server.stats();
+        assert_eq!(stats.retired_epochs, 0);
+        assert!(weak.upgrade().is_none());
+        assert_eq!(stats.graph.epochs_reclaimed, 1);
     }
 
     #[test]

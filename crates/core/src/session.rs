@@ -16,9 +16,10 @@
 //! *modification* (`add_rule`, `remove_rule`, `collect_garbage`, …) takes
 //! `&mut self`. Because of that, any number of threads can parse against
 //! one session at the same time; to interleave modifications with parses,
-//! wrap the session in [`crate::IpgServer`], which layers an `RwLock` on
-//! top (parses share the read lock, `MODIFY` takes the write lock) and adds
-//! per-thread statistics aggregation:
+//! wrap the session in [`crate::IpgServer`], which publishes each
+//! modification as a fresh immutable *epoch* (parses pin the epoch they
+//! started on and are never drained) and adds per-thread statistics
+//! aggregation:
 //!
 //! ```
 //! use ipg::IpgSession;
@@ -87,7 +88,13 @@ impl From<GrammarError> for SessionError {
 }
 
 /// An interactive lazy/incremental parsing session.
-#[derive(Debug)]
+///
+/// `Clone` forks the session: the clone carries a deep copy of the grammar
+/// and the item-set graph (including every complete state, published row
+/// and work counter), so modifications to one side never touch the other.
+/// [`crate::IpgServer`] uses exactly this to build each successor epoch —
+/// `MODIFY` runs on a private fork while parses keep reading the original.
+#[derive(Clone, Debug)]
 pub struct IpgSession {
     grammar: Grammar,
     graph: ItemSetGraph,

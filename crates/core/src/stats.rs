@@ -37,6 +37,18 @@ pub struct GenStats {
     /// Parses served (counted by the serving layer's per-thread
     /// aggregation; zero for counters read directly off a graph).
     pub parses: usize,
+    /// Grammar epochs published by the serving layer (`MODIFY`, scanner
+    /// changes, GC — each builds a successor table state and publishes it
+    /// without draining in-flight parses). Zero for counters read
+    /// directly off a graph.
+    pub epochs_published: usize,
+    /// Epochs retired: replaced as current but kept alive until their
+    /// last pinned reader left.
+    pub epochs_retired: usize,
+    /// Retired epochs actually reclaimed (their item-set storage, dense
+    /// rows and DFA snapshots freed) by the deferred sweep that runs once
+    /// the epoch's last reader leaves.
+    pub epochs_reclaimed: usize,
 }
 
 impl GenStats {
@@ -65,6 +77,11 @@ impl fmt::Display for GenStats {
         writeln!(f, "action rows built:    {}", self.rows_built)?;
         if self.parses > 0 {
             writeln!(f, "parses served:        {}", self.parses)?;
+        }
+        if self.epochs_published > 0 {
+            writeln!(f, "epochs published:     {}", self.epochs_published)?;
+            writeln!(f, "epochs retired:       {}", self.epochs_retired)?;
+            writeln!(f, "epochs reclaimed:     {}", self.epochs_reclaimed)?;
         }
         Ok(())
     }

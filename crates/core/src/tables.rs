@@ -83,7 +83,10 @@ pub struct LazyTables<'a> {
     /// immutable, `Arc`-shared view — no locks, no atomics. A miss
     /// funnels into the graph's serialized writer and then refreshes the
     /// pin. Pinning is sound because `MODIFY`/GC take `&mut` on the graph
-    /// and therefore cannot run while this (shared) borrow exists.
+    /// and therefore cannot run while this (shared) borrow exists — the
+    /// epoch serving layer preserves exactly this: modifications fork the
+    /// graph and run on the private fork, never on a graph that handles
+    /// are borrowing.
     snapshot: RefCell<Arc<TableSnapshot>>,
     action_calls: Cell<usize>,
     goto_calls: Cell<usize>,
@@ -227,6 +230,14 @@ impl ParserTables for LazyTables<'_> {
             self.graph.size(),
             self.grammar.version()
         )
+    }
+
+    /// The version tag of every parse served through this handle. The
+    /// epoch serving layer checks it against the pinned epoch's version,
+    /// so results can be matched to the exact table state that produced
+    /// them even while writers publish newer epochs.
+    fn grammar_version(&self) -> u64 {
+        self.grammar.version()
     }
 }
 

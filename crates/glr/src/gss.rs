@@ -51,6 +51,11 @@ pub struct GssParseResult {
     pub forest: Forest,
     /// Work counters.
     pub stats: GssStats,
+    /// The grammar version of the table handle the parse ran against
+    /// ([`ParserTables::grammar_version`]). Serving layers that keep
+    /// several grammar epochs alive concurrently use this tag to match a
+    /// result to the exact table state that produced it.
+    pub grammar_version: u64,
 }
 
 /// Sentinel for "no edge" in the pooled edge lists.
@@ -367,6 +372,7 @@ impl<'g> GssParser<'g> {
             accepted,
             forest,
             stats,
+            grammar_version: tables.grammar_version(),
         }
     }
 }

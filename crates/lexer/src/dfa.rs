@@ -14,14 +14,18 @@
 //!
 //! Like the item-set graph, the lazy DFA follows the read/expand split:
 //! [`LazyDfa::step`] and [`LazyDfa::longest_match`] take `&self`, so any
-//! number of threads can scan against one DFA at the same time. The
-//! memoised transition cache lives behind an `RwLock` — a cache hit is a
-//! read lock (concurrent readers never block each other), and only a miss
-//! (one subset-construction step) takes the write lock.
+//! number of threads can scan against one DFA at the same time — and like
+//! the parser's `ACTION`/`GOTO`, the hot path is served from **pinned
+//! snapshots**: the writer publishes an immutable [`DfaSnapshot`]
+//! (`Arc`-shared) whenever it materialises a state or transition, a
+//! scanner pins one snapshot per `tokenize` call, and every per-character
+//! step is then a plain hash-map read against immutable data with no
+//! locks or atomics at all. Only a miss (one subset-construction step)
+//! takes the writer's lock, republishes, and refreshes the pin.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::nfa::{Nfa, TokenId};
 
@@ -60,21 +64,63 @@ struct DfaCache {
     stats: DfaStats,
 }
 
+/// The published read-view of one DFA state: its memoised transitions and
+/// accept token, immutable and `Arc`-shared between the cache and any
+/// number of pinned snapshots.
+#[derive(Debug)]
+struct SnapshotState {
+    /// Memoised transitions (`None` = the dead state). A character absent
+    /// from the map has simply not been stepped on yet — a *miss*, not a
+    /// dead transition.
+    transitions: HashMap<char, Option<usize>>,
+    /// Highest-priority token accepted in this state.
+    accept: Option<TokenId>,
+}
+
+/// An immutable snapshot of every materialised DFA state — the scanner
+/// analogue of the parser's published table snapshot. A reader pins one
+/// `Arc<DfaSnapshot>` per `tokenize` call and serves every per-character
+/// step from it without locking; misses funnel into the cache's writer,
+/// which republishes, and the reader refreshes its pin.
+///
+/// Pinned reads stay sound because the materialised part of a DFA only
+/// ever *grows*: a definition change does not mutate the cache, it
+/// replaces the whole [`LazyDfa`] (the scanner rebuilds), so a pinned
+/// snapshot can be stale only in the sense of missing entries — never in
+/// the sense of wrong ones.
+#[derive(Debug, Default)]
+pub struct DfaSnapshot {
+    states: Vec<Arc<SnapshotState>>,
+}
+
+impl DfaSnapshot {
+    /// Number of DFA states visible in this snapshot.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+}
+
 /// A lazily determinised DFA over an [`Nfa`], shareable across threads.
 #[derive(Debug)]
 pub struct LazyDfa {
     nfa: Nfa,
     cache: RwLock<DfaCache>,
-    /// Cache hits happen under the read lock, so they are counted with a
-    /// relaxed atomic instead of a write.
+    /// The current published snapshot; replaced (copy-on-write over the
+    /// per-state `Arc`s) on every cache miss.
+    published: RwLock<Arc<DfaSnapshot>>,
+    /// Cache hits are flushed here once per `longest_match`/`step` call
+    /// (not per character), so the pinned hot path touches no atomics.
     cache_hits: AtomicUsize,
 }
 
 impl Clone for LazyDfa {
     fn clone(&self) -> Self {
+        let cache = self.cache.read().unwrap().clone();
+        let published = Self::snapshot_of(&cache);
         LazyDfa {
             nfa: self.nfa.clone(),
-            cache: RwLock::new(self.cache.read().unwrap().clone()),
+            cache: RwLock::new(cache),
+            published: RwLock::new(published),
             cache_hits: AtomicUsize::new(self.cache_hits.load(Ordering::Relaxed)),
         }
     }
@@ -90,11 +136,57 @@ impl LazyDfa {
         };
         let start_set = nfa.epsilon_closure(&[nfa.start()]);
         Self::intern(&nfa, &mut cache, start_set);
+        let published = Self::snapshot_of(&cache);
         LazyDfa {
             nfa,
             cache: RwLock::new(cache),
+            published: RwLock::new(published),
             cache_hits: AtomicUsize::new(0),
         }
+    }
+
+    /// Builds a full published snapshot of a cache (used at construction
+    /// and by `Clone`; misses update the current snapshot incrementally).
+    fn snapshot_of(cache: &DfaCache) -> Arc<DfaSnapshot> {
+        Arc::new(DfaSnapshot {
+            states: cache
+                .states
+                .iter()
+                .map(|s| {
+                    Arc::new(SnapshotState {
+                        transitions: s.transitions.clone(),
+                        accept: s.accept,
+                    })
+                })
+                .collect(),
+        })
+    }
+
+    /// The current published snapshot. Pin one per scan and serve every
+    /// per-character step from it; refresh on a miss (see
+    /// [`LazyDfa::longest_match_pinned`]).
+    pub fn snapshot(&self) -> Arc<DfaSnapshot> {
+        self.published.read().unwrap().clone()
+    }
+
+    /// Republishes the snapshot after a miss materialised new entries:
+    /// copy the per-state `Arc` vector, append any newly interned states,
+    /// and replace the one state whose transition map grew. Called with
+    /// the cache write lock held, so publications are serialized.
+    fn republish_locked(&self, cache: &DfaCache, touched: usize) {
+        let mut published = self.published.write().unwrap();
+        let mut states = published.states.clone();
+        for state in &cache.states[states.len()..] {
+            states.push(Arc::new(SnapshotState {
+                transitions: state.transitions.clone(),
+                accept: state.accept,
+            }));
+        }
+        states[touched] = Arc::new(SnapshotState {
+            transitions: cache.states[touched].transitions.clone(),
+            accept: cache.states[touched].accept,
+        });
+        *published = Arc::new(DfaSnapshot { states });
     }
 
     /// The underlying NFA.
@@ -130,22 +222,13 @@ impl LazyDfa {
         id
     }
 
-    /// The transition from DFA state `state` on character `c`, together
-    /// with the token accepted in the *target* state, computing and
-    /// memoising the transition if necessary. `None` is the dead state.
-    fn step_with_accept(&self, state: usize, c: char) -> Option<(usize, Option<TokenId>)> {
-        // Fast path: a memoised transition under the shared read lock.
-        {
-            let cache = self.cache.read().unwrap();
-            if let Some(&cached) = cache.states[state].transitions.get(&c) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return cached.map(|next| (next, cache.states[next].accept));
-            }
-        }
-        // Miss: run one subset-construction step under the write lock.
+    /// The miss path: run one subset-construction step under the write
+    /// lock, memoise it, republish the snapshot, and return the target
+    /// state together with its accept token.
+    fn materialise_step(&self, state: usize, c: char) -> Option<(usize, Option<TokenId>)> {
         let mut cache = self.cache.write().unwrap();
-        // Double-check: another thread may have filled the entry while we
-        // were waiting for the write lock.
+        // Double-check: another thread may have filled the entry (and
+        // republished) while we were waiting for the write lock.
         if let Some(&cached) = cache.states[state].transitions.get(&c) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return cached.map(|next| (next, cache.states[next].accept));
@@ -159,13 +242,46 @@ impl LazyDfa {
         };
         cache.states[state].transitions.insert(c, result);
         cache.stats.transitions += 1;
+        self.republish_locked(&cache, state);
         result.map(|next| (next, cache.states[next].accept))
     }
 
+    /// The transition from DFA state `state` on character `c`, together
+    /// with the token accepted in the *target* state, served from the
+    /// caller's pinned snapshot when memoised (no locks), computed and
+    /// memoised through the writer otherwise (the pin is refreshed).
+    fn step_with_accept_pinned(
+        &self,
+        pin: &mut Arc<DfaSnapshot>,
+        hits: &mut usize,
+        state: usize,
+        c: char,
+    ) -> Option<(usize, Option<TokenId>)> {
+        if let Some(entry) = pin.states.get(state) {
+            if let Some(&cached) = entry.transitions.get(&c) {
+                *hits += 1;
+                return cached.map(|next| (next, pin.states[next].accept));
+            }
+        }
+        let stepped = self.materialise_step(state, c);
+        *pin = self.snapshot();
+        stepped
+    }
+
     /// The transition from DFA state `state` on character `c`, computing
-    /// and memoising it if necessary. `None` is the dead state.
+    /// and memoising it if necessary. `None` is the dead state. Pins a
+    /// fresh snapshot per call; scanners stepping many characters should
+    /// hold their own pin and use [`LazyDfa::longest_match_pinned`].
     pub fn step(&self, state: usize, c: char) -> Option<usize> {
-        self.step_with_accept(state, c).map(|(next, _)| next)
+        let mut pin = self.snapshot();
+        let mut hits = 0usize;
+        let result = self
+            .step_with_accept_pinned(&mut pin, &mut hits, state, c)
+            .map(|(next, _)| next);
+        if hits > 0 {
+            self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        result
     }
 
     /// The token accepted in `state`, if any.
@@ -174,13 +290,28 @@ impl LazyDfa {
     }
 
     /// The longest prefix of `input` starting at `start` that matches a
-    /// token, with the token id.
-    pub fn longest_match(&self, input: &[char], start: usize) -> Option<(usize, TokenId)> {
+    /// token, with the token id — served from the caller's pinned
+    /// snapshot. Every step against already-materialised entries is a
+    /// plain read of immutable data: no locks, no atomics (hits are
+    /// tallied locally and flushed once on return). A miss takes the
+    /// writer, republishes and refreshes `pin` in place, so the caller's
+    /// next token starts from the enriched snapshot.
+    pub fn longest_match_pinned(
+        &self,
+        pin: &mut Arc<DfaSnapshot>,
+        input: &[char],
+        start: usize,
+    ) -> Option<(usize, TokenId)> {
         let mut state = 0usize;
-        let mut best = self.accept(state).map(|t| (0usize, t));
+        let mut hits = 0usize;
+        let mut best = pin
+            .states
+            .first()
+            .and_then(|s| s.accept)
+            .map(|t| (0usize, t));
         let mut len = 0usize;
         while let Some(&c) = input.get(start + len) {
-            match self.step_with_accept(state, c) {
+            match self.step_with_accept_pinned(pin, &mut hits, state, c) {
                 Some((next, accept)) => {
                     state = next;
                     len += 1;
@@ -191,7 +322,18 @@ impl LazyDfa {
                 None => break,
             }
         }
+        if hits > 0 {
+            self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
         best
+    }
+
+    /// The longest prefix of `input` starting at `start` that matches a
+    /// token, with the token id. Pins a fresh snapshot per call; see
+    /// [`LazyDfa::longest_match_pinned`] for the hot-loop form.
+    pub fn longest_match(&self, input: &[char], start: usize) -> Option<(usize, TokenId)> {
+        let mut pin = self.snapshot();
+        self.longest_match_pinned(&mut pin, input, start)
     }
 }
 
@@ -262,6 +404,24 @@ mod tests {
         let dfa = sample_dfa();
         assert_eq!(dfa.longest_match(&chars("if("), 0), Some((2, 0)));
         assert_eq!(dfa.longest_match(&chars("ifx"), 0), Some((3, 1)));
+    }
+
+    #[test]
+    fn pinned_snapshots_serve_stale_reads_and_refresh_on_miss() {
+        let dfa = sample_dfa();
+        let mut pin = dfa.snapshot();
+        assert_eq!(pin.num_states(), 1);
+        // Someone else expands the DFA; the pin is now stale but still
+        // answers (its entries can only be missing, never wrong).
+        dfa.longest_match(&chars("4281"), 0);
+        assert!(dfa.num_states() > pin.num_states());
+        // A miss through the pin materialises, republishes and refreshes.
+        assert_eq!(dfa.longest_match_pinned(&mut pin, &chars("abc"), 0), Some((3, 1)));
+        assert_eq!(pin.num_states(), dfa.num_states());
+        // Steady state: the refreshed pin serves without further misses.
+        let misses = dfa.stats().cache_misses;
+        assert_eq!(dfa.longest_match_pinned(&mut pin, &chars("abc"), 0), Some((3, 1)));
+        assert_eq!(dfa.stats().cache_misses, misses);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod regex;
 pub mod scanner;
 
 pub use charclass::CharClass;
-pub use dfa::{DfaStats, LazyDfa};
+pub use dfa::{DfaSnapshot, DfaStats, LazyDfa};
 pub use nfa::{Nfa, TokenId};
 pub use regex::Regex;
 pub use scanner::{simple_scanner, ScanError, Scanner, Token, TokenDef};

@@ -169,8 +169,13 @@ impl Scanner {
     }
 
     /// Scans `input` into tokens, skipping layout. Takes `&self`: threads
-    /// may scan concurrently against one scanner.
+    /// may scan concurrently against one scanner. The call pins one
+    /// immutable DFA snapshot up front and serves every per-character step
+    /// from it — the hot loop is lock-free; only cache misses (first-time
+    /// subset-construction steps) take the DFA's writer and refresh the
+    /// pin.
     pub fn tokenize(&self, input: &str) -> Result<Vec<Token>, ScanError> {
+        let mut pin = self.dfa.snapshot();
         let chars: Vec<char> = input.chars().collect();
         // Byte offset of every char index (plus the end), for spans.
         let mut offsets = Vec::with_capacity(chars.len() + 1);
@@ -184,7 +189,7 @@ impl Scanner {
         let mut tokens = Vec::new();
         let mut pos = 0usize;
         while pos < chars.len() {
-            match self.dfa.longest_match(&chars, pos) {
+            match self.dfa.longest_match_pinned(&mut pin, &chars, pos) {
                 Some((len, token_id)) if len > 0 => {
                     let def = &self.definitions[token_id];
                     if !def.layout {

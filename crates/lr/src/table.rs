@@ -310,6 +310,15 @@ pub trait ParserTables {
         "parser tables".to_owned()
     }
 
+    /// The grammar version this table handle answers for. Serving layers
+    /// that keep several grammar epochs alive at once use this tag to
+    /// label every parse with the exact table state it ran against; a
+    /// fixed, single-version table reports the version of the grammar it
+    /// was built from.
+    fn grammar_version(&self) -> u64 {
+        0
+    }
+
     /// Convenience for cold paths and tests: the actions of one cell as a
     /// freshly allocated [`ActionCell`]. Hot loops should own a scratch
     /// cell and use [`ParserTables::actions_into`] instead.
@@ -354,6 +363,9 @@ pub struct ParseTable {
     kind: TableKind,
     start: StateId,
     num_states: usize,
+    /// Version of the grammar the table was built from (see
+    /// [`ParserTables::grammar_version`]).
+    grammar_version: u64,
     /// Row stride: number of symbols interned when the table was built.
     num_symbols: usize,
     /// `true` for terminal columns (ACTION), `false` for non-terminal
@@ -391,6 +403,7 @@ impl ParseTable {
             kind,
             start,
             num_states,
+            grammar_version: grammar.version(),
             num_symbols,
             terminal_mask,
             cells: vec![Cell::default(); num_states * num_symbols],
@@ -667,6 +680,10 @@ impl ParserTables for ParseTable {
 
     fn describe(&self) -> String {
         format!("{} table with {} states", self.kind, self.num_states())
+    }
+
+    fn grammar_version(&self) -> u64 {
+        self.grammar_version
     }
 }
 

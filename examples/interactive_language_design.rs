@@ -4,8 +4,10 @@
 //! sentences are being parsed continuously. Here the "syntax-directed
 //! editor" is an `IpgServer`: several worker threads parse against one
 //! shared, lazily generated item-set graph, and the language designer's
-//! `ADD-RULE`/`DELETE-RULE` edits are applied under load with the paper's
-//! invalidation semantics.
+//! `ADD-RULE`/`DELETE-RULE` edits are published as new grammar *epochs*
+//! with the paper's invalidation semantics — parses in flight finish on
+//! the epoch they pinned (edits never drain them), and retired epochs are
+//! reclaimed once their last reader leaves.
 //!
 //! Run with `cargo run --example interactive_language_design`.
 
@@ -38,8 +40,13 @@ fn step(server: &IpgServer, action: &str, sentences: &[(&str, bool)]) {
     }
     let (size, stats) = server.read(|s| (s.graph_size(), s.stats()));
     println!(
-        "   table: {size}; expansions so far: {} (+{} re-expansions), modifications: {}\n",
+        "   table: {size}; expansions so far: {} (+{} re-expansions), modifications: {}",
         stats.expansions, stats.re_expansions, stats.modifications
+    );
+    let epochs = server.stats().graph;
+    println!(
+        "   epochs: {} published, {} retired, {} reclaimed (edits landed without draining)\n",
+        epochs.epochs_published, epochs.epochs_retired, epochs.epochs_reclaimed
     );
 }
 
@@ -62,7 +69,7 @@ fn main() {
     server.add_rule_text(r#"EXPR ::= EXPR "+" EXPR"#).expect("rule ok");
     step(
         &server,
-        "add infix addition (MODIFY under the write lock)",
+        "add infix addition (MODIFY, published as a new epoch)",
         &[("print num + num + num", true), ("print +", false)],
     );
 
@@ -113,8 +120,9 @@ fn main() {
         ],
     );
 
-    // Garbage-collect item sets that the removed rule left behind
-    // (exclusive, like a modification).
+    // Garbage-collect item sets that the removed rule left behind: the
+    // collection runs on a private fork and is published like any other
+    // modification, so even GC never drains the workers.
     server.collect_garbage();
     println!("after garbage collection: {}", server.read(|s| s.graph_size()));
 
@@ -125,6 +133,13 @@ fn main() {
         stats.total_parses(),
         stats.per_thread.len(),
         stats.total_action_calls()
+    );
+    println!(
+        "epoch lifecycle: {} published, {} retired, {} reclaimed, {} still pinned",
+        stats.graph.epochs_published,
+        stats.graph.epochs_retired,
+        stats.graph.epochs_reclaimed,
+        stats.retired_epochs
     );
     println!("final generator statistics:\n{}", stats.graph);
 }

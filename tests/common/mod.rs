@@ -1,8 +1,46 @@
 //! Shared helpers for the integration tests: random-grammar and
-//! random-sentence strategies used by the property tests.
+//! random-sentence strategies used by the property tests, and the
+//! structural parse-result digest the serving-equivalence suites compare
+//! against their oracles.
 
+// Each test binary compiles its own copy of this module and uses only a
+// subset of the helpers.
+#![allow(dead_code)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use ipg_glr::GssParseResult;
 use ipg_grammar::Grammar;
 use proptest::prelude::*;
+
+/// A structural digest of one parse result: verdict, root count, bounded
+/// ambiguity count, and a hash of the first derivation tree. Forest
+/// construction is deterministic for a fixed grammar and input (reduce
+/// sets are sorted, frontier iteration is insertion-ordered), so equal
+/// grammars must produce equal digests regardless of which thread parsed
+/// or how the shared graph's states happened to be numbered. One
+/// definition, shared by every serving-equivalence suite, so the oracle
+/// contract cannot silently diverge between them.
+pub type Digest = (bool, usize, usize, u64);
+
+/// Digests a parse result (see [`Digest`]).
+pub fn digest(result: &GssParseResult) -> Digest {
+    let tree_hash = match result.forest.first_tree() {
+        Some(tree) => {
+            let mut hasher = DefaultHasher::new();
+            format!("{tree:?}").hash(&mut hasher);
+            hasher.finish()
+        }
+        None => 0,
+    };
+    (
+        result.accepted,
+        result.forest.roots().len(),
+        result.forest.tree_count(4),
+        tree_hash,
+    )
+}
 
 /// A compact, serialisable description of a random grammar, from which a
 /// real [`Grammar`] is built. Keeping the description simple makes proptest

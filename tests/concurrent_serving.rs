@@ -1,41 +1,22 @@
-//! Concurrent correctness of the shared-table serving layer: N threads
+//! Concurrent correctness of the epoch-versioned serving layer: N threads
 //! parse the Fig. 7 SDF workload against one `IpgServer` while a writer
 //! applies the §7 `ADD-RULE`/`DELETE-RULE` sequence. Every parse must
 //! agree — accept/reject verdict *and* forest digest — with a
 //! single-threaded oracle run against the grammar version the parse
-//! observed.
+//! observed; modifications publish new epochs instead of draining the
+//! in-flight parses, and retired epochs are reclaimed once their last
+//! reader leaves.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 
 use ipg::{IpgServer, IpgSession};
 use ipg_bench::SdfWorkload;
-use ipg_glr::GssParseResult;
+use ipg_grammar::fixtures;
 
-/// A structural digest of one parse result: verdict, root count, bounded
-/// ambiguity count, and a hash of the first derivation tree. Forest
-/// construction is deterministic for a fixed grammar and input (reduce
-/// sets are sorted, frontier iteration is insertion-ordered), so equal
-/// grammars must produce equal digests regardless of which thread parsed
-/// or how the shared graph's states happened to be numbered.
-fn digest(result: &GssParseResult) -> (bool, usize, usize, u64) {
-    let tree_hash = match result.forest.first_tree() {
-        Some(tree) => {
-            let mut hasher = DefaultHasher::new();
-            format!("{tree:?}").hash(&mut hasher);
-            hasher.finish()
-        }
-        None => 0,
-    };
-    (
-        result.accepted,
-        result.forest.roots().len(),
-        result.forest.tree_count(4),
-        tree_hash,
-    )
-}
+mod common;
+use common::digest;
 
 #[test]
 fn racing_parsers_and_modify_agree_with_the_oracle() {
@@ -175,6 +156,102 @@ fn racing_parsers_and_modify_agree_with_the_oracle() {
     );
     // Per-thread aggregation saw every parser thread.
     assert!(stats.per_thread.len() >= parser_threads);
+    // Every modification published (and retired) an epoch, and with all
+    // readers gone every retired epoch's item-set storage was reclaimed.
+    assert_eq!(stats.graph.epochs_published, stats.graph.modifications);
+    assert_eq!(stats.graph.epochs_reclaimed, stats.graph.epochs_retired);
+    assert_eq!(stats.retired_epochs, 0);
+}
+
+/// The non-draining guarantee: a deliberately slow parse that pinned its
+/// epoch *before* `ADD-RULE` completes on the old grammar version while
+/// the writer publishes — and a parse started after observes the new one.
+///
+/// Under the old draining design (`MODIFY` took the session write lock)
+/// this test would deadlock: the writer would wait for the pinned reader
+/// to finish, and the reader waits for the writer's publication signal.
+#[test]
+fn modify_does_not_drain_in_flight_parses() {
+    let server = IpgServer::new(IpgSession::new(fixtures::booleans()));
+    server.warm();
+    let base_version = server.grammar_version();
+    // `true true` is juxtaposition: rejected by the base grammar, accepted
+    // once `B ::= B B` is added.
+    let tokens = server.tokens("true true").unwrap();
+
+    let entered = Barrier::new(2);
+    let published = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            server.read(|session| {
+                entered.wait();
+                // Hold the pin until the writer has provably finished.
+                while !published.load(Ordering::Acquire) {
+                    thread::yield_now();
+                }
+                // The edit landed, yet this pinned read still serves the
+                // grammar version it started on, end to end.
+                assert_eq!(session.grammar().version(), base_version);
+                let result = session.parse(&tokens);
+                assert!(!result.accepted, "old epoch rejects juxtaposition");
+                result.grammar_version
+            })
+        });
+        entered.wait();
+        // The edit must complete while the reader is still in flight.
+        server.add_rule_text(r#"B ::= B B"#).unwrap();
+        published.store(true, Ordering::Release);
+        let pinned_version = reader.join().expect("reader thread panicked");
+        assert_eq!(pinned_version, base_version, "parse was version-tagged with its epoch");
+    });
+
+    // A parse started after the publication observes the new grammar.
+    let (version, result) = server.parse_versioned(&tokens);
+    assert!(version > base_version);
+    assert!(result.accepted, "new epoch accepts juxtaposition");
+    assert_eq!(result.grammar_version, version);
+}
+
+/// Deferred reclamation: a retired epoch's storage (the whole forked
+/// session, item sets included) stays alive exactly as long as a reader
+/// pins it, and is freed by the sweep that runs once the last reader
+/// leaves.
+#[test]
+fn retired_epochs_free_their_item_sets_after_last_reader_leaves() {
+    let server = IpgServer::new(IpgSession::new(fixtures::booleans()));
+    server.warm();
+    let weak = Arc::downgrade(&server.current_epoch());
+    assert!(weak.upgrade().is_some(), "current epoch is alive");
+
+    let pinned = Barrier::new(2);
+    let release = Barrier::new(2);
+    thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            server.read(|session| {
+                pinned.wait();
+                release.wait();
+                // Still serving: the pinned item sets must all be intact.
+                assert!(session.parse_sentence("true or false").unwrap().accepted);
+            });
+        });
+        pinned.wait();
+        server.add_rule_text(r#"B ::= "maybe""#).unwrap();
+        // Retired but pinned: the storage must survive...
+        let stats = server.stats();
+        assert_eq!(stats.retired_epochs, 1);
+        assert_eq!(stats.graph.epochs_retired, 1);
+        assert_eq!(stats.graph.epochs_reclaimed, 0);
+        assert!(weak.upgrade().is_some(), "pinned epoch survives retirement");
+        release.wait();
+        reader.join().expect("reader thread panicked");
+    });
+
+    // ...and the reader's release ran the deferred sweep: the retired
+    // epoch, with its item-set graph, is gone.
+    assert!(weak.upgrade().is_none(), "item-set storage was freed");
+    let stats = server.stats();
+    assert_eq!(stats.retired_epochs, 0);
+    assert_eq!(stats.graph.epochs_reclaimed, 1);
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Scanner snapshots under load: tokenizer threads race the lazy DFA's
+//! subset construction *and* lexical-syntax modifications, and every token
+//! stream must match a cold single-threaded scanner oracle for the epoch
+//! (lexical generation) it was produced against.
+//!
+//! This is the lexer half of the epoch scheme: `tokenize` pins one
+//! immutable DFA snapshot per call (the hot loop takes no locks), misses
+//! funnel into the DFA's writer and refresh the pin, and `modify_scanner`
+//! publishes a *new* scanner (with a fresh lazy DFA) as part of a new
+//! grammar epoch while in-flight tokenizations finish on the snapshot they
+//! pinned.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use ipg::{IpgServer, IpgSession};
+use ipg_grammar::fixtures;
+use ipg_lexer::{simple_scanner, ScanError, Scanner, Token, TokenDef};
+
+const INPUTS: &[&str] = &[
+    "if x1 then y := 42 else ( z )",
+    "begin 007 agent end -- trailing comment",
+    "iffy if 0 then then",
+    "  \t lots of ws \n 12345",
+];
+
+fn cold_tokens(make: impl Fn() -> Scanner, input: &str) -> Result<Vec<Token>, ScanError> {
+    // A fresh scanner per call: the single-threaded, cold-DFA oracle.
+    make().tokenize(input)
+}
+
+#[test]
+fn racing_tokenizers_agree_with_cold_oracles() {
+    let keywords = &["if", "then", "else", ":=", "(", ")", "begin", "end"];
+    let shared = simple_scanner(keywords);
+    let expected: Vec<_> = INPUTS
+        .iter()
+        .map(|input| cold_tokens(|| simple_scanner(keywords), input))
+        .collect();
+    thread::scope(|scope| {
+        for t in 0..4 {
+            let shared = &shared;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Each thread starts at a different input so the lazy DFA
+                // is expanded from several directions at once.
+                for round in 0..20 {
+                    for (i, input) in INPUTS.iter().enumerate().skip((t + round) % INPUTS.len()) {
+                        assert_eq!(&shared.tokenize(input), &expected[i], "input `{input}`");
+                    }
+                }
+            });
+        }
+    });
+    // All threads materialised one shared cache, and racing did not
+    // duplicate states: the set of DFA states reached is exactly the
+    // cold oracle's, whatever the interleaving.
+    let oracle = simple_scanner(keywords);
+    for input in INPUTS {
+        let _ = oracle.tokenize(input);
+    }
+    assert_eq!(shared.dfa_stats().states, oracle.dfa_stats().states);
+    assert!(shared.dfa_stats().cache_hits > 0);
+}
+
+#[test]
+fn lexical_modify_races_tokenizers_with_per_epoch_oracles() {
+    let keywords = &["true", "false", "or", "and"];
+    let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+        .with_scanner(simple_scanner(keywords));
+    let input = "true % false";
+    let stable_input = "true or false -- comment\n";
+
+    // Cold single-threaded oracles for the two lexical generations the
+    // writer cycles between. `Scanner::rebuilds` counts definition changes,
+    // so generation parity identifies the definition set: even = base,
+    // odd = base + `%`.
+    let base = simple_scanner(keywords);
+    let with_percent = {
+        let mut s = simple_scanner(keywords);
+        s.add_definition(TokenDef::keyword("%"));
+        s
+    };
+    let oracle_base = base.tokenize(input);
+    let oracle_percent = with_percent.tokenize(input);
+    assert!(oracle_base.is_err(), "`%` does not scan under the base syntax");
+    let oracle_stable_base = base.tokenize(stable_input).unwrap();
+    let oracle_stable_percent = with_percent.tokenize(stable_input).unwrap();
+    assert_eq!(oracle_stable_base, oracle_stable_percent);
+
+    let cycles = if cfg!(debug_assertions) { 8 } else { 20 };
+    let done = AtomicBool::new(false);
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let server = &server;
+            let done = &done;
+            let oracle_base = &oracle_base;
+            let oracle_percent = &oracle_percent;
+            let oracle_stable = &oracle_stable_base;
+            scope.spawn(move || loop {
+                let finished = done.load(Ordering::Acquire);
+                // Pin one epoch; everything observed below belongs to it.
+                let epoch = server.current_epoch();
+                let scanner = epoch.scanner().expect("server has a scanner");
+                let generation = scanner.rebuilds();
+                let expected = if generation.is_multiple_of(2) {
+                    oracle_base
+                } else {
+                    oracle_percent
+                };
+                assert_eq!(
+                    &scanner.tokenize(input),
+                    expected,
+                    "lexical generation {generation}"
+                );
+                // Inputs untouched by the edit scan identically everywhere.
+                assert_eq!(&scanner.tokenize(stable_input).unwrap(), oracle_stable);
+                drop(epoch);
+                if finished {
+                    break;
+                }
+            });
+        }
+        scope.spawn(|| {
+            for _ in 0..cycles {
+                server
+                    .modify_scanner(|s| s.add_definition(TokenDef::keyword("%")))
+                    .unwrap();
+                thread::yield_now();
+                server
+                    .modify_scanner(|s| {
+                        assert!(s.remove_definition("%"));
+                    })
+                    .unwrap();
+                thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    // Every lexical edit published an epoch sharing the table state...
+    let stats = server.stats();
+    assert_eq!(stats.graph.epochs_published, 2 * cycles);
+    assert_eq!(stats.graph.modifications, 0, "no grammar modification ran");
+    // ...and with all readers gone, every retired epoch (and its DFA
+    // snapshot) has been reclaimed.
+    assert_eq!(stats.retired_epochs, 0);
+    assert_eq!(stats.graph.epochs_reclaimed, 2 * cycles);
+}
+
+#[test]
+fn pinned_epoch_keeps_its_lexical_syntax_across_modify() {
+    let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+        .with_scanner(simple_scanner(&["true", "or"]));
+    let pinned = server.current_epoch();
+    server
+        .modify_scanner(|s| s.add_definition(TokenDef::keyword("%")))
+        .unwrap();
+    // The pinned epoch still scans with the old lexical syntax...
+    assert!(matches!(
+        pinned.scanner().unwrap().tokenize("true % true"),
+        Err(ScanError::UnexpectedCharacter { .. })
+    ));
+    // ...while the current epoch scans `%` (and then fails later, in the
+    // grammar, which has no such terminal).
+    assert!(matches!(
+        server.parse_text("true % true"),
+        Err(ipg::ServerError::Scan(ScanError::UnknownTerminal { .. }))
+    ));
+    // Both epochs share one table state: same grammar version.
+    assert_eq!(pinned.grammar_version(), server.grammar_version());
+}
