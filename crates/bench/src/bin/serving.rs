@@ -17,7 +17,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ipg::{IpgServer, IpgSession};
-use ipg_bench::SdfWorkload;
+use ipg_bench::{mean_max_us, SdfWorkload};
 
 /// One measured configuration.
 struct Row {
@@ -108,19 +108,24 @@ fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Ro
     let done = AtomicBool::new(false);
     let mut modifications = 0usize;
     let mut elapsed_s = 0.0f64;
+    let mut latencies: Vec<f64> = Vec::new();
     thread::scope(|scope| {
         let writer = scope.spawn(|| {
             // The §7 ADD-RULE/DELETE-RULE cycle, applied continuously while
-            // the parse batch drains.
-            let mut applied = 0usize;
+            // the parse batch drains — each publication timed individually,
+            // like `modify-concurrent` does.
+            let mut applied = Vec::new();
             while !done.load(Ordering::Relaxed) {
+                let edit = Instant::now();
                 server.modify(|s| {
                     s.add_rule(lhs, rhs.clone());
                 });
+                applied.push(edit.elapsed().as_secs_f64());
+                let edit = Instant::now();
                 server.modify(|s| {
                     s.remove_rule(lhs, &rhs).expect("rule was just added");
                 });
-                applied += 2;
+                applied.push(edit.elapsed().as_secs_f64());
                 thread::yield_now();
             }
             applied
@@ -129,8 +134,10 @@ fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Ro
         server.parse_many(&requests, threads);
         elapsed_s = start.elapsed().as_secs_f64();
         done.store(true, Ordering::Relaxed);
-        modifications = writer.join().expect("writer thread panicked");
+        latencies = writer.join().expect("writer thread panicked");
+        modifications = latencies.len();
     });
+    let (edit_mean_us, edit_max_us) = mean_max_us(&latencies);
     Row {
         scenario: "warm+modify",
         threads,
@@ -138,8 +145,8 @@ fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Ro
         tokens,
         elapsed_s,
         modifications,
-        edit_mean_us: 0.0,
-        edit_max_us: 0.0,
+        edit_mean_us,
+        edit_max_us,
     }
 }
 
@@ -197,8 +204,7 @@ fn run_modify_concurrent(workload: &SdfWorkload, threads: usize, edits: usize) -
         }
         elapsed_s = run_start.elapsed().as_secs_f64();
     });
-    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
-    let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+    let (edit_mean_us, edit_max_us) = mean_max_us(&latencies);
     Row {
         scenario: "modify-concurrent",
         threads,
@@ -206,8 +212,8 @@ fn run_modify_concurrent(workload: &SdfWorkload, threads: usize, edits: usize) -
         tokens: requests * slow_tokens.len(),
         elapsed_s,
         modifications: edits,
-        edit_mean_us: mean * 1e6,
-        edit_max_us: max * 1e6,
+        edit_mean_us,
+        edit_max_us,
     }
 }
 
@@ -234,16 +240,25 @@ fn main() {
         rows.push(run_modify_concurrent(&workload, threads, edits));
     }
 
-    println!("Shared-table serving throughput (Fig. 7 SDF workload, 200 requests/run)");
+    let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Shared-table serving throughput (Fig. 7 SDF workload, 200 requests/run, host: {cores} core(s))");
     println!("scenario          | threads |   req/s |  tokens/s | modifications");
     for row in &rows {
+        // Rows using more parse threads than the host has cores measure OS
+        // timeslicing on top of the serving layer (the ROADMAP caveat).
+        let scheduler_bound = row.threads > cores;
         println!(
-            "{:<17} | {:>7} | {:>7.0} | {:>9.0} | {:>5}",
+            "{:<17} | {:>7} | {:>7.0} | {:>9.0} | {:>5}{}",
             row.scenario,
             row.threads,
             row.requests_per_sec(),
             row.tokens_per_sec(),
             row.modifications,
+            if scheduler_bound {
+                "  [threads > cores: scheduler-bound]"
+            } else {
+                ""
+            },
         );
     }
 
@@ -286,10 +301,15 @@ fn main() {
             }
         );
     }
+    for row in rows.iter().filter(|r| r.scenario == "warm+modify") {
+        println!(
+            "  warm+modify, {} parse threads : mean {:>8.1} µs, max {:>8.1} µs over {} edits",
+            row.threads, row.edit_mean_us, row.edit_max_us, row.modifications
+        );
+    }
     println!(
-        "  (edits publish new epochs: latency tracks the table fork, not the longest parse)"
+        "  (edits publish new epochs: latency tracks the structurally shared fork, not the longest parse)"
     );
-    let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     if cores < thread_counts[thread_counts.len() - 1] {
         println!(
             "  note: host has {cores} core(s); with more parse threads than cores the \
@@ -298,14 +318,19 @@ fn main() {
         );
     }
 
-    // Hand-rolled JSON (the vendored serde stub has no serializer).
-    let mut json = String::from("{\n  \"benchmark\": \"serving\",\n  \"workload\": \"fig7-sdf\",\n  \"rows\": [\n");
+    // Hand-rolled JSON (the vendored serde stub has no serializer). The
+    // host's core count rides along in the header and per row, so trend
+    // consumers can tell real publication latency from scheduler noise.
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"serving\",\n  \"workload\": \"fig7-sdf\",\n  \"host_cores\": {cores},\n  \"rows\": [\n"
+    );
     for (i, row) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"scenario\": \"{}\", \"threads\": {}, \"requests\": {}, \"tokens\": {}, \
              \"elapsed_s\": {:.6}, \"tokens_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \
-             \"modifications\": {}, \"edit_mean_us\": {:.2}, \"edit_max_us\": {:.2}}}{}",
+             \"modifications\": {}, \"edit_mean_us\": {:.2}, \"edit_max_us\": {:.2}, \
+             \"scheduler_bound\": {}}}{}",
             row.scenario,
             row.threads,
             row.requests,
@@ -316,6 +341,7 @@ fn main() {
             row.modifications,
             row.edit_mean_us,
             row.edit_max_us,
+            row.threads > cores,
             if i + 1 < rows.len() { "," } else { "" },
         );
     }

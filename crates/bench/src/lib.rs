@@ -19,4 +19,13 @@ pub mod fig7;
 pub mod workload;
 
 pub use fig7::{measure, measure_all, render, Fig7Row, GeneratorKind};
-pub use workload::{PreLexedInput, SdfWorkload};
+pub use workload::{synthetic_workload, PreLexedInput, SdfWorkload, SyntheticWorkload};
+
+/// Mean and max of a set of latencies in seconds, reported in
+/// microseconds — the aggregation every latency-measuring bench bin
+/// (`serving`, `publish-scaling`) prints and emits into its JSON.
+pub fn mean_max_us(latencies: &[f64]) -> (f64, f64) {
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let max = latencies.iter().cloned().fold(0.0f64, f64::max);
+    (mean * 1e6, max * 1e6)
+}

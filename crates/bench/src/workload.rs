@@ -79,6 +79,69 @@ impl SdfWorkload {
     }
 }
 
+/// A synthetic grammar of a chosen size, used by the `publish-scaling`
+/// bench to measure how edit-publication latency scales with grammar size.
+#[derive(Clone, Debug)]
+pub struct SyntheticWorkload {
+    /// The generated grammar (`~productions` active rules).
+    pub grammar: Grammar,
+    /// The edit rule `(lhs, rhs)` cycled by `ADD-RULE`/`DELETE-RULE`. Its
+    /// left-hand side occurs in exactly one item set's transitions, so the
+    /// §6 invalidation impact is **constant** across sizes — what varies
+    /// is only how much surrounding table state an edit has to fork.
+    pub edit: (SymbolId, Vec<SymbolId>),
+    /// A short sentence of the language, for sanity checks.
+    pub sentence: Vec<SymbolId>,
+}
+
+/// Builds a chain grammar with roughly `productions` active productions:
+///
+/// ```text
+/// START ::= N0          N_i ::= a_i N_{i+1} | z_i      N_last ::= z_last
+/// N_mid ::= mark E      E ::= e1            (edit rule: E ::= e2)
+/// ```
+///
+/// Every production uses its own terminals, so states, symbols and rules
+/// all grow linearly with `productions` while closures stay constant-size
+/// — the shape that isolates *publication* cost from expansion cost. The
+/// edit-rule slot (`E ::= e2`) is pre-created (added and removed once), so
+/// steady-state edit cycles flip the activation bit of an existing slot,
+/// exactly like the §7 SDF measurement after its first iteration.
+pub fn synthetic_workload(productions: usize) -> SyntheticWorkload {
+    let depth = productions.saturating_sub(4).max(2) / 2;
+    let mut g = Grammar::new();
+    let nts: Vec<SymbolId> = (0..=depth).map(|i| g.nonterminal(&format!("N{i}"))).collect();
+    for i in 0..depth {
+        let a = g.terminal(&format!("a{i}"));
+        let z = g.terminal(&format!("z{i}"));
+        g.add_rule(nts[i], vec![a, nts[i + 1]]);
+        g.add_rule(nts[i], vec![z]);
+    }
+    let z_last = g.terminal("zlast");
+    g.add_rule(nts[depth], vec![z_last]);
+    // The edited non-terminal hangs off the middle of the chain behind a
+    // dedicated marker terminal: exactly one item set ever has a
+    // transition on `E`.
+    let e = g.nonterminal("E");
+    let mark = g.terminal("mark");
+    g.add_rule(nts[depth / 2], vec![mark, e]);
+    let e1 = g.terminal("e1");
+    g.add_rule(e, vec![e1]);
+    g.add_start_rule(nts[0]);
+    // Pre-intern the edit rule's symbols and pre-create its slot.
+    let e2 = g.terminal("e2");
+    let edit = (e, vec![e2]);
+    let slot = g.add_rule(e, vec![e2]);
+    g.remove_rule(slot).expect("edit slot was just added");
+    g.validate().expect("synthetic grammar is well-formed");
+    let sentence = vec![g.symbol("z0").expect("z0 exists")];
+    SyntheticWorkload {
+        grammar: g,
+        edit,
+        sentence,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +159,41 @@ mod tests {
         assert!(w.grammar.is_terminal(rhs[0]));
         assert!(w.grammar.is_nonterminal(rhs[1]));
         assert!(w.grammar.is_terminal(rhs[2]));
+    }
+
+    #[test]
+    fn synthetic_workload_scales_and_parses() {
+        let small = synthetic_workload(100);
+        let big = synthetic_workload(1000);
+        assert!(
+            (95..=105).contains(&small.grammar.num_active_rules()),
+            "got {}",
+            small.grammar.num_active_rules()
+        );
+        assert!((995..=1005).contains(&big.grammar.num_active_rules()));
+        // The edit slot exists but is inactive.
+        let (lhs, rhs) = &small.edit;
+        let slot = small.grammar.find_rule(*lhs, rhs).expect("slot pre-created");
+        assert!(!small.grammar.is_active(slot));
+        // The sentence is in the language, and the edit is observable: a
+        // sentence reaching the chain's middle and using `mark e2` is
+        // accepted exactly when the edit rule is active.
+        let mut session = ipg::IpgSession::new(small.grammar.clone());
+        assert!(session.parse(&small.sentence).accepted);
+        let g = session.grammar();
+        let depth_mid = (0..)
+            .take_while(|i| g.symbol(&format!("a{i}")).is_some())
+            .count()
+            / 2;
+        let mut edit_sentence: Vec<_> = (0..depth_mid)
+            .map(|i| g.symbol(&format!("a{i}")).unwrap())
+            .collect();
+        edit_sentence.push(g.symbol("mark").unwrap());
+        edit_sentence.push(g.symbol("e2").unwrap());
+        assert!(!session.parse(&edit_sentence).accepted);
+        session.add_rule(*lhs, rhs.clone());
+        assert!(session.grammar().is_active(slot));
+        assert!(session.parse(&edit_sentence).accepted);
+        assert!(session.parse(&small.sentence).accepted);
     }
 }

@@ -21,25 +21,45 @@
 //!
 //! ## Concurrency design
 //!
-//! Node storage is **sharded**: node `id` lives in shard `id % 16`, and
-//! each shard is guarded by its own `RwLock`. The steady-state read path
-//! ([`ItemSetGraph::try_read_actions`] via the lazy tables) takes a single
-//! shard *read* lock, reads the published dense [`ActionRow`] plus the
-//! node's reduce set, and returns — readers of complete rows never block
-//! each other, and queries for different states mostly touch different
-//! lock words.
+//! Node storage is a **persistent chunk store**: node `id` lives in slot
+//! `id % 64` of chunk `id / 64`, and each chunk is an immutable-once-shared
+//! `Arc<NodeChunk>`. The steady-state read path (the lazy tables) never
+//! touches the store at all — it reads the epoch-published
+//! [`TableSnapshot`] — while the accessor methods (`try_node`, `size`, …)
+//! take one store-wide `RwLock` read.
 //!
 //! All structural mutation (EXPAND / RE-EXPAND / row publication / MODIFY /
 //! GC) is funnelled through one internal `Mutex` (the *writer*), which
 //! additionally owns the kernel index, the work counters and the reusable
-//! scratch buffers. A writer takes the inner mutex first and then at most
-//! one shard lock at a time, so writers serialize among themselves, block
-//! readers only for the shard they are touching, and cannot deadlock.
+//! scratch buffers; node writes go through the store's write lock and
+//! **copy a chunk on write** only when it is still shared with another
+//! fork. Lock order is always inner mutex → store lock → published lock,
+//! one at a time, so writers serialize among themselves and cannot
+//! deadlock.
+//!
+//! ## Forking (epoch publication)
+//!
+//! `Clone` forks the graph *structurally shared*: it clones O(#chunks)
+//! `Arc`s (the chunk pointers, the sharded kernel index, the published
+//! snapshot), not the nodes. The §6 invalidation pass of a `MODIFY`
+//! running on the fork then copies-on-write exactly the chunks that hold
+//! invalidated states — publication cost is O(invalidated states) plus
+//! O(#chunks) pointer bumps, independent of how large the graph has
+//! grown. Retired epochs keep the old chunk `Arc`s alive until their last
+//! reader leaves, at which point only the chunks *not* shared with any
+//! live epoch are freed (chunk-granular reclamation).
+//!
+//! To find the states to invalidate without scanning every node, each
+//! chunk carries a conservative summary of the symbols on which its live
+//! complete nodes have transitions; `MODIFY` consults the summaries and
+//! descends only into chunks that may contain the edited left-hand side.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
 use ipg_grammar::{Grammar, GrammarError, RuleId, SymbolId};
 use ipg_lr::itemset::{closure, completed_items, partition_by_next_symbol, start_kernel, ItemSet};
@@ -156,6 +176,10 @@ pub(crate) struct PublishedState {
     pub(crate) accepting: bool,
 }
 
+/// One chunk of the published snapshot: the entries of [`CHUNK_SIZE`]
+/// consecutive state ids, always padded to full length.
+type SnapChunk = Vec<Option<Arc<PublishedState>>>;
+
 /// An immutable snapshot of every published state, indexed by state id.
 ///
 /// This is the *epoch* half of the read/expand split: the writer publishes
@@ -171,15 +195,21 @@ pub(crate) struct PublishedState {
 /// (whose refcounts pin their successors), so it can never be directed
 /// into a collected state. Concurrent lazy expansion only ever *adds*
 /// entries, which a pinned reader picks up by refreshing on a miss.
+///
+/// Entries live in `Arc`'d chunks mirroring the node store, so successor
+/// epochs share the snapshot chunks of untouched states and `MODIFY`
+/// retracts invalidated entries by copying only the affected chunks.
 #[derive(Debug, Default)]
 pub(crate) struct TableSnapshot {
-    states: Vec<Option<Arc<PublishedState>>>,
+    chunks: Vec<Arc<SnapChunk>>,
 }
 
 impl TableSnapshot {
     #[inline]
     pub(crate) fn get(&self, id: StateId) -> Option<&PublishedState> {
-        self.states.get(id.index()).and_then(|e| e.as_deref())
+        self.chunks
+            .get(id.index() >> CHUNK_BITS)
+            .and_then(|chunk| chunk[id.index() & (CHUNK_SIZE - 1)].as_deref())
     }
 }
 
@@ -233,30 +263,164 @@ impl ItemSetNode {
     }
 }
 
-/// Number of storage shards. A small power of two: enough to spread the
-/// read-lock words of concurrently queried states across cache lines,
-/// small enough that full-graph writer scans stay cheap.
-const NUM_SHARDS: usize = 16;
+/// log2 of the nodes-per-chunk count.
+const CHUNK_BITS: usize = 9;
+/// Nodes per storage chunk. The trade: a fork (and a retired epoch's
+/// drop) costs one `Arc` refcount touch per chunk, while an invalidated
+/// state costs one chunk copy-on-write — item-set nodes are small (a few
+/// one-node B-trees), so copying a 512-node chunk is ~1µs. 512 keeps the
+/// per-edit `Arc`-traffic term flat far past the 5000-production mark the
+/// `publish-scaling` bench tracks, while a `MODIFY` still copies only the
+/// chunks its invalidations land in.
+pub const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
 
 #[inline]
-fn shard_of(id: StateId) -> usize {
-    (id.0 as usize) % NUM_SHARDS
+fn chunk_of(id: StateId) -> usize {
+    (id.0 as usize) >> CHUNK_BITS
 }
 
 #[inline]
 fn slot_of(id: StateId) -> usize {
-    (id.0 as usize) / NUM_SHARDS
+    (id.0 as usize) & (CHUNK_SIZE - 1)
+}
+
+/// One `Arc`-shared storage chunk: up to [`CHUNK_SIZE`] consecutive nodes
+/// plus a conservative summary of their outgoing transition symbols.
+#[derive(Clone, Debug, Default)]
+struct NodeChunk {
+    nodes: Vec<ItemSetNode>,
+    /// Sorted superset of the symbol ids on which some live *complete*
+    /// node of this chunk has a transition. `MODIFY` consults it to skip
+    /// chunks that cannot contain invalidation candidates. Conservative:
+    /// merged on expansion, rebuilt exactly whenever the chunk is copied
+    /// on write, so stale entries only cost a false-positive scan of one
+    /// chunk, never a missed invalidation.
+    out_symbols: Vec<u32>,
+}
+
+impl NodeChunk {
+    fn rebuild_summary(&mut self) {
+        self.out_symbols.clear();
+        for node in &self.nodes {
+            if node.alive && node.kind == ItemSetKind::Complete {
+                self.out_symbols
+                    .extend(node.transitions.keys().map(|s| s.index() as u32));
+            }
+        }
+        self.out_symbols.sort_unstable();
+        self.out_symbols.dedup();
+    }
+
+    fn summary_may_contain(&self, symbol: SymbolId) -> bool {
+        self.out_symbols
+            .binary_search(&(symbol.index() as u32))
+            .is_ok()
+    }
+
+    fn merge_summary(&mut self, symbols: impl Iterator<Item = SymbolId>) {
+        for s in symbols {
+            let v = s.index() as u32;
+            if let Err(pos) = self.out_symbols.binary_search(&v) {
+                self.out_symbols.insert(pos, v);
+            }
+        }
+    }
+}
+
+/// A strong, opaque handle to one storage chunk. Exposed so tests and
+/// tools can observe **chunk-granular reclamation**: a chunk shared
+/// between epochs stays alive as long as any live epoch uses it, while a
+/// chunk owned only by a retired epoch is freed with that epoch.
+#[derive(Clone, Debug)]
+pub struct ChunkHandle(Arc<NodeChunk>);
+
+impl ChunkHandle {
+    /// A weak observer of this chunk's lifetime.
+    pub fn observer(&self) -> ChunkObserver {
+        ChunkObserver(Arc::downgrade(&self.0))
+    }
+
+    /// `true` when both handles point at the same chunk storage.
+    pub fn ptr_eq(&self, other: &ChunkHandle) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A weak observer of one storage chunk (see [`ChunkHandle`]).
+#[derive(Clone, Debug)]
+pub struct ChunkObserver(Weak<NodeChunk>);
+
+impl ChunkObserver {
+    /// `true` while some graph (epoch) still holds the chunk.
+    pub fn is_alive(&self) -> bool {
+        self.0.strong_count() > 0
+    }
+}
+
+/// Number of shards of the kernel index. The index maps kernels to state
+/// ids; sharding bounds the copy-on-write cost of the first post-fork
+/// interning to `O(#states / 64)` instead of the whole index.
+const KERNEL_SHARDS: usize = 64;
+
+/// The kernel → state index, sharded into `Arc`'d hash maps so a fork
+/// clones 64 pointers and writes copy only the shard they touch.
+#[derive(Clone, Debug)]
+struct KernelIndex {
+    shards: Vec<Arc<HashMap<ItemSet, StateId>>>,
+}
+
+impl KernelIndex {
+    fn new() -> Self {
+        KernelIndex {
+            shards: (0..KERNEL_SHARDS)
+                .map(|_| Arc::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Deterministic shard choice (stable across forks, which share the
+    /// shard vector).
+    fn shard_of(kernel: &ItemSet) -> usize {
+        let mut hasher = DefaultHasher::new();
+        kernel.hash(&mut hasher);
+        (hasher.finish() as usize) % KERNEL_SHARDS
+    }
+
+    fn get(&self, kernel: &ItemSet) -> Option<StateId> {
+        self.shards[Self::shard_of(kernel)].get(kernel).copied()
+    }
+
+    fn insert(&mut self, kernel: ItemSet, id: StateId) {
+        let shard = Self::shard_of(&kernel);
+        Arc::make_mut(&mut self.shards[shard]).insert(kernel, id);
+    }
+
+    /// Removes the entry for `kernel` if it still maps to `id` (a newer
+    /// live node may have reused the kernel). Avoids copying the shard
+    /// when there is nothing to remove.
+    fn remove_if(&mut self, kernel: &ItemSet, id: StateId) {
+        let shard = Self::shard_of(kernel);
+        if self.shards[shard].get(kernel) == Some(&id) {
+            Arc::make_mut(&mut self.shards[shard]).remove(kernel);
+        }
+    }
+
+    fn unshare(&mut self) {
+        for shard in &mut self.shards {
+            *shard = Arc::new((**shard).clone());
+        }
+    }
 }
 
 /// Writer-owned state: everything only structural mutation touches.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct GraphInner {
     /// Total number of nodes ever created (dense id space).
     len: usize,
     /// Kernel → node index for all *live* nodes; used by `EXPAND` to share
     /// item sets ("if a set of items with kernel kernel' does not yet
     /// exist, it is generated").
-    kernel_index: HashMap<ItemSet, StateId>,
+    kernel_index: KernelIndex,
     /// Work counters (query counters live outside, see `ItemSetGraph`).
     stats: GenStats,
     grammar_version: u64,
@@ -267,6 +431,25 @@ struct GraphInner {
     scratch_pending: Vec<StateId>,
     /// Scratch work-stack for iterative `DECR-REFCOUNT`.
     gc_stack: Vec<StateId>,
+    /// Scratch for `MODIFY`'s invalidated-state list.
+    scratch_invalidated: Vec<StateId>,
+}
+
+impl Clone for GraphInner {
+    /// Fork-time clone: shares the kernel-index shards (`Arc` bumps) and
+    /// starts the fork with fresh, empty scratch buffers.
+    fn clone(&self) -> Self {
+        GraphInner {
+            len: self.len,
+            kernel_index: self.kernel_index.clone(),
+            stats: self.stats,
+            grammar_version: self.grammar_version,
+            scratch_targets: Vec::new(),
+            scratch_pending: Vec::new(),
+            gc_stack: Vec::new(),
+            scratch_invalidated: Vec::new(),
+        }
+    }
 }
 
 /// The lazily generated, concurrently readable graph of item sets.
@@ -279,12 +462,17 @@ struct GraphInner {
 /// `mark_and_sweep`) keep `&mut self`: they change the *language* the graph
 /// answers for, so callers must hold exclusive access. The `IpgServer`
 /// satisfies this without draining readers by *forking*: `Clone` produces
-/// a deep, consistent copy (taken under the internal writer mutex),
-/// `MODIFY` runs on the private fork, and the fork is published as a new
-/// grammar epoch while parses in flight keep reading the original.
+/// a **structurally shared** copy — O(#chunks) `Arc` bumps taken under the
+/// internal writer mutex, no node is copied — `MODIFY` runs on the private
+/// fork and copies-on-write only the chunks holding invalidated states,
+/// and the fork is published as a new grammar epoch while parses in
+/// flight keep reading the original. Publication is therefore
+/// O(invalidated states), independent of graph size; a retired epoch's
+/// chunks are freed individually once no live epoch shares them.
 #[derive(Debug)]
 pub struct ItemSetGraph {
-    shards: Vec<RwLock<Vec<ItemSetNode>>>,
+    /// The persistent chunk store (see [`NodeChunk`]).
+    store: RwLock<Vec<Arc<NodeChunk>>>,
     inner: Mutex<GraphInner>,
     /// The current published snapshot (see [`TableSnapshot`]). Readers
     /// clone the `Arc` once per handle refresh, not per query.
@@ -294,23 +482,26 @@ pub struct ItemSetGraph {
     action_calls: AtomicUsize,
     /// `GOTO` query count (see `action_calls`).
     goto_calls: AtomicUsize,
+    /// Storage chunks copied on write because they were shared with
+    /// another fork — the observable cost of structural sharing.
+    chunks_cowed: AtomicUsize,
     start: StateId,
     gc: GcPolicy,
 }
 
 impl Clone for ItemSetGraph {
+    /// Forks the graph by cloning chunk pointers: O(#chunks), however many
+    /// states the graph holds. Taken under the writer mutex, so the fork
+    /// is a consistent snapshot.
     fn clone(&self) -> Self {
         let inner = self.inner.lock().unwrap();
         ItemSetGraph {
-            shards: self
-                .shards
-                .iter()
-                .map(|s| RwLock::new(s.read().unwrap().clone()))
-                .collect(),
+            store: RwLock::new(self.store.read().unwrap().clone()),
             inner: Mutex::new(inner.clone()),
             published: RwLock::new(self.published.read().unwrap().clone()),
             action_calls: AtomicUsize::new(self.action_calls.load(Ordering::Relaxed)),
             goto_calls: AtomicUsize::new(self.goto_calls.load(Ordering::Relaxed)),
+            chunks_cowed: AtomicUsize::new(self.chunks_cowed.load(Ordering::Relaxed)),
             start: self.start,
             gc: self.gc,
         }
@@ -328,19 +519,21 @@ impl ItemSetGraph {
     /// policy.
     pub fn with_policy(grammar: &Grammar, gc: GcPolicy) -> Self {
         let graph = ItemSetGraph {
-            shards: (0..NUM_SHARDS).map(|_| RwLock::new(Vec::new())).collect(),
+            store: RwLock::new(Vec::new()),
             published: RwLock::new(Arc::new(TableSnapshot::default())),
             inner: Mutex::new(GraphInner {
                 len: 0,
-                kernel_index: HashMap::new(),
+                kernel_index: KernelIndex::new(),
                 stats: GenStats::default(),
                 grammar_version: grammar.version(),
                 scratch_targets: Vec::new(),
                 scratch_pending: Vec::new(),
                 gc_stack: Vec::new(),
+                scratch_invalidated: Vec::new(),
             }),
             action_calls: AtomicUsize::new(0),
             goto_calls: AtomicUsize::new(0),
+            chunks_cowed: AtomicUsize::new(0),
             start: StateId(0),
             gc,
         };
@@ -373,6 +566,7 @@ impl ItemSetGraph {
         let mut stats = self.inner.lock().unwrap().stats;
         stats.action_calls += self.action_calls.load(Ordering::Relaxed);
         stats.goto_calls += self.goto_calls.load(Ordering::Relaxed);
+        stats.chunks_cowed += self.chunks_cowed.load(Ordering::Relaxed);
         stats
     }
 
@@ -381,8 +575,11 @@ impl ItemSetGraph {
     /// accessor server-side callers should use: a stale [`StateId`] must
     /// not be able to crash (or poison) a graph shared by many parsers.
     pub fn try_node(&self, id: StateId) -> Result<ItemSetNode, GraphError> {
-        let shard = self.shards[shard_of(id)].read().unwrap();
-        match shard.get(slot_of(id)) {
+        let store = self.store.read().unwrap();
+        match store
+            .get(chunk_of(id))
+            .and_then(|chunk| chunk.nodes.get(slot_of(id)))
+        {
             None => Err(GraphError::UnknownState(id)),
             Some(node) if !node.alive => Err(GraphError::CollectedState(id)),
             Some(node) => Ok(node.clone()),
@@ -392,8 +589,11 @@ impl ItemSetGraph {
     /// The life-cycle stage of a node, without cloning it — the cheap
     /// accessor for callers (and tests) that only need the kind.
     pub fn node_kind(&self, id: StateId) -> Result<ItemSetKind, GraphError> {
-        let shard = self.shards[shard_of(id)].read().unwrap();
-        match shard.get(slot_of(id)) {
+        let store = self.store.read().unwrap();
+        match store
+            .get(chunk_of(id))
+            .and_then(|chunk| chunk.nodes.get(slot_of(id)))
+        {
             None => Err(GraphError::UnknownState(id)),
             Some(node) if !node.alive => Err(GraphError::CollectedState(id)),
             Some(node) => Ok(node.kind),
@@ -407,74 +607,99 @@ impl ItemSetGraph {
     /// Panics with a descriptive message when `id` is out of range; use
     /// [`ItemSetGraph::try_node`] when the id may be stale.
     pub fn node(&self, id: StateId) -> ItemSetNode {
-        let shard = self.shards[shard_of(id)].read().unwrap();
-        shard
-            .get(slot_of(id))
+        let store = self.store.read().unwrap();
+        store
+            .get(chunk_of(id))
+            .and_then(|chunk| chunk.nodes.get(slot_of(id)))
             .unwrap_or_else(|| panic!("{}", GraphError::UnknownState(id)))
             .clone()
     }
 
     /// A point-in-time snapshot of the live nodes, in id order.
     pub fn live_nodes(&self) -> impl Iterator<Item = ItemSetNode> {
-        let mut nodes: Vec<ItemSetNode> = Vec::new();
-        for shard in &self.shards {
-            let shard = shard.read().unwrap();
-            nodes.extend(shard.iter().filter(|n| n.alive).cloned());
-        }
-        nodes.sort_by_key(|n| n.id.index());
+        let store = self.store.read().unwrap();
+        let nodes: Vec<ItemSetNode> = store
+            .iter()
+            .flat_map(|chunk| chunk.nodes.iter())
+            .filter(|n| n.alive)
+            .cloned()
+            .collect();
         nodes.into_iter()
     }
 
     /// Number of live nodes.
     pub fn num_live(&self) -> usize {
-        self.shards
+        let store = self.store.read().unwrap();
+        store
             .iter()
-            .map(|s| s.read().unwrap().iter().filter(|n| n.alive).count())
+            .map(|chunk| chunk.nodes.iter().filter(|n| n.alive).count())
             .sum()
     }
 
     /// Size snapshot of the graph.
     pub fn size(&self) -> GraphSize {
         let mut size = GraphSize::default();
-        for shard in &self.shards {
-            let shard = shard.read().unwrap();
-            for node in shard.iter().filter(|n| n.alive) {
-                size.total += 1;
-                match node.kind {
-                    ItemSetKind::Initial => size.initial += 1,
-                    ItemSetKind::Dirty => size.dirty += 1,
-                    ItemSetKind::Complete => size.complete += 1,
-                }
-                if node.kind != ItemSetKind::Initial {
-                    size.transitions += node.transitions.len();
-                }
+        let store = self.store.read().unwrap();
+        for node in store
+            .iter()
+            .flat_map(|chunk| chunk.nodes.iter())
+            .filter(|n| n.alive)
+        {
+            size.total += 1;
+            match node.kind {
+                ItemSetKind::Initial => size.initial += 1,
+                ItemSetKind::Dirty => size.dirty += 1,
+                ItemSetKind::Complete => size.complete += 1,
+            }
+            if node.kind != ItemSetKind::Initial {
+                size.transitions += node.transitions.len();
             }
         }
         size
     }
 
-    /// Runs `f` on a shared borrow of the node.
-    fn with_node<R>(&self, id: StateId, f: impl FnOnce(&ItemSetNode) -> R) -> R {
-        let shard = self.shards[shard_of(id)].read().unwrap();
-        f(&shard[slot_of(id)])
+    /// An exclusive borrow of chunk `c`, copying it on write when it is
+    /// still shared with another fork (the copy rebuilds the chunk's
+    /// transition-symbol summary exactly).
+    fn chunk_mut<'a>(&self, store: &'a mut [Arc<NodeChunk>], c: usize) -> &'a mut NodeChunk {
+        let arc = &mut store[c];
+        if Arc::get_mut(arc).is_none() {
+            let mut copy = (**arc).clone();
+            copy.rebuild_summary();
+            *arc = Arc::new(copy);
+            self.chunks_cowed.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::get_mut(arc).expect("chunk was just made unique")
     }
 
-    /// Runs `f` on an exclusive borrow of the node.
+    /// Runs `f` on a shared borrow of the node.
+    fn with_node<R>(&self, id: StateId, f: impl FnOnce(&ItemSetNode) -> R) -> R {
+        let store = self.store.read().unwrap();
+        f(&store[chunk_of(id)].nodes[slot_of(id)])
+    }
+
+    /// Runs `f` on an exclusive borrow of the node (copy-on-write at chunk
+    /// granularity).
     fn with_node_mut<R>(&self, id: StateId, f: impl FnOnce(&mut ItemSetNode) -> R) -> R {
-        let mut shard = self.shards[shard_of(id)].write().unwrap();
-        f(&mut shard[slot_of(id)])
+        let mut store = self.store.write().unwrap();
+        let chunk = self.chunk_mut(&mut store, chunk_of(id));
+        f(&mut chunk.nodes[slot_of(id)])
     }
 
     fn intern_kernel_locked(&self, inner: &mut GraphInner, kernel: ItemSet) -> StateId {
-        if let Some(&id) = inner.kernel_index.get(&kernel) {
+        if let Some(id) = inner.kernel_index.get(&kernel) {
             return id;
         }
         let id = StateId::from_index(inner.len);
         inner.len += 1;
         inner.kernel_index.insert(kernel.clone(), id);
-        let mut shard = self.shards[shard_of(id)].write().unwrap();
-        debug_assert_eq!(shard.len(), slot_of(id));
-        shard.push(ItemSetNode::new(id, kernel));
+        let mut store = self.store.write().unwrap();
+        if chunk_of(id) == store.len() {
+            store.push(Arc::new(NodeChunk::default()));
+        }
+        let chunk = self.chunk_mut(&mut store, chunk_of(id));
+        debug_assert_eq!(chunk.nodes.len(), slot_of(id));
+        chunk.nodes.push(ItemSetNode::new(id, kernel));
         inner.stats.nodes_created += 1;
         id
     }
@@ -634,17 +859,21 @@ impl ItemSetGraph {
         reductions.sort();
         reductions.dedup();
 
-        self.with_node_mut(id, move |node| {
-            node.closure = closed;
-            node.transitions = transitions;
-            node.reductions = reductions;
-            node.accepting = accepting;
-            node.kind = ItemSetKind::Complete;
-            // The dense row shadows the (old) transitions; rebuild on
-            // demand. Readers observe the kind change and the dropped row
-            // atomically: both happen under this shard write lock.
-            node.row = None;
-        });
+        let mut store = self.store.write().unwrap();
+        let chunk = self.chunk_mut(&mut store, chunk_of(id));
+        // Keep the chunk's MODIFY summary a superset of its live complete
+        // nodes' transition symbols.
+        chunk.merge_summary(transitions.keys().copied());
+        let node = &mut chunk.nodes[slot_of(id)];
+        node.closure = closed;
+        node.transitions = transitions;
+        node.reductions = reductions;
+        node.accepting = accepting;
+        node.kind = ItemSetKind::Complete;
+        // The dense row shadows the (old) transitions; rebuild on demand.
+        // Readers observe the kind change and the dropped row atomically:
+        // both happen under the store's write lock.
+        node.row = None;
     }
 
     /// Builds the dense [`ActionRow`] of a complete node if it is missing.
@@ -694,17 +923,17 @@ impl ItemSetGraph {
     }
 
     /// Copies the node's row/reductions/accept flag into a fresh published
-    /// snapshot (copy-on-write over the shared entry `Arc`s). A no-op when
-    /// the entry is already present: an existing entry is always current,
-    /// because every path that drops or replaces a row first retracts the
-    /// entry (MODIFY/sweep rebuild the snapshot, GC unpublishes).
+    /// snapshot (copy-on-write over the shared snapshot chunks). A no-op
+    /// when the entry is already present: an existing entry is always
+    /// current, because every path that drops or replaces a row first
+    /// retracts the entry (MODIFY/sweep retract or rebuild, GC
+    /// unpublishes).
     ///
-    /// The per-publication COW clone makes cold generation quadratic in
-    /// state count *in pointer copies*, which measures as noise next to
-    /// the closure computation each new state also pays (the cold serving
-    /// scenario runs at warm-throughput parity); batch paths that build
-    /// many rows at once ([`ItemSetGraph::publish_all_rows`]) swap one
-    /// rebuilt snapshot instead.
+    /// A publication copies one snapshot chunk plus the chunk-pointer
+    /// vector — O(#chunks) pointer copies, which measures as noise next to
+    /// the closure computation each new state also pays; batch paths that
+    /// build many rows at once ([`ItemSetGraph::publish_all_rows`]) swap
+    /// one rebuilt snapshot instead.
     fn publish_entry(&self, id: StateId) {
         {
             let published = self.published.read().unwrap();
@@ -723,51 +952,75 @@ impl ItemSetGraph {
         });
         let Some(entry) = entry else { return };
         let mut published = self.published.write().unwrap();
-        let mut states = published.states.clone();
-        if states.len() <= id.index() {
-            states.resize(id.index() + 1, None);
+        let mut chunks = published.chunks.clone();
+        while chunks.len() <= chunk_of(id) {
+            chunks.push(Arc::new(vec![None; CHUNK_SIZE]));
         }
-        states[id.index()] = Some(entry);
-        *published = Arc::new(TableSnapshot { states });
+        Arc::make_mut(&mut chunks[chunk_of(id)])[slot_of(id)] = Some(entry);
+        *published = Arc::new(TableSnapshot { chunks });
     }
 
     /// Drops a state's published entry (after garbage collection).
     fn unpublish_entry(&self, id: StateId) {
         let mut published = self.published.write().unwrap();
-        if published
-            .states
-            .get(id.index())
-            .is_some_and(|e| e.is_some())
-        {
-            let mut states = published.states.clone();
-            states[id.index()] = None;
-            *published = Arc::new(TableSnapshot { states });
+        if published.get(id).is_some() {
+            let mut chunks = published.chunks.clone();
+            Arc::make_mut(&mut chunks[chunk_of(id)])[slot_of(id)] = None;
+            *published = Arc::new(TableSnapshot { chunks });
+        }
+    }
+
+    /// Retracts the published entries of `ids` in one batch: copies only
+    /// the snapshot chunks that actually hold an entry for one of the ids
+    /// and swaps once. The `MODIFY` companion of the chunk-granular node
+    /// invalidation — O(invalidated), not O(published).
+    fn retract_entries(&self, ids: &[StateId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut published = self.published.write().unwrap();
+        let mut chunks = published.chunks.clone();
+        let mut changed = false;
+        for &id in ids {
+            let Some(chunk) = chunks.get_mut(chunk_of(id)) else {
+                continue;
+            };
+            if chunk[slot_of(id)].is_some() {
+                Arc::make_mut(chunk)[slot_of(id)] = None;
+                changed = true;
+            }
+        }
+        if changed {
+            *published = Arc::new(TableSnapshot { chunks });
         }
     }
 
     /// Rebuilds the published snapshot from the node storage — used by the
-    /// exclusive (`&mut self`) mutations, which may invalidate many rows
-    /// at once.
+    /// batch paths (mark-and-sweep, full warm-up), which may touch most
+    /// entries anyway.
     fn rebuild_published(&self) {
-        let mut states: Vec<Option<Arc<PublishedState>>> = Vec::new();
-        for shard in &self.shards {
-            let shard = shard.read().unwrap();
-            for node in shard.iter() {
-                let (Some(row), true) = (&node.row, node.alive && node.kind == ItemSetKind::Complete)
-                else {
-                    continue;
-                };
-                if states.len() <= node.id.index() {
-                    states.resize(node.id.index() + 1, None);
+        let store = self.store.read().unwrap();
+        let chunks: Vec<Arc<SnapChunk>> = store
+            .iter()
+            .map(|chunk| {
+                let mut entries: SnapChunk = vec![None; CHUNK_SIZE];
+                for (slot, node) in chunk.nodes.iter().enumerate() {
+                    let (Some(row), true) =
+                        (&node.row, node.alive && node.kind == ItemSetKind::Complete)
+                    else {
+                        continue;
+                    };
+                    entries[slot] = Some(Arc::new(PublishedState {
+                        row: row.clone(),
+                        reductions: node.reductions.clone(),
+                        accepting: node.accepting,
+                    }));
                 }
-                states[node.id.index()] = Some(Arc::new(PublishedState {
-                    row: row.clone(),
-                    reductions: node.reductions.clone(),
-                    accepting: node.accepting,
-                }));
-            }
-        }
-        *self.published.write().unwrap() = Arc::new(TableSnapshot { states });
+                Arc::new(entries)
+            })
+            .collect();
+        drop(store);
+        *self.published.write().unwrap() = Arc::new(TableSnapshot { chunks });
     }
 
     /// The dense action row of a node, if one has been built and is valid.
@@ -791,29 +1044,35 @@ impl ItemSetGraph {
             if id == self.start {
                 continue; // the start item set is never collected
             }
-            let mut shard = self.shards[shard_of(id)].write().unwrap();
-            let node = &mut shard[slot_of(id)];
-            if !node.alive {
+            // Peek first so a node that merely loses one of several
+            // references does not force a chunk copy-on-write of anything
+            // beyond the refcount cell.
+            let (alive, refcount) = self.with_node(id, |n| (n.alive, n.refcount));
+            if !alive {
                 continue;
             }
-            node.refcount = node.refcount.saturating_sub(1);
-            if node.refcount > 0 {
+            if refcount > 1 {
+                self.with_node_mut(id, |n| n.refcount -= 1);
                 continue;
             }
-            node.alive = false;
-            // A dead node is never queried again; free its row (the
-            // largest per-node allocation) immediately.
-            node.row = None;
+            let (kernel, targets) = self.with_node_mut(id, |node| {
+                node.refcount = 0;
+                node.alive = false;
+                // A dead node is never queried again; free its row (the
+                // largest per-node allocation) immediately.
+                node.row = None;
+                let targets: Vec<StateId> = if node.kind != ItemSetKind::Initial {
+                    node.transitions.values().copied().collect()
+                } else {
+                    Vec::new()
+                };
+                (std::mem::take(&mut node.kernel), targets)
+            });
             inner.stats.nodes_collected += 1;
             // Only remove the index entry if it still points at this node
             // (a newer live node may have reused the kernel).
-            if inner.kernel_index.get(&node.kernel) == Some(&id) {
-                inner.kernel_index.remove(&node.kernel);
-            }
-            if node.kind != ItemSetKind::Initial {
-                stack.extend(node.transitions.values().copied());
-            }
-            drop(shard);
+            inner.kernel_index.remove_if(&kernel, id);
+            stack.extend(targets);
             self.unpublish_entry(id);
         }
         inner.gc_stack = stack;
@@ -851,6 +1110,11 @@ impl ItemSetGraph {
     /// are exactly the complete item sets with a transition on the rule's
     /// left-hand side, plus the start item set when the rule defines
     /// `START`.
+    ///
+    /// Cost: O(invalidated states) chunk copies plus an O(#chunks) summary
+    /// scan — the §6 "cost proportional to what the edit invalidates"
+    /// property, independent of how many states the graph holds. Chunks
+    /// without an invalidated state stay shared with the pre-edit fork.
     fn modify_locked(
         &self,
         inner: &mut GraphInner,
@@ -866,12 +1130,15 @@ impl ItemSetGraph {
         } else {
             ItemSetKind::Initial
         };
+        let mut invalidated = std::mem::take(&mut inner.scratch_invalidated);
+        invalidated.clear();
 
         if lhs == grammar.start_symbol() {
             // The start item set's kernel is derived from the START rules;
             // keep it in sync and re-expand it lazily.
             let start = self.start;
-            let (was_complete, new_kernel) = self.with_node_mut(start, |node| {
+            let (was_complete, old_kernel, new_kernel) = self.with_node_mut(start, |node| {
+                let old_kernel = node.kernel.clone();
                 let item = Item::start(rule);
                 if added {
                     node.kernel.insert(item);
@@ -883,53 +1150,84 @@ impl ItemSetGraph {
                     node.kind = invalidated_kind;
                     node.row = None;
                 }
-                (was_complete, node.kernel.clone())
+                (was_complete, old_kernel, node.kernel.clone())
             });
             if was_complete {
                 inner.stats.invalidations += 1;
+                invalidated.push(start);
             }
-            // Keep the kernel index in sync with the changed kernel.
-            inner.kernel_index.retain(|_, &mut v| v != start);
+            // Keep the kernel index in sync with the changed kernel —
+            // targeted: the start node's previous kernel is its only
+            // possible entry.
+            inner.kernel_index.remove_if(&old_kernel, start);
             inner.kernel_index.insert(new_kernel, start);
         } else {
-            // Invalidate in place: the cached action rows are dropped in
-            // the same breath as the item sets they shadow.
-            for shard in &self.shards {
-                let mut shard = shard.write().unwrap();
-                for node in shard.iter_mut() {
-                    if node.alive
-                        && node.kind == ItemSetKind::Complete
-                        && node.transitions.contains_key(&lhs)
-                    {
-                        node.kind = invalidated_kind;
-                        node.row = None;
-                        inner.stats.invalidations += 1;
-                    }
+            // Invalidate through the chunk summaries: only chunks whose
+            // summary may contain `lhs` are inspected, and only chunks
+            // with an actual hit are copied on write — the cached action
+            // rows are dropped in the same breath as the item sets they
+            // shadow.
+            let mut store = self.store.write().unwrap();
+            for c in 0..store.len() {
+                if !store[c].summary_may_contain(lhs) {
+                    continue;
+                }
+                let hits: Vec<usize> = store[c]
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| {
+                        n.alive
+                            && n.kind == ItemSetKind::Complete
+                            && n.transitions.contains_key(&lhs)
+                    })
+                    .map(|(slot, _)| slot)
+                    .collect();
+                if hits.is_empty() {
+                    continue;
+                }
+                let chunk = self.chunk_mut(&mut store, c);
+                for slot in hits {
+                    let node = &mut chunk.nodes[slot];
+                    node.kind = invalidated_kind;
+                    node.row = None;
+                    invalidated.push(node.id);
+                    inner.stats.invalidations += 1;
                 }
             }
         }
 
-        self.maybe_sweep_locked(inner, grammar);
-        // Invalidation dropped rows in place; retract them from the
-        // published snapshot too (exclusive: no reader holds a handle).
-        self.rebuild_published();
+        let swept = self.maybe_sweep_locked(inner, grammar);
+        // Invalidation dropped rows in place; retract exactly those
+        // entries from the published snapshot too (exclusive: no reader
+        // holds a handle). A sweep may have retracted arbitrary states,
+        // so it rebuilds instead.
+        if swept {
+            self.rebuild_published();
+        } else {
+            self.retract_entries(&invalidated);
+        }
+        inner.scratch_invalidated = invalidated;
     }
 
     /// Runs a mark-and-sweep pass if the policy asks for one and the
-    /// garbage fraction exceeds its threshold.
-    fn maybe_sweep_locked(&self, inner: &mut GraphInner, grammar: &Grammar) {
+    /// garbage fraction exceeds its threshold. Returns `true` when a
+    /// sweep ran (the caller must then rebuild the published snapshot).
+    fn maybe_sweep_locked(&self, inner: &mut GraphInner, grammar: &Grammar) -> bool {
         let GcPolicy::RefCountWithSweep { threshold_percent } = self.gc else {
-            return;
+            return false;
         };
         let live = self.num_live();
         if live == 0 {
-            return;
+            return false;
         }
         let reachable = self.reachable_from_start_locked(inner);
         let garbage = live.saturating_sub(reachable.len());
         if garbage * 100 > threshold_percent as usize * live {
             self.mark_and_sweep_locked(inner, grammar);
+            return true;
         }
+        false
     }
 
     fn reachable_from_start_locked(&self, inner: &GraphInner) -> Vec<StateId> {
@@ -976,41 +1274,40 @@ impl ItemSetGraph {
         for id in &reachable {
             keep[id.index()] = true;
         }
-        for (i, &keep_node) in keep.iter().enumerate() {
-            let id = StateId::from_index(i);
-            let mut shard = self.shards[shard_of(id)].write().unwrap();
-            let node = &mut shard[slot_of(id)];
-            if node.alive && !keep_node {
-                node.alive = false;
-                node.row = None;
-                inner.stats.nodes_swept += 1;
-                if inner.kernel_index.get(&node.kernel) == Some(&id) {
-                    inner.kernel_index.remove(&node.kernel);
+        // Sweep the unreachable nodes and zero the reference counts, one
+        // chunk at a time (each chunk is copied on write at most once; a
+        // sweep is inherently a whole-graph pass).
+        let mut store = self.store.write().unwrap();
+        let mut swept: Vec<(ItemSet, StateId)> = Vec::new();
+        for c in 0..store.len() {
+            let chunk = self.chunk_mut(&mut store, c);
+            for node in &mut chunk.nodes {
+                if node.alive && !keep[node.id.index()] {
+                    node.alive = false;
+                    node.row = None;
+                    inner.stats.nodes_swept += 1;
+                    swept.push((std::mem::take(&mut node.kernel), node.id));
                 }
-            }
-        }
-        // Recompute reference counts over the surviving graph.
-        for shard in &self.shards {
-            let mut shard = shard.write().unwrap();
-            for node in shard.iter_mut() {
                 node.refcount = 0;
             }
         }
+        for (kernel, id) in swept {
+            inner.kernel_index.remove_if(&kernel, id);
+        }
+        // Recompute reference counts over the surviving graph.
         let mut targets: Vec<StateId> = Vec::new();
-        for i in 0..inner.len {
-            let id = StateId::from_index(i);
-            targets.clear();
-            self.with_node(id, |node| {
+        for chunk in store.iter() {
+            for node in &chunk.nodes {
                 if node.alive && node.kind != ItemSetKind::Initial {
                     targets.extend(node.transitions.values().copied());
                 }
-            });
-            for &target in &targets {
-                self.with_node_mut(target, |n| {
-                    if n.alive {
-                        n.refcount += 1;
-                    }
-                });
+            }
+        }
+        for id in targets {
+            let chunk = self.chunk_mut(&mut store, chunk_of(id));
+            let node = &mut chunk.nodes[slot_of(id)];
+            if node.alive {
+                node.refcount += 1;
             }
         }
     }
@@ -1096,6 +1393,69 @@ impl ItemSetGraph {
     /// [`ItemSetGraph::add_rule`] / [`ItemSetGraph::remove_rule`] instead.
     pub fn acknowledge_non_structural_change(&mut self, grammar: &Grammar) {
         self.inner.lock().unwrap().grammar_version = grammar.version();
+    }
+
+    // ------------------------------------------------------------------
+    // Structural sharing (observability + benchmark support)
+    // ------------------------------------------------------------------
+
+    /// Number of storage chunks currently allocated.
+    pub fn num_chunks(&self) -> usize {
+        self.store.read().unwrap().len()
+    }
+
+    /// The index of the storage chunk that holds state `id`.
+    pub fn chunk_of_state(id: StateId) -> usize {
+        chunk_of(id)
+    }
+
+    /// Per-chunk sharing with `other`: entry `c` is `true` when chunk `c`
+    /// of both graphs is the *same* storage (`Arc::ptr_eq`), i.e. the two
+    /// forks structurally share it. Compared up to the shorter graph.
+    pub fn shared_chunks_with(&self, other: &ItemSetGraph) -> Vec<bool> {
+        let mine = self.store.read().unwrap();
+        let theirs = other.store.read().unwrap();
+        mine.iter()
+            .zip(theirs.iter())
+            .map(|(a, b)| Arc::ptr_eq(a, b))
+            .collect()
+    }
+
+    /// Strong handles to every storage chunk, in chunk order. Tests and
+    /// tools downgrade these to [`ChunkObserver`]s to verify that
+    /// reclamation is chunk-granular: a retired epoch frees exactly the
+    /// chunks no live epoch shares.
+    pub fn chunk_handles(&self) -> Vec<ChunkHandle> {
+        self.store
+            .read()
+            .unwrap()
+            .iter()
+            .map(|chunk| ChunkHandle(chunk.clone()))
+            .collect()
+    }
+
+    /// Forces every structurally shared piece of this graph — node chunks,
+    /// kernel-index shards, published snapshot chunks — to be uniquely
+    /// owned, copying whatever is still shared with other forks. This
+    /// reproduces the cost profile of the pre-persistent *deep* fork and
+    /// exists for benchmark comparison (`publish-scaling`), not for
+    /// serving.
+    pub fn unshare_all(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        {
+            let mut store = self.store.write().unwrap();
+            for chunk in store.iter_mut() {
+                *chunk = Arc::new((**chunk).clone());
+            }
+        }
+        inner.kernel_index.unshare();
+        let mut published = self.published.write().unwrap();
+        let chunks = published
+            .chunks
+            .iter()
+            .map(|chunk| Arc::new((**chunk).clone()))
+            .collect();
+        *published = Arc::new(TableSnapshot { chunks });
     }
 }
 #[cfg(test)]
@@ -1405,13 +1765,52 @@ mod tests {
     }
 
     #[test]
-    fn graph_clone_is_deep() {
+    fn graph_clone_is_independent_via_cow() {
         let g = fixtures::booleans();
         let graph = ItemSetGraph::new(&g);
         graph.ensure_expanded(&g, graph.start_state());
         let clone = graph.clone();
         assert_eq!(clone.num_live(), graph.num_live());
+        // The fork shares every chunk until one side writes.
+        assert!(clone.shared_chunks_with(&graph).iter().all(|&s| s));
+        let before = graph.num_live();
         clone.expand_all(&g);
-        assert!(clone.num_live() >= graph.num_live());
+        assert!(clone.num_live() > before);
+        assert_eq!(graph.num_live(), before, "original untouched by the fork");
+        // Writing copied the shared chunk on write.
+        assert!(clone.shared_chunks_with(&graph).iter().all(|&s| !s));
+        assert!(clone.stats().chunks_cowed > 0);
+    }
+
+    #[test]
+    fn modify_on_a_fork_copies_only_chunks_with_invalidated_states() {
+        // Build a graph spanning several chunks, fork it, apply the §6
+        // invalidation on the fork, and check chunk-granular sharing:
+        // exactly the chunks holding an invalidated state were copied.
+        let g = fixtures::booleans();
+        let graph = ItemSetGraph::new(&g);
+        graph.expand_all(&g);
+        let mut fork = graph.clone();
+        let mut g2 = g.clone();
+        let b = g.symbol("B").unwrap();
+        let unknown = g2.terminal("unknown");
+        fork.add_rule(&mut g2, b, vec![unknown]);
+        let dirty_chunks: std::collections::BTreeSet<usize> = fork
+            .live_nodes()
+            .filter(|n| n.kind != ItemSetKind::Complete)
+            .map(|n| ItemSetGraph::chunk_of_state(n.id))
+            .collect();
+        assert!(!dirty_chunks.is_empty());
+        let shared = fork.shared_chunks_with(&graph);
+        for (c, &is_shared) in shared.iter().enumerate() {
+            assert_eq!(
+                is_shared,
+                !dirty_chunks.contains(&c),
+                "chunk {c}: shared iff it holds no invalidated state"
+            );
+        }
+        // The original graph still answers for the old grammar.
+        assert!(graph.live_nodes().all(|n| n.kind == ItemSetKind::Complete));
+        assert_eq!(graph.grammar_version(), g.version());
     }
 }

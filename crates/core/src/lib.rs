@@ -95,7 +95,10 @@ pub mod session;
 pub mod stats;
 pub mod tables;
 
-pub use graph::{ActionRow, GcPolicy, GraphError, ItemSetGraph, ItemSetKind, ItemSetNode};
+pub use graph::{
+    ActionRow, ChunkHandle, ChunkObserver, GcPolicy, GraphError, ItemSetGraph, ItemSetKind,
+    ItemSetNode, CHUNK_SIZE,
+};
 pub use server::{GrammarEpoch, IpgServer, ServerError, ServerStats};
 pub use session::{IpgSession, SessionError};
 pub use stats::{GenStats, GraphSize};

@@ -32,15 +32,25 @@
 //! * **publish** — `MODIFY` (`ADD-RULE`/`DELETE-RULE`), scanner-definition
 //!   changes and GC each *fork* the current epoch's state, apply the change
 //!   privately (the paper's §6 invalidation runs on the fork), and swap the
-//!   result in as the new current epoch. Publication cost is the fork +
-//!   the edit — independent of how long any in-flight parse still runs.
+//!   result in as the new current epoch. The fork is **structurally
+//!   shared**: grammar and item-set graph are persistent chunk stores, so
+//!   forking clones O(#chunks) `Arc`s and the invalidation pass
+//!   copies-on-write only the chunks holding invalidated states.
+//!   Publication cost is therefore O(invalidated states) — independent of
+//!   graph size *and* of how long any in-flight parse still runs (the
+//!   `publish-scaling` bench tracks the former, `modify-concurrent` the
+//!   latter). Scanner edits likewise **carry over** the still-valid lazy
+//!   DFA states instead of rebuilding the scanner from zero.
 //! * **retire** — the replaced epoch is parked on a retired list. Parses
 //!   that pinned it keep reading it; they observe the grammar version they
 //!   started with, end to end.
-//! * **reclaim** — the deferred sweep drops a retired epoch (freeing its
-//!   item sets, dense rows and DFA snapshot) once its last reader has left:
-//!   it runs when a parse releases a stale pin and on the next publication,
-//!   never while anyone can still query the storage.
+//! * **reclaim** — the deferred sweep drops a retired epoch once its last
+//!   reader has left: it runs when a parse releases a stale pin and on the
+//!   next publication, never while anyone can still query the storage.
+//!   Reclamation is **chunk-granular**: dropping a retired epoch frees
+//!   exactly the storage chunks (item sets, dense rows, DFA snapshot
+//!   states) that no live epoch still shares — the chunks the epoch
+//!   inherited from (or bequeathed to) its neighbours live on with them.
 //!
 //! ## What serializes with what
 //!
@@ -466,9 +476,11 @@ impl IpgServer {
     /// publishes the result as the next epoch — the `MODIFY` entry point
     /// for structural changes beyond the convenience methods below.
     ///
-    /// Publication cost is the fork (a deep copy of grammar + item-set
-    /// graph) plus whatever `f` does; it does **not** wait for in-flight
-    /// parses, which keep reading the epoch they pinned.
+    /// Publication cost is the structurally shared fork (O(#chunks) `Arc`
+    /// clones of grammar + item-set graph) plus whatever `f` invalidates
+    /// (copied chunk-wise on write); it does **not** wait for in-flight
+    /// parses, which keep reading the epoch they pinned, and it does not
+    /// grow with the size of the graph.
     pub fn modify<R>(&self, f: impl FnOnce(&mut IpgSession) -> R) -> R {
         let mut writer = self.writer.lock().unwrap();
         let cur = self.acquire();
@@ -489,8 +501,10 @@ impl IpgServer {
     /// Runs `f` on a private fork of the current epoch's scanner and
     /// publishes the result as the next epoch (which shares the
     /// predecessor's table state — lexical edits do not fork the parser
-    /// tables). In-flight `parse_text` calls finish on the DFA snapshot
-    /// they pinned.
+    /// tables). Definition changes applied through `f` carry over the
+    /// still-valid lazy-DFA states (see `ipg_lexer::Scanner`), so a
+    /// lexical edit does not restart the scanner cold. In-flight
+    /// `parse_text` calls finish on the DFA snapshot they pinned.
     pub fn modify_scanner<R>(&self, f: impl FnOnce(&mut Scanner) -> R) -> Result<R, ServerError> {
         let mut writer = self.writer.lock().unwrap();
         let cur = self.acquire();
@@ -573,7 +587,17 @@ impl IpgServer {
     /// the per-thread query/parse counts. Runs an opportunistic sweep so
     /// reclamation is visible promptly.
     pub fn stats(&self) -> ServerStats {
-        let mut graph = self.read(|s| s.stats());
+        let mut graph = {
+            let epoch = self.acquire();
+            let mut graph = epoch.session.stats();
+            // The scanner's carry-over counter rides along with the graph
+            // counters (zero for servers without a scanner).
+            if let Some(scanner) = epoch.scanner() {
+                graph.dfa_states_carried = scanner.carried_states();
+            }
+            self.release(epoch);
+            graph
+        };
         let retired_epochs = {
             let mut writer = self.writer.lock().unwrap();
             Self::sweep_locked(&mut writer);

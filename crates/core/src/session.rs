@@ -89,11 +89,14 @@ impl From<GrammarError> for SessionError {
 
 /// An interactive lazy/incremental parsing session.
 ///
-/// `Clone` forks the session: the clone carries a deep copy of the grammar
-/// and the item-set graph (including every complete state, published row
-/// and work counter), so modifications to one side never touch the other.
+/// `Clone` forks the session **structurally shared**: grammar and item-set
+/// graph are persistent stores, so the fork clones O(#chunks) `Arc`s and
+/// the two sides copy-on-write only what they subsequently modify —
+/// modifications to one side never touch the other, and an edit costs
+/// what it invalidates, not what the session has accumulated.
 /// [`crate::IpgServer`] uses exactly this to build each successor epoch —
-/// `MODIFY` runs on a private fork while parses keep reading the original.
+/// `MODIFY` runs on a private fork while parses keep reading the original,
+/// and the fork's publication latency stays flat as the grammar grows.
 #[derive(Clone, Debug)]
 pub struct IpgSession {
     grammar: Grammar,
@@ -325,6 +328,16 @@ impl IpgSession {
     /// Runs a mark-and-sweep collection over the item-set graph.
     pub fn collect_garbage(&mut self) {
         self.graph.mark_and_sweep(&self.grammar);
+    }
+
+    /// Forces this session to own every piece of its (normally
+    /// structurally shared) storage, copying whatever is still shared
+    /// with other forks — the cost profile of a *deep* fork. Exists so
+    /// the `publish-scaling` benchmark can compare persistent against
+    /// deep-fork epoch publication; serving code never needs it.
+    pub fn unshare_all(&mut self) {
+        self.grammar.unshare();
+        self.graph.unshare_all();
     }
 
     /// Fraction of the *full* LR(0) parse table that has been generated so

@@ -49,6 +49,17 @@ pub struct GenStats {
     /// rows and DFA snapshots freed) by the deferred sweep that runs once
     /// the epoch's last reader leaves.
     pub epochs_reclaimed: usize,
+    /// Storage chunks of the persistent item-set store copied on write
+    /// because they were still shared with another fork (epoch) — the
+    /// observable cost of structural sharing: a `MODIFY` publication pays
+    /// one of these per chunk holding an invalidated state, instead of a
+    /// deep copy of the whole graph.
+    pub chunks_cowed: usize,
+    /// Lazy-DFA states carried over across lexical definition changes
+    /// instead of being rebuilt from scratch (reported by the serving
+    /// layer from the current epoch's scanner; zero for counters read
+    /// directly off a graph or for servers without a scanner).
+    pub dfa_states_carried: usize,
 }
 
 impl GenStats {
@@ -82,6 +93,12 @@ impl fmt::Display for GenStats {
             writeln!(f, "epochs published:     {}", self.epochs_published)?;
             writeln!(f, "epochs retired:       {}", self.epochs_retired)?;
             writeln!(f, "epochs reclaimed:     {}", self.epochs_reclaimed)?;
+        }
+        if self.chunks_cowed > 0 {
+            writeln!(f, "chunks copied (COW):  {}", self.chunks_cowed)?;
+        }
+        if self.dfa_states_carried > 0 {
+            writeln!(f, "DFA states carried:   {}", self.dfa_states_carried)?;
         }
         Ok(())
     }

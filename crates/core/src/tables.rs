@@ -80,13 +80,16 @@ pub struct LazyTables<'a> {
     eof: SymbolId,
     /// The pinned table snapshot (see `TableSnapshot` in the graph
     /// module): steady-state queries are plain array reads against this
-    /// immutable, `Arc`-shared view — no locks, no atomics. A miss
-    /// funnels into the graph's serialized writer and then refreshes the
-    /// pin. Pinning is sound because `MODIFY`/GC take `&mut` on the graph
-    /// and therefore cannot run while this (shared) borrow exists — the
-    /// epoch serving layer preserves exactly this: modifications fork the
-    /// graph and run on the private fork, never on a graph that handles
-    /// are borrowing.
+    /// immutable, `Arc`-shared view — no locks, no atomics. The snapshot
+    /// is chunked like the node store, so successor epochs share the
+    /// chunks of untouched states; a pinned handle holds whole chunks
+    /// alive, never copies them. A miss funnels into the graph's
+    /// serialized writer and then refreshes the pin. Pinning is sound
+    /// because `MODIFY`/GC take `&mut` on the graph and therefore cannot
+    /// run while this (shared) borrow exists — the epoch serving layer
+    /// preserves exactly this: modifications fork the graph (structurally
+    /// shared, copy-on-write) and run on the private fork, never on a
+    /// graph that handles are borrowing.
     snapshot: RefCell<Arc<TableSnapshot>>,
     action_calls: Cell<usize>,
     goto_calls: Cell<usize>,

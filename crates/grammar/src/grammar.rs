@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -95,15 +96,39 @@ impl std::error::Error for GrammarError {}
 /// assert_eq!(g.num_active_rules(), 3);
 /// g.validate().unwrap();
 /// ```
+///
+/// # Fork cost
+///
+/// The epoch serving layer forks the grammar on every modification, so the
+/// storage is **structurally shared**: rules live in `Arc`'d chunks of
+/// [`RULE_CHUNK`] slots, the activation bits and the by-LHS rule index sit
+/// behind their own `Arc`s, and the symbol table shares one `Arc`'d block.
+/// `Clone` therefore costs O(#chunks) pointer bumps, and an edit
+/// copies-on-write only what it touches: flipping an activation bit copies
+/// the (plain-`bool`) bit vector, re-adding or deleting an existing rule
+/// touches nothing else, and only a genuinely *new* rule or symbol copies
+/// a rule chunk / the index / the symbol block.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Grammar {
     symbols: SymbolTable,
-    rules: Vec<Rule>,
-    active: Vec<bool>,
+    /// Rule arena in `Arc`'d chunks of [`RULE_CHUNK`] slots (append-only;
+    /// removal only flips `active`).
+    rules: Vec<Arc<Vec<Rule>>>,
+    /// Number of rule slots across all chunks.
+    num_rules: usize,
+    /// Activation bits, packed 64 per word so the copy-on-write an edit
+    /// pays is a short `memcpy` even for thousand-rule grammars.
+    active: Arc<Vec<u64>>,
+    /// `lhs -> rule ids in id order`, over *all* slots (active or not).
+    /// Only mutated when a new rule slot is created.
+    by_lhs: Arc<HashMap<SymbolId, Vec<RuleId>>>,
     start: SymbolId,
     eof: SymbolId,
     version: u64,
 }
+
+/// Number of rule slots per `Arc`'d storage chunk (see [`Grammar`]).
+pub const RULE_CHUNK: usize = 256;
 
 impl Default for Grammar {
     fn default() -> Self {
@@ -121,7 +146,9 @@ impl Grammar {
         Grammar {
             symbols,
             rules: Vec::new(),
-            active: Vec::new(),
+            num_rules: 0,
+            active: Arc::new(Vec::new()),
+            by_lhs: Arc::new(HashMap::new()),
             start,
             eof,
             version: 0,
@@ -214,14 +241,17 @@ impl Grammar {
             "left-hand side of a rule must be a non-terminal"
         );
         if let Some(existing) = self.find_rule(lhs, &rhs) {
-            if !self.active[existing.index()] {
-                self.active[existing.index()] = true;
+            if !self.is_active(existing) {
+                self.set_active(existing, true);
                 self.version += 1;
             }
             return existing;
         }
-        let id = RuleId(self.rules.len() as u32);
-        self.rules.push(Rule {
+        let id = RuleId(self.num_rules as u32);
+        if self.num_rules.is_multiple_of(RULE_CHUNK) {
+            self.rules.push(Arc::new(Vec::with_capacity(RULE_CHUNK)));
+        }
+        Arc::make_mut(self.rules.last_mut().expect("chunk just ensured")).push(Rule {
             id,
             lhs,
             rhs,
@@ -229,9 +259,24 @@ impl Grammar {
             assoc,
             precedence,
         });
-        self.active.push(true);
+        self.num_rules += 1;
+        if self.num_rules > self.active.len() * 64 {
+            Arc::make_mut(&mut self.active).push(0);
+        }
+        self.set_active(id, true);
+        Arc::make_mut(&mut self.by_lhs).entry(lhs).or_default().push(id);
         self.version += 1;
         id
+    }
+
+    fn set_active(&mut self, id: RuleId, value: bool) {
+        let words = Arc::make_mut(&mut self.active);
+        let mask = 1u64 << (id.index() % 64);
+        if value {
+            words[id.index() / 64] |= mask;
+        } else {
+            words[id.index() / 64] &= !mask;
+        }
     }
 
     /// Adds the production `START ::= nt`.
@@ -241,24 +286,25 @@ impl Grammar {
     }
 
     /// Finds the id of the rule `lhs ::= rhs`, whether active or not.
+    /// Served from the by-LHS index, so the cost is proportional to the
+    /// number of alternatives of `lhs`, not to the size of the grammar.
     pub fn find_rule(&self, lhs: SymbolId, rhs: &[SymbolId]) -> Option<RuleId> {
-        self.rules
+        self.by_lhs
+            .get(&lhs)?
             .iter()
-            .find(|r| r.lhs == lhs && r.rhs == rhs)
-            .map(|r| r.id)
+            .copied()
+            .find(|&id| self.rule(id).rhs == rhs)
     }
 
     /// Deactivates the rule with id `id`. Returns an error if the rule does
     /// not exist or is already inactive.
     pub fn remove_rule(&mut self, id: RuleId) -> Result<(), GrammarError> {
-        match self.active.get_mut(id.index()) {
-            Some(a) if *a => {
-                *a = false;
-                self.version += 1;
-                Ok(())
-            }
-            _ => Err(GrammarError::NoSuchRule),
+        if !self.is_active(id) {
+            return Err(GrammarError::NoSuchRule);
         }
+        self.set_active(id, false);
+        self.version += 1;
+        Ok(())
     }
 
     /// Deactivates the rule `lhs ::= rhs` and returns its id.
@@ -269,7 +315,7 @@ impl Grammar {
     ) -> Result<RuleId, GrammarError> {
         let id = self
             .find_rule(lhs, rhs)
-            .filter(|id| self.active[id.index()])
+            .filter(|&id| self.is_active(id))
             .ok_or(GrammarError::NoSuchRule)?;
         self.remove_rule(id)?;
         Ok(id)
@@ -280,37 +326,61 @@ impl Grammar {
     /// # Panics
     /// Panics if the id does not belong to this grammar.
     pub fn rule(&self, id: RuleId) -> &Rule {
-        &self.rules[id.index()]
+        &self.rules[id.index() / RULE_CHUNK][id.index() % RULE_CHUNK]
     }
 
     /// Returns `true` if the rule is currently part of the grammar.
     pub fn is_active(&self, id: RuleId) -> bool {
-        self.active.get(id.index()).copied().unwrap_or(false)
+        if id.index() >= self.num_rules {
+            return false;
+        }
+        self.active[id.index() / 64] & (1u64 << (id.index() % 64)) != 0
     }
 
     /// Iterates over the active rules in id order.
     pub fn rules(&self) -> impl Iterator<Item = &Rule> {
-        self.rules.iter().filter(|r| self.active[r.id.index()])
+        self.all_rules().filter(|r| self.is_active(r.id))
     }
 
     /// Iterates over every rule ever added, including deactivated ones.
     pub fn all_rules(&self) -> impl Iterator<Item = &Rule> {
-        self.rules.iter()
+        self.rules.iter().flat_map(|chunk| chunk.iter())
     }
 
-    /// Iterates over the active rules whose left-hand side is `lhs`.
+    /// Iterates over the active rules whose left-hand side is `lhs`, in id
+    /// order. Served from the by-LHS index (the closure computation of the
+    /// parser generator calls this per non-terminal, so it must not scan
+    /// the whole rule arena).
     pub fn rules_for(&self, lhs: SymbolId) -> impl Iterator<Item = &Rule> {
-        self.rules().filter(move |r| r.lhs == lhs)
+        self.by_lhs
+            .get(&lhs)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&id| self.is_active(id))
+            .map(|id| self.rule(id))
     }
 
     /// Number of active rules.
     pub fn num_active_rules(&self) -> usize {
-        self.active.iter().filter(|&&a| a).count()
+        self.active.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Total number of rule slots (active + deactivated).
     pub fn num_rule_slots(&self) -> usize {
-        self.rules.len()
+        self.num_rules
+    }
+
+    /// Forces this clone to own every piece of its storage, copying
+    /// whatever is still shared with other forks. Benchmarks use this to
+    /// reproduce the cost of a structurally unshared (deep) grammar fork.
+    pub fn unshare(&mut self) {
+        for chunk in &mut self.rules {
+            *chunk = Arc::new((**chunk).clone());
+        }
+        self.active = Arc::new((*self.active).clone());
+        self.by_lhs = Arc::new((*self.by_lhs).clone());
+        self.symbols.unshare();
     }
 
     /// Builds a map from non-terminal to its active rules. Convenience for
@@ -538,5 +608,64 @@ mod tests {
     fn error_display_is_informative() {
         let e = GrammarError::MissingStartRule;
         assert!(e.to_string().contains("start symbol"));
+    }
+
+    #[test]
+    fn clone_shares_storage_until_written() {
+        let g = booleans();
+        let mut fork = g.clone();
+        assert!(fork.symbols().shares_storage_with(g.symbols()));
+        assert!(Arc::ptr_eq(&g.rules[0], &fork.rules[0]));
+        assert!(Arc::ptr_eq(&g.active, &fork.active));
+        assert!(Arc::ptr_eq(&g.by_lhs, &fork.by_lhs));
+        // Deactivating an existing rule copies only the activation bits.
+        let b = fork.symbol("B").unwrap();
+        let t = fork.symbol("true").unwrap();
+        let id = fork.find_rule(b, &[t]).unwrap();
+        fork.remove_rule(id).unwrap();
+        assert!(Arc::ptr_eq(&g.rules[0], &fork.rules[0]));
+        assert!(Arc::ptr_eq(&g.by_lhs, &fork.by_lhs));
+        assert!(!Arc::ptr_eq(&g.active, &fork.active));
+        assert!(fork.symbols().shares_storage_with(g.symbols()));
+        // The original is untouched.
+        assert!(g.is_active(id));
+        assert!(!fork.is_active(id));
+        // Re-activating needs no new slot and leaves the arena shared.
+        fork.add_rule(b, vec![t]);
+        assert!(Arc::ptr_eq(&g.rules[0], &fork.rules[0]));
+        assert_eq!(fork.num_rule_slots(), g.num_rule_slots());
+    }
+
+    #[test]
+    fn new_rule_copies_only_the_written_chunk() {
+        let mut g = Grammar::new();
+        let b = g.nonterminal("B");
+        // Fill a bit more than one chunk so two chunks exist.
+        for i in 0..(RULE_CHUNK + 4) {
+            let t = g.terminal(&format!("t{i}"));
+            g.add_rule(b, vec![t]);
+        }
+        g.add_start_rule(b);
+        let mut fork = g.clone();
+        let extra = fork.terminal("textra");
+        fork.add_rule(b, vec![extra]);
+        // Appending went into the last chunk; the full first chunk is
+        // still shared with the original.
+        assert!(Arc::ptr_eq(&g.rules[0], &fork.rules[0]));
+        assert!(!Arc::ptr_eq(&g.rules[1], &fork.rules[1]));
+        assert_eq!(fork.num_rule_slots(), g.num_rule_slots() + 1);
+        assert!(fork.validate().is_ok());
+    }
+
+    #[test]
+    fn unshare_copies_everything() {
+        let g = booleans();
+        let mut fork = g.clone();
+        fork.unshare();
+        assert!(!Arc::ptr_eq(&g.rules[0], &fork.rules[0]));
+        assert!(!Arc::ptr_eq(&g.active, &fork.active));
+        assert!(!Arc::ptr_eq(&g.by_lhs, &fork.by_lhs));
+        assert!(!fork.symbols().shares_storage_with(g.symbols()));
+        assert_eq!(fork.num_active_rules(), g.num_active_rules());
     }
 }

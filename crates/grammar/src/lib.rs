@@ -46,7 +46,7 @@ pub mod symbol;
 
 pub use analysis::GrammarAnalysis;
 pub use bnf::{parse_bnf, BnfError};
-pub use grammar::{Grammar, GrammarError, EOF_NAME, START_NAME};
+pub use grammar::{Grammar, GrammarError, EOF_NAME, RULE_CHUNK, START_NAME};
 pub use modules::{ComposeError, GrammarModule, ModuleSet, NamedRule, NamedSymbol, Visibility};
 pub use rule::{Associativity, Rule, RuleId};
 pub use symbol::{Symbol, SymbolId, SymbolKind, SymbolTable};

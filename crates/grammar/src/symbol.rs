@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -79,8 +80,19 @@ pub struct Symbol {
 /// The table never forgets a symbol: symbols of deleted rules keep their
 /// ids, which is what allows the incremental parser generator to compare
 /// item-set kernels across grammar modifications.
+///
+/// The storage lives behind one `Arc`, so cloning a table (and hence
+/// forking a grammar into a new epoch) is a pointer bump, however many
+/// symbols are interned. Interning a *new* symbol copies the storage on
+/// write when it is shared with another fork; edits that reuse existing
+/// symbols never touch it.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct SymbolTable {
+    inner: Arc<SymbolTableInner>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct SymbolTableInner {
     symbols: Vec<Symbol>,
     by_name: HashMap<String, SymbolId>,
 }
@@ -98,8 +110,8 @@ impl SymbolTable {
     /// panics: a grammar in which a name is both a terminal and a
     /// non-terminal is not meaningful.
     pub fn intern(&mut self, name: &str, kind: SymbolKind) -> SymbolId {
-        if let Some(&id) = self.by_name.get(name) {
-            let existing = &self.symbols[id.index()];
+        if let Some(&id) = self.inner.by_name.get(name) {
+            let existing = &self.inner.symbols[id.index()];
             assert_eq!(
                 existing.kind, kind,
                 "symbol `{name}` interned both as {:?} and {:?}",
@@ -107,18 +119,32 @@ impl SymbolTable {
             );
             return id;
         }
-        let id = SymbolId(self.symbols.len() as u32);
-        self.symbols.push(Symbol {
+        let inner = Arc::make_mut(&mut self.inner);
+        let id = SymbolId(inner.symbols.len() as u32);
+        inner.symbols.push(Symbol {
             name: name.to_owned(),
             kind,
         });
-        self.by_name.insert(name.to_owned(), id);
+        inner.by_name.insert(name.to_owned(), id);
         id
     }
 
     /// Looks up a symbol by name without interning it.
     pub fn lookup(&self, name: &str) -> Option<SymbolId> {
-        self.by_name.get(name).copied()
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// Forces this clone to own its storage (copying it if shared). Used
+    /// by benchmarks to reproduce the cost of a structurally *unshared*
+    /// (deep) fork for comparison.
+    pub fn unshare(&mut self) {
+        self.inner = Arc::new((*self.inner).clone());
+    }
+
+    /// `true` when this table shares its storage with `other` (both clones
+    /// point at the same `Arc`).
+    pub fn shares_storage_with(&self, other: &SymbolTable) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Returns the symbol for `id`.
@@ -126,17 +152,17 @@ impl SymbolTable {
     /// # Panics
     /// Panics if `id` does not belong to this table.
     pub fn symbol(&self, id: SymbolId) -> &Symbol {
-        &self.symbols[id.index()]
+        &self.inner.symbols[id.index()]
     }
 
     /// Returns the name of `id`.
     pub fn name(&self, id: SymbolId) -> &str {
-        &self.symbols[id.index()].name
+        &self.inner.symbols[id.index()].name
     }
 
     /// Returns the kind of `id`.
     pub fn kind(&self, id: SymbolId) -> SymbolKind {
-        self.symbols[id.index()].kind
+        self.inner.symbols[id.index()].kind
     }
 
     /// Returns `true` if `id` names a terminal.
@@ -151,17 +177,18 @@ impl SymbolTable {
 
     /// Number of interned symbols.
     pub fn len(&self) -> usize {
-        self.symbols.len()
+        self.inner.symbols.len()
     }
 
     /// Returns `true` if no symbol has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.symbols.is_empty()
+        self.inner.symbols.is_empty()
     }
 
     /// Iterates over `(id, symbol)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &Symbol)> {
-        self.symbols
+        self.inner
+            .symbols
             .iter()
             .enumerate()
             .map(|(i, s)| (SymbolId(i as u32), s))

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::nfa::{Nfa, TokenId};
+use crate::regex::Regex;
 
 /// Work counters of a lazy DFA; the interesting quantity is how few states
 /// and transitions are materialised compared to the full subset
@@ -42,6 +43,14 @@ pub struct DfaStats {
     pub cache_hits: usize,
     /// Transition-cache misses (each one ran a subset-construction step).
     pub cache_misses: usize,
+    /// Materialised DFA states carried over across token-definition
+    /// changes instead of being discarded and re-derived (cumulative over
+    /// all [`LazyDfa::add_token`] / [`LazyDfa::remove_token`] calls).
+    pub carried_over: usize,
+    /// Materialised DFA states invalidated by token-definition changes
+    /// (their NFA sets intersected a changed fragment, or they were the
+    /// start state, whose closure every definition change affects).
+    pub invalidated: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -52,6 +61,11 @@ struct LazyDfaState {
     transitions: HashMap<char, Option<usize>>,
     /// Highest-priority token accepted in this state.
     accept: Option<TokenId>,
+    /// `true` once a definition change invalidated this state. Dead slots
+    /// are never stepped into again (transitions of carried-over states
+    /// cannot target them — see [`LazyDfa::remove_token`]); they linger as
+    /// garbage until the owner rebuilds.
+    dead: bool,
 }
 
 /// The lock-guarded, lazily materialised part of the DFA.
@@ -62,6 +76,8 @@ struct DfaCache {
     /// Counters updated under the write lock (misses, states,
     /// transitions); cache hits are counted in the atomic outside.
     stats: DfaStats,
+    /// Dead state slots (see `LazyDfaState::dead`).
+    garbage: usize,
 }
 
 /// The published read-view of one DFA state: its memoised transitions and
@@ -133,6 +149,7 @@ impl LazyDfa {
             states: Vec::new(),
             index: HashMap::new(),
             stats: DfaStats::default(),
+            garbage: 0,
         };
         let start_set = nfa.epsilon_closure(&[nfa.start()]);
         Self::intern(&nfa, &mut cache, start_set);
@@ -189,6 +206,135 @@ impl LazyDfa {
         *published = Arc::new(DfaSnapshot { states });
     }
 
+    // ------------------------------------------------------------------
+    // Incremental definition changes (DFA carry-over)
+    // ------------------------------------------------------------------
+    //
+    // The ISG of the paper discards the whole DFA cache on a definition
+    // change and re-materialises by need. Here the change is *selective*,
+    // mirroring the parser's §6 invalidation: fragments of different
+    // tokens never share NFA states (only the global start has epsilon
+    // edges into fragment entries), so a DFA state whose NFA set is
+    // disjoint from the changed fragment — and which is not the start
+    // state, whose closure every change affects — behaves identically on
+    // every character and keeps its memoised transitions. Its targets are
+    // equally disjoint, so carried-over transitions can never lead into an
+    // invalidated slot. This implementation memoises transitions per
+    // character rather than per character class, so the class partition is
+    // implicit; the rebuild fallback below plays the role of "the
+    // partition itself changed" — when removals have turned too much of
+    // the NFA into garbage, the owner recompiles from scratch.
+
+    /// Adds a token definition to the live DFA. Only the start state is
+    /// re-derived (its closure gains the new fragment's entry); every
+    /// other materialised state is carried over. Returns the new token id.
+    pub fn add_token(&mut self, regex: &Regex) -> TokenId {
+        let id = self.nfa.add_token(regex);
+        let cache = self.cache.get_mut().unwrap();
+        let carried = cache.states.len() - 1 - cache.garbage;
+        cache.stats.carried_over += carried;
+        cache.stats.invalidated += 1;
+        Self::reset_start(&self.nfa, cache);
+        self.republish_after_edit(&[0]);
+        id
+    }
+
+    /// Removes a token definition from the live DFA. Invalidates exactly
+    /// the materialised states whose NFA sets intersect the removed
+    /// fragment (plus the start state); everything else is carried over.
+    /// Returns `true` if the token was active.
+    pub fn remove_token(&mut self, id: TokenId) -> bool {
+        // Unknown or already-removed ids answer `false`, they don't panic:
+        // a stale id is an expected input after a compacting rebuild.
+        if !self.nfa.is_token_active(id) {
+            return false;
+        }
+        let range = self.nfa.fragment_range(id);
+        if !self.nfa.remove_token(id) {
+            return false;
+        }
+        let cache = self.cache.get_mut().unwrap();
+        let mut touched: Vec<usize> = vec![0];
+        for (i, state) in cache.states.iter().enumerate().skip(1) {
+            if state.dead {
+                continue;
+            }
+            // `nfa_states` is sorted: binary-search the fragment bounds.
+            let from = state.nfa_states.partition_point(|&s| s < range.start);
+            if state.nfa_states.get(from).is_some_and(|&s| s < range.end) {
+                touched.push(i);
+            }
+        }
+        let live_before = cache.states.len() - cache.garbage;
+        for &i in touched.iter().skip(1) {
+            let state = &mut cache.states[i];
+            if cache.index.get(&state.nfa_states) == Some(&i) {
+                cache.index.remove(&state.nfa_states);
+            }
+            state.nfa_states = Vec::new();
+            state.transitions = HashMap::new();
+            state.accept = None;
+            state.dead = true;
+            cache.garbage += 1;
+        }
+        cache.stats.carried_over += live_before - touched.len();
+        cache.stats.invalidated += touched.len();
+        Self::reset_start(&self.nfa, cache);
+        self.republish_after_edit(&touched);
+        true
+    }
+
+    /// Re-derives the start DFA state (id 0) from the current NFA: its
+    /// epsilon closure is the one set every definition change affects.
+    fn reset_start(nfa: &Nfa, cache: &mut DfaCache) {
+        let old = std::mem::take(&mut cache.states[0].nfa_states);
+        if cache.index.get(&old) == Some(&0) {
+            cache.index.remove(&old);
+        }
+        let closure = nfa.epsilon_closure(&[nfa.start()]);
+        cache.states[0] = LazyDfaState {
+            nfa_states: closure.clone(),
+            transitions: HashMap::new(),
+            accept: nfa.accepting_token(&closure),
+            dead: false,
+        };
+        // The closure contains the global start state, which no other DFA
+        // state's set can, so this cannot collide with a live entry.
+        cache.index.insert(closure, 0);
+    }
+
+    /// Rebuilds the published snapshot after a definition change, reusing
+    /// the per-state `Arc`s of every carried-over state and re-deriving
+    /// only the touched ones.
+    fn republish_after_edit(&mut self, touched: &[usize]) {
+        let cache = self.cache.get_mut().unwrap();
+        let published = self.published.get_mut().unwrap();
+        let mut states = Vec::with_capacity(cache.states.len());
+        for (i, state) in cache.states.iter().enumerate() {
+            match published.states.get(i) {
+                Some(prev) if !touched.contains(&i) => states.push(prev.clone()),
+                _ => states.push(Arc::new(SnapshotState {
+                    transitions: state.transitions.clone(),
+                    accept: state.accept,
+                })),
+            }
+        }
+        *published = Arc::new(DfaSnapshot { states });
+    }
+
+    /// Fraction of materialised DFA states (and underlying NFA states)
+    /// that definition removals have turned into garbage. Owners rebuild
+    /// from the active definitions when this gets large.
+    pub fn garbage_fraction(&self) -> f64 {
+        let cache = self.cache.read().unwrap();
+        let dfa_fraction = if cache.states.is_empty() {
+            0.0
+        } else {
+            cache.garbage as f64 / cache.states.len() as f64
+        };
+        dfa_fraction.max(self.nfa.dead_fraction())
+    }
+
     /// The underlying NFA.
     pub fn nfa(&self) -> &Nfa {
         &self.nfa
@@ -217,6 +363,7 @@ impl LazyDfa {
             nfa_states,
             transitions: HashMap::new(),
             accept,
+            dead: false,
         });
         cache.stats.states += 1;
         id
@@ -422,6 +569,70 @@ mod tests {
         let misses = dfa.stats().cache_misses;
         assert_eq!(dfa.longest_match_pinned(&mut pin, &chars("abc"), 0), Some((3, 1)));
         assert_eq!(dfa.stats().cache_misses, misses);
+    }
+
+    #[test]
+    fn add_token_carries_over_all_but_the_start_state() {
+        let mut dfa = sample_dfa();
+        dfa.longest_match(&chars("abc"), 0);
+        dfa.longest_match(&chars("4281"), 0);
+        let states_before = dfa.num_states();
+        assert!(states_before > 2);
+        let id = dfa.add_token(&Regex::literal("%"));
+        // Everything except the start state survived the change.
+        assert_eq!(dfa.stats().carried_over, states_before - 1);
+        assert_eq!(dfa.stats().invalidated, 1);
+        // The new token scans, and the automaton still agrees with direct
+        // NFA simulation everywhere.
+        assert_eq!(dfa.longest_match(&chars("%"), 0), Some((1, id)));
+        for text in ["if", "iffy", "x1_y", "42", "a%b", "%%"] {
+            let input = chars(text);
+            assert_eq!(
+                dfa.longest_match(&input, 0),
+                dfa.nfa().clone().longest_match(&input),
+                "input `{text}`"
+            );
+        }
+        // Re-scanning previously materialised text re-derives only the
+        // steps out of the start state, not the whole path.
+        let misses_before = dfa.stats().cache_misses;
+        dfa.longest_match(&chars("abc"), 0);
+        dfa.longest_match(&chars("abc"), 0);
+        let new_misses = dfa.stats().cache_misses - misses_before;
+        assert!(new_misses <= 1, "only the start step was re-derived, got {new_misses}");
+    }
+
+    #[test]
+    fn remove_token_of_unknown_or_removed_ids_is_graceful() {
+        let mut dfa = sample_dfa();
+        assert!(!dfa.remove_token(999), "out-of-range id answers false");
+        assert!(dfa.remove_token(2));
+        assert!(!dfa.remove_token(2), "second removal answers false");
+    }
+
+    #[test]
+    fn remove_token_invalidates_only_intersecting_states() {
+        let mut dfa = sample_dfa();
+        dfa.longest_match(&chars("abc"), 0); // identifier path
+        dfa.longest_match(&chars("4281"), 0); // number path
+        let states_before = dfa.num_states();
+        // Remove the number token (id 2).
+        assert!(dfa.remove_token(2));
+        assert!(!dfa.remove_token(2), "already removed");
+        assert!(dfa.stats().carried_over > 0);
+        assert!(dfa.stats().carried_over < states_before);
+        // Numbers no longer scan; identifiers and keywords still agree
+        // with the (updated) NFA reference.
+        assert_eq!(dfa.longest_match(&chars("42"), 0), None);
+        for text in ["if", "iffy", "x1_y", "a42"] {
+            let input = chars(text);
+            assert_eq!(
+                dfa.longest_match(&input, 0),
+                dfa.nfa().clone().longest_match(&input),
+                "input `{text}`"
+            );
+        }
+        assert!(dfa.garbage_fraction() > 0.0);
     }
 
     #[test]

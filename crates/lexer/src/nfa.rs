@@ -20,12 +20,35 @@ pub struct NfaState {
     pub accept: Option<TokenId>,
 }
 
+/// One token's compiled fragment inside the combined NFA: the contiguous
+/// state range the Thompson construction appended for it, its entry state
+/// (reached by one epsilon from the global start) and whether it is still
+/// part of the lexical syntax.
+///
+/// Fragments are what make **incremental** definition changes cheap:
+/// fragments never reference each other's states (only the global start
+/// has epsilon edges into fragment entries), so adding a token appends a
+/// fragment without renumbering anything, and removing one merely unlinks
+/// its entry and clears its accepts — every DFA state whose NFA set is
+/// disjoint from the touched fragment stays valid and can be carried over.
+#[derive(Clone, Debug)]
+struct Fragment {
+    entry: usize,
+    /// `first..last` — the state range the fragment occupies.
+    first: usize,
+    last: usize,
+    active: bool,
+}
+
 /// A non-deterministic finite automaton recognising the union of all token
 /// definitions, each accept state tagged with its token.
 #[derive(Clone, Debug, Default)]
 pub struct Nfa {
     states: Vec<NfaState>,
     start: usize,
+    fragments: Vec<Fragment>,
+    /// States belonging to removed fragments (garbage until a rebuild).
+    dead_states: usize,
 }
 
 impl Nfa {
@@ -35,13 +58,77 @@ impl Nfa {
         let mut nfa = Nfa {
             states: vec![NfaState::default()],
             start: 0,
+            fragments: Vec::new(),
+            dead_states: 0,
         };
-        for (id, regex) in tokens.iter().enumerate() {
-            let (entry, exit) = nfa.compile(regex);
-            nfa.states[nfa.start].epsilon.push(entry);
-            nfa.states[exit].accept = Some(id);
+        for regex in tokens {
+            nfa.add_token(regex);
         }
         nfa
+    }
+
+    /// Appends the fragment for one more token definition and returns its
+    /// token id (= fragment index). Existing states keep their numbering,
+    /// which is what allows the lazy DFA to carry its materialised states
+    /// across the change.
+    pub fn add_token(&mut self, regex: &Regex) -> TokenId {
+        let id = self.fragments.len();
+        let first = self.states.len();
+        let (entry, exit) = self.compile(regex);
+        let last = self.states.len();
+        self.states[self.start].epsilon.push(entry);
+        self.states[exit].accept = Some(id);
+        self.fragments.push(Fragment {
+            entry,
+            first,
+            last,
+            active: true,
+        });
+        id
+    }
+
+    /// Deactivates token `id`: unlinks its fragment from the start state
+    /// and clears its accepts. The fragment's states remain (unreachable)
+    /// so that all other state numbering — and therefore every DFA state
+    /// not involving this fragment — stays valid. Returns `false` when the
+    /// token was already removed.
+    pub fn remove_token(&mut self, id: TokenId) -> bool {
+        let Some(fragment) = self.fragments.get_mut(id) else {
+            return false;
+        };
+        if !fragment.active {
+            return false;
+        }
+        fragment.active = false;
+        let (entry, first, last) = (fragment.entry, fragment.first, fragment.last);
+        self.states[self.start].epsilon.retain(|&e| e != entry);
+        for state in &mut self.states[first..last] {
+            state.accept = None;
+        }
+        self.dead_states += last - first;
+        true
+    }
+
+    /// The state range of token `id`'s fragment.
+    pub fn fragment_range(&self, id: TokenId) -> std::ops::Range<usize> {
+        let fragment = &self.fragments[id];
+        fragment.first..fragment.last
+    }
+
+    /// `true` while token `id` is part of the lexical syntax.
+    pub fn is_token_active(&self, id: TokenId) -> bool {
+        self.fragments.get(id).is_some_and(|f| f.active)
+    }
+
+    /// Fraction of states that belong to removed fragments. When this
+    /// grows large the owner should rebuild the NFA from the active
+    /// definitions instead of carrying more garbage.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.states.is_empty() {
+            0.0
+        } else {
+            self.dead_states as f64 / self.states.len() as f64
+        }
     }
 
     /// The start state.

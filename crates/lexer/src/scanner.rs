@@ -105,13 +105,45 @@ impl std::error::Error for ScanError {}
 /// lexing stage) without exclusive access. Definition changes
 /// ([`Scanner::add_definition`] / [`Scanner::remove_definition`]) remain
 /// `&mut self` writes, mirroring the parser's read/`MODIFY` split.
+///
+/// A definition change **carries over** the still-valid part of the lazy
+/// DFA instead of discarding it (see [`LazyDfa::add_token`] /
+/// [`LazyDfa::remove_token`]): token ids are stable slot indices (removed
+/// definitions leave a tombstone), only the DFA states actually affected
+/// by the changed definition are re-derived by need, and a full recompile
+/// happens only as a fallback once removals have left too much garbage
+/// behind.
 #[derive(Clone, Debug)]
 pub struct Scanner {
-    definitions: Vec<TokenDef>,
+    /// Token-id slots; `None` is the tombstone of a removed definition.
+    /// Slot order is the tie-breaking priority (earlier wins).
+    slots: Vec<Option<TokenDef>>,
+    /// The active definitions, in slot (= priority) order.
+    active: Vec<TokenDef>,
     dfa: LazyDfa,
-    /// Number of times the DFA was rebuilt because of a definition change.
+    /// Number of definition changes applied (each one used to force a
+    /// full DFA rebuild; with carry-over it still counts the lexical
+    /// generation).
     rebuilds: usize,
+    /// DFA states carried over across definition changes, over the
+    /// scanner's lifetime (survives the fallback recompile, which resets
+    /// the DFA's own counters).
+    carried_total: usize,
 }
+
+/// Garbage fraction of the lazy DFA above which a definition *removal*
+/// falls back to a full recompile instead of carrying more tombstones.
+const REBUILD_GARBAGE_FRACTION: f64 = 0.5;
+
+/// Definition changes between unconditional compacting recompiles.
+/// Additions can orphan materialised DFA states that the garbage counter
+/// cannot see (the start-state reset changes which subsets are reachable,
+/// but an orphaned subset may legitimately be resurrected through the
+/// interning index, so there is no cheap exact accounting); a periodic
+/// compaction bounds that growth while leaving carry-over in force for
+/// every edit in between. One cold restart per 64 edits still beats the
+/// pre-carry-over behaviour of one cold restart per edit by 64x.
+const COMPACT_EVERY_CHANGES: usize = 64;
 
 impl Scanner {
     /// Builds a scanner for the given token definitions. Definition order
@@ -120,9 +152,11 @@ impl Scanner {
     pub fn new(definitions: Vec<TokenDef>) -> Self {
         let dfa = Self::compile(&definitions);
         Scanner {
-            definitions,
+            slots: definitions.iter().cloned().map(Some).collect(),
+            active: definitions,
             dfa,
             rebuilds: 0,
+            carried_total: 0,
         }
     }
 
@@ -131,15 +165,18 @@ impl Scanner {
         LazyDfa::new(Nfa::build(&regexes))
     }
 
-    /// The current token definitions.
+    /// The current (active) token definitions, in priority order.
     pub fn definitions(&self) -> &[TokenDef] {
-        &self.definitions
+        &self.active
     }
 
-    /// DFA work counters (note that they reset when the DFA is rebuilt
-    /// after a definition change).
+    /// DFA work counters. They persist across definition changes (the
+    /// carried-over states keep serving); only the fallback recompile
+    /// after heavy removal churn resets them.
     pub fn dfa_stats(&self) -> DfaStats {
-        self.dfa.stats()
+        let mut stats = self.dfa.stats();
+        stats.carried_over = self.carried_total;
+        stats
     }
 
     /// How many times the token definitions have been changed.
@@ -147,24 +184,62 @@ impl Scanner {
         self.rebuilds
     }
 
-    /// Adds a token definition (at the lowest priority). The DFA cache is
-    /// discarded; it will be re-materialised lazily while scanning.
-    pub fn add_definition(&mut self, definition: TokenDef) {
-        self.definitions.push(definition);
-        self.dfa = Self::compile(&self.definitions);
-        self.rebuilds += 1;
+    /// DFA states carried over across definition changes instead of being
+    /// rebuilt, over the scanner's lifetime.
+    pub fn carried_states(&self) -> usize {
+        self.carried_total
     }
 
-    /// Removes the definition with the given name. Returns `true` if one
-    /// was removed.
+    /// Adds a token definition (at the lowest priority). The already
+    /// materialised DFA is carried over — only the start state (whose
+    /// closure gains the new definition) is re-derived by need.
+    pub fn add_definition(&mut self, definition: TokenDef) {
+        let carried_before = self.dfa.stats().carried_over;
+        let id = self.dfa.add_token(&definition.regex);
+        debug_assert_eq!(id, self.slots.len(), "token ids are slot indices");
+        self.carried_total += self.dfa.stats().carried_over - carried_before;
+        self.slots.push(Some(definition.clone()));
+        self.active.push(definition);
+        self.rebuilds += 1;
+        self.maybe_compact();
+    }
+
+    /// The carry-over escape hatch: recompile from the active definitions
+    /// when removals have left too much garbage behind, or on the periodic
+    /// schedule that bounds the orphaned-state growth of add-heavy churn.
+    fn maybe_compact(&mut self) {
+        if self.rebuilds.is_multiple_of(COMPACT_EVERY_CHANGES)
+            || self.dfa.garbage_fraction() > REBUILD_GARBAGE_FRACTION
+        {
+            self.slots = self.active.iter().cloned().map(Some).collect();
+            self.dfa = Self::compile(&self.active);
+        }
+    }
+
+    /// Removes every definition with the given name. Returns `true` if one
+    /// was removed. DFA states unaffected by the removed definition are
+    /// carried over; once removals have left more than half the automaton
+    /// as garbage, the scanner falls back to a compacting recompile.
     pub fn remove_definition(&mut self, name: &str) -> bool {
-        let before = self.definitions.len();
-        self.definitions.retain(|d| d.name != name);
-        if self.definitions.len() == before {
+        let mut removed = false;
+        for id in 0..self.slots.len() {
+            if self.slots[id].as_ref().is_some_and(|d| d.name == name) {
+                let carried_before = self.dfa.stats().carried_over;
+                self.dfa.remove_token(id);
+                self.carried_total += self.dfa.stats().carried_over - carried_before;
+                self.slots[id] = None;
+                removed = true;
+            }
+        }
+        if !removed {
             return false;
         }
-        self.dfa = Self::compile(&self.definitions);
+        self.active.retain(|d| d.name != name);
         self.rebuilds += 1;
+        // Fallback: compact the tombstones away and recompile. This is
+        // the per-character analogue of "the class partition itself
+        // changed": carrying over is no longer worth the garbage.
+        self.maybe_compact();
         true
     }
 
@@ -191,7 +266,9 @@ impl Scanner {
         while pos < chars.len() {
             match self.dfa.longest_match_pinned(&mut pin, &chars, pos) {
                 Some((len, token_id)) if len > 0 => {
-                    let def = &self.definitions[token_id];
+                    let def = self.slots[token_id]
+                        .as_ref()
+                        .expect("an accepting token is an active slot");
                     if !def.layout {
                         tokens.push(Token {
                             name: def.name.clone(),
@@ -331,12 +408,71 @@ mod tests {
         assert_eq!(scanner.rebuilds(), 1);
         let tokens = scanner.tokenize("x % y").unwrap();
         assert_eq!(tokens[1].name, "%");
-        // The freshly rebuilt DFA only materialised what this input needed.
+        // The DFA only materialised what this input needed.
         assert!(scanner.dfa_stats().states > 1);
         assert!(scanner.remove_definition("%"));
         assert!(!scanner.remove_definition("%"));
         assert!(scanner.tokenize("x % y").is_err());
         assert_eq!(scanner.rebuilds(), 2);
+    }
+
+    #[test]
+    fn definition_changes_carry_over_materialised_dfa_states() {
+        let mut scanner = simple_scanner(&["if"]);
+        let input = "if x1 42 -- note\n";
+        scanner.tokenize(input).unwrap();
+        let states_before = scanner.dfa_stats().states;
+        assert!(states_before > 3);
+        scanner.add_definition(TokenDef::keyword("%"));
+        // Everything but the start state was carried over...
+        assert_eq!(scanner.carried_states(), states_before - 1);
+        assert_eq!(scanner.dfa_stats().carried_over, states_before - 1);
+        // ...so re-scanning the old input re-derives far less than a cold
+        // scanner would.
+        let misses_before = scanner.dfa_stats().cache_misses;
+        let incremental = scanner.tokenize(input).unwrap();
+        let incremental_misses = scanner.dfa_stats().cache_misses - misses_before;
+        let cold = {
+            let mut s = simple_scanner(&["if"]);
+            s.add_definition(TokenDef::keyword("%"));
+            s
+        };
+        let cold_tokens = cold.tokenize(input).unwrap();
+        assert_eq!(incremental, cold_tokens, "carry-over must not change the tokens");
+        assert!(
+            incremental_misses < cold.dfa_stats().cache_misses,
+            "carried states must save subset-construction work \
+             ({incremental_misses} vs cold {})",
+            cold.dfa_stats().cache_misses
+        );
+        // Removal also carries over and stays oracle-equivalent.
+        scanner.remove_definition("%");
+        assert!(scanner.carried_states() > states_before - 1);
+        assert_eq!(
+            scanner.tokenize(input).unwrap(),
+            simple_scanner(&["if"]).tokenize(input).unwrap()
+        );
+    }
+
+    #[test]
+    fn heavy_removal_churn_falls_back_to_a_compacting_recompile() {
+        let mut scanner = simple_scanner(&[]);
+        for i in 0..12 {
+            scanner.add_definition(TokenDef::keyword(&format!("kw{i}")));
+        }
+        scanner.tokenize("kw0 kw11 x").unwrap();
+        for i in 0..12 {
+            assert!(scanner.remove_definition(&format!("kw{i}")));
+        }
+        // The garbage threshold forced at least one compacting recompile.
+        assert!(scanner.dfa.garbage_fraction() < 0.5);
+        // Behaviour equals a fresh scanner with the surviving definitions.
+        let input = "x1 42 kw3";
+        assert_eq!(
+            scanner.tokenize(input).unwrap(),
+            simple_scanner(&[]).tokenize(input).unwrap()
+        );
+        assert_eq!(scanner.definitions().len(), simple_scanner(&[]).definitions().len());
     }
 
     #[test]

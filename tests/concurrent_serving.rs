@@ -254,6 +254,63 @@ fn retired_epochs_free_their_item_sets_after_last_reader_leaves() {
     assert_eq!(stats.graph.epochs_reclaimed, 1);
 }
 
+/// Chunk-granular reclamation: dropping a retired epoch frees exactly the
+/// storage chunks no live epoch shares. The chunks the successor epoch
+/// inherited (everything the edit did not invalidate) must survive the
+/// retired epoch's reclamation, because the successor still serves from
+/// them; only the copied-on-write predecessors die with their epoch.
+#[test]
+fn retired_epochs_free_only_chunks_no_live_epoch_shares() {
+    use ipg_bench::synthetic_workload;
+
+    let workload = synthetic_workload(2000);
+    let (lhs, rhs) = workload.edit.clone();
+    let session = IpgSession::new(workload.grammar.clone());
+    session.graph().expand_all(session.grammar());
+    let server = IpgServer::new(session);
+
+    let epoch0 = server.current_epoch();
+    let observers: Vec<_> = epoch0
+        .session()
+        .graph()
+        .chunk_handles()
+        .iter()
+        .map(|handle| handle.observer())
+        .collect();
+    assert!(observers.len() >= 4, "fixture spans several chunks");
+
+    server.modify(|s| {
+        s.add_rule(lhs, rhs.clone());
+    });
+    let epoch1 = server.current_epoch();
+    let shared = epoch0
+        .session()
+        .graph()
+        .shared_chunks_with(epoch1.session().graph());
+    assert!(shared.iter().any(|&s| s), "untouched chunks stay shared");
+    assert!(shared.iter().any(|&s| !s), "invalidated chunks were copied");
+
+    // Retired but pinned: every chunk of epoch 0 is still alive.
+    assert_eq!(server.stats().retired_epochs, 1);
+    assert!(observers.iter().all(|o| o.is_alive()));
+
+    // Release the pin; the deferred sweep reclaims epoch 0 — but only the
+    // chunks it owned alone. Shared chunks live on inside epoch 1.
+    drop(epoch0);
+    let stats = server.stats();
+    assert_eq!(stats.retired_epochs, 0);
+    assert_eq!(stats.graph.epochs_reclaimed, 1);
+    for (c, observer) in observers.iter().enumerate() {
+        assert_eq!(
+            observer.is_alive(),
+            shared[c],
+            "chunk {c}: alive iff the live epoch shares it"
+        );
+    }
+    // The surviving epoch still serves from the shared chunks.
+    assert!(server.parse(&workload.sentence).accepted);
+}
+
 #[test]
 fn warm_shared_table_serves_identical_results_across_thread_counts() {
     let workload = SdfWorkload::load();

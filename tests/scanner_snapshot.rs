@@ -148,6 +148,86 @@ fn lexical_modify_races_tokenizers_with_per_epoch_oracles() {
     assert_eq!(stats.graph.epochs_reclaimed, 2 * cycles);
 }
 
+/// The DFA carry-over across a lexical `MODIFY`: a definition change that
+/// touches one token class must (a) keep every token stream equal to a
+/// cold scanner oracle built with the post-edit definitions, and (b) keep
+/// a nonzero number of already-materialised DFA states alive instead of
+/// rebuilding the automaton from zero — observable through the scanner's
+/// carried-states counter and the server's `GenStats`.
+#[test]
+fn lexical_modify_carries_over_dfa_states_and_matches_cold_oracle() {
+    let keywords = &["true", "false", "or", "and"];
+    let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+        .with_scanner(simple_scanner(keywords));
+    // Materialise a healthy part of the DFA before the edit.
+    for input in INPUTS {
+        let epoch = server.current_epoch();
+        let _ = epoch.scanner().expect("scanner attached").tokenize(input);
+    }
+    let states_before = {
+        let epoch = server.current_epoch();
+        epoch.scanner().unwrap().dfa_stats().states
+    };
+    assert!(states_before > 3, "warm-up materialised states");
+    assert_eq!(server.stats().graph.dfa_states_carried, 0);
+
+    // One lexical MODIFY touching one token class.
+    server
+        .modify_scanner(|s| s.add_definition(TokenDef::keyword("%")))
+        .unwrap();
+
+    let epoch = server.current_epoch();
+    let scanner = epoch.scanner().unwrap();
+    // (b) the post-edit snapshot reports carried-over states — everything
+    // but the start state survived the addition.
+    assert_eq!(scanner.carried_states(), states_before - 1);
+    assert_eq!(scanner.dfa_stats().carried_over, states_before - 1);
+    assert_eq!(
+        server.stats().graph.dfa_states_carried,
+        states_before - 1,
+        "the carry-over counter reaches the server's GenStats"
+    );
+    // (a) token streams equal a cold post-edit oracle, for old inputs and
+    // for input using the new token class.
+    let cold = {
+        let mut s = simple_scanner(keywords);
+        s.add_definition(TokenDef::keyword("%"));
+        s
+    };
+    for input in INPUTS.iter().copied().chain(["true % false", "%%"]) {
+        assert_eq!(scanner.tokenize(input), cold.tokenize(input), "input `{input}`");
+    }
+    // The carried states keep serving: re-scanning a stable input through
+    // the shared scanner re-derives less than the cold oracle had to.
+    let stable_input = "true or false and true -- comment\n";
+    cold.tokenize(stable_input).unwrap();
+    let misses_before = scanner.dfa_stats().cache_misses;
+    scanner.tokenize(stable_input).unwrap();
+    let incremental_misses = scanner.dfa_stats().cache_misses - misses_before;
+    assert!(
+        incremental_misses < cold.dfa_stats().cache_misses,
+        "carry-over saved subset-construction work ({incremental_misses} vs {})",
+        cold.dfa_stats().cache_misses
+    );
+
+    // A removal touching one token class carries over too, and the
+    // counter keeps accumulating.
+    drop(epoch);
+    server
+        .modify_scanner(|s| {
+            assert!(s.remove_definition("%"));
+        })
+        .unwrap();
+    let epoch = server.current_epoch();
+    let scanner = epoch.scanner().unwrap();
+    assert!(scanner.carried_states() > states_before - 1);
+    let cold_base = simple_scanner(keywords);
+    for input in INPUTS {
+        assert_eq!(scanner.tokenize(input), cold_base.tokenize(input), "input `{input}`");
+    }
+    assert!(server.stats().graph.dfa_states_carried > states_before - 1);
+}
+
 #[test]
 fn pinned_epoch_keeps_its_lexical_syntax_across_modify() {
     let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
