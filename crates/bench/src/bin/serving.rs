@@ -1,23 +1,70 @@
 //! Multi-threaded serving throughput of the shared-table layer: 1/2/4/8
 //! threads drive one `IpgServer` over the Fig. 7 SDF workload, with a warm
 //! table, a cold (lazily generated under contention) table, a warm table
-//! with `MODIFY` cycles mixed in, and a `modify-concurrent` scenario that
+//! with `MODIFY` cycles mixed in, a `modify-concurrent` scenario that
 //! measures **edit publication latency** while parses are in flight — the
 //! epoch claim: an edit lands in the time it takes to fork the table state
-//! and apply the §7 rule, independent of the longest running parse.
+//! and apply the §7 rule, independent of the longest running parse — and
+//! two end-to-end *text* scenarios over the same inputs: `warm-text`
+//! (fused scan→parse through the pooled request contexts) against
+//! `warm-text-split` (tokenize to a vector, then parse), which is where
+//! the lexer→parser fusion win is measured.
+//!
+//! Every process allocation is counted by a wrapping global allocator, so
+//! each row also reports **allocations per request**; the run fails (exit
+//! code 1) if the warm fused text path allocates at all — the
+//! allocation-free-request-path gate.
 //!
 //! Prints a human-readable table and writes `BENCH_serving.json` to the
 //! current directory so CI can track the serving-perf trajectory.
 //!
 //! Run with `cargo run --release -p ipg-bench --bin serving`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use ipg::{IpgServer, IpgSession};
 use ipg_bench::{mean_max_us, SdfWorkload};
+
+/// A pass-through allocator that counts every allocation, so the bench can
+/// report per-request allocation counts and gate the warm fused path on
+/// zero.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the only
+// addition is a relaxed counter increment on the allocating entry points.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// One measured configuration.
 struct Row {
@@ -31,6 +78,9 @@ struct Row {
     /// scenarios that do not time edits).
     edit_mean_us: f64,
     edit_max_us: f64,
+    /// Heap allocations per request across the timed runs (process-wide,
+    /// so multi-thread rows include the scoped-thread spawn cost).
+    allocs_per_request: f64,
 }
 
 impl Row {
@@ -60,11 +110,13 @@ fn run_warm(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
     // Untimed warm-up pass, then best of three timed runs.
     server.parse_many(&requests[..requests.len().min(8)], threads);
     let mut best = f64::INFINITY;
+    let allocs_before = allocations();
     for _ in 0..3 {
         let start = Instant::now();
         server.parse_many(&requests, threads);
         best = best.min(start.elapsed().as_secs_f64());
     }
+    let allocs = allocations() - allocs_before;
     Row {
         scenario: "warm",
         threads,
@@ -74,7 +126,117 @@ fn run_warm(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
         modifications: 0,
         edit_mean_us: 0.0,
         edit_max_us: 0.0,
+        allocs_per_request: allocs as f64 / (3 * requests.len()) as f64,
     }
+}
+
+/// Shared driver of the text scenarios: runs `requests` through `parse`
+/// on `threads` workers (inline on the calling thread for `threads == 1`,
+/// so the per-thread context pool and the allocation counter see a clean
+/// steady state), returning (elapsed seconds, allocations).
+fn drive_texts(
+    server: &IpgServer,
+    requests: &[&str],
+    threads: usize,
+    parse: impl Fn(&IpgServer, &str) + Sync,
+) -> (f64, u64) {
+    let allocs_before = allocations();
+    let start = Instant::now();
+    if threads <= 1 {
+        for &text in requests {
+            parse(server, text);
+        }
+    } else {
+        let queue = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let queue = &queue;
+                let parse = &parse;
+                scope.spawn(move || loop {
+                    let i = queue.fetch_add(1, Ordering::Relaxed);
+                    let Some(&text) = requests.get(i) else { break };
+                    parse(server, text);
+                });
+            }
+        });
+    }
+    (start.elapsed().as_secs_f64(), allocations() - allocs_before)
+}
+
+/// Shared body of the warm text scenarios: one warm server + scanner,
+/// the inputs' raw texts cycled `repeats` times, an untimed warm-up over
+/// every input, then best-of-3 timed runs (per-run minimum of the
+/// allocation count too, so a one-off growth spike does not mask the
+/// steady state). Both scenarios measure through exactly this code, so
+/// the fused/split comparison can never drift methodologically.
+fn run_text_scenario(
+    workload: &SdfWorkload,
+    scenario: &'static str,
+    threads: usize,
+    repeats: usize,
+    parse: impl Fn(&IpgServer, &str) + Sync,
+) -> Row {
+    let server = IpgServer::new(IpgSession::new(workload.grammar.clone()))
+        .with_scanner(workload.scanner.clone());
+    server.warm();
+    let requests: Vec<&str> = workload
+        .inputs
+        .iter()
+        .map(|input| input.text)
+        .cycle()
+        .take(workload.inputs.len() * repeats)
+        .collect();
+    let tokens: usize = workload.inputs.iter().map(|i| i.tokens.len()).sum::<usize>() * repeats;
+    // Warm-up: materialise the DFA, the table rows and the context pools.
+    for input in &workload.inputs {
+        parse(&server, input.text);
+    }
+    let mut best = f64::INFINITY;
+    let mut allocs = u64::MAX;
+    for _ in 0..3 {
+        let (elapsed, run_allocs) = drive_texts(&server, &requests, threads, &parse);
+        best = best.min(elapsed);
+        allocs = allocs.min(run_allocs);
+    }
+    Row {
+        scenario,
+        threads,
+        requests: requests.len(),
+        tokens,
+        elapsed_s: best,
+        modifications: 0,
+        edit_mean_us: 0.0,
+        edit_max_us: 0.0,
+        allocs_per_request: allocs as f64 / requests.len() as f64,
+    }
+}
+
+/// The fused end-to-end text path: `parse_text_pooled` scans straight into
+/// the GSS driver through a recycled per-worker context — tokenize + parse
+/// measured together, zero allocations per warm request.
+fn run_warm_text(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
+    run_text_scenario(workload, "warm-text", threads, repeats, |server, text| {
+        assert!(server.parse_text_pooled(text).expect("input scans").accepted());
+    })
+}
+
+/// The pre-fusion text path over identical inputs: tokenize the text into
+/// a token vector (token structs, name strings and all), then parse it —
+/// what `parse_text` did before the streaming rewrite. The `warm-text` /
+/// `warm-text-split` ratio is the measured fusion win.
+fn run_warm_text_split(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
+    run_text_scenario(
+        workload,
+        "warm-text-split",
+        threads,
+        repeats,
+        |server, text| {
+            let tokens = server
+                .read(|session| workload.scanner.tokenize_for(session.grammar(), text))
+                .expect("input scans");
+            assert!(server.parse(&tokens).accepted);
+        },
+    )
 }
 
 fn run_cold(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
@@ -82,12 +244,14 @@ fn run_cold(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
     // The cold run includes lazy generation racing across threads; a fresh
     // server per run, best of three.
     let mut best = f64::INFINITY;
+    let allocs_before = allocations();
     for _ in 0..3 {
         let server = IpgServer::new(IpgSession::new(workload.grammar.clone()));
         let start = Instant::now();
         server.parse_many(&requests, threads);
         best = best.min(start.elapsed().as_secs_f64());
     }
+    let allocs = allocations() - allocs_before;
     Row {
         scenario: "cold",
         threads,
@@ -97,6 +261,7 @@ fn run_cold(workload: &SdfWorkload, threads: usize, repeats: usize) -> Row {
         modifications: 0,
         edit_mean_us: 0.0,
         edit_max_us: 0.0,
+        allocs_per_request: allocs as f64 / (3 * requests.len()) as f64,
     }
 }
 
@@ -109,6 +274,7 @@ fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Ro
     let mut modifications = 0usize;
     let mut elapsed_s = 0.0f64;
     let mut latencies: Vec<f64> = Vec::new();
+    let allocs_before = allocations();
     thread::scope(|scope| {
         let writer = scope.spawn(|| {
             // The §7 ADD-RULE/DELETE-RULE cycle, applied continuously while
@@ -137,6 +303,7 @@ fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Ro
         latencies = writer.join().expect("writer thread panicked");
         modifications = latencies.len();
     });
+    let allocs = allocations() - allocs_before;
     let (edit_mean_us, edit_max_us) = mean_max_us(&latencies);
     Row {
         scenario: "warm+modify",
@@ -147,6 +314,7 @@ fn run_with_modify(workload: &SdfWorkload, threads: usize, repeats: usize) -> Ro
         modifications,
         edit_mean_us,
         edit_max_us,
+        allocs_per_request: allocs as f64 / requests.len() as f64,
     }
 }
 
@@ -164,6 +332,7 @@ fn run_modify_concurrent(workload: &SdfWorkload, threads: usize, edits: usize) -
     let mut latencies: Vec<f64> = Vec::with_capacity(edits);
     let mut requests = 0usize;
     let mut elapsed_s = 0.0f64;
+    let allocs_before = allocations();
     thread::scope(|scope| {
         // The throughput window covers the workers' whole lifetime (spawn
         // to join), so the req/s / tokens/s columns divide matching
@@ -204,6 +373,7 @@ fn run_modify_concurrent(workload: &SdfWorkload, threads: usize, edits: usize) -
         }
         elapsed_s = run_start.elapsed().as_secs_f64();
     });
+    let allocs = allocations() - allocs_before;
     let (edit_mean_us, edit_max_us) = mean_max_us(&latencies);
     Row {
         scenario: "modify-concurrent",
@@ -214,6 +384,10 @@ fn run_modify_concurrent(workload: &SdfWorkload, threads: usize, edits: usize) -
         modifications: edits,
         edit_mean_us,
         edit_max_us,
+        // Measured per *operation*: the parses plus the edits, since each
+        // edit's structurally shared fork is the dominant allocator here
+        // (and the idle row serves no parses at all).
+        allocs_per_request: allocs as f64 / (requests + edits).max(1) as f64,
     }
 }
 
@@ -226,6 +400,12 @@ fn main() {
     let mut rows = Vec::new();
     for &threads in &thread_counts {
         rows.push(run_warm(&workload, threads, repeats));
+    }
+    for &threads in &thread_counts {
+        rows.push(run_warm_text(&workload, threads, repeats));
+    }
+    for &threads in &thread_counts {
+        rows.push(run_warm_text_split(&workload, threads, repeats));
     }
     for &threads in &thread_counts {
         rows.push(run_cold(&workload, threads, repeats));
@@ -242,17 +422,18 @@ fn main() {
 
     let cores = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("Shared-table serving throughput (Fig. 7 SDF workload, 200 requests/run, host: {cores} core(s))");
-    println!("scenario          | threads |   req/s |  tokens/s | modifications");
+    println!("scenario          | threads |   req/s |  tokens/s | allocs/req | modifications");
     for row in &rows {
         // Rows using more parse threads than the host has cores measure OS
         // timeslicing on top of the serving layer (the ROADMAP caveat).
         let scheduler_bound = row.threads > cores;
         println!(
-            "{:<17} | {:>7} | {:>7.0} | {:>9.0} | {:>5}{}",
+            "{:<17} | {:>7} | {:>7.0} | {:>9.0} | {:>10.2} | {:>5}{}",
             row.scenario,
             row.threads,
             row.requests_per_sec(),
             row.tokens_per_sec(),
+            row.allocs_per_request,
             row.modifications,
             if scheduler_bound {
                 "  [threads > cores: scheduler-bound]"
@@ -261,6 +442,23 @@ fn main() {
             },
         );
     }
+
+    let row_of = |scenario: &str, threads: usize| -> &Row {
+        rows.iter()
+            .find(|r| r.scenario == scenario && r.threads == threads)
+            .expect("measured configuration")
+    };
+    let fused = row_of("warm-text", 1);
+    let split = row_of("warm-text-split", 1);
+    let fusion_speedup = fused.tokens_per_sec() / split.tokens_per_sec();
+    println!(
+        "\nlexer→parser fusion (1 thread): fused {:.0} tokens/s vs tokenize-then-parse {:.0} \
+         tokens/s ({fusion_speedup:.2}x), {:.2} vs {:.2} allocs/request",
+        fused.tokens_per_sec(),
+        split.tokens_per_sec(),
+        fused.allocs_per_request,
+        split.allocs_per_request,
+    );
 
     let speedup = |scenario: &str, threads: usize| -> f64 {
         let of = |t: usize| {
@@ -330,7 +528,7 @@ fn main() {
             "    {{\"scenario\": \"{}\", \"threads\": {}, \"requests\": {}, \"tokens\": {}, \
              \"elapsed_s\": {:.6}, \"tokens_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \
              \"modifications\": {}, \"edit_mean_us\": {:.2}, \"edit_max_us\": {:.2}, \
-             \"scheduler_bound\": {}}}{}",
+             \"allocs_per_request\": {:.2}, \"scheduler_bound\": {}}}{}",
             row.scenario,
             row.threads,
             row.requests,
@@ -341,6 +539,7 @@ fn main() {
             row.modifications,
             row.edit_mean_us,
             row.edit_max_us,
+            row.allocs_per_request,
             row.threads > cores,
             if i + 1 < rows.len() { "," } else { "" },
         );
@@ -357,9 +556,12 @@ fn main() {
     let _ = write!(
         json,
         "  ],\n  \"warm_speedup_4_threads\": {:.3},\n  \"warm_speedup_8_threads\": {:.3},\n  \
+         \"warm_text_fused_speedup\": {fusion_speedup:.3},\n  \
+         \"warm_text_allocs_per_request\": {:.2},\n  \
          \"modify_concurrent_idle_mean_us\": {:.2},\n  \"modify_concurrent_loaded_mean_us\": {:.2}\n}}\n",
         warm4,
         speedup("warm", 8),
+        fused.allocs_per_request,
         idle_mean,
         loaded_mean,
     );
@@ -371,5 +573,30 @@ fn main() {
     println!("host parallelism: {cores} core(s)");
     if cores >= 4 && warm4 < 2.5 {
         eprintln!("WARNING: 4-thread warm speedup {warm4:.2}x below the 2.5x target on a {cores}-core host");
+    }
+
+    // Hard gates (alongside the publish-scaling gate in CI): the warm
+    // fused text path must not allocate per request — the single-threaded
+    // warm-text row runs inline on this thread against recycled contexts,
+    // so any allocation is a regression of the allocation-free request
+    // path — and fusion must actually beat tokenize-then-parse.
+    let mut failed = false;
+    if fused.allocs_per_request > 0.0 {
+        eprintln!(
+            "FAIL: warm fused parse_text allocated {:.2} times per request (expected 0)",
+            fused.allocs_per_request
+        );
+        failed = true;
+    }
+    if fusion_speedup < 1.0 {
+        eprintln!(
+            "FAIL: fused warm-text ({:.0} tokens/s) is slower than tokenize-then-parse ({:.0} tokens/s)",
+            fused.tokens_per_sec(),
+            split.tokens_per_sec()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

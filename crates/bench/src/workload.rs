@@ -3,6 +3,7 @@
 //! inputs, and the §7 grammar modification.
 
 use ipg_grammar::{Grammar, SymbolId};
+use ipg_lexer::Scanner;
 use ipg_sdf::fixtures::{measurement_inputs, paper_modification_rule, sdf_grammar_and_scanner};
 use ipg_sdf::NormalizedSdf;
 
@@ -14,6 +15,9 @@ pub struct PreLexedInput {
     /// The token stream, already in memory — exactly as in the paper, so
     /// that scanner and I/O costs do not pollute the parser measurements.
     pub tokens: Vec<SymbolId>,
+    /// The raw SDF text the tokens were lexed from, for end-to-end
+    /// (tokenize + parse) scenarios like the serving bench's `warm-text`.
+    pub text: &'static str,
     /// Token count the paper reports for its original input.
     pub paper_tokens: usize,
 }
@@ -23,6 +27,9 @@ pub struct PreLexedInput {
 pub struct SdfWorkload {
     /// The benchmark grammar: the SDF definition of SDF, normalised.
     pub grammar: Grammar,
+    /// The scanner derived from the SDF definition (drives the text-based
+    /// serving scenarios; the pre-lexed inputs were produced with it).
+    pub scanner: Scanner,
     /// The four inputs, smallest to largest.
     pub inputs: Vec<PreLexedInput>,
     /// The added rule of §7: `"(" CF-ELEM+ ")?" -> CF-ELEM`, as interned
@@ -43,6 +50,7 @@ impl SdfWorkload {
                 tokens: scanner
                     .tokenize_for(&grammar, input.text)
                     .expect("measurement inputs tokenize"),
+                text: input.text,
                 paper_tokens: input.paper_tokens,
             })
             .collect();
@@ -60,6 +68,7 @@ impl SdfWorkload {
             .collect();
         SdfWorkload {
             grammar,
+            scanner,
             inputs,
             modification: (lhs, rhs),
         }

@@ -99,7 +99,7 @@ pub use graph::{
     ActionRow, ChunkHandle, ChunkObserver, GcPolicy, GraphError, ItemSetGraph, ItemSetKind,
     ItemSetNode, CHUNK_SIZE,
 };
-pub use server::{GrammarEpoch, IpgServer, ServerError, ServerStats};
+pub use server::{GrammarEpoch, IpgServer, PooledParse, RequestCtx, ServerError, ServerStats};
 pub use session::{IpgSession, SessionError};
 pub use stats::{GenStats, GraphSize};
 pub use tables::{LazyTables, StaleGraphError};

@@ -52,11 +52,44 @@
 //!   states) that no live epoch still shares — the chunks the epoch
 //!   inherited from (or bequeathed to) its neighbours live on with them.
 //!
+//! ## The request path: checkout → parse → return
+//!
+//! Epochs make the *table* side of a request allocation-free; the
+//! per-request scratch is recycled the same way. Every request checks a
+//! [`RequestCtx`] out of a **per-thread context pool slot** (lock-free: a
+//! `Cell` swap in thread-local storage, keyed by thread exactly like the
+//! per-thread statistics), runs entirely inside it — GSS node/edge pools,
+//! dense frontiers, reduction buffers, the forest arena and the scanner's
+//! character buffer all live in the context and keep their capacity from
+//! request to request — and returns it when done:
+//!
+//! ```text
+//! request --> checkout ctx --> pin epoch --> parse --> release pin --> return ctx
+//!             (TLS slot,                                              (TLS slot)
+//!              reset O(live))
+//! ```
+//!
+//! On a warm server a request through the pooled entry points
+//! ([`IpgServer::parse_text_pooled`], [`IpgServer::parse_pooled`],
+//! [`IpgServer::recognize`]) performs **zero heap allocations** end to
+//! end — enforced by a counting-allocator gate in the serving bench and
+//! the `alloc_free` regression suite. The owned conveniences
+//! ([`IpgServer::parse`], [`IpgServer::parse_text`]) cost exactly one
+//! forest copy on top. A future network frontend slots straight in: a
+//! connection handler *is* a context checkout.
+//!
+//! Text requests are additionally **fused**: [`IpgServer::parse_text`]
+//! streams scanner matches from the epoch's pinned DFA snapshot directly
+//! into the GSS driver (token-id slots resolved to terminals through a
+//! per-epoch precomputed map), so no token vector, token structs or name
+//! strings are ever materialised.
+//!
 //! ## What serializes with what
 //!
 //! | operation                  | parses (readers)  | other writers |
 //! |----------------------------|-------------------|---------------|
 //! | `parse*`, `recognize`      | fully concurrent  | never blocked by writers (pin the old epoch) |
+//! | context checkout/return    | thread-local, lock-free | not shared across threads |
 //! | `MODIFY`, `modify_scanner`, `collect_garbage` | do **not** wait for parses | serialize among themselves |
 //! | epoch swap                 | nanoseconds (pointer swap) | under the writer lock |
 //!
@@ -83,15 +116,18 @@
 //! assert!(server.parse_sentence("true or unknown").unwrap().accepted);
 //! ```
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread;
 
-use ipg_glr::{GssParseResult, GssParser};
+use ipg_glr::{
+    Forest, GssParseResult, GssParser, GssStats, ParseCtx, ParseOutcome, TokenSource,
+};
 use ipg_grammar::{RuleId, SymbolId};
-use ipg_lexer::{ScanError, Scanner};
+use ipg_lexer::{ScanError, Scanner, TokenStream};
 
 use crate::session::{IpgSession, SessionError};
 use crate::stats::GenStats;
@@ -151,6 +187,11 @@ pub struct GrammarEpoch {
     session: Arc<IpgSession>,
     /// The epoch's scanner (lexical syntax + lazily determinised DFA).
     scanner: Option<Arc<Scanner>>,
+    /// Lazily built `token-id slot -> grammar terminal` map for the fused
+    /// text path: both the scanner's slot table and the grammar are
+    /// immutable within one epoch, so the (per-token string) name lookup
+    /// is paid once per epoch instead of once per token.
+    terminal_slots: OnceLock<Vec<Option<SymbolId>>>,
 }
 
 impl GrammarEpoch {
@@ -172,6 +213,156 @@ impl GrammarEpoch {
     /// The epoch's scanner, if the server was built with one.
     pub fn scanner(&self) -> Option<&Scanner> {
         self.scanner.as_deref()
+    }
+
+    /// The `token-id slot -> terminal` map of this epoch (empty for
+    /// servers without a scanner). Layout slots and slots whose token name
+    /// has no terminal in this epoch's grammar map to `None`.
+    fn terminal_slots(&self) -> &[Option<SymbolId>] {
+        self.terminal_slots.get_or_init(|| {
+            let Some(scanner) = self.scanner.as_deref() else {
+                return Vec::new();
+            };
+            let grammar = self.session.grammar();
+            (0..scanner.num_slots())
+                .map(|id| {
+                    scanner
+                        .slot(id)
+                        .filter(|def| !def.layout)
+                        .and_then(|def| grammar.symbol(&def.name))
+                        .filter(|&s| grammar.is_terminal(s))
+                })
+                .collect()
+        })
+    }
+}
+
+/// The fused lexer→parser token source: pulls the next scanner match from
+/// the epoch's pinned DFA snapshot and maps its slot to a grammar terminal
+/// through the epoch's precomputed slot table — no token vector, no
+/// per-token strings.
+struct EpochTokenSource<'a> {
+    stream: TokenStream<'a>,
+    slots: &'a [Option<SymbolId>],
+    scanner: &'a Scanner,
+}
+
+impl TokenSource for EpochTokenSource<'_> {
+    type Error = ServerError;
+
+    fn next_token(&mut self) -> Result<Option<SymbolId>, ServerError> {
+        let Some(slot) = self.stream.next_slot()? else {
+            return Ok(None);
+        };
+        match self.slots.get(slot).copied().flatten() {
+            Some(symbol) => Ok(Some(symbol)),
+            None => Err(ServerError::Scan(ScanError::UnknownTerminal {
+                name: self
+                    .scanner
+                    .slot(slot)
+                    .map(|def| def.name.clone())
+                    .unwrap_or_default(),
+            })),
+        }
+    }
+}
+
+/// A reusable per-worker request context: everything one request needs as
+/// scratch — the GSS driver's [`ParseCtx`] (node/edge pools, frontiers,
+/// forest arena, token buffer) plus the scanner's character buffer.
+///
+/// Contexts are recycled through a per-thread pool slot (see the module
+/// docs): a warm request checks one out, parses, and returns it, touching
+/// the allocator not at all.
+#[derive(Debug, Default)]
+pub struct RequestCtx {
+    /// The parse driver's scratch (forest arena included).
+    glr: ParseCtx,
+    /// The fused scanner's reusable character buffer.
+    chars: Vec<char>,
+}
+
+thread_local! {
+    /// The per-thread context pool slot. Keyed by thread like the server's
+    /// per-thread statistics, and lock-free by construction: checkout and
+    /// return are plain `Cell` swaps with no cross-thread traffic. One
+    /// slot suffices because a thread runs one request at a time; a nested
+    /// checkout (reentrant parse) simply builds a fresh context, and the
+    /// last return wins the slot.
+    static CTX_SLOT: Cell<Option<Box<RequestCtx>>> = const { Cell::new(None) };
+}
+
+/// Takes the calling thread's pooled context, or builds a fresh one.
+/// Returns whether the context was recycled (for the stats counters).
+fn checkout_ctx() -> (Box<RequestCtx>, bool) {
+    match CTX_SLOT.try_with(Cell::take).ok().flatten() {
+        Some(ctx) => (ctx, true),
+        None => (Box::default(), false),
+    }
+}
+
+/// Returns a context to the calling thread's pool slot. The last return
+/// wins the slot: if it is occupied (overlapping pooled results returned
+/// out of order), the previously resident context is dropped so exactly
+/// one stays pooled. `try_with` covers returns during thread teardown,
+/// where the context is simply dropped.
+fn checkin_ctx(ctx: Box<RequestCtx>) {
+    let _ = CTX_SLOT.try_with(|slot| slot.set(Some(ctx)));
+}
+
+/// A parse result that *borrows* the pooled context it was produced in —
+/// the zero-allocation counterpart of [`GssParseResult`].
+///
+/// The forest lives in the context's arena and is read in place through
+/// [`PooledParse::forest`]; dropping the result returns the context (arena
+/// capacity and all) to the per-thread pool. Convert with
+/// [`PooledParse::into_result`] when an owned, `'static` result is worth
+/// one forest copy.
+#[derive(Debug)]
+pub struct PooledParse {
+    /// Always `Some` until dropped.
+    ctx: Option<Box<RequestCtx>>,
+    outcome: ParseOutcome,
+}
+
+impl PooledParse {
+    /// Whether the input is a sentence of the language.
+    pub fn accepted(&self) -> bool {
+        self.outcome.accepted
+    }
+
+    /// Work counters of the parse.
+    pub fn stats(&self) -> GssStats {
+        self.outcome.stats
+    }
+
+    /// The grammar version the parse ran against.
+    pub fn grammar_version(&self) -> u64 {
+        self.outcome.grammar_version
+    }
+
+    /// The shared parse forest, read in place from the pooled context.
+    pub fn forest(&self) -> &Forest {
+        self.ctx
+            .as_ref()
+            .expect("context present until drop")
+            .glr
+            .forest()
+    }
+
+    /// Copies the borrowed result into an owned [`GssParseResult`] (one
+    /// forest clone); the context still returns to the pool with its
+    /// capacity intact.
+    pub fn into_result(self) -> GssParseResult {
+        self.outcome.into_result(self.forest().clone())
+    }
+}
+
+impl Drop for PooledParse {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            checkin_ctx(ctx);
+        }
     }
 }
 
@@ -265,6 +456,7 @@ impl IpgServer {
                 number: 0,
                 session: Arc::new(session),
                 scanner: None,
+                terminal_slots: OnceLock::new(),
             })),
             current_number: AtomicU64::new(0),
             writer: Mutex::new(EpochWriter::default()),
@@ -287,6 +479,7 @@ impl IpgServer {
                 number: current.number,
                 session: current.session.clone(),
                 scanner: Some(Arc::new(scanner)),
+                terminal_slots: OnceLock::new(),
             });
         }
         self
@@ -401,20 +594,71 @@ impl IpgServer {
         self.read(|s| s.tokens(sentence))
     }
 
-    /// The one serve path every parse method goes through: pin the current
-    /// epoch, hand it and a fresh lazy-tables handle to `f`, record the
-    /// handle's query counts against the calling thread, release the pin.
-    /// A request that fails before parsing (unknown token, scan error)
-    /// still counts as a served request with zero queries.
-    fn serve<R>(&self, f: impl FnOnce(&GrammarEpoch, &LazyTables<'_>) -> R) -> R {
+    /// The one serve path every parse method goes through: check a context
+    /// out of the per-thread pool, pin the current epoch, hand epoch +
+    /// lazy-tables handle + context to `f`, record the handle's query
+    /// counts against the calling thread, release the pin and return the
+    /// context. A request that fails before parsing (unknown token, scan
+    /// error) still counts as a served request with zero queries.
+    fn serve<R>(&self, f: impl FnOnce(&GrammarEpoch, &LazyTables<'_>, &mut RequestCtx) -> R) -> R {
+        let (mut ctx, reused) = checkout_ctx();
         let epoch = self.acquire();
         let tables: LazyTables<'_> = epoch.session.tables();
-        let result = f(&epoch, &tables);
+        let result = f(&epoch, &tables, &mut ctx);
         let (action_calls, goto_calls) = tables.query_counts();
         drop(tables);
         self.release(epoch);
-        self.note_parse(action_calls, goto_calls);
+        checkin_ctx(ctx);
+        self.note_parse(action_calls, goto_calls, reused);
         result
+    }
+
+    /// The serve path of the pooled (borrowed-result) parse methods: like
+    /// [`IpgServer::serve`], but on success the checked-out context rides
+    /// inside the returned [`PooledParse`] and only goes back to the pool
+    /// when the caller drops the result.
+    fn serve_pooled<E>(
+        &self,
+        f: impl FnOnce(&GrammarEpoch, &LazyTables<'_>, &mut RequestCtx) -> Result<ParseOutcome, E>,
+    ) -> Result<PooledParse, E> {
+        let (mut ctx, reused) = checkout_ctx();
+        let epoch = self.acquire();
+        let tables: LazyTables<'_> = epoch.session.tables();
+        let outcome = f(&epoch, &tables, &mut ctx);
+        let (action_calls, goto_calls) = tables.query_counts();
+        drop(tables);
+        self.release(epoch);
+        self.note_parse(action_calls, goto_calls, reused);
+        match outcome {
+            Ok(outcome) => Ok(PooledParse {
+                ctx: Some(ctx),
+                outcome,
+            }),
+            Err(e) => {
+                checkin_ctx(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fused text pipeline body shared by [`IpgServer::parse_text`]
+    /// and [`IpgServer::parse_text_pooled`]: stream scanner matches from
+    /// the epoch's pinned DFA snapshot straight into the GSS driver, with
+    /// slots resolved to terminals through the epoch's precomputed map.
+    fn parse_text_fused(
+        epoch: &GrammarEpoch,
+        tables: &LazyTables<'_>,
+        ctx: &mut RequestCtx,
+        input: &str,
+    ) -> Result<ParseOutcome, ServerError> {
+        let scanner = epoch.scanner().ok_or(ServerError::NoScanner)?;
+        let RequestCtx { glr, chars } = ctx;
+        let source = EpochTokenSource {
+            stream: scanner.stream(input, chars),
+            slots: epoch.terminal_slots(),
+            scanner,
+        };
+        GssParser::new(epoch.session.grammar()).parse_stream(glr, tables, source)
     }
 
     /// Parses a token sentence against the shared graph. Concurrent with
@@ -429,43 +673,85 @@ impl IpgServer {
     /// result's own `grammar_version` field repeats, so the pair stays
     /// consistent however many epochs writers publish meanwhile.
     pub fn parse_versioned(&self, tokens: &[SymbolId]) -> (u64, GssParseResult) {
-        self.serve(|epoch, tables| {
-            let result = GssParser::new(epoch.session.grammar()).parse(tables, tokens);
-            debug_assert_eq!(result.grammar_version, epoch.grammar_version());
-            (result.grammar_version, result)
+        self.serve(|epoch, tables, ctx| {
+            let outcome =
+                GssParser::new(epoch.session.grammar()).parse_into(&mut ctx.glr, tables, tokens);
+            debug_assert_eq!(outcome.grammar_version, epoch.grammar_version());
+            (
+                outcome.grammar_version,
+                outcome.into_result(ctx.glr.forest().clone()),
+            )
         })
     }
 
-    /// Recognises a token sentence (no forest construction).
+    /// Like [`IpgServer::parse`], but the result *borrows* the pooled
+    /// context it was produced in: the forest is read in place and nothing
+    /// is copied or allocated on the warm path. Drop the result to return
+    /// the context to the pool.
+    pub fn parse_pooled(&self, tokens: &[SymbolId]) -> PooledParse {
+        let served: Result<PooledParse, std::convert::Infallible> =
+            self.serve_pooled(|epoch, tables, ctx| {
+                Ok(GssParser::new(epoch.session.grammar()).parse_into(
+                    &mut ctx.glr,
+                    tables,
+                    tokens,
+                ))
+            });
+        match served {
+            Ok(parsed) => parsed,
+            Err(infallible) => match infallible {},
+        }
+    }
+
+    /// Recognises a token sentence (no forest construction; zero
+    /// allocations on the warm path).
     pub fn recognize(&self, tokens: &[SymbolId]) -> bool {
-        self.serve(|epoch, tables| {
-            GssParser::new(epoch.session.grammar()).recognize(tables, tokens)
+        self.serve(|epoch, tables, ctx| {
+            GssParser::new(epoch.session.grammar())
+                .recognize_into(&mut ctx.glr, tables, tokens)
+                .accepted
         })
     }
 
     /// Convenience: [`IpgServer::parse`] on a whitespace-separated sentence
-    /// of terminal names (tokenized and parsed against one pinned epoch,
-    /// so the sentence is interpreted by the same grammar version it is
-    /// parsed with).
+    /// of terminal names (tokenized — into the context's reusable token
+    /// buffer — and parsed against one pinned epoch, so the sentence is
+    /// interpreted by the same grammar version it is parsed with).
     pub fn parse_sentence(&self, sentence: &str) -> Result<GssParseResult, SessionError> {
-        self.serve(|epoch, tables| {
-            let tokens = epoch.session.tokens(sentence)?;
-            Ok(GssParser::new(epoch.session.grammar()).parse(tables, &tokens))
+        self.serve(|epoch, tables, ctx| {
+            epoch.session.tokens_into(sentence, &mut ctx.glr.tokens)?;
+            let outcome = GssParser::new(epoch.session.grammar()).parse_buffered(&mut ctx.glr, tables);
+            Ok(outcome.into_result(ctx.glr.forest().clone()))
         })
     }
 
     /// Lexes `input` with the pinned epoch's scanner and parses the token
     /// stream — the full text-to-forest pipeline against one epoch, so
     /// lexical and context-free syntax can never be observed from two
-    /// different versions within one request. The scanner serves the hot
-    /// path from its pinned DFA snapshot, so concurrent `parse_text`
-    /// calls share its cache without blocking each other.
+    /// different versions within one request.
+    ///
+    /// Scanning is **fused** into the parse: the scanner's matches (served
+    /// from its pinned, lock-free DFA snapshot) feed the GSS driver one
+    /// terminal at a time, so no token vector, token structs or name
+    /// strings are ever materialised. Fusion is lazy end to end — if every
+    /// parallel parser dies early, the rest of the text is never scanned,
+    /// so a lexical error *beyond* the point of rejection is not reported
+    /// (the parse returns a plain rejection). See
+    /// [`IpgServer::parse_text_pooled`] for the zero-copy form.
     pub fn parse_text(&self, input: &str) -> Result<GssParseResult, ServerError> {
-        self.serve(|epoch, tables| {
-            let scanner = epoch.scanner().ok_or(ServerError::NoScanner)?;
-            let tokens = scanner.tokenize_for(epoch.session.grammar(), input)?;
-            Ok(GssParser::new(epoch.session.grammar()).parse(tables, &tokens))
+        self.serve(|epoch, tables, ctx| {
+            let outcome = Self::parse_text_fused(epoch, tables, ctx, input)?;
+            Ok(outcome.into_result(ctx.glr.forest().clone()))
         })
+    }
+
+    /// Like [`IpgServer::parse_text`], but the result borrows the pooled
+    /// context: on a warm server (table expanded, DFA snapshot populated,
+    /// context pools grown) a request through this path performs **zero
+    /// heap allocations** end to end — scan, parse and forest all run in
+    /// recycled memory. Drop the result to return the context.
+    pub fn parse_text_pooled(&self, input: &str) -> Result<PooledParse, ServerError> {
+        self.serve_pooled(|epoch, tables, ctx| Self::parse_text_fused(epoch, tables, ctx, input))
     }
 
     // ------------------------------------------------------------------
@@ -490,6 +776,7 @@ impl IpgServer {
             number: cur.number + 1,
             session: Arc::new(session),
             scanner: cur.scanner.clone(),
+            terminal_slots: OnceLock::new(),
         };
         drop(cur);
         let reclaimed = self.install_locked(&mut writer, next);
@@ -517,6 +804,7 @@ impl IpgServer {
             number: cur.number + 1,
             session: cur.session.clone(),
             scanner: Some(Arc::new(scanner)),
+            terminal_slots: OnceLock::new(),
         };
         drop(cur);
         let reclaimed = self.install_locked(&mut writer, next);
@@ -550,22 +838,29 @@ impl IpgServer {
     // ------------------------------------------------------------------
 
     /// Parses every request, fanned out over `threads` scoped worker
-    /// threads (request `i` goes to worker `i % threads`). Results come
-    /// back in request order. A convenience for benches, tests and batch
-    /// callers; network frontends would call [`IpgServer::parse`] from
-    /// their own threads instead.
+    /// threads pulling from a shared atomic work queue: each worker grabs
+    /// the next unclaimed request index when it finishes its current one,
+    /// so one slow request delays only the worker running it — not every
+    /// request that a static striping would have assigned to the same
+    /// lane. Results come back in request order. A convenience for
+    /// benches, tests and batch callers; network frontends would call
+    /// [`IpgServer::parse`] from their own threads instead.
     pub fn parse_many(&self, requests: &[Vec<SymbolId>], threads: usize) -> Vec<GssParseResult> {
-        let threads = threads.max(1);
+        let threads = threads.max(1).min(requests.len().max(1));
+        let queue = AtomicUsize::new(0);
         let mut results: Vec<Option<GssParseResult>> = vec![None; requests.len()];
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
+            for _ in 0..threads {
+                let queue = &queue;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
-                    let mut i = t;
-                    while i < requests.len() {
+                    loop {
+                        let i = queue.fetch_add(1, Ordering::Relaxed);
+                        if i >= requests.len() {
+                            break;
+                        }
                         out.push((i, self.parse(&requests[i])));
-                        i += threads;
                     }
                     out
                 }));
@@ -623,12 +918,17 @@ impl IpgServer {
         }
     }
 
-    fn note_parse(&self, action_calls: usize, goto_calls: usize) {
+    fn note_parse(&self, action_calls: usize, goto_calls: usize, ctx_reused: bool) {
         let mut per_thread = self.per_thread.lock().unwrap();
         let entry = Self::entry_mut(&mut per_thread);
         entry.parses += 1;
         entry.action_calls += action_calls;
         entry.goto_calls += goto_calls;
+        if ctx_reused {
+            entry.ctx_reused += 1;
+        } else {
+            entry.ctx_fresh += 1;
+        }
     }
 
     fn note_epochs(&self, retired: usize, reclaimed: usize) {
@@ -864,6 +1164,79 @@ mod tests {
             .per_thread
             .iter()
             .any(|(name, s)| name == "(untracked threads)" && s.parses == 8));
+    }
+
+    #[test]
+    fn pooled_parses_reuse_the_thread_context() {
+        let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+            .with_scanner(simple_scanner(&["true", "false", "or", "and"]));
+        server.warm();
+        for _ in 0..8 {
+            let parsed = server.parse_text_pooled("true or false and true").unwrap();
+            assert!(parsed.accepted());
+            assert!(parsed.stats().shifts > 0);
+            assert_eq!(parsed.grammar_version(), server.grammar_version());
+            assert!(!parsed.forest().roots().is_empty());
+        }
+        let stats = server.stats();
+        let (reused, fresh): (usize, usize) = stats
+            .per_thread
+            .iter()
+            .fold((0, 0), |(r, f), (_, s)| (r + s.ctx_reused, f + s.ctx_fresh));
+        assert_eq!(reused + fresh, 8);
+        // At most the first request on this thread built a context.
+        assert!(reused >= 7, "contexts must be recycled: {reused} reused / {fresh} fresh");
+    }
+
+    #[test]
+    fn pooled_and_owned_parse_text_agree() {
+        let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+            .with_scanner(simple_scanner(&["true", "false", "or", "and"]));
+        for input in ["true or false", "true or true or true", "true or", ""] {
+            let owned = server.parse_text(input).unwrap();
+            let pooled = server.parse_text_pooled(input).unwrap();
+            assert_eq!(pooled.accepted(), owned.accepted, "`{input}`");
+            assert_eq!(
+                pooled.forest().tree_count(100),
+                owned.forest.tree_count(100),
+                "`{input}`"
+            );
+            let copied = pooled.into_result();
+            assert_eq!(copied.accepted, owned.accepted);
+            assert_eq!(copied.grammar_version, owned.grammar_version);
+        }
+        // Error paths return the context to the pool and surface the error.
+        assert!(matches!(
+            server.parse_text_pooled("true $ false"),
+            Err(ServerError::Scan(_))
+        ));
+        let tokens = server.tokens("true or false").unwrap();
+        assert!(server.parse_pooled(&tokens).accepted());
+    }
+
+    #[test]
+    fn fused_scanning_is_lazy_past_the_point_of_rejection() {
+        let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+            .with_scanner(simple_scanner(&["true", "false", "or", "and"]));
+        // `true true` kills every parallel parser before `$` is scanned:
+        // the fused pipeline reports a rejection, not a scan error.
+        let result = server.parse_text("true true $").unwrap();
+        assert!(!result.accepted);
+        // With the parse still alive at the error, the scan error surfaces.
+        assert!(matches!(
+            server.parse_text("true or $"),
+            Err(ServerError::Scan(ScanError::UnexpectedCharacter { .. }))
+        ));
+    }
+
+    #[test]
+    fn parse_many_with_more_threads_than_requests() {
+        let server = boolean_server();
+        let requests = vec![server.tokens("true or false").unwrap()];
+        let results = server.parse_many(&requests, 8);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].accepted);
+        assert!(server.parse_many(&[], 4).is_empty());
     }
 
     #[test]

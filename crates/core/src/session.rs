@@ -243,15 +243,29 @@ impl IpgSession {
     /// Converts a whitespace-separated sentence of terminal names into
     /// symbol ids.
     pub fn tokens(&self, sentence: &str) -> Result<Vec<SymbolId>, SessionError> {
-        sentence
-            .split_whitespace()
-            .map(|name| {
-                self.grammar
-                    .symbol(name)
-                    .filter(|&s| self.grammar.is_terminal(s))
-                    .ok_or_else(|| SessionError::UnknownToken(name.to_owned()))
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.tokens_into(sentence, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`IpgSession::tokens`], filling a caller-owned reusable buffer
+    /// (cleared first) instead of allocating a vector — the form the
+    /// serving layer's recycled request contexts use.
+    pub fn tokens_into(
+        &self,
+        sentence: &str,
+        out: &mut Vec<SymbolId>,
+    ) -> Result<(), SessionError> {
+        out.clear();
+        for name in sentence.split_whitespace() {
+            let symbol = self
+                .grammar
+                .symbol(name)
+                .filter(|&s| self.grammar.is_terminal(s))
+                .ok_or_else(|| SessionError::UnknownToken(name.to_owned()))?;
+            out.push(symbol);
+        }
+        Ok(())
     }
 
     /// A read-path handle on the lazy tables of this session — the same
@@ -270,6 +284,28 @@ impl IpgSession {
     pub fn parse(&self, tokens: &[SymbolId]) -> GssParseResult {
         let parser = GssParser::new(&self.grammar);
         parser.parse(&self.tables(), tokens)
+    }
+
+    /// Parses a token sentence in a reusable [`ipg_glr::ParseCtx`]: the
+    /// forest lands in the context's arena and all driver scratch is
+    /// recycled — the allocation-free form of [`IpgSession::parse`] for
+    /// callers managing their own contexts (the serving layer pools them
+    /// per worker thread).
+    pub fn parse_in(
+        &self,
+        ctx: &mut ipg_glr::ParseCtx,
+        tokens: &[SymbolId],
+    ) -> ipg_glr::ParseOutcome {
+        GssParser::new(&self.grammar).parse_into(ctx, &self.tables(), tokens)
+    }
+
+    /// Recognises a token sentence in a reusable context (no forest).
+    pub fn recognize_in(
+        &self,
+        ctx: &mut ipg_glr::ParseCtx,
+        tokens: &[SymbolId],
+    ) -> ipg_glr::ParseOutcome {
+        GssParser::new(&self.grammar).recognize_into(ctx, &self.tables(), tokens)
     }
 
     /// Convenience: [`IpgSession::parse`] on a whitespace-separated

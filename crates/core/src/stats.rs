@@ -60,6 +60,13 @@ pub struct GenStats {
     /// layer from the current epoch's scanner; zero for counters read
     /// directly off a graph or for servers without a scanner).
     pub dfa_states_carried: usize,
+    /// Requests served from a recycled per-thread parse context (all
+    /// scratch — GSS pools, forest arena, scan buffer — reused; the warm,
+    /// allocation-free path). Counted by the serving layer.
+    pub ctx_reused: usize,
+    /// Requests that had to build a fresh parse context (first request of
+    /// a thread, or a nested checkout). Counted by the serving layer.
+    pub ctx_fresh: usize,
 }
 
 impl GenStats {
@@ -99,6 +106,10 @@ impl fmt::Display for GenStats {
         }
         if self.dfa_states_carried > 0 {
             writeln!(f, "DFA states carried:   {}", self.dfa_states_carried)?;
+        }
+        if self.ctx_reused + self.ctx_fresh > 0 {
+            writeln!(f, "contexts recycled:    {}", self.ctx_reused)?;
+            writeln!(f, "contexts built:       {}", self.ctx_fresh)?;
         }
         Ok(())
     }

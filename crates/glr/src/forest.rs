@@ -6,6 +6,16 @@
 //! `(non-terminal, start, end)` span, carrying every rule application that
 //! derives that span. This is the "improved sharing of parse trees" the
 //! paper mentions it adopted after a suggestion of B. Lang.
+//!
+//! ## Arena layout
+//!
+//! The forest is a set of flat pools — nodes, packed derivations and
+//! derivation children each live in one `Vec`, and a node's derivations
+//! form an insertion-ordered linked list through the derivation pool.
+//! Nothing is allocated per node or per derivation, so a forest that is
+//! [`Forest::clear`]ed and rebuilt (the serving layer's reusable parse
+//! contexts do exactly this) performs **zero heap allocations** once its
+//! pools have warmed up to the workload's size.
 
 use std::collections::HashMap;
 
@@ -39,17 +49,32 @@ pub enum ForestRef {
     Node(NodeId),
 }
 
-/// One way of deriving a forest node: a rule plus its children.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Derivation {
+/// A borrowed view of one way of deriving a forest node: a rule plus its
+/// children, read straight out of the forest's flat pools.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Derivation<'f> {
     /// The rule that was reduced.
     pub rule: RuleId,
     /// Children, left to right; length equals the rule's right-hand side.
-    pub children: Vec<ForestRef>,
+    pub children: &'f [ForestRef],
+}
+
+/// Sentinel for "no derivation" in the pooled derivation lists.
+const NO_DERIVATION: u32 = u32::MAX;
+
+/// One packed derivation in the pool: a rule, a slice of the shared
+/// children pool, and the next derivation of the same node.
+#[derive(Clone, Copy, Debug)]
+struct DerivationSlot {
+    rule: RuleId,
+    children_start: u32,
+    children_len: u32,
+    /// Next derivation of the same node (`NO_DERIVATION` terminates).
+    next: u32,
 }
 
 /// A non-terminal node: a `(symbol, start, end)` span with one or more
-/// packed derivations.
+/// packed derivations (stored in the forest's derivation pool).
 #[derive(Clone, Debug)]
 pub struct ForestNode {
     /// The non-terminal this node derives.
@@ -58,14 +83,20 @@ pub struct ForestNode {
     pub start: usize,
     /// End token index (exclusive).
     pub end: usize,
-    /// All known derivations of this span (≥ 1 once the node is used).
-    pub derivations: Vec<Derivation>,
+    /// Head of this node's derivation list in the pool.
+    first_derivation: u32,
+    /// Tail of the list (derivations keep insertion order).
+    last_derivation: u32,
 }
 
 /// A shared packed parse forest.
 #[derive(Clone, Debug, Default)]
 pub struct Forest {
     nodes: Vec<ForestNode>,
+    /// Packed derivations of all nodes (per-node linked lists).
+    derivations: Vec<DerivationSlot>,
+    /// Children of all derivations, in one flat pool.
+    children: Vec<ForestRef>,
     /// Span interning map; on the parse hot path, hence the fast hasher.
     index: FxHashMap<(SymbolId, usize, usize), NodeId>,
     roots: Vec<NodeId>,
@@ -75,6 +106,17 @@ impl Forest {
     /// Creates an empty forest.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empties the forest while keeping the capacity of all its pools —
+    /// the reusable-parse-context reset. A cleared forest rebuilt to the
+    /// same shape allocates nothing.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.derivations.clear();
+        self.children.clear();
+        self.index.clear();
+        self.roots.clear();
     }
 
     /// Finds or creates the node for `(symbol, start, end)`.
@@ -87,19 +129,48 @@ impl Forest {
             symbol,
             start,
             end,
-            derivations: Vec::new(),
+            first_derivation: NO_DERIVATION,
+            last_derivation: NO_DERIVATION,
         });
         self.index.insert((symbol, start, end), id);
         id
     }
 
-    /// Adds a derivation to a node, packing duplicates away.
-    pub fn add_derivation(&mut self, node: NodeId, rule: RuleId, children: Vec<ForestRef>) {
-        let derivation = Derivation { rule, children };
-        let derivations = &mut self.nodes[node.index()].derivations;
-        if !derivations.contains(&derivation) {
-            derivations.push(derivation);
+    /// Adds a derivation to a node, packing duplicates away. The children
+    /// are copied into the forest's flat pool, so the caller can reuse its
+    /// scratch buffer.
+    pub fn add_derivation(&mut self, node: NodeId, rule: RuleId, children: &[ForestRef]) {
+        // Duplicate check: walk the node's (almost always tiny) list.
+        let mut d = self.nodes[node.index()].first_derivation;
+        while d != NO_DERIVATION {
+            let slot = self.derivations[d as usize];
+            if slot.rule == rule && self.children_of(slot) == children {
+                return;
+            }
+            d = slot.next;
         }
+        let children_start = self.children.len() as u32;
+        self.children.extend_from_slice(children);
+        let new = self.derivations.len() as u32;
+        self.derivations.push(DerivationSlot {
+            rule,
+            children_start,
+            children_len: children.len() as u32,
+            next: NO_DERIVATION,
+        });
+        let entry = &mut self.nodes[node.index()];
+        if entry.first_derivation == NO_DERIVATION {
+            entry.first_derivation = new;
+        } else {
+            self.derivations[entry.last_derivation as usize].next = new;
+        }
+        entry.last_derivation = new;
+    }
+
+    #[inline]
+    fn children_of(&self, slot: DerivationSlot) -> &[ForestRef] {
+        let start = slot.children_start as usize;
+        &self.children[start..start + slot.children_len as usize]
     }
 
     /// Marks a node as a root (a derivation of the whole sentence).
@@ -120,6 +191,14 @@ impl Forest {
         &self.nodes[id.index()]
     }
 
+    /// Iterates over the packed derivations of a node, in insertion order.
+    pub fn derivations(&self, id: NodeId) -> Derivations<'_> {
+        Derivations {
+            forest: self,
+            next: self.nodes[id.index()].first_derivation,
+        }
+    }
+
     /// Number of non-terminal nodes in the forest.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -127,13 +206,17 @@ impl Forest {
 
     /// Total number of packed derivations.
     pub fn num_derivations(&self) -> usize {
-        self.nodes.iter().map(|n| n.derivations.len()).sum()
+        self.derivations.len()
     }
 
     /// `true` if any node has more than one derivation (the sentence or a
     /// part of it is ambiguous).
     pub fn is_ambiguous(&self) -> bool {
-        self.roots.len() > 1 || self.nodes.iter().any(|n| n.derivations.len() > 1)
+        self.roots.len() > 1
+            || self
+                .nodes
+                .iter()
+                .any(|n| n.first_derivation != NO_DERIVATION && n.first_derivation != n.last_derivation)
     }
 
     /// Counts the number of distinct parse trees of the whole sentence,
@@ -168,9 +251,9 @@ impl Forest {
         }
         in_progress[id.index()] = true;
         let mut count = 0usize;
-        for derivation in &self.nodes[id.index()].derivations {
+        for derivation in self.derivations(id) {
             let mut per_derivation = 1usize;
-            for child in &derivation.children {
+            for child in derivation.children {
                 if let ForestRef::Node(n) = child {
                     per_derivation = per_derivation
                         .saturating_mul(self.count_node(*n, limit, memo, in_progress));
@@ -200,10 +283,9 @@ impl Forest {
 
     fn build_tree(&self, id: NodeId, depth_guard: &mut usize) -> ParseTree {
         *depth_guard += 1;
-        let node = &self.nodes[id.index()];
-        let derivation = node
-            .derivations
-            .first()
+        let derivation = self
+            .derivations(id)
+            .next()
             .expect("forest nodes reachable from a root always have a derivation");
         ParseTree::Node {
             rule: derivation.rule,
@@ -251,12 +333,11 @@ impl Forest {
             return Vec::new();
         }
         visiting.push(id);
-        let node = &self.nodes[id.index()];
         let mut results = Vec::new();
-        'derivations: for derivation in &node.derivations {
+        'derivations: for derivation in self.derivations(id) {
             // Cartesian product of children alternatives, bounded by limit.
             let mut partials: Vec<Vec<ParseTree>> = vec![Vec::new()];
-            for child in &derivation.children {
+            for child in derivation.children {
                 let child_trees = match child {
                     ForestRef::Leaf { symbol, position } => vec![ParseTree::Leaf {
                         symbol: *symbol,
@@ -317,6 +398,29 @@ impl Forest {
     }
 }
 
+/// Iterator over the packed derivations of one forest node.
+#[derive(Clone, Debug)]
+pub struct Derivations<'f> {
+    forest: &'f Forest,
+    next: u32,
+}
+
+impl<'f> Iterator for Derivations<'f> {
+    type Item = Derivation<'f>;
+
+    fn next(&mut self) -> Option<Derivation<'f>> {
+        if self.next == NO_DERIVATION {
+            return None;
+        }
+        let slot = self.forest.derivations[self.next as usize];
+        self.next = slot.next;
+        Some(Derivation {
+            rule: slot.rule,
+            children: self.forest.children_of(slot),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,14 +441,14 @@ mod tests {
 
         let mut forest = Forest::new();
         let n_true = forest.node_for(b, 0, 1);
-        forest.add_derivation(n_true, r_true, vec![ForestRef::Leaf { symbol: t, position: 0 }]);
+        forest.add_derivation(n_true, r_true, &[ForestRef::Leaf { symbol: t, position: 0 }]);
         let n_false = forest.node_for(b, 2, 3);
-        forest.add_derivation(n_false, r_false, vec![ForestRef::Leaf { symbol: f, position: 2 }]);
+        forest.add_derivation(n_false, r_false, &[ForestRef::Leaf { symbol: f, position: 2 }]);
         let n_root = forest.node_for(b, 0, 3);
         forest.add_derivation(
             n_root,
             r_or,
-            vec![
+            &[
                 ForestRef::Node(n_true),
                 ForestRef::Leaf { symbol: or, position: 1 },
                 ForestRef::Node(n_false),
@@ -387,7 +491,7 @@ mod tests {
         let r_true = g.find_rule(b, &[t]).unwrap();
         let n = forest.node_for(b, 0, 1);
         let before = forest.num_derivations();
-        forest.add_derivation(n, r_true, vec![ForestRef::Leaf { symbol: t, position: 0 }]);
+        forest.add_derivation(n, r_true, &[ForestRef::Leaf { symbol: t, position: 0 }]);
         assert_eq!(forest.num_derivations(), before);
     }
 
@@ -404,7 +508,7 @@ mod tests {
         forest.add_derivation(
             root,
             r_and,
-            vec![
+            &[
                 ForestRef::Node(n_true),
                 ForestRef::Leaf { symbol: and, position: 1 },
                 ForestRef::Node(n_false),
@@ -416,6 +520,49 @@ mod tests {
         assert_eq!(forest.trees(1).len(), 1, "enumeration respects the limit");
         let summary = forest.summary(&g);
         assert!(summary.contains("ambiguous: true"));
+    }
+
+    #[test]
+    fn derivations_iterate_in_insertion_order() {
+        let (g, mut forest) = simple_forest();
+        let b = g.symbol("B").unwrap();
+        let and = g.symbol("and").unwrap();
+        let t = g.symbol("true").unwrap();
+        let r_and = g.find_rule(b, &[b, and, b]).unwrap();
+        let r_true = g.find_rule(b, &[t]).unwrap();
+        let root = forest.roots()[0];
+        let n_true = forest.node_for(b, 0, 1);
+        forest.add_derivation(
+            root,
+            r_and,
+            &[
+                ForestRef::Node(n_true),
+                ForestRef::Leaf { symbol: and, position: 1 },
+                ForestRef::Node(n_true),
+            ],
+        );
+        let rules: Vec<_> = forest.derivations(root).map(|d| d.rule).collect();
+        // The `or` derivation was added first and stays first (first_tree
+        // depends on this order being stable).
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[1], r_and);
+        assert_ne!(rules[0], rules[1]);
+        assert_eq!(forest.derivations(n_true).next().unwrap().rule, r_true);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_content() {
+        let (g, mut forest) = simple_forest();
+        assert!(forest.num_nodes() > 0);
+        forest.clear();
+        assert_eq!(forest.num_nodes(), 0);
+        assert_eq!(forest.num_derivations(), 0);
+        assert!(forest.roots().is_empty());
+        assert!(forest.first_tree().is_none());
+        // The span index was cleared too: re-interning starts fresh.
+        let b = g.symbol("B").unwrap();
+        let n = forest.node_for(b, 0, 1);
+        assert_eq!(n.index(), 0);
     }
 
     #[test]

@@ -9,24 +9,31 @@
 //!
 //! ## Hot-loop engineering
 //!
-//! The driver is written to be allocation-free per token once its scratch
-//! structures have warmed up:
+//! Every piece of per-parse scratch lives in a reusable [`ParseCtx`]: GSS
+//! node and edge pools, the double-buffered dense frontiers, the edge
+//! de-duplication set, pending-reduction and path buffers, the ACTION cell
+//! and the forest arena. A driver run resets the context (O(live entries),
+//! no frees) and rebuilds into the warm pools, so a request served through
+//! a recycled context performs **zero heap allocations** once the pools
+//! have grown to the workload's size. The one-shot [`GssParser::parse`] /
+//! [`GssParser::recognize`] conveniences allocate a fresh context per call;
+//! serving layers hold onto contexts and use [`GssParser::parse_into`] and
+//! friends.
 //!
-//! * GSS edges live in one pooled `Vec` as per-node linked lists (no
-//!   per-node edge vectors);
-//! * the active frontier is a pair of reusable dense state-indexed maps
-//!   (`state -> node`, O(1) lookup, O(live states) clear), double-buffered
-//!   between input positions;
-//! * edge de-duplication is a single probe of an [`FxHashSet`] keyed by
-//!   `(from, to, label)` instead of a linear scan of the node's edges;
-//! * reduction paths are enumerated into reusable flat scratch buffers —
-//!   no per-path label vectors are cloned.
+//! ## Streaming input
+//!
+//! The driver pulls terminals from a [`TokenSource`] instead of indexing a
+//! slice: an in-memory sentence and a scanner lexing raw text drive the
+//! same loop ([`GssParser::parse_stream`]), which is how the serving
+//! layer fuses tokenization into the parse without materialising a token
+//! vector per request.
 
 use ipg_grammar::{Grammar, RuleId, SymbolId};
 use ipg_lr::{ActionCell, ParserTables, StateId};
 
 use crate::forest::{Forest, ForestRef};
 use crate::fxhash::FxHashSet;
+use crate::source::{SliceTokens, TokenSource};
 
 /// Statistics about one GSS parse, used by tests and the ablation bench.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -56,6 +63,33 @@ pub struct GssParseResult {
     /// several grammar epochs alive concurrently use this tag to match a
     /// result to the exact table state that produced it.
     pub grammar_version: u64,
+}
+
+/// The borrowed-forest result of a context-driven parse: everything
+/// [`GssParseResult`] carries except the forest, which stays in the
+/// [`ParseCtx`] (read it with [`ParseCtx::forest`]) so that recycled
+/// contexts keep their arena capacity across requests.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseOutcome {
+    /// Whether the input is a sentence of the language.
+    pub accepted: bool,
+    /// Work counters.
+    pub stats: GssStats,
+    /// The grammar version of the table handle the parse ran against.
+    pub grammar_version: u64,
+}
+
+impl ParseOutcome {
+    /// Packages the outcome with an owned forest as a [`GssParseResult`]
+    /// (callers clone or take the context's forest).
+    pub fn into_result(self, forest: Forest) -> GssParseResult {
+        GssParseResult {
+            accepted: self.accepted,
+            forest,
+            stats: self.stats,
+            grammar_version: self.grammar_version,
+        }
+    }
 }
 
 /// Sentinel for "no edge" in the pooled edge lists.
@@ -141,6 +175,93 @@ fn label_key(label: ForestRef) -> u64 {
     }
 }
 
+/// All per-parse scratch of the GSS driver, reusable across parses.
+///
+/// A context is plain owned memory — it is not tied to a grammar, a table
+/// or a server, so one context can serve parses against different grammar
+/// versions back to back (the driver resets it at the start of every run).
+/// Serving layers keep one per worker and recycle it request after
+/// request; everything inside keeps its capacity across
+/// [`ParseCtx::reset`], which is what makes the warm request path
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct ParseCtx {
+    nodes: Vec<GssNode>,
+    edges: Vec<GssEdge>,
+    /// Edge de-duplication over the whole parse: `(from, to, label)`.
+    seen_edges: FxHashSet<(u32, u32, u64)>,
+    /// Double-buffered frontiers for the current/next input position.
+    cur: Frontier,
+    nxt: Frontier,
+    pending: Vec<PendingReduction>,
+    /// Flat scratch for reduction-path enumeration.
+    path_ends: Vec<u32>,
+    path_labels: Vec<ForestRef>,
+    dfs_labels: Vec<ForestRef>,
+    /// Scratch for one derivation's (reversed) children.
+    children: Vec<ForestRef>,
+    /// Reusable ACTION cell: the tables fill it in place, so steady-state
+    /// queries against a warm (or shared, concurrently served) table do
+    /// not allocate.
+    actions: ActionCell,
+    /// Nodes in which an accept action was seen; their root edges are
+    /// collected at the very end, after all reductions have added edges.
+    accepting: Vec<u32>,
+    /// The forest arena derivations are recorded into.
+    forest: Forest,
+    /// A caller-owned token buffer for pre-lexed requests (filled by e.g.
+    /// a sentence tokenizer, parsed via [`GssParser::parse_buffered`]).
+    /// Not parse scratch: [`ParseCtx::reset`] leaves it alone.
+    pub tokens: Vec<SymbolId>,
+}
+
+impl ParseCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all parse scratch (not [`ParseCtx::tokens`]) while keeping
+    /// every pool's capacity. The drivers call this at the start of every
+    /// run; it is idempotent.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
+        self.seen_edges.clear();
+        self.cur.clear();
+        self.nxt.clear();
+        self.pending.clear();
+        self.path_ends.clear();
+        self.path_labels.clear();
+        self.dfs_labels.clear();
+        self.children.clear();
+        self.actions.clear();
+        self.accepting.clear();
+        self.forest.clear();
+    }
+
+    /// The forest of the most recent parse run in this context (empty
+    /// after a recognition-only run or a reset).
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// Moves the forest out of the context, leaving an empty one behind.
+    /// The one-shot parse conveniences use this to build an owned
+    /// [`GssParseResult`]; recycled contexts should prefer cloning via
+    /// [`ParseCtx::forest`] so the arena keeps its capacity.
+    pub fn take_forest(&mut self) -> Forest {
+        std::mem::take(&mut self.forest)
+    }
+}
+
+// Contexts hop between pool slots and worker threads.
+#[allow(dead_code)]
+fn _assert_ctx_is_send() {
+    fn is_send<T: Send>() {}
+    is_send::<ParseCtx>();
+}
+
 /// The graph-structured-stack parser.
 #[derive(Debug)]
 pub struct GssParser<'g> {
@@ -155,60 +276,129 @@ impl<'g> GssParser<'g> {
 
     /// Recognises `tokens` without building the parse forest (reductions
     /// still traverse the same graph-structured stack, but no forest nodes
-    /// or packed derivations are allocated).
+    /// or packed derivations are allocated). Allocates a fresh context;
+    /// see [`GssParser::recognize_into`] for the recycled form.
     pub fn recognize(&self, tables: &dyn ParserTables, tokens: &[SymbolId]) -> bool {
-        self.run(tables, tokens, false).accepted
+        let mut ctx = ParseCtx::new();
+        self.recognize_into(&mut ctx, tables, tokens).accepted
     }
 
     /// Parses `tokens`, producing the shared forest of all derivations.
+    /// Allocates a fresh context; see [`GssParser::parse_into`] for the
+    /// recycled form.
     pub fn parse(&self, tables: &dyn ParserTables, tokens: &[SymbolId]) -> GssParseResult {
-        self.run(tables, tokens, true)
+        let mut ctx = ParseCtx::new();
+        let outcome = self.parse_into(&mut ctx, tables, tokens);
+        outcome.into_result(ctx.take_forest())
     }
 
-    fn run(
+    /// Parses `tokens` in a reusable context. The forest lands in the
+    /// context's arena ([`ParseCtx::forest`]); nothing is allocated when
+    /// the context's pools are already large enough.
+    pub fn parse_into(
         &self,
+        ctx: &mut ParseCtx,
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
+    ) -> ParseOutcome {
+        match self.run(ctx, tables, SliceTokens::new(tokens), true) {
+            Ok(outcome) => outcome,
+            Err(infallible) => match infallible {},
+        }
+    }
+
+    /// Recognises `tokens` in a reusable context (no forest construction).
+    pub fn recognize_into(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> ParseOutcome {
+        match self.run(ctx, tables, SliceTokens::new(tokens), false) {
+            Ok(outcome) => outcome,
+            Err(infallible) => match infallible {},
+        }
+    }
+
+    /// Parses the sentence previously placed in [`ParseCtx::tokens`] —
+    /// the buffered form for callers that tokenize into the context's own
+    /// buffer and then parse, without a second borrow of the context.
+    pub fn parse_buffered(&self, ctx: &mut ParseCtx, tables: &dyn ParserTables) -> ParseOutcome {
+        let tokens = std::mem::take(&mut ctx.tokens);
+        let outcome = self.parse_into(ctx, tables, &tokens);
+        ctx.tokens = tokens;
+        outcome
+    }
+
+    /// Parses a streamed token source (lexer→parser fusion): terminals are
+    /// pulled one at a time, so no token vector ever exists. A source
+    /// error (e.g. a scan error in fused tokenization) aborts the parse;
+    /// because the source is only polled as far as the parse advances, an
+    /// error beyond the point where every parallel parser already died is
+    /// *not* observed — the parse reports a plain rejection.
+    pub fn parse_stream<S: TokenSource>(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        source: S,
+    ) -> Result<ParseOutcome, S::Error> {
+        self.run(ctx, tables, source, true)
+    }
+
+    /// Recognises a streamed token source (no forest construction).
+    pub fn recognize_stream<S: TokenSource>(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        source: S,
+    ) -> Result<ParseOutcome, S::Error> {
+        self.run(ctx, tables, source, false)
+    }
+
+    fn run<S: TokenSource>(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        mut source: S,
         build_forest: bool,
-    ) -> GssParseResult {
+    ) -> Result<ParseOutcome, S::Error> {
+        ctx.reset();
         let eof = self.grammar.eof_symbol();
-        let mut forest = Forest::new();
         let mut stats = GssStats::default();
         let mut accepted = false;
+        let ParseCtx {
+            nodes,
+            edges,
+            seen_edges,
+            cur,
+            nxt,
+            pending,
+            path_ends,
+            path_labels,
+            dfs_labels,
+            children,
+            actions,
+            accepting,
+            forest,
+            tokens: _,
+        } = ctx;
 
-        let mut nodes: Vec<GssNode> = Vec::new();
-        let mut edges: Vec<GssEdge> = Vec::new();
-        // Edge de-duplication over the whole parse: `(from, to, label)`.
-        let mut seen_edges: FxHashSet<(u32, u32, u64)> = FxHashSet::default();
-        // Double-buffered frontiers for the current/next input position.
-        let mut cur = Frontier::default();
-        let mut next = Frontier::default();
-        let mut pending: Vec<PendingReduction> = Vec::new();
-        // Flat scratch for reduction-path enumeration.
-        let mut path_ends: Vec<u32> = Vec::new();
-        let mut path_labels: Vec<ForestRef> = Vec::new();
-        let mut dfs_labels: Vec<ForestRef> = Vec::new();
-        // Reusable ACTION cell: the tables fill it in place, so steady-state
-        // queries against a warm (or shared, concurrently served) table do
-        // not allocate.
-        let mut actions = ActionCell::default();
-        // Nodes in which an accept action was seen; their root edges are
-        // collected at the very end, after all reductions have added edges.
-        let mut accepting_nodes: Vec<u32> = Vec::new();
-
-        let start_node = push_node(&mut nodes, &mut stats, tables.start_state(), 0);
+        let start_node = push_node(nodes, &mut stats, tables.start_state(), 0);
         cur.insert(tables.start_state(), start_node);
 
-        let n = tokens.len();
-        for pos in 0..=n {
-            let symbol = tokens.get(pos).copied().unwrap_or(eof);
+        let mut pos = 0usize;
+        loop {
+            let symbol = match source.next_token()? {
+                Some(symbol) => symbol,
+                None => eof,
+            };
             debug_assert!(self.grammar.is_terminal(symbol));
 
             // --- Reducer -------------------------------------------------
             debug_assert!(pending.is_empty());
             for i in 0..cur.entries.len() {
                 let (state, node) = cur.entries[i];
-                tables.actions_into(state, symbol, &mut actions);
+                tables.actions_into(state, symbol, actions);
                 for &rule in &actions.reductions {
                     pending.push(PendingReduction {
                         node,
@@ -218,7 +408,7 @@ impl<'g> GssParser<'g> {
                 }
                 if actions.accept && symbol == eof {
                     accepted = true;
-                    accepting_nodes.push(node);
+                    accepting.push(node);
                 }
             }
 
@@ -233,14 +423,14 @@ impl<'g> GssParser<'g> {
                 path_ends.clear();
                 path_labels.clear();
                 find_paths(
-                    &nodes,
-                    &edges,
+                    nodes,
+                    edges,
                     reduction.node,
                     arity,
                     reduction.via,
-                    &mut dfs_labels,
-                    &mut path_ends,
-                    &mut path_labels,
+                    dfs_labels,
+                    path_ends,
+                    path_labels,
                 );
                 for path in 0..path_ends.len() {
                     stats.reductions += 1;
@@ -254,7 +444,8 @@ impl<'g> GssParser<'g> {
                     let label = if build_forest {
                         // Labels run from the reducing node outwards, i.e.
                         // rightmost child first; reverse them for the rule.
-                        let children: Vec<ForestRef> = labels.iter().rev().copied().collect();
+                        children.clear();
+                        children.extend(labels.iter().rev().copied());
                         let forest_node = forest.node_for(rule.lhs, start_level, pos);
                         forest.add_derivation(forest_node, reduction.rule, children);
                         ForestRef::Node(forest_node)
@@ -270,9 +461,9 @@ impl<'g> GssParser<'g> {
 
                     if let Some(existing) = cur.get(goto_state) {
                         if add_edge(
-                            &mut nodes,
-                            &mut edges,
-                            &mut seen_edges,
+                            nodes,
+                            edges,
+                            seen_edges,
                             &mut stats,
                             existing,
                             target,
@@ -280,7 +471,7 @@ impl<'g> GssParser<'g> {
                         ) {
                             // Re-run the reductions of the existing node,
                             // restricted to paths through the new edge.
-                            tables.actions_into(goto_state, symbol, &mut actions);
+                            tables.actions_into(goto_state, symbol, actions);
                             for &rule in &actions.reductions {
                                 pending.push(PendingReduction {
                                     node: existing,
@@ -290,18 +481,18 @@ impl<'g> GssParser<'g> {
                             }
                         }
                     } else {
-                        let new_node = push_node(&mut nodes, &mut stats, goto_state, pos);
+                        let new_node = push_node(nodes, &mut stats, goto_state, pos);
                         add_edge(
-                            &mut nodes,
-                            &mut edges,
-                            &mut seen_edges,
+                            nodes,
+                            edges,
+                            seen_edges,
                             &mut stats,
                             new_node,
                             target,
                             label,
                         );
                         cur.insert(goto_state, new_node);
-                        tables.actions_into(goto_state, symbol, &mut actions);
+                        tables.actions_into(goto_state, symbol, actions);
                         for &rule in &actions.reductions {
                             pending.push(PendingReduction {
                                 node: new_node,
@@ -311,15 +502,15 @@ impl<'g> GssParser<'g> {
                         }
                         if actions.accept && symbol == eof {
                             accepted = true;
-                            accepting_nodes.push(new_node);
+                            accepting.push(new_node);
                         }
                     }
                 }
             }
 
-            // On the last position (the end-marker) there is nothing to
-            // shift; acceptance has been decided above.
-            if pos == n {
+            // On the end-marker there is nothing to shift; acceptance has
+            // been decided above.
+            if symbol == eof {
                 break;
             }
 
@@ -330,22 +521,22 @@ impl<'g> GssParser<'g> {
             };
             for i in 0..cur.entries.len() {
                 let (state, node) = cur.entries[i];
-                tables.actions_into(state, symbol, &mut actions);
+                tables.actions_into(state, symbol, actions);
                 if let Some(next_state) = actions.shift {
                     stats.shifts += 1;
-                    let target_node = match next.get(next_state) {
+                    let target_node = match nxt.get(next_state) {
                         Some(existing) => existing,
                         None => {
                             let created =
-                                push_node(&mut nodes, &mut stats, next_state, pos + 1);
-                            next.insert(next_state, created);
+                                push_node(nodes, &mut stats, next_state, pos + 1);
+                            nxt.insert(next_state, created);
                             created
                         }
                     };
                     add_edge(
-                        &mut nodes,
-                        &mut edges,
-                        &mut seen_edges,
+                        nodes,
+                        edges,
+                        seen_edges,
                         &mut stats,
                         target_node,
                         node,
@@ -353,27 +544,27 @@ impl<'g> GssParser<'g> {
                     );
                 }
             }
-            if next.is_empty() {
+            if nxt.is_empty() {
                 // Every parallel parser died: the input is rejected. (The
                 // accept flag can only have been set on the end-marker.)
                 break;
             }
-            std::mem::swap(&mut cur, &mut next);
-            next.clear();
+            std::mem::swap(cur, nxt);
+            nxt.clear();
+            pos += 1;
         }
 
         if build_forest {
-            for &node in &accepting_nodes {
-                record_roots(&nodes, &edges, node, start_node, &mut forest);
+            for &node in accepting.iter() {
+                record_roots(nodes, edges, node, start_node, forest);
             }
         }
 
-        GssParseResult {
+        Ok(ParseOutcome {
             accepted,
-            forest,
             stats,
             grammar_version: tables.grammar_version(),
-        }
+        })
     }
 }
 
@@ -673,6 +864,70 @@ mod tests {
         assert!(!result.accepted);
         assert!(result.forest.roots().is_empty());
         assert!(result.forest.first_tree().is_none());
+    }
+
+    #[test]
+    fn recycled_context_reproduces_fresh_context_results() {
+        let g = fixtures::booleans();
+        let table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let mut ctx = ParseCtx::new();
+        for sentence in [
+            "true or true or true",
+            "true and",
+            "",
+            "false",
+            "true or false and true",
+            "or",
+            "true or true or true", // repeat: warm pools, same digest
+        ] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            let outcome = parser.parse_into(&mut ctx, &table, &tokens);
+            let fresh = parser.parse(&table, &tokens);
+            assert_eq!(outcome.accepted, fresh.accepted, "`{sentence}`");
+            assert_eq!(
+                ctx.forest().tree_count(100),
+                fresh.forest.tree_count(100),
+                "`{sentence}`"
+            );
+            assert_eq!(
+                ctx.forest().first_tree().map(|t| t.to_sexpr(&g)),
+                fresh.forest.first_tree().map(|t| t.to_sexpr(&g)),
+                "`{sentence}`"
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_parse_uses_the_context_token_buffer() {
+        let g = fixtures::booleans();
+        let table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let mut ctx = ParseCtx::new();
+        ctx.tokens = tokenize_names(&g, "true and false").unwrap();
+        let outcome = parser.parse_buffered(&mut ctx, &table);
+        assert!(outcome.accepted);
+        // The buffer survives the parse (reset leaves it alone).
+        assert_eq!(ctx.tokens.len(), 3);
+    }
+
+    #[test]
+    fn stream_parse_agrees_with_slice_parse() {
+        let g = fixtures::booleans();
+        let table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let mut ctx = ParseCtx::new();
+        for sentence in ["true or false", "true true", ""] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            let outcome = parser
+                .parse_stream(&mut ctx, &table, SliceTokens::new(&tokens))
+                .unwrap();
+            assert_eq!(
+                outcome.accepted,
+                parser.recognize(&table, &tokens),
+                "`{sentence}`"
+            );
+        }
     }
 
     use ipg_grammar::Grammar;

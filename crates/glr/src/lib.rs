@@ -37,7 +37,9 @@ pub mod forest;
 pub mod fxhash;
 pub mod gss;
 pub mod pool;
+pub mod source;
 
-pub use forest::{Derivation, Forest, ForestNode, ForestRef, NodeId};
-pub use gss::{GssParseResult, GssParser, GssStats};
-pub use pool::{PoolError, PoolGlrParser, PoolStats};
+pub use forest::{Derivation, Derivations, Forest, ForestNode, ForestRef, NodeId};
+pub use gss::{GssParseResult, GssParser, GssStats, ParseCtx, ParseOutcome};
+pub use pool::{PoolCtx, PoolError, PoolGlrParser, PoolStats};
+pub use source::{SliceTokens, TokenSource};

@@ -79,6 +79,43 @@ struct PoolParser {
     stack: Rc<Stack>,
 }
 
+/// Reusable per-run scratch of the pool parser: the two sweeps, the
+/// fingerprint buffer, the de-duplication sets and the ACTION cell. The
+/// paper's algorithm copies parsers per action (those copies are inherent
+/// to `PAR-PARSE` and still allocate); what the context removes is the
+/// per-run setup cost of the surrounding machinery, mirroring the GSS
+/// driver's `ParseCtx`.
+///
+/// Holds `Rc`-based parser stacks between runs, so (unlike the GSS
+/// context) it is deliberately **not** `Send`; the pool parser is the
+/// single-threaded ablation baseline, not the serving hot path.
+#[derive(Debug, Default)]
+pub struct PoolCtx {
+    this_sweep: Vec<PoolParser>,
+    next_sweep: Vec<PoolParser>,
+    fingerprint: Vec<StateId>,
+    seen_this: FxHashSet<Vec<StateId>>,
+    seen_next: FxHashSet<Vec<StateId>>,
+    actions: ActionCell,
+}
+
+impl PoolCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all scratch while keeping capacity.
+    pub fn reset(&mut self) {
+        self.this_sweep.clear();
+        self.next_sweep.clear();
+        self.fingerprint.clear();
+        self.seen_this.clear();
+        self.seen_next.clear();
+        self.actions.clear();
+    }
+}
+
 /// Statistics gathered during a [`PoolGlrParser`] run; used by the
 /// ablation benchmarks and by tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -146,7 +183,8 @@ impl<'g> PoolGlrParser<'g> {
     }
 
     /// Recognises `tokens`. Returns whether at least one of the parallel
-    /// simple parsers accepted the input.
+    /// simple parsers accepted the input. Allocates a fresh context; see
+    /// [`PoolGlrParser::recognize_in`] for the recycled form.
     pub fn recognize(
         &self,
         tables: &dyn ParserTables,
@@ -155,27 +193,49 @@ impl<'g> PoolGlrParser<'g> {
         self.recognize_with_stats(tables, tokens).map(|(ok, _)| ok)
     }
 
+    /// Recognises `tokens` in a reusable context.
+    pub fn recognize_in(
+        &self,
+        ctx: &mut PoolCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<bool, PoolError> {
+        self.run(ctx, tables, tokens).map(|(ok, _)| ok)
+    }
+
     /// Recognises `tokens` and reports pool statistics.
     pub fn recognize_with_stats(
         &self,
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> Result<(bool, PoolStats), PoolError> {
+        let mut ctx = PoolCtx::new();
+        self.run(&mut ctx, tables, tokens)
+    }
+
+    fn run(
+        &self,
+        ctx: &mut PoolCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<(bool, PoolStats), PoolError> {
+        ctx.reset();
         let eof = self.grammar.eof_symbol();
         let mut stats = PoolStats::default();
         let mut accepted = false;
+        let PoolCtx {
+            this_sweep,
+            next_sweep,
+            fingerprint,
+            seen_this,
+            seen_next,
+            actions,
+        } = ctx;
 
-        let start_parser = PoolParser {
+        next_sweep.push(PoolParser {
             stack: Stack::new(tables.start_state()),
-        };
-        let mut next_sweep = vec![start_parser];
+        });
         let mut pos = 0usize;
-        // Reused scratch: the current ACTION cell and the current parser's
-        // stack fingerprint.
-        let mut actions = ActionCell::default();
-        let mut fingerprint: Vec<StateId> = Vec::new();
-        let mut seen_this: FxHashSet<Vec<StateId>> = FxHashSet::default();
-        let mut seen_next: FxHashSet<Vec<StateId>> = FxHashSet::default();
         // Bound on the amount of work per sweep; proportional to the number
         // of live parsers times the grammar size.
         let per_sweep_bound = |live: usize, rules: usize, factor: usize| -> usize {
@@ -191,7 +251,8 @@ impl<'g> PoolGlrParser<'g> {
             pos += 1;
             stats.symbols += 1;
 
-            let mut this_sweep = std::mem::take(&mut next_sweep);
+            debug_assert!(this_sweep.is_empty());
+            std::mem::swap(this_sweep, next_sweep);
             stats.max_parsers = stats.max_parsers.max(this_sweep.len());
             let bound = per_sweep_bound(
                 this_sweep.len(),
@@ -204,9 +265,9 @@ impl<'g> PoolGlrParser<'g> {
             // parsers would behave identically from here on.
             seen_this.clear();
             seen_next.clear();
-            for p in &this_sweep {
-                p.stack.fingerprint_into(&mut fingerprint);
-                if !seen_this.contains(&fingerprint) {
+            for p in this_sweep.iter() {
+                p.stack.fingerprint_into(fingerprint);
+                if !seen_this.contains(fingerprint) {
                     seen_this.insert(fingerprint.clone());
                 }
             }
@@ -217,7 +278,7 @@ impl<'g> PoolGlrParser<'g> {
                     return Err(PoolError::Diverged { position: pos - 1 });
                 }
                 let state = parser.stack.top;
-                tables.actions_into(state, symbol, &mut actions);
+                tables.actions_into(state, symbol, actions);
                 let shift = actions.shift;
                 let accept = actions.accept;
                 // The paper copies the parser for every action.
@@ -237,8 +298,8 @@ impl<'g> PoolGlrParser<'g> {
                     let moved = PoolParser {
                         stack: below.push(target),
                     };
-                    moved.stack.fingerprint_into(&mut fingerprint);
-                    if !seen_this.contains(&fingerprint) {
+                    moved.stack.fingerprint_into(fingerprint);
+                    if !seen_this.contains(fingerprint) {
                         seen_this.insert(fingerprint.clone());
                         this_sweep.push(moved);
                     }
@@ -250,8 +311,8 @@ impl<'g> PoolGlrParser<'g> {
                     let moved = PoolParser {
                         stack: copy.stack.push(next),
                     };
-                    moved.stack.fingerprint_into(&mut fingerprint);
-                    if !seen_next.contains(&fingerprint) {
+                    moved.stack.fingerprint_into(fingerprint);
+                    if !seen_next.contains(fingerprint) {
                         seen_next.insert(fingerprint.clone());
                         next_sweep.push(moved);
                     }
@@ -390,5 +451,20 @@ mod tests {
     fn error_type_displays() {
         let e = PoolError::Diverged { position: 4 };
         assert!(e.to_string().contains("position 4"));
+    }
+
+    #[test]
+    fn recycled_context_agrees_with_fresh_runs() {
+        let (g, table) = booleans_table();
+        let parser = PoolGlrParser::new(&g);
+        let mut ctx = PoolCtx::new();
+        for sentence in ["true", "true or", "true or true or true", "", "true or"] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert_eq!(
+                parser.recognize_in(&mut ctx, &table, &tokens).unwrap(),
+                parser.recognize(&table, &tokens).unwrap(),
+                "sentence `{sentence}`"
+            );
+        }
     }
 }

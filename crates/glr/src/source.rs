@@ -1,0 +1,71 @@
+//! Streaming token sources: the input side of lexer→parser fusion.
+//!
+//! The GSS driver consumes its input one terminal at a time and never
+//! looks back, so it does not need the whole token stream in memory — it
+//! needs a *source* it can pull the next terminal from. [`TokenSource`]
+//! captures exactly that. A pre-lexed in-memory sentence is a source
+//! ([`SliceTokens`]); so is a scanner running over raw text, which is how
+//! the serving layer's `parse_text` avoids materialising a token vector
+//! per request: the scanner's next match feeds the parser's next step
+//! directly, with the scan error (if any) surfacing through the source's
+//! error type.
+
+use ipg_grammar::SymbolId;
+
+/// A pull-based stream of terminal symbols ending in end-of-input.
+///
+/// `Err` aborts the parse (a lexical error in fused scanning); `Ok(None)`
+/// is end-of-input, after which the parser decides acceptance on the
+/// grammar's end-marker. Sources are consumed left to right exactly once —
+/// the parser never rewinds — and may stop being polled early when every
+/// parallel parser dies (so a fused scanner is only run over the prefix
+/// the parse actually reached).
+pub trait TokenSource {
+    /// The error a pull can fail with ([`std::convert::Infallible`] for
+    /// in-memory sources).
+    type Error;
+
+    /// The next terminal, `Ok(None)` at end-of-input.
+    fn next_token(&mut self) -> Result<Option<SymbolId>, Self::Error>;
+}
+
+/// A [`TokenSource`] over a pre-lexed in-memory sentence.
+#[derive(Clone, Copy, Debug)]
+pub struct SliceTokens<'a> {
+    tokens: &'a [SymbolId],
+    pos: usize,
+}
+
+impl<'a> SliceTokens<'a> {
+    /// Wraps a token slice.
+    pub fn new(tokens: &'a [SymbolId]) -> Self {
+        SliceTokens { tokens, pos: 0 }
+    }
+}
+
+impl TokenSource for SliceTokens<'_> {
+    type Error = std::convert::Infallible;
+
+    #[inline]
+    fn next_token(&mut self) -> Result<Option<SymbolId>, Self::Error> {
+        let token = self.tokens.get(self.pos).copied();
+        self.pos += 1;
+        Ok(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipg_grammar::SymbolId;
+
+    #[test]
+    fn slice_source_yields_tokens_then_none() {
+        let tokens = [SymbolId::from_index(3), SymbolId::from_index(5)];
+        let mut source = SliceTokens::new(&tokens);
+        assert_eq!(source.next_token(), Ok(Some(tokens[0])));
+        assert_eq!(source.next_token(), Ok(Some(tokens[1])));
+        assert_eq!(source.next_token(), Ok(None));
+        assert_eq!(source.next_token(), Ok(None));
+    }
+}

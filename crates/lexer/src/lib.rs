@@ -39,4 +39,4 @@ pub use charclass::CharClass;
 pub use dfa::{DfaSnapshot, DfaStats, LazyDfa};
 pub use nfa::{Nfa, TokenId};
 pub use regex::Regex;
-pub use scanner::{simple_scanner, ScanError, Scanner, Token, TokenDef};
+pub use scanner::{simple_scanner, RawMatch, ScanError, Scanner, Token, TokenDef, TokenStream};

@@ -7,11 +7,12 @@
 //! an SDF-style definition can drive lexer and parser from one source.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ipg_grammar::{Grammar, SymbolId};
 
-use crate::dfa::{DfaStats, LazyDfa};
-use crate::nfa::Nfa;
+use crate::dfa::{DfaSnapshot, DfaStats, LazyDfa};
+use crate::nfa::{Nfa, TokenId};
 use crate::regex::Regex;
 
 /// One token definition.
@@ -248,46 +249,60 @@ impl Scanner {
     /// immutable DFA snapshot up front and serves every per-character step
     /// from it — the hot loop is lock-free; only cache misses (first-time
     /// subset-construction steps) take the DFA's writer and refresh the
-    /// pin.
+    /// pin. Byte offsets are tracked incrementally, so no per-call offset
+    /// table is built. Allocates the `Token` structs it returns; streaming
+    /// consumers use [`Scanner::stream`] and never materialise tokens.
     pub fn tokenize(&self, input: &str) -> Result<Vec<Token>, ScanError> {
-        let mut pin = self.dfa.snapshot();
-        let chars: Vec<char> = input.chars().collect();
-        // Byte offset of every char index (plus the end), for spans.
-        let mut offsets = Vec::with_capacity(chars.len() + 1);
-        let mut acc = 0usize;
-        for &c in &chars {
-            offsets.push(acc);
-            acc += c.len_utf8();
-        }
-        offsets.push(acc);
-
+        let mut buf = Vec::new();
+        let mut stream = self.stream(input, &mut buf);
         let mut tokens = Vec::new();
-        let mut pos = 0usize;
-        while pos < chars.len() {
-            match self.dfa.longest_match_pinned(&mut pin, &chars, pos) {
-                Some((len, token_id)) if len > 0 => {
-                    let def = self.slots[token_id]
-                        .as_ref()
-                        .expect("an accepting token is an active slot");
-                    if !def.layout {
-                        tokens.push(Token {
-                            name: def.name.clone(),
-                            text: chars[pos..pos + len].iter().collect(),
-                            start: offsets[pos],
-                            end: offsets[pos + len],
-                        });
-                    }
-                    pos += len;
-                }
-                _ => {
-                    return Err(ScanError::UnexpectedCharacter {
-                        offset: offsets[pos],
-                        character: chars[pos],
-                    })
-                }
+        let mut byte = 0usize;
+        while let Some(m) = stream.next_match()? {
+            let matched = &stream.chars[m.start..m.start + m.len];
+            let width: usize = matched.iter().map(|c| c.len_utf8()).sum();
+            if !m.layout {
+                let def = self.slots[m.slot]
+                    .as_ref()
+                    .expect("an accepting token is an active slot");
+                tokens.push(Token {
+                    name: def.name.clone(),
+                    text: matched.iter().collect(),
+                    start: byte,
+                    end: byte + width,
+                });
             }
+            byte += width;
         }
         Ok(tokens)
+    }
+
+    /// Opens a streaming tokenizer over `input` using `buf` as the
+    /// reusable character buffer (cleared and refilled; a recycled buffer
+    /// makes the scan allocation-free). The stream pins one immutable DFA
+    /// snapshot and yields token-id *slots* instead of materialised
+    /// [`Token`]s — the form the fused lexer→parser path consumes.
+    pub fn stream<'a>(&'a self, input: &str, buf: &'a mut Vec<char>) -> TokenStream<'a> {
+        buf.clear();
+        buf.extend(input.chars());
+        TokenStream {
+            scanner: self,
+            pin: self.dfa.snapshot(),
+            chars: buf,
+            pos: 0,
+        }
+    }
+
+    /// The definition in token-id slot `id`, or `None` for tombstones of
+    /// removed definitions and out-of-range ids. Slot ids are what
+    /// [`TokenStream`] yields; they are stable across definition changes
+    /// (until a compacting recompile renumbers them).
+    pub fn slot(&self, id: TokenId) -> Option<&TokenDef> {
+        self.slots.get(id)?.as_ref()
+    }
+
+    /// Number of token-id slots (active definitions plus tombstones).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
     }
 
     /// Scans `input` and maps each token to the grammar terminal with the
@@ -310,6 +325,86 @@ impl Scanner {
                     })
             })
             .collect()
+    }
+}
+
+/// One raw scanner match: a token-id slot plus its span in characters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawMatch {
+    /// The matching token-id slot (resolve with [`Scanner::slot`]).
+    pub slot: TokenId,
+    /// Character index of the first matched character.
+    pub start: usize,
+    /// Number of matched characters.
+    pub len: usize,
+    /// Whether the matching definition is layout (skipped by
+    /// [`TokenStream::next_slot`]).
+    pub layout: bool,
+}
+
+/// A streaming tokenizer over one pinned DFA snapshot: the scanner side of
+/// lexer→parser fusion.
+///
+/// Yields token-id slots one match at a time instead of materialising a
+/// token vector — no `Token` structs, no name/text strings, no offset
+/// table. Every per-character step against already-materialised DFA
+/// entries is a plain read of immutable data; a miss funnels into the
+/// DFA's writer and refreshes the pin in place. Byte offsets are only
+/// computed on the error path.
+#[derive(Debug)]
+pub struct TokenStream<'a> {
+    scanner: &'a Scanner,
+    pin: Arc<DfaSnapshot>,
+    chars: &'a [char],
+    pos: usize,
+}
+
+impl TokenStream<'_> {
+    /// The next raw match, layout included. `Ok(None)` at end of input.
+    pub fn next_match(&mut self) -> Result<Option<RawMatch>, ScanError> {
+        if self.pos >= self.chars.len() {
+            return Ok(None);
+        }
+        match self
+            .scanner
+            .dfa
+            .longest_match_pinned(&mut self.pin, self.chars, self.pos)
+        {
+            Some((len, slot)) if len > 0 => {
+                let start = self.pos;
+                self.pos += len;
+                let layout = self.scanner.slots[slot]
+                    .as_ref()
+                    .expect("an accepting token is an active slot")
+                    .layout;
+                Ok(Some(RawMatch {
+                    slot,
+                    start,
+                    len,
+                    layout,
+                }))
+            }
+            _ => Err(ScanError::UnexpectedCharacter {
+                // Cold path: the byte offset is derived only when needed.
+                offset: self.chars[..self.pos].iter().map(|c| c.len_utf8()).sum(),
+                character: self.chars[self.pos],
+            }),
+        }
+    }
+
+    /// The next non-layout token's slot id. `Ok(None)` at end of input.
+    pub fn next_slot(&mut self) -> Result<Option<TokenId>, ScanError> {
+        while let Some(m) = self.next_match()? {
+            if !m.layout {
+                return Ok(Some(m.slot));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Characters consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 }
 
@@ -492,6 +587,43 @@ mod tests {
         let scanner = simple_scanner(&[]);
         assert!(scanner.tokenize("   \n\t -- just a comment").unwrap().is_empty());
         assert!(scanner.tokenize("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_slots_agree_with_tokenize() {
+        let scanner = simple_scanner(&["if", ":="]);
+        let input = "if x1 := 42 -- note\nif";
+        let tokens = scanner.tokenize(input).unwrap();
+        let mut buf = Vec::new();
+        let mut stream = scanner.stream(input, &mut buf);
+        let mut streamed = Vec::new();
+        while let Some(slot) = stream.next_slot().unwrap() {
+            streamed.push(scanner.slot(slot).unwrap().name.clone());
+        }
+        let names: Vec<String> = tokens.iter().map(|t| t.name.clone()).collect();
+        assert_eq!(streamed, names);
+        assert_eq!(stream.position(), input.chars().count());
+        // The char buffer is reusable: a second scan allocates into the
+        // same capacity.
+        let mut stream = scanner.stream("if if", &mut buf);
+        assert!(stream.next_slot().unwrap().is_some());
+    }
+
+    #[test]
+    fn streaming_reports_scan_errors_with_byte_offsets() {
+        let scanner = simple_scanner(&[]);
+        let mut buf = Vec::new();
+        let mut stream = scanner.stream("ab $", &mut buf);
+        assert!(stream.next_slot().is_ok());
+        assert_eq!(
+            stream.next_slot().unwrap_err(),
+            ScanError::UnexpectedCharacter {
+                offset: 3,
+                character: '$'
+            }
+        );
+        // Slot accessors: tombstones and out-of-range ids answer None.
+        assert!(scanner.slot(scanner.num_slots()).is_none());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use automaton::{AutomatonSize, Lr0Automaton, State, StateId};
 pub use item::{Item, Lr1Item};
 pub use itemset::{closure, goto_set, partition_by_next_symbol, start_kernel, ItemSet};
 pub use lalr::{canonical_lr1_table, lalr1_table, lalr1_table_with_stats, LalrStats};
-pub use parser::{render_trace, tokenize_names, LrParser, ParseError, TraceStep};
+pub use parser::{render_trace, tokenize_names, LrCtx, LrParser, ParseError, TraceStep};
 pub use table::{
     Action, ActionCell, ActionsIter, ActionsRef, Conflict, ParseTable, ParserTables,
     TableExpansion, TableKind, EMPTY_ACTIONS,

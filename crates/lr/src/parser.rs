@@ -105,6 +105,29 @@ pub fn render_trace(grammar: &Grammar, trace: &[TraceStep]) -> String {
     out
 }
 
+/// Reusable per-run scratch of the deterministic LR parser: the state
+/// stack and the ACTION cell. Recognition through a recycled context is
+/// allocation-free once the stack has grown to the input's depth (tree
+/// construction inherently allocates the tree it returns).
+#[derive(Clone, Debug, Default)]
+pub struct LrCtx {
+    stack: Vec<StateId>,
+    actions: ActionCell,
+}
+
+impl LrCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the scratch while keeping capacity.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+        self.actions.clear();
+    }
+}
+
 /// The deterministic LR parser.
 ///
 /// The parser itself is stateless between calls; it borrows the grammar to
@@ -129,7 +152,19 @@ impl<'g> LrParser<'g> {
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> Result<bool, ParseError> {
-        match self.run(tables, tokens, false, None) {
+        let mut ctx = LrCtx::new();
+        self.recognize_in(&mut ctx, tables, tokens)
+    }
+
+    /// Recognises `tokens` in a reusable context — the allocation-free
+    /// form of [`LrParser::recognize`].
+    pub fn recognize_in(
+        &self,
+        ctx: &mut LrCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<bool, ParseError> {
+        match self.run(ctx, tables, tokens, false, None) {
             Ok(_) => Ok(true),
             Err(ParseError::SyntaxError { .. }) => Ok(false),
             Err(e) => Err(e),
@@ -142,7 +177,19 @@ impl<'g> LrParser<'g> {
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> Result<ParseTree, ParseError> {
-        self.run(tables, tokens, true, None)
+        let mut ctx = LrCtx::new();
+        self.parse_in(&mut ctx, tables, tokens)
+    }
+
+    /// Parses `tokens` in a reusable context (the returned tree is still
+    /// freshly allocated; the stack and ACTION scratch are recycled).
+    pub fn parse_in(
+        &self,
+        ctx: &mut LrCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+    ) -> Result<ParseTree, ParseError> {
+        self.run(ctx, tables, tokens, true, None)
             .map(|t| t.expect("tree construction was requested"))
     }
 
@@ -153,21 +200,24 @@ impl<'g> LrParser<'g> {
         tokens: &[SymbolId],
         trace: &mut Vec<TraceStep>,
     ) -> Result<ParseTree, ParseError> {
-        self.run(tables, tokens, true, Some(trace))
+        let mut ctx = LrCtx::new();
+        self.run(&mut ctx, tables, tokens, true, Some(trace))
             .map(|t| t.expect("tree construction was requested"))
     }
 
     fn run(
         &self,
+        ctx: &mut LrCtx,
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
         build_tree: bool,
         mut trace: Option<&mut Vec<TraceStep>>,
     ) -> Result<Option<ParseTree>, ParseError> {
+        ctx.reset();
         let eof = self.grammar.eof_symbol();
-        let mut stack: Vec<StateId> = vec![tables.start_state()];
+        let LrCtx { stack, actions } = ctx;
+        stack.push(tables.start_state());
         let mut values: Vec<ParseTree> = Vec::new();
-        let mut actions = ActionCell::default();
         let mut pos = 0usize;
         let mut step = 0usize;
 
@@ -178,7 +228,7 @@ impl<'g> LrParser<'g> {
                 self.grammar.is_terminal(symbol),
                 "input must consist of terminals"
             );
-            tables.actions_into(state, symbol, &mut actions);
+            tables.actions_into(state, symbol, actions);
             let Some(action) = actions.single() else {
                 if actions.is_empty() {
                     return Err(ParseError::SyntaxError {
@@ -357,6 +407,27 @@ mod tests {
         assert!(tokenize_names(&g, "true maybe").is_none());
         assert!(tokenize_names(&g, "B").is_none());
         assert_eq!(tokenize_names(&g, "true or false").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn recycled_context_agrees_with_fresh_runs() {
+        let g = fixtures::arithmetic();
+        let table = lalr1_table(&g);
+        let parser = LrParser::new(&g);
+        let mut ctx = LrCtx::new();
+        for sentence in ["id + num", "id +", "( id )", "", "id + num * id"] {
+            let tokens = tokenize_names(&g, sentence).unwrap();
+            assert_eq!(
+                parser.recognize_in(&mut ctx, &table, &tokens).unwrap(),
+                parser.recognize(&table, &tokens).unwrap(),
+                "sentence `{sentence}`"
+            );
+        }
+        let tokens = tokenize_names(&g, "id + num").unwrap();
+        assert_eq!(
+            parser.parse_in(&mut ctx, &table, &tokens).unwrap(),
+            parser.parse(&table, &tokens).unwrap()
+        );
     }
 
     #[test]
