@@ -1,0 +1,615 @@
+//! `ipg-loadgen` — overload-robustness benchmark for the network frontend.
+//!
+//! ```text
+//! ipg-loadgen [--addr HOST:PORT] [--conns N] [--phase-secs S]
+//!             [--workers N] [--queue-depth N] [--seed N] [--out FILE]
+//! ```
+//!
+//! Without `--addr`, spawns an in-process [`ipg_frontend::Frontend`] over
+//! the Fig. 7 SDF workload; with it, drives an externally launched
+//! `ipg-frontend` (which must serve the default `sdf` grammar).
+//!
+//! Measurement protocol:
+//!
+//! 1. **Capacity**: a closed-loop estimate (back-to-back requests on
+//!    `--conns` connections), then re-measured as the *served* rate of a
+//!    saturating open-loop run — on small hosts the load-generation
+//!    machinery itself costs CPU, and calibrating with the same machinery
+//!    keeps the sweep multipliers honest.
+//! 2. **Open-loop Poisson sweeps** at 0.8×, 1×, 2× and 4× capacity.
+//!    Arrivals are *scheduled* (exponential inter-arrival gaps, fixed
+//!    seed) and sent at their scheduled instant regardless of outstanding
+//!    replies — the open-loop discipline that exposes overload collapse,
+//!    which closed-loop clients hide by self-throttling. Latency is
+//!    measured from the actual send; client-side scheduling lag is
+//!    reported separately (`max_send_lag_us`) so a CPU-starved generator
+//!    is visible rather than silently folded into server latency. The 2×
+//!    and 4× phases carry a deadline budget equal to the 0.8× p99 — the
+//!    mechanism that keeps served-latency bounded while the excess is
+//!    shed.
+//!
+//! Writes `BENCH_frontend.json` and exits non-zero if any robustness gate
+//! fails:
+//!
+//! * every sent request got exactly one reply (no silent drops, no hangs),
+//! * shed rate at 1× offered load is ~0 (≤ 5%),
+//! * p99 of *served* requests at 4× offered load is ≤ 3× the 0.8× p99
+//!   (plateau, not collapse), and
+//! * p99 at 0.8× load is under a generous absolute bound (150 ms).
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ipg::{IpgServer, IpgSession, LatencyHistogram};
+use ipg_frontend::protocol::{
+    read_response, write_request, FrameError, Status, Verb, DEFAULT_MAX_FRAME,
+};
+use ipg_frontend::{Client, Frontend, FrontendConfig};
+use ipg_sdf::fixtures::sdf_grammar_and_scanner;
+use ipg_sdf::NormalizedSdf;
+
+// ---------------------------------------------------------------------
+// Deterministic Poisson arrivals (no external RNG crate).
+// ---------------------------------------------------------------------
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// One exponential inter-arrival gap (seconds) at `rate` arrivals/second.
+fn exp_gap(state: &mut u64, rate: f64) -> f64 {
+    // Uniform in (0, 1]: the +1 keeps ln() finite.
+    let u = ((xorshift(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    -u.ln() / rate
+}
+
+// ---------------------------------------------------------------------
+// Tallies
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    accepted: u64,
+    overloaded: u64,
+    deadline_exceeded: u64,
+    shutting_down: u64,
+    error: u64,
+    send_errors: u64,
+    unanswered: u64,
+    /// Worst client-side lag between a request's scheduled and actual
+    /// send instant (microseconds) — generator health, not server latency.
+    max_send_lag_us: u64,
+    /// Latency of *served* (`OK`/`ERROR`) requests, send→reply.
+    latency_ok: LatencyHistogram,
+    /// Latency of shed requests — how fast the frontend says "no".
+    latency_shed: LatencyHistogram,
+}
+
+impl Tally {
+    fn merge(&mut self, other: &Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.accepted += other.accepted;
+        self.overloaded += other.overloaded;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.shutting_down += other.shutting_down;
+        self.error += other.error;
+        self.send_errors += other.send_errors;
+        self.unanswered += other.unanswered;
+        self.max_send_lag_us = self.max_send_lag_us.max(other.max_send_lag_us);
+        self.latency_ok.merge(&other.latency_ok);
+        self.latency_shed.merge(&other.latency_shed);
+    }
+
+    fn replies(&self) -> u64 {
+        self.ok + self.error + self.overloaded + self.deadline_exceeded + self.shutting_down
+    }
+
+    fn shed(&self) -> u64 {
+        self.overloaded + self.deadline_exceeded + self.shutting_down
+    }
+
+    fn shed_rate(&self) -> f64 {
+        self.shed() as f64 / self.sent.max(1) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------
+
+/// Closed-loop saturation: every connection keeps exactly one request in
+/// flight; completions/second at saturation is the service capacity.
+fn capacity_phase(addr: &str, conns: usize, secs: f64, payload: &'static str) -> f64 {
+    let started = Instant::now();
+    let total: u64 = thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect for capacity phase");
+                    let mut done = 0u64;
+                    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+                    while Instant::now() < deadline {
+                        client
+                            .parse_text(payload, 0)
+                            .expect("capacity-phase request");
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    total as f64 / started.elapsed().as_secs_f64()
+}
+
+/// One open-loop connection: a writer sending at scheduled instants and a
+/// reader correlating replies by request id. Returns the connection tally.
+fn open_loop_connection(
+    addr: &str,
+    rate: f64,
+    secs: f64,
+    deadline_us: u32,
+    payload: &'static str,
+    seed: u64,
+) -> Tally {
+    let stream = TcpStream::connect(addr).expect("connect for open-loop phase");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_write_timeout(Some(Duration::from_secs(2)))
+        .expect("write timeout");
+    let read_half = stream.try_clone().expect("clone stream");
+    read_half
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("read timeout");
+
+    // request id → actual send instant; inserted before the frame is
+    // written, so the reader always finds its entry.
+    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let writer_done = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let pending = Arc::clone(&pending);
+        let writer_done = Arc::clone(&writer_done);
+        thread::spawn(move || {
+            let mut tally = Tally::default();
+            let mut reader = BufReader::new(read_half);
+            let mut grace_started: Option<Instant> = None;
+            loop {
+                match read_response(&mut reader, DEFAULT_MAX_FRAME) {
+                    Ok(response) => {
+                        let Some(sent_at) = pending.lock().unwrap().remove(&response.request_id)
+                        else {
+                            continue; // duplicate or unknown id: ignore
+                        };
+                        let latency = sent_at.elapsed();
+                        match response.status {
+                            Status::Ok => {
+                                tally.ok += 1;
+                                if response.parse_outcome().is_some_and(|(accepted, _)| accepted)
+                                {
+                                    tally.accepted += 1;
+                                }
+                                tally.latency_ok.record(latency);
+                            }
+                            Status::Error => {
+                                tally.error += 1;
+                                tally.latency_ok.record(latency);
+                            }
+                            Status::Overloaded => {
+                                tally.overloaded += 1;
+                                tally.latency_shed.record(latency);
+                            }
+                            Status::DeadlineExceeded => {
+                                tally.deadline_exceeded += 1;
+                                tally.latency_shed.record(latency);
+                            }
+                            Status::ShuttingDown => {
+                                tally.shutting_down += 1;
+                                tally.latency_shed.record(latency);
+                            }
+                            Status::Malformed => tally.error += 1,
+                        }
+                    }
+                    Err(FrameError::Idle) | Err(FrameError::SlowClient) => {
+                        if writer_done.load(Ordering::Acquire) {
+                            if pending.lock().unwrap().is_empty() {
+                                break;
+                            }
+                            // Allow stragglers a grace window, then call
+                            // the rest unanswered.
+                            let grace = *grace_started.get_or_insert_with(Instant::now);
+                            if grace.elapsed() > Duration::from_secs(5) {
+                                break;
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            tally.unanswered = pending.lock().unwrap().len() as u64;
+            tally
+        })
+    };
+
+    // The writer: send each request at its scheduled instant, never
+    // waiting for replies (open loop).
+    let mut buf = Vec::new();
+    let mut write_half = stream;
+    let mut rng = seed | 1;
+    let mut sent = 0u64;
+    let mut send_errors = 0u64;
+    let mut max_lag = 0u64;
+    let mut at = 0.0f64;
+    let started = Instant::now();
+    loop {
+        at += exp_gap(&mut rng, rate);
+        if at >= secs {
+            break;
+        }
+        let scheduled = started + Duration::from_secs_f64(at);
+        let now = Instant::now();
+        let sent_at = if scheduled > now {
+            thread::sleep(scheduled - now);
+            Instant::now()
+        } else {
+            max_lag = max_lag.max((now - scheduled).as_micros() as u64);
+            now
+        };
+        sent += 1;
+        let id = sent;
+        pending.lock().unwrap().insert(id, sent_at);
+        if write_request(
+            &mut write_half,
+            &mut buf,
+            id,
+            Verb::ParseText,
+            deadline_us,
+            payload.as_bytes(),
+        )
+        .is_err()
+        {
+            pending.lock().unwrap().remove(&id);
+            sent -= 1;
+            send_errors += 1;
+            break; // the connection is gone; stop offering on it
+        }
+    }
+    writer_done.store(true, Ordering::Release);
+    let mut tally = reader.join().unwrap();
+    tally.sent = sent;
+    tally.send_errors = send_errors;
+    tally.max_send_lag_us = max_lag;
+    tally
+}
+
+/// One open-loop Poisson sweep at `rate` requests/second across `conns`
+/// connections (independent Poisson streams superpose to Poisson).
+fn open_loop_phase(
+    addr: &str,
+    conns: usize,
+    rate: f64,
+    secs: f64,
+    deadline_us: u32,
+    payload: &'static str,
+    seed: u64,
+) -> Tally {
+    let per_conn = rate / conns as f64;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|i| {
+                let conn_seed = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64 + 1);
+                scope.spawn(move || {
+                    open_loop_connection(addr, per_conn, secs, deadline_us, payload, conn_seed)
+                })
+            })
+            .collect();
+        let mut tally = Tally::default();
+        for handle in handles {
+            tally.merge(&handle.join().unwrap());
+        }
+        tally
+    })
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------
+
+fn histogram_json(h: &LatencyHistogram) -> String {
+    let (p50, p99, p999) = h.percentiles_us();
+    format!(
+        "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+         \"p999_us\": {p999}, \"max_us\": {}}}",
+        h.count(),
+        h.mean_us(),
+        h.max_us()
+    )
+}
+
+fn phase_json(multiplier: f64, rate: f64, deadline_us: u32, tally: &Tally) -> String {
+    format!(
+        "    {{\"offered_x\": {multiplier}, \"offered_rps\": {rate:.1}, \
+         \"deadline_us\": {deadline_us}, \"sent\": {}, \"replies\": {}, \"ok\": {}, \
+         \"accepted\": {}, \"overloaded\": {}, \"deadline_exceeded\": {}, \
+         \"shutting_down\": {}, \"error\": {}, \"send_errors\": {}, \"unanswered\": {}, \
+         \"shed_rate\": {:.4}, \"max_send_lag_us\": {}, \"latency_served_us\": {}, \
+         \"latency_shed_us\": {}}}",
+        tally.sent,
+        tally.replies(),
+        tally.ok,
+        tally.accepted,
+        tally.overloaded,
+        tally.deadline_exceeded,
+        tally.shutting_down,
+        tally.error,
+        tally.send_errors,
+        tally.unanswered,
+        tally.shed_rate(),
+        tally.max_send_lag_us,
+        histogram_json(&tally.latency_ok),
+        histogram_json(&tally.latency_shed),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Main
+// ---------------------------------------------------------------------
+
+struct Options {
+    addr: Option<String>,
+    conns: usize,
+    phase_secs: f64,
+    workers: usize,
+    queue_depth: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: None,
+        conns: 4,
+        phase_secs: 3.0,
+        workers: 0,
+        queue_depth: 256,
+        seed: 42,
+        out: "BENCH_frontend.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => options.addr = Some(value("--addr")?),
+            "--conns" => {
+                options.conns = value("--conns")?
+                    .parse()
+                    .map_err(|_| "--conns expects a number".to_owned())?;
+            }
+            "--phase-secs" => {
+                options.phase_secs = value("--phase-secs")?
+                    .parse()
+                    .map_err(|_| "--phase-secs expects a number".to_owned())?;
+            }
+            "--workers" => {
+                options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a number".to_owned())?;
+            }
+            "--queue-depth" => {
+                options.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth expects a number".to_owned())?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_owned())?;
+            }
+            "--out" => options.out = value("--out")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if options.conns == 0 {
+        return Err("--conns must be at least 1".to_owned());
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    // The load payload: the smallest Fig. 7 measurement input, so one
+    // request is a realistic-but-quick scan+parse.
+    let payload = ipg_sdf::fixtures::measurement_inputs()
+        .into_iter()
+        .find(|i| i.name == "exp.sdf")
+        .expect("exp.sdf input exists")
+        .text;
+
+    // Target: an external frontend, or one spawned in-process.
+    let in_process = options.addr.is_none();
+    let frontend = if in_process {
+        let NormalizedSdf { grammar, scanner } = sdf_grammar_and_scanner();
+        let server = Arc::new(IpgServer::new(IpgSession::new(grammar)).with_scanner(scanner));
+        server.parse_text_pooled(payload).expect("prewarm parse");
+        let config = FrontendConfig {
+            workers: options.workers,
+            queue_depth: options.queue_depth,
+            ..FrontendConfig::default()
+        };
+        Some(Frontend::bind("127.0.0.1:0", config, server).expect("bind in-process frontend"))
+    } else {
+        None
+    };
+    let addr = frontend
+        .as_ref()
+        .map(|f| f.local_addr().to_string())
+        .or(options.addr.clone())
+        .expect("an address either way");
+
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "target: {addr} ({}), payload: exp.sdf, conns: {}, phase: {:.1}s, host: {cores} core(s)",
+        if in_process { "in-process" } else { "external" },
+        options.conns,
+        options.phase_secs,
+    );
+
+    // Phase 1: capacity. The closed-loop estimate sets the saturating
+    // rate; the served rate of an open-loop run *at* that rate is the
+    // capacity the sweeps are scaled against — this folds the load
+    // generator's own CPU cost into the calibration, which matters when
+    // client and server share a small host.
+    let closed_rps = capacity_phase(&addr, options.conns, options.phase_secs, payload);
+    println!("capacity (closed loop): {closed_rps:.0} req/s");
+    let calibration = open_loop_phase(
+        &addr,
+        options.conns,
+        closed_rps * 1.25,
+        options.phase_secs,
+        0,
+        payload,
+        options.seed ^ 0x00C0_FFEE,
+    );
+    let capacity =
+        (calibration.ok + calibration.error) as f64 / options.phase_secs;
+    println!(
+        "capacity (open loop, served): {capacity:.0} req/s ({} unanswered in calibration)",
+        calibration.unanswered
+    );
+
+    // Phase 2: open-loop sweeps. 0.8× and 1× run without deadlines (the
+    // queue alone must keep them healthy); 2× and 4× carry a deadline
+    // budget equal to the 0.8× p99, the mechanism that bounds served
+    // latency under overload.
+    let multipliers = [0.8, 1.0, 2.0, 4.0];
+    let mut results: Vec<(f64, f64, u32, Tally)> = Vec::new();
+    let mut overload_deadline_us = 0u32;
+    for (i, &multiplier) in multipliers.iter().enumerate() {
+        let rate = capacity * multiplier;
+        let deadline_us = if multiplier > 1.0 { overload_deadline_us } else { 0 };
+        let tally = open_loop_phase(
+            &addr,
+            options.conns,
+            rate,
+            options.phase_secs,
+            deadline_us,
+            payload,
+            options.seed.wrapping_add(i as u64 * 1_000_003),
+        );
+        let (_, p99, _) = tally.latency_ok.percentiles_us();
+        println!(
+            "{multiplier:>4}x offered ({rate:>7.0} rps, deadline {deadline_us:>6}us): \
+             sent {:>6}, served {:>6}, shed {:>6} ({:>5.1}%), unanswered {}, served p99 {}us",
+            tally.sent,
+            tally.ok + tally.error,
+            tally.shed(),
+            tally.shed_rate() * 100.0,
+            tally.unanswered,
+            p99,
+        );
+        if multiplier == 0.8 {
+            // The healthy p99 as the budget, floored at 1 ms against
+            // timer jitter: admitted requests that would wait longer than
+            // a healthy round trip are shed instead of served uselessly
+            // late, which is what keeps the served-latency curve flat.
+            overload_deadline_us = p99.clamp(1_000, 30_000_000) as u32;
+        }
+        results.push((multiplier, rate, deadline_us, tally));
+    }
+
+    // The server's own view, over the wire.
+    let server_stats_json = Client::connect(&addr)
+        .and_then(|mut client| client.stats_json())
+        .unwrap_or_else(|_| "null".to_owned());
+
+    if let Some(frontend) = frontend {
+        frontend.shutdown(ipg_frontend::ShutdownMode::Drain);
+    }
+
+    // ------------------------------------------------------------------
+    // Report + gates
+    // ------------------------------------------------------------------
+    let p99_08 = results[0].3.latency_ok.percentiles_us().1;
+    let p99_4x = results[3].3.latency_ok.percentiles_us().1;
+    let shed_rate_1x = results[1].3.shed_rate();
+    let unanswered_total: u64 = calibration.unanswered
+        + results.iter().map(|(_, _, _, t)| t.unanswered).sum::<u64>();
+    let p99_ratio = p99_4x as f64 / p99_08.max(1) as f64;
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"frontend\",\n  \"workload\": \"sdf-exp\",\n  \
+         \"mode\": \"{}\",\n  \"host_cores\": {cores},\n  \"conns\": {},\n  \
+         \"phase_secs\": {},\n  \"closed_loop_rps\": {closed_rps:.1},\n  \
+         \"capacity_rps\": {capacity:.1},\n  \"phases\": [\n",
+        if in_process { "in-process" } else { "external" },
+        options.conns,
+        options.phase_secs,
+    );
+    for (i, (multiplier, rate, deadline_us, tally)) in results.iter().enumerate() {
+        json.push_str(&phase_json(*multiplier, *rate, *deadline_us, tally));
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str(&format!(
+        "  ],\n  \"p99_served_us_0_8x\": {p99_08},\n  \"p99_served_us_4x\": {p99_4x},\n  \
+         \"p99_ratio_4x_vs_0_8x\": {p99_ratio:.3},\n  \"shed_rate_1x\": {shed_rate_1x:.4},\n  \
+         \"unanswered_total\": {unanswered_total},\n  \"server_stats\": {server_stats_json}\n}}\n",
+    ));
+    std::fs::write(&options.out, &json).expect("write BENCH_frontend.json");
+    println!("\nwrote {}", options.out);
+
+    // Hard robustness gates (CI fails on any of these).
+    let mut failed = false;
+    if unanswered_total > 0 {
+        eprintln!("FAIL: {unanswered_total} request(s) never got a reply");
+        failed = true;
+    }
+    if shed_rate_1x > 0.05 {
+        eprintln!(
+            "FAIL: shed rate at 1x offered load is {:.1}% (expected ~0, gate 5%)",
+            shed_rate_1x * 100.0
+        );
+        failed = true;
+    }
+    if p99_4x > 3 * p99_08.max(1) {
+        eprintln!(
+            "FAIL: served p99 at 4x overload ({p99_4x}us) exceeds 3x the 0.8x p99 ({p99_08}us): \
+             latency collapses instead of plateauing"
+        );
+        failed = true;
+    }
+    if p99_08 > 150_000 {
+        eprintln!("FAIL: p99 at 0.8x load is {p99_08}us (generous bound: 150ms)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "gates: all passed (p99 {p99_08}us @0.8x -> {p99_4x}us @4x, ratio {p99_ratio:.2}, \
+         shed@1x {:.1}%, unanswered 0)",
+        shed_rate_1x * 100.0
+    );
+}

@@ -101,5 +101,5 @@ pub use graph::{
 };
 pub use server::{GrammarEpoch, IpgServer, PooledParse, RequestCtx, ServerError, ServerStats};
 pub use session::{IpgSession, SessionError};
-pub use stats::{GenStats, GraphSize};
+pub use stats::{GenStats, GraphSize, LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use tables::{LazyTables, StaleGraphError};

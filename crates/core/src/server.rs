@@ -75,8 +75,45 @@
 //! end — enforced by a counting-allocator gate in the serving bench and
 //! the `alloc_free` regression suite. The owned conveniences
 //! ([`IpgServer::parse`], [`IpgServer::parse_text`]) cost exactly one
-//! forest copy on top. A future network frontend slots straight in: a
-//! connection handler *is* a context checkout.
+//! forest copy on top.
+//!
+//! ## The wire path (`ipg-frontend`)
+//!
+//! The network frontend (the `ipg-frontend` crate) slots straight onto
+//! this layer: each of its worker threads maps 1:1 onto a per-thread
+//! context-pool slot, so serving a network request *is* a context
+//! checkout. The full path of one `PARSE-TEXT` frame:
+//!
+//! ```text
+//! accept --> read frame --> admit ----------------> worker dequeues
+//!            (size-capped,   │ queue full?               │ deadline dead?
+//!             timeouts       └--> OVERLOADED             └--> DEADLINE_EXCEEDED
+//!             classified)
+//!        --> checkout ctx --> pin epoch --> scan+parse --> reply --> return ctx
+//!                             │ deadline dead at pin?      (reused buffer)
+//!                             └--> DEADLINE_EXCEEDED
+//! ```
+//!
+//! Everything left of "checkout" is the frontend's admission control: a
+//! bounded queue is the only backlog, and whatever it cannot hold is
+//! answered immediately instead of buffered. The shed/deadline semantics,
+//! in one table (every admitted or shed request gets **exactly one**
+//! reply):
+//!
+//! | situation                          | reply                | counted in `GenStats` |
+//! |------------------------------------|----------------------|-----------------------|
+//! | admission queue full               | `OVERLOADED`         | `shed_overload`       |
+//! | deadline expired in the queue      | `DEADLINE_EXCEEDED`  | `shed_deadline`       |
+//! | deadline expired at epoch-pin time | `DEADLINE_EXCEEDED`  | `shed_deadline`       |
+//! | deadline expires *after* the pin   | parse runs to completion; the late reply is visible in the latency histogram |
+//! | frame arrives while draining       | `SHUTTING_DOWN`      | `shed_shutdown`       |
+//! | malformed frame (bad length/verb)  | `MALFORMED` if the id was decodable, then the connection closes | `rejected_malformed` |
+//! | peer stalls mid-frame / never reads replies | none — only that connection is poisoned | `io_timeouts` |
+//!
+//! Grammar edits over the wire (`ADD-RULE`/`DELETE-RULE`) go through
+//! [`IpgServer::add_rule_text`]/[`IpgServer::remove_rule_text`] like any
+//! library caller — non-draining epoch publication, never blocked behind
+//! parses.
 //!
 //! Text requests are additionally **fused**: [`IpgServer::parse_text`]
 //! streams scanner matches from the epoch's pinned DFA snapshot directly
@@ -122,6 +159,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use ipg_glr::{
     Forest, GssParseResult, GssParser, GssStats, ParseCtx, ParseOutcome, TokenSource,
@@ -395,6 +433,40 @@ impl ServerStats {
     pub fn total_action_calls(&self) -> usize {
         self.per_thread.iter().map(|(_, s)| s.action_calls).sum()
     }
+
+    /// One [`GenStats`] folding the graph counters and every per-thread
+    /// entry together through [`GenStats::merge`]: counters sum, latency
+    /// histograms merge exactly, high-water marks take the maximum. This
+    /// is what the network frontend's STATS verb reports.
+    pub fn merged(&self) -> GenStats {
+        let mut total = self.graph;
+        for (_, stats) in &self.per_thread {
+            total.merge(stats);
+        }
+        total
+    }
+
+    /// The effective-parallelism high-water mark across all threads: the
+    /// largest worker count [`IpgServer::parse_many`] (or the network
+    /// frontend's pool) actually ran with, after clamping — as opposed to
+    /// whatever was configured.
+    pub fn effective_workers(&self) -> usize {
+        self.per_thread
+            .iter()
+            .map(|(_, s)| s.effective_workers)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The merged service-latency histogram across all threads (exact:
+    /// bucket counts add, the maximum is the true global maximum).
+    pub fn latency(&self) -> crate::stats::LatencyHistogram {
+        let mut total = crate::stats::LatencyHistogram::default();
+        for (_, stats) in &self.per_thread {
+            total.merge(&stats.latency);
+        }
+        total
+    }
 }
 
 /// A multi-reader serving layer over epoch-versioned [`IpgSession`]s.
@@ -601,6 +673,7 @@ impl IpgServer {
     /// context. A request that fails before parsing (unknown token, scan
     /// error) still counts as a served request with zero queries.
     fn serve<R>(&self, f: impl FnOnce(&GrammarEpoch, &LazyTables<'_>, &mut RequestCtx) -> R) -> R {
+        let started = Instant::now();
         let (mut ctx, reused) = checkout_ctx();
         let epoch = self.acquire();
         let tables: LazyTables<'_> = epoch.session.tables();
@@ -609,7 +682,7 @@ impl IpgServer {
         drop(tables);
         self.release(epoch);
         checkin_ctx(ctx);
-        self.note_parse(action_calls, goto_calls, reused);
+        self.note_parse(action_calls, goto_calls, reused, started.elapsed());
         result
     }
 
@@ -621,6 +694,7 @@ impl IpgServer {
         &self,
         f: impl FnOnce(&GrammarEpoch, &LazyTables<'_>, &mut RequestCtx) -> Result<ParseOutcome, E>,
     ) -> Result<PooledParse, E> {
+        let started = Instant::now();
         let (mut ctx, reused) = checkout_ctx();
         let epoch = self.acquire();
         let tables: LazyTables<'_> = epoch.session.tables();
@@ -628,7 +702,7 @@ impl IpgServer {
         let (action_calls, goto_calls) = tables.query_counts();
         drop(tables);
         self.release(epoch);
-        self.note_parse(action_calls, goto_calls, reused);
+        self.note_parse(action_calls, goto_calls, reused, started.elapsed());
         match outcome {
             Ok(outcome) => Ok(PooledParse {
                 ctx: Some(ctx),
@@ -843,10 +917,21 @@ impl IpgServer {
     /// so one slow request delays only the worker running it — not every
     /// request that a static striping would have assigned to the same
     /// lane. Results come back in request order. A convenience for
-    /// benches, tests and batch callers; network frontends would call
-    /// [`IpgServer::parse`] from their own threads instead.
+    /// benches, tests and batch callers; the network frontend
+    /// (`ipg-frontend`) calls [`IpgServer::parse`] from its own worker
+    /// pool instead.
+    ///
+    /// `threads` is a *request*: it is clamped to the number of requests
+    /// (and to at least 1), and the count actually used is surfaced as the
+    /// max-merged [`GenStats::effective_workers`] high-water mark — read
+    /// it back through [`ServerStats::effective_workers`] — so callers and
+    /// benches report real, not configured, parallelism.
     pub fn parse_many(&self, requests: &[Vec<SymbolId>], threads: usize) -> Vec<GssParseResult> {
         let threads = threads.max(1).min(requests.len().max(1));
+        self.note(&GenStats {
+            effective_workers: threads,
+            ..GenStats::default()
+        });
         let queue = AtomicUsize::new(0);
         let mut results: Vec<Option<GssParseResult>> = vec![None; requests.len()];
         thread::scope(|scope| {
@@ -918,28 +1003,42 @@ impl IpgServer {
         }
     }
 
-    fn note_parse(&self, action_calls: usize, goto_calls: usize, ctx_reused: bool) {
-        let mut per_thread = self.per_thread.lock().unwrap();
-        let entry = Self::entry_mut(&mut per_thread);
-        entry.parses += 1;
-        entry.action_calls += action_calls;
-        entry.goto_calls += goto_calls;
+    fn note_parse(&self, action_calls: usize, goto_calls: usize, ctx_reused: bool, latency: Duration) {
+        let mut delta = GenStats {
+            parses: 1,
+            action_calls,
+            goto_calls,
+            ..GenStats::default()
+        };
         if ctx_reused {
-            entry.ctx_reused += 1;
+            delta.ctx_reused = 1;
         } else {
-            entry.ctx_fresh += 1;
+            delta.ctx_fresh = 1;
         }
+        delta.latency.record(latency);
+        self.note(&delta);
     }
 
     fn note_epochs(&self, retired: usize, reclaimed: usize) {
         if retired == 0 && reclaimed == 0 {
             return;
         }
+        self.note(&GenStats {
+            epochs_published: retired,
+            epochs_retired: retired,
+            epochs_reclaimed: reclaimed,
+            ..GenStats::default()
+        });
+    }
+
+    /// Folds a delta into the calling thread's stats entry (or, past the
+    /// tracking cap, the overflow aggregate) through [`GenStats::merge`] —
+    /// one merge function for both paths, so the overflow aggregate keeps
+    /// exact histograms and max-merged high-water marks just like a
+    /// tracked entry does.
+    fn note(&self, delta: &GenStats) {
         let mut per_thread = self.per_thread.lock().unwrap();
-        let entry = Self::entry_mut(&mut per_thread);
-        entry.epochs_published += retired;
-        entry.epochs_retired += retired;
-        entry.epochs_reclaimed += reclaimed;
+        Self::entry_mut(&mut per_thread).merge(delta);
     }
 
     fn entry_mut(per_thread: &mut PerThreadStats) -> &mut GenStats {
@@ -1160,10 +1259,57 @@ mod tests {
         // the cap plus the single overflow aggregate.
         assert_eq!(stats.total_parses(), total);
         assert!(stats.per_thread.len() <= MAX_TRACKED_THREADS + 1);
-        assert!(stats
+        let overflow = stats
             .per_thread
             .iter()
-            .any(|(name, s)| name == "(untracked threads)" && s.parses == 8));
+            .find(|(name, _)| name == "(untracked threads)")
+            .map(|(_, s)| s)
+            .expect("overflow aggregate present");
+        assert_eq!(overflow.parses, 8);
+        // The overflow aggregate goes through the same field-aware merge
+        // as tracked entries: its latency histogram holds one exact sample
+        // per folded-in parse (nothing lossy like a clobbered mean), and
+        // the merged view accounts for every thread's samples.
+        assert_eq!(overflow.latency.count(), 8);
+        assert!(overflow.latency.max_us() <= stats.merged().latency.max_us());
+        assert_eq!(stats.latency().count() as usize, total);
+        assert_eq!(stats.merged().parses, total);
+    }
+
+    #[test]
+    fn parse_many_surfaces_the_effective_worker_count() {
+        let server = boolean_server();
+        let requests = vec![server.tokens("true or false").unwrap(); 2];
+        // 8 threads requested, but only 2 requests exist: the clamp to the
+        // request count must be visible, not silently applied.
+        server.parse_many(&requests, 8);
+        assert_eq!(server.stats().effective_workers(), 2);
+        // A larger batch raises the high-water mark; a later smaller batch
+        // does not lower it (max-merge, not last-write).
+        let many = vec![server.tokens("true and true").unwrap(); 16];
+        server.parse_many(&many, 4);
+        assert_eq!(server.stats().effective_workers(), 4);
+        server.parse_many(&requests, 8);
+        assert_eq!(server.stats().effective_workers(), 4);
+        // Zero threads and empty batches degrade to 1 worker, visibly.
+        server.parse_many(&requests, 0);
+        assert_eq!(server.stats().effective_workers(), 4);
+    }
+
+    #[test]
+    fn serve_records_latency_samples() {
+        let server = boolean_server();
+        let tokens = server.tokens("true or false").unwrap();
+        for _ in 0..5 {
+            assert!(server.parse(&tokens).accepted);
+        }
+        let latency = server.stats().latency();
+        assert_eq!(latency.count(), 5);
+        // Quantiles are served from the merged histogram without panicking
+        // and respect ordering.
+        let (p50, p99, p999) = latency.percentiles_us();
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!(p999 <= latency.max_us().max(1));
     }
 
     #[test]

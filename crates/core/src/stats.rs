@@ -1,9 +1,143 @@
 //! Counters describing how much work the lazy/incremental generator has
 //! done. These back the paper's §5.2 observation ("only 60 percent of the
 //! parse table had to be generated to parse the SDF definition of SDF
-//! itself") and the §7 measurements.
+//! itself") and the §7 measurements — plus the serving-layer latency
+//! histograms and overload counters the network frontend reports through
+//! its STATS verb.
 
 use std::fmt;
+use std::time::Duration;
+
+/// Number of fixed histogram buckets (see [`LatencyHistogram`]).
+pub const HISTOGRAM_BUCKETS: usize = 128;
+
+/// A fixed-bucket latency histogram: values 0–7 µs get exact buckets,
+/// everything above is bucketed at quarter-octave (≤ 25 %) resolution up
+/// to ~2 hours. Recording is allocation-free and branch-light — one index
+/// computation and two increments — so it can sit on the serving hot path;
+/// the structure is `Copy`, so it rides inside [`GenStats`] through the
+/// existing per-thread aggregation.
+///
+/// Merging two histograms (bucket-wise addition, max of maxima) is exact:
+/// unlike a `(mean, max)` pair, no quantile information is lost when
+/// per-thread histograms are folded into an aggregate — including the
+/// serving layer's bounded-thread-map *overflow* aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample counts per bucket (see [`LatencyHistogram::bucket_index`]).
+    counts: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples recorded.
+    count: u64,
+    /// Sum of all recorded values in microseconds (for the mean).
+    sum_us: u64,
+    /// Largest recorded value in microseconds (exact, not bucketed).
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// The bucket index of a value in microseconds: exact below 8 µs, then
+    /// four sub-buckets per power of two, saturating in the last bucket.
+    fn bucket_index(us: u64) -> usize {
+        if us < 8 {
+            return us as usize;
+        }
+        let b = 63 - us.leading_zeros() as u64; // floor(log2(us)), >= 3
+        let sub = (us >> (b - 2)) & 3;
+        (((b - 3) * 4 + sub) as usize + 8).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The lower bound (µs) of the bucket with the given index — what the
+    /// quantile estimators report, so estimates err low, never high, by at
+    /// most one bucket width (≤ 25 %).
+    fn bucket_floor(index: usize) -> u64 {
+        if index < 8 {
+            return index as u64;
+        }
+        let k = (index - 8) as u64 / 4;
+        let sub = (index - 8) as u64 % 4;
+        (1 << (k + 3)) + sub * (1 << (k + 1))
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Folds `other` into `self`. Exact: bucket-wise addition plus max of
+    /// the maxima — no quantile or high-water information is lost.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded values in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value in microseconds (exact).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds: the floor of the
+    /// bucket holding the `ceil(q · count)`-th smallest sample. Returns 0
+    /// when empty; `q >= 1` returns the exact maximum.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max_us;
+        }
+        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(index);
+            }
+        }
+        self.max_us
+    }
+
+    /// Convenience: the (p50, p99, p999) triple in microseconds.
+    pub fn percentiles_us(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+        )
+    }
+}
 
 /// Work counters of an item-set graph. All counters are cumulative over the
 /// lifetime of the graph (they are not reset by grammar modifications).
@@ -67,6 +201,35 @@ pub struct GenStats {
     /// Requests that had to build a fresh parse context (first request of
     /// a thread, or a nested checkout). Counted by the serving layer.
     pub ctx_fresh: usize,
+    /// Service-latency histogram of served requests (one sample per
+    /// `parse*`/`recognize` in the serving layer; the network frontend
+    /// records its end-to-end admit→reply latencies into its own copy).
+    /// Merged exactly across threads — see [`GenStats::merge`].
+    pub latency: LatencyHistogram,
+    /// Requests shed with an immediate `OVERLOADED` reply because the
+    /// admission queue was full. Counted by the network frontend.
+    pub shed_overload: usize,
+    /// Requests shed with `DEADLINE_EXCEEDED` because their deadline had
+    /// already passed at dequeue or at epoch-pin time.
+    pub shed_deadline: usize,
+    /// Requests shed with `SHUTTING_DOWN` during graceful drain.
+    pub shed_shutdown: usize,
+    /// Frames rejected as malformed (bad length, unknown verb, garbage) —
+    /// each also poisons exactly the connection that sent it.
+    pub rejected_malformed: usize,
+    /// Connections dropped by slow-client protection: a read or write on
+    /// the socket exceeded its timeout mid-frame.
+    pub io_timeouts: usize,
+    /// **High-water mark** (max-merged, not summed): the deepest the
+    /// admission queue ever got.
+    pub queue_depth_high_water: usize,
+    /// **High-water mark** (max-merged, not summed): the largest number of
+    /// worker threads that actually ran concurrently — the *effective*
+    /// parallelism. [`crate::IpgServer::parse_many`] records the worker
+    /// count it really used after clamping to the request count, so
+    /// callers and benches can see configured vs actual parallelism; the
+    /// network frontend records its worker-pool size.
+    pub effective_workers: usize,
 }
 
 impl GenStats {
@@ -78,6 +241,82 @@ impl GenStats {
     /// Total number of expansion operations (lazy + re-expansions).
     pub fn total_expansions(&self) -> usize {
         self.expansions + self.re_expansions
+    }
+
+    /// Total requests shed without parsing (overload + deadline + drain).
+    pub fn total_shed(&self) -> usize {
+        self.shed_overload + self.shed_deadline + self.shed_shutdown
+    }
+
+    /// Folds `other` into `self`, field-aware and **non-lossy**: plain
+    /// counters are summed, the latency histogram is merged bucket-wise
+    /// (exact for every quantile), and high-water fields
+    /// (`queue_depth_high_water`, `effective_workers`, the histogram's
+    /// max) take the maximum — summing them would fabricate depths and
+    /// thread counts nobody ever observed. Every aggregation in the
+    /// serving layer (per-thread map, the bounded map's overflow
+    /// aggregate, [`crate::ServerStats`] totals) goes through this one
+    /// function, so the overflow path cannot silently diverge from the
+    /// tracked path.
+    pub fn merge(&mut self, other: &GenStats) {
+        let GenStats {
+            nodes_created,
+            expansions,
+            re_expansions,
+            closures,
+            action_calls,
+            goto_calls,
+            modifications,
+            invalidations,
+            nodes_collected,
+            nodes_swept,
+            sweeps,
+            rows_built,
+            parses,
+            epochs_published,
+            epochs_retired,
+            epochs_reclaimed,
+            chunks_cowed,
+            dfa_states_carried,
+            ctx_reused,
+            ctx_fresh,
+            latency,
+            shed_overload,
+            shed_deadline,
+            shed_shutdown,
+            rejected_malformed,
+            io_timeouts,
+            queue_depth_high_water,
+            effective_workers,
+        } = other;
+        self.nodes_created += nodes_created;
+        self.expansions += expansions;
+        self.re_expansions += re_expansions;
+        self.closures += closures;
+        self.action_calls += action_calls;
+        self.goto_calls += goto_calls;
+        self.modifications += modifications;
+        self.invalidations += invalidations;
+        self.nodes_collected += nodes_collected;
+        self.nodes_swept += nodes_swept;
+        self.sweeps += sweeps;
+        self.rows_built += rows_built;
+        self.parses += parses;
+        self.epochs_published += epochs_published;
+        self.epochs_retired += epochs_retired;
+        self.epochs_reclaimed += epochs_reclaimed;
+        self.chunks_cowed += chunks_cowed;
+        self.dfa_states_carried += dfa_states_carried;
+        self.ctx_reused += ctx_reused;
+        self.ctx_fresh += ctx_fresh;
+        self.latency.merge(latency);
+        self.shed_overload += shed_overload;
+        self.shed_deadline += shed_deadline;
+        self.shed_shutdown += shed_shutdown;
+        self.rejected_malformed += rejected_malformed;
+        self.io_timeouts += io_timeouts;
+        self.queue_depth_high_water = self.queue_depth_high_water.max(*queue_depth_high_water);
+        self.effective_workers = self.effective_workers.max(*effective_workers);
     }
 }
 
@@ -110,6 +349,31 @@ impl fmt::Display for GenStats {
         if self.ctx_reused + self.ctx_fresh > 0 {
             writeln!(f, "contexts recycled:    {}", self.ctx_reused)?;
             writeln!(f, "contexts built:       {}", self.ctx_fresh)?;
+        }
+        if self.latency.count() > 0 {
+            let (p50, p99, p999) = self.latency.percentiles_us();
+            writeln!(
+                f,
+                "latency (µs):         p50 {p50}, p99 {p99}, p999 {p999}, max {}",
+                self.latency.max_us()
+            )?;
+        }
+        if self.total_shed() > 0 {
+            writeln!(f, "shed (overloaded):    {}", self.shed_overload)?;
+            writeln!(f, "shed (deadline):      {}", self.shed_deadline)?;
+            writeln!(f, "shed (shutting down): {}", self.shed_shutdown)?;
+        }
+        if self.rejected_malformed > 0 {
+            writeln!(f, "malformed frames:     {}", self.rejected_malformed)?;
+        }
+        if self.io_timeouts > 0 {
+            writeln!(f, "slow-client timeouts: {}", self.io_timeouts)?;
+        }
+        if self.queue_depth_high_water > 0 {
+            writeln!(f, "queue depth (max):    {}", self.queue_depth_high_water)?;
+        }
+        if self.effective_workers > 0 {
+            writeln!(f, "effective workers:    {}", self.effective_workers)?;
         }
         Ok(())
     }
@@ -202,5 +466,79 @@ mod tests {
         let size = GraphSize::default();
         assert_eq!(size.expanded_fraction(), 0.0);
         assert_eq!(size.coverage_of(0), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_bounded() {
+        let mut last = 0;
+        for us in 0..100_000u64 {
+            let index = LatencyHistogram::bucket_index(us);
+            assert!(index >= last, "bucket index regressed at {us} µs");
+            assert!(index < HISTOGRAM_BUCKETS);
+            // The bucket's floor never exceeds the value it holds.
+            assert!(LatencyHistogram::bucket_floor(index) <= us);
+            last = index;
+        }
+        // Absurd values saturate instead of indexing out of bounds.
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_err_low_by_at_most_a_bucket() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max_us(), 1000);
+        let (p50, p99, p999) = h.percentiles_us();
+        // Quarter-octave buckets: the estimate is the bucket floor, so it
+        // sits within 25 % below the true quantile.
+        assert!((375..=500).contains(&p50), "p50 = {p50}");
+        assert!((742..=990).contains(&p99), "p99 = {p99}");
+        assert!((750..=1000).contains(&p999), "p999 = {p999}");
+        assert!((h.mean_us() - 500.5).abs() < 1.0);
+        assert_eq!(h.quantile_us(1.0), 1000);
+        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters_but_maxes_high_water_fields() {
+        let mut a = GenStats {
+            parses: 3,
+            action_calls: 10,
+            shed_overload: 2,
+            queue_depth_high_water: 7,
+            effective_workers: 4,
+            ..Default::default()
+        };
+        a.latency.record(Duration::from_micros(100));
+        let mut b = GenStats {
+            parses: 5,
+            action_calls: 1,
+            shed_deadline: 1,
+            queue_depth_high_water: 3,
+            effective_workers: 8,
+            ..Default::default()
+        };
+        b.latency.record(Duration::from_micros(9_000));
+        a.merge(&b);
+        assert_eq!(a.parses, 8);
+        assert_eq!(a.action_calls, 11);
+        assert_eq!(a.shed_overload, 2);
+        assert_eq!(a.shed_deadline, 1);
+        assert_eq!(a.total_shed(), 3);
+        // High-water marks are maxed, never summed: merging cannot
+        // fabricate a queue depth or worker count nobody observed.
+        assert_eq!(a.queue_depth_high_water, 7);
+        assert_eq!(a.effective_workers, 8);
+        // Histogram merge is exact: both samples, true global max.
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.latency.max_us(), 9_000);
+        assert_eq!(a.latency.quantile_us(1.0), 9_000);
+        let text = a.to_string();
+        assert!(text.contains("effective workers:    8"));
+        assert!(text.contains("queue depth (max):    7"));
+        assert!(text.contains("shed (overloaded):    2"));
     }
 }

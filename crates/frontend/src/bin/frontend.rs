@@ -1,0 +1,143 @@
+//! `ipg-frontend` — serve an incremental parser generator over TCP.
+//!
+//! ```text
+//! ipg-frontend [--addr HOST:PORT] [--grammar sdf|boolean] [--workers N]
+//!              [--queue-depth N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!              [--no-prewarm]
+//! ```
+//!
+//! Serves the SDF-definition-of-SDF benchmark grammar (default) or the
+//! small boolean-expression grammar over the frame protocol of
+//! `ipg_frontend::protocol`. The process runs until killed; admission
+//! control (bounded queue, deadlines, load shedding) is always on. Prints
+//! the bound address on stdout (`listening on ...`) so harnesses binding
+//! port 0 can discover it.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipg::{IpgServer, IpgSession};
+use ipg_frontend::{Frontend, FrontendConfig};
+use ipg_grammar::fixtures;
+use ipg_lexer::simple_scanner;
+use ipg_sdf::fixtures::{measurement_inputs, sdf_grammar_and_scanner};
+use ipg_sdf::NormalizedSdf;
+
+struct Options {
+    addr: String,
+    grammar: String,
+    prewarm: bool,
+    config: FrontendConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:7433".to_owned(),
+        grammar: "sdf".to_owned(),
+        prewarm: true,
+        config: FrontendConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--grammar" => options.grammar = value("--grammar")?,
+            "--workers" => {
+                options.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a number".to_owned())?;
+            }
+            "--queue-depth" => {
+                options.config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth expects a number".to_owned())?;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms expects a number".to_owned())?;
+                options.config.read_timeout = Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms expects a number".to_owned())?;
+                options.config.write_timeout = Duration::from_millis(ms);
+            }
+            "--no-prewarm" => options.prewarm = false,
+            "--help" | "-h" => {
+                return Err("usage: ipg-frontend [--addr HOST:PORT] [--grammar sdf|boolean] \
+                            [--workers N] [--queue-depth N] [--read-timeout-ms N] \
+                            [--write-timeout-ms N] [--no-prewarm]"
+                    .to_owned());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn build_server(grammar: &str) -> Result<(IpgServer, Vec<&'static str>), String> {
+    match grammar {
+        "sdf" => {
+            let NormalizedSdf { grammar, scanner } = sdf_grammar_and_scanner();
+            let prewarm = measurement_inputs().into_iter().map(|i| i.text).collect();
+            Ok((
+                IpgServer::new(IpgSession::new(grammar)).with_scanner(scanner),
+                prewarm,
+            ))
+        }
+        "boolean" => Ok((
+            IpgServer::new(IpgSession::new(fixtures::booleans()))
+                .with_scanner(simple_scanner(&["true", "false", "or", "and"])),
+            vec!["true or false and true"],
+        )),
+        other => Err(format!("unknown grammar {other} (expected sdf or boolean)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (server, prewarm) = match build_server(&options.grammar) {
+        Ok(built) => built,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = Arc::new(server);
+    if options.prewarm {
+        // Expand the tables and populate the DFA snapshot once so the
+        // first network requests hit the warm zero-alloc path instead of
+        // paying first-parse expansion.
+        for text in prewarm {
+            if let Err(e) = server.parse_text_pooled(text) {
+                eprintln!("prewarm parse failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let frontend = match Frontend::bind(&options.addr, options.config, server) {
+        Ok(frontend) => frontend,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", frontend.local_addr());
+    // Serve until killed. The frontend's own threads do all the work;
+    // parking the main thread keeps the process alive without spinning.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,112 @@
+//! A small blocking client for the frontend protocol.
+//!
+//! One request in flight at a time; the response's `request_id` is checked
+//! against the request's. Load generators that want pipelining should use
+//! the [`crate::protocol`] functions directly on split read/write halves
+//! and correlate by `request_id` themselves.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    read_response, write_request, FrameError, Response, Verb, DEFAULT_MAX_FRAME,
+};
+
+/// Converts a client-side frame-read failure into an `io::Error`.
+pub fn frame_to_io(e: FrameError) -> io::Error {
+    match e {
+        FrameError::Idle | FrameError::SlowClient => {
+            io::Error::new(io::ErrorKind::TimedOut, "timed out waiting for a response")
+        }
+        FrameError::Eof => io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ),
+        FrameError::Malformed { reason, .. } => io::Error::new(io::ErrorKind::InvalidData, reason),
+        FrameError::Io(e) => e,
+    }
+}
+
+/// A blocking request/response client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects with a generous (30 s) response timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            buf: Vec::new(),
+            next_id: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Overrides how long [`Client::request`] waits for a response.
+    pub fn set_response_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, verb: Verb, deadline_us: u32, payload: &[u8]) -> io::Result<Response> {
+        self.next_id += 1;
+        let id = self.next_id;
+        write_request(&mut self.writer, &mut self.buf, id, verb, deadline_us, payload)?;
+        let response = read_response(&mut self.reader, self.max_frame).map_err(frame_to_io)?;
+        if response.request_id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response for request {} while awaiting {id}", response.request_id),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// `PING`.
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.request(Verb::Ping, 0, &[])
+    }
+
+    /// `PARSE-TEXT` with an optional deadline budget (0 = none).
+    pub fn parse_text(&mut self, text: &str, deadline_us: u32) -> io::Result<Response> {
+        self.request(Verb::ParseText, deadline_us, text.as_bytes())
+    }
+
+    /// `PARSE-TOKENS` (whitespace-separated terminal names).
+    pub fn parse_tokens(&mut self, sentence: &str, deadline_us: u32) -> io::Result<Response> {
+        self.request(Verb::ParseTokens, deadline_us, sentence.as_bytes())
+    }
+
+    /// `ADD-RULE` in the textual BNF notation.
+    pub fn add_rule(&mut self, rule: &str) -> io::Result<Response> {
+        self.request(Verb::AddRule, 0, rule.as_bytes())
+    }
+
+    /// `DELETE-RULE` in the textual BNF notation.
+    pub fn delete_rule(&mut self, rule: &str) -> io::Result<Response> {
+        self.request(Verb::DeleteRule, 0, rule.as_bytes())
+    }
+
+    /// `STATS` as the raw JSON document.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        let response = self.request(Verb::Stats, 0, &[])?;
+        String::from_utf8(response.payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stats payload is not UTF-8"))
+    }
+}

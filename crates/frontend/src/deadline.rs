@@ -1,0 +1,72 @@
+//! Per-request deadlines.
+//!
+//! The protocol carries a *relative* budget (`deadline_us`, measured from
+//! the moment the server read the frame), converted here to an absolute
+//! [`Instant`] once, on admission. The frontend checks it twice:
+//!
+//! 1. **at dequeue** — a request whose budget was consumed while it sat in
+//!    the admission queue is shed with `DEADLINE_EXCEEDED` *without
+//!    parsing* (spending a worker on it could not produce a useful reply,
+//!    and under overload would steal time from requests that can still
+//!    make their deadlines), and
+//! 2. **at epoch-pin time** — immediately before the worker pins a grammar
+//!    epoch and commits parser time, after payload decoding; a request
+//!    whose budget ran out between dequeue and pin is shed the same way.
+//!
+//! A parse that is already past its pin runs to completion: the reply may
+//! arrive late, but cancellation mid-GSS would buy nothing (the context is
+//! returned either way) and the histograms make the lateness visible.
+
+use std::time::{Duration, Instant};
+
+/// An absolute per-request deadline (or none).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: the request waits as long as the queue lets it.
+    pub fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// Converts the protocol's relative budget (`0` = none) into an
+    /// absolute deadline anchored at `now` (the frame-read instant).
+    pub fn from_budget_us(deadline_us: u32, now: Instant) -> Deadline {
+        if deadline_us == 0 {
+            Deadline(None)
+        } else {
+            Deadline(Some(now + Duration::from_micros(u64::from(deadline_us))))
+        }
+    }
+
+    /// Whether the deadline has passed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        match self.0 {
+            Some(deadline) => now >= deadline,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_means_no_deadline() {
+        let now = Instant::now();
+        let deadline = Deadline::from_budget_us(0, now);
+        assert_eq!(deadline, Deadline::none());
+        assert!(!deadline.expired(now + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn budgets_expire_relative_to_their_anchor() {
+        let now = Instant::now();
+        let deadline = Deadline::from_budget_us(1_000, now);
+        assert!(!deadline.expired(now));
+        assert!(!deadline.expired(now + Duration::from_micros(999)));
+        assert!(deadline.expired(now + Duration::from_micros(1_000)));
+        assert!(deadline.expired(now + Duration::from_secs(1)));
+    }
+}

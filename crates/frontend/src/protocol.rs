@@ -1,0 +1,437 @@
+//! The wire protocol: simple length-prefixed binary frames.
+//!
+//! Every frame is a little-endian `u32` length prefix (counting the bytes
+//! *after* the prefix) followed by a fixed header and a verb-specific
+//! payload:
+//!
+//! ```text
+//! request:   u32 len | u64 request_id | u8 verb   | u32 deadline_us | payload
+//! response:  u32 len | u64 request_id | u8 status | payload
+//! ```
+//!
+//! * `deadline_us` is a **relative time budget** in microseconds, measured
+//!   from the moment the server reads the frame (0 = no deadline). A
+//!   relative budget needs no clock synchronisation between client and
+//!   server; the server converts it to an absolute instant on arrival and
+//!   checks it at dequeue and again at epoch-pin time.
+//! * Parse responses carry `[accepted: u8][grammar_version: u64]`; edit
+//!   responses carry `[1][grammar_version]`; `STATS` carries a JSON
+//!   document; errors carry a UTF-8 message.
+//!
+//! Reading is defensive by construction: the length prefix is validated
+//! against the configured maximum frame size *before* anything is
+//! allocated or read, unknown verbs are rejected, and a read timeout is
+//! classified as **idle** (at a frame boundary — the connection simply has
+//! no traffic) or **slow-client** (mid-frame — the peer started a frame
+//! and stalled, the case the timeouts exist to bound). Malformed input
+//! poisons only the connection that sent it.
+
+use std::io::{self, Read, Write};
+
+/// Bytes of a request header after the length prefix
+/// (`request_id` + `verb` + `deadline_us`).
+pub const REQUEST_HEADER_LEN: usize = 8 + 1 + 4;
+
+/// Bytes of a response header after the length prefix
+/// (`request_id` + `status`).
+pub const RESPONSE_HEADER_LEN: usize = 8 + 1;
+
+/// Default cap on a frame's post-prefix length (1 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Request verbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Verb {
+    /// Liveness probe; empty payload, empty `OK` reply.
+    Ping = 0,
+    /// Scan + parse the payload (UTF-8 text) with the epoch's scanner.
+    ParseText = 1,
+    /// Parse the payload as a whitespace-separated sentence of terminal
+    /// names (the pre-lexed form).
+    ParseTokens = 2,
+    /// `ADD-RULE`: the payload is a rule in the textual BNF notation.
+    AddRule = 3,
+    /// `DELETE-RULE`: the payload is a rule in the textual BNF notation.
+    DeleteRule = 4,
+    /// Server + frontend statistics as a JSON document.
+    Stats = 5,
+}
+
+impl Verb {
+    /// Decodes a verb byte.
+    pub fn from_byte(byte: u8) -> Option<Verb> {
+        match byte {
+            0 => Some(Verb::Ping),
+            1 => Some(Verb::ParseText),
+            2 => Some(Verb::ParseTokens),
+            3 => Some(Verb::AddRule),
+            4 => Some(Verb::DeleteRule),
+            5 => Some(Verb::Stats),
+            _ => None,
+        }
+    }
+}
+
+/// Response statuses. Every admitted or shed request gets **exactly one**
+/// response; the non-`Ok` statuses say which protection fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The request was executed; the payload is verb-specific.
+    Ok = 0,
+    /// The request was executed and failed (unknown token, BNF error,
+    /// scanner-less server, ...); the payload is a UTF-8 message.
+    Error = 1,
+    /// Load shed: the admission queue was full. The request was never
+    /// queued; retry with backoff.
+    Overloaded = 2,
+    /// The request's deadline expired before it reached a parser (at
+    /// dequeue or at epoch-pin time); it was shed without parsing.
+    DeadlineExceeded = 3,
+    /// The frontend is draining for shutdown and no longer executes new
+    /// requests.
+    ShuttingDown = 4,
+    /// The frame was malformed (bad length, unknown verb); the connection
+    /// is closed after this reply.
+    Malformed = 5,
+}
+
+impl Status {
+    /// Decodes a status byte.
+    pub fn from_byte(byte: u8) -> Option<Status> {
+        match byte {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Error),
+            2 => Some(Status::Overloaded),
+            3 => Some(Status::DeadlineExceeded),
+            4 => Some(Status::ShuttingDown),
+            5 => Some(Status::Malformed),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// What to do.
+    pub verb: Verb,
+    /// Relative deadline budget in microseconds (0 = none).
+    pub deadline_us: u32,
+    /// Verb-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// One decoded response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The request id this responds to.
+    pub request_id: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// Status/verb-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// Decodes an `[accepted][grammar_version]` parse payload.
+    pub fn parse_outcome(&self) -> Option<(bool, u64)> {
+        if self.status != Status::Ok || self.payload.len() != 9 {
+            return None;
+        }
+        let version = u64::from_le_bytes(self.payload[1..9].try_into().ok()?);
+        Some((self.payload[0] != 0, version))
+    }
+}
+
+/// Why reading a frame failed. The server reacts per variant: `Idle` polls
+/// the shutdown flag and keeps waiting, `Eof` closes quietly, `SlowClient`
+/// and `Malformed` poison the connection (counted separately), `Io` closes.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Read timeout with the connection at a frame boundary: no traffic,
+    /// not a protocol violation.
+    Idle,
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// Read timeout (or mid-frame close) *inside* a frame: the peer
+    /// started a frame and stalled — the slow-client case.
+    SlowClient,
+    /// The frame violates the protocol; the optional id is the request id
+    /// when enough of the header arrived to know it.
+    Malformed {
+        /// Request id to address the rejection to, if known.
+        request_id: Option<u64>,
+        /// Human-readable reason (also sent to the client).
+        reason: &'static str,
+    },
+    /// Any other I/O error.
+    Io(io::Error),
+}
+
+/// Reads exactly `buf.len()` bytes. `at_boundary` selects how a timeout
+/// with zero bytes read is classified (idle at a boundary, slow-client
+/// mid-frame); any timeout after partial progress is a slow client.
+fn read_exact_classified(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    FrameError::Eof
+                } else {
+                    // A mid-frame close truncates the frame; treat it like
+                    // a stalled sender (nothing left to reply to).
+                    FrameError::SlowClient
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(if at_boundary && filled == 0 {
+                    FrameError::Idle
+                } else {
+                    FrameError::SlowClient
+                });
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request frame, enforcing `max_frame` **before** allocating.
+pub fn read_request(stream: &mut impl Read, max_frame: usize) -> Result<Request, FrameError> {
+    let mut prefix = [0u8; 4];
+    read_exact_classified(stream, &mut prefix, true)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len < REQUEST_HEADER_LEN {
+        return Err(FrameError::Malformed {
+            request_id: None,
+            reason: "frame shorter than the request header",
+        });
+    }
+    if len > max_frame {
+        return Err(FrameError::Malformed {
+            request_id: None,
+            reason: "frame exceeds the maximum frame size",
+        });
+    }
+    let mut frame = vec![0u8; len];
+    read_exact_classified(stream, &mut frame, false)?;
+    let request_id = u64::from_le_bytes(frame[0..8].try_into().expect("8 bytes"));
+    let Some(verb) = Verb::from_byte(frame[8]) else {
+        return Err(FrameError::Malformed {
+            request_id: Some(request_id),
+            reason: "unknown verb",
+        });
+    };
+    let deadline_us = u32::from_le_bytes(frame[9..13].try_into().expect("4 bytes"));
+    Ok(Request {
+        request_id,
+        verb,
+        deadline_us,
+        payload: frame[REQUEST_HEADER_LEN..].to_vec(),
+    })
+}
+
+/// Reads one response frame (the client side of [`read_request`]).
+pub fn read_response(stream: &mut impl Read, max_frame: usize) -> Result<Response, FrameError> {
+    let mut prefix = [0u8; 4];
+    read_exact_classified(stream, &mut prefix, true)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len < RESPONSE_HEADER_LEN {
+        return Err(FrameError::Malformed {
+            request_id: None,
+            reason: "frame shorter than the response header",
+        });
+    }
+    if len > max_frame {
+        return Err(FrameError::Malformed {
+            request_id: None,
+            reason: "frame exceeds the maximum frame size",
+        });
+    }
+    let mut frame = vec![0u8; len];
+    read_exact_classified(stream, &mut frame, false)?;
+    let request_id = u64::from_le_bytes(frame[0..8].try_into().expect("8 bytes"));
+    let Some(status) = Status::from_byte(frame[8]) else {
+        return Err(FrameError::Malformed {
+            request_id: Some(request_id),
+            reason: "unknown status",
+        });
+    };
+    Ok(Response {
+        request_id,
+        status,
+        payload: frame[RESPONSE_HEADER_LEN..].to_vec(),
+    })
+}
+
+/// Encodes a request frame into `buf` (cleared first) and writes it.
+pub fn write_request(
+    stream: &mut impl Write,
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    verb: Verb,
+    deadline_us: u32,
+    payload: &[u8],
+) -> io::Result<()> {
+    let len = REQUEST_HEADER_LEN + payload.len();
+    buf.clear();
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.push(verb as u8);
+    buf.extend_from_slice(&deadline_us.to_le_bytes());
+    buf.extend_from_slice(payload);
+    stream.write_all(buf)
+}
+
+/// Encodes a response frame into `buf` (cleared first — the per-connection
+/// reply buffer is reused, so steady-state replies do not allocate) and
+/// writes it.
+pub fn write_response(
+    stream: &mut impl Write,
+    buf: &mut Vec<u8>,
+    request_id: u64,
+    status: Status,
+    payload: &[u8],
+) -> io::Result<()> {
+    let len = RESPONSE_HEADER_LEN + payload.len();
+    buf.clear();
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.push(status as u8);
+    buf.extend_from_slice(payload);
+    stream.write_all(buf)
+}
+
+/// Encodes the `[accepted][grammar_version]` parse-outcome payload.
+pub fn parse_outcome_payload(accepted: bool, grammar_version: u64) -> [u8; 9] {
+    let mut payload = [0u8; 9];
+    payload[0] = accepted as u8;
+    payload[1..9].copy_from_slice(&grammar_version.to_le_bytes());
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let mut wire = Vec::new();
+        let mut buf = Vec::new();
+        write_request(&mut wire, &mut buf, 42, Verb::ParseText, 1_500, b"true or false").unwrap();
+        let decoded = read_request(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(decoded.request_id, 42);
+        assert_eq!(decoded.verb, Verb::ParseText);
+        assert_eq!(decoded.deadline_us, 1_500);
+        assert_eq!(decoded.payload, b"true or false");
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let mut wire = Vec::new();
+        let mut buf = Vec::new();
+        let payload = parse_outcome_payload(true, 7);
+        write_response(&mut wire, &mut buf, 9, Status::Ok, &payload).unwrap();
+        let decoded = read_response(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(decoded.request_id, 9);
+        assert_eq!(decoded.status, Status::Ok);
+        assert_eq!(decoded.parse_outcome(), Some((true, 7)));
+        // Non-parse payloads decode to no outcome.
+        let mut wire = Vec::new();
+        write_response(&mut wire, &mut buf, 9, Status::Overloaded, &[]).unwrap();
+        let decoded = read_response(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(decoded.parse_outcome(), None);
+    }
+
+    #[test]
+    fn oversized_and_short_frames_are_malformed_before_allocation() {
+        // Length prefix promises 100 MiB: rejected by the cap alone.
+        let wire = (100u32 << 20).to_le_bytes();
+        match read_request(&mut Cursor::new(&wire[..]), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Malformed { request_id: None, reason }) => {
+                assert!(reason.contains("maximum frame size"));
+            }
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        // Length prefix shorter than the header.
+        let wire = 4u32.to_le_bytes();
+        assert!(matches!(
+            read_request(&mut Cursor::new(&wire[..]), DEFAULT_MAX_FRAME),
+            Err(FrameError::Malformed { request_id: None, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_verbs_are_malformed_with_the_request_id() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(REQUEST_HEADER_LEN as u32).to_le_bytes());
+        wire.extend_from_slice(&77u64.to_le_bytes());
+        wire.push(250); // no such verb
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        match read_request(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Malformed { request_id: Some(77), reason }) => {
+                assert_eq!(reason, "unknown verb");
+            }
+            other => panic!("expected malformed with id, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_classified_by_position() {
+        // EOF at a frame boundary is a clean close...
+        assert!(matches!(
+            read_request(&mut Cursor::new(&[][..]), DEFAULT_MAX_FRAME),
+            Err(FrameError::Eof)
+        ));
+        // ...but a frame cut off mid-way is a stalled/vanished sender.
+        let mut wire = Vec::new();
+        let mut buf = Vec::new();
+        write_request(&mut wire, &mut buf, 1, Verb::Ping, 0, &[]).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(matches!(
+            read_request(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME),
+            Err(FrameError::SlowClient)
+        ));
+    }
+
+    #[test]
+    fn verb_and_status_bytes_round_trip() {
+        for verb in [
+            Verb::Ping,
+            Verb::ParseText,
+            Verb::ParseTokens,
+            Verb::AddRule,
+            Verb::DeleteRule,
+            Verb::Stats,
+        ] {
+            assert_eq!(Verb::from_byte(verb as u8), Some(verb));
+        }
+        for status in [
+            Status::Ok,
+            Status::Error,
+            Status::Overloaded,
+            Status::DeadlineExceeded,
+            Status::ShuttingDown,
+            Status::Malformed,
+        ] {
+            assert_eq!(Status::from_byte(status as u8), Some(status));
+        }
+        assert_eq!(Verb::from_byte(99), None);
+        assert_eq!(Status::from_byte(99), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! The worker pool: executes admitted requests against the shared
+//! [`IpgServer`].
+//!
+//! Each worker thread maps 1:1 onto the serving layer's per-thread
+//! request-context pool slot (PR 5): popping a job and calling a pooled
+//! parse entry point *is* a context checkout, so the warm wire path runs
+//! scan → parse → forest in recycled memory. Grammar edits (`ADD-RULE` /
+//! `DELETE-RULE`) go through the server's non-draining epoch publication
+//! like any library caller — they serialize among themselves on the
+//! server's writer lock but never against in-flight parses.
+//!
+//! Deadline discipline (see [`crate::deadline`]): checked **at dequeue**
+//! and again **at epoch-pin time** (after payload decoding, immediately
+//! before the server call commits parser time). Both sheds reply
+//! `DEADLINE_EXCEEDED` and count into `GenStats::shed_deadline`.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ipg::{GenStats, IpgServer, LatencyHistogram};
+
+use crate::deadline::Deadline;
+use crate::protocol::{parse_outcome_payload, write_response, Status, Verb};
+use crate::queue::BoundedQueue;
+use crate::FrontendConfig;
+
+/// The write side of one client connection, shared between its reader
+/// thread (admission-time sheds) and whichever workers execute its jobs.
+/// Replies from concurrent workers serialize on the mutex; the reply
+/// buffer inside is reused, so steady-state replies do not allocate.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    writer: Mutex<ReplyWriter>,
+    /// Cleared when the connection is poisoned (write failure/timeout);
+    /// the reader loop exits and further replies are dropped on the floor
+    /// (the peer is gone or hopeless).
+    alive: AtomicBool,
+}
+
+#[derive(Debug)]
+struct ReplyWriter {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            writer: Mutex::new(ReplyWriter {
+                stream,
+                buf: Vec::with_capacity(64),
+            }),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    pub(crate) fn alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn poison(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+/// One admitted request, queued for a worker.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) conn: Arc<Conn>,
+    pub(crate) request_id: u64,
+    pub(crate) verb: Verb,
+    pub(crate) payload: Vec<u8>,
+    pub(crate) deadline: Deadline,
+    /// When the frame was read — latency is measured admit→reply, so the
+    /// histograms include queueing delay (what the client experiences).
+    pub(crate) admitted: Instant,
+}
+
+/// State shared by the accept loop, connection readers and workers.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) server: Arc<IpgServer>,
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) config: FrontendConfig,
+    /// Frontend-side counters and the admit→reply latency histogram (the
+    /// server keeps its own parse-time histogram underneath).
+    pub(crate) stats: Mutex<GenStats>,
+    /// Set once shutdown begins: stop accepting and admitting.
+    pub(crate) draining: AtomicBool,
+    /// With `draining`: shed queued jobs with `SHUTTING_DOWN` instead of
+    /// executing them ([`crate::ShutdownMode::Shed`]).
+    pub(crate) shed_on_drain: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn note(&self, f: impl FnOnce(&mut GenStats)) {
+        f(&mut self.stats.lock().unwrap());
+    }
+
+    pub(crate) fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time copy of the frontend stats with the queue's
+    /// high-water mark folded in.
+    pub(crate) fn stats_snapshot(&self) -> GenStats {
+        let mut stats = *self.stats.lock().unwrap();
+        stats.queue_depth_high_water =
+            stats.queue_depth_high_water.max(self.queue.high_water());
+        stats
+    }
+}
+
+/// Writes one response frame to a connection; a failed or timed-out write
+/// poisons the connection (slow-client protection on the write side).
+pub(crate) fn reply(
+    shared: &Shared,
+    conn: &Conn,
+    request_id: u64,
+    status: Status,
+    payload: &[u8],
+) {
+    if !conn.alive() {
+        return;
+    }
+    let mut writer = conn.writer.lock().unwrap();
+    let ReplyWriter { stream, buf } = &mut *writer;
+    let result = write_response(stream, buf, request_id, status, payload)
+        .and_then(|()| stream.flush());
+    if let Err(e) = result {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            shared.note(|s| s.io_timeouts += 1);
+        }
+        conn.poison();
+    }
+}
+
+/// The worker thread body: drain the admission queue until it closes.
+pub(crate) fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        handle(shared, job);
+    }
+}
+
+fn handle(shared: &Shared, job: Job) {
+    // Deadline check #1: at dequeue. A request whose budget died in the
+    // queue is shed without parsing — a worker-time refund that under
+    // overload goes to requests that can still make their deadlines.
+    if job.deadline.expired(Instant::now()) {
+        shared.note(|s| s.shed_deadline += 1);
+        reply(
+            shared,
+            &job.conn,
+            job.request_id,
+            Status::DeadlineExceeded,
+            b"deadline expired in the admission queue",
+        );
+        return;
+    }
+    // Shed-mode drain: queued jobs get a definitive reply, not execution.
+    if shared.draining() && shared.shed_on_drain.load(Ordering::Acquire) {
+        shared.note(|s| s.shed_shutdown += 1);
+        reply(
+            shared,
+            &job.conn,
+            job.request_id,
+            Status::ShuttingDown,
+            b"shutting down",
+        );
+        return;
+    }
+    let (status, payload) = execute(shared, &job);
+    if status == Status::DeadlineExceeded {
+        // Deadline check #2 fired (at epoch-pin time, inside `execute`).
+        shared.note(|s| s.shed_deadline += 1);
+    } else {
+        let latency = job.admitted.elapsed();
+        shared.note(|s| {
+            s.parses += 1;
+            s.latency.record(latency);
+        });
+    }
+    reply(shared, &job.conn, job.request_id, status, &payload);
+}
+
+/// Executes one verb against the shared server, returning the reply.
+fn execute(shared: &Shared, job: &Job) -> (Status, Vec<u8>) {
+    let server = &shared.server;
+    let utf8 = |payload: &[u8]| -> Result<String, (Status, Vec<u8>)> {
+        String::from_utf8(payload.to_vec())
+            .map_err(|_| (Status::Error, b"payload is not valid UTF-8".to_vec()))
+    };
+    // Deadline check #2: at epoch-pin time — the last moment before the
+    // server call pins an epoch and commits parser time.
+    let pin_expired = || job.deadline.expired(Instant::now());
+    match job.verb {
+        Verb::Ping => (Status::Ok, Vec::new()),
+        Verb::ParseText => match utf8(&job.payload) {
+            Err(reply) => reply,
+            Ok(text) => {
+                if pin_expired() {
+                    return (
+                        Status::DeadlineExceeded,
+                        b"deadline expired before epoch pin".to_vec(),
+                    );
+                }
+                match server.parse_text_pooled(&text) {
+                    Ok(parsed) => (
+                        Status::Ok,
+                        parse_outcome_payload(parsed.accepted(), parsed.grammar_version())
+                            .to_vec(),
+                    ),
+                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                }
+            }
+        },
+        Verb::ParseTokens => match utf8(&job.payload) {
+            Err(reply) => reply,
+            Ok(sentence) => {
+                if pin_expired() {
+                    return (
+                        Status::DeadlineExceeded,
+                        b"deadline expired before epoch pin".to_vec(),
+                    );
+                }
+                match server.parse_sentence(&sentence) {
+                    Ok(result) => (
+                        Status::Ok,
+                        parse_outcome_payload(result.accepted, result.grammar_version).to_vec(),
+                    ),
+                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                }
+            }
+        },
+        Verb::AddRule => match utf8(&job.payload) {
+            Err(reply) => reply,
+            Ok(text) => {
+                if pin_expired() {
+                    return (
+                        Status::DeadlineExceeded,
+                        b"deadline expired before epoch pin".to_vec(),
+                    );
+                }
+                match server.add_rule_text(&text) {
+                    Ok(_) => (
+                        Status::Ok,
+                        parse_outcome_payload(true, server.grammar_version()).to_vec(),
+                    ),
+                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                }
+            }
+        },
+        Verb::DeleteRule => match utf8(&job.payload) {
+            Err(reply) => reply,
+            Ok(text) => {
+                if pin_expired() {
+                    return (
+                        Status::DeadlineExceeded,
+                        b"deadline expired before epoch pin".to_vec(),
+                    );
+                }
+                match server.remove_rule_text(&text) {
+                    Ok(_) => (
+                        Status::Ok,
+                        parse_outcome_payload(true, server.grammar_version()).to_vec(),
+                    ),
+                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                }
+            }
+        },
+        Verb::Stats => (Status::Ok, stats_json(shared).into_bytes()),
+    }
+}
+
+fn histogram_json(h: &LatencyHistogram) -> String {
+    let (p50, p99, p999) = h.percentiles_us();
+    format!(
+        "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+         \"p999_us\": {p999}, \"max_us\": {}}}",
+        h.count(),
+        h.mean_us(),
+        h.max_us()
+    )
+}
+
+/// The STATS verb's payload: frontend admission/latency counters plus the
+/// underlying server's merged [`GenStats`] — hand-rolled JSON (the
+/// vendored serde stub has no serializer).
+pub(crate) fn stats_json(shared: &Shared) -> String {
+    let frontend = shared.stats_snapshot();
+    let server = shared.server.stats();
+    let merged = server.merged();
+    format!(
+        "{{\n  \"workers\": {},\n  \"queue_capacity\": {},\n  \"queue_depth\": {},\n  \
+         \"queue_high_water\": {},\n  \"draining\": {},\n  \"grammar_version\": {},\n  \
+         \"epoch\": {},\n  \"frontend\": {{\"requests\": {}, \"shed_overload\": {}, \
+         \"shed_deadline\": {}, \"shed_shutdown\": {}, \"malformed\": {}, \"io_timeouts\": {}, \
+         \"latency_us\": {}}},\n  \"server\": {{\"parses\": {}, \"action_calls\": {}, \
+         \"epochs_published\": {}, \"ctx_reused\": {}, \"effective_workers\": {}, \
+         \"latency_us\": {}}}\n}}",
+        frontend.effective_workers,
+        shared.queue.capacity(),
+        shared.queue.depth(),
+        frontend.queue_depth_high_water,
+        shared.draining(),
+        shared.server.grammar_version(),
+        shared.server.epoch_number(),
+        frontend.parses,
+        frontend.shed_overload,
+        frontend.shed_deadline,
+        frontend.shed_shutdown,
+        frontend.rejected_malformed,
+        frontend.io_timeouts,
+        histogram_json(&frontend.latency),
+        merged.parses,
+        merged.action_calls,
+        merged.epochs_published,
+        merged.ctx_reused,
+        merged.effective_workers,
+        histogram_json(&merged.latency),
+    )
+}

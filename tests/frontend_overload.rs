@@ -1,0 +1,228 @@
+//! Overload robustness of the network frontend.
+//!
+//! The contract under test: **every request gets exactly one definitive
+//! reply** — parsed, `OVERLOADED`, or `DEADLINE_EXCEEDED` — no silent
+//! drops and no hangs, with the frontend's shed counters agreeing with
+//! what the clients observed; and malformed/stalled frames poison only
+//! the connection that sent them.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ipg::{IpgServer, IpgSession};
+use ipg_frontend::protocol::{
+    read_response, write_request, Status, Verb, DEFAULT_MAX_FRAME, REQUEST_HEADER_LEN,
+};
+use ipg_frontend::{Client, Frontend, FrontendConfig, ShutdownMode};
+use ipg_grammar::fixtures;
+use ipg_lexer::simple_scanner;
+
+fn boolean_server() -> Arc<IpgServer> {
+    Arc::new(
+        IpgServer::new(IpgSession::new(fixtures::booleans()))
+            .with_scanner(simple_scanner(&["true", "false", "or", "and"])),
+    )
+}
+
+fn config(workers: usize, queue_depth: usize) -> FrontendConfig {
+    FrontendConfig {
+        workers,
+        queue_depth,
+        read_timeout: Duration::from_millis(100),
+        ..FrontendConfig::default()
+    }
+}
+
+/// A deliberately slow request: a long `or`-chain is ambiguous under the
+/// boolean grammar, so the GLR parse does real work (milliseconds, not
+/// microseconds) — enough to keep workers busy while floods pile up.
+fn slow_input() -> String {
+    let mut input = String::from("true");
+    for _ in 0..120 {
+        input.push_str(" or true");
+    }
+    input
+}
+
+#[test]
+fn flooding_a_tiny_queue_yields_exactly_one_reply_per_request() {
+    let frontend = Frontend::bind("127.0.0.1:0", config(2, 2), boolean_server())
+        .expect("bind frontend");
+    let addr = frontend.local_addr();
+    let input = slow_input();
+
+    // 8 blocking connections against 2 workers + 2 queue slots: at most 4
+    // requests fit in the system, so a steady flood must shed — and every
+    // flooded request must still get its reply.
+    const CONNS: usize = 8;
+    const PER_CONN: usize = 10;
+    let tallies: Vec<(u64, u64)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNS)
+            .map(|_| {
+                let input = &input;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_response_timeout(Some(Duration::from_secs(10)))
+                        .expect("response timeout");
+                    let (mut ok, mut overloaded) = (0u64, 0u64);
+                    for _ in 0..PER_CONN {
+                        // `expect`: a hang or a dropped request fails here.
+                        let response = client
+                            .parse_text(input, 0)
+                            .expect("every request gets exactly one reply");
+                        match response.status {
+                            Status::Ok => {
+                                let (accepted, _) =
+                                    response.parse_outcome().expect("parse outcome payload");
+                                assert!(accepted, "the or-chain is a sentence");
+                                ok += 1;
+                            }
+                            Status::Overloaded => overloaded += 1,
+                            other => panic!("unexpected status under flood: {other:?}"),
+                        }
+                    }
+                    (ok, overloaded)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let served: u64 = tallies.iter().map(|(ok, _)| ok).sum();
+    let shed: u64 = tallies.iter().map(|(_, ov)| ov).sum();
+    assert_eq!(served + shed, (CONNS * PER_CONN) as u64, "full accounting");
+    assert!(served > 0, "some requests are served even under flood");
+    assert!(shed > 0, "a 2-deep queue under an 8-way flood must shed");
+
+    // The frontend's books agree with the clients' observations.
+    let stats = frontend.stats();
+    assert_eq!(stats.parses as u64, served);
+    assert_eq!(stats.shed_overload as u64, shed);
+    assert_eq!(stats.shed_deadline, 0);
+    assert_eq!(stats.latency.count(), served, "one latency sample per served request");
+    assert_eq!(stats.effective_workers, 2, "configured worker count is surfaced");
+    assert!(stats.queue_depth_high_water >= 1);
+    assert!(stats.queue_depth_high_water <= 2, "the queue never exceeds its bound");
+
+    let after = frontend.shutdown(ShutdownMode::Drain);
+    assert_eq!(after.parses as u64, served, "shutdown loses no accounting");
+}
+
+#[test]
+fn deadlines_that_expire_in_the_queue_are_shed_without_parsing() {
+    let frontend = Frontend::bind("127.0.0.1:0", config(1, 8), boolean_server())
+        .expect("bind frontend");
+    let addr = frontend.local_addr();
+    let input = slow_input();
+
+    // Pipeline three slow no-deadline parses on one connection to occupy
+    // the single worker, then send a 1 µs-deadline request: it must wait
+    // behind milliseconds of parsing, so its budget expires in the queue
+    // and the dequeue check sheds it.
+    let mut busy = TcpStream::connect(addr).expect("connect busy pipeline");
+    let mut buf = Vec::new();
+    for id in 1..=3u64 {
+        write_request(&mut busy, &mut buf, id, Verb::ParseText, 0, input.as_bytes())
+            .expect("pipeline slow request");
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_response_timeout(Some(Duration::from_secs(10)))
+        .expect("response timeout");
+    let response = client.parse_text(&input, 1).expect("one reply even when shed");
+    assert_eq!(response.status, Status::DeadlineExceeded);
+
+    // The pipelined requests still complete: shedding the expired request
+    // refunded worker time, it did not cancel admitted work.
+    busy.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    let mut reader = BufReader::new(busy);
+    for _ in 0..3 {
+        let response = read_response(&mut reader, DEFAULT_MAX_FRAME).expect("pipelined reply");
+        assert_eq!(response.status, Status::Ok);
+    }
+
+    let stats = frontend.stats();
+    assert_eq!(stats.shed_deadline, 1);
+    assert_eq!(stats.parses, 3);
+    frontend.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn malformed_frames_poison_only_their_own_connection() {
+    let frontend = Frontend::bind("127.0.0.1:0", config(1, 4), boolean_server())
+        .expect("bind frontend");
+    let addr = frontend.local_addr();
+
+    // (a) Garbage bytes: the first four read as a ~4 GiB length prefix,
+    // rejected by the frame cap before any allocation; the connection is
+    // closed without a reply (no request id was decodable).
+    let mut garbage = TcpStream::connect(addr).expect("connect");
+    garbage.write_all(&[0xFF; 64]).expect("write garbage");
+    garbage
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut byte = [0u8; 1];
+    assert_eq!(garbage.read(&mut byte).expect("server closes"), 0, "EOF, not a hang");
+
+    // (b) Unknown verb in a well-formed frame: rejected *with* a reply
+    // (the id was decodable), then the connection is closed.
+    let mut unknown = TcpStream::connect(addr).expect("connect");
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(REQUEST_HEADER_LEN as u32).to_le_bytes());
+    frame.extend_from_slice(&7u64.to_le_bytes());
+    frame.push(99); // no such verb
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    unknown.write_all(&frame).expect("write unknown verb");
+    unknown
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(unknown.try_clone().expect("clone"));
+    let response = read_response(&mut reader, DEFAULT_MAX_FRAME).expect("malformed reply");
+    assert_eq!(response.request_id, 7);
+    assert_eq!(response.status, Status::Malformed);
+    assert_eq!(unknown.read(&mut byte).expect("server closes"), 0);
+
+    // (c) Oversized frame: length prefix above the cap, rejected before
+    // allocation, connection closed.
+    let mut oversized = TcpStream::connect(addr).expect("connect");
+    oversized
+        .write_all(&((DEFAULT_MAX_FRAME as u32 + 1).to_le_bytes()))
+        .expect("write oversized prefix");
+    oversized
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    assert_eq!(oversized.read(&mut byte).expect("server closes"), 0);
+
+    // (d) Truncated frame: a started-then-abandoned frame is the
+    // slow-client case; the read timeout bounds how long it can hold the
+    // reader, and the connection is dropped without a reply.
+    let mut truncated = TcpStream::connect(addr).expect("connect");
+    let mut wire = Vec::new();
+    write_request(&mut wire, &mut Vec::new(), 5, Verb::Ping, 0, &[]).expect("encode");
+    truncated.write_all(&wire[..wire.len() - 2]).expect("write truncated");
+    truncated
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    assert_eq!(truncated.read(&mut byte).expect("server closes"), 0);
+
+    // The server survived all four: a fresh connection works, and the
+    // books recorded each rejection class.
+    let mut client = Client::connect(addr).expect("fresh connection still accepted");
+    assert_eq!(client.ping().expect("ping").status, Status::Ok);
+    let (accepted, _) = client
+        .parse_text("true or false", 0)
+        .expect("parse on fresh connection")
+        .parse_outcome()
+        .expect("outcome");
+    assert!(accepted);
+
+    let stats = frontend.stats();
+    assert_eq!(stats.rejected_malformed, 3, "(a), (b) and (c) are malformed frames");
+    assert_eq!(stats.io_timeouts, 1, "(d) is a slow client");
+    frontend.shutdown(ShutdownMode::Drain);
+}
