@@ -19,7 +19,10 @@ pub mod fig7;
 pub mod workload;
 
 pub use fig7::{measure, measure_all, render, Fig7Row, GeneratorKind};
-pub use workload::{synthetic_workload, PreLexedInput, SdfWorkload, SyntheticWorkload};
+pub use workload::{
+    synthetic_workload, wide_synthetic_workload, PreLexedInput, SdfWorkload, SyntheticWorkload,
+    WideSyntheticWorkload,
+};
 
 /// Mean and max of a set of latencies in seconds, reported in
 /// microseconds — the aggregation every latency-measuring bench bin

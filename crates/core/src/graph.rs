@@ -37,6 +37,32 @@
 //! one at a time, so writers serialize among themselves and cannot
 //! deadlock.
 //!
+//! ## Bulk expansion (parallel warm)
+//!
+//! Steady-state misses and `MODIFY` keep the serialized writer above —
+//! one state at a time, latency-bound. Bulk cold-start expansion
+//! ([`ItemSetGraph::expand_all_parallel`]) instead splits each expansion
+//! into its **read-only half** — clone the kernel, compute the closure,
+//! partition successors, collect reductions (`compute_expansion`) — and
+//! its **write half** — intern successor kernels, bump refcounts, write
+//! the node (`commit_expansion_locked`). Warm then runs *pipelined
+//! rounds*: the pending frontier is collected in id order and its kernels
+//! are cloned out of the store, the read-only halves fan out over N
+//! worker threads (pure functions of grammar + kernel, no graph locks),
+//! and the committer consumes results in frontier order *as they arrive*
+//! (`RoundQueue`), so interning overlaps with the remaining closures
+//! instead of waiting for the whole round. Because closure depends only
+//! on the grammar and the kernel, and kernels are interned in exactly the
+//! order the serial loop would have used, the resulting graph — state
+//! numbering, kernel index, rows — is **bit-identical** to a serial warm
+//! (property-tested). Row publication
+//! parallelises the same way: chunks are unshared serially, then disjoint
+//! chunk slices are filled concurrently and published in one snapshot
+//! swap. The whole warm holds the writer mutex, so it serializes with
+//! `MODIFY` like any other writer; frontiers smaller than
+//! `PARALLEL_EXPAND_MIN_BATCH` expand inline, so chain-shaped grammars
+//! never pay a spawn.
+//!
 //! ## Forking (epoch publication)
 //!
 //! `Clone` forks the graph *structurally shared*: it clones O(#chunks)
@@ -59,7 +85,7 @@ use std::fmt;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 
 use ipg_grammar::{Grammar, GrammarError, RuleId, SymbolId};
 use ipg_lr::itemset::{closure, completed_items, partition_by_next_symbol, start_kernel, ItemSet};
@@ -100,6 +126,145 @@ pub enum GcPolicy {
         /// Sweep when `100 * (live - reachable) / live` exceeds this value.
         threshold_percent: u8,
     },
+}
+
+/// Frontier rounds smaller than this are expanded inline even when the
+/// caller asked for a parallel warm: spawning workers costs more than a
+/// handful of closures, and chain-shaped grammars (whose frontier is one
+/// or two kernels wide per round) should warm exactly like the serial
+/// path.
+const PARALLEL_EXPAND_MIN_BATCH: usize = 8;
+
+/// Fills the dense action rows of every live complete node in one storage
+/// chunk (which the caller has made unique). Free function so the parallel
+/// warm can run it on worker threads against disjoint chunks.
+fn build_rows_in_chunk(chunk: &mut NodeChunk, num_symbols: usize, version: u64) -> usize {
+    let mut built = 0;
+    for node in chunk.nodes.iter_mut() {
+        if !(node.alive && node.kind == ItemSetKind::Complete) || node.row.is_some() {
+            continue;
+        }
+        let mut targets = vec![0u32; num_symbols];
+        for (&symbol, &target) in &node.transitions {
+            targets[symbol.index()] = target.0 + 1;
+        }
+        node.row = Some(ActionRow { version, targets });
+        built += 1;
+    }
+    built
+}
+
+/// Assembles the published read-view of one storage chunk (row/reduction
+/// clones into fresh `Arc`s). Free function so snapshot rebuilds can run
+/// it chunk-parallel.
+fn snap_chunk_of(chunk: &NodeChunk) -> Arc<SnapChunk> {
+    let mut entries: SnapChunk = vec![None; CHUNK_SIZE];
+    for (slot, node) in chunk.nodes.iter().enumerate() {
+        let (Some(row), true) = (&node.row, node.alive && node.kind == ItemSetKind::Complete)
+        else {
+            continue;
+        };
+        entries[slot] = Some(Arc::new(PublishedState {
+            row: row.clone(),
+            reductions: node.reductions.clone(),
+            accepting: node.accepting,
+        }));
+    }
+    Arc::new(entries)
+}
+
+/// The result of the read-only half of `EXPAND` (closure, successor
+/// partition, reduction analysis), computed without touching the writer
+/// state. Workers of the parallel warm produce these concurrently; the
+/// serial commit step interns the successor kernels and writes the node.
+struct ComputedExpansion {
+    closed: ItemSet,
+    successors: BTreeMap<SymbolId, ItemSet>,
+    reductions: Vec<RuleId>,
+    accepting: bool,
+}
+
+/// The read-only half of `EXPAND` as a pure function of the grammar and a
+/// kernel: closure, successor partition and reduction analysis. The
+/// parallel warm clones the frontier's kernels out of the store up front
+/// and hands them to workers through this function, so the fan-out touches
+/// no graph locks at all.
+fn compute_expansion_of(grammar: &Grammar, kernel: &ItemSet) -> ComputedExpansion {
+    let closed = closure(grammar, kernel);
+    let successors = partition_by_next_symbol(grammar, &closed);
+
+    let mut reductions = Vec::new();
+    let mut accepting = false;
+    for item in completed_items(grammar, &closed) {
+        // A completed item of a rule that has been deleted from the
+        // grammar must not be reported as a reduction; such items can
+        // linger in the kernels of stale (unreachable) item sets.
+        if !grammar.is_active(item.rule) {
+            continue;
+        }
+        if grammar.rule(item.rule).lhs == grammar.start_symbol() {
+            accepting = true;
+        } else {
+            reductions.push(item.rule);
+        }
+    }
+    reductions.sort();
+    reductions.dedup();
+    ComputedExpansion {
+        closed,
+        successors,
+        reductions,
+        accepting,
+    }
+}
+
+/// Hand-off queue of one parallel-warm round: workers deposit the computed
+/// expansion of frontier slot `i` as soon as it is ready, and the committer
+/// consumes the slots strictly in frontier order, blocking only when the
+/// next slot in line has not been produced yet. This pipelines the serial
+/// commit (kernel interning, refcount bumps, node writes) with the
+/// concurrent closure computation — round wall-clock is
+/// `max(compute / workers, commit)` instead of their sum.
+struct RoundQueue {
+    cursor: AtomicUsize,
+    slots: Mutex<Vec<Option<ComputedExpansion>>>,
+    ready: Condvar,
+}
+
+impl RoundQueue {
+    fn new(len: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(len, || None);
+        RoundQueue {
+            cursor: AtomicUsize::new(0),
+            slots: Mutex::new(slots),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Claims the next unclaimed frontier index, or `None` when every
+    /// index of the round has been handed out.
+    fn claim(&self, len: usize) -> Option<usize> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (i < len).then_some(i)
+    }
+
+    fn deposit(&self, i: usize, computed: ComputedExpansion) {
+        let mut slots = self.slots.lock().unwrap();
+        slots[i] = Some(computed);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until slot `i` has been deposited, then takes it.
+    fn take(&self, i: usize) -> ComputedExpansion {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if let Some(computed) = slots[i].take() {
+                return computed;
+            }
+            slots = self.ready.wait(slots).unwrap();
+        }
+    }
 }
 
 /// Errors reported by the public node accessors of the shared graph.
@@ -811,13 +976,25 @@ impl ItemSetGraph {
     /// The paper's `RE-EXPAND` (§6.2): expand a dirty set of items, then
     /// release the references its old transitions held.
     fn re_expand_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
+        let computed = self.compute_expansion(grammar, id);
+        self.re_commit_expansion_locked(inner, id, computed);
+    }
+
+    /// The write half of `RE-EXPAND`: commit a precomputed expansion over
+    /// a dirty node and release the references its old transitions held.
+    fn re_commit_expansion_locked(
+        &self,
+        inner: &mut GraphInner,
+        id: StateId,
+        computed: ComputedExpansion,
+    ) {
         inner.stats.re_expansions += 1;
         let mut old_targets = std::mem::take(&mut inner.scratch_targets);
         old_targets.clear();
         self.with_node(id, |n| {
             old_targets.extend(n.transitions.values().copied());
         });
-        self.expand_common_locked(inner, grammar, id);
+        self.commit_expansion_locked(inner, id, computed);
         if self.refcounting() {
             for &target in &old_targets {
                 self.decr_refcount_locked(inner, target);
@@ -827,13 +1004,34 @@ impl ItemSetGraph {
     }
 
     fn expand_common_locked(&self, inner: &mut GraphInner, grammar: &Grammar, id: StateId) {
-        inner.stats.closures += 1;
-        let kernel = self.with_node(id, |n| n.kernel.clone());
-        let closed = closure(grammar, &kernel);
-        let successors = partition_by_next_symbol(grammar, &closed);
+        let computed = self.compute_expansion(grammar, id);
+        self.commit_expansion_locked(inner, id, computed);
+    }
 
+    /// The read-only half of `EXPAND` for one resident node: clones the
+    /// node's (immutable-within-a-write) kernel and runs the pure
+    /// `compute_expansion_of` on it. The steady-state miss path and small
+    /// warm rounds use this; the parallel warm's fan-out
+    /// ([`ItemSetGraph::expand_all_parallel`]) clones whole frontiers of
+    /// kernels up front and calls `compute_expansion_of` directly so its
+    /// workers never touch the store.
+    fn compute_expansion(&self, grammar: &Grammar, id: StateId) -> ComputedExpansion {
+        let kernel = self.with_node(id, |n| n.kernel.clone());
+        compute_expansion_of(grammar, &kernel)
+    }
+
+    /// The write half of `EXPAND`: intern the successor kernels (in symbol
+    /// order, so state numbering is deterministic and identical to the
+    /// fully serial expansion) and publish the node as complete.
+    fn commit_expansion_locked(
+        &self,
+        inner: &mut GraphInner,
+        id: StateId,
+        computed: ComputedExpansion,
+    ) {
+        inner.stats.closures += 1;
         let mut transitions = BTreeMap::new();
-        for (symbol, succ_kernel) in successors {
+        for (symbol, succ_kernel) in computed.successors {
             let target = self.intern_kernel_locked(inner, succ_kernel);
             transitions.insert(symbol, target);
             if self.refcounting() {
@@ -841,34 +1039,16 @@ impl ItemSetGraph {
             }
         }
 
-        let mut reductions = Vec::new();
-        let mut accepting = false;
-        for item in completed_items(grammar, &closed) {
-            // A completed item of a rule that has been deleted from the
-            // grammar must not be reported as a reduction; such items can
-            // linger in the kernels of stale (unreachable) item sets.
-            if !grammar.is_active(item.rule) {
-                continue;
-            }
-            if grammar.rule(item.rule).lhs == grammar.start_symbol() {
-                accepting = true;
-            } else {
-                reductions.push(item.rule);
-            }
-        }
-        reductions.sort();
-        reductions.dedup();
-
         let mut store = self.store.write().unwrap();
         let chunk = self.chunk_mut(&mut store, chunk_of(id));
         // Keep the chunk's MODIFY summary a superset of its live complete
         // nodes' transition symbols.
         chunk.merge_summary(transitions.keys().copied());
         let node = &mut chunk.nodes[slot_of(id)];
-        node.closure = closed;
+        node.closure = computed.closed;
         node.transitions = transitions;
-        node.reductions = reductions;
-        node.accepting = accepting;
+        node.reductions = computed.reductions;
+        node.accepting = computed.accepting;
         node.kind = ItemSetKind::Complete;
         // The dense row shadows the (old) transitions; rebuild on demand.
         // Readers observe the kind change and the dropped row atomically:
@@ -999,26 +1179,50 @@ impl ItemSetGraph {
     /// batch paths (mark-and-sweep, full warm-up), which may touch most
     /// entries anyway.
     fn rebuild_published(&self) {
+        self.rebuild_published_parallel(1);
+    }
+
+    /// [`ItemSetGraph::rebuild_published`] with the per-chunk snapshot
+    /// assembly (row/reduction clones into fresh `Arc`s — memcpy-heavy)
+    /// fanned out over `threads` workers; the swap stays a single pointer
+    /// store either way.
+    fn rebuild_published_parallel(&self, threads: usize) {
         let store = self.store.read().unwrap();
-        let chunks: Vec<Arc<SnapChunk>> = store
-            .iter()
-            .map(|chunk| {
-                let mut entries: SnapChunk = vec![None; CHUNK_SIZE];
-                for (slot, node) in chunk.nodes.iter().enumerate() {
-                    let (Some(row), true) =
-                        (&node.row, node.alive && node.kind == ItemSetKind::Complete)
-                    else {
-                        continue;
-                    };
-                    entries[slot] = Some(Arc::new(PublishedState {
-                        row: row.clone(),
-                        reductions: node.reductions.clone(),
-                        accepting: node.accepting,
-                    }));
+        let threads = threads.max(1).min(store.len().max(1));
+        let chunks: Vec<Arc<SnapChunk>> = if threads <= 1 || store.len() < 2 {
+            store.iter().map(|chunk| snap_chunk_of(chunk)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut slots: Vec<Option<Arc<SnapChunk>>> = vec![None; store.len()];
+            std::thread::scope(|scope| {
+                let cursor = &cursor;
+                let store = &store;
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                                if c >= store.len() {
+                                    break;
+                                }
+                                out.push((c, snap_chunk_of(&store[c])));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (c, chunk) in handle.join().unwrap() {
+                        slots[c] = Some(chunk);
+                    }
                 }
-                Arc::new(entries)
-            })
-            .collect();
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every chunk index was assembled"))
+                .collect()
+        };
         drop(store);
         *self.published.write().unwrap() = Arc::new(TableSnapshot { chunks });
     }
@@ -1317,8 +1521,39 @@ impl ItemSetGraph {
     /// generated automaton — useful for tests, for the "PG via IPG"
     /// comparison, and for warming a served table before taking traffic.
     pub fn expand_all(&self, grammar: &Grammar) {
+        self.expand_all_parallel(grammar, 1);
+    }
+
+    /// [`ItemSetGraph::expand_all`] with the frontier fanned out over
+    /// `threads` worker threads.
+    ///
+    /// The expansion runs in **pipelined rounds**: each round collects the
+    /// pending frontier in id order (exactly the serial scan) and clones
+    /// its kernels out of the store, workers compute the read-only half of
+    /// every expansion concurrently (closure, successor partition,
+    /// reductions — the bulk of the work, touching no graph locks), and
+    /// the committer consumes the results *in frontier order as they
+    /// arrive*, interning successor kernels in symbol order while the
+    /// workers keep computing. Because interning order is identical to the
+    /// serial expansion, the resulting graph is **bit-identical** to
+    /// `expand_all(grammar)`: same state ids, same kernel index, same rows
+    /// (the parallel-warm equivalence proptest holds this to 256
+    /// randomized grammars). Pipelining keeps the serial commit off the
+    /// critical path: round wall-clock is `max(compute / threads, commit)`
+    /// rather than their sum.
+    ///
+    /// The whole warm holds the writer mutex, so it serializes with
+    /// steady-state misses and `MODIFY` like any other write — the
+    /// parallel fan-out is internal to the bulk path and does not change
+    /// the locking story. Rounds smaller than a handful of kernels are
+    /// expanded inline (no worker threads), so chain-shaped frontiers pay
+    /// no spawn overhead.
+    pub fn expand_all_parallel(&self, grammar: &Grammar, threads: usize) {
+        let threads = threads.max(1);
         let mut inner = self.inner.lock().unwrap();
+        inner.stats.warm_threads_used = inner.stats.warm_threads_used.max(threads);
         let mut pending = std::mem::take(&mut inner.scratch_pending);
+        let mut kernels: Vec<ItemSet> = Vec::new();
         loop {
             pending.clear();
             for i in 0..inner.len {
@@ -1330,11 +1565,66 @@ impl ItemSetGraph {
             if pending.is_empty() {
                 break;
             }
-            for &id in &pending {
-                if self.with_node(id, |n| n.alive && n.needs_expansion()) {
-                    self.ensure_expanded_locked(&mut inner, grammar, id);
+            if threads <= 1 || pending.len() < PARALLEL_EXPAND_MIN_BATCH {
+                // Small rounds expand inline, exactly like the serial path.
+                for &id in &pending {
+                    // Re-check before committing: a re-expansion committed
+                    // earlier in this round may have collected the node.
+                    match self.with_node(id, |n| (n.alive, n.kind)) {
+                        (true, ItemSetKind::Initial) => {
+                            inner.stats.expansions += 1;
+                            let computed = self.compute_expansion(grammar, id);
+                            self.commit_expansion_locked(&mut inner, id, computed);
+                        }
+                        (true, ItemSetKind::Dirty) => {
+                            let computed = self.compute_expansion(grammar, id);
+                            self.re_commit_expansion_locked(&mut inner, id, computed);
+                        }
+                        _ => {}
+                    }
                 }
+            } else {
+                // Pipelined round: clone the frontier's kernels out of the
+                // store up front so the workers run lock-free, then commit
+                // each result in frontier order as soon as it is deposited
+                // — interning overlaps with the remaining closures.
+                kernels.clear();
+                kernels.extend(
+                    pending
+                        .iter()
+                        .map(|&id| self.with_node(id, |n| n.kernel.clone())),
+                );
+                let round = RoundQueue::new(pending.len());
+                std::thread::scope(|scope| {
+                    for _ in 0..threads.min(pending.len()) {
+                        let round = &round;
+                        let kernels = &kernels;
+                        scope.spawn(move || {
+                            while let Some(i) = round.claim(kernels.len()) {
+                                round.deposit(i, compute_expansion_of(grammar, &kernels[i]));
+                            }
+                        });
+                    }
+                    for (i, &id) in pending.iter().enumerate() {
+                        let computed = round.take(i);
+                        // Re-check under the still-held writer: a
+                        // re-expansion committed earlier in this round may
+                        // have collected the node (its precomputed result
+                        // is then simply dropped).
+                        match self.with_node(id, |n| (n.alive, n.kind)) {
+                            (true, ItemSetKind::Initial) => {
+                                inner.stats.expansions += 1;
+                                self.commit_expansion_locked(&mut inner, id, computed);
+                            }
+                            (true, ItemSetKind::Dirty) => {
+                                self.re_commit_expansion_locked(&mut inner, id, computed);
+                            }
+                            _ => {}
+                        }
+                    }
+                });
             }
+            inner.stats.warm_batches_published += 1;
         }
         inner.scratch_pending = pending;
     }
@@ -1343,16 +1633,75 @@ impl ItemSetGraph {
     /// together with [`ItemSetGraph::expand_all`] to fully warm a served
     /// table.
     pub fn publish_all_rows(&self, grammar: &Grammar) {
+        self.publish_all_rows_parallel(grammar, 1);
+    }
+
+    /// [`ItemSetGraph::publish_all_rows`] with row building and snapshot
+    /// assembly fanned out over `threads` workers. Rows live in disjoint
+    /// storage chunks, so workers fill them without synchronisation once
+    /// the (serial) copy-on-write pass has made the touched chunks unique;
+    /// the published snapshot is likewise assembled chunk-parallel and
+    /// swapped in once. Results are identical to the serial path.
+    pub fn publish_all_rows_parallel(&self, grammar: &Grammar, threads: usize) {
+        let threads = threads.max(1);
         let mut inner = self.inner.lock().unwrap();
-        for i in 0..inner.len {
-            let id = StateId::from_index(i);
-            if self.with_node(id, |n| n.alive && n.kind == ItemSetKind::Complete) {
-                self.build_row_locked(&mut inner, grammar, id);
+        let num_symbols = grammar.symbols().len();
+        let version = grammar.version();
+        let needs_rows = |chunk: &NodeChunk| {
+            chunk
+                .nodes
+                .iter()
+                .any(|n| n.alive && n.kind == ItemSetKind::Complete && n.row.is_none())
+        };
+        {
+            let mut store = self.store.write().unwrap();
+            // Unshare every chunk that needs row writes (serial, O(#chunks)
+            // checks), then hand the now-unique chunks to workers disjointly.
+            for c in 0..store.len() {
+                if needs_rows(&store[c]) {
+                    let _ = self.chunk_mut(&mut store, c);
+                }
             }
+            let mut chunk_refs: Vec<&mut NodeChunk> = store
+                .iter_mut()
+                .filter(|arc| needs_rows(arc))
+                .map(|arc| Arc::get_mut(arc).expect("chunk was unshared above"))
+                .collect();
+            let built = if threads <= 1 || chunk_refs.len() < 2 {
+                let mut built = 0;
+                for chunk in &mut chunk_refs {
+                    built += build_rows_in_chunk(chunk, num_symbols, version);
+                }
+                built
+            } else {
+                let mut built = 0;
+                std::thread::scope(|scope| {
+                    let per = chunk_refs.len().div_ceil(threads);
+                    let mut handles = Vec::new();
+                    let mut rest: &mut [&mut NodeChunk] = &mut chunk_refs;
+                    while !rest.is_empty() {
+                        let take = per.min(rest.len());
+                        let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                        rest = tail;
+                        handles.push(scope.spawn(move || {
+                            let mut built = 0;
+                            for chunk in head.iter_mut() {
+                                built += build_rows_in_chunk(chunk, num_symbols, version);
+                            }
+                            built
+                        }));
+                    }
+                    for handle in handles {
+                        built += handle.join().unwrap();
+                    }
+                });
+                built
+            };
+            inner.stats.rows_built += built;
         }
         // One batch publication instead of a copy-on-write snapshot per
         // row (which would be quadratic in the number of states).
-        self.rebuild_published();
+        self.rebuild_published_parallel(threads);
     }
 
     /// Renders the live part of the graph in the style of the paper's item

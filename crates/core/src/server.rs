@@ -660,6 +660,15 @@ impl IpgServer {
         self.read(|s| s.expand_all());
     }
 
+    /// [`IpgServer::warm`] with the cold-start expansion fanned out over
+    /// `threads` worker threads (see
+    /// [`IpgSession::expand_all_parallel`]). The warmed table is identical
+    /// to the serial warm's; steady-state misses and `MODIFY` keep their
+    /// serialized writer regardless of how the table was warmed.
+    pub fn warm_parallel(&self, threads: usize) {
+        self.read(|s| s.expand_all_parallel(threads));
+    }
+
     /// Converts a whitespace-separated sentence of terminal names into
     /// symbol ids against the current grammar.
     pub fn tokens(&self, sentence: &str) -> Result<Vec<SymbolId>, SessionError> {
@@ -970,10 +979,14 @@ impl IpgServer {
         let mut graph = {
             let epoch = self.acquire();
             let mut graph = epoch.session.stats();
-            // The scanner's carry-over counter rides along with the graph
-            // counters (zero for servers without a scanner).
+            // The scanner's carry-over and dense-path counters ride along
+            // with the graph counters (zero for servers without a scanner).
             if let Some(scanner) = epoch.scanner() {
                 graph.dfa_states_carried = scanner.carried_states();
+                let dfa = scanner.dfa_stats();
+                graph.dense_rows_built = dfa.dense_rows_built;
+                graph.dense_bytes = dfa.dense_bytes;
+                graph.skip_loop_bytes = dfa.skip_loop_bytes;
             }
             self.release(epoch);
             graph

@@ -357,8 +357,18 @@ impl IpgSession {
     /// Forces full expansion of the item-set graph (turning IPG into PG);
     /// useful for measurements and for warming a served table.
     pub fn expand_all(&self) {
-        self.graph.expand_all(&self.grammar);
-        self.graph.publish_all_rows(&self.grammar);
+        self.expand_all_parallel(1);
+    }
+
+    /// [`IpgSession::expand_all`] with the expansion frontier and the row
+    /// building/publication fanned out over `threads` worker threads. The
+    /// result is identical to the serial warm (same state ids, same rows,
+    /// same kernel index — see
+    /// [`crate::graph::ItemSetGraph::expand_all_parallel`]); only the
+    /// wall-clock changes.
+    pub fn expand_all_parallel(&self, threads: usize) {
+        self.graph.expand_all_parallel(&self.grammar, threads);
+        self.graph.publish_all_rows_parallel(&self.grammar, threads);
     }
 
     /// Runs a mark-and-sweep collection over the item-set graph.

@@ -230,6 +230,23 @@ pub struct GenStats {
     /// callers and benches can see configured vs actual parallelism; the
     /// network frontend records its worker-pool size.
     pub effective_workers: usize,
+    /// Dense scanner byte rows built while publishing DFA snapshot states
+    /// (mirrors the scanner's `DfaStats::dense_rows_built`; zero for
+    /// servers without a scanner).
+    pub dense_rows_built: usize,
+    /// Characters scanned through the dense byte-row fast path (mirrors
+    /// `DfaStats::dense_bytes`).
+    pub dense_bytes: usize,
+    /// Characters swallowed by the scanner's self-transition skip loop
+    /// (mirrors `DfaStats::skip_loop_bytes`).
+    pub skip_loop_bytes: usize,
+    /// **High-water mark** (max-merged, not summed): the widest worker
+    /// fan-out any parallel warm ([`crate::IpgSession::expand_all_parallel`])
+    /// was asked for on this graph.
+    pub warm_threads_used: usize,
+    /// Frontier batches committed by (serial or parallel) full warms: one
+    /// per batch-synchronous expansion round.
+    pub warm_batches_published: usize,
 }
 
 impl GenStats {
@@ -288,6 +305,11 @@ impl GenStats {
             io_timeouts,
             queue_depth_high_water,
             effective_workers,
+            dense_rows_built,
+            dense_bytes,
+            skip_loop_bytes,
+            warm_threads_used,
+            warm_batches_published,
         } = other;
         self.nodes_created += nodes_created;
         self.expansions += expansions;
@@ -317,6 +339,11 @@ impl GenStats {
         self.io_timeouts += io_timeouts;
         self.queue_depth_high_water = self.queue_depth_high_water.max(*queue_depth_high_water);
         self.effective_workers = self.effective_workers.max(*effective_workers);
+        self.dense_rows_built += dense_rows_built;
+        self.dense_bytes += dense_bytes;
+        self.skip_loop_bytes += skip_loop_bytes;
+        self.warm_threads_used = self.warm_threads_used.max(*warm_threads_used);
+        self.warm_batches_published += warm_batches_published;
     }
 }
 
@@ -374,6 +401,19 @@ impl fmt::Display for GenStats {
         }
         if self.effective_workers > 0 {
             writeln!(f, "effective workers:    {}", self.effective_workers)?;
+        }
+        if self.dense_rows_built > 0 {
+            writeln!(f, "dense rows built:     {}", self.dense_rows_built)?;
+        }
+        if self.dense_bytes + self.skip_loop_bytes > 0 {
+            writeln!(f, "dense bytes scanned:  {}", self.dense_bytes)?;
+            writeln!(f, "skip-loop bytes:      {}", self.skip_loop_bytes)?;
+        }
+        if self.warm_threads_used > 0 {
+            writeln!(f, "warm threads used:    {}", self.warm_threads_used)?;
+        }
+        if self.warm_batches_published > 0 {
+            writeln!(f, "warm batches:         {}", self.warm_batches_published)?;
         }
         Ok(())
     }

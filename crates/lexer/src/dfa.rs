@@ -19,12 +19,37 @@
 //! snapshots**: the writer publishes an immutable [`DfaSnapshot`]
 //! (`Arc`-shared) whenever it materialises a state or transition, a
 //! scanner pins one snapshot per `tokenize` call, and every per-character
-//! step is then a plain hash-map read against immutable data with no
-//! locks or atomics at all. Only a miss (one subset-construction step)
-//! takes the writer's lock, republishes, and refreshes the pin.
+//! step is served from immutable data with no locks or atomics at all.
+//! Only a miss (one subset-construction step) takes the writer's lock,
+//! republishes, and refreshes the pin.
+//!
+//! ## The dense fast path and its lazy fallback
+//!
+//! Each published snapshot state carries two views of the same memoised
+//! transitions, split by character class:
+//!
+//! * **Dense byte rows** — a `state × 256` table indexed by the scalar
+//!   value, so the Latin-1 hot path (in practice: all of ASCII source
+//!   text) is a single array load per character. A bitmask of the bytes
+//!   that transition a state back to itself additionally powers a
+//!   memchr-style **skip loop**: whitespace, identifier tails and literal
+//!   bodies are swallowed as whole runs, with the longest-match candidate
+//!   updated once per run instead of once per character.
+//! * **The lazy `char` map** — the fallback serving characters `≥ U+0100`
+//!   and any byte whose transition has not been materialised yet (a dense
+//!   entry of "unknown" means exactly "absent from the map").
+//!
+//! The dense rows are a *cache of the cache*: they are derived from the
+//! memoised map whenever a snapshot state is (re)published, so laziness is
+//! untouched — unknown entries still funnel into the one-step
+//! subset-construction writer, which republishes the touched state with a
+//! refreshed row. Definition changes keep the PR 4 carry-over: states
+//! whose published view survives an edit keep their dense rows verbatim
+//! (they share the same per-state `Arc`), and only invalidated states are
+//! re-derived — and re-densified — by need.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::nfa::{Nfa, TokenId};
@@ -51,6 +76,17 @@ pub struct DfaStats {
     /// (their NFA sets intersected a changed fragment, or they were the
     /// start state, whose closure every definition change affects).
     pub invalidated: usize,
+    /// Dense `state × 256` byte rows built while publishing snapshot
+    /// states (one per snapshot-state construction; carried-over states
+    /// keep their row and are not recounted).
+    pub dense_rows_built: usize,
+    /// Characters consumed through the dense byte-row fast path (single
+    /// array-indexed steps).
+    pub dense_bytes: usize,
+    /// Characters consumed by the self-transition skip loop (whitespace /
+    /// identifier / literal runs swallowed without per-character state
+    /// re-dispatch).
+    pub skip_loop_bytes: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -80,17 +116,73 @@ struct DfaCache {
     garbage: usize,
 }
 
+/// Dense byte-row encoding: `0` = not yet materialised (fall through to
+/// the miss path), `1` = the dead state, `n ≥ 2` = transition to DFA state
+/// `n - 2`.
+const DENSE_UNKNOWN: u32 = 0;
+const DENSE_DEAD: u32 = 1;
+
 /// The published read-view of one DFA state: its memoised transitions and
 /// accept token, immutable and `Arc`-shared between the cache and any
 /// number of pinned snapshots.
+///
+/// Alongside the `char`-keyed map, every snapshot state carries a **dense
+/// byte row**: a `256`-entry table indexed directly by the character's
+/// scalar value, so the Latin-1 hot path is one array load instead of a
+/// hash-map probe. The row is a dense *cache of the map* — entry `0` means
+/// "not memoised yet", exactly the map's missing-key case — so laziness is
+/// preserved: unknown bytes still funnel into the subset-construction miss
+/// path, which republishes this state with a refreshed row. A bitmask of
+/// the bytes that transition back to this same state additionally powers
+/// the skip loop in [`LazyDfa::longest_match_pinned`].
 #[derive(Debug)]
 struct SnapshotState {
+    /// Dense byte transitions for scalar values `< 256` (see
+    /// [`DENSE_UNKNOWN`] / [`DENSE_DEAD`]); characters `≥ U+0100` use the
+    /// `transitions` map.
+    dense: Box<[u32; 256]>,
+    /// Bitmask (4 × 64 bits) of the bytes whose dense transition loops
+    /// back to this state — the self-transition runs the skip loop eats.
+    self_mask: [u64; 4],
     /// Memoised transitions (`None` = the dead state). A character absent
     /// from the map has simply not been stepped on yet — a *miss*, not a
     /// dead transition.
     transitions: HashMap<char, Option<usize>>,
     /// Highest-priority token accepted in this state.
     accept: Option<TokenId>,
+}
+
+impl SnapshotState {
+    /// Builds the published view of state `id`, materialising its dense
+    /// byte row and self-transition mask from the memoised transitions.
+    fn build(id: usize, transitions: &HashMap<char, Option<usize>>, accept: Option<TokenId>) -> Self {
+        let mut dense = Box::new([DENSE_UNKNOWN; 256]);
+        let mut self_mask = [0u64; 4];
+        for (&c, &target) in transitions {
+            let b = c as u32;
+            if b < 256 {
+                dense[b as usize] = match target {
+                    None => DENSE_DEAD,
+                    Some(next) => next as u32 + 2,
+                };
+                if target == Some(id) {
+                    self_mask[(b >> 6) as usize] |= 1u64 << (b & 63);
+                }
+            }
+        }
+        SnapshotState {
+            dense,
+            self_mask,
+            transitions: transitions.clone(),
+            accept,
+        }
+    }
+
+    /// Whether byte `b` (scalar value `< 256`) self-transitions here.
+    #[inline]
+    fn self_loops(&self, b: usize) -> bool {
+        self.self_mask[b >> 6] & (1u64 << (b & 63)) != 0
+    }
 }
 
 /// An immutable snapshot of every materialised DFA state — the scanner
@@ -127,17 +219,30 @@ pub struct LazyDfa {
     /// Cache hits are flushed here once per `longest_match`/`step` call
     /// (not per character), so the pinned hot path touches no atomics.
     cache_hits: AtomicUsize,
+    /// Characters consumed through the dense byte rows; flushed once per
+    /// `longest_match` call like `cache_hits`.
+    dense_bytes: AtomicUsize,
+    /// Characters consumed by the self-transition skip loop; flushed once
+    /// per `longest_match` call like `cache_hits`.
+    skip_loop_bytes: AtomicUsize,
+    /// Measurement knob: when set, `longest_match_pinned` ignores the
+    /// dense rows and runs the lazy `char`-map path for every character,
+    /// so benches can report the dense speedup on identical hardware.
+    dense_disabled: AtomicBool,
 }
 
 impl Clone for LazyDfa {
     fn clone(&self) -> Self {
-        let cache = self.cache.read().unwrap().clone();
-        let published = Self::snapshot_of(&cache);
+        let mut cache = self.cache.read().unwrap().clone();
+        let published = Self::snapshot_of(&mut cache);
         LazyDfa {
             nfa: self.nfa.clone(),
             cache: RwLock::new(cache),
             published: RwLock::new(published),
             cache_hits: AtomicUsize::new(self.cache_hits.load(Ordering::Relaxed)),
+            dense_bytes: AtomicUsize::new(self.dense_bytes.load(Ordering::Relaxed)),
+            skip_loop_bytes: AtomicUsize::new(self.skip_loop_bytes.load(Ordering::Relaxed)),
+            dense_disabled: AtomicBool::new(self.dense_disabled.load(Ordering::Relaxed)),
         }
     }
 }
@@ -153,28 +258,28 @@ impl LazyDfa {
         };
         let start_set = nfa.epsilon_closure(&[nfa.start()]);
         Self::intern(&nfa, &mut cache, start_set);
-        let published = Self::snapshot_of(&cache);
+        let published = Self::snapshot_of(&mut cache);
         LazyDfa {
             nfa,
             cache: RwLock::new(cache),
             published: RwLock::new(published),
             cache_hits: AtomicUsize::new(0),
+            dense_bytes: AtomicUsize::new(0),
+            skip_loop_bytes: AtomicUsize::new(0),
+            dense_disabled: AtomicBool::new(false),
         }
     }
 
     /// Builds a full published snapshot of a cache (used at construction
     /// and by `Clone`; misses update the current snapshot incrementally).
-    fn snapshot_of(cache: &DfaCache) -> Arc<DfaSnapshot> {
+    fn snapshot_of(cache: &mut DfaCache) -> Arc<DfaSnapshot> {
+        cache.stats.dense_rows_built += cache.states.len();
         Arc::new(DfaSnapshot {
             states: cache
                 .states
                 .iter()
-                .map(|s| {
-                    Arc::new(SnapshotState {
-                        transitions: s.transitions.clone(),
-                        accept: s.accept,
-                    })
-                })
+                .enumerate()
+                .map(|(i, s)| Arc::new(SnapshotState::build(i, &s.transitions, s.accept)))
                 .collect(),
         })
     }
@@ -190,19 +295,19 @@ impl LazyDfa {
     /// copy the per-state `Arc` vector, append any newly interned states,
     /// and replace the one state whose transition map grew. Called with
     /// the cache write lock held, so publications are serialized.
-    fn republish_locked(&self, cache: &DfaCache, touched: usize) {
+    fn republish_locked(&self, cache: &mut DfaCache, touched: usize) {
         let mut published = self.published.write().unwrap();
         let mut states = published.states.clone();
-        for state in &cache.states[states.len()..] {
-            states.push(Arc::new(SnapshotState {
-                transitions: state.transitions.clone(),
-                accept: state.accept,
-            }));
+        let appended = cache.states.len() - states.len();
+        for (i, state) in cache.states.iter().enumerate().skip(states.len()) {
+            states.push(Arc::new(SnapshotState::build(i, &state.transitions, state.accept)));
         }
-        states[touched] = Arc::new(SnapshotState {
-            transitions: cache.states[touched].transitions.clone(),
-            accept: cache.states[touched].accept,
-        });
+        states[touched] = Arc::new(SnapshotState::build(
+            touched,
+            &cache.states[touched].transitions,
+            cache.states[touched].accept,
+        ));
+        cache.stats.dense_rows_built += appended + 1;
         *published = Arc::new(DfaSnapshot { states });
     }
 
@@ -312,11 +417,13 @@ impl LazyDfa {
         let mut states = Vec::with_capacity(cache.states.len());
         for (i, state) in cache.states.iter().enumerate() {
             match published.states.get(i) {
+                // Carried-over states keep their dense rows (and the rest
+                // of their published view) — only touched ones re-derive.
                 Some(prev) if !touched.contains(&i) => states.push(prev.clone()),
-                _ => states.push(Arc::new(SnapshotState {
-                    transitions: state.transitions.clone(),
-                    accept: state.accept,
-                })),
+                _ => {
+                    cache.stats.dense_rows_built += 1;
+                    states.push(Arc::new(SnapshotState::build(i, &state.transitions, state.accept)));
+                }
             }
         }
         *published = Arc::new(DfaSnapshot { states });
@@ -344,7 +451,16 @@ impl LazyDfa {
     pub fn stats(&self) -> DfaStats {
         let mut stats = self.cache.read().unwrap().stats;
         stats.cache_hits += self.cache_hits.load(Ordering::Relaxed);
+        stats.dense_bytes += self.dense_bytes.load(Ordering::Relaxed);
+        stats.skip_loop_bytes += self.skip_loop_bytes.load(Ordering::Relaxed);
         stats
+    }
+
+    /// Measurement knob: disable (or re-enable) the dense byte-row fast
+    /// path. With it off, every character goes through the lazy `char`-map
+    /// path, so benches can measure the dense speedup on one host.
+    pub fn set_dense_scanning(&self, enabled: bool) {
+        self.dense_disabled.store(!enabled, Ordering::Relaxed);
     }
 
     /// Number of DFA states materialised so far.
@@ -389,7 +505,7 @@ impl LazyDfa {
         };
         cache.states[state].transitions.insert(c, result);
         cache.stats.transitions += 1;
-        self.republish_locked(&cache, state);
+        self.republish_locked(&mut cache, state);
         result.map(|next| (next, cache.states[next].accept))
     }
 
@@ -438,19 +554,28 @@ impl LazyDfa {
 
     /// The longest prefix of `input` starting at `start` that matches a
     /// token, with the token id — served from the caller's pinned
-    /// snapshot. Every step against already-materialised entries is a
-    /// plain read of immutable data: no locks, no atomics (hits are
-    /// tallied locally and flushed once on return). A miss takes the
-    /// writer, republishes and refreshes `pin` in place, so the caller's
-    /// next token starts from the enriched snapshot.
+    /// snapshot. Characters with scalar value `< 256` step through the
+    /// dense byte rows (one array load), with self-transition runs
+    /// (whitespace, identifier tails, literal bodies) swallowed by a
+    /// mask-test skip loop that re-derives `best` once per run instead of
+    /// once per character. Characters `≥ U+0100` and not-yet-dense entries
+    /// fall back to the lazy `char`-map path. Every step against
+    /// already-materialised entries is a plain read of immutable data: no
+    /// locks, no atomics (counters are tallied locally and flushed once on
+    /// return). A miss takes the writer, republishes and refreshes `pin`
+    /// in place, so the caller's next token starts from the enriched
+    /// snapshot.
     pub fn longest_match_pinned(
         &self,
         pin: &mut Arc<DfaSnapshot>,
         input: &[char],
         start: usize,
     ) -> Option<(usize, TokenId)> {
+        let dense_enabled = !self.dense_disabled.load(Ordering::Relaxed);
         let mut state = 0usize;
         let mut hits = 0usize;
+        let mut dense_bytes = 0usize;
+        let mut skip_bytes = 0usize;
         let mut best = pin
             .states
             .first()
@@ -458,6 +583,49 @@ impl LazyDfa {
             .map(|t| (0usize, t));
         let mut len = 0usize;
         while let Some(&c) = input.get(start + len) {
+            let b = c as u32;
+            let mut code = DENSE_UNKNOWN;
+            if dense_enabled && b < 256 {
+                if let Some(entry) = pin.states.get(state) {
+                    if entry.self_loops(b as usize) {
+                        // Skip loop: the state does not change across the
+                        // run, so `best` needs one update at the end, not
+                        // one per character.
+                        let run_start = len;
+                        len += 1;
+                        while input
+                            .get(start + len)
+                            .is_some_and(|&c2| (c2 as u32) < 256 && entry.self_loops(c2 as usize))
+                        {
+                            len += 1;
+                        }
+                        let run = len - run_start;
+                        skip_bytes += run;
+                        hits += run;
+                        if let Some(t) = entry.accept {
+                            best = Some((len, t));
+                        }
+                        continue;
+                    }
+                    code = entry.dense[b as usize];
+                }
+            }
+            if code >= 2 {
+                state = (code - 2) as usize;
+                len += 1;
+                dense_bytes += 1;
+                hits += 1;
+                if let Some(t) = pin.states[state].accept {
+                    best = Some((len, t));
+                }
+                continue;
+            }
+            if code == DENSE_DEAD {
+                break;
+            }
+            // DENSE_UNKNOWN: non-Latin-1, dense path disabled, or a
+            // genuinely unmaterialised byte — the lazy fallback resolves
+            // all three (and only the last one is a cache miss).
             match self.step_with_accept_pinned(pin, &mut hits, state, c) {
                 Some((next, accept)) => {
                     state = next;
@@ -471,6 +639,12 @@ impl LazyDfa {
         }
         if hits > 0 {
             self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if dense_bytes > 0 {
+            self.dense_bytes.fetch_add(dense_bytes, Ordering::Relaxed);
+        }
+        if skip_bytes > 0 {
+            self.skip_loop_bytes.fetch_add(skip_bytes, Ordering::Relaxed);
         }
         best
     }
@@ -633,6 +807,52 @@ mod tests {
             );
         }
         assert!(dfa.garbage_fraction() > 0.0);
+    }
+
+    #[test]
+    fn rescans_run_on_dense_rows_and_the_skip_loop() {
+        let dfa = sample_dfa();
+        let input = chars("abcdefgh 42");
+        dfa.longest_match(&input, 0); // materialise the identifier path
+        dfa.longest_match(&input, 9); // materialise the number path
+        let before = dfa.stats();
+        assert!(before.dense_rows_built > 0);
+        assert_eq!(dfa.longest_match(&input, 0), Some((8, 1)));
+        let after = dfa.stats();
+        assert_eq!(after.cache_misses, before.cache_misses, "no new subset steps");
+        assert!(
+            after.skip_loop_bytes > before.skip_loop_bytes,
+            "the identifier tail is a self-transition run"
+        );
+        assert!(after.dense_bytes + after.skip_loop_bytes > before.dense_bytes + before.skip_loop_bytes);
+    }
+
+    #[test]
+    fn disabling_dense_scanning_matches_the_dense_results() {
+        let dfa = sample_dfa();
+        for text in ["if", "iffy", "x1_y", "42", "007 agent"] {
+            let input = chars(text);
+            let dense = dfa.longest_match(&input, 0);
+            dfa.set_dense_scanning(false);
+            let lazy_bytes = dfa.stats().dense_bytes;
+            assert_eq!(dfa.longest_match(&input, 0), dense, "input `{text}`");
+            assert_eq!(dfa.stats().dense_bytes, lazy_bytes, "lazy path counts no dense bytes");
+            dfa.set_dense_scanning(true);
+        }
+    }
+
+    #[test]
+    fn non_latin1_characters_use_the_lazy_fallback() {
+        let mut dfa = sample_dfa();
+        let id = dfa.add_token(&Regex::literal("λx"));
+        let input = chars("λx");
+        assert_eq!(dfa.longest_match(&input, 0), Some((2, id)));
+        let before = dfa.stats();
+        assert_eq!(dfa.longest_match(&input, 0), Some((2, id)));
+        let after = dfa.stats();
+        assert_eq!(after.cache_misses, before.cache_misses, "memoised in the char map");
+        assert!(after.cache_hits > before.cache_hits);
+        assert!(after.dense_bytes <= before.dense_bytes + 1, "only `x` can step densely");
     }
 
     #[test]

@@ -191,6 +191,13 @@ impl Scanner {
         self.carried_total
     }
 
+    /// Measurement knob: disable (or re-enable) the DFA's dense byte-row
+    /// fast path so benches can compare dense vs lazy `char` scanning on
+    /// identical hardware. Takes `&self`; safe to flip on a live scanner.
+    pub fn set_dense_scanning(&self, enabled: bool) {
+        self.dfa.set_dense_scanning(enabled);
+    }
+
     /// Adds a token definition (at the lowest priority). The already
     /// materialised DFA is carried over — only the start state (whose
     /// closure gains the new definition) is re-derived by need.

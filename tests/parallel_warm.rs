@@ -1,0 +1,95 @@
+//! Parallel-warm equivalence: `expand_all_parallel(N)` must produce a
+//! graph *bit-identical* to the serial warm — same state numbering, same
+//! kernels, same transitions/reductions, same published rows — because
+//! the parallel fan-out only distributes the read-only closure half of
+//! each expansion; kernels are interned serially in the exact order the
+//! serial loop would have used.
+//!
+//! Checked over random grammars (proptest) and on the wide synthetic
+//! grammar the cold-start bench measures.
+//!
+//! Case count: `IPG_PROPTEST_CASES` (the CI epoch-stress job runs 256 in
+//! release mode), defaulting to a debug-friendly handful locally.
+
+use ipg::{IpgServer, IpgSession};
+use ipg_bench::wide_synthetic_workload;
+use proptest::prelude::*;
+
+mod common;
+use common::{digest, grammar_spec, resolve_sentence, sentence};
+
+fn cases() -> u32 {
+    std::env::var("IPG_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 12 } else { 48 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Random grammar, random sentences: the serially warmed and the
+    /// parallel-warmed sessions render identical graphs (state ids,
+    /// kernels, transitions, reductions) and parse identically.
+    #[test]
+    fn parallel_warm_equals_serial_warm(
+        spec in grammar_spec(true),
+        sentences in prop::collection::vec(sentence(6), 1..4),
+    ) {
+        let grammar = spec.build();
+        let serial = IpgSession::new(grammar.clone());
+        serial.expand_all_parallel(1);
+        let parallel = IpgSession::new(grammar.clone());
+        parallel.expand_all_parallel(4);
+        prop_assert_eq!(serial.render_graph(), parallel.render_graph());
+        prop_assert!((serial.coverage() - 1.0).abs() < f64::EPSILON);
+        prop_assert!((parallel.coverage() - 1.0).abs() < f64::EPSILON);
+        // The generator did the same work, batched identically.
+        let (s, p) = (serial.stats(), parallel.stats());
+        prop_assert_eq!(s.expansions, p.expansions);
+        prop_assert_eq!(s.closures, p.closures);
+        prop_assert_eq!(s.rows_built, p.rows_built);
+        prop_assert_eq!(s.warm_batches_published, p.warm_batches_published);
+        for codes in &sentences {
+            let tokens = resolve_sentence(serial.grammar(), codes);
+            let a = digest(&serial.parse(&tokens));
+            let b = digest(&parallel.parse(&tokens));
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// The bench's wide synthetic grammar (5000 productions in release; a
+/// smaller instance under `cargo test` in debug, where closure costs are
+/// an order of magnitude higher): serial and 4-way-parallel warm must
+/// agree state for state, and the fan-out counters must surface through
+/// `IpgServer::stats`.
+#[test]
+fn wide_synthetic_grammar_warms_identically_in_parallel() {
+    let productions = if cfg!(debug_assertions) { 300 } else { 5000 };
+    let wide = wide_synthetic_workload(productions);
+
+    let serial = IpgSession::new(wide.grammar.clone());
+    serial.expand_all_parallel(1);
+    let parallel = IpgSession::new(wide.grammar.clone());
+    parallel.expand_all_parallel(4);
+    assert_eq!(serial.render_graph(), parallel.render_graph());
+    let (s, p) = (serial.stats(), parallel.stats());
+    assert_eq!(s.expansions, p.expansions);
+    assert_eq!(s.rows_built, p.rows_built);
+    assert_eq!(s.warm_batches_published, p.warm_batches_published);
+    assert_eq!(s.warm_threads_used, 1);
+    assert_eq!(p.warm_threads_used, 4);
+    assert!(p.warm_batches_published > 0);
+    assert!(serial.parse(&wide.sentence).accepted);
+    assert!(parallel.parse(&wide.sentence).accepted);
+
+    // The server plumbing: `warm_parallel` warms the published epoch and
+    // reports the fan-out through the aggregated stats.
+    let server = IpgServer::new(IpgSession::new(wide.grammar.clone()));
+    server.warm_parallel(4);
+    let stats = server.stats();
+    assert_eq!(stats.graph.warm_threads_used, 4);
+    assert_eq!(stats.graph.expansions, s.expansions);
+    assert!(server.parse(&wide.sentence).accepted);
+}
