@@ -680,9 +680,6 @@ fn main() {
     // Scaling is only observable with real cores; on a single-core host the
     // interesting number is the (near-zero) locking overhead instead.
     println!("host parallelism: {cores} core(s)");
-    if cores >= 4 && warm4 < 2.5 {
-        eprintln!("WARNING: 4-thread warm speedup {warm4:.2}x below the 2.5x target on a {cores}-core host");
-    }
 
     // Hard gates (alongside the publish-scaling gate in CI): the warm
     // fused text path must not allocate per request — the single-threaded
@@ -712,6 +709,15 @@ fn main() {
             "FAIL: dense scanner ({:.0} tokens/s) is slower than the lazy char-map path ({:.0} tokens/s)",
             fused.tokens_per_sec(),
             lazy.tokens_per_sec()
+        );
+        failed = true;
+    }
+    // Warm parse scaling is a hard gate wherever the cores exist (hosted
+    // CI runners have >= 4): N warm readers over one shared graph must
+    // actually run in parallel, or the read path has re-grown a lock.
+    if cores >= 4 && warm4 < 2.5 {
+        eprintln!(
+            "FAIL: 4-thread warm speedup {warm4:.2}x below the 2.5x target on a {cores}-core host"
         );
         failed = true;
     }

@@ -1,0 +1,576 @@
+//! Document sessions: long-lived per-document parse state with
+//! incremental re-lex and re-parse on edits.
+//!
+//! A [`DocumentSession`] (created by [`IpgServer::open_document`]) keeps
+//! the whole text→forest pipeline warm between edits:
+//!
+//! * the text and its character vector;
+//! * the lexer's [`MatchRec`] list with per-match examined extents, so an
+//!   edit re-lexes only the damaged region and resynchronises with the
+//!   old token boundaries (`ipg_lexer::relex`);
+//! * the parser's `ParseCtx` (GSS pools + flat forest arena) and
+//!   `ParseHistory` (per-token checkpoints), so the GSS re-runs only from
+//!   the leftmost damaged token and retained forest subtrees are reused;
+//! * the pinned `Arc<GrammarEpoch>` and DFA snapshot the state was built
+//!   against.
+//!
+//! [`IpgServer::apply_edit`] is the hot path: splice, bounded re-lex, GSS
+//! resume — O(damage) instead of O(document). Its staleness rule is
+//! strict: if the server published any epoch since the session last
+//! parsed (grammar `MODIFY`, scanner edit, GC), the edit re-pins the
+//! current epoch and rebuilds everything from scratch (`reparse_full`) —
+//! match records, token vectors, forests and histories are never spliced
+//! across epochs. The same full rebuild covers sessions desynchronised by
+//! a scan error (the text edit is applied even when the new text does not
+//! lex; parse state catches up on the next lexable edit).
+//!
+//! Correctness of the incremental path is proven, not assumed: the
+//! `incremental_reparse` suite digest-compares every incremental result
+//! against a cold parse of the spliced text over random grammars and edit
+//! scripts, including edits raced with `MODIFY`.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ipg_glr::{GssParseResult, GssParser, GssStats, ParseCtx, ParseHistory, ParseOutcome};
+use ipg_grammar::SymbolId;
+use ipg_lexer::{relex, DfaSnapshot, MatchRec, ScanError};
+
+use crate::server::{GrammarEpoch, IpgServer, ServerError};
+use crate::stats::GenStats;
+
+/// The state of one open document (see the module docs).
+#[derive(Debug)]
+struct DocumentSession {
+    /// The epoch this session's parse state was built against. Pinned: a
+    /// long-lived open document intentionally keeps its epoch's storage
+    /// alive until the next edit re-pins (or the document closes).
+    epoch: Arc<GrammarEpoch>,
+    /// The pinned DFA snapshot re-lexing runs off (refreshed in place on
+    /// cache misses, replaced when the epoch is re-pinned).
+    pin: Arc<DfaSnapshot>,
+    text: String,
+    chars: Vec<char>,
+    recs: Vec<MatchRec>,
+    /// The non-layout terminal sequence (parallel to the non-layout
+    /// records; spliced, not rebuilt, on incremental edits).
+    tokens: Vec<SymbolId>,
+    ctx: ParseCtx,
+    history: ParseHistory,
+    /// Whether `recs`/`tokens`/`ctx`/`history` describe `text`. False
+    /// after a scan error applied the text edit but could not rebuild the
+    /// parse state; the next edit rebuilds from scratch.
+    synced: bool,
+    /// The most recent successful parse outcome (its forest lives in
+    /// `ctx`).
+    last: ParseOutcome,
+}
+
+/// The server's open-document registry. Lives in [`IpgServer`]; the
+/// registry lock is held only to look up or insert the per-document
+/// `Arc`, so edits to different documents run concurrently and only edits
+/// to the *same* document serialize (on that document's own mutex).
+#[derive(Debug, Default)]
+pub(crate) struct DocRegistry {
+    next: AtomicU64,
+    map: Mutex<HashMap<u64, Arc<Mutex<DocumentSession>>>>,
+}
+
+impl DocRegistry {
+    fn insert(&self, doc: DocumentSession) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .unwrap()
+            .insert(id, Arc::new(Mutex::new(doc)));
+        id
+    }
+
+    fn get(&self, id: u64) -> Result<Arc<Mutex<DocumentSession>>, ServerError> {
+        self.map
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or(ServerError::UnknownDocument(id))
+    }
+
+    fn remove(&self, id: u64) -> Option<Arc<Mutex<DocumentSession>>> {
+        self.map.lock().unwrap().remove(&id)
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+/// A point-in-time description of an open document, for observability
+/// (and the frontend's replies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DocumentInfo {
+    /// Document length in bytes.
+    pub bytes: usize,
+    /// Number of (non-layout) tokens of the last synced lex.
+    pub tokens: usize,
+    /// The epoch number the session's parse state is pinned to.
+    pub epoch: u64,
+    /// Whether the last successful parse accepted the document.
+    pub accepted: bool,
+    /// Whether the parse state currently describes the text (false after
+    /// a scan error until a later edit rebuilds).
+    pub synced: bool,
+}
+
+impl IpgServer {
+    /// Opens a document session: lexes and parses `text` against the
+    /// current epoch with checkpoint recording, and registers the state
+    /// for incremental edits. Returns the new document id.
+    ///
+    /// Requires a scanner ([`ServerError::NoScanner`] otherwise). A scan
+    /// or unknown-terminal error closes nothing — no session is created.
+    pub fn open_document(&self, text: &str) -> Result<u64, ServerError> {
+        let started = Instant::now();
+        let epoch = self.acquire();
+        let Some(scanner) = epoch.scanner() else {
+            self.release(epoch);
+            return Err(ServerError::NoScanner);
+        };
+        let pin = scanner.dfa_snapshot();
+        let grammar_version = epoch.grammar_version();
+        let mut doc = DocumentSession {
+            epoch,
+            pin,
+            text: text.to_owned(),
+            chars: Vec::new(),
+            recs: Vec::new(),
+            tokens: Vec::new(),
+            ctx: ParseCtx::new(),
+            history: ParseHistory::new(),
+            synced: false,
+            last: ParseOutcome {
+                accepted: false,
+                stats: GssStats::default(),
+                grammar_version,
+            },
+        };
+        let (_, action_calls, goto_calls) = self.reload_document(&mut doc)?;
+        let id = self.documents.insert(doc);
+        let mut delta = GenStats {
+            parses: 1,
+            action_calls,
+            goto_calls,
+            ..GenStats::default()
+        };
+        delta.latency.record(started.elapsed());
+        self.note(&delta);
+        Ok(id)
+    }
+
+    /// Applies one edit — replace bytes `range` of the document with
+    /// `replacement` — and re-parses, incrementally when possible (see
+    /// the module docs for the full decision ladder). Returns the parse
+    /// outcome of the edited document; read the forest back with
+    /// [`IpgServer::document_result`].
+    ///
+    /// On a scan error the text edit **is** applied (the document is the
+    /// source of truth) but the parse state is marked desynchronised and
+    /// rebuilt by the next edit; the error is returned.
+    pub fn apply_edit(
+        &self,
+        id: u64,
+        range: Range<usize>,
+        replacement: &str,
+    ) -> Result<ParseOutcome, ServerError> {
+        let started = Instant::now();
+        let doc = self.documents.get(id)?;
+        let mut doc = doc.lock().unwrap();
+        let doc = &mut *doc;
+        if range.start > range.end
+            || range.end > doc.text.len()
+            || !doc.text.is_char_boundary(range.start)
+            || !doc.text.is_char_boundary(range.end)
+        {
+            return Err(ServerError::InvalidRange {
+                start: range.start,
+                end: range.end,
+                len: doc.text.len(),
+            });
+        }
+
+        // Staleness rule: any epoch published since this session last
+        // parsed (grammar MODIFY, scanner edit, GC) forces a full rebuild
+        // against a fresh pin — state is never spliced across epochs.
+        let stale = doc.epoch.number() != self.epoch_number();
+        if stale || !doc.synced {
+            doc.text.replace_range(range, replacement);
+            if stale {
+                let old = std::mem::replace(&mut doc.epoch, self.acquire());
+                self.release(old);
+            }
+            let (outcome, action_calls, goto_calls) = self.reload_document(doc)?;
+            let mut delta = GenStats {
+                parses: 1,
+                action_calls,
+                goto_calls,
+                reparse_full: 1,
+                ..GenStats::default()
+            };
+            delta.latency.record(started.elapsed());
+            self.note(&delta);
+            return Ok(outcome);
+        }
+
+        // Incremental path. The char-coordinate edit is derived from the
+        // still-synced records before anything is spliced.
+        let edit = relex::char_edit(&doc.recs, &doc.text, range.start, range.end, replacement);
+        doc.text.replace_range(range, replacement);
+        doc.chars
+            .splice(edit.char_start..edit.char_end, replacement.chars());
+
+        let epoch = doc.epoch.clone();
+        let scanner = epoch
+            .scanner()
+            .expect("synced session implies a scanner-backed epoch");
+        let relexed = scanner.relex_splice(&mut doc.pin, &mut doc.recs, &doc.chars, edit);
+        let rel = match relexed {
+            Ok(rel) => rel,
+            Err(e) => return Err(self.desync(doc, started, e)),
+        };
+
+        // Map the re-lexed records to grammar terminals and splice the
+        // token vector.
+        let slots = epoch.terminal_slots();
+        let mut new_syms: Vec<SymbolId> = Vec::with_capacity(rel.new_tokens);
+        for rec in &doc.recs[rel.first_damaged..rel.first_damaged + rel.relexed] {
+            if rec.layout {
+                continue;
+            }
+            match slots.get(rec.slot).copied().flatten() {
+                Some(symbol) => new_syms.push(symbol),
+                None => {
+                    let e = ScanError::UnknownTerminal {
+                        name: scanner
+                            .slot(rec.slot)
+                            .map(|def| def.name.clone())
+                            .unwrap_or_default(),
+                    };
+                    return Err(self.desync(doc, started, e));
+                }
+            }
+        }
+        let damage = rel.tokens_before_damage;
+        let removed_end = damage + rel.old_tokens_removed;
+        if new_syms.len() == rel.old_tokens_removed && doc.tokens[damage..removed_end] == new_syms {
+            // Token-identical splice (layout-only edit, or a replacement
+            // lexing to the very same terminals): the parse — forest,
+            // history and all — is still exact. Nothing re-runs.
+            let mut delta = GenStats {
+                parses: 1,
+                reparse_incremental: 1,
+                tokens_relexed: rel.relexed,
+                ..GenStats::default()
+            };
+            delta.latency.record(started.elapsed());
+            self.note(&delta);
+            return Ok(doc.last);
+        }
+        doc.tokens.splice(damage..removed_end, new_syms);
+
+        let tables = epoch.session().tables();
+        let parser = GssParser::new(epoch.session().grammar());
+        let (outcome, _resumed) =
+            parser.parse_resumed(&mut doc.ctx, &tables, &doc.tokens, &mut doc.history, damage);
+        let (action_calls, goto_calls) = tables.query_counts();
+        drop(tables);
+        doc.last = outcome;
+        let mut delta = GenStats {
+            parses: 1,
+            action_calls,
+            goto_calls,
+            reparse_incremental: 1,
+            tokens_relexed: rel.relexed,
+            states_rerun: outcome.stats.nodes,
+            ..GenStats::default()
+        };
+        delta.latency.record(started.elapsed());
+        self.note(&delta);
+        Ok(outcome)
+    }
+
+    /// The last successful parse of the document, with an owned copy of
+    /// its forest. After an edit that returned a scan error this is still
+    /// the pre-error result (the parse state did not advance).
+    pub fn document_result(&self, id: u64) -> Result<GssParseResult, ServerError> {
+        let doc = self.documents.get(id)?;
+        let doc = doc.lock().unwrap();
+        Ok(doc.last.into_result(doc.ctx.forest().clone()))
+    }
+
+    /// The document's current text (always reflects every applied edit,
+    /// including ones whose re-parse failed).
+    pub fn document_text(&self, id: u64) -> Result<String, ServerError> {
+        Ok(self.documents.get(id)?.lock().unwrap().text.clone())
+    }
+
+    /// A point-in-time description of an open document.
+    pub fn document_info(&self, id: u64) -> Result<DocumentInfo, ServerError> {
+        let doc = self.documents.get(id)?;
+        let doc = doc.lock().unwrap();
+        Ok(DocumentInfo {
+            bytes: doc.text.len(),
+            tokens: doc.tokens.len(),
+            epoch: doc.epoch.number(),
+            accepted: doc.last.accepted,
+            synced: doc.synced,
+        })
+    }
+
+    /// Closes a document session, dropping its state and releasing its
+    /// epoch pin (a stale pinned epoch becomes reclaimable here).
+    pub fn close_document(&self, id: u64) -> Result<(), ServerError> {
+        let doc = self
+            .documents
+            .remove(id)
+            .ok_or(ServerError::UnknownDocument(id))?;
+        let epoch = match Arc::try_unwrap(doc) {
+            Ok(mutex) => mutex.into_inner().unwrap().epoch,
+            // A concurrent reader still holds the session `Arc`; it drops
+            // the pin when it finishes.
+            Err(arc) => arc.lock().unwrap().epoch.clone(),
+        };
+        self.release(epoch);
+        Ok(())
+    }
+
+    /// Number of currently open document sessions.
+    pub fn open_documents(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Full rebuild of a session's parse state from its text against its
+    /// pinned epoch: re-pin the DFA snapshot, lex everything, map tokens,
+    /// parse with checkpoint recording. Returns the outcome plus the
+    /// table query counts. On error the session stays desynchronised.
+    fn reload_document(
+        &self,
+        doc: &mut DocumentSession,
+    ) -> Result<(ParseOutcome, usize, usize), ServerError> {
+        doc.synced = false;
+        let epoch = doc.epoch.clone();
+        let scanner = epoch.scanner().ok_or(ServerError::NoScanner)?;
+        doc.pin = scanner.dfa_snapshot();
+        doc.chars.clear();
+        let text: &str = &doc.text;
+        doc.chars.extend(text.chars());
+        scanner.lex_records(&mut doc.pin, &doc.chars, &mut doc.recs)?;
+        doc.tokens.clear();
+        let slots = epoch.terminal_slots();
+        for rec in doc.recs.iter().filter(|rec| !rec.layout) {
+            match slots.get(rec.slot).copied().flatten() {
+                Some(symbol) => doc.tokens.push(symbol),
+                None => {
+                    return Err(ServerError::Scan(ScanError::UnknownTerminal {
+                        name: scanner
+                            .slot(rec.slot)
+                            .map(|def| def.name.clone())
+                            .unwrap_or_default(),
+                    }))
+                }
+            }
+        }
+        let tables = epoch.session().tables();
+        let parser = GssParser::new(epoch.session().grammar());
+        let outcome = parser.parse_recorded(&mut doc.ctx, &tables, &doc.tokens, &mut doc.history);
+        let (action_calls, goto_calls) = tables.query_counts();
+        drop(tables);
+        doc.last = outcome;
+        doc.synced = true;
+        Ok((outcome, action_calls, goto_calls))
+    }
+
+    /// Marks a session desynchronised after a failed re-lex and records
+    /// the served (but unparsed) edit.
+    fn desync(&self, doc: &mut DocumentSession, started: Instant, e: ScanError) -> ServerError {
+        doc.synced = false;
+        let mut delta = GenStats {
+            parses: 1,
+            ..GenStats::default()
+        };
+        delta.latency.record(started.elapsed());
+        self.note(&delta);
+        ServerError::Scan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boolean_server() -> IpgServer {
+        IpgServer::from_bnf(
+            r#"
+            B ::= "true" | "false" | B "or" B | B "and" B
+            START ::= B
+        "#,
+        )
+        .unwrap()
+        .with_scanner(ipg_lexer::simple_scanner(&["true", "false", "or", "and"]))
+    }
+
+    /// Digest for exact comparison: acceptance, roots, tree count, first
+    /// tree shape.
+    fn digest(r: &GssParseResult) -> (bool, usize, usize, Option<String>) {
+        (
+            r.accepted,
+            r.forest.roots().len(),
+            r.forest.tree_count(64),
+            r.forest.first_tree().map(|t| format!("{t:?}")),
+        )
+    }
+
+    #[test]
+    fn open_edit_close_lifecycle() {
+        let server = boolean_server();
+        let id = server.open_document("true or false").unwrap();
+        assert_eq!(server.open_documents(), 1);
+        let info = server.document_info(id).unwrap();
+        assert!(info.accepted && info.synced);
+        assert_eq!(info.tokens, 3);
+
+        // `false` -> `true and true`.
+        let outcome = server.apply_edit(id, 8..13, "true and true").unwrap();
+        assert!(outcome.accepted);
+        assert_eq!(server.document_text(id).unwrap(), "true or true and true");
+        let cold = server.parse_text("true or true and true").unwrap();
+        assert_eq!(digest(&server.document_result(id).unwrap()), digest(&cold));
+
+        server.close_document(id).unwrap();
+        assert_eq!(server.open_documents(), 0);
+        assert!(matches!(
+            server.document_result(id),
+            Err(ServerError::UnknownDocument(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_edits_are_counted_and_equivalent() {
+        let server = boolean_server();
+        let id = server.open_document("true or false and true").unwrap();
+        for (range, repl) in [
+            (8..13, "true"),     // replace a token
+            (0..0, "false or "), // insert at front
+            (5..6, "  "),        // whitespace-only edit
+            (0..10, ""),         // delete the first clause again
+        ] {
+            server.apply_edit(id, range, repl).unwrap();
+            let text = server.document_text(id).unwrap();
+            let cold = server.parse_text(&text).unwrap();
+            assert_eq!(
+                digest(&server.document_result(id).unwrap()),
+                digest(&cold),
+                "text `{text}`"
+            );
+        }
+        let stats = server.stats().merged();
+        assert_eq!(stats.reparse_incremental, 4);
+        assert_eq!(stats.reparse_full, 0);
+        assert!(stats.tokens_relexed > 0);
+        server.close_document(id).unwrap();
+    }
+
+    #[test]
+    fn stale_epoch_forces_full_reparse() {
+        let server = boolean_server();
+        let id = server.open_document("true or false").unwrap();
+        server.add_rule_text(r#"B ::= "true" "true""#).unwrap();
+        let outcome = server.apply_edit(id, 8..13, "true true").unwrap();
+        assert!(outcome.accepted, "new rule is visible after the fallback");
+        let stats = server.stats().merged();
+        assert_eq!(stats.reparse_full, 1);
+        assert_eq!(stats.reparse_incremental, 0);
+        assert_eq!(
+            server.document_info(id).unwrap().epoch,
+            server.epoch_number()
+        );
+        server.close_document(id).unwrap();
+    }
+
+    #[test]
+    fn scan_error_then_fix_recovers_via_full_reparse() {
+        let server = boolean_server();
+        let id = server.open_document("true or false").unwrap();
+        assert!(matches!(
+            server.apply_edit(id, 4..4, "%"),
+            Err(ServerError::Scan(ScanError::UnexpectedCharacter { character: '%', .. }))
+        ));
+        assert_eq!(server.document_text(id).unwrap(), "true% or false");
+        assert!(!server.document_info(id).unwrap().synced);
+        // The old result is still served.
+        assert!(server.document_result(id).unwrap().accepted);
+        // Removing the bad character rebuilds from scratch.
+        let outcome = server.apply_edit(id, 4..5, "").unwrap();
+        assert!(outcome.accepted);
+        assert!(server.document_info(id).unwrap().synced);
+        assert_eq!(server.stats().merged().reparse_full, 1);
+        server.close_document(id).unwrap();
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected_without_mutation() {
+        let server = boolean_server();
+        let id = server.open_document("true or false").unwrap();
+        for (start, end) in [(5, 4), (0, 999), (999, 1000)] {
+            assert!(matches!(
+                server.apply_edit(id, start..end, "x"),
+                Err(ServerError::InvalidRange { .. })
+            ));
+        }
+        assert_eq!(server.document_text(id).unwrap(), "true or false");
+        assert!(server.document_info(id).unwrap().synced);
+        server.close_document(id).unwrap();
+    }
+
+    #[test]
+    fn unknown_document_operations_error() {
+        let server = boolean_server();
+        assert!(matches!(
+            server.apply_edit(7, 0..0, "x"),
+            Err(ServerError::UnknownDocument(7))
+        ));
+        assert!(matches!(
+            server.close_document(7),
+            Err(ServerError::UnknownDocument(7))
+        ));
+        assert!(matches!(
+            server.document_text(7),
+            Err(ServerError::UnknownDocument(7))
+        ));
+    }
+
+    #[test]
+    fn open_document_without_scanner_errors() {
+        let server = IpgServer::from_bnf(
+            r#"
+            B ::= "true"
+            START ::= B
+        "#,
+        )
+        .unwrap();
+        assert_eq!(server.open_document("true"), Err(ServerError::NoScanner));
+        assert_eq!(server.open_documents(), 0);
+    }
+
+    #[test]
+    fn closing_a_document_releases_its_stale_epoch() {
+        let server = boolean_server();
+        let id = server.open_document("true").unwrap();
+        server.add_rule_text(r#"B ::= "maybe""#).unwrap();
+        // The stale epoch is still pinned by the open session.
+        assert_eq!(server.retired_epochs(), 1);
+        server.close_document(id).unwrap();
+        assert_eq!(server.retired_epochs(), 0, "close released the pin");
+    }
+}

@@ -89,12 +89,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod document;
 pub mod graph;
 pub mod server;
 pub mod session;
 pub mod stats;
 pub mod tables;
 
+pub use document::DocumentInfo;
 pub use graph::{
     ActionRow, ChunkHandle, ChunkObserver, GcPolicy, GraphError, ItemSetGraph, ItemSetKind,
     ItemSetNode, CHUNK_SIZE,

@@ -121,6 +121,40 @@
 //! per-epoch precomputed map), so no token vector, token structs or name
 //! strings are ever materialised.
 //!
+//! ## Document sessions (incremental re-parse)
+//!
+//! The editor/IDE workload keeps a *document* open and edits it: the
+//! per-request model above would re-lex and re-parse the whole text on
+//! every keystroke. A document session keeps the full pipeline state
+//! alive between edits instead:
+//!
+//! ```text
+//! open_document(text) --> doc id      (full lex + recorded parse,
+//!                                      epoch pinned in the session)
+//! apply_edit(id, byte_range, repl) -->
+//!     epoch still current?  ──no──> re-pin + full re-lex + re-parse
+//!     │ yes                          (`reparse_full`)
+//!     └─> splice text, re-lex only the damaged match region
+//!         (examined-extent damage tracking + boundary resync),
+//!         re-run the GSS only from the leftmost damaged token
+//!         (checkpointed frontiers; retained forest subtrees are reused)
+//!         (`reparse_incremental`)
+//! close_document(id) --> session dropped, its epoch pin released
+//! ```
+//!
+//! The session owns a private `ParseCtx` (GSS pools + forest arena), the
+//! lexer's match records and the GSS `ParseHistory`, so an edit costs
+//! O(damage), not O(document). **Epoch staleness rule:** a session pins
+//! the epoch it last parsed under; if any `MODIFY`/`modify_scanner`/GC
+//! published a newer epoch since, the next edit detects the stale pin
+//! (one atomic compare), re-pins the current epoch and rebuilds from
+//! scratch — retained forests and histories are never spliced across
+//! epochs. The incremental path is digest-equivalent to a cold
+//! [`IpgServer::parse_text`] of the spliced text by construction (the
+//! rollback restores the exact cold-parse state), and the
+//! `incremental_reparse` proptest harness enforces it, edit script by
+//! edit script. See [`crate::document`] for the session internals.
+//!
 //! ## What serializes with what
 //!
 //! | operation                  | parses (readers)  | other writers |
@@ -180,6 +214,19 @@ pub enum ServerError {
     Scan(ScanError),
     /// [`IpgServer::parse_text`] was called on a server without a scanner.
     NoScanner,
+    /// A document operation named a document id that is not open (never
+    /// opened, or already closed).
+    UnknownDocument(u64),
+    /// An edit's byte range does not fit the document (out of bounds,
+    /// inverted, or not on UTF-8 character boundaries).
+    InvalidRange {
+        /// Start of the offending byte range.
+        start: usize,
+        /// End of the offending byte range.
+        end: usize,
+        /// The document's length in bytes.
+        len: usize,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -188,6 +235,10 @@ impl fmt::Display for ServerError {
             ServerError::Session(e) => write!(f, "{e}"),
             ServerError::Scan(e) => write!(f, "scan error: {e}"),
             ServerError::NoScanner => write!(f, "this server was built without a scanner"),
+            ServerError::UnknownDocument(id) => write!(f, "unknown document id {id}"),
+            ServerError::InvalidRange { start, end, len } => {
+                write!(f, "invalid edit range {start}..{end} in a document of {len} bytes")
+            }
         }
     }
 }
@@ -256,7 +307,7 @@ impl GrammarEpoch {
     /// The `token-id slot -> terminal` map of this epoch (empty for
     /// servers without a scanner). Layout slots and slots whose token name
     /// has no terminal in this epoch's grammar map to `None`.
-    fn terminal_slots(&self) -> &[Option<SymbolId>] {
+    pub(crate) fn terminal_slots(&self) -> &[Option<SymbolId>] {
         self.terminal_slots.get_or_init(|| {
             let Some(scanner) = self.scanner.as_deref() else {
                 return Vec::new();
@@ -492,6 +543,9 @@ pub struct IpgServer {
     /// server driven from a churning thread pool cannot leak one entry
     /// per retired `ThreadId`.
     per_thread: Mutex<PerThreadStats>,
+    /// Open document sessions (see [`crate::document`]): incremental
+    /// re-parse state keyed by document id.
+    pub(crate) documents: crate::document::DocRegistry,
 }
 
 /// Cap on individually tracked serving threads (see `IpgServer::per_thread`).
@@ -533,6 +587,7 @@ impl IpgServer {
             current_number: AtomicU64::new(0),
             writer: Mutex::new(EpochWriter::default()),
             per_thread: Mutex::new(PerThreadStats::default()),
+            documents: crate::document::DocRegistry::default(),
         }
     }
 
@@ -563,7 +618,7 @@ impl IpgServer {
 
     /// Pins the current epoch: clones the `Arc` under a momentary read
     /// lock. Everything a parse needs afterwards comes from the pin.
-    fn acquire(&self) -> Arc<GrammarEpoch> {
+    pub(crate) fn acquire(&self) -> Arc<GrammarEpoch> {
         self.current.read().unwrap().clone()
     }
 
@@ -591,7 +646,7 @@ impl IpgServer {
     /// just left is reclaimed promptly. `try_lock`: if a publication is
     /// in progress the sweep is skipped — that publication sweeps itself,
     /// so a parse never blocks on a writer here.
-    fn release(&self, epoch: Arc<GrammarEpoch>) {
+    pub(crate) fn release(&self, epoch: Arc<GrammarEpoch>) {
         let number = epoch.number;
         drop(epoch);
         if number == self.current_number.load(Ordering::Acquire) {
@@ -1049,7 +1104,7 @@ impl IpgServer {
     /// one merge function for both paths, so the overflow aggregate keeps
     /// exact histograms and max-merged high-water marks just like a
     /// tracked entry does.
-    fn note(&self, delta: &GenStats) {
+    pub(crate) fn note(&self, delta: &GenStats) {
         let mut per_thread = self.per_thread.lock().unwrap();
         Self::entry_mut(&mut per_thread).merge(delta);
     }

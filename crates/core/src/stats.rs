@@ -247,6 +247,18 @@ pub struct GenStats {
     /// Frontier batches committed by (serial or parallel) full warms: one
     /// per batch-synchronous expansion round.
     pub warm_batches_published: usize,
+    /// Document edits served incrementally (bounded re-lex + GSS resume
+    /// from the damaged frontier).
+    pub reparse_incremental: usize,
+    /// Document edits that fell back to a full re-lex + re-parse (stale
+    /// pinned epoch, or a session desynchronised by a scan error).
+    pub reparse_full: usize,
+    /// Lexer matches actually re-scanned by incremental edits (layout and
+    /// tokens alike; retained and shifted matches are not counted).
+    pub tokens_relexed: usize,
+    /// GSS nodes re-created by incremental re-parses — the re-run portion
+    /// of the graph (a cold parse would have built the whole graph).
+    pub states_rerun: usize,
 }
 
 impl GenStats {
@@ -310,6 +322,10 @@ impl GenStats {
             skip_loop_bytes,
             warm_threads_used,
             warm_batches_published,
+            reparse_incremental,
+            reparse_full,
+            tokens_relexed,
+            states_rerun,
         } = other;
         self.nodes_created += nodes_created;
         self.expansions += expansions;
@@ -344,6 +360,10 @@ impl GenStats {
         self.skip_loop_bytes += skip_loop_bytes;
         self.warm_threads_used = self.warm_threads_used.max(*warm_threads_used);
         self.warm_batches_published += warm_batches_published;
+        self.reparse_incremental += reparse_incremental;
+        self.reparse_full += reparse_full;
+        self.tokens_relexed += tokens_relexed;
+        self.states_rerun += states_rerun;
     }
 }
 
@@ -414,6 +434,12 @@ impl fmt::Display for GenStats {
         }
         if self.warm_batches_published > 0 {
             writeln!(f, "warm batches:         {}", self.warm_batches_published)?;
+        }
+        if self.reparse_incremental + self.reparse_full > 0 {
+            writeln!(f, "reparse incremental:  {}", self.reparse_incremental)?;
+            writeln!(f, "reparse full:         {}", self.reparse_full)?;
+            writeln!(f, "tokens re-lexed:      {}", self.tokens_relexed)?;
+            writeln!(f, "GSS states re-run:    {}", self.states_rerun)?;
         }
         Ok(())
     }

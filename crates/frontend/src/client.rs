@@ -103,6 +103,44 @@ impl Client {
         self.request(Verb::DeleteRule, 0, rule.as_bytes())
     }
 
+    /// `OPEN-DOC`: open a document session with `text`. On `OK` the
+    /// payload is `[doc_id: u64][accepted: u8][grammar_version: u64]`
+    /// (decode with [`Client::open_doc_outcome`]).
+    pub fn open_doc(&mut self, text: &str, deadline_us: u32) -> io::Result<Response> {
+        self.request(Verb::OpenDoc, deadline_us, text.as_bytes())
+    }
+
+    /// Decodes an `OPEN-DOC` reply into `(doc_id, accepted,
+    /// grammar_version)`.
+    pub fn open_doc_outcome(response: &Response) -> Option<(u64, bool, u64)> {
+        if response.payload.len() != 17 {
+            return None;
+        }
+        let doc_id = u64::from_le_bytes(response.payload[0..8].try_into().ok()?);
+        let version = u64::from_le_bytes(response.payload[9..17].try_into().ok()?);
+        Some((doc_id, response.payload[8] != 0, version))
+    }
+
+    /// `PARSE-DELTA`: replace bytes `start..end` of document `doc_id`
+    /// with `replacement` and re-parse.
+    pub fn parse_delta(
+        &mut self,
+        doc_id: u64,
+        start: u32,
+        end: u32,
+        replacement: &str,
+        deadline_us: u32,
+    ) -> io::Result<Response> {
+        let payload =
+            crate::protocol::parse_delta_payload(doc_id, start, end, replacement.as_bytes());
+        self.request(Verb::ParseDelta, deadline_us, &payload)
+    }
+
+    /// `CLOSE-DOC`.
+    pub fn close_doc(&mut self, doc_id: u64) -> io::Result<Response> {
+        self.request(Verb::CloseDoc, 0, &doc_id.to_le_bytes())
+    }
+
     /// `STATS` as the raw JSON document.
     pub fn stats_json(&mut self) -> io::Result<String> {
         let response = self.request(Verb::Stats, 0, &[])?;

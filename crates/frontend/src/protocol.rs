@@ -56,6 +56,19 @@ pub enum Verb {
     DeleteRule = 4,
     /// Server + frontend statistics as a JSON document.
     Stats = 5,
+    /// `OPEN-DOC`: open a document session for incremental re-parse. The
+    /// payload is the initial UTF-8 text; the `OK` reply carries
+    /// `[doc_id: u64][accepted: u8][grammar_version: u64]`.
+    OpenDoc = 6,
+    /// `PARSE-DELTA`: apply one edit to an open document and re-parse
+    /// (incrementally when the pinned epoch is current). The payload is
+    /// `[doc_id: u64][start: u32][end: u32][replacement bytes]` with
+    /// `start..end` a byte range of the current text; the reply is the
+    /// standard parse-outcome payload.
+    ParseDelta = 7,
+    /// `CLOSE-DOC`: close a document session. The payload is
+    /// `[doc_id: u64]`; the reply is empty `OK`.
+    CloseDoc = 8,
 }
 
 impl Verb {
@@ -68,6 +81,9 @@ impl Verb {
             3 => Some(Verb::AddRule),
             4 => Some(Verb::DeleteRule),
             5 => Some(Verb::Stats),
+            6 => Some(Verb::OpenDoc),
+            7 => Some(Verb::ParseDelta),
+            8 => Some(Verb::CloseDoc),
             _ => None,
         }
     }
@@ -324,6 +340,39 @@ pub fn parse_outcome_payload(accepted: bool, grammar_version: u64) -> [u8; 9] {
     payload
 }
 
+/// Encodes the `OPEN-DOC` reply payload:
+/// `[doc_id][accepted][grammar_version]`.
+pub fn open_doc_payload(doc_id: u64, accepted: bool, grammar_version: u64) -> [u8; 17] {
+    let mut payload = [0u8; 17];
+    payload[0..8].copy_from_slice(&doc_id.to_le_bytes());
+    payload[8] = accepted as u8;
+    payload[9..17].copy_from_slice(&grammar_version.to_le_bytes());
+    payload
+}
+
+/// Encodes a `PARSE-DELTA` request payload:
+/// `[doc_id][start][end][replacement]`.
+pub fn parse_delta_payload(doc_id: u64, start: u32, end: u32, replacement: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + replacement.len());
+    payload.extend_from_slice(&doc_id.to_le_bytes());
+    payload.extend_from_slice(&start.to_le_bytes());
+    payload.extend_from_slice(&end.to_le_bytes());
+    payload.extend_from_slice(replacement);
+    payload
+}
+
+/// Decodes a `PARSE-DELTA` request payload. `None` if it is shorter than
+/// the fixed `[doc_id][start][end]` prefix.
+pub fn decode_parse_delta(payload: &[u8]) -> Option<(u64, u32, u32, &[u8])> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let doc_id = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let start = u32::from_le_bytes(payload[8..12].try_into().ok()?);
+    let end = u32::from_le_bytes(payload[12..16].try_into().ok()?);
+    Some((doc_id, start, end, &payload[16..]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +467,9 @@ mod tests {
             Verb::AddRule,
             Verb::DeleteRule,
             Verb::Stats,
+            Verb::OpenDoc,
+            Verb::ParseDelta,
+            Verb::CloseDoc,
         ] {
             assert_eq!(Verb::from_byte(verb as u8), Some(verb));
         }
@@ -433,5 +485,19 @@ mod tests {
         }
         assert_eq!(Verb::from_byte(99), None);
         assert_eq!(Status::from_byte(99), None);
+    }
+
+    #[test]
+    fn parse_delta_payloads_round_trip() {
+        let payload = parse_delta_payload(1234, 7, 12, b"replacement");
+        assert_eq!(
+            decode_parse_delta(&payload),
+            Some((1234, 7, 12, &b"replacement"[..]))
+        );
+        // An empty replacement (pure deletion) is valid...
+        let payload = parse_delta_payload(u64::MAX, 0, 0, b"");
+        assert_eq!(decode_parse_delta(&payload), Some((u64::MAX, 0, 0, &b""[..])));
+        // ...but a truncated fixed prefix is not.
+        assert_eq!(decode_parse_delta(&payload[..15]), None);
     }
 }

@@ -23,7 +23,9 @@ use std::time::Instant;
 use ipg::{GenStats, IpgServer, LatencyHistogram};
 
 use crate::deadline::Deadline;
-use crate::protocol::{parse_outcome_payload, write_response, Status, Verb};
+use crate::protocol::{
+    decode_parse_delta, open_doc_payload, parse_outcome_payload, write_response, Status, Verb,
+};
 use crate::queue::BoundedQueue;
 use crate::FrontendConfig;
 
@@ -275,6 +277,68 @@ fn execute(shared: &Shared, job: &Job) -> (Status, Vec<u8>) {
             }
         },
         Verb::Stats => (Status::Ok, stats_json(shared).into_bytes()),
+        Verb::OpenDoc => match utf8(&job.payload) {
+            Err(reply) => reply,
+            Ok(text) => {
+                if pin_expired() {
+                    return (
+                        Status::DeadlineExceeded,
+                        b"deadline expired before epoch pin".to_vec(),
+                    );
+                }
+                match server.open_document(&text) {
+                    Ok(id) => {
+                        let accepted = server
+                            .document_info(id)
+                            .map(|info| info.accepted)
+                            .unwrap_or(false);
+                        (
+                            Status::Ok,
+                            open_doc_payload(id, accepted, server.grammar_version()).to_vec(),
+                        )
+                    }
+                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                }
+            }
+        },
+        Verb::ParseDelta => match decode_parse_delta(&job.payload) {
+            None => (
+                Status::Error,
+                b"parse-delta payload shorter than its fixed prefix".to_vec(),
+            ),
+            Some((doc_id, start, end, replacement)) => match std::str::from_utf8(replacement) {
+                Err(_) => (Status::Error, b"replacement is not valid UTF-8".to_vec()),
+                Ok(replacement) => {
+                    // The deadline is checked *before* the edit is applied:
+                    // an expired delta is shed without mutating the session,
+                    // so the client can retry it verbatim.
+                    if pin_expired() {
+                        return (
+                            Status::DeadlineExceeded,
+                            b"deadline expired before epoch pin".to_vec(),
+                        );
+                    }
+                    match server.apply_edit(doc_id, start as usize..end as usize, replacement) {
+                        Ok(outcome) => (
+                            Status::Ok,
+                            parse_outcome_payload(outcome.accepted, outcome.grammar_version)
+                                .to_vec(),
+                        ),
+                        Err(e) => (Status::Error, e.to_string().into_bytes()),
+                    }
+                }
+            },
+        },
+        Verb::CloseDoc => {
+            if job.payload.len() != 8 {
+                return (Status::Error, b"close-doc payload must be a doc id".to_vec());
+            }
+            let doc_id = u64::from_le_bytes(job.payload[..8].try_into().expect("8 bytes"));
+            match server.close_document(doc_id) {
+                Ok(()) => (Status::Ok, Vec::new()),
+                Err(e) => (Status::Error, e.to_string().into_bytes()),
+            }
+        }
     }
 }
 
@@ -303,6 +367,8 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
          \"shed_deadline\": {}, \"shed_shutdown\": {}, \"malformed\": {}, \"io_timeouts\": {}, \
          \"latency_us\": {}}},\n  \"server\": {{\"parses\": {}, \"action_calls\": {}, \
          \"epochs_published\": {}, \"ctx_reused\": {}, \"effective_workers\": {}, \
+         \"open_documents\": {}, \"reparse_incremental\": {}, \"reparse_full\": {}, \
+         \"tokens_relexed\": {}, \"states_rerun\": {}, \
          \"latency_us\": {}}}\n}}",
         frontend.effective_workers,
         shared.queue.capacity(),
@@ -323,6 +389,11 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
         merged.epochs_published,
         merged.ctx_reused,
         merged.effective_workers,
+        shared.server.open_documents(),
+        merged.reparse_incremental,
+        merged.reparse_full,
+        merged.tokens_relexed,
+        merged.states_rerun,
         histogram_json(&merged.latency),
     )
 }

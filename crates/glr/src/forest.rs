@@ -209,6 +209,33 @@ impl Forest {
         self.derivations.len()
     }
 
+    /// Total number of derivation children across all packed derivations
+    /// (the length of the flat children pool — a watermark for
+    /// checkpoint/rollback, alongside [`Forest::num_nodes`] and
+    /// [`Forest::num_derivations`]).
+    pub fn num_children(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Rolls the forest back to an earlier watermark: keeps the first
+    /// `nodes` nodes, `derivations` derivation slots and `children` child
+    /// entries, un-interning the spans of every dropped node and clearing
+    /// the roots (which describe a complete parse and are re-recorded when
+    /// the parse that rolled back finishes again).
+    ///
+    /// Sound only for watermarks taken at a GSS checkpoint: the driver
+    /// creates every derivation at the token position its node *ends* at,
+    /// so all data beyond a per-position watermark belongs to dropped
+    /// nodes — retained nodes never reference dropped slots.
+    pub fn truncate(&mut self, nodes: usize, derivations: usize, children: usize) {
+        for node in self.nodes.drain(nodes..) {
+            self.index.remove(&(node.symbol, node.start, node.end));
+        }
+        self.derivations.truncate(derivations);
+        self.children.truncate(children);
+        self.roots.clear();
+    }
+
     /// `true` if any node has more than one derivation (the sentence or a
     /// part of it is ambiguous).
     pub fn is_ambiguous(&self) -> bool {

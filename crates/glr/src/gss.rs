@@ -27,6 +27,23 @@
 //! same loop ([`GssParser::parse_stream`]), which is how the serving
 //! layer fuses tokenization into the parse without materialising a token
 //! vector per request.
+//!
+//! ## Incremental re-parse
+//!
+//! [`GssParser::parse_recorded`] additionally records a [`ParseHistory`]:
+//! one checkpoint per token position, taken at the top of the driver
+//! loop, holding the pool watermarks (GSS nodes/edges, forest
+//! nodes/derivations/children) plus a snapshot of the current frontier
+//! (each node's state and edge-list head). When the token sequence is
+//! edited, [`GssParser::parse_resumed`] rolls the context back to the
+//! checkpoint at the leftmost damaged position — truncating the pools,
+//! un-seeing the dropped edges by walking the edge chains, and rebuilding
+//! the dense frontier in its recorded insertion order — and re-runs the
+//! ordinary loop from there. Because the rolled-back state is *exactly*
+//! the state a cold parse of the edited sequence reaches at that position,
+//! the resumed parse is bit-identical to a cold parse: same forest node
+//! ids, same packed derivations, same roots. Everything left of the damage
+//! (the retained forest subtrees) is reused, not rebuilt.
 
 use ipg_grammar::{Grammar, RuleId, SymbolId};
 use ipg_lr::{ActionCell, ParserTables, StateId};
@@ -175,6 +192,87 @@ fn label_key(label: ForestRef) -> u64 {
     }
 }
 
+/// One per-token snapshot of the driver's state, taken at the top of the
+/// loop (before the token at that position is read): all pools are
+/// append-only between checkpoints, so a watermark per pool plus the
+/// frontier's edge-list heads is enough to roll back exactly.
+#[derive(Clone, Copy, Debug, Default)]
+struct Checkpoint {
+    nodes: u32,
+    edges: u32,
+    forest_nodes: u32,
+    forest_derivations: u32,
+    forest_children: u32,
+    /// Slice of [`ParseHistory::frontier`] holding this position's
+    /// frontier snapshot.
+    frontier_start: u32,
+    frontier_len: u32,
+}
+
+/// The recorded checkpoints of one [`GssParser::parse_recorded`] run,
+/// enabling [`GssParser::parse_resumed`] to re-parse an edited token
+/// sequence from the leftmost damaged position instead of from scratch.
+///
+/// A history is only meaningful together with the [`ParseCtx`] it was
+/// recorded into and the tables it was recorded against; resuming with a
+/// mismatched context or table state is a logic error (serving layers
+/// guard this with their epoch tags and fall back to a full parse).
+#[derive(Clone, Debug, Default)]
+pub struct ParseHistory {
+    checkpoints: Vec<Checkpoint>,
+    /// Flat pool of frontier snapshots: `(state, node, saved edge-list
+    /// head)` in the frontier's insertion order, which the rollback
+    /// replays so the resumed run visits nodes in the same order a cold
+    /// parse would.
+    frontier: Vec<(StateId, u32, u32)>,
+    /// The position of the last recorded checkpoint: the token count when
+    /// the run parsed to the end-marker, or the position where every
+    /// parallel parser died.
+    end_pos: usize,
+}
+
+impl ParseHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the history while keeping pool capacity.
+    pub fn clear(&mut self) {
+        self.checkpoints.clear();
+        self.frontier.clear();
+        self.end_pos = 0;
+    }
+
+    /// The furthest token position this history can resume from: the
+    /// position of the last recorded checkpoint (see
+    /// [`GssParser::parse_resumed`], which clamps the damage position to
+    /// this).
+    pub fn end_pos(&self) -> usize {
+        self.end_pos
+    }
+
+    /// Records the checkpoint for token position `pos` (loop top: pending
+    /// reductions empty, frontier = `entries`).
+    fn record(&mut self, pos: usize, nodes: &[GssNode], edges_len: usize, forest: &Forest, entries: &[(StateId, u32)]) {
+        debug_assert_eq!(self.checkpoints.len(), pos, "one checkpoint per position");
+        let frontier_start = self.frontier.len() as u32;
+        for &(state, node) in entries {
+            self.frontier.push((state, node, nodes[node as usize].first_edge));
+        }
+        self.checkpoints.push(Checkpoint {
+            nodes: nodes.len() as u32,
+            edges: edges_len as u32,
+            forest_nodes: forest.num_nodes() as u32,
+            forest_derivations: forest.num_derivations() as u32,
+            forest_children: forest.num_children() as u32,
+            frontier_start,
+            frontier_len: entries.len() as u32,
+        });
+        self.end_pos = pos;
+    }
+}
+
 /// All per-parse scratch of the GSS driver, reusable across parses.
 ///
 /// A context is plain owned memory — it is not tied to a grammar, a table
@@ -253,6 +351,63 @@ impl ParseCtx {
     pub fn take_forest(&mut self) -> Forest {
         std::mem::take(&mut self.forest)
     }
+
+    /// Rolls this context back to the state `history` recorded at token
+    /// position `pos`, and truncates the history so the resumed run
+    /// re-records from there. After this the context is bit-identical to a
+    /// cold parse of the same token prefix paused at the top of the loop
+    /// for position `pos`.
+    fn restore(&mut self, history: &mut ParseHistory, pos: usize) {
+        let cp = history.checkpoints[pos];
+        let fr_start = cp.frontier_start as usize;
+        let fr_end = fr_start + cp.frontier_len as usize;
+
+        // Un-see every edge added after the checkpoint. Each such edge
+        // hangs off either a node created after the checkpoint (its whole
+        // chain is post-checkpoint) or a checkpoint-frontier node (the
+        // chain prefix above the saved head is post-checkpoint) — only
+        // frontier nodes can gain edges while they are current.
+        for &(_, node, saved_head) in &history.frontier[fr_start..fr_end] {
+            let mut e = self.nodes[node as usize].first_edge;
+            while e != saved_head {
+                let edge = self.edges[e as usize];
+                self.seen_edges.remove(&(node, edge.target, label_key(edge.label)));
+                e = edge.next;
+            }
+            self.nodes[node as usize].first_edge = saved_head;
+        }
+        for idx in cp.nodes as usize..self.nodes.len() {
+            let mut e = self.nodes[idx].first_edge;
+            while e != NO_EDGE {
+                let edge = self.edges[e as usize];
+                self.seen_edges.remove(&(idx as u32, edge.target, label_key(edge.label)));
+                e = edge.next;
+            }
+        }
+        self.nodes.truncate(cp.nodes as usize);
+        self.edges.truncate(cp.edges as usize);
+        self.forest.truncate(
+            cp.forest_nodes as usize,
+            cp.forest_derivations as usize,
+            cp.forest_children as usize,
+        );
+
+        // Rebuild the dense frontier for `pos` in recorded insertion
+        // order; everything else at loop top is empty.
+        self.cur.clear();
+        self.nxt.clear();
+        self.pending.clear();
+        self.accepting.clear();
+        for &(state, node, _) in &history.frontier[fr_start..fr_end] {
+            self.cur.insert(state, node);
+        }
+
+        // Drop the checkpoints at and beyond `pos`; the resumed run
+        // re-records them (identically for `pos` itself).
+        history.checkpoints.truncate(pos);
+        history.frontier.truncate(fr_start);
+        history.end_pos = pos;
+    }
 }
 
 // Contexts hop between pool slots and worker threads.
@@ -301,7 +456,7 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> ParseOutcome {
-        match self.run(ctx, tables, SliceTokens::new(tokens), true) {
+        match self.run(ctx, tables, SliceTokens::new(tokens), true, None, 0) {
             Ok(outcome) => outcome,
             Err(infallible) => match infallible {},
         }
@@ -314,10 +469,60 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> ParseOutcome {
-        match self.run(ctx, tables, SliceTokens::new(tokens), false) {
+        match self.run(ctx, tables, SliceTokens::new(tokens), false, None, 0) {
             Ok(outcome) => outcome,
             Err(infallible) => match infallible {},
         }
+    }
+
+    /// Parses `tokens` like [`GssParser::parse_into`] while recording a
+    /// per-token [`ParseHistory`] (cleared first) into `history`, so a
+    /// later edit to the token sequence can be re-parsed incrementally via
+    /// [`GssParser::parse_resumed`].
+    pub fn parse_recorded(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+        history: &mut ParseHistory,
+    ) -> ParseOutcome {
+        history.clear();
+        match self.run(ctx, tables, SliceTokens::new(tokens), true, Some(history), 0) {
+            Ok(outcome) => outcome,
+            Err(infallible) => match infallible {},
+        }
+    }
+
+    /// Re-parses an edited token sequence by rolling `ctx` back to the
+    /// recorded checkpoint at `damage` (clamped to the history's reach and
+    /// the new length) and running the ordinary driver loop from there.
+    ///
+    /// Requirements: `ctx` and `history` hold the previous
+    /// [`GssParser::parse_recorded`]/resumed run, `tables` is the same
+    /// table state it ran against, and `tokens[..damage]` equals the
+    /// previous sequence's prefix of that length. The result is then
+    /// bit-identical to a cold [`GssParser::parse_recorded`] of `tokens`
+    /// (and leaves `ctx`/`history` ready for the next resume).
+    ///
+    /// Returns the outcome and the position actually resumed from; the
+    /// outcome's [`GssStats`] count only the re-run portion, which is how
+    /// serving layers measure incremental savings (`states_rerun`).
+    pub fn parse_resumed(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+        history: &mut ParseHistory,
+        damage: usize,
+    ) -> (ParseOutcome, usize) {
+        let resume = damage.min(history.end_pos()).min(tokens.len());
+        ctx.restore(history, resume);
+        let source = SliceTokens::new(&tokens[resume..]);
+        let outcome = match self.run(ctx, tables, source, true, Some(history), resume) {
+            Ok(outcome) => outcome,
+            Err(infallible) => match infallible {},
+        };
+        (outcome, resume)
     }
 
     /// Parses the sentence previously placed in [`ParseCtx::tokens`] —
@@ -342,7 +547,7 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         source: S,
     ) -> Result<ParseOutcome, S::Error> {
-        self.run(ctx, tables, source, true)
+        self.run(ctx, tables, source, true, None, 0)
     }
 
     /// Recognises a streamed token source (no forest construction).
@@ -352,17 +557,26 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         source: S,
     ) -> Result<ParseOutcome, S::Error> {
-        self.run(ctx, tables, source, false)
+        self.run(ctx, tables, source, false, None, 0)
     }
 
+    /// The driver loop. `record` enables checkpoint recording; `resume_at`
+    /// is the token position the context is positioned at (0 = fresh run,
+    /// which resets the context; otherwise [`ParseCtx::restore`] has
+    /// already rolled it back and `source` yields the tokens from
+    /// `resume_at` on).
     fn run<S: TokenSource>(
         &self,
         ctx: &mut ParseCtx,
         tables: &dyn ParserTables,
         mut source: S,
         build_forest: bool,
+        mut record: Option<&mut ParseHistory>,
+        resume_at: usize,
     ) -> Result<ParseOutcome, S::Error> {
-        ctx.reset();
+        if resume_at == 0 {
+            ctx.reset();
+        }
         let eof = self.grammar.eof_symbol();
         let mut stats = GssStats::default();
         let mut accepted = false;
@@ -383,11 +597,20 @@ impl<'g> GssParser<'g> {
             tokens: _,
         } = ctx;
 
-        let start_node = push_node(nodes, &mut stats, tables.start_state(), 0);
-        cur.insert(tables.start_state(), start_node);
+        if resume_at == 0 {
+            let start_node = push_node(nodes, &mut stats, tables.start_state(), 0);
+            cur.insert(tables.start_state(), start_node);
+        }
+        // The start node is always node 0 (the first ever pushed), also
+        // across resumed runs (a rollback never drops it).
+        let start_node = 0u32;
+        debug_assert!(!nodes.is_empty() && !cur.is_empty());
 
-        let mut pos = 0usize;
+        let mut pos = resume_at;
         loop {
+            if let Some(history) = record.as_deref_mut() {
+                history.record(pos, nodes, edges.len(), forest, &cur.entries);
+            }
             let symbol = match source.next_token()? {
                 Some(symbol) => symbol,
                 None => eof,
@@ -909,6 +1132,122 @@ mod tests {
         assert!(outcome.accepted);
         // The buffer survives the parse (reset leaves it alone).
         assert_eq!(ctx.tokens.len(), 3);
+    }
+
+    /// Digest of a parse for exact-equality comparison: acceptance, roots,
+    /// tree count and the first tree's shape.
+    fn digest(g: &Grammar, accepted: bool, forest: &Forest) -> (bool, usize, usize, Option<String>) {
+        (
+            accepted,
+            forest.roots().len(),
+            forest.tree_count(64),
+            forest.first_tree().map(|t| t.to_sexpr(g)),
+        )
+    }
+
+    /// For every prefix-damage position, edit `base` into `edited` via a
+    /// resumed parse and check it matches a cold parse of `edited` exactly.
+    fn check_resume(g: &Grammar, base: &str, edited: &str) {
+        let table = lr0_table(g);
+        let parser = GssParser::new(g);
+        let base_tokens = tokenize_names(g, base).unwrap();
+        let edited_tokens = tokenize_names(g, edited).unwrap();
+        let common = base_tokens
+            .iter()
+            .zip(&edited_tokens)
+            .take_while(|(a, b)| a == b)
+            .count();
+        let mut cold_ctx = ParseCtx::new();
+        let mut cold_history = ParseHistory::new();
+        let cold = parser.parse_recorded(&mut cold_ctx, &table, &edited_tokens, &mut cold_history);
+        let want = digest(g, cold.accepted, cold_ctx.forest());
+        for damage in 0..=common {
+            let mut ctx = ParseCtx::new();
+            let mut history = ParseHistory::new();
+            parser.parse_recorded(&mut ctx, &table, &base_tokens, &mut history);
+            let (outcome, resumed) =
+                parser.parse_resumed(&mut ctx, &table, &edited_tokens, &mut history, damage);
+            assert!(resumed <= damage);
+            assert_eq!(
+                digest(g, outcome.accepted, ctx.forest()),
+                want,
+                "`{base}` -> `{edited}` resumed at {resumed} (damage {damage})"
+            );
+            // The rolled-forward history must itself support further
+            // resumes: replay the same edit once more at the same damage.
+            let (again, _) =
+                parser.parse_resumed(&mut ctx, &table, &edited_tokens, &mut history, damage);
+            assert_eq!(digest(g, again.accepted, ctx.forest()), want, "second resume");
+        }
+    }
+
+    #[test]
+    fn resumed_parse_matches_cold_parse() {
+        let g = fixtures::booleans();
+        for (base, edited) in [
+            ("true or false", "true or true"),
+            ("true or false", "true or false and true"),
+            ("true and false or true", "true and true"),
+            ("true", "true or true or true"),
+            ("true or true or true", "true"),
+            ("true or", "true or false"),
+            ("true or false", "true true"),
+            ("", "true"),
+            ("true", ""),
+        ] {
+            check_resume(&g, base, edited);
+        }
+    }
+
+    #[test]
+    fn resumed_parse_matches_cold_parse_ambiguous() {
+        let g = fixtures::ambiguous_expressions();
+        for (base, edited) in [
+            ("id + id * id", "id + id + id"),
+            ("id + id", "id + id * id + id"),
+            ("id + id * id + id", "id + id * id"),
+            ("id +", "id + id"),
+        ] {
+            check_resume(&g, base, edited);
+        }
+    }
+
+    #[test]
+    fn resumed_parse_matches_cold_parse_epsilon_rules() {
+        let g = fixtures::palindromes();
+        for (base, edited) in [
+            ("a b a", "a b b a"),
+            ("a b b a", "a b a"),
+            ("", "a"),
+            ("a", "a b"),
+            ("a b", "a b a"),
+        ] {
+            check_resume(&g, base, edited);
+        }
+    }
+
+    #[test]
+    fn resume_after_append_to_accepted_input() {
+        // Damage position == old token count: the whole old parse is
+        // retained and only the appended tokens run.
+        let g = fixtures::booleans();
+        let table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let base = tokenize_names(&g, "true or false").unwrap();
+        let edited = tokenize_names(&g, "true or false and true").unwrap();
+        let mut ctx = ParseCtx::new();
+        let mut history = ParseHistory::new();
+        parser.parse_recorded(&mut ctx, &table, &base, &mut history);
+        assert_eq!(history.end_pos(), base.len());
+        let (outcome, resumed) =
+            parser.parse_resumed(&mut ctx, &table, &edited, &mut history, base.len());
+        assert_eq!(resumed, base.len());
+        assert!(outcome.accepted);
+        let cold = parser.parse(&table, &edited);
+        assert_eq!(
+            ctx.forest().first_tree().map(|t| t.to_sexpr(&g)),
+            cold.forest.first_tree().map(|t| t.to_sexpr(&g))
+        );
     }
 
     #[test]

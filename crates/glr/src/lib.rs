@@ -40,6 +40,6 @@ pub mod pool;
 pub mod source;
 
 pub use forest::{Derivation, Derivations, Forest, ForestNode, ForestRef, NodeId};
-pub use gss::{GssParseResult, GssParser, GssStats, ParseCtx, ParseOutcome};
+pub use gss::{GssParseResult, GssParser, GssStats, ParseCtx, ParseHistory, ParseOutcome};
 pub use pool::{PoolCtx, PoolError, PoolGlrParser, PoolStats};
 pub use source::{SliceTokens, TokenSource};

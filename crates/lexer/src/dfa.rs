@@ -571,6 +571,21 @@ impl LazyDfa {
         input: &[char],
         start: usize,
     ) -> Option<(usize, TokenId)> {
+        self.longest_match_pinned_examined(pin, input, start).0
+    }
+
+    /// [`LazyDfa::longest_match_pinned`] plus the *examined extent*: the
+    /// second component is one past the last character index the DFA read
+    /// while deciding this match — `input.len() + 1` when the match was
+    /// terminated by running out of input (an end-sensitive match: text
+    /// appended at the end can change it). Incremental re-lexing uses the
+    /// extent to decide which earlier matches an edit can influence.
+    pub fn longest_match_pinned_examined(
+        &self,
+        pin: &mut Arc<DfaSnapshot>,
+        input: &[char],
+        start: usize,
+    ) -> (Option<(usize, TokenId)>, usize) {
         let dense_enabled = !self.dense_disabled.load(Ordering::Relaxed);
         let mut state = 0usize;
         let mut hits = 0usize;
@@ -646,7 +661,11 @@ impl LazyDfa {
         if skip_bytes > 0 {
             self.skip_loop_bytes.fetch_add(skip_bytes, Ordering::Relaxed);
         }
-        best
+        // At loop exit `len` indexes the character that killed the scan
+        // (dead transition) or equals the remaining input length (ran out
+        // of text), so `start + len + 1` uniformly covers everything read —
+        // including the virtual end-of-input position.
+        (best, start + len + 1)
     }
 
     /// The longest prefix of `input` starting at `start` that matches a

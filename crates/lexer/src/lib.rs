@@ -33,10 +33,12 @@ pub mod charclass;
 pub mod dfa;
 pub mod nfa;
 pub mod regex;
+pub mod relex;
 pub mod scanner;
 
 pub use charclass::CharClass;
 pub use dfa::{DfaSnapshot, DfaStats, LazyDfa};
 pub use nfa::{Nfa, TokenId};
 pub use regex::Regex;
+pub use relex::{char_edit, CharEdit, MatchRec, RelexOutcome};
 pub use scanner::{simple_scanner, RawMatch, ScanError, Scanner, Token, TokenDef, TokenStream};

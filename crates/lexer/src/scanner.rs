@@ -312,6 +312,12 @@ impl Scanner {
         self.slots.len()
     }
 
+    /// The underlying lazy DFA (crate-internal: the incremental re-lexer
+    /// in [`crate::relex`] drives it with its own pinned snapshot).
+    pub(crate) fn dfa(&self) -> &LazyDfa {
+        &self.dfa
+    }
+
     /// Scans `input` and maps each token to the grammar terminal with the
     /// same name — the form the parsers consume. The paper's measurements
     /// feed the parsers exactly such pre-scanned in-memory token streams.
