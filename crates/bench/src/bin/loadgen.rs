@@ -2,12 +2,20 @@
 //!
 //! ```text
 //! ipg-loadgen [--addr HOST:PORT] [--conns N] [--phase-secs S]
-//!             [--workers N] [--queue-depth N] [--seed N] [--out FILE]
+//!             [--workers N] [--queue-depth N] [--tenants N]
+//!             [--seed N] [--out FILE]
 //! ```
 //!
 //! Without `--addr`, spawns an in-process [`ipg_frontend::Frontend`] over
 //! the Fig. 7 SDF workload; with it, drives an externally launched
 //! `ipg-frontend` (which must serve the default `sdf` grammar).
+//!
+//! `--tenants N` (N > 1) turns on multi-tenant mode: N−1 dialect tenants
+//! are attached over the wire (`ATTACH-TENANT`, forked copy-on-write from
+//! the `default` tenant) and every open-loop request addresses a tenant
+//! drawn from a Zipf(1) distribution over all N — the skewed-popularity
+//! shape real multi-tenant fleets see. The capacity phases stay on the
+//! default tenant so the calibration is comparable across modes.
 //!
 //! Measurement protocol:
 //!
@@ -33,8 +41,9 @@
 //!
 //! * every sent request got exactly one reply (no silent drops, no hangs),
 //! * shed rate at 1× offered load is ~0 (≤ 5%),
-//! * p99 of *served* requests at 4× offered load is ≤ 3× the 0.8× p99
-//!   (plateau, not collapse), and
+//! * p99 of *served* requests at 4× offered load is ≤ 2.5× the 0.8× p99
+//!   on hosts with ≥ 4 cores (3× on smaller hosts, where client and
+//!   server fight for the same cores) — plateau, not collapse — and
 //! * p99 at 0.8× load is under a generous absolute bound (150 ms).
 
 use std::collections::HashMap;
@@ -71,6 +80,44 @@ fn exp_gap(state: &mut u64, rate: f64) -> f64 {
     // Uniform in (0, 1]: the +1 keeps ln() finite.
     let u = ((xorshift(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
     -u.ln() / rate
+}
+
+/// The tenant-addressing side of multi-tenant mode: wire tenant ids plus
+/// a Zipf(1) CDF over them (rank r gets weight 1/r — a few hot tenants,
+/// a long cold tail).
+struct ZipfTenants {
+    ids: Vec<u32>,
+    cdf: Vec<f64>,
+}
+
+impl ZipfTenants {
+    /// Single-tenant mode: everything addresses the default tenant.
+    fn single() -> ZipfTenants {
+        ZipfTenants::over(vec![0])
+    }
+
+    fn over(ids: Vec<u32>) -> ZipfTenants {
+        let weights: Vec<f64> = (0..ids.len()).map(|r| 1.0 / (r + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfTenants { ids, cdf }
+    }
+
+    fn sample(&self, state: &mut u64) -> u32 {
+        if self.ids.len() == 1 {
+            return self.ids[0];
+        }
+        let u = (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = self.cdf.partition_point(|&c| c <= u).min(self.ids.len() - 1);
+        self.ids[rank]
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -165,6 +212,7 @@ fn open_loop_connection(
     deadline_us: u32,
     payload: &'static str,
     seed: u64,
+    tenants: &ZipfTenants,
 ) -> Tally {
     let stream = TcpStream::connect(addr).expect("connect for open-loop phase");
     stream.set_nodelay(true).expect("nodelay");
@@ -271,6 +319,7 @@ fn open_loop_connection(
         };
         sent += 1;
         let id = sent;
+        let tenant = tenants.sample(&mut rng);
         pending.lock().unwrap().insert(id, sent_at);
         if write_request(
             &mut write_half,
@@ -278,6 +327,7 @@ fn open_loop_connection(
             id,
             Verb::ParseText,
             deadline_us,
+            tenant,
             payload.as_bytes(),
         )
         .is_err()
@@ -298,6 +348,7 @@ fn open_loop_connection(
 
 /// One open-loop Poisson sweep at `rate` requests/second across `conns`
 /// connections (independent Poisson streams superpose to Poisson).
+#[allow(clippy::too_many_arguments)]
 fn open_loop_phase(
     addr: &str,
     conns: usize,
@@ -306,6 +357,7 @@ fn open_loop_phase(
     deadline_us: u32,
     payload: &'static str,
     seed: u64,
+    tenants: &ZipfTenants,
 ) -> Tally {
     let per_conn = rate / conns as f64;
     thread::scope(|scope| {
@@ -315,7 +367,9 @@ fn open_loop_phase(
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(i as u64 + 1);
                 scope.spawn(move || {
-                    open_loop_connection(addr, per_conn, secs, deadline_us, payload, conn_seed)
+                    open_loop_connection(
+                        addr, per_conn, secs, deadline_us, payload, conn_seed, tenants,
+                    )
                 })
             })
             .collect();
@@ -377,6 +431,7 @@ struct Options {
     phase_secs: f64,
     workers: usize,
     queue_depth: usize,
+    tenants: usize,
     seed: u64,
     out: String,
 }
@@ -388,6 +443,7 @@ fn parse_args() -> Result<Options, String> {
         phase_secs: 3.0,
         workers: 0,
         queue_depth: 256,
+        tenants: 1,
         seed: 42,
         out: "BENCH_frontend.json".to_owned(),
     };
@@ -416,6 +472,11 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--queue-depth expects a number".to_owned())?;
             }
+            "--tenants" => {
+                options.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|_| "--tenants expects a number".to_owned())?;
+            }
             "--seed" => {
                 options.seed = value("--seed")?
                     .parse()
@@ -428,7 +489,39 @@ fn parse_args() -> Result<Options, String> {
     if options.conns == 0 {
         return Err("--conns must be at least 1".to_owned());
     }
+    if options.tenants == 0 {
+        return Err("--tenants must be at least 1".to_owned());
+    }
     Ok(options)
+}
+
+/// Multi-tenant mode's attach phase: `ATTACH-TENANT` N−1 dialect forks of
+/// the `default` tenant. Each delta adds one fresh, unreachable sort, so
+/// the fork shares the base's entire warm working set copy-on-write — the
+/// registry's deduped accounting keeps the marginal tenant nearly free.
+fn attach_zipf_tenants(addr: &str, tenants: usize) -> Vec<u32> {
+    let mut ids = vec![0u32];
+    let mut client = Client::connect(addr).expect("connect for attach phase");
+    for i in 1..tenants {
+        let response = client
+            .attach_tenant(
+                &format!("zipf-{i}"),
+                "default",
+                &format!("ZIPFDIALECT{i} ::= \"zipf{i}\""),
+            )
+            .expect("attach-tenant request");
+        match Client::attach_tenant_outcome(&response) {
+            Some(id) => ids.push(id),
+            None => {
+                eprintln!(
+                    "attach zipf-{i} failed: {}",
+                    String::from_utf8_lossy(&response.payload)
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    ids
 }
 
 fn main() {
@@ -471,11 +564,21 @@ fn main() {
 
     let cores = thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "target: {addr} ({}), payload: exp.sdf, conns: {}, phase: {:.1}s, host: {cores} core(s)",
+        "target: {addr} ({}), payload: exp.sdf, conns: {}, phase: {:.1}s, tenants: {}, \
+         host: {cores} core(s)",
         if in_process { "in-process" } else { "external" },
         options.conns,
         options.phase_secs,
+        options.tenants,
     );
+
+    // Multi-tenant mode: attach the dialect tenants up front, then spread
+    // the open-loop phases over them Zipf(1)-style.
+    let tenants = if options.tenants > 1 {
+        ZipfTenants::over(attach_zipf_tenants(&addr, options.tenants))
+    } else {
+        ZipfTenants::single()
+    };
 
     // Phase 1: capacity. The closed-loop estimate sets the saturating
     // rate; the served rate of an open-loop run *at* that rate is the
@@ -492,6 +595,7 @@ fn main() {
         0,
         payload,
         options.seed ^ 0x00C0_FFEE,
+        &ZipfTenants::single(),
     );
     let capacity =
         (calibration.ok + calibration.error) as f64 / options.phase_secs;
@@ -518,6 +622,7 @@ fn main() {
             deadline_us,
             payload,
             options.seed.wrapping_add(i as u64 * 1_000_003),
+            &tenants,
         );
         let (_, p99, _) = tally.latency_ok.percentiles_us();
         println!(
@@ -559,13 +664,16 @@ fn main() {
         + results.iter().map(|(_, _, _, t)| t.unanswered).sum::<u64>();
     let p99_ratio = p99_4x as f64 / p99_08.max(1) as f64;
 
+    let ratio_gate = if cores >= 4 { 2.5 } else { 3.0 };
+
     let mut json = format!(
         "{{\n  \"benchmark\": \"frontend\",\n  \"workload\": \"sdf-exp\",\n  \
          \"mode\": \"{}\",\n  \"host_cores\": {cores},\n  \"conns\": {},\n  \
-         \"phase_secs\": {},\n  \"closed_loop_rps\": {closed_rps:.1},\n  \
+         \"tenants\": {},\n  \"phase_secs\": {},\n  \"closed_loop_rps\": {closed_rps:.1},\n  \
          \"capacity_rps\": {capacity:.1},\n  \"phases\": [\n",
         if in_process { "in-process" } else { "external" },
         options.conns,
+        options.tenants,
         options.phase_secs,
     );
     for (i, (multiplier, rate, deadline_us, tally)) in results.iter().enumerate() {
@@ -574,7 +682,8 @@ fn main() {
     }
     json.push_str(&format!(
         "  ],\n  \"p99_served_us_0_8x\": {p99_08},\n  \"p99_served_us_4x\": {p99_4x},\n  \
-         \"p99_ratio_4x_vs_0_8x\": {p99_ratio:.3},\n  \"shed_rate_1x\": {shed_rate_1x:.4},\n  \
+         \"p99_ratio_4x_vs_0_8x\": {p99_ratio:.3},\n  \"p99_ratio_gate\": {ratio_gate},\n  \
+         \"shed_rate_1x\": {shed_rate_1x:.4},\n  \
          \"unanswered_total\": {unanswered_total},\n  \"server_stats\": {server_stats_json}\n}}\n",
     ));
     std::fs::write(&options.out, &json).expect("write BENCH_frontend.json");
@@ -593,10 +702,14 @@ fn main() {
         );
         failed = true;
     }
-    if p99_4x > 3 * p99_08.max(1) {
+    // The plateau gate: 2.5x on hosts with >= 4 cores; 3x on smaller
+    // hosts, where the load generator and the server contend for the same
+    // cores and the ratio is noisier.
+    if p99_ratio > ratio_gate {
         eprintln!(
-            "FAIL: served p99 at 4x overload ({p99_4x}us) exceeds 3x the 0.8x p99 ({p99_08}us): \
-             latency collapses instead of plateauing"
+            "FAIL: served p99 at 4x overload ({p99_4x}us) is {p99_ratio:.2}x the 0.8x p99 \
+             ({p99_08}us), gate {ratio_gate}x ({cores} core host): latency collapses instead \
+             of plateauing"
         );
         failed = true;
     }
@@ -608,8 +721,8 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "gates: all passed (p99 {p99_08}us @0.8x -> {p99_4x}us @4x, ratio {p99_ratio:.2}, \
-         shed@1x {:.1}%, unanswered 0)",
+        "gates: all passed (p99 {p99_08}us @0.8x -> {p99_4x}us @4x, ratio {p99_ratio:.2} <= \
+         {ratio_gate}, shed@1x {:.1}%, unanswered 0)",
         shed_rate_1x * 100.0
     );
 }

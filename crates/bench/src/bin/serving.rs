@@ -564,6 +564,12 @@ fn main() {
         warm_stats.warm_threads_used,
         warm_stats.warm_batches_published,
     );
+    println!(
+        "residency (warm probe server, modeled): resident {} KiB, high-water {} KiB \
+         (graph chunks + published snapshot + rule arena + scanner DFA)",
+        scanner_counters.resident_bytes / 1024,
+        scanner_counters.resident_high_water / 1024,
+    );
 
     let speedup = |scenario: &str, threads: usize| -> f64 {
         let of = |t: usize| {
@@ -666,11 +672,14 @@ fn main() {
          \"scanner_dense_speedup\": {scanner_dense_speedup:.3},\n  \
          \"cold_start_1_thread_s\": {:.3},\n  \
          \"cold_start_speedup_4_threads\": {cold_start_speedup_4:.3},\n  \
+         \"resident_bytes\": {},\n  \"resident_high_water\": {},\n  \
          \"modify_concurrent_idle_mean_us\": {:.2},\n  \"modify_concurrent_loaded_mean_us\": {:.2}\n}}\n",
         warm4,
         speedup("warm", 8),
         fused.allocs_per_request,
         cold_start_s(1),
+        scanner_counters.resident_bytes,
+        scanner_counters.resident_high_water,
         idle_mean,
         loaded_mean,
     );

@@ -140,6 +140,7 @@ const PARALLEL_EXPAND_MIN_BATCH: usize = 8;
 /// warm can run it on worker threads against disjoint chunks.
 fn build_rows_in_chunk(chunk: &mut NodeChunk, num_symbols: usize, version: u64) -> usize {
     let mut built = 0;
+    let mut added = 0;
     for node in chunk.nodes.iter_mut() {
         if !(node.alive && node.kind == ItemSetKind::Complete) || node.row.is_some() {
             continue;
@@ -148,9 +149,11 @@ fn build_rows_in_chunk(chunk: &mut NodeChunk, num_symbols: usize, version: u64) 
         for (&symbol, &target) in &node.transitions {
             targets[symbol.index()] = target.0 + 1;
         }
+        added += std::mem::size_of::<ActionRow>() + targets.len() * 4;
         node.row = Some(ActionRow { version, targets });
         built += 1;
     }
+    chunk.bytes += added;
     built
 }
 
@@ -367,6 +370,9 @@ type SnapChunk = Vec<Option<Arc<PublishedState>>>;
 #[derive(Debug, Default)]
 pub(crate) struct TableSnapshot {
     chunks: Vec<Arc<SnapChunk>>,
+    /// Cached modeled bytes of every published entry, maintained at each
+    /// publish/retract/rebuild (see the byte-accounting section below).
+    bytes: usize,
 }
 
 impl TableSnapshot {
@@ -449,6 +455,60 @@ fn slot_of(id: StateId) -> usize {
     (id.0 as usize) & (CHUNK_SIZE - 1)
 }
 
+// ----------------------------------------------------------------------
+// Byte accounting (the residency model)
+//
+// Every storage chunk and the published snapshot carry a cached byte
+// count so a registry can enforce a global budget without walking nodes.
+// The model is *self-consistent*, not allocator-exact: collection
+// overheads are folded into per-entry constants, and `Vec` spare
+// capacity is ignored. What the accounting guarantees — and what the
+// exactness test holds it to — is that the incrementally maintained
+// counters equal a fresh walk of the same model over the live
+// structures, after any sequence of EXPAND / MODIFY / GC / publication.
+// ----------------------------------------------------------------------
+
+/// Modeled bytes of one `BTreeSet<Item>` entry: the item plus amortized
+/// tree-node overhead.
+const ITEM_ENTRY_BYTES: usize = std::mem::size_of::<Item>() + 16;
+/// Modeled bytes of one `BTreeMap<SymbolId, StateId>` entry.
+const MAP_ENTRY_BYTES: usize = std::mem::size_of::<(SymbolId, StateId)>() + 16;
+/// Modeled bytes of an `Arc` allocation header (strong + weak counts).
+const ARC_HEADER_BYTES: usize = 16;
+
+/// Modeled resident bytes of one node: its inline slot plus every heap
+/// allocation hanging off it. O(1) — only lengths are consulted.
+fn node_heap_bytes(node: &ItemSetNode) -> usize {
+    std::mem::size_of::<ItemSetNode>()
+        + node.kernel.len() * ITEM_ENTRY_BYTES
+        + node.closure.len() * ITEM_ENTRY_BYTES
+        + node.transitions.len() * MAP_ENTRY_BYTES
+        + node.reductions.len() * std::mem::size_of::<RuleId>()
+        + node
+            .row
+            .as_ref()
+            .map_or(0, |row| std::mem::size_of::<ActionRow>() + row.targets.len() * 4)
+}
+
+/// Fresh (non-cached) walk of one chunk's modeled bytes — the oracle the
+/// incrementally maintained `NodeChunk::bytes` is tested against.
+fn chunk_bytes_of(chunk: &NodeChunk) -> usize {
+    chunk.nodes.iter().map(node_heap_bytes).sum()
+}
+
+/// Modeled resident bytes of one published entry (its `Arc` allocation).
+fn published_state_bytes(entry: &PublishedState) -> usize {
+    ARC_HEADER_BYTES
+        + std::mem::size_of::<PublishedState>()
+        + entry.row.targets.len() * 4
+        + entry.reductions.len() * std::mem::size_of::<RuleId>()
+}
+
+/// Fresh walk of one snapshot chunk's modeled bytes.
+fn snap_chunk_bytes(chunk: &SnapChunk) -> usize {
+    chunk.iter().flatten().map(|e| published_state_bytes(e)).sum()
+}
+
 /// One `Arc`-shared storage chunk: up to [`CHUNK_SIZE`] consecutive nodes
 /// plus a conservative summary of their outgoing transition symbols.
 #[derive(Clone, Debug, Default)]
@@ -461,6 +521,10 @@ struct NodeChunk {
     /// on write, so stale entries only cost a false-positive scan of one
     /// chunk, never a missed invalidation.
     out_symbols: Vec<u32>,
+    /// Cached modeled bytes of this chunk's nodes (see the byte-accounting
+    /// section above). Maintained incrementally at every node mutation, so
+    /// residency queries are O(#chunks), never O(#nodes).
+    bytes: usize,
 }
 
 impl NodeChunk {
@@ -726,13 +790,27 @@ impl ItemSetGraph {
         self.inner.lock().unwrap().grammar_version
     }
 
-    /// A snapshot of the work counters.
+    /// A snapshot of the work counters. `resident_bytes` is sampled live
+    /// from the chunk accounting (a gauge, not a counter).
     pub fn stats(&self) -> GenStats {
         let mut stats = self.inner.lock().unwrap().stats;
         stats.action_calls += self.action_calls.load(Ordering::Relaxed);
         stats.goto_calls += self.goto_calls.load(Ordering::Relaxed);
         stats.chunks_cowed += self.chunks_cowed.load(Ordering::Relaxed);
+        stats.resident_bytes = self.resident_bytes();
+        stats.resident_high_water = stats.resident_high_water.max(stats.resident_bytes);
         stats
+    }
+
+    /// Folds externally accumulated counters (typically the stats of a
+    /// previous epoch's graph that this graph replaces) into this graph's
+    /// counters, so eviction and re-lazification do not reset the
+    /// observable work history of a tenant.
+    pub(crate) fn adopt_stats(&self, carried: GenStats) {
+        let mut inner = self.inner.lock().unwrap();
+        let mut stats = carried;
+        stats.merge(&inner.stats);
+        inner.stats = stats;
     }
 
     /// A snapshot of a node, or an error for ids that were never handed out
@@ -844,11 +922,16 @@ impl ItemSetGraph {
     }
 
     /// Runs `f` on an exclusive borrow of the node (copy-on-write at chunk
-    /// granularity).
+    /// granularity). The chunk's cached byte count is adjusted by whatever
+    /// size change `f` causes, keeping the residency accounting exact.
     fn with_node_mut<R>(&self, id: StateId, f: impl FnOnce(&mut ItemSetNode) -> R) -> R {
         let mut store = self.store.write().unwrap();
         let chunk = self.chunk_mut(&mut store, chunk_of(id));
-        f(&mut chunk.nodes[slot_of(id)])
+        let slot = slot_of(id);
+        let before = node_heap_bytes(&chunk.nodes[slot]);
+        let result = f(&mut chunk.nodes[slot]);
+        chunk.bytes = chunk.bytes - before + node_heap_bytes(&chunk.nodes[slot]);
+        result
     }
 
     fn intern_kernel_locked(&self, inner: &mut GraphInner, kernel: ItemSet) -> StateId {
@@ -865,6 +948,7 @@ impl ItemSetGraph {
         let chunk = self.chunk_mut(&mut store, chunk_of(id));
         debug_assert_eq!(chunk.nodes.len(), slot_of(id));
         chunk.nodes.push(ItemSetNode::new(id, kernel));
+        chunk.bytes += node_heap_bytes(chunk.nodes.last().expect("just pushed"));
         inner.stats.nodes_created += 1;
         id
     }
@@ -1044,7 +1128,9 @@ impl ItemSetGraph {
         // Keep the chunk's MODIFY summary a superset of its live complete
         // nodes' transition symbols.
         chunk.merge_summary(transitions.keys().copied());
-        let node = &mut chunk.nodes[slot_of(id)];
+        let slot = slot_of(id);
+        let before = node_heap_bytes(&chunk.nodes[slot]);
+        let node = &mut chunk.nodes[slot];
         node.closure = computed.closed;
         node.transitions = transitions;
         node.reductions = computed.reductions;
@@ -1054,6 +1140,7 @@ impl ItemSetGraph {
         // Readers observe the kind change and the dropped row atomically:
         // both happen under the store's write lock.
         node.row = None;
+        chunk.bytes = chunk.bytes - before + node_heap_bytes(&chunk.nodes[slot]);
     }
 
     /// Builds the dense [`ActionRow`] of a complete node if it is missing.
@@ -1132,21 +1219,23 @@ impl ItemSetGraph {
         });
         let Some(entry) = entry else { return };
         let mut published = self.published.write().unwrap();
+        let bytes = published.bytes + published_state_bytes(&entry);
         let mut chunks = published.chunks.clone();
         while chunks.len() <= chunk_of(id) {
             chunks.push(Arc::new(vec![None; CHUNK_SIZE]));
         }
         Arc::make_mut(&mut chunks[chunk_of(id)])[slot_of(id)] = Some(entry);
-        *published = Arc::new(TableSnapshot { chunks });
+        *published = Arc::new(TableSnapshot { chunks, bytes });
     }
 
     /// Drops a state's published entry (after garbage collection).
     fn unpublish_entry(&self, id: StateId) {
         let mut published = self.published.write().unwrap();
-        if published.get(id).is_some() {
+        if let Some(entry) = published.get(id) {
+            let bytes = published.bytes - published_state_bytes(entry);
             let mut chunks = published.chunks.clone();
             Arc::make_mut(&mut chunks[chunk_of(id)])[slot_of(id)] = None;
-            *published = Arc::new(TableSnapshot { chunks });
+            *published = Arc::new(TableSnapshot { chunks, bytes });
         }
     }
 
@@ -1159,19 +1248,21 @@ impl ItemSetGraph {
             return;
         }
         let mut published = self.published.write().unwrap();
+        let mut bytes = published.bytes;
         let mut chunks = published.chunks.clone();
         let mut changed = false;
         for &id in ids {
             let Some(chunk) = chunks.get_mut(chunk_of(id)) else {
                 continue;
             };
-            if chunk[slot_of(id)].is_some() {
+            if let Some(entry) = &chunk[slot_of(id)] {
+                bytes -= published_state_bytes(entry);
                 Arc::make_mut(chunk)[slot_of(id)] = None;
                 changed = true;
             }
         }
         if changed {
-            *published = Arc::new(TableSnapshot { chunks });
+            *published = Arc::new(TableSnapshot { chunks, bytes });
         }
     }
 
@@ -1224,7 +1315,8 @@ impl ItemSetGraph {
                 .collect()
         };
         drop(store);
-        *self.published.write().unwrap() = Arc::new(TableSnapshot { chunks });
+        let bytes = chunks.iter().map(|chunk| snap_chunk_bytes(chunk)).sum();
+        *self.published.write().unwrap() = Arc::new(TableSnapshot { chunks, bytes });
     }
 
     /// The dense action row of a node, if one has been built and is valid.
@@ -1392,11 +1484,13 @@ impl ItemSetGraph {
                 }
                 let chunk = self.chunk_mut(&mut store, c);
                 for slot in hits {
+                    let before = node_heap_bytes(&chunk.nodes[slot]);
                     let node = &mut chunk.nodes[slot];
                     node.kind = invalidated_kind;
                     node.row = None;
                     invalidated.push(node.id);
                     inner.stats.invalidations += 1;
+                    chunk.bytes = chunk.bytes - before + node_heap_bytes(&chunk.nodes[slot]);
                 }
             }
         }
@@ -1485,15 +1579,19 @@ impl ItemSetGraph {
         let mut swept: Vec<(ItemSet, StateId)> = Vec::new();
         for c in 0..store.len() {
             let chunk = self.chunk_mut(&mut store, c);
+            let mut freed = 0;
             for node in &mut chunk.nodes {
                 if node.alive && !keep[node.id.index()] {
+                    let before = node_heap_bytes(node);
                     node.alive = false;
                     node.row = None;
                     inner.stats.nodes_swept += 1;
                     swept.push((std::mem::take(&mut node.kernel), node.id));
+                    freed += before - node_heap_bytes(node);
                 }
                 node.refcount = 0;
             }
+            chunk.bytes -= freed;
         }
         for (kernel, id) in swept {
             inner.kernel_index.remove_if(&kernel, id);
@@ -1770,6 +1868,60 @@ impl ItemSetGraph {
             .collect()
     }
 
+    /// The modeled resident bytes of this graph's derived parser state:
+    /// node chunks (kernels, closures, transitions, cached action rows)
+    /// plus the published table snapshot. Served from the incrementally
+    /// maintained per-chunk counters — O(#chunks), never O(#nodes).
+    ///
+    /// The sharded kernel index is deliberately excluded: its entries are
+    /// clones of node kernels, so it is bounded by (and proportional to)
+    /// the node bytes already counted, and it is not evictable derived
+    /// state — re-lazification rebuilds it from scratch anyway.
+    pub fn resident_bytes(&self) -> usize {
+        let store_bytes: usize = self.store.read().unwrap().iter().map(|c| c.bytes).sum();
+        store_bytes + self.published.read().unwrap().bytes
+    }
+
+    /// Recomputes [`ItemSetGraph::resident_bytes`] with a fresh walk over
+    /// every node and published entry, bypassing the cached per-chunk
+    /// counters. The accounting-exactness test holds the cached value to
+    /// this oracle after arbitrary EXPAND / MODIFY / GC histories.
+    pub fn recompute_resident_bytes(&self) -> usize {
+        let store_bytes: usize = self
+            .store
+            .read()
+            .unwrap()
+            .iter()
+            .map(|c| chunk_bytes_of(c))
+            .sum();
+        let published = self.published.read().unwrap();
+        let snap_bytes: usize = published.chunks.iter().map(|c| snap_chunk_bytes(c)).sum();
+        store_bytes + snap_bytes
+    }
+
+    /// `(storage address, modeled bytes)` of every resident chunk — node
+    /// chunks first, snapshot chunks after. Forks that structurally share
+    /// a chunk report the *same* address, so a registry can sum bytes
+    /// across tenants deduplicated by pointer identity (shared base chunks
+    /// are counted once, not per dialect).
+    pub fn chunk_accounting(&self) -> Vec<(usize, usize)> {
+        let mut rows: Vec<(usize, usize)> = self
+            .store
+            .read()
+            .unwrap()
+            .iter()
+            .map(|c| (Arc::as_ptr(c) as usize, c.bytes))
+            .collect();
+        let published = self.published.read().unwrap();
+        rows.extend(
+            published
+                .chunks
+                .iter()
+                .map(|c| (Arc::as_ptr(c) as usize, snap_chunk_bytes(c))),
+        );
+        rows
+    }
+
     /// Strong handles to every storage chunk, in chunk order. Tests and
     /// tools downgrade these to [`ChunkObserver`]s to verify that
     /// reclamation is chunk-granular: a retired epoch frees exactly the
@@ -1804,7 +1956,8 @@ impl ItemSetGraph {
             .iter()
             .map(|chunk| Arc::new((**chunk).clone()))
             .collect();
-        *published = Arc::new(TableSnapshot { chunks });
+        let bytes = published.bytes;
+        *published = Arc::new(TableSnapshot { chunks, bytes });
     }
 }
 #[cfg(test)]

@@ -91,6 +91,7 @@
 
 pub mod document;
 pub mod graph;
+pub mod registry;
 pub mod server;
 pub mod session;
 pub mod stats;
@@ -101,6 +102,7 @@ pub use graph::{
     ActionRow, ChunkHandle, ChunkObserver, GcPolicy, GraphError, ItemSetGraph, ItemSetKind,
     ItemSetNode, CHUNK_SIZE,
 };
+pub use registry::{GrammarRegistry, RegistryError};
 pub use server::{GrammarEpoch, IpgServer, PooledParse, RequestCtx, ServerError, ServerStats};
 pub use session::{IpgSession, SessionError};
 pub use stats::{GenStats, GraphSize, LatencyHistogram, HISTOGRAM_BUCKETS};

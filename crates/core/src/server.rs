@@ -155,6 +155,27 @@
 //! `incremental_reparse` proptest harness enforces it, edit script by
 //! edit script. See [`crate::document`] for the session internals.
 //!
+//! ## Residency and re-lazification (multi-tenant serving)
+//!
+//! Everything an epoch holds resident is *derived* state — item-set
+//! chunks, published ACTION/GOTO rows, materialised DFA snapshot states —
+//! rebuildable on demand from the cheap persistent grammar by the lazy
+//! expander. That makes eviction safe by construction:
+//! [`IpgServer::relazify`] publishes a **cold epoch** (same grammar, fresh
+//! lazily-expanded graph, re-lazified scanner) and the next parses rebuild
+//! exactly what they touch. In-flight parses are, as always, unaffected:
+//! they pinned the warm epoch and keep it alive until they finish.
+//!
+//! The byte accounting behind the eviction decision is chunk-granular
+//! ([`IpgServer::resident_bytes`] / [`IpgServer::chunk_accounting`]; byte
+//! model in [`crate::graph::ItemSetGraph::resident_bytes`]) and
+//! pointer-keyed, so chunks structurally shared between servers forked
+//! from one base are counted once. [`crate::registry::GrammarRegistry`]
+//! stacks many `IpgServer` tenants under one global byte budget on these
+//! primitives; its module docs carry the full tenancy lifecycle
+//! (attach → serve → cool → evict → re-lazify) and the residency/eviction
+//! semantics table.
+//!
 //! ## What serializes with what
 //!
 //! | operation                  | parses (readers)  | other writers |
@@ -971,6 +992,88 @@ impl IpgServer {
         self.modify(|s| s.collect_garbage());
     }
 
+    /// Evicts this server's derived state by publishing a **cold epoch**:
+    /// the same grammar (and GC policy, and active token definitions) with
+    /// a fresh, unexpanded item-set graph and a re-lazified scanner. The
+    /// next parses rebuild exactly the chunks they touch through the lazy
+    /// expander — the registry's evict → re-lazify cycle, and the paper's
+    /// laziness applied to memory instead of cold-start time.
+    ///
+    /// Work counters are carried onto the cold epoch ("how much work has
+    /// this tenant caused over its lifetime"), so stats stay monotone
+    /// across eviction; the residency gauges drop to the cold working set.
+    /// In-flight parses finish on the warm epoch they pinned; its storage
+    /// is reclaimed by the deferred sweep once the last reader leaves.
+    ///
+    /// Returns the number of chunks evicted (node chunks, snapshot chunks
+    /// and DFA snapshot states the warm epoch held beyond the cold one).
+    pub fn relazify(&self) -> usize {
+        let mut writer = self.writer.lock().unwrap();
+        let cur = self.acquire();
+        let warm_chunks = cur.session.chunk_accounting().len()
+            + cur.scanner().map_or(0, |s| s.snapshot_accounting().len());
+        let mut carried = cur.session.graph().stats();
+        // The high-water gauge must remember the *full* warm residency
+        // (graph + rule arena + scanner snapshot), not just the graph's
+        // own share; the live gauge is resampled from the cold stores.
+        let warm_resident = cur.session.resident_bytes()
+            + cur.scanner().map_or(0, |s| s.resident_bytes());
+        carried.resident_high_water = carried.resident_high_water.max(warm_resident);
+        carried.resident_bytes = 0;
+        let session = IpgSession::with_policy(
+            cur.session.grammar().clone(),
+            cur.session.graph().gc_policy(),
+        );
+        session.graph().adopt_stats(carried);
+        let scanner = cur.scanner().map(|s| Arc::new(s.relazified()));
+        let cold_chunks = session.chunk_accounting().len()
+            + scanner.as_deref().map_or(0, |s| s.snapshot_accounting().len());
+        let next = GrammarEpoch {
+            number: cur.number + 1,
+            session: Arc::new(session),
+            scanner,
+            terminal_slots: OnceLock::new(),
+        };
+        drop(cur);
+        let reclaimed = self.install_locked(&mut writer, next);
+        drop(writer);
+        self.note_epochs(1, reclaimed);
+        let evicted = warm_chunks.saturating_sub(cold_chunks);
+        self.note(&GenStats {
+            chunks_evicted: evicted,
+            ..GenStats::default()
+        });
+        evicted
+    }
+
+    /// Modeled resident bytes of the current epoch: the session's stores
+    /// (node chunks + published snapshot + rule arena) plus the scanner's
+    /// materialised DFA snapshot. Retired-but-pinned epochs are not
+    /// counted here; their storage is either shared with the current epoch
+    /// (already counted) or reclaimed when their last reader leaves.
+    pub fn resident_bytes(&self) -> usize {
+        let epoch = self.acquire();
+        let bytes = epoch.session.resident_bytes()
+            + epoch.scanner().map_or(0, |s| s.resident_bytes());
+        self.release(epoch);
+        bytes
+    }
+
+    /// Pointer-keyed accounting rows `(Arc pointer as usize, modeled
+    /// bytes)` over everything the current epoch holds resident. Servers
+    /// forked from a common base share chunks by `Arc`; a registry summing
+    /// residency across tenants dedupes these rows by pointer identity so
+    /// each shared chunk is counted once.
+    pub fn chunk_accounting(&self) -> Vec<(usize, usize)> {
+        let epoch = self.acquire();
+        let mut rows = epoch.session.chunk_accounting();
+        if let Some(scanner) = epoch.scanner() {
+            rows.extend(scanner.snapshot_accounting());
+        }
+        self.release(epoch);
+        rows
+    }
+
     // ------------------------------------------------------------------
     // Batch + statistics
     // ------------------------------------------------------------------
@@ -1042,6 +1145,12 @@ impl IpgServer {
                 graph.dense_rows_built = dfa.dense_rows_built;
                 graph.dense_bytes = dfa.dense_bytes;
                 graph.skip_loop_bytes = dfa.skip_loop_bytes;
+                // The scanner's materialised DFA snapshot joins the
+                // residency gauge (the session already folded in its graph
+                // and rule-arena bytes).
+                graph.resident_bytes += scanner.resident_bytes();
+                graph.resident_high_water =
+                    graph.resident_high_water.max(graph.resident_bytes);
             }
             self.release(epoch);
             graph
@@ -1451,6 +1560,40 @@ mod tests {
         assert_eq!(results.len(), 1);
         assert!(results[0].accepted);
         assert!(server.parse_many(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn relazify_publishes_a_cold_epoch_with_unchanged_behaviour() {
+        let server = IpgServer::new(IpgSession::new(fixtures::booleans()))
+            .with_scanner(simple_scanner(&["true", "false", "or", "and"]));
+        server.warm();
+        assert!(server.parse_text("true or false and true").unwrap().accepted);
+        let warm_bytes = server.resident_bytes();
+        let warm_expansions = server.stats().graph.total_expansions();
+        let epoch_before = server.epoch_number();
+
+        let evicted = server.relazify();
+        assert!(evicted > 0, "a warmed server has derived chunks to evict");
+        assert_eq!(server.epoch_number(), epoch_before + 1);
+        // The grammar version is untouched: eviction is not an edit.
+        assert!(server.resident_bytes() < warm_bytes, "cold epoch is smaller");
+        // Work counters carried over (monotone across eviction)...
+        let stats = server.stats();
+        assert!(stats.graph.total_expansions() >= warm_expansions);
+        assert_eq!(stats.merged().chunks_evicted, evicted);
+        // ...and the high-water gauge remembers the warm working set.
+        assert!(stats.graph.resident_high_water >= warm_bytes);
+
+        // Re-lazification: parses rebuild exactly what they touch.
+        assert!(server.parse_text("true or false and true").unwrap().accepted);
+        assert!(!server.parse_text("true or").unwrap().accepted);
+        assert!(server.stats().graph.total_expansions() > warm_expansions);
+        // Accounting rows sum to the total (pointer-keyed, no double count).
+        let rows = server.chunk_accounting();
+        assert_eq!(
+            rows.iter().map(|&(_, b)| b).sum::<usize>(),
+            server.resident_bytes()
+        );
     }
 
     #[test]

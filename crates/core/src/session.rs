@@ -132,9 +132,33 @@ impl IpgSession {
         &self.graph
     }
 
-    /// A snapshot of the generator work counters.
+    /// A snapshot of the generator work counters. The residency gauge
+    /// covers the session's stores: the item-set graph's node chunks and
+    /// published snapshot plus the grammar's rule arena.
     pub fn stats(&self) -> GenStats {
-        self.graph.stats()
+        let mut stats = self.graph.stats();
+        stats.resident_bytes += self.grammar.arena_bytes();
+        stats.resident_high_water = stats.resident_high_water.max(stats.resident_bytes);
+        stats
+    }
+
+    /// Modeled resident bytes of this session's stores (see
+    /// [`crate::graph::ItemSetGraph::resident_bytes`] for the byte model):
+    /// node chunks + published snapshot + rule arena.
+    pub fn resident_bytes(&self) -> usize {
+        self.graph.resident_bytes() + self.grammar.arena_bytes()
+    }
+
+    /// Pointer-keyed accounting rows `(Arc pointer as usize, modeled
+    /// bytes)` over every chunk this session holds alive: node chunks,
+    /// published snapshot chunks, and rule-arena chunks. Sessions forked
+    /// from a common base share chunks by `Arc`, so a registry summing
+    /// residency across tenants dedupes these rows by pointer identity and
+    /// counts each shared chunk once.
+    pub fn chunk_accounting(&self) -> Vec<(usize, usize)> {
+        let mut rows = self.graph.chunk_accounting();
+        rows.extend(self.grammar.arena_accounting());
+        rows
     }
 
     /// Current size of the item-set graph.

@@ -259,6 +259,26 @@ pub struct GenStats {
     /// GSS nodes re-created by incremental re-parses — the re-run portion
     /// of the graph (a cold parse would have built the whole graph).
     pub states_rerun: usize,
+    /// **Gauge** (max-merged, not summed): modeled resident bytes of the
+    /// derived parser state — node chunks, published snapshot chunks,
+    /// grammar rule arena and DFA snapshot states — sampled from the
+    /// per-chunk accounting at stats time. A registry overwrites this
+    /// with its cross-tenant *deduplicated* total (shared chunks counted
+    /// once).
+    pub resident_bytes: usize,
+    /// **High-water mark** (max-merged): the largest `resident_bytes`
+    /// observed at any sampling point (every stats read, and every
+    /// registry budget-enforcement pass).
+    pub resident_high_water: usize,
+    /// Chunks of derived state (node chunks, snapshot chunks, DFA
+    /// snapshot states) discarded by registry eviction / re-lazification.
+    pub chunks_evicted: usize,
+    /// Chunks rebuilt on demand by the lazy expander after the tenant
+    /// holding them was evicted and then retouched.
+    pub chunks_relazified: usize,
+    /// **Gauge** (max-merged): tenants currently attached and not evicted
+    /// in the owning [`crate::GrammarRegistry`]; zero outside a registry.
+    pub tenants_active: usize,
 }
 
 impl GenStats {
@@ -326,6 +346,11 @@ impl GenStats {
             reparse_full,
             tokens_relexed,
             states_rerun,
+            resident_bytes,
+            resident_high_water,
+            chunks_evicted,
+            chunks_relazified,
+            tenants_active,
         } = other;
         self.nodes_created += nodes_created;
         self.expansions += expansions;
@@ -364,6 +389,14 @@ impl GenStats {
         self.reparse_full += reparse_full;
         self.tokens_relexed += tokens_relexed;
         self.states_rerun += states_rerun;
+        // Residency gauges are point-in-time samples of (possibly shared)
+        // state: summing per-thread copies would double-count chunks, so
+        // merging keeps the largest sample.
+        self.resident_bytes = self.resident_bytes.max(*resident_bytes);
+        self.resident_high_water = self.resident_high_water.max(*resident_high_water);
+        self.chunks_evicted += chunks_evicted;
+        self.chunks_relazified += chunks_relazified;
+        self.tenants_active = self.tenants_active.max(*tenants_active);
     }
 }
 
@@ -440,6 +473,17 @@ impl fmt::Display for GenStats {
             writeln!(f, "reparse full:         {}", self.reparse_full)?;
             writeln!(f, "tokens re-lexed:      {}", self.tokens_relexed)?;
             writeln!(f, "GSS states re-run:    {}", self.states_rerun)?;
+        }
+        if self.resident_bytes > 0 {
+            writeln!(f, "resident bytes:       {}", self.resident_bytes)?;
+            writeln!(f, "resident high water:  {}", self.resident_high_water)?;
+        }
+        if self.chunks_evicted + self.chunks_relazified > 0 {
+            writeln!(f, "chunks evicted:       {}", self.chunks_evicted)?;
+            writeln!(f, "chunks re-lazified:   {}", self.chunks_relazified)?;
+        }
+        if self.tenants_active > 0 {
+            writeln!(f, "tenants active:       {}", self.tenants_active)?;
         }
         Ok(())
     }

@@ -36,6 +36,7 @@ pub struct Client {
     buf: Vec<u8>,
     next_id: u64,
     max_frame: usize,
+    tenant: u32,
 }
 
 impl Client {
@@ -55,6 +56,7 @@ impl Client {
             buf: Vec::new(),
             next_id: 0,
             max_frame: DEFAULT_MAX_FRAME,
+            tenant: 0,
         })
     }
 
@@ -63,11 +65,30 @@ impl Client {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
+    /// Addresses every subsequent request to grammar tenant `tenant`
+    /// (0 = the default tenant the frontend was built with).
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant id requests are currently addressed to.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
     /// Sends one request and blocks for its response.
     pub fn request(&mut self, verb: Verb, deadline_us: u32, payload: &[u8]) -> io::Result<Response> {
         self.next_id += 1;
         let id = self.next_id;
-        write_request(&mut self.writer, &mut self.buf, id, verb, deadline_us, payload)?;
+        write_request(
+            &mut self.writer,
+            &mut self.buf,
+            id,
+            verb,
+            deadline_us,
+            self.tenant,
+            payload,
+        )?;
         let response = read_response(&mut self.reader, self.max_frame).map_err(frame_to_io)?;
         if response.request_id != id {
             return Err(io::Error::new(
@@ -139,6 +160,22 @@ impl Client {
     /// `CLOSE-DOC`.
     pub fn close_doc(&mut self, doc_id: u64) -> io::Result<Response> {
         self.request(Verb::CloseDoc, 0, &doc_id.to_le_bytes())
+    }
+
+    /// `ATTACH-TENANT`: attach a tenant named `name`. With a non-empty
+    /// `base`, the new tenant is a copy-on-write dialect fork of that
+    /// tenant with `rules` added; with an empty `base`, `rules` is a full
+    /// BNF grammar for an independent tenant. On `OK` the payload is the
+    /// new tenant id as a little-endian `u32` (decode with
+    /// [`Client::attach_tenant_outcome`]).
+    pub fn attach_tenant(&mut self, name: &str, base: &str, rules: &str) -> io::Result<Response> {
+        let payload = crate::protocol::attach_tenant_payload(name, base, rules);
+        self.request(Verb::AttachTenant, 0, &payload)
+    }
+
+    /// Decodes an `ATTACH-TENANT` reply into the new tenant id.
+    pub fn attach_tenant_outcome(response: &Response) -> Option<u32> {
+        Some(u32::from_le_bytes(response.payload.as_slice().try_into().ok()?))
     }
 
     /// `STATS` as the raw JSON document.

@@ -3,7 +3,19 @@
 //! A std-only TCP frontend (hand-rolled accept loop + worker pool; no
 //! async runtime) exposing the incremental parser generator over the
 //! length-prefixed binary protocol of [`protocol`]: `PING`, `PARSE-TEXT`,
-//! `PARSE-TOKENS`, `ADD-RULE`, `DELETE-RULE`, `STATS`.
+//! `PARSE-TOKENS`, `ADD-RULE`, `DELETE-RULE`, `STATS`, the document verbs
+//! (`OPEN-DOC`, `PARSE-DELTA`, `CLOSE-DOC`) and `ATTACH-TENANT`.
+//!
+//! The frontend is **multi-tenant**: every request header carries a
+//! tenant id, routed through a shared [`ipg::GrammarRegistry`] whose
+//! tenant 0 is the server passed to [`Frontend::bind`]. `ATTACH-TENANT`
+//! adds tenants at runtime — independent grammars, or copy-on-write
+//! dialect forks of an attached base that share its resident chunks.
+//! A configurable byte budget ([`FrontendConfig::registry_budget`])
+//! bounds the combined derived state; over budget, cold tenants are
+//! evicted back to their persistent grammars and rebuilt lazily on their
+//! next touch. Requests addressing unknown tenants are answered `ERROR`
+//! at admission, before they can consume a queue slot or a worker parse.
 //!
 //! ## The wire path
 //!
@@ -60,10 +72,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ipg::{GenStats, IpgServer};
+use ipg::{GenStats, GrammarRegistry, IpgServer};
 
 use deadline::Deadline;
-use protocol::{read_request, FrameError, Status};
+use protocol::{read_request, FrameError, Status, Verb};
 use queue::{BoundedQueue, PushError};
 use worker::{reply, Conn, Job, Shared};
 
@@ -88,6 +100,14 @@ pub struct FrontendConfig {
     /// Socket write timeout: a client that never drains its replies is
     /// poisoned after this long.
     pub write_timeout: Duration,
+    /// Global byte budget over the deduped resident derived state of all
+    /// registry tenants (0 = unbounded, never evict). Over budget, the
+    /// coldest tenants are re-lazified back to their persistent grammars
+    /// — see [`ipg::GrammarRegistry`].
+    pub registry_budget: usize,
+    /// Budget-enforcement cadence: one pass per this many completed
+    /// requests (clamped to at least 1; irrelevant when unbounded).
+    pub registry_sweep_every: usize,
 }
 
 impl Default for FrontendConfig {
@@ -98,6 +118,8 @@ impl Default for FrontendConfig {
             max_frame: protocol::DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_millis(1_000),
+            registry_budget: 0,
+            registry_sweep_every: 64,
         }
     }
 }
@@ -141,8 +163,17 @@ impl Frontend {
             effective_workers: worker_count,
             ..GenStats::default()
         };
+        let registry = Arc::new(if config.registry_budget == 0 {
+            GrammarRegistry::unbounded()
+        } else {
+            GrammarRegistry::new(config.registry_budget, config.registry_sweep_every)
+        });
+        registry
+            .attach_shared("default", Arc::clone(&server))
+            .expect("fresh registry accepts the default tenant");
         let shared = Arc::new(Shared {
             server,
+            registry,
             queue: BoundedQueue::new(config.queue_depth),
             config,
             stats: Mutex::new(stats),
@@ -179,9 +210,16 @@ impl Frontend {
         self.local_addr
     }
 
-    /// The server behind the frontend.
+    /// The server behind the frontend (registry tenant 0, `"default"`).
     pub fn server(&self) -> &Arc<IpgServer> {
         &self.shared.server
+    }
+
+    /// The multi-tenant grammar registry behind the frontend. Tenants
+    /// attached here (or over the wire with `ATTACH-TENANT`) are
+    /// addressable by the request header's tenant field.
+    pub fn registry(&self) -> &Arc<GrammarRegistry> {
+        &self.shared.registry
     }
 
     /// A snapshot of the frontend-side counters (sheds, malformed frames,
@@ -307,10 +345,27 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
                     );
                     continue;
                 }
+                // Unknown tenants are refused at admission — an `ERROR`
+                // reply that never consumes a queue slot or a worker
+                // parse. (`ATTACH-TENANT` is exempt: it creates tenants,
+                // it doesn't address one.)
+                if request.verb != Verb::AttachTenant
+                    && shared.registry.name_of(request.tenant).is_none()
+                {
+                    reply(
+                        shared,
+                        &conn,
+                        request.request_id,
+                        Status::Error,
+                        format!("unknown tenant {}", request.tenant).as_bytes(),
+                    );
+                    continue;
+                }
                 let job = Job {
                     conn: Arc::clone(&conn),
                     request_id: request.request_id,
                     verb: request.verb,
+                    tenant: request.tenant,
                     payload: request.payload,
                     deadline: Deadline::from_budget_us(request.deadline_us, admitted),
                     admitted,

@@ -5,7 +5,7 @@
 //! payload:
 //!
 //! ```text
-//! request:   u32 len | u64 request_id | u8 verb   | u32 deadline_us | payload
+//! request:   u32 len | u64 request_id | u8 verb   | u32 deadline_us | u32 tenant | payload
 //! response:  u32 len | u64 request_id | u8 status | payload
 //! ```
 //!
@@ -14,6 +14,10 @@
 //!   relative budget needs no clock synchronisation between client and
 //!   server; the server converts it to an absolute instant on arrival and
 //!   checks it at dequeue and again at epoch-pin time.
+//! * `tenant` addresses a grammar tenant of the server's registry
+//!   (`ipg::GrammarRegistry`); tenant 0 is the default tenant every
+//!   frontend has. Requests naming an unattached tenant are answered
+//!   `ERROR` at admission, before a worker parse is consumed.
 //! * Parse responses carry `[accepted: u8][grammar_version: u64]`; edit
 //!   responses carry `[1][grammar_version]`; `STATS` carries a JSON
 //!   document; errors carry a UTF-8 message.
@@ -29,8 +33,8 @@
 use std::io::{self, Read, Write};
 
 /// Bytes of a request header after the length prefix
-/// (`request_id` + `verb` + `deadline_us`).
-pub const REQUEST_HEADER_LEN: usize = 8 + 1 + 4;
+/// (`request_id` + `verb` + `deadline_us` + `tenant`).
+pub const REQUEST_HEADER_LEN: usize = 8 + 1 + 4 + 4;
 
 /// Bytes of a response header after the length prefix
 /// (`request_id` + `status`).
@@ -69,6 +73,13 @@ pub enum Verb {
     /// `CLOSE-DOC`: close a document session. The payload is
     /// `[doc_id: u64]`; the reply is empty `OK`.
     CloseDoc = 8,
+    /// `ATTACH-TENANT`: attach a new grammar tenant to the registry. The
+    /// payload is `[name_len: u8][name][base_len: u8][base][rules: utf-8]`
+    /// (see [`attach_tenant_payload`]): with a base name, the tenant is a
+    /// copy-on-write **dialect** fork of that tenant with `rules` added;
+    /// without one, `rules` is a full BNF grammar for an independent
+    /// tenant. The `OK` reply carries `[tenant_id: u32]`.
+    AttachTenant = 9,
 }
 
 impl Verb {
@@ -84,6 +95,7 @@ impl Verb {
             6 => Some(Verb::OpenDoc),
             7 => Some(Verb::ParseDelta),
             8 => Some(Verb::CloseDoc),
+            9 => Some(Verb::AttachTenant),
             _ => None,
         }
     }
@@ -137,6 +149,8 @@ pub struct Request {
     pub verb: Verb,
     /// Relative deadline budget in microseconds (0 = none).
     pub deadline_us: u32,
+    /// Addressed grammar tenant (0 = the default tenant).
+    pub tenant: u32,
     /// Verb-specific payload bytes.
     pub payload: Vec<u8>,
 }
@@ -253,10 +267,12 @@ pub fn read_request(stream: &mut impl Read, max_frame: usize) -> Result<Request,
         });
     };
     let deadline_us = u32::from_le_bytes(frame[9..13].try_into().expect("4 bytes"));
+    let tenant = u32::from_le_bytes(frame[13..17].try_into().expect("4 bytes"));
     Ok(Request {
         request_id,
         verb,
         deadline_us,
+        tenant,
         payload: frame[REQUEST_HEADER_LEN..].to_vec(),
     })
 }
@@ -301,6 +317,7 @@ pub fn write_request(
     request_id: u64,
     verb: Verb,
     deadline_us: u32,
+    tenant: u32,
     payload: &[u8],
 ) -> io::Result<()> {
     let len = REQUEST_HEADER_LEN + payload.len();
@@ -309,6 +326,7 @@ pub fn write_request(
     buf.extend_from_slice(&request_id.to_le_bytes());
     buf.push(verb as u8);
     buf.extend_from_slice(&deadline_us.to_le_bytes());
+    buf.extend_from_slice(&tenant.to_le_bytes());
     buf.extend_from_slice(payload);
     stream.write_all(buf)
 }
@@ -373,6 +391,41 @@ pub fn decode_parse_delta(payload: &[u8]) -> Option<(u64, u32, u32, &[u8])> {
     Some((doc_id, start, end, &payload[16..]))
 }
 
+/// Encodes an `ATTACH-TENANT` request payload:
+/// `[name_len: u8][name][base_len: u8][base][rules: utf-8]`. Name and base
+/// are capped at 255 bytes by the length prefix; an empty `base` attaches
+/// an independent tenant from `rules` as a full BNF grammar.
+pub fn attach_tenant_payload(name: &str, base: &str, rules: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(2 + name.len() + base.len() + rules.len());
+    payload.push(name.len().min(255) as u8);
+    payload.extend_from_slice(&name.as_bytes()[..name.len().min(255)]);
+    payload.push(base.len().min(255) as u8);
+    payload.extend_from_slice(&base.as_bytes()[..base.len().min(255)]);
+    payload.extend_from_slice(rules.as_bytes());
+    payload
+}
+
+/// Decodes an `ATTACH-TENANT` request payload into `(name, base, rules)`.
+/// `None` if the length prefixes overrun the payload or a field is not
+/// UTF-8.
+pub fn decode_attach_tenant(payload: &[u8]) -> Option<(&str, &str, &str)> {
+    let (&name_len, rest) = payload.split_first()?;
+    if rest.len() < name_len as usize {
+        return None;
+    }
+    let (name, rest) = rest.split_at(name_len as usize);
+    let (&base_len, rest) = rest.split_first()?;
+    if rest.len() < base_len as usize {
+        return None;
+    }
+    let (base, rules) = rest.split_at(base_len as usize);
+    Some((
+        std::str::from_utf8(name).ok()?,
+        std::str::from_utf8(base).ok()?,
+        std::str::from_utf8(rules).ok()?,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,11 +435,12 @@ mod tests {
     fn request_frames_round_trip() {
         let mut wire = Vec::new();
         let mut buf = Vec::new();
-        write_request(&mut wire, &mut buf, 42, Verb::ParseText, 1_500, b"true or false").unwrap();
+        write_request(&mut wire, &mut buf, 42, Verb::ParseText, 1_500, 3, b"true or false").unwrap();
         let decoded = read_request(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME).unwrap();
         assert_eq!(decoded.request_id, 42);
         assert_eq!(decoded.verb, Verb::ParseText);
         assert_eq!(decoded.deadline_us, 1_500);
+        assert_eq!(decoded.tenant, 3);
         assert_eq!(decoded.payload, b"true or false");
     }
 
@@ -431,7 +485,8 @@ mod tests {
         wire.extend_from_slice(&(REQUEST_HEADER_LEN as u32).to_le_bytes());
         wire.extend_from_slice(&77u64.to_le_bytes());
         wire.push(250); // no such verb
-        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes()); // deadline
+        wire.extend_from_slice(&0u32.to_le_bytes()); // tenant
         match read_request(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME) {
             Err(FrameError::Malformed { request_id: Some(77), reason }) => {
                 assert_eq!(reason, "unknown verb");
@@ -450,7 +505,7 @@ mod tests {
         // ...but a frame cut off mid-way is a stalled/vanished sender.
         let mut wire = Vec::new();
         let mut buf = Vec::new();
-        write_request(&mut wire, &mut buf, 1, Verb::Ping, 0, &[]).unwrap();
+        write_request(&mut wire, &mut buf, 1, Verb::Ping, 0, 0, &[]).unwrap();
         wire.truncate(wire.len() - 2);
         assert!(matches!(
             read_request(&mut Cursor::new(&wire), DEFAULT_MAX_FRAME),
@@ -470,6 +525,7 @@ mod tests {
             Verb::OpenDoc,
             Verb::ParseDelta,
             Verb::CloseDoc,
+            Verb::AttachTenant,
         ] {
             assert_eq!(Verb::from_byte(verb as u8), Some(verb));
         }

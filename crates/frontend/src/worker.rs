@@ -13,6 +13,12 @@
 //! and again **at epoch-pin time** (after payload decoding, immediately
 //! before the server call commits parser time). Both sheds reply
 //! `DEADLINE_EXCEEDED` and count into `GenStats::shed_deadline`.
+//!
+//! Tenancy: jobs carry the wire tenant id; workers resolve it through
+//! the shared [`GrammarRegistry`] (touching the tenant's clock position)
+//! and complete with [`GrammarRegistry::after_request`], which drives
+//! re-lazification accounting and byte-budget enforcement on the request
+//! cadence. `ATTACH-TENANT` bypasses routing — it *creates* the route.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -20,11 +26,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ipg::{GenStats, IpgServer, LatencyHistogram};
+use ipg::{GenStats, GrammarRegistry, IpgServer, LatencyHistogram};
 
 use crate::deadline::Deadline;
 use crate::protocol::{
-    decode_parse_delta, open_doc_payload, parse_outcome_payload, write_response, Status, Verb,
+    decode_attach_tenant, decode_parse_delta, open_doc_payload, parse_outcome_payload,
+    write_response, Status, Verb,
 };
 use crate::queue::BoundedQueue;
 use crate::FrontendConfig;
@@ -74,6 +81,10 @@ pub(crate) struct Job {
     pub(crate) conn: Arc<Conn>,
     pub(crate) request_id: u64,
     pub(crate) verb: Verb,
+    /// Which registry tenant the request addresses (0 = the default
+    /// tenant). Validated at admission; workers route through the
+    /// registry so eviction/re-lazification bookkeeping sees every touch.
+    pub(crate) tenant: u32,
     pub(crate) payload: Vec<u8>,
     pub(crate) deadline: Deadline,
     /// When the frame was read — latency is measured admit→reply, so the
@@ -85,6 +96,10 @@ pub(crate) struct Job {
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) server: Arc<IpgServer>,
+    /// The multi-tenant registry; the default `server` is attached as
+    /// tenant 0. `ATTACH-TENANT` adds tenants at runtime, and every
+    /// request routes through it (clock touch + budget enforcement).
+    pub(crate) registry: Arc<GrammarRegistry>,
     pub(crate) queue: BoundedQueue<Job>,
     pub(crate) config: FrontendConfig,
     /// Frontend-side counters and the admit→reply latency histogram (the
@@ -191,9 +206,56 @@ fn handle(shared: &Shared, job: Job) {
     reply(shared, &job.conn, job.request_id, status, &payload);
 }
 
-/// Executes one verb against the shared server, returning the reply.
+/// Executes one verb, returning the reply. `ATTACH-TENANT` goes to the
+/// registry; everything else routes to the addressed tenant's server
+/// (touching its clock position) and completes with
+/// [`GrammarRegistry::after_request`] so re-lazification accounting and
+/// budget enforcement run on the request cadence.
 fn execute(shared: &Shared, job: &Job) -> (Status, Vec<u8>) {
-    let server = &shared.server;
+    if job.verb == Verb::AttachTenant {
+        return attach_tenant(shared, &job.payload);
+    }
+    // Admission already vetoed unknown tenants; a tenant can still be
+    // unknown here only through a racing attach view, and the answer is
+    // the same ERROR either way.
+    let Some(server) = shared.registry.server(job.tenant) else {
+        return (
+            Status::Error,
+            format!("unknown tenant {}", job.tenant).into_bytes(),
+        );
+    };
+    let reply = route(shared, &server, job);
+    shared.registry.after_request(job.tenant);
+    reply
+}
+
+/// Handles the `ATTACH-TENANT` verb: an empty base attaches an
+/// independent tenant built from the BNF rules; a non-empty base forks
+/// that tenant's epoch copy-on-write and applies the rules as a dialect
+/// delta. The OK payload is the new tenant id (little-endian `u32`).
+fn attach_tenant(shared: &Shared, payload: &[u8]) -> (Status, Vec<u8>) {
+    let Some((name, base, rules)) = decode_attach_tenant(payload) else {
+        return (
+            Status::Error,
+            b"attach-tenant payload shorter than its name/base prefix".to_vec(),
+        );
+    };
+    let attached = if base.is_empty() {
+        match IpgServer::from_bnf(rules) {
+            Ok(server) => shared.registry.attach(name, server),
+            Err(e) => return (Status::Error, e.to_string().into_bytes()),
+        }
+    } else {
+        shared.registry.attach_dialect(name, base, rules)
+    };
+    match attached {
+        Ok(id) => (Status::Ok, id.to_le_bytes().to_vec()),
+        Err(e) => (Status::Error, e.to_string().into_bytes()),
+    }
+}
+
+/// Executes one routed verb against the addressed tenant's server.
+fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
     let utf8 = |payload: &[u8]| -> Result<String, (Status, Vec<u8>)> {
         String::from_utf8(payload.to_vec())
             .map_err(|_| (Status::Error, b"payload is not valid UTF-8".to_vec()))
@@ -339,6 +401,8 @@ fn execute(shared: &Shared, job: &Job) -> (Status, Vec<u8>) {
                 Err(e) => (Status::Error, e.to_string().into_bytes()),
             }
         }
+        // Handled in `execute` before tenant routing.
+        Verb::AttachTenant => unreachable!("attach-tenant is not tenant-routed"),
     }
 }
 
@@ -353,13 +417,16 @@ fn histogram_json(h: &LatencyHistogram) -> String {
     )
 }
 
-/// The STATS verb's payload: frontend admission/latency counters plus the
-/// underlying server's merged [`GenStats`] — hand-rolled JSON (the
-/// vendored serde stub has no serializer).
+/// The STATS verb's payload: frontend admission/latency counters, the
+/// default server's merged [`GenStats`], and the registry's residency
+/// gauges (deduped across tenants; `budget` 0 means unbounded) —
+/// hand-rolled JSON (the vendored serde stub has no serializer).
 pub(crate) fn stats_json(shared: &Shared) -> String {
     let frontend = shared.stats_snapshot();
     let server = shared.server.stats();
     let merged = server.merged();
+    let registry = shared.registry.stats();
+    let budget = shared.registry.budget();
     format!(
         "{{\n  \"workers\": {},\n  \"queue_capacity\": {},\n  \"queue_depth\": {},\n  \
          \"queue_high_water\": {},\n  \"draining\": {},\n  \"grammar_version\": {},\n  \
@@ -369,7 +436,9 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
          \"epochs_published\": {}, \"ctx_reused\": {}, \"effective_workers\": {}, \
          \"open_documents\": {}, \"reparse_incremental\": {}, \"reparse_full\": {}, \
          \"tokens_relexed\": {}, \"states_rerun\": {}, \
-         \"latency_us\": {}}}\n}}",
+         \"latency_us\": {}}},\n  \"registry\": {{\"tenants_active\": {}, \"budget_bytes\": {}, \
+         \"resident_bytes\": {}, \"resident_high_water\": {}, \"chunks_evicted\": {}, \
+         \"chunks_relazified\": {}}}\n}}",
         frontend.effective_workers,
         shared.queue.capacity(),
         shared.queue.depth(),
@@ -395,5 +464,11 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
         merged.tokens_relexed,
         merged.states_rerun,
         histogram_json(&merged.latency),
+        registry.tenants_active,
+        if budget == usize::MAX { 0 } else { budget },
+        registry.resident_bytes,
+        registry.resident_high_water,
+        registry.chunks_evicted,
+        registry.chunks_relazified,
     )
 }

@@ -371,6 +371,36 @@ impl Grammar {
         self.num_rules
     }
 
+    /// `(storage address, modeled bytes)` of every rule-arena chunk.
+    /// Forks that structurally share a chunk report the *same* address, so
+    /// a registry can sum resident bytes across tenants deduplicated by
+    /// pointer identity. The byte model counts each rule's inline slot,
+    /// its right-hand side and its label; the activation bitmap, by-LHS
+    /// index and symbol table are bounded by (and small next to) the rule
+    /// chunks and are left out of the model.
+    pub fn arena_accounting(&self) -> Vec<(usize, usize)> {
+        self.rules
+            .iter()
+            .map(|chunk| {
+                let bytes: usize = chunk
+                    .iter()
+                    .map(|rule| {
+                        std::mem::size_of::<Rule>()
+                            + rule.rhs.len() * std::mem::size_of::<SymbolId>()
+                            + rule.label.as_ref().map_or(0, |l| l.len())
+                    })
+                    .sum();
+                (Arc::as_ptr(chunk) as usize, bytes)
+            })
+            .collect()
+    }
+
+    /// Total modeled bytes of the rule arena (see
+    /// [`Grammar::arena_accounting`]).
+    pub fn arena_bytes(&self) -> usize {
+        self.arena_accounting().iter().map(|&(_, b)| b).sum()
+    }
+
     /// Forces this clone to own every piece of its storage, copying
     /// whatever is still shared with other forks. Benchmarks use this to
     /// reproduce the cost of a structurally unshared (deep) grammar fork.

@@ -183,6 +183,19 @@ impl SnapshotState {
     fn self_loops(&self, b: usize) -> bool {
         self.self_mask[b >> 6] & (1u64 << (b & 63)) != 0
     }
+
+    /// Modeled resident bytes of this published state: its `Arc`
+    /// allocation, the dense 256-entry byte row, and the memoised `char`
+    /// map (per-entry constant folding in the hash-table overhead). Like
+    /// the parser-side accounting, the model is self-consistent rather
+    /// than allocator-exact.
+    fn bytes(&self) -> usize {
+        16 // Arc header (strong + weak counts)
+            + std::mem::size_of::<SnapshotState>()
+            + 256 * std::mem::size_of::<u32>()
+            + self.transitions.len()
+                * (std::mem::size_of::<(char, Option<usize>)>() + 16)
+    }
 }
 
 /// An immutable snapshot of every materialised DFA state — the scanner
@@ -205,6 +218,22 @@ impl DfaSnapshot {
     /// Number of DFA states visible in this snapshot.
     pub fn num_states(&self) -> usize {
         self.states.len()
+    }
+
+    /// `(storage address, modeled bytes)` of every published state.
+    /// Scanners that share carried-over states across epochs report the
+    /// *same* address for them, so a registry can sum resident bytes
+    /// deduplicated by pointer identity.
+    pub fn state_accounting(&self) -> Vec<(usize, usize)> {
+        self.states
+            .iter()
+            .map(|s| (Arc::as_ptr(s) as usize, s.bytes()))
+            .collect()
+    }
+
+    /// Total modeled resident bytes of this snapshot's states.
+    pub fn resident_bytes(&self) -> usize {
+        self.states.iter().map(|s| s.bytes()).sum()
     }
 }
 

@@ -299,6 +299,38 @@ impl Scanner {
         }
     }
 
+    /// Modeled heap bytes of the materialised DFA snapshot (the derived,
+    /// evictable state). The persistent token definitions are not counted:
+    /// they are the cheap source the lazy DFA re-derives from.
+    pub fn resident_bytes(&self) -> usize {
+        self.dfa.snapshot().resident_bytes()
+    }
+
+    /// Per-state accounting rows of the materialised DFA snapshot:
+    /// `(Arc pointer as usize, modeled bytes)`. Snapshot states are shared
+    /// by `Arc` across epochs that carried them over, so a registry summing
+    /// residency across tenants can dedupe by pointer identity.
+    pub fn snapshot_accounting(&self) -> Vec<(usize, usize)> {
+        self.dfa.snapshot().state_accounting()
+    }
+
+    /// A re-lazified copy: the same active definitions with the
+    /// materialised DFA discarded, exactly as the compacting recompile in
+    /// [`Scanner::maybe_compact`] would leave it. Scanning against the copy
+    /// re-derives only the states the retouched inputs actually need — the
+    /// eviction half of the registry's evict → re-lazify cycle. Lifetime
+    /// counters (`rebuilds`, `carried_states`) are preserved so stats stay
+    /// monotone across eviction.
+    pub fn relazified(&self) -> Scanner {
+        Scanner {
+            slots: self.active.iter().cloned().map(Some).collect(),
+            active: self.active.clone(),
+            dfa: Self::compile(&self.active),
+            rebuilds: self.rebuilds,
+            carried_total: self.carried_total,
+        }
+    }
+
     /// The definition in token-id slot `id`, or `None` for tombstones of
     /// removed definitions and out-of-range ids. Slot ids are what
     /// [`TokenStream`] yields; they are stable across definition changes
@@ -637,6 +669,28 @@ mod tests {
         );
         // Slot accessors: tombstones and out-of-range ids answer None.
         assert!(scanner.slot(scanner.num_slots()).is_none());
+    }
+
+    #[test]
+    fn relazified_scanner_drops_derived_state_but_not_behaviour() {
+        let scanner = simple_scanner(&["if", "then"]);
+        let input = "if x1 then 42 -- note\n";
+        scanner.tokenize(input).unwrap();
+        let warm_bytes = scanner.resident_bytes();
+        assert!(warm_bytes > 0);
+        let cold = scanner.relazified();
+        // Eviction dropped the materialised states (only the start state
+        // survives a cold compile).
+        assert!(cold.resident_bytes() < warm_bytes);
+        assert_eq!(cold.dfa_stats().states, 1);
+        // ...but behaviour is unchanged: laziness rebuilds on demand.
+        assert_eq!(cold.tokenize(input).unwrap(), scanner.tokenize(input).unwrap());
+        // Lifetime counters survive the eviction.
+        assert_eq!(cold.rebuilds(), scanner.rebuilds());
+        assert_eq!(cold.carried_states(), scanner.carried_states());
+        // Accounting rows are pointer-keyed and sum to the total.
+        let rows = scanner.snapshot_accounting();
+        assert_eq!(rows.iter().map(|&(_, b)| b).sum::<usize>(), warm_bytes);
     }
 
     #[test]

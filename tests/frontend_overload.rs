@@ -126,7 +126,7 @@ fn deadlines_that_expire_in_the_queue_are_shed_without_parsing() {
     let mut busy = TcpStream::connect(addr).expect("connect busy pipeline");
     let mut buf = Vec::new();
     for id in 1..=3u64 {
-        write_request(&mut busy, &mut buf, id, Verb::ParseText, 0, input.as_bytes())
+        write_request(&mut busy, &mut buf, id, Verb::ParseText, 0, 0, input.as_bytes())
             .expect("pipeline slow request");
     }
 
@@ -176,7 +176,8 @@ fn malformed_frames_poison_only_their_own_connection() {
     frame.extend_from_slice(&(REQUEST_HEADER_LEN as u32).to_le_bytes());
     frame.extend_from_slice(&7u64.to_le_bytes());
     frame.push(99); // no such verb
-    frame.extend_from_slice(&0u32.to_le_bytes());
+    frame.extend_from_slice(&0u32.to_le_bytes()); // deadline
+    frame.extend_from_slice(&0u32.to_le_bytes()); // tenant
     unknown.write_all(&frame).expect("write unknown verb");
     unknown
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -203,7 +204,7 @@ fn malformed_frames_poison_only_their_own_connection() {
     // reader, and the connection is dropped without a reply.
     let mut truncated = TcpStream::connect(addr).expect("connect");
     let mut wire = Vec::new();
-    write_request(&mut wire, &mut Vec::new(), 5, Verb::Ping, 0, &[]).expect("encode");
+    write_request(&mut wire, &mut Vec::new(), 5, Verb::Ping, 0, 0, &[]).expect("encode");
     truncated.write_all(&wire[..wire.len() - 2]).expect("write truncated");
     truncated
         .set_read_timeout(Some(Duration::from_secs(5)))

@@ -187,7 +187,7 @@ fn shed_mode_answers_every_queued_request_definitively() {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let mut buf = Vec::new();
     for id in 1..=8u64 {
-        write_request(&mut stream, &mut buf, id, Verb::ParseText, 0, input.as_bytes())
+        write_request(&mut stream, &mut buf, id, Verb::ParseText, 0, 0, input.as_bytes())
             .expect("pipeline request");
     }
     thread::sleep(Duration::from_millis(30));

@@ -1,0 +1,115 @@
+//! Tenant-addressed serving over the wire: `ATTACH-TENANT`, tenant
+//! routing, and the admission-time refusal of unknown tenants.
+//!
+//! The key robustness property: a request addressing an unknown tenant is
+//! answered `ERROR` by the connection reader *at admission* — it never
+//! occupies a queue slot or a worker parse, so a client spraying bogus
+//! tenant ids cannot displace real work.
+
+use std::sync::Arc;
+
+use ipg::{IpgServer, IpgSession};
+use ipg_frontend::protocol::Status;
+use ipg_frontend::{Client, Frontend, FrontendConfig, ShutdownMode};
+
+fn boolean_frontend() -> (Frontend, Client) {
+    let server = Arc::new(IpgServer::new(
+        IpgSession::from_bnf(
+            r#"
+                B ::= "true" | "false" | B "or" B | B "and" B
+                START ::= B
+            "#,
+        )
+        .expect("boolean grammar"),
+    ));
+    let config = FrontendConfig {
+        workers: 2,
+        ..FrontendConfig::default()
+    };
+    let frontend = Frontend::bind("127.0.0.1:0", config, server).expect("bind");
+    let client = Client::connect(frontend.local_addr()).expect("connect");
+    (frontend, client)
+}
+
+#[test]
+fn unknown_tenants_are_refused_at_admission() {
+    let (frontend, mut client) = boolean_frontend();
+
+    // Tenant 0 is the default tenant: normal service.
+    let ok = client.parse_tokens("true or false", 0).expect("request");
+    assert_eq!(ok.status, Status::Ok);
+    let parses_before = frontend.stats().parses;
+
+    // An unknown tenant answers ERROR...
+    client.set_tenant(42);
+    let refused = client.parse_tokens("true", 0).expect("request");
+    assert_eq!(refused.status, Status::Error);
+    assert!(
+        String::from_utf8_lossy(&refused.payload).contains("unknown tenant"),
+        "the refusal names the tenant"
+    );
+    // ...without consuming a worker parse (refused at admission)...
+    assert_eq!(frontend.stats().parses, parses_before);
+
+    // ...and without poisoning the connection.
+    client.set_tenant(0);
+    assert_eq!(client.ping().expect("ping").status, Status::Ok);
+
+    frontend.shutdown(ShutdownMode::Drain);
+}
+
+#[test]
+fn attach_tenant_serves_dialects_and_surfaces_registry_stats() {
+    let (frontend, mut client) = boolean_frontend();
+
+    // A dialect of the default tenant: forked copy-on-write, one added
+    // alternative.
+    let response = client
+        .attach_tenant("xor", "default", r#"B ::= B "xor" B"#)
+        .expect("attach request");
+    assert_eq!(response.status, Status::Ok);
+    let xor = Client::attach_tenant_outcome(&response).expect("tenant id payload");
+    assert_eq!(xor, 1, "tenant ids are dense after the default tenant");
+
+    // The dialect serves its delta; the base does not know it.
+    client.set_tenant(xor);
+    let served = client.parse_tokens("true xor false", 0).expect("request");
+    assert_eq!(served.status, Status::Ok);
+    assert!(served.parse_outcome().expect("outcome").0, "dialect accepts");
+    client.set_tenant(0);
+    let base = client.parse_tokens("true xor false", 0).expect("request");
+    assert_eq!(base.status, Status::Error, "`xor` is not a base token");
+
+    // Duplicate names and unknown bases are ERRORs, not poison.
+    let dup = client
+        .attach_tenant("xor", "default", r#"B ::= "y""#)
+        .expect("request");
+    assert_eq!(dup.status, Status::Error);
+    let nobase = client
+        .attach_tenant("z", "nope", r#"X ::= "x""#)
+        .expect("request");
+    assert_eq!(nobase.status, Status::Error);
+
+    // An empty base attaches an independent grammar from full BNF.
+    let response = client
+        .attach_tenant("nums", "", "N ::= \"one\"\nSTART ::= N")
+        .expect("attach request");
+    assert_eq!(response.status, Status::Ok);
+    let nums = Client::attach_tenant_outcome(&response).expect("tenant id payload");
+    client.set_tenant(nums);
+    let served = client.parse_tokens("one", 0).expect("request");
+    assert!(served.parse_outcome().expect("outcome").0);
+
+    // The STATS document surfaces the registry's residency gauges.
+    let stats = client.stats_json().expect("stats");
+    assert!(stats.contains("\"registry\""), "stats: {stats}");
+    assert!(stats.contains("\"tenants_active\": 3"), "stats: {stats}");
+    assert!(stats.contains("\"resident_bytes\""), "stats: {stats}");
+    assert!(stats.contains("\"chunks_evicted\""), "stats: {stats}");
+
+    // The registry is visible library-side too.
+    assert_eq!(frontend.registry().len(), 3);
+    assert_eq!(frontend.registry().id_of("nums"), Some(nums));
+
+    frontend.shutdown(ShutdownMode::Drain);
+}

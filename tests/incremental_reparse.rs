@@ -430,7 +430,7 @@ fn expired_deadline_delta_is_shed_without_mutating_the_session() {
     let mut busy = TcpStream::connect(addr).expect("connect busy pipeline");
     let mut buf = Vec::new();
     for request_id in 1..=3u64 {
-        write_request(&mut busy, &mut buf, request_id, Verb::ParseText, 0, slow.as_bytes())
+        write_request(&mut busy, &mut buf, request_id, Verb::ParseText, 0, 0, slow.as_bytes())
             .expect("pipeline slow request");
     }
 

@@ -1,0 +1,179 @@
+//! Registry residency properties, over random grammars × random
+//! EXPAND / MODIFY / GC histories:
+//!
+//! 1. **Accounting exactness** — the incrementally maintained byte
+//!    counters (per-chunk caches updated at intern/COW/publish time) must
+//!    agree *exactly* with a deep recomputation that walks every node and
+//!    published entry, after every step of the history. Any drift means a
+//!    maintenance site forgot a before/after delta.
+//! 2. **Eviction equivalence** — a tenant that is evicted after every
+//!    single request (budget 1, sweep cadence 1: the harshest possible
+//!    churn) must stay digest-indistinguishable from a never-evicted
+//!    oracle server, including across grammar edits.
+//!
+//! Case count: `IPG_PROPTEST_CASES` (the CI epoch-stress job runs 256 in
+//! release mode), defaulting to a debug-friendly handful locally.
+
+use ipg::{GrammarRegistry, IpgServer, IpgSession};
+use ipg_grammar::{Grammar, SymbolId};
+use proptest::prelude::*;
+
+mod common;
+use common::{digest, grammar_spec, resolve_sentence, NONTERMINAL_NAMES, TERMINAL_NAMES};
+
+/// One step of a residency history. Symbol codes follow the
+/// [`GrammarSpec`] convention: `0..3` are terminals, `3..6` non-terminals.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Parse a random sentence — drives lazy `EXPAND` and row publishing.
+    Parse(Vec<usize>),
+    /// `ADD-RULE` to non-terminal *i* — drives invalidation + COW.
+    Add(usize, Vec<usize>),
+    /// `DELETE-RULE` (ignored if absent — deterministically).
+    Remove(usize, Vec<usize>),
+    /// Mark-and-sweep collection — drives retraction and chunk reuse.
+    Gc,
+}
+
+fn sym(grammar: &Grammar, code: usize) -> SymbolId {
+    let name = if code < 3 {
+        TERMINAL_NAMES[code]
+    } else {
+        NONTERMINAL_NAMES[(code - 3) % 3]
+    };
+    grammar.symbol(name).expect("interned by GrammarSpec::build")
+}
+
+fn apply(session: &mut IpgSession, op: &Op) {
+    match op {
+        Op::Parse(codes) => {
+            let tokens = resolve_sentence(session.grammar(), codes);
+            session.parse(&tokens);
+        }
+        Op::Add(nt, rhs_codes) => {
+            let lhs = session
+                .grammar()
+                .symbol(NONTERMINAL_NAMES[*nt])
+                .expect("interned");
+            let rhs = rhs_codes.iter().map(|&c| sym(session.grammar(), c)).collect();
+            session.add_rule(lhs, rhs);
+        }
+        Op::Remove(nt, rhs_codes) => {
+            let lhs = session
+                .grammar()
+                .symbol(NONTERMINAL_NAMES[*nt])
+                .expect("interned");
+            let rhs: Vec<SymbolId> =
+                rhs_codes.iter().map(|&c| sym(session.grammar(), c)).collect();
+            let _ = session.remove_rule(lhs, &rhs);
+        }
+        Op::Gc => session.collect_garbage(),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let sentence = || prop::collection::vec(0..3usize, 0..=6);
+    let rhs = || prop::collection::vec(0..6usize, 0..=3);
+    prop_oneof![
+        sentence().prop_map(Op::Parse),
+        sentence().prop_map(Op::Parse),
+        (0..3usize, rhs()).prop_map(|(nt, r)| Op::Add(nt, r)),
+        (0..3usize, rhs()).prop_map(|(nt, r)| Op::Remove(nt, r)),
+        Just(Op::Gc),
+    ]
+}
+
+fn cases() -> u32 {
+    std::env::var("IPG_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 10 } else { 48 })
+}
+
+/// Holds the cached residency model to its recomputation oracle.
+fn assert_exact(session: &IpgSession, step: &str) -> Result<(), TestCaseError> {
+    let graph = session.graph();
+    prop_assert_eq!(
+        graph.resident_bytes(),
+        graph.recompute_resident_bytes(),
+        "cached bytes drifted from the deep walk after {}",
+        step
+    );
+    let rows: usize = session.chunk_accounting().iter().map(|(_, b)| b).sum();
+    prop_assert_eq!(
+        rows,
+        session.resident_bytes(),
+        "accounting rows disagree with session residency after {}",
+        step
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// After every step of an arbitrary parse/edit/GC history, the cached
+    /// byte counters equal a from-scratch walk, and the chunk-accounting
+    /// rows sum to the session's residency.
+    #[test]
+    fn accounting_stays_exact_under_modify_scripts(
+        spec in grammar_spec(true),
+        script in prop::collection::vec(op_strategy(), 1..=10),
+    ) {
+        let mut session = IpgSession::new(spec.build());
+        assert_exact(&session, "construction")?;
+        for (k, op) in script.iter().enumerate() {
+            apply(&mut session, op);
+            assert_exact(&session, &format!("step {k} ({op:?})"))?;
+        }
+    }
+
+    /// A tenant evicted after *every* request digest-matches a
+    /// never-evicted oracle — parses and edits interleaved.
+    #[test]
+    fn evicted_then_retouched_tenants_match_never_evicted_oracles(
+        spec in grammar_spec(true),
+        script in prop::collection::vec(op_strategy(), 1..=8),
+    ) {
+        let grammar = spec.build();
+        // Budget 1 byte, enforcement after every request: each completed
+        // request leaves the tenant cold, so every subsequent touch is an
+        // evicted-then-retouched rebuild.
+        let registry = GrammarRegistry::new(1, 1);
+        registry
+            .attach("t", IpgServer::new(IpgSession::new(grammar.clone())))
+            .expect("attach tenant");
+        let oracle = IpgServer::new(IpgSession::new(grammar.clone()));
+        for op in &script {
+            match op {
+                Op::Parse(codes) => {
+                    let tokens = resolve_sentence(&grammar, codes);
+                    let server = registry.server(0).expect("tenant 0 attached");
+                    let (ours_v, ours) = server.parse_versioned(&tokens);
+                    let (theirs_v, theirs) = oracle.parse_versioned(&tokens);
+                    prop_assert_eq!(ours_v, theirs_v);
+                    prop_assert_eq!(
+                        digest(&ours),
+                        digest(&theirs),
+                        "evicted tenant diverged on {:?} (script {:?})",
+                        codes,
+                        script
+                    );
+                }
+                edit => {
+                    let server = registry.server(0).expect("tenant 0 attached");
+                    server.modify(|s| apply(s, edit));
+                    oracle.modify(|s| apply(s, edit));
+                }
+            }
+            registry.after_request(0);
+            prop_assert_eq!(registry.is_evicted(0), Some(true));
+        }
+        let stats = registry.stats();
+        prop_assert_eq!(stats.tenants_active, 1);
+        prop_assert!(
+            stats.resident_high_water >= stats.resident_bytes,
+            "the high-water gauge must dominate current residency"
+        );
+    }
+}
