@@ -74,7 +74,7 @@ fn run_edits(server: &IpgServer, id: u64, at: usize, stale: bool, scenario: &'st
             let started = Instant::now();
             let outcome = server.apply_edit(id, range, repl).expect("edit parses");
             latencies.push(started.elapsed().as_secs_f64());
-            assert!(outcome.accepted, "the list stays a sentence");
+            assert!(outcome.accepted(), "the list stays a sentence");
         }
     }
     let after = server.stats().merged();

@@ -3,7 +3,7 @@
 //! ```text
 //! ipg-loadgen [--addr HOST:PORT] [--conns N] [--phase-secs S]
 //!             [--workers N] [--queue-depth N] [--tenants N]
-//!             [--seed N] [--out FILE]
+//!             [--adversarial PCT] [--seed N] [--out FILE]
 //! ```
 //!
 //! Without `--addr`, spawns an in-process [`ipg_frontend::Frontend`] over
@@ -36,6 +36,16 @@
 //!    mechanism that keeps served-latency bounded while the excess is
 //!    shed.
 //!
+//! `--adversarial PCT` adds a containment phase after the sweeps: an
+//! extra 1× run in which PCT% of requests are **runaway parses** — a
+//! maximally ambiguous Catalan grammar (attached as its own tenant) fed
+//! long `x` sentences whose GSS work blows up combinatorially. The
+//! adversarial requests carry the healthy-p99 deadline (observed
+//! *mid-parse* by the budget machinery), and in-process mode additionally
+//! caps their tenant's fuel/byte budgets — so every one of them must come
+//! back quickly as `RESOURCE_EXHAUSTED`/`DEADLINE_EXCEEDED`, not hang a
+//! worker.
+//!
 //! Writes `BENCH_frontend.json` and exits non-zero if any robustness gate
 //! fails:
 //!
@@ -43,8 +53,11 @@
 //! * shed rate at 1× offered load is ~0 (≤ 5%),
 //! * p99 of *served* requests at 4× offered load is ≤ 2.5× the 0.8× p99
 //!   on hosts with ≥ 4 cores (3× on smaller hosts, where client and
-//!   server fight for the same cores) — plateau, not collapse — and
-//! * p99 at 0.8× load is under a generous absolute bound (150 ms).
+//!   server fight for the same cores) — plateau, not collapse —
+//! * p99 at 0.8× load is under a generous absolute bound (150 ms), and
+//! * with `--adversarial`: every adversarial request got a definitive
+//!   reply and the **well-behaved** p99 of the mixed phase is ≤ 3× the
+//!   clean 1× p99 — runaway parses cannot degrade their neighbours.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -132,6 +145,8 @@ struct Tally {
     overloaded: u64,
     deadline_exceeded: u64,
     shutting_down: u64,
+    resource_exhausted: u64,
+    cancelled: u64,
     error: u64,
     send_errors: u64,
     unanswered: u64,
@@ -152,6 +167,8 @@ impl Tally {
         self.overloaded += other.overloaded;
         self.deadline_exceeded += other.deadline_exceeded;
         self.shutting_down += other.shutting_down;
+        self.resource_exhausted += other.resource_exhausted;
+        self.cancelled += other.cancelled;
         self.error += other.error;
         self.send_errors += other.send_errors;
         self.unanswered += other.unanswered;
@@ -161,7 +178,13 @@ impl Tally {
     }
 
     fn replies(&self) -> u64 {
-        self.ok + self.error + self.overloaded + self.deadline_exceeded + self.shutting_down
+        self.ok
+            + self.error
+            + self.overloaded
+            + self.deadline_exceeded
+            + self.shutting_down
+            + self.resource_exhausted
+            + self.cancelled
     }
 
     fn shed(&self) -> u64 {
@@ -203,17 +226,32 @@ fn capacity_phase(addr: &str, conns: usize, secs: f64, payload: &'static str) ->
     total as f64 / started.elapsed().as_secs_f64()
 }
 
+/// The adversarial mix of the containment phase: what fraction of
+/// requests become runaway parses, which tenant serves the pathological
+/// grammar, the pre-lexed blow-up sentence, and the deadline each
+/// adversarial request carries (its bounded-latency backstop).
+struct Adversarial {
+    frac: f64,
+    tenant: u32,
+    sentence: String,
+    deadline_us: u32,
+}
+
 /// One open-loop connection: a writer sending at scheduled instants and a
-/// reader correlating replies by request id. Returns the connection tally.
+/// reader correlating replies by request id. Returns the connection's
+/// `(well_behaved, adversarial)` tallies (the second is empty without an
+/// adversarial mix).
+#[allow(clippy::too_many_arguments)]
 fn open_loop_connection(
     addr: &str,
     rate: f64,
     secs: f64,
     deadline_us: u32,
-    payload: &'static str,
+    payload: &str,
     seed: u64,
     tenants: &ZipfTenants,
-) -> Tally {
+    adversarial: Option<&Adversarial>,
+) -> (Tally, Tally) {
     let stream = TcpStream::connect(addr).expect("connect for open-loop phase");
     stream.set_nodelay(true).expect("nodelay");
     stream
@@ -224,26 +262,29 @@ fn open_loop_connection(
         .set_read_timeout(Some(Duration::from_millis(100)))
         .expect("read timeout");
 
-    // request id → actual send instant; inserted before the frame is
-    // written, so the reader always finds its entry.
-    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    // request id → (actual send instant, adversarial?); inserted before
+    // the frame is written, so the reader always finds its entry.
+    let pending: Arc<Mutex<HashMap<u64, (Instant, bool)>>> = Arc::new(Mutex::new(HashMap::new()));
     let writer_done = Arc::new(AtomicBool::new(false));
 
     let reader = {
         let pending = Arc::clone(&pending);
         let writer_done = Arc::clone(&writer_done);
         thread::spawn(move || {
-            let mut tally = Tally::default();
+            let mut well = Tally::default();
+            let mut adv = Tally::default();
             let mut reader = BufReader::new(read_half);
             let mut grace_started: Option<Instant> = None;
             loop {
                 match read_response(&mut reader, DEFAULT_MAX_FRAME) {
                     Ok(response) => {
-                        let Some(sent_at) = pending.lock().unwrap().remove(&response.request_id)
+                        let Some((sent_at, is_adv)) =
+                            pending.lock().unwrap().remove(&response.request_id)
                         else {
                             continue; // duplicate or unknown id: ignore
                         };
                         let latency = sent_at.elapsed();
+                        let tally = if is_adv { &mut adv } else { &mut well };
                         match response.status {
                             Status::Ok => {
                                 tally.ok += 1;
@@ -269,6 +310,14 @@ fn open_loop_connection(
                                 tally.shutting_down += 1;
                                 tally.latency_shed.record(latency);
                             }
+                            Status::ResourceExhausted => {
+                                tally.resource_exhausted += 1;
+                                tally.latency_shed.record(latency);
+                            }
+                            Status::Cancelled => {
+                                tally.cancelled += 1;
+                                tally.latency_shed.record(latency);
+                            }
                             Status::Malformed => tally.error += 1,
                         }
                     }
@@ -288,8 +337,14 @@ fn open_loop_connection(
                     Err(_) => break,
                 }
             }
-            tally.unanswered = pending.lock().unwrap().len() as u64;
-            tally
+            for (_, (_, is_adv)) in pending.lock().unwrap().iter() {
+                if *is_adv {
+                    adv.unanswered += 1;
+                } else {
+                    well.unanswered += 1;
+                }
+            }
+            (well, adv)
         })
     };
 
@@ -299,6 +354,7 @@ fn open_loop_connection(
     let mut write_half = stream;
     let mut rng = seed | 1;
     let mut sent = 0u64;
+    let mut adv_sent = 0u64;
     let mut send_errors = 0u64;
     let mut max_lag = 0u64;
     let mut at = 0.0f64;
@@ -319,31 +375,50 @@ fn open_loop_connection(
         };
         sent += 1;
         let id = sent;
-        let tenant = tenants.sample(&mut rng);
-        pending.lock().unwrap().insert(id, sent_at);
+        let mix = adversarial.filter(|a| {
+            let u = (xorshift(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+            u < a.frac
+        });
+        let (verb, tenant, body, request_deadline_us) = match mix {
+            Some(a) => (Verb::ParseTokens, a.tenant, a.sentence.as_bytes(), a.deadline_us),
+            None => (
+                Verb::ParseText,
+                tenants.sample(&mut rng),
+                payload.as_bytes(),
+                deadline_us,
+            ),
+        };
+        if mix.is_some() {
+            adv_sent += 1;
+        }
+        pending.lock().unwrap().insert(id, (sent_at, mix.is_some()));
         if write_request(
             &mut write_half,
             &mut buf,
             id,
-            Verb::ParseText,
-            deadline_us,
+            verb,
+            request_deadline_us,
             tenant,
-            payload.as_bytes(),
+            body,
         )
         .is_err()
         {
             pending.lock().unwrap().remove(&id);
             sent -= 1;
+            if mix.is_some() {
+                adv_sent -= 1;
+            }
             send_errors += 1;
             break; // the connection is gone; stop offering on it
         }
     }
     writer_done.store(true, Ordering::Release);
-    let mut tally = reader.join().unwrap();
-    tally.sent = sent;
-    tally.send_errors = send_errors;
-    tally.max_send_lag_us = max_lag;
-    tally
+    let (mut well, mut adv) = reader.join().unwrap();
+    well.sent = sent - adv_sent;
+    adv.sent = adv_sent;
+    well.send_errors = send_errors;
+    well.max_send_lag_us = max_lag;
+    (well, adv)
 }
 
 /// One open-loop Poisson sweep at `rate` requests/second across `conns`
@@ -355,10 +430,11 @@ fn open_loop_phase(
     rate: f64,
     secs: f64,
     deadline_us: u32,
-    payload: &'static str,
+    payload: &str,
     seed: u64,
     tenants: &ZipfTenants,
-) -> Tally {
+    adversarial: Option<&Adversarial>,
+) -> (Tally, Tally) {
     let per_conn = rate / conns as f64;
     thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
@@ -368,16 +444,26 @@ fn open_loop_phase(
                     .wrapping_add(i as u64 + 1);
                 scope.spawn(move || {
                     open_loop_connection(
-                        addr, per_conn, secs, deadline_us, payload, conn_seed, tenants,
+                        addr,
+                        per_conn,
+                        secs,
+                        deadline_us,
+                        payload,
+                        conn_seed,
+                        tenants,
+                        adversarial,
                     )
                 })
             })
             .collect();
-        let mut tally = Tally::default();
+        let mut well = Tally::default();
+        let mut adv = Tally::default();
         for handle in handles {
-            tally.merge(&handle.join().unwrap());
+            let (w, a) = handle.join().unwrap();
+            well.merge(&w);
+            adv.merge(&a);
         }
-        tally
+        (well, adv)
     })
 }
 
@@ -401,7 +487,8 @@ fn phase_json(multiplier: f64, rate: f64, deadline_us: u32, tally: &Tally) -> St
         "    {{\"offered_x\": {multiplier}, \"offered_rps\": {rate:.1}, \
          \"deadline_us\": {deadline_us}, \"sent\": {}, \"replies\": {}, \"ok\": {}, \
          \"accepted\": {}, \"overloaded\": {}, \"deadline_exceeded\": {}, \
-         \"shutting_down\": {}, \"error\": {}, \"send_errors\": {}, \"unanswered\": {}, \
+         \"shutting_down\": {}, \"resource_exhausted\": {}, \"cancelled\": {}, \
+         \"error\": {}, \"send_errors\": {}, \"unanswered\": {}, \
          \"shed_rate\": {:.4}, \"max_send_lag_us\": {}, \"latency_served_us\": {}, \
          \"latency_shed_us\": {}}}",
         tally.sent,
@@ -411,6 +498,8 @@ fn phase_json(multiplier: f64, rate: f64, deadline_us: u32, tally: &Tally) -> St
         tally.overloaded,
         tally.deadline_exceeded,
         tally.shutting_down,
+        tally.resource_exhausted,
+        tally.cancelled,
         tally.error,
         tally.send_errors,
         tally.unanswered,
@@ -432,6 +521,9 @@ struct Options {
     workers: usize,
     queue_depth: usize,
     tenants: usize,
+    /// Percentage (0–100) of requests in the containment phase that are
+    /// adversarial runaway parses; 0 disables the phase.
+    adversarial: f64,
     seed: u64,
     out: String,
 }
@@ -444,6 +536,7 @@ fn parse_args() -> Result<Options, String> {
         workers: 0,
         queue_depth: 256,
         tenants: 1,
+        adversarial: 0.0,
         seed: 42,
         out: "BENCH_frontend.json".to_owned(),
     };
@@ -477,6 +570,11 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--tenants expects a number".to_owned())?;
             }
+            "--adversarial" => {
+                options.adversarial = value("--adversarial")?
+                    .parse()
+                    .map_err(|_| "--adversarial expects a percentage".to_owned())?;
+            }
             "--seed" => {
                 options.seed = value("--seed")?
                     .parse()
@@ -491,6 +589,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if options.tenants == 0 {
         return Err("--tenants must be at least 1".to_owned());
+    }
+    if !(0.0..=100.0).contains(&options.adversarial) {
+        return Err("--adversarial expects a percentage in 0..=100".to_owned());
     }
     Ok(options)
 }
@@ -587,7 +688,7 @@ fn main() {
     // client and server share a small host.
     let closed_rps = capacity_phase(&addr, options.conns, options.phase_secs, payload);
     println!("capacity (closed loop): {closed_rps:.0} req/s");
-    let calibration = open_loop_phase(
+    let (calibration, _) = open_loop_phase(
         &addr,
         options.conns,
         closed_rps * 1.25,
@@ -596,6 +697,7 @@ fn main() {
         payload,
         options.seed ^ 0x00C0_FFEE,
         &ZipfTenants::single(),
+        None,
     );
     let capacity =
         (calibration.ok + calibration.error) as f64 / options.phase_secs;
@@ -614,7 +716,7 @@ fn main() {
     for (i, &multiplier) in multipliers.iter().enumerate() {
         let rate = capacity * multiplier;
         let deadline_us = if multiplier > 1.0 { overload_deadline_us } else { 0 };
-        let tally = open_loop_phase(
+        let (tally, _) = open_loop_phase(
             &addr,
             options.conns,
             rate,
@@ -623,6 +725,7 @@ fn main() {
             payload,
             options.seed.wrapping_add(i as u64 * 1_000_003),
             &tenants,
+            None,
         );
         let (_, p99, _) = tally.latency_ok.percentiles_us();
         println!(
@@ -645,6 +748,77 @@ fn main() {
         results.push((multiplier, rate, deadline_us, tally));
     }
 
+    // Phase 3 (optional): adversarial containment. A 1× mixed run where
+    // `--adversarial` percent of requests are Catalan blow-ups against a
+    // dedicated tenant. Every adversarial request must come back
+    // definitively (budget kill or deadline kill, both observed
+    // *mid-parse*), and the well-behaved neighbours' p99 must stay within
+    // 3× of the clean 1× phase.
+    let adversarial = if options.adversarial > 0.0 {
+        let rules = ipg_bench::workload::adversarial_grammar_bnf(1);
+        let mut client = Client::connect(&addr).expect("connect for adversarial attach");
+        let response = client
+            .attach_tenant("adversarial", "", &rules)
+            .expect("attach-tenant request");
+        let Some(adv_tenant) = Client::attach_tenant_outcome(&response) else {
+            eprintln!(
+                "attach adversarial tenant failed: {}",
+                String::from_utf8_lossy(&response.payload)
+            );
+            std::process::exit(2);
+        };
+        // In-process mode also caps the adversarial tenant's fuel and byte
+        // budgets, so `RESOURCE_EXHAUSTED` (not just the deadline) is
+        // exercised. Externally the deadline backstop alone bounds them.
+        if let Some(frontend) = frontend.as_ref() {
+            if let Some(server) = frontend.registry().server(adv_tenant) {
+                server.set_default_budget(
+                    ipg::ParseBudget::default()
+                        .with_fuel(2_000)
+                        .with_max_gss_bytes(32 << 20)
+                        .with_max_forest_bytes(32 << 20),
+                );
+            }
+        }
+        let mix = Adversarial {
+            frac: options.adversarial / 100.0,
+            tenant: adv_tenant,
+            sentence: ipg_bench::workload::adversarial_sentence(96),
+            deadline_us: overload_deadline_us.max(1_000),
+        };
+        let rate = capacity;
+        let (well, adv) = open_loop_phase(
+            &addr,
+            options.conns,
+            rate,
+            options.phase_secs,
+            0,
+            payload,
+            options.seed ^ 0x0ADD_BA11,
+            &ZipfTenants::single(),
+            Some(&mix),
+        );
+        let (_, well_p99, _) = well.latency_ok.percentiles_us();
+        println!(
+            "adversarial ({:.0}% of 1x, deadline {}us): well-behaved sent {:>6} p99 {}us; \
+             adversarial sent {:>5}, exhausted {}, deadline-killed {}, ok {}, error {}, \
+             unanswered {}",
+            options.adversarial,
+            mix.deadline_us,
+            well.sent,
+            well_p99,
+            adv.sent,
+            adv.resource_exhausted,
+            adv.deadline_exceeded,
+            adv.ok,
+            adv.error,
+            adv.unanswered,
+        );
+        Some((mix, rate, well, adv))
+    } else {
+        None
+    };
+
     // The server's own view, over the wire.
     let server_stats_json = Client::connect(&addr)
         .and_then(|mut client| client.stats_json())
@@ -658,13 +832,23 @@ fn main() {
     // Report + gates
     // ------------------------------------------------------------------
     let p99_08 = results[0].3.latency_ok.percentiles_us().1;
+    let p99_1x = results[1].3.latency_ok.percentiles_us().1;
     let p99_4x = results[3].3.latency_ok.percentiles_us().1;
     let shed_rate_1x = results[1].3.shed_rate();
     let unanswered_total: u64 = calibration.unanswered
-        + results.iter().map(|(_, _, _, t)| t.unanswered).sum::<u64>();
+        + results.iter().map(|(_, _, _, t)| t.unanswered).sum::<u64>()
+        + adversarial
+            .as_ref()
+            .map_or(0, |(_, _, well, adv)| well.unanswered + adv.unanswered);
     let p99_ratio = p99_4x as f64 / p99_08.max(1) as f64;
 
     let ratio_gate = if cores >= 4 { 2.5 } else { 3.0 };
+    // The containment gate: well-behaved p99 with runaway neighbours vs
+    // the clean 1× p99.
+    let adversarial_gate = 3.0;
+    let adversarial_ratio = adversarial.as_ref().map(|(_, _, well, _)| {
+        well.latency_ok.percentiles_us().1 as f64 / p99_1x.max(1) as f64
+    });
 
     let mut json = format!(
         "{{\n  \"benchmark\": \"frontend\",\n  \"workload\": \"sdf-exp\",\n  \
@@ -680,8 +864,21 @@ fn main() {
         json.push_str(&phase_json(*multiplier, *rate, *deadline_us, tally));
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
+    let adversarial_json = match &adversarial {
+        Some((mix, rate, well, adv)) => format!(
+            "{{\n    \"pct\": {},\n    \"sentence_tokens\": 96,\n    \"well_behaved\":\n{},\n    \
+             \"adversarial\":\n{},\n    \"well_p99_ratio_vs_1x\": {:.3},\n    \
+             \"well_p99_ratio_gate\": {adversarial_gate}\n  }}",
+            options.adversarial,
+            phase_json(1.0, *rate, 0, well),
+            phase_json(1.0, *rate, mix.deadline_us, adv),
+            adversarial_ratio.unwrap_or(0.0),
+        ),
+        None => "null".to_owned(),
+    };
     json.push_str(&format!(
-        "  ],\n  \"p99_served_us_0_8x\": {p99_08},\n  \"p99_served_us_4x\": {p99_4x},\n  \
+        "  ],\n  \"adversarial\": {adversarial_json},\n  \
+         \"p99_served_us_0_8x\": {p99_08},\n  \"p99_served_us_4x\": {p99_4x},\n  \
          \"p99_ratio_4x_vs_0_8x\": {p99_ratio:.3},\n  \"p99_ratio_gate\": {ratio_gate},\n  \
          \"shed_rate_1x\": {shed_rate_1x:.4},\n  \
          \"unanswered_total\": {unanswered_total},\n  \"server_stats\": {server_stats_json}\n}}\n",
@@ -717,12 +914,40 @@ fn main() {
         eprintln!("FAIL: p99 at 0.8x load is {p99_08}us (generous bound: 150ms)");
         failed = true;
     }
+    if let Some((_, _, _, adv)) = &adversarial {
+        // Containment gate 1: every adversarial request gets a definitive
+        // reply — budget kill, deadline kill, shed, or error, but never
+        // silence.
+        if adv.unanswered > 0 || adv.replies() != adv.sent {
+            eprintln!(
+                "FAIL: {} of {} adversarial request(s) without a definitive reply",
+                adv.sent - adv.replies() + adv.unanswered,
+                adv.sent
+            );
+            failed = true;
+        }
+        // Containment gate 2: runaway neighbours must not wreck the
+        // well-behaved tenants' tail.
+        if let Some(ratio) = adversarial_ratio {
+            if ratio > adversarial_gate {
+                eprintln!(
+                    "FAIL: well-behaved p99 with runaway neighbours is {ratio:.2}x the clean \
+                     1x p99 ({p99_1x}us), gate {adversarial_gate}x: containment leaks"
+                );
+                failed = true;
+            }
+        }
+    }
     if failed {
         std::process::exit(1);
     }
+    let adversarial_note = match adversarial_ratio {
+        Some(ratio) => format!(", adversarial well-behaved p99 {ratio:.2}x <= {adversarial_gate}x"),
+        None => String::new(),
+    };
     println!(
         "gates: all passed (p99 {p99_08}us @0.8x -> {p99_4x}us @4x, ratio {p99_ratio:.2} <= \
-         {ratio_gate}, shed@1x {:.1}%, unanswered 0)",
+         {ratio_gate}, shed@1x {:.1}%, unanswered 0{adversarial_note})",
         shed_rate_1x * 100.0
     );
 }

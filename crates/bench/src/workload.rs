@@ -226,6 +226,45 @@ pub fn wide_synthetic_workload(productions: usize) -> WideSyntheticWorkload {
     }
 }
 
+/// BNF text of an adversarial, maximally ambiguous grammar for the
+/// runaway-parse containment tests and `ipg-loadgen --adversarial`:
+///
+/// ```text
+/// AMB0 ::= "x"
+/// AMBk ::= AMBk AMBk | AMB{k-1}     (for k = 1..=layers)
+/// START ::= AMB{layers}
+/// ```
+///
+/// A sentence of `n` `x` tokens has Catalan(n−1) binary bracketings *per
+/// layer* (times the unary chain choices between layers), so GSS work and
+/// forest growth blow up combinatorially with `n` — the workload a
+/// per-request [`ipg::ParseBudget`] exists to contain. `layers` deepens
+/// the ambiguity multiplicatively; 1 is already pathological. The text is
+/// a full grammar, suitable for `ATTACH-TENANT` as an independent tenant
+/// (no scanner — drive it with `PARSE-TOKENS`).
+pub fn adversarial_grammar_bnf(layers: usize) -> String {
+    let layers = layers.max(1);
+    let mut bnf = String::from("AMB0 ::= \"x\"\n");
+    for k in 1..=layers {
+        bnf.push_str(&format!("AMB{k} ::= AMB{k} AMB{k} | AMB{}\n", k - 1));
+    }
+    bnf.push_str(&format!("START ::= AMB{layers}\n"));
+    bnf
+}
+
+/// A pre-lexed sentence of `n` `x` tokens for [`adversarial_grammar_bnf`],
+/// in the whitespace-separated form `PARSE-TOKENS` expects.
+pub fn adversarial_sentence(n: usize) -> String {
+    let mut sentence = String::with_capacity(2 * n);
+    for i in 0..n {
+        if i > 0 {
+            sentence.push(' ');
+        }
+        sentence.push('x');
+    }
+    sentence
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +318,28 @@ mod tests {
         assert!(session.grammar().is_active(slot));
         assert!(session.parse(&edit_sentence).accepted);
         assert!(session.parse(&small.sentence).accepted);
+    }
+
+    #[test]
+    fn adversarial_grammar_is_ambiguous_and_budget_containable() {
+        let server = ipg::IpgServer::from_bnf(&adversarial_grammar_bnf(1)).unwrap();
+        // Small input: ambiguous but cheap — Catalan(2) = 2 bracketings.
+        let result = server.parse_sentence(&adversarial_sentence(3)).unwrap();
+        assert!(result.accepted);
+        assert!(result.forest.tree_count(64) >= 2);
+        // Large input: a starved fuel budget kills it mid-parse instead of
+        // letting the Catalan blow-up monopolise the worker.
+        let starved = ipg::ParseBudget::default().with_fuel(10_000);
+        let err = server
+            .parse_sentence_budgeted(&adversarial_sentence(64), starved)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ipg::ServerError::Exhausted(ipg::ExhaustReason::Fuel)
+        ));
+        // Deeper layering still builds and parses.
+        let deep = ipg::IpgServer::from_bnf(&adversarial_grammar_bnf(3)).unwrap();
+        assert!(deep.parse_sentence(&adversarial_sentence(2)).unwrap().accepted);
     }
 
     #[test]

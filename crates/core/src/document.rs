@@ -35,7 +35,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ipg_glr::{GssParseResult, GssParser, GssStats, ParseCtx, ParseHistory, ParseOutcome};
+use ipg_glr::{
+    ExhaustReason, GssParseResult, GssParser, GssStats, ParseBudget, ParseCtx, ParseHistory,
+    ParseOutcome,
+};
 use ipg_grammar::SymbolId;
 use ipg_lexer::{relex, DfaSnapshot, MatchRec, ScanError};
 
@@ -80,30 +83,57 @@ pub(crate) struct DocRegistry {
 }
 
 impl DocRegistry {
+    /// Locks the id→session map, recovering from poison: the map itself is
+    /// only mutated by whole-entry insert/remove, so a panic elsewhere in a
+    /// holder's critical section cannot leave it inconsistent.
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Mutex<DocumentSession>>>> {
+        match self.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.map.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
     fn insert(&self, doc: DocumentSession) -> u64 {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .lock()
-            .unwrap()
-            .insert(id, Arc::new(Mutex::new(doc)));
+        self.lock_map().insert(id, Arc::new(Mutex::new(doc)));
         id
     }
 
     fn get(&self, id: u64) -> Result<Arc<Mutex<DocumentSession>>, ServerError> {
-        self.map
-            .lock()
-            .unwrap()
+        self.lock_map()
             .get(&id)
             .cloned()
             .ok_or(ServerError::UnknownDocument(id))
     }
 
     fn remove(&self, id: u64) -> Option<Arc<Mutex<DocumentSession>>> {
-        self.map.lock().unwrap().remove(&id)
+        self.lock_map().remove(&id)
     }
 
     fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.lock_map().len()
+    }
+}
+
+/// Locks one document session, recovering from a poisoned mutex: a panic
+/// mid-edit (an injected fault, or a real bug unwinding out of the re-lex
+/// or GSS resume) leaves the session's incremental state half-updated, so
+/// recovery takes the data anyway (`PoisonError::into_inner`), marks the
+/// session **desynchronised** — the next edit rebuilds text→tokens→forest
+/// from scratch instead of trusting spliced state — and clears the poison
+/// flag so the document stays usable instead of erroring forever.
+fn lock_doc(doc: &Arc<Mutex<DocumentSession>>) -> std::sync::MutexGuard<'_, DocumentSession> {
+    match doc.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            doc.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.synced = false;
+            guard
+        }
     }
 }
 
@@ -132,6 +162,17 @@ impl IpgServer {
     /// Requires a scanner ([`ServerError::NoScanner`] otherwise). A scan
     /// or unknown-terminal error closes nothing — no session is created.
     pub fn open_document(&self, text: &str) -> Result<u64, ServerError> {
+        self.open_document_budgeted(text, self.default_budget())
+    }
+
+    /// [`IpgServer::open_document`] under an explicit [`ParseBudget`]. If
+    /// the initial parse exhausts the budget no session is created and
+    /// [`ServerError::Exhausted`] is returned.
+    pub fn open_document_budgeted(
+        &self,
+        text: &str,
+        budget: ParseBudget,
+    ) -> Result<u64, ServerError> {
         let started = Instant::now();
         let epoch = self.acquire();
         let Some(scanner) = epoch.scanner() else {
@@ -150,13 +191,20 @@ impl IpgServer {
             ctx: ParseCtx::new(),
             history: ParseHistory::new(),
             synced: false,
-            last: ParseOutcome {
+            last: ParseOutcome::Done {
                 accepted: false,
                 stats: GssStats::default(),
                 grammar_version,
             },
         };
-        let (_, action_calls, goto_calls) = self.reload_document(&mut doc)?;
+        let (_, action_calls, goto_calls) =
+            match self.reload_document(&mut doc, budget) {
+                Ok(reloaded) => reloaded,
+                Err(ServerError::Exhausted(reason)) => {
+                    return Err(self.note_doc_exhausted(started, reason));
+                }
+                Err(e) => return Err(e),
+            };
         let id = self.documents.insert(doc);
         let mut delta = GenStats {
             parses: 1,
@@ -184,9 +232,22 @@ impl IpgServer {
         range: Range<usize>,
         replacement: &str,
     ) -> Result<ParseOutcome, ServerError> {
+        self.apply_edit_budgeted(id, range, replacement, self.default_budget())
+    }
+
+    /// [`IpgServer::apply_edit`] under an explicit [`ParseBudget`]. A
+    /// budget-killed re-parse leaves the text edit applied but the parse
+    /// state desynchronised; the next edit rebuilds from scratch.
+    pub fn apply_edit_budgeted(
+        &self,
+        id: u64,
+        range: Range<usize>,
+        replacement: &str,
+        budget: ParseBudget,
+    ) -> Result<ParseOutcome, ServerError> {
         let started = Instant::now();
         let doc = self.documents.get(id)?;
-        let mut doc = doc.lock().unwrap();
+        let mut doc = lock_doc(&doc);
         let doc = &mut *doc;
         if range.start > range.end
             || range.end > doc.text.len()
@@ -210,7 +271,14 @@ impl IpgServer {
                 let old = std::mem::replace(&mut doc.epoch, self.acquire());
                 self.release(old);
             }
-            let (outcome, action_calls, goto_calls) = self.reload_document(doc)?;
+            let (outcome, action_calls, goto_calls) =
+                match self.reload_document(doc, budget) {
+                    Ok(reloaded) => reloaded,
+                    Err(ServerError::Exhausted(reason)) => {
+                        return Err(self.note_doc_exhausted(started, reason));
+                    }
+                    Err(e) => return Err(e),
+                };
             let mut delta = GenStats {
                 parses: 1,
                 action_calls,
@@ -234,6 +302,7 @@ impl IpgServer {
         let scanner = epoch
             .scanner()
             .expect("synced session implies a scanner-backed epoch");
+        ipg_glr::fault::point("relex");
         let relexed = scanner.relex_splice(&mut doc.pin, &mut doc.recs, &doc.chars, edit);
         let rel = match relexed {
             Ok(rel) => rel,
@@ -281,10 +350,22 @@ impl IpgServer {
 
         let tables = epoch.session().tables();
         let parser = GssParser::new(epoch.session().grammar());
-        let (outcome, _resumed) =
-            parser.parse_resumed(&mut doc.ctx, &tables, &doc.tokens, &mut doc.history, damage);
+        let (outcome, _resumed) = parser.parse_resumed_budgeted(
+            &mut doc.ctx,
+            &tables,
+            &doc.tokens,
+            &mut doc.history,
+            damage,
+            budget,
+        );
         let (action_calls, goto_calls) = tables.query_counts();
         drop(tables);
+        if let Some(reason) = outcome.exhausted() {
+            // The splice already happened, so the GSS/history state is a
+            // half-advanced hybrid: desynchronise and rebuild next edit.
+            doc.synced = false;
+            return Err(self.note_doc_exhausted(started, reason));
+        }
         doc.last = outcome;
         let mut delta = GenStats {
             parses: 1,
@@ -292,7 +373,7 @@ impl IpgServer {
             goto_calls,
             reparse_incremental: 1,
             tokens_relexed: rel.relexed,
-            states_rerun: outcome.stats.nodes,
+            states_rerun: outcome.stats().nodes,
             ..GenStats::default()
         };
         delta.latency.record(started.elapsed());
@@ -305,25 +386,25 @@ impl IpgServer {
     /// the pre-error result (the parse state did not advance).
     pub fn document_result(&self, id: u64) -> Result<GssParseResult, ServerError> {
         let doc = self.documents.get(id)?;
-        let doc = doc.lock().unwrap();
+        let doc = lock_doc(&doc);
         Ok(doc.last.into_result(doc.ctx.forest().clone()))
     }
 
     /// The document's current text (always reflects every applied edit,
     /// including ones whose re-parse failed).
     pub fn document_text(&self, id: u64) -> Result<String, ServerError> {
-        Ok(self.documents.get(id)?.lock().unwrap().text.clone())
+        Ok(lock_doc(&self.documents.get(id)?).text.clone())
     }
 
     /// A point-in-time description of an open document.
     pub fn document_info(&self, id: u64) -> Result<DocumentInfo, ServerError> {
         let doc = self.documents.get(id)?;
-        let doc = doc.lock().unwrap();
+        let doc = lock_doc(&doc);
         Ok(DocumentInfo {
             bytes: doc.text.len(),
             tokens: doc.tokens.len(),
             epoch: doc.epoch.number(),
-            accepted: doc.last.accepted,
+            accepted: doc.last.accepted(),
             synced: doc.synced,
         })
     }
@@ -336,10 +417,12 @@ impl IpgServer {
             .remove(id)
             .ok_or(ServerError::UnknownDocument(id))?;
         let epoch = match Arc::try_unwrap(doc) {
-            Ok(mutex) => mutex.into_inner().unwrap().epoch,
+            // Closing a session whose last holder panicked mid-edit is
+            // still fine — only the pin is read out of the wreckage.
+            Ok(mutex) => mutex.into_inner().unwrap_or_else(|p| p.into_inner()).epoch,
             // A concurrent reader still holds the session `Arc`; it drops
             // the pin when it finishes.
-            Err(arc) => arc.lock().unwrap().epoch.clone(),
+            Err(arc) => lock_doc(&arc).epoch.clone(),
         };
         self.release(epoch);
         Ok(())
@@ -357,6 +440,7 @@ impl IpgServer {
     fn reload_document(
         &self,
         doc: &mut DocumentSession,
+        budget: ParseBudget,
     ) -> Result<(ParseOutcome, usize, usize), ServerError> {
         doc.synced = false;
         let epoch = doc.epoch.clone();
@@ -383,12 +467,39 @@ impl IpgServer {
         }
         let tables = epoch.session().tables();
         let parser = GssParser::new(epoch.session().grammar());
-        let outcome = parser.parse_recorded(&mut doc.ctx, &tables, &doc.tokens, &mut doc.history);
+        let outcome = parser.parse_recorded_budgeted(
+            &mut doc.ctx,
+            &tables,
+            &doc.tokens,
+            &mut doc.history,
+            budget,
+        );
         let (action_calls, goto_calls) = tables.query_counts();
         drop(tables);
+        if let Some(reason) = outcome.exhausted() {
+            // `synced` stays false: a budget-killed rebuild left a partial
+            // GSS behind, and the next edit retries the full reload.
+            return Err(ServerError::Exhausted(reason));
+        }
         doc.last = outcome;
         doc.synced = true;
         Ok((outcome, action_calls, goto_calls))
+    }
+
+    /// Records a budget-killed document parse — served, counted, and the
+    /// caller is told exactly why — and builds its error.
+    fn note_doc_exhausted(&self, started: Instant, reason: ExhaustReason) -> ServerError {
+        let mut delta = GenStats {
+            parses: 1,
+            ..GenStats::default()
+        };
+        match reason {
+            ExhaustReason::Deadline => delta.parses_cancelled = 1,
+            _ => delta.parses_exhausted = 1,
+        }
+        delta.latency.record(started.elapsed());
+        self.note(&delta);
+        ServerError::Exhausted(reason)
     }
 
     /// Marks a session desynchronised after a failed re-lex and records
@@ -442,7 +553,7 @@ mod tests {
 
         // `false` -> `true and true`.
         let outcome = server.apply_edit(id, 8..13, "true and true").unwrap();
-        assert!(outcome.accepted);
+        assert!(outcome.accepted());
         assert_eq!(server.document_text(id).unwrap(), "true or true and true");
         let cold = server.parse_text("true or true and true").unwrap();
         assert_eq!(digest(&server.document_result(id).unwrap()), digest(&cold));
@@ -487,7 +598,7 @@ mod tests {
         let id = server.open_document("true or false").unwrap();
         server.add_rule_text(r#"B ::= "true" "true""#).unwrap();
         let outcome = server.apply_edit(id, 8..13, "true true").unwrap();
-        assert!(outcome.accepted, "new rule is visible after the fallback");
+        assert!(outcome.accepted(), "new rule is visible after the fallback");
         let stats = server.stats().merged();
         assert_eq!(stats.reparse_full, 1);
         assert_eq!(stats.reparse_incremental, 0);
@@ -512,7 +623,7 @@ mod tests {
         assert!(server.document_result(id).unwrap().accepted);
         // Removing the bad character rebuilds from scratch.
         let outcome = server.apply_edit(id, 4..5, "").unwrap();
-        assert!(outcome.accepted);
+        assert!(outcome.accepted());
         assert!(server.document_info(id).unwrap().synced);
         assert_eq!(server.stats().merged().reparse_full, 1);
         server.close_document(id).unwrap();
@@ -572,5 +683,62 @@ mod tests {
         assert_eq!(server.retired_epochs(), 1);
         server.close_document(id).unwrap();
         assert_eq!(server.retired_epochs(), 0, "close released the pin");
+    }
+
+    /// Satellite 1: a panic *while holding the document mutex* (injected
+    /// into the re-lex) poisons the lock; the next edit must recover —
+    /// desync + full rebuild — instead of erroring forever.
+    #[test]
+    fn poisoned_document_recovers_via_full_rebuild() {
+        let server = boolean_server();
+        let id = server.open_document("true or false").unwrap();
+
+        ipg_glr::FaultPlan::new().fail("relex", 1).arm_scoped();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = server.apply_edit(id, 8..13, "true");
+        }));
+        ipg_glr::fault::disarm();
+        assert!(panicked.is_err(), "injected fault should unwind");
+        assert_eq!(ipg_glr::fault::injected(), 1);
+
+        // The panic left the session mutex poisoned with half-spliced
+        // text/chars. Reads recover and report desync...
+        assert!(!server.document_info(id).unwrap().synced);
+        // ...and the next edit rebuilds from scratch and is equivalent to
+        // a cold parse of the final text.
+        let outcome = server.apply_edit(id, 0..4, "false").unwrap();
+        assert!(outcome.accepted());
+        let text = server.document_text(id).unwrap();
+        let cold = server.parse_text(&text).unwrap();
+        assert_eq!(digest(&server.document_result(id).unwrap()), digest(&cold));
+        assert!(server.stats().merged().reparse_full >= 1);
+        server.close_document(id).unwrap();
+    }
+
+    /// A budget-killed incremental re-parse desynchronises the session and
+    /// the next (budgeted-enough) edit recovers with a full rebuild.
+    #[test]
+    fn exhausted_edit_desyncs_then_recovers() {
+        let server = boolean_server();
+        let id = server.open_document("true or false").unwrap();
+        let starved = ParseBudget::default().with_fuel(1);
+        let tail = "true and true or false and true or true and false or true";
+        let err = server
+            .apply_edit_budgeted(id, 8..13, tail, starved)
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Exhausted(_)));
+        // Text is the source of truth; parse state is behind.
+        assert_eq!(server.document_text(id).unwrap(), format!("true or {tail}"));
+        assert!(!server.document_info(id).unwrap().synced);
+        let stats = server.stats().merged();
+        assert_eq!(stats.parses_exhausted, 1);
+
+        let outcome = server.apply_edit(id, 0..0, "false or ").unwrap();
+        assert!(outcome.accepted());
+        assert!(server.document_info(id).unwrap().synced);
+        let text = server.document_text(id).unwrap();
+        let cold = server.parse_text(&text).unwrap();
+        assert_eq!(digest(&server.document_result(id).unwrap()), digest(&cold));
+        server.close_document(id).unwrap();
     }
 }

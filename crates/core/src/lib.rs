@@ -98,6 +98,7 @@ pub mod stats;
 pub mod tables;
 
 pub use document::DocumentInfo;
+pub use ipg_glr::{ExhaustReason, FaultPlan, ParseBudget};
 pub use graph::{
     ActionRow, ChunkHandle, ChunkObserver, GcPolicy, GraphError, ItemSetGraph, ItemSetKind,
     ItemSetNode, CHUNK_SIZE,

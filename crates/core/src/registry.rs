@@ -272,7 +272,10 @@ impl GrammarRegistry {
         // copies-on-write only the chunks its invalidation touches.
         let mut session = epoch.session().clone();
         delta(&mut session)?;
-        let server = crate::server::IpgServer::new(session);
+        // The fork inherits the base tenant's default parse budget: a
+        // dialect of a contained tenant is contained too.
+        let server = crate::server::IpgServer::new(session)
+            .with_default_budget(base_tenant.server.default_budget());
         let server = match epoch.scanner() {
             Some(scanner) => server.with_scanner(scanner.relazified()),
             None => server,

@@ -105,10 +105,35 @@
 //! | admission queue full               | `OVERLOADED`         | `shed_overload`       |
 //! | deadline expired in the queue      | `DEADLINE_EXCEEDED`  | `shed_deadline`       |
 //! | deadline expired at epoch-pin time | `DEADLINE_EXCEEDED`  | `shed_deadline`       |
-//! | deadline expires *after* the pin   | parse runs to completion; the late reply is visible in the latency histogram |
+//! | deadline expires *after* the pin   | `DEADLINE_EXCEEDED` — the GSS loop observes it at the next budget stride and cancels cooperatively | `parses_cancelled`, `ctx_quarantined` |
+//! | parse exceeds a resource cap (step fuel, GSS/forest byte caps) | `RESOURCE_EXHAUSTED` | `parses_exhausted`, `ctx_quarantined` |
+//! | client cancelled a queued request  | `CANCELLED`          | `parses_cancelled`    |
+//! | request panics inside a worker     | `ERROR` (exactly once); the worker survives | `worker_panics`, `ctx_quarantined` |
 //! | frame arrives while draining       | `SHUTTING_DOWN`      | `shed_shutdown`       |
 //! | malformed frame (bad length/verb)  | `MALFORMED` if the id was decodable, then the connection closes | `rejected_malformed` |
 //! | peer stalls mid-frame / never reads replies | none — only that connection is poisoned | `io_timeouts` |
+//!
+//! ## Per-request budgets and context quarantine
+//!
+//! Every parse entry point has a budgeted form
+//! ([`IpgServer::parse_text_budgeted`], [`IpgServer::parse_sentence_budgeted`],
+//! the document paths) threading an [`ipg_glr::ParseBudget`] — deadline
+//! instant, step fuel, byte caps on the GSS pools and forest arena — into
+//! the GSS driver, which checks it every few dozen work units (amortized:
+//! an unlimited budget costs one counter bump per unit, so the zero-alloc
+//! warm path is untouched). The unbudgeted names delegate with the
+//! server's **default budget** ([`IpgServer::set_default_budget`] — per
+//! tenant when servers live in a registry), and the frontend tightens the
+//! wire deadline into the effective budget, which is what makes
+//! `DEADLINE_EXCEEDED` fire *mid-parse* instead of only at admission.
+//!
+//! **Quarantine lifecycle:** a budget-killed parse returns
+//! [`ServerError::Exhausted`] and its pooled [`RequestCtx`] is *dropped*
+//! instead of recycled — the pools just proved they can balloon to the cap,
+//! so the next checkout rebuilds fresh (`ctx_quarantined`, then
+//! `ctx_fresh`). A panicking parse quarantines implicitly: the context
+//! unwinds out of the per-thread slot and is freed with the stack. Either
+//! way the worker thread itself is preserved at full pool strength.
 //!
 //! Grammar edits over the wire (`ADD-RULE`/`DELETE-RULE`) go through
 //! [`IpgServer::add_rule_text`]/[`IpgServer::remove_rule_text`] like any
@@ -217,7 +242,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ipg_glr::{
-    Forest, GssParseResult, GssParser, GssStats, ParseCtx, ParseOutcome, TokenSource,
+    ExhaustReason, Forest, GssParseResult, GssParser, GssStats, ParseBudget, ParseCtx,
+    ParseOutcome, TokenSource,
 };
 use ipg_grammar::{RuleId, SymbolId};
 use ipg_lexer::{ScanError, Scanner, TokenStream};
@@ -248,6 +274,11 @@ pub enum ServerError {
         /// The document's length in bytes.
         len: usize,
     },
+    /// The parse was cancelled mid-flight by its [`ParseBudget`]: the
+    /// request's deadline passed (`Deadline` — surfaced as
+    /// `DEADLINE_EXCEEDED` on the wire) or a resource cap tripped
+    /// (`RESOURCE_EXHAUSTED`). The request context was quarantined.
+    Exhausted(ExhaustReason),
 }
 
 impl fmt::Display for ServerError {
@@ -259,6 +290,9 @@ impl fmt::Display for ServerError {
             ServerError::UnknownDocument(id) => write!(f, "unknown document id {id}"),
             ServerError::InvalidRange { start, end, len } => {
                 write!(f, "invalid edit range {start}..{end} in a document of {len} bytes")
+            }
+            ServerError::Exhausted(reason) => {
+                write!(f, "parse budget exhausted ({reason})")
             }
         }
     }
@@ -355,12 +389,30 @@ struct EpochTokenSource<'a> {
     stream: TokenStream<'a>,
     slots: &'a [Option<SymbolId>],
     scanner: &'a Scanner,
+    /// The request budget's deadline, re-checked every
+    /// [`TOKEN_DEADLINE_STRIDE`] tokens so a scanner grinding through a
+    /// pathological lexical input (long skip loops, dense fallback) cannot
+    /// outlive its deadline between GSS-side budget checks.
+    deadline: Option<Instant>,
+    ticks: u32,
 }
+
+/// Tokens between deadline re-checks in the fused token source.
+const TOKEN_DEADLINE_STRIDE: u32 = 32;
 
 impl TokenSource for EpochTokenSource<'_> {
     type Error = ServerError;
 
     fn next_token(&mut self) -> Result<Option<SymbolId>, ServerError> {
+        if let Some(deadline) = self.deadline {
+            self.ticks += 1;
+            if self.ticks >= TOKEN_DEADLINE_STRIDE {
+                self.ticks = 0;
+                if Instant::now() >= deadline {
+                    return Err(ServerError::Exhausted(ExhaustReason::Deadline));
+                }
+            }
+        }
         let Some(slot) = self.stream.next_slot()? else {
             return Ok(None);
         };
@@ -438,17 +490,17 @@ pub struct PooledParse {
 impl PooledParse {
     /// Whether the input is a sentence of the language.
     pub fn accepted(&self) -> bool {
-        self.outcome.accepted
+        self.outcome.accepted()
     }
 
     /// Work counters of the parse.
     pub fn stats(&self) -> GssStats {
-        self.outcome.stats
+        self.outcome.stats()
     }
 
     /// The grammar version the parse ran against.
     pub fn grammar_version(&self) -> u64 {
-        self.outcome.grammar_version
+        self.outcome.grammar_version()
     }
 
     /// The shared parse forest, read in place from the pooled context.
@@ -567,6 +619,10 @@ pub struct IpgServer {
     /// Open document sessions (see [`crate::document`]): incremental
     /// re-parse state keyed by document id.
     pub(crate) documents: crate::document::DocRegistry,
+    /// The default per-request [`ParseBudget`] the unbudgeted parse paths
+    /// apply (unlimited unless configured). Read per request, written
+    /// rarely (tenant attach / admin), hence the `RwLock`.
+    budget: RwLock<ParseBudget>,
 }
 
 /// Cap on individually tracked serving threads (see `IpgServer::per_thread`).
@@ -609,6 +665,7 @@ impl IpgServer {
             writer: Mutex::new(EpochWriter::default()),
             per_thread: Mutex::new(PerThreadStats::default()),
             documents: crate::document::DocRegistry::default(),
+            budget: RwLock::new(ParseBudget::UNLIMITED),
         }
     }
 
@@ -631,6 +688,28 @@ impl IpgServer {
             });
         }
         self
+    }
+
+    /// Builder: sets the default per-request budget (see
+    /// [`IpgServer::set_default_budget`]).
+    pub fn with_default_budget(self, budget: ParseBudget) -> Self {
+        self.set_default_budget(budget);
+        self
+    }
+
+    /// The default per-request [`ParseBudget`] applied by the unbudgeted
+    /// parse paths ([`IpgServer::parse_text`], [`IpgServer::parse_text_pooled`],
+    /// document opens/edits). Unlimited unless configured.
+    pub fn default_budget(&self) -> ParseBudget {
+        *self.budget.read().unwrap()
+    }
+
+    /// Sets the default per-request budget. Takes effect for requests that
+    /// start after the call; in-flight parses keep the budget they started
+    /// with. A [`crate::GrammarRegistry`] uses this as the per-tenant
+    /// default (dialect forks inherit the base tenant's budget).
+    pub fn set_default_budget(&self, budget: ParseBudget) {
+        *self.budget.write().unwrap() = budget;
     }
 
     // ------------------------------------------------------------------
@@ -761,6 +840,7 @@ impl IpgServer {
         let started = Instant::now();
         let (mut ctx, reused) = checkout_ctx();
         let epoch = self.acquire();
+        ipg_glr::fault::point("post-pin");
         let tables: LazyTables<'_> = epoch.session.tables();
         let result = f(&epoch, &tables, &mut ctx);
         let (action_calls, goto_calls) = tables.query_counts();
@@ -782,6 +862,7 @@ impl IpgServer {
         let started = Instant::now();
         let (mut ctx, reused) = checkout_ctx();
         let epoch = self.acquire();
+        ipg_glr::fault::point("post-pin");
         let tables: LazyTables<'_> = epoch.session.tables();
         let outcome = f(&epoch, &tables, &mut ctx);
         let (action_calls, goto_calls) = tables.query_counts();
@@ -800,6 +881,72 @@ impl IpgServer {
         }
     }
 
+    /// The budgeted serve path: like [`IpgServer::serve_pooled`] but
+    /// specialised to [`ServerError`] so it can implement the quarantine
+    /// lifecycle — a parse that exhausts its [`ParseBudget`] (either the
+    /// GSS driver reporting [`ParseOutcome::Exhausted`] or the fused token
+    /// source erroring with [`ServerError::Exhausted`]) has its context
+    /// **dropped instead of recycled** (the pools may have ballooned to
+    /// the byte cap) and is surfaced as `Err(ServerError::Exhausted)`.
+    fn serve_pooled_budgeted(
+        &self,
+        budget: ParseBudget,
+        f: impl FnOnce(
+            &GrammarEpoch,
+            &LazyTables<'_>,
+            &mut RequestCtx,
+            ParseBudget,
+        ) -> Result<ParseOutcome, ServerError>,
+    ) -> Result<PooledParse, ServerError> {
+        let started = Instant::now();
+        let (mut ctx, reused) = checkout_ctx();
+        let epoch = self.acquire();
+        ipg_glr::fault::point("post-pin");
+        let tables: LazyTables<'_> = epoch.session.tables();
+        let outcome = f(&epoch, &tables, &mut ctx, budget);
+        let (action_calls, goto_calls) = tables.query_counts();
+        drop(tables);
+        self.release(epoch);
+        self.note_parse(action_calls, goto_calls, reused, started.elapsed());
+        match outcome {
+            Ok(outcome) => match outcome.exhausted() {
+                None => Ok(PooledParse {
+                    ctx: Some(ctx),
+                    outcome,
+                }),
+                Some(reason) => {
+                    self.quarantine_ctx(ctx, reason);
+                    Err(ServerError::Exhausted(reason))
+                }
+            },
+            Err(ServerError::Exhausted(reason)) => {
+                self.quarantine_ctx(ctx, reason);
+                Err(ServerError::Exhausted(reason))
+            }
+            Err(e) => {
+                checkin_ctx(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    /// Quarantines a request context after a budget kill: drops it (the
+    /// next checkout builds fresh) and records the exhaustion counters —
+    /// `parses_cancelled` for a deadline cut, `parses_exhausted` for a
+    /// resource cap.
+    fn quarantine_ctx(&self, ctx: Box<RequestCtx>, reason: ExhaustReason) {
+        drop(ctx);
+        let mut delta = GenStats {
+            ctx_quarantined: 1,
+            ..GenStats::default()
+        };
+        match reason {
+            ExhaustReason::Deadline => delta.parses_cancelled = 1,
+            _ => delta.parses_exhausted = 1,
+        }
+        self.note(&delta);
+    }
+
     /// The fused text pipeline body shared by [`IpgServer::parse_text`]
     /// and [`IpgServer::parse_text_pooled`]: stream scanner matches from
     /// the epoch's pinned DFA snapshot straight into the GSS driver, with
@@ -809,6 +956,7 @@ impl IpgServer {
         tables: &LazyTables<'_>,
         ctx: &mut RequestCtx,
         input: &str,
+        budget: ParseBudget,
     ) -> Result<ParseOutcome, ServerError> {
         let scanner = epoch.scanner().ok_or(ServerError::NoScanner)?;
         let RequestCtx { glr, chars } = ctx;
@@ -816,8 +964,10 @@ impl IpgServer {
             stream: scanner.stream(input, chars),
             slots: epoch.terminal_slots(),
             scanner,
+            deadline: budget.deadline,
+            ticks: 0,
         };
-        GssParser::new(epoch.session.grammar()).parse_stream(glr, tables, source)
+        GssParser::new(epoch.session.grammar()).parse_stream_budgeted(glr, tables, source, budget)
     }
 
     /// Parses a token sentence against the shared graph. Concurrent with
@@ -835,9 +985,9 @@ impl IpgServer {
         self.serve(|epoch, tables, ctx| {
             let outcome =
                 GssParser::new(epoch.session.grammar()).parse_into(&mut ctx.glr, tables, tokens);
-            debug_assert_eq!(outcome.grammar_version, epoch.grammar_version());
+            debug_assert_eq!(outcome.grammar_version(), epoch.grammar_version());
             (
-                outcome.grammar_version,
+                outcome.grammar_version(),
                 outcome.into_result(ctx.glr.forest().clone()),
             )
         })
@@ -868,7 +1018,7 @@ impl IpgServer {
         self.serve(|epoch, tables, ctx| {
             GssParser::new(epoch.session.grammar())
                 .recognize_into(&mut ctx.glr, tables, tokens)
-                .accepted
+                .accepted()
         })
     }
 
@@ -882,6 +1032,28 @@ impl IpgServer {
             let outcome = GssParser::new(epoch.session.grammar()).parse_buffered(&mut ctx.glr, tables);
             Ok(outcome.into_result(ctx.glr.forest().clone()))
         })
+    }
+
+    /// [`IpgServer::parse_sentence`] under an explicit [`ParseBudget`]. An
+    /// exhausted parse returns [`ServerError::Exhausted`] and quarantines
+    /// its context (see the module docs).
+    pub fn parse_sentence_budgeted(
+        &self,
+        sentence: &str,
+        budget: ParseBudget,
+    ) -> Result<GssParseResult, ServerError> {
+        let pooled = self.serve_pooled_budgeted(budget, |epoch, tables, ctx, budget| {
+            epoch
+                .session
+                .tokens_into(sentence, &mut ctx.glr.tokens)
+                .map_err(ServerError::from)?;
+            Ok(GssParser::new(epoch.session.grammar()).parse_buffered_budgeted(
+                &mut ctx.glr,
+                tables,
+                budget,
+            ))
+        })?;
+        Ok(pooled.into_result())
     }
 
     /// Lexes `input` with the pinned epoch's scanner and parses the token
@@ -898,10 +1070,9 @@ impl IpgServer {
     /// (the parse returns a plain rejection). See
     /// [`IpgServer::parse_text_pooled`] for the zero-copy form.
     pub fn parse_text(&self, input: &str) -> Result<GssParseResult, ServerError> {
-        self.serve(|epoch, tables, ctx| {
-            let outcome = Self::parse_text_fused(epoch, tables, ctx, input)?;
-            Ok(outcome.into_result(ctx.glr.forest().clone()))
-        })
+        Ok(self
+            .parse_text_budgeted(input, self.default_budget())?
+            .into_result())
     }
 
     /// Like [`IpgServer::parse_text`], but the result borrows the pooled
@@ -909,8 +1080,27 @@ impl IpgServer {
     /// context pools grown) a request through this path performs **zero
     /// heap allocations** end to end — scan, parse and forest all run in
     /// recycled memory. Drop the result to return the context.
+    ///
+    /// Runs under the server's default budget
+    /// ([`IpgServer::default_budget`]); see
+    /// [`IpgServer::parse_text_budgeted`] for an explicit one.
     pub fn parse_text_pooled(&self, input: &str) -> Result<PooledParse, ServerError> {
-        self.serve_pooled(|epoch, tables, ctx| Self::parse_text_fused(epoch, tables, ctx, input))
+        self.parse_text_budgeted(input, self.default_budget())
+    }
+
+    /// [`IpgServer::parse_text_pooled`] under an explicit [`ParseBudget`]:
+    /// the GSS driver checks the budget every few dozen work units and the
+    /// fused token source re-checks the deadline while scanning, so a
+    /// pathological request is cut off *mid-parse*. An exhausted parse
+    /// returns [`ServerError::Exhausted`] and quarantines its context.
+    pub fn parse_text_budgeted(
+        &self,
+        input: &str,
+        budget: ParseBudget,
+    ) -> Result<PooledParse, ServerError> {
+        self.serve_pooled_budgeted(budget, |epoch, tables, ctx, budget| {
+            Self::parse_text_fused(epoch, tables, ctx, input, budget)
+        })
     }
 
     // ------------------------------------------------------------------

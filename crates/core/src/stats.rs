@@ -279,6 +279,22 @@ pub struct GenStats {
     /// **Gauge** (max-merged): tenants currently attached and not evicted
     /// in the owning [`crate::GrammarRegistry`]; zero outside a registry.
     pub tenants_active: usize,
+    /// Parses cut off mid-flight because their wall-clock deadline expired
+    /// (cooperative cancellation — the budget's `Deadline` axis), plus
+    /// requests answered `CANCELLED` after an explicit client cancel.
+    pub parses_cancelled: usize,
+    /// Parses cut off mid-flight by a resource cap (step fuel, GSS-pool or
+    /// forest-arena byte caps) — answered `RESOURCE_EXHAUSTED` on the wire.
+    pub parses_exhausted: usize,
+    /// Request contexts dropped instead of recycled: a budget-killed or
+    /// panicking parse leaves its pools in an untrusted (possibly
+    /// cap-sized) state, so the context is quarantined and the next
+    /// checkout builds a fresh one (`ctx_fresh`).
+    pub ctx_quarantined: usize,
+    /// Worker-thread panics caught at the request boundary
+    /// (`catch_unwind`): the request is answered `ERROR`, the context is
+    /// quarantined, and the worker keeps serving.
+    pub worker_panics: usize,
 }
 
 impl GenStats {
@@ -351,6 +367,10 @@ impl GenStats {
             chunks_evicted,
             chunks_relazified,
             tenants_active,
+            parses_cancelled,
+            parses_exhausted,
+            ctx_quarantined,
+            worker_panics,
         } = other;
         self.nodes_created += nodes_created;
         self.expansions += expansions;
@@ -397,6 +417,10 @@ impl GenStats {
         self.chunks_evicted += chunks_evicted;
         self.chunks_relazified += chunks_relazified;
         self.tenants_active = self.tenants_active.max(*tenants_active);
+        self.parses_cancelled += parses_cancelled;
+        self.parses_exhausted += parses_exhausted;
+        self.ctx_quarantined += ctx_quarantined;
+        self.worker_panics += worker_panics;
     }
 }
 
@@ -481,6 +505,14 @@ impl fmt::Display for GenStats {
         if self.chunks_evicted + self.chunks_relazified > 0 {
             writeln!(f, "chunks evicted:       {}", self.chunks_evicted)?;
             writeln!(f, "chunks re-lazified:   {}", self.chunks_relazified)?;
+        }
+        if self.parses_cancelled + self.parses_exhausted > 0 {
+            writeln!(f, "parses cancelled:     {}", self.parses_cancelled)?;
+            writeln!(f, "parses exhausted:     {}", self.parses_exhausted)?;
+        }
+        if self.ctx_quarantined + self.worker_panics > 0 {
+            writeln!(f, "contexts quarantined: {}", self.ctx_quarantined)?;
+            writeln!(f, "worker panics caught: {}", self.worker_panics)?;
         }
         if self.tenants_active > 0 {
             writeln!(f, "tenants active:       {}", self.tenants_active)?;

@@ -178,6 +178,21 @@ impl Client {
         Some(u32::from_le_bytes(response.payload.as_slice().try_into().ok()?))
     }
 
+    /// `CANCEL`: note a cancellation for `target_id` on this connection.
+    /// The `OK` reply acknowledges the note; if the target is still queued
+    /// it will be answered `CANCELLED` at dequeue. Mostly useful through
+    /// the raw [`crate::protocol`] functions on a pipelined connection —
+    /// this client waits for each reply, so by the time `cancel` can be
+    /// called the previous request has already been answered.
+    pub fn cancel(&mut self, target_id: u64) -> io::Result<Response> {
+        self.request(Verb::Cancel, 0, &target_id.to_le_bytes())
+    }
+
+    /// The id of the most recently sent request (0 before any).
+    pub fn last_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// `STATS` as the raw JSON document.
     pub fn stats_json(&mut self) -> io::Result<String> {
         let response = self.request(Verb::Stats, 0, &[])?;

@@ -11,11 +11,15 @@
 //!    make their deadlines), and
 //! 2. **at epoch-pin time** — immediately before the worker pins a grammar
 //!    epoch and commits parser time, after payload decoding; a request
-//!    whose budget ran out between dequeue and pin is shed the same way.
-//!
-//! A parse that is already past its pin runs to completion: the reply may
-//! arrive late, but cancellation mid-GSS would buy nothing (the context is
-//! returned either way) and the histograms make the lateness visible.
+//!    whose budget ran out between dequeue and pin is shed the same way —
+//!    and then
+//! 3. **mid-parse**: the deadline is folded into the request's
+//!    `ParseBudget` ([`Deadline::instant`]), so the GSS driver and the
+//!    fused token source observe it cooperatively every budget stride. A
+//!    runaway parse (ambiguity blow-up, adversarial input) is cancelled
+//!    from the inside with `DEADLINE_EXCEEDED`, its ballooned context
+//!    quarantined instead of recycled, and the worker moves on — a late
+//!    reply is bounded by one stride, not by the whole parse.
 
 use std::time::{Duration, Instant};
 
@@ -45,6 +49,12 @@ impl Deadline {
             Some(deadline) => now >= deadline,
             None => false,
         }
+    }
+
+    /// The absolute deadline instant, if any — for folding into a
+    /// `ParseBudget` so the parse loops observe it mid-flight.
+    pub fn instant(&self) -> Option<Instant> {
+        self.0
     }
 }
 

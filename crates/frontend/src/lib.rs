@@ -56,6 +56,19 @@
 //!   them with definitive `SHUTTING_DOWN` replies ([`ShutdownMode::Shed`]),
 //!   then joins every thread. No request admitted before the drain began
 //!   is left unanswered.
+//! * **Runaway parses are contained.** Every routed parse runs under a
+//!   [`ipg::ParseBudget`] (tenant default ∧ [`FrontendConfig::parse_budget`]
+//!   ∧ wire deadline) that the GSS loop observes cooperatively every few
+//!   dozen steps: an ambiguity blow-up or adversarial input is cancelled
+//!   mid-flight with `RESOURCE_EXHAUSTED`/`DEADLINE_EXCEEDED` instead of
+//!   monopolising a worker, and its ballooned request context is
+//!   quarantined, not recycled. `CANCEL` (handled inline by the reader)
+//!   answers still-queued requests `CANCELLED` at dequeue.
+//! * **Panics don't shrink the pool.** Workers run each request under
+//!   `catch_unwind`: a panicking parse answers `ERROR` exactly once, its
+//!   context is dropped, registry accounting is refunded, and the worker
+//!   thread keeps serving — proven by the fault-injection chaos suite
+//!   (`ipg_glr::FaultPlan`), not assumed.
 
 pub mod client;
 pub mod deadline;
@@ -108,6 +121,13 @@ pub struct FrontendConfig {
     /// Budget-enforcement cadence: one pass per this many completed
     /// requests (clamped to at least 1; irrelevant when unbounded).
     pub registry_sweep_every: usize,
+    /// Per-request parse budget applied to every routed parse, merged
+    /// (tightest-per-axis) with the tenant server's own default budget and
+    /// tightened by the request's wire deadline. [`ipg::ParseBudget::UNLIMITED`]
+    /// (the default) adds no caps beyond the wire deadline — which alone
+    /// already makes `DEADLINE_EXCEEDED` fire *mid-parse* instead of only
+    /// at dequeue/pin time.
+    pub parse_budget: ipg::ParseBudget,
 }
 
 impl Default for FrontendConfig {
@@ -120,6 +140,7 @@ impl Default for FrontendConfig {
             write_timeout: Duration::from_millis(1_000),
             registry_budget: 0,
             registry_sweep_every: 64,
+            parse_budget: ipg::ParseBudget::UNLIMITED,
         }
     }
 }
@@ -343,6 +364,27 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
                         Status::ShuttingDown,
                         b"shutting down",
                     );
+                    continue;
+                }
+                // `CANCEL` is handled inline by the reader — queueing a
+                // cancel behind the very request it cancels would defeat
+                // it. The note is consumed by whichever worker dequeues
+                // the target; the `OK` here only acknowledges the note.
+                if request.verb == Verb::Cancel {
+                    if request.payload.len() == 8 {
+                        let target =
+                            u64::from_le_bytes(request.payload[..8].try_into().expect("8 bytes"));
+                        conn.note_cancel(target);
+                        reply(shared, &conn, request.request_id, Status::Ok, &[]);
+                    } else {
+                        reply(
+                            shared,
+                            &conn,
+                            request.request_id,
+                            Status::Error,
+                            b"cancel payload must be a request id",
+                        );
+                    }
                     continue;
                 }
                 // Unknown tenants are refused at admission — an `ERROR`

@@ -13,7 +13,13 @@
 //!   from the moment the server reads the frame (0 = no deadline). A
 //!   relative budget needs no clock synchronisation between client and
 //!   server; the server converts it to an absolute instant on arrival and
-//!   checks it at dequeue and again at epoch-pin time.
+//!   checks it at dequeue, at epoch-pin time, and **inside the parse
+//!   loops** (the GSS driver re-checks every budget stride, so a deadline
+//!   that expires mid-parse still cancels cooperatively).
+//! * `CANCEL` (verb 10) cancels a queued request by id; `RESOURCE_EXHAUSTED`
+//!   and `CANCELLED` are the matching terminal statuses for budget-killed
+//!   and client-cancelled requests — both are definitive: every admitted
+//!   request still gets exactly one reply.
 //! * `tenant` addresses a grammar tenant of the server's registry
 //!   (`ipg::GrammarRegistry`); tenant 0 is the default tenant every
 //!   frontend has. Requests naming an unattached tenant are answered
@@ -80,6 +86,15 @@ pub enum Verb {
     /// without one, `rules` is a full BNF grammar for an independent
     /// tenant. The `OK` reply carries `[tenant_id: u32]`.
     AttachTenant = 9,
+    /// `CANCEL`: ask the frontend to cancel a previously sent request on
+    /// the same connection. The payload is the target `[request_id: u64]`.
+    /// Handled inline by the connection reader (never queued); the reply
+    /// is empty `OK` meaning "noted", not "cancelled" — if the target is
+    /// still queued it is answered `CANCELLED` at dequeue, and if it
+    /// already executed (or was never seen) the note is a no-op. Best
+    /// effort by design: a request already running on a worker completes
+    /// under its own deadline/budget.
+    Cancel = 10,
 }
 
 impl Verb {
@@ -96,6 +111,7 @@ impl Verb {
             7 => Some(Verb::ParseDelta),
             8 => Some(Verb::CloseDoc),
             9 => Some(Verb::AttachTenant),
+            10 => Some(Verb::Cancel),
             _ => None,
         }
     }
@@ -123,6 +139,16 @@ pub enum Status {
     /// The frame was malformed (bad length, unknown verb); the connection
     /// is closed after this reply.
     Malformed = 5,
+    /// The request started parsing but exhausted a per-request resource
+    /// budget (step fuel, GSS bytes, forest bytes); the parse was
+    /// cancelled cooperatively mid-flight and its context quarantined.
+    /// The payload names the exhausted axis. Deterministic for a given
+    /// input and budget — retrying without a larger budget will exhaust
+    /// again.
+    ResourceExhausted = 6,
+    /// The request was cancelled by a client `CANCEL` verb while still
+    /// queued; it never reached a parser. Safe to retry.
+    Cancelled = 7,
 }
 
 impl Status {
@@ -135,6 +161,8 @@ impl Status {
             3 => Some(Status::DeadlineExceeded),
             4 => Some(Status::ShuttingDown),
             5 => Some(Status::Malformed),
+            6 => Some(Status::ResourceExhausted),
+            7 => Some(Status::Cancelled),
             _ => None,
         }
     }
@@ -526,6 +554,7 @@ mod tests {
             Verb::ParseDelta,
             Verb::CloseDoc,
             Verb::AttachTenant,
+            Verb::Cancel,
         ] {
             assert_eq!(Verb::from_byte(verb as u8), Some(verb));
         }
@@ -536,6 +565,8 @@ mod tests {
             Status::DeadlineExceeded,
             Status::ShuttingDown,
             Status::Malformed,
+            Status::ResourceExhausted,
+            Status::Cancelled,
         ] {
             assert_eq!(Status::from_byte(status as u8), Some(status));
         }

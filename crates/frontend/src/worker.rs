@@ -9,10 +9,21 @@
 //! like any library caller — they serialize among themselves on the
 //! server's writer lock but never against in-flight parses.
 //!
-//! Deadline discipline (see [`crate::deadline`]): checked **at dequeue**
-//! and again **at epoch-pin time** (after payload decoding, immediately
-//! before the server call commits parser time). Both sheds reply
-//! `DEADLINE_EXCEEDED` and count into `GenStats::shed_deadline`.
+//! Deadline discipline (see [`crate::deadline`]): checked **at dequeue**,
+//! again **at epoch-pin time** (after payload decoding, immediately
+//! before the server call commits parser time), and — new with per-request
+//! budgets — **inside the parse** via the `ParseBudget` the worker folds
+//! the wire deadline into. All three reply `DEADLINE_EXCEEDED` and count
+//! into `GenStats::shed_deadline`.
+//!
+//! Containment: each request executes under [`std::panic::catch_unwind`].
+//! A panicking parse (injected fault or real bug) answers `ERROR` exactly
+//! once, its request context is dropped instead of recycled
+//! (`ctx_quarantined`), the tenant's registry accounting is still
+//! refunded, and the worker thread survives at full pool strength
+//! (`worker_panics`). Budget-killed parses answer `RESOURCE_EXHAUSTED`
+//! (or `DEADLINE_EXCEEDED` for the deadline axis) the same exactly-once
+//! way.
 //!
 //! Tenancy: jobs carry the wire tenant id; workers resolve it through
 //! the shared [`GrammarRegistry`] (touching the tenant's clock position)
@@ -20,13 +31,15 @@
 //! re-lazification accounting and byte-budget enforcement on the request
 //! cadence. `ATTACH-TENANT` bypasses routing — it *creates* the route.
 
+use std::collections::VecDeque;
 use std::io::Write;
 use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ipg::{GenStats, GrammarRegistry, IpgServer, LatencyHistogram};
+use ipg::{ExhaustReason, GenStats, GrammarRegistry, IpgServer, LatencyHistogram, ServerError};
 
 use crate::deadline::Deadline;
 use crate::protocol::{
@@ -47,7 +60,15 @@ pub(crate) struct Conn {
     /// the reader loop exits and further replies are dropped on the floor
     /// (the peer is gone or hopeless).
     alive: AtomicBool,
+    /// Request ids this connection has asked to cancel (`CANCEL` verb),
+    /// consulted by workers at dequeue. Bounded: a client spamming cancels
+    /// for ids that never existed evicts its own oldest notes, nothing
+    /// else.
+    cancelled: Mutex<VecDeque<u64>>,
 }
+
+/// Cap on remembered cancel notes per connection.
+const MAX_CANCEL_NOTES: usize = 64;
 
 #[derive(Debug)]
 struct ReplyWriter {
@@ -63,6 +84,7 @@ impl Conn {
                 buf: Vec::with_capacity(64),
             }),
             alive: AtomicBool::new(true),
+            cancelled: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -72,6 +94,28 @@ impl Conn {
 
     pub(crate) fn poison(&self) {
         self.alive.store(false, Ordering::Release);
+    }
+
+    /// Notes a `CANCEL` for `request_id` (called by the connection
+    /// reader, inline — cancels never queue behind the work they cancel).
+    pub(crate) fn note_cancel(&self, request_id: u64) {
+        let mut cancelled = self.cancelled.lock().unwrap();
+        if cancelled.len() >= MAX_CANCEL_NOTES {
+            cancelled.pop_front();
+        }
+        cancelled.push_back(request_id);
+    }
+
+    /// Consumes a cancel note for `request_id` if one exists.
+    fn take_cancel(&self, request_id: u64) -> bool {
+        let mut cancelled = self.cancelled.lock().unwrap();
+        match cancelled.iter().position(|&id| id == request_id) {
+            Some(at) => {
+                cancelled.remove(at);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -180,6 +224,19 @@ fn handle(shared: &Shared, job: Job) {
         );
         return;
     }
+    // Client cancellation: a `CANCEL` that raced ahead of this job answers
+    // it `CANCELLED` at dequeue — definitive, no parser time spent.
+    if job.conn.take_cancel(job.request_id) {
+        shared.note(|s| s.parses_cancelled += 1);
+        reply(
+            shared,
+            &job.conn,
+            job.request_id,
+            Status::Cancelled,
+            b"cancelled by client request",
+        );
+        return;
+    }
     // Shed-mode drain: queued jobs get a definitive reply, not execution.
     if shared.draining() && shared.shed_on_drain.load(Ordering::Acquire) {
         shared.note(|s| s.shed_shutdown += 1);
@@ -193,15 +250,27 @@ fn handle(shared: &Shared, job: Job) {
         return;
     }
     let (status, payload) = execute(shared, &job);
-    if status == Status::DeadlineExceeded {
-        // Deadline check #2 fired (at epoch-pin time, inside `execute`).
-        shared.note(|s| s.shed_deadline += 1);
-    } else {
-        let latency = job.admitted.elapsed();
-        shared.note(|s| {
-            s.parses += 1;
-            s.latency.record(latency);
-        });
+    match status {
+        Status::DeadlineExceeded => {
+            // Deadline check #2 or the mid-parse budget fired inside
+            // `execute`.
+            shared.note(|s| s.shed_deadline += 1);
+        }
+        Status::ResourceExhausted => {
+            let latency = job.admitted.elapsed();
+            shared.note(|s| {
+                s.parses += 1;
+                s.parses_exhausted += 1;
+                s.latency.record(latency);
+            });
+        }
+        _ => {
+            let latency = job.admitted.elapsed();
+            shared.note(|s| {
+                s.parses += 1;
+                s.latency.record(latency);
+            });
+        }
     }
     reply(shared, &job.conn, job.request_id, status, &payload);
 }
@@ -224,9 +293,41 @@ fn execute(shared: &Shared, job: &Job) -> (Status, Vec<u8>) {
             format!("unknown tenant {}", job.tenant).into_bytes(),
         );
     };
-    let reply = route(shared, &server, job);
+    // Panic isolation: a panicking parse (a grammar-triggered bug, an
+    // injected fault) must not take the worker thread — and with it a
+    // permanent slice of pool capacity — down. The unwind is caught here,
+    // *inside* the tenant bracket, so `after_request` still refunds the
+    // registry's per-request accounting; the request context unwinding
+    // through the pooled entry points drops instead of recycling (its TLS
+    // slot stays empty), which is exactly the quarantine a corrupted
+    // context needs.
+    let reply = catch_unwind(AssertUnwindSafe(|| route(shared, &server, job)));
     shared.registry.after_request(job.tenant);
-    reply
+    match reply {
+        Ok(reply) => reply,
+        Err(_) => {
+            shared.note(|s| {
+                s.worker_panics += 1;
+                s.ctx_quarantined += 1;
+            });
+            (
+                Status::Error,
+                b"internal error: the parse panicked; its context was quarantined".to_vec(),
+            )
+        }
+    }
+}
+
+/// Maps a server error to its wire status: budget exhaustion splits into
+/// `DEADLINE_EXCEEDED` (the wire deadline observed mid-parse) and
+/// `RESOURCE_EXHAUSTED` (fuel/byte caps); everything else is `ERROR`.
+fn error_reply(e: ServerError) -> (Status, Vec<u8>) {
+    let status = match e {
+        ServerError::Exhausted(ExhaustReason::Deadline) => Status::DeadlineExceeded,
+        ServerError::Exhausted(_) => Status::ResourceExhausted,
+        _ => Status::Error,
+    };
+    (status, e.to_string().into_bytes())
 }
 
 /// Handles the `ATTACH-TENANT` verb: an empty base attaches an
@@ -263,6 +364,14 @@ fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
     // Deadline check #2: at epoch-pin time — the last moment before the
     // server call pins an epoch and commits parser time.
     let pin_expired = || job.deadline.expired(Instant::now());
+    // The parse budget: the tenant's default, tightened by the frontend's
+    // per-request config, tightened again by the wire deadline — so a
+    // deadline that expires *after* the pin still cancels the parse from
+    // inside the GSS loop at the next budget stride.
+    let budget = server
+        .default_budget()
+        .merged(shared.config.parse_budget)
+        .tightened_deadline(job.deadline.instant());
     match job.verb {
         Verb::Ping => (Status::Ok, Vec::new()),
         Verb::ParseText => match utf8(&job.payload) {
@@ -274,13 +383,13 @@ fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
                         b"deadline expired before epoch pin".to_vec(),
                     );
                 }
-                match server.parse_text_pooled(&text) {
+                match server.parse_text_budgeted(&text, budget) {
                     Ok(parsed) => (
                         Status::Ok,
                         parse_outcome_payload(parsed.accepted(), parsed.grammar_version())
                             .to_vec(),
                     ),
-                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                    Err(e) => error_reply(e),
                 }
             }
         },
@@ -293,12 +402,12 @@ fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
                         b"deadline expired before epoch pin".to_vec(),
                     );
                 }
-                match server.parse_sentence(&sentence) {
+                match server.parse_sentence_budgeted(&sentence, budget) {
                     Ok(result) => (
                         Status::Ok,
                         parse_outcome_payload(result.accepted, result.grammar_version).to_vec(),
                     ),
-                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                    Err(e) => error_reply(e),
                 }
             }
         },
@@ -348,7 +457,7 @@ fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
                         b"deadline expired before epoch pin".to_vec(),
                     );
                 }
-                match server.open_document(&text) {
+                match server.open_document_budgeted(&text, budget) {
                     Ok(id) => {
                         let accepted = server
                             .document_info(id)
@@ -359,7 +468,7 @@ fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
                             open_doc_payload(id, accepted, server.grammar_version()).to_vec(),
                         )
                     }
-                    Err(e) => (Status::Error, e.to_string().into_bytes()),
+                    Err(e) => error_reply(e),
                 }
             }
         },
@@ -380,13 +489,18 @@ fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
                             b"deadline expired before epoch pin".to_vec(),
                         );
                     }
-                    match server.apply_edit(doc_id, start as usize..end as usize, replacement) {
+                    match server.apply_edit_budgeted(
+                        doc_id,
+                        start as usize..end as usize,
+                        replacement,
+                        budget,
+                    ) {
                         Ok(outcome) => (
                             Status::Ok,
-                            parse_outcome_payload(outcome.accepted, outcome.grammar_version)
+                            parse_outcome_payload(outcome.accepted(), outcome.grammar_version())
                                 .to_vec(),
                         ),
-                        Err(e) => (Status::Error, e.to_string().into_bytes()),
+                        Err(e) => error_reply(e),
                     }
                 }
             },
@@ -403,6 +517,8 @@ fn route(shared: &Shared, server: &IpgServer, job: &Job) -> (Status, Vec<u8>) {
         }
         // Handled in `execute` before tenant routing.
         Verb::AttachTenant => unreachable!("attach-tenant is not tenant-routed"),
+        // Handled inline by the connection reader; never queued.
+        Verb::Cancel => unreachable!("cancel is handled at admission"),
     }
 }
 
@@ -432,10 +548,13 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
          \"queue_high_water\": {},\n  \"draining\": {},\n  \"grammar_version\": {},\n  \
          \"epoch\": {},\n  \"frontend\": {{\"requests\": {}, \"shed_overload\": {}, \
          \"shed_deadline\": {}, \"shed_shutdown\": {}, \"malformed\": {}, \"io_timeouts\": {}, \
+         \"cancelled\": {}, \"resource_exhausted\": {}, \"worker_panics\": {}, \
+         \"ctx_quarantined\": {}, \
          \"latency_us\": {}}},\n  \"server\": {{\"parses\": {}, \"action_calls\": {}, \
          \"epochs_published\": {}, \"ctx_reused\": {}, \"effective_workers\": {}, \
          \"open_documents\": {}, \"reparse_incremental\": {}, \"reparse_full\": {}, \
          \"tokens_relexed\": {}, \"states_rerun\": {}, \
+         \"parses_cancelled\": {}, \"parses_exhausted\": {}, \"ctx_quarantined\": {}, \
          \"latency_us\": {}}},\n  \"registry\": {{\"tenants_active\": {}, \"budget_bytes\": {}, \
          \"resident_bytes\": {}, \"resident_high_water\": {}, \"chunks_evicted\": {}, \
          \"chunks_relazified\": {}}}\n}}",
@@ -452,6 +571,10 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
         frontend.shed_shutdown,
         frontend.rejected_malformed,
         frontend.io_timeouts,
+        frontend.parses_cancelled,
+        frontend.parses_exhausted,
+        frontend.worker_panics,
+        frontend.ctx_quarantined,
         histogram_json(&frontend.latency),
         merged.parses,
         merged.action_calls,
@@ -463,6 +586,9 @@ pub(crate) fn stats_json(shared: &Shared) -> String {
         merged.reparse_full,
         merged.tokens_relexed,
         merged.states_rerun,
+        merged.parses_cancelled,
+        merged.parses_exhausted,
+        merged.ctx_quarantined,
         histogram_json(&merged.latency),
         registry.tenants_active,
         if budget == usize::MAX { 0 } else { budget },

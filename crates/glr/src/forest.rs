@@ -217,6 +217,17 @@ impl Forest {
         self.children.len()
     }
 
+    /// Approximate resident size of the forest arena in bytes: the three
+    /// flat pools (nodes, derivation slots, child refs) at their current
+    /// lengths. O(1) — cheap enough for an amortized budget check — and
+    /// deliberately ignores `Vec` over-capacity and the span index, so it
+    /// tracks *parse-driven growth* rather than allocator round-up.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<ForestNode>()
+            + self.derivations.len() * std::mem::size_of::<DerivationSlot>()
+            + self.children.len() * std::mem::size_of::<ForestRef>()
+    }
+
     /// Rolls the forest back to an earlier watermark: keeps the first
     /// `nodes` nodes, `derivations` derivation slots and `children` child
     /// entries, un-interning the spans of every dropped node and clearing

@@ -48,6 +48,7 @@
 use ipg_grammar::{Grammar, RuleId, SymbolId};
 use ipg_lr::{ActionCell, ParserTables, StateId};
 
+use crate::budget::{BudgetGuard, ExhaustReason, ParseBudget};
 use crate::forest::{Forest, ForestRef};
 use crate::fxhash::FxHashSet;
 use crate::source::{SliceTokens, TokenSource};
@@ -86,25 +87,82 @@ pub struct GssParseResult {
 /// [`GssParseResult`] carries except the forest, which stays in the
 /// [`ParseCtx`] (read it with [`ParseCtx::forest`]) so that recycled
 /// contexts keep their arena capacity across requests.
+///
+/// A budgeted run ([`GssParser::parse_into_budgeted`] and friends) may stop
+/// cooperatively mid-parse, yielding [`ParseOutcome::Exhausted`] with the
+/// limit that tripped; the context then holds a *partial* GSS/forest and
+/// must be reset (or quarantined) before reuse. Unbudgeted entry points
+/// always return [`ParseOutcome::Done`].
 #[derive(Clone, Copy, Debug)]
-pub struct ParseOutcome {
-    /// Whether the input is a sentence of the language.
-    pub accepted: bool,
-    /// Work counters.
-    pub stats: GssStats,
-    /// The grammar version of the table handle the parse ran against.
-    pub grammar_version: u64,
+pub enum ParseOutcome {
+    /// The parse ran to completion.
+    Done {
+        /// Whether the input is a sentence of the language.
+        accepted: bool,
+        /// Work counters.
+        stats: GssStats,
+        /// The grammar version of the table handle the parse ran against.
+        grammar_version: u64,
+    },
+    /// The parse was cut off by its [`ParseBudget`] before reaching a
+    /// verdict; nothing can be said about the input's membership.
+    Exhausted {
+        /// The first budget limit that tripped.
+        reason: ExhaustReason,
+        /// Work counters up to the cutoff.
+        stats: GssStats,
+        /// The grammar version of the table handle the parse ran against.
+        grammar_version: u64,
+    },
 }
 
 impl ParseOutcome {
+    /// Whether the input was accepted. An exhausted parse reached no
+    /// verdict and reports `false`.
+    pub fn accepted(&self) -> bool {
+        match *self {
+            ParseOutcome::Done { accepted, .. } => accepted,
+            ParseOutcome::Exhausted { .. } => false,
+        }
+    }
+
+    /// Work counters (up to the cutoff, for an exhausted parse).
+    pub fn stats(&self) -> GssStats {
+        match *self {
+            ParseOutcome::Done { stats, .. } | ParseOutcome::Exhausted { stats, .. } => stats,
+        }
+    }
+
+    /// The grammar version of the table handle the parse ran against.
+    pub fn grammar_version(&self) -> u64 {
+        match *self {
+            ParseOutcome::Done {
+                grammar_version, ..
+            }
+            | ParseOutcome::Exhausted {
+                grammar_version, ..
+            } => grammar_version,
+        }
+    }
+
+    /// The budget limit that cut the parse off, if any.
+    pub fn exhausted(&self) -> Option<ExhaustReason> {
+        match *self {
+            ParseOutcome::Done { .. } => None,
+            ParseOutcome::Exhausted { reason, .. } => Some(reason),
+        }
+    }
+
     /// Packages the outcome with an owned forest as a [`GssParseResult`]
-    /// (callers clone or take the context's forest).
+    /// (callers clone or take the context's forest). An exhausted outcome
+    /// packages as a rejection — serving layers surface exhaustion as an
+    /// error before ever reaching this.
     pub fn into_result(self, forest: Forest) -> GssParseResult {
         GssParseResult {
-            accepted: self.accepted,
+            accepted: self.accepted(),
             forest,
-            stats: self.stats,
-            grammar_version: self.grammar_version,
+            stats: self.stats(),
+            grammar_version: self.grammar_version(),
         }
     }
 }
@@ -435,7 +493,7 @@ impl<'g> GssParser<'g> {
     /// see [`GssParser::recognize_into`] for the recycled form.
     pub fn recognize(&self, tables: &dyn ParserTables, tokens: &[SymbolId]) -> bool {
         let mut ctx = ParseCtx::new();
-        self.recognize_into(&mut ctx, tables, tokens).accepted
+        self.recognize_into(&mut ctx, tables, tokens).accepted()
     }
 
     /// Parses `tokens`, producing the shared forest of all derivations.
@@ -456,7 +514,21 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> ParseOutcome {
-        match self.run(ctx, tables, SliceTokens::new(tokens), true, None, 0) {
+        self.parse_into_budgeted(ctx, tables, tokens, ParseBudget::UNLIMITED)
+    }
+
+    /// [`GssParser::parse_into`] under a [`ParseBudget`]: the driver loop
+    /// checks the budget every [`crate::budget::BUDGET_CHECK_STRIDE`] work
+    /// units and bails with [`ParseOutcome::Exhausted`] when a limit trips,
+    /// leaving a partial forest/GSS in the context.
+    pub fn parse_into_budgeted(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+        budget: ParseBudget,
+    ) -> ParseOutcome {
+        match self.run(ctx, tables, SliceTokens::new(tokens), true, None, 0, budget) {
             Ok(outcome) => outcome,
             Err(infallible) => match infallible {},
         }
@@ -469,7 +541,15 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         tokens: &[SymbolId],
     ) -> ParseOutcome {
-        match self.run(ctx, tables, SliceTokens::new(tokens), false, None, 0) {
+        match self.run(
+            ctx,
+            tables,
+            SliceTokens::new(tokens),
+            false,
+            None,
+            0,
+            ParseBudget::UNLIMITED,
+        ) {
             Ok(outcome) => outcome,
             Err(infallible) => match infallible {},
         }
@@ -486,8 +566,30 @@ impl<'g> GssParser<'g> {
         tokens: &[SymbolId],
         history: &mut ParseHistory,
     ) -> ParseOutcome {
+        self.parse_recorded_budgeted(ctx, tables, tokens, history, ParseBudget::UNLIMITED)
+    }
+
+    /// [`GssParser::parse_recorded`] under a [`ParseBudget`]. An exhausted
+    /// run leaves the context *and* history partial; callers must discard
+    /// both (document sessions desync and rebuild on the next edit).
+    pub fn parse_recorded_budgeted(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+        history: &mut ParseHistory,
+        budget: ParseBudget,
+    ) -> ParseOutcome {
         history.clear();
-        match self.run(ctx, tables, SliceTokens::new(tokens), true, Some(history), 0) {
+        match self.run(
+            ctx,
+            tables,
+            SliceTokens::new(tokens),
+            true,
+            Some(history),
+            0,
+            budget,
+        ) {
             Ok(outcome) => outcome,
             Err(infallible) => match infallible {},
         }
@@ -515,10 +617,25 @@ impl<'g> GssParser<'g> {
         history: &mut ParseHistory,
         damage: usize,
     ) -> (ParseOutcome, usize) {
+        self.parse_resumed_budgeted(ctx, tables, tokens, history, damage, ParseBudget::UNLIMITED)
+    }
+
+    /// [`GssParser::parse_resumed`] under a [`ParseBudget`]. An exhausted
+    /// resume leaves the context and history partial; callers must discard
+    /// both (document sessions desync and rebuild on the next edit).
+    pub fn parse_resumed_budgeted(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        tokens: &[SymbolId],
+        history: &mut ParseHistory,
+        damage: usize,
+        budget: ParseBudget,
+    ) -> (ParseOutcome, usize) {
         let resume = damage.min(history.end_pos()).min(tokens.len());
         ctx.restore(history, resume);
         let source = SliceTokens::new(&tokens[resume..]);
-        let outcome = match self.run(ctx, tables, source, true, Some(history), resume) {
+        let outcome = match self.run(ctx, tables, source, true, Some(history), resume, budget) {
             Ok(outcome) => outcome,
             Err(infallible) => match infallible {},
         };
@@ -529,8 +646,18 @@ impl<'g> GssParser<'g> {
     /// the buffered form for callers that tokenize into the context's own
     /// buffer and then parse, without a second borrow of the context.
     pub fn parse_buffered(&self, ctx: &mut ParseCtx, tables: &dyn ParserTables) -> ParseOutcome {
+        self.parse_buffered_budgeted(ctx, tables, ParseBudget::UNLIMITED)
+    }
+
+    /// [`GssParser::parse_buffered`] under a [`ParseBudget`].
+    pub fn parse_buffered_budgeted(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        budget: ParseBudget,
+    ) -> ParseOutcome {
         let tokens = std::mem::take(&mut ctx.tokens);
-        let outcome = self.parse_into(ctx, tables, &tokens);
+        let outcome = self.parse_into_budgeted(ctx, tables, &tokens, budget);
         ctx.tokens = tokens;
         outcome
     }
@@ -547,7 +674,19 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         source: S,
     ) -> Result<ParseOutcome, S::Error> {
-        self.run(ctx, tables, source, true, None, 0)
+        self.run(ctx, tables, source, true, None, 0, ParseBudget::UNLIMITED)
+    }
+
+    /// [`GssParser::parse_stream`] under a [`ParseBudget`] — the budgeted
+    /// fused text path.
+    pub fn parse_stream_budgeted<S: TokenSource>(
+        &self,
+        ctx: &mut ParseCtx,
+        tables: &dyn ParserTables,
+        source: S,
+        budget: ParseBudget,
+    ) -> Result<ParseOutcome, S::Error> {
+        self.run(ctx, tables, source, true, None, 0, budget)
     }
 
     /// Recognises a streamed token source (no forest construction).
@@ -557,14 +696,18 @@ impl<'g> GssParser<'g> {
         tables: &dyn ParserTables,
         source: S,
     ) -> Result<ParseOutcome, S::Error> {
-        self.run(ctx, tables, source, false, None, 0)
+        self.run(ctx, tables, source, false, None, 0, ParseBudget::UNLIMITED)
     }
 
     /// The driver loop. `record` enables checkpoint recording; `resume_at`
     /// is the token position the context is positioned at (0 = fresh run,
     /// which resets the context; otherwise [`ParseCtx::restore`] has
     /// already rolled it back and `source` yields the tokens from
-    /// `resume_at` on).
+    /// `resume_at` on). `budget` is consulted through an amortized
+    /// [`BudgetGuard`] — one work unit per token and per reduction path
+    /// (shifts are counted in bulk) — so the unlimited warm path pays a
+    /// counter bump and a never-taken branch.
+    #[allow(clippy::too_many_arguments)]
     fn run<S: TokenSource>(
         &self,
         ctx: &mut ParseCtx,
@@ -573,6 +716,7 @@ impl<'g> GssParser<'g> {
         build_forest: bool,
         mut record: Option<&mut ParseHistory>,
         resume_at: usize,
+        budget: ParseBudget,
     ) -> Result<ParseOutcome, S::Error> {
         if resume_at == 0 {
             ctx.reset();
@@ -580,6 +724,7 @@ impl<'g> GssParser<'g> {
         let eof = self.grammar.eof_symbol();
         let mut stats = GssStats::default();
         let mut accepted = false;
+        let mut guard = BudgetGuard::new(budget);
         let ParseCtx {
             nodes,
             edges,
@@ -611,11 +756,22 @@ impl<'g> GssParser<'g> {
             if let Some(history) = record.as_deref_mut() {
                 history.record(pos, nodes, edges.len(), forest, &cur.entries);
             }
+            crate::fault::point("mid-gss");
             let symbol = match source.next_token()? {
                 Some(symbol) => symbol,
                 None => eof,
             };
             debug_assert!(self.grammar.is_terminal(symbol));
+            if let Some(reason) = guard.step(
+                || gss_bytes(nodes, edges),
+                || forest.approx_bytes(),
+            ) {
+                return Ok(ParseOutcome::Exhausted {
+                    reason,
+                    stats,
+                    grammar_version: tables.grammar_version(),
+                });
+            }
 
             // --- Reducer -------------------------------------------------
             debug_assert!(pending.is_empty());
@@ -657,6 +813,16 @@ impl<'g> GssParser<'g> {
                 );
                 for path in 0..path_ends.len() {
                     stats.reductions += 1;
+                    if let Some(reason) = guard.step(
+                        || gss_bytes(nodes, edges),
+                        || forest.approx_bytes(),
+                    ) {
+                        return Ok(ParseOutcome::Exhausted {
+                            reason,
+                            stats,
+                            grammar_version: tables.grammar_version(),
+                        });
+                    }
                     let target = path_ends[path];
                     let labels = &path_labels[path * arity..(path + 1) * arity];
                     let start_level = nodes[target as usize].level;
@@ -669,6 +835,7 @@ impl<'g> GssParser<'g> {
                         // rightmost child first; reverse them for the rule.
                         children.clear();
                         children.extend(labels.iter().rev().copied());
+                        crate::fault::point("forest-grow");
                         let forest_node = forest.node_for(rule.lhs, start_level, pos);
                         forest.add_derivation(forest_node, reduction.rule, children);
                         ForestRef::Node(forest_node)
@@ -738,6 +905,7 @@ impl<'g> GssParser<'g> {
             }
 
             // --- Shifter -------------------------------------------------
+            let shifts_before = stats.shifts as u64;
             let leaf = ForestRef::Leaf {
                 symbol,
                 position: pos,
@@ -767,6 +935,7 @@ impl<'g> GssParser<'g> {
                     );
                 }
             }
+            guard.add(stats.shifts as u64 - shifts_before);
             if nxt.is_empty() {
                 // Every parallel parser died: the input is rejected. (The
                 // accept flag can only have been set on the end-marker.)
@@ -783,12 +952,18 @@ impl<'g> GssParser<'g> {
             }
         }
 
-        Ok(ParseOutcome {
+        Ok(ParseOutcome::Done {
             accepted,
             stats,
             grammar_version: tables.grammar_version(),
         })
     }
+}
+
+/// Resident bytes of the GSS node and edge pools, for budget byte caps.
+#[inline]
+fn gss_bytes(nodes: &[GssNode], edges: &[GssEdge]) -> usize {
+    std::mem::size_of_val(nodes) + std::mem::size_of_val(edges)
 }
 
 fn push_node(
@@ -1107,7 +1282,7 @@ mod tests {
             let tokens = tokenize_names(&g, sentence).unwrap();
             let outcome = parser.parse_into(&mut ctx, &table, &tokens);
             let fresh = parser.parse(&table, &tokens);
-            assert_eq!(outcome.accepted, fresh.accepted, "`{sentence}`");
+            assert_eq!(outcome.accepted(), fresh.accepted, "`{sentence}`");
             assert_eq!(
                 ctx.forest().tree_count(100),
                 fresh.forest.tree_count(100),
@@ -1129,7 +1304,7 @@ mod tests {
         let mut ctx = ParseCtx::new();
         ctx.tokens = tokenize_names(&g, "true and false").unwrap();
         let outcome = parser.parse_buffered(&mut ctx, &table);
-        assert!(outcome.accepted);
+        assert!(outcome.accepted());
         // The buffer survives the parse (reset leaves it alone).
         assert_eq!(ctx.tokens.len(), 3);
     }
@@ -1160,7 +1335,7 @@ mod tests {
         let mut cold_ctx = ParseCtx::new();
         let mut cold_history = ParseHistory::new();
         let cold = parser.parse_recorded(&mut cold_ctx, &table, &edited_tokens, &mut cold_history);
-        let want = digest(g, cold.accepted, cold_ctx.forest());
+        let want = digest(g, cold.accepted(), cold_ctx.forest());
         for damage in 0..=common {
             let mut ctx = ParseCtx::new();
             let mut history = ParseHistory::new();
@@ -1169,7 +1344,7 @@ mod tests {
                 parser.parse_resumed(&mut ctx, &table, &edited_tokens, &mut history, damage);
             assert!(resumed <= damage);
             assert_eq!(
-                digest(g, outcome.accepted, ctx.forest()),
+                digest(g, outcome.accepted(), ctx.forest()),
                 want,
                 "`{base}` -> `{edited}` resumed at {resumed} (damage {damage})"
             );
@@ -1177,7 +1352,7 @@ mod tests {
             // resumes: replay the same edit once more at the same damage.
             let (again, _) =
                 parser.parse_resumed(&mut ctx, &table, &edited_tokens, &mut history, damage);
-            assert_eq!(digest(g, again.accepted, ctx.forest()), want, "second resume");
+            assert_eq!(digest(g, again.accepted(), ctx.forest()), want, "second resume");
         }
     }
 
@@ -1242,7 +1417,7 @@ mod tests {
         let (outcome, resumed) =
             parser.parse_resumed(&mut ctx, &table, &edited, &mut history, base.len());
         assert_eq!(resumed, base.len());
-        assert!(outcome.accepted);
+        assert!(outcome.accepted());
         let cold = parser.parse(&table, &edited);
         assert_eq!(
             ctx.forest().first_tree().map(|t| t.to_sexpr(&g)),
@@ -1262,11 +1437,63 @@ mod tests {
                 .parse_stream(&mut ctx, &table, SliceTokens::new(&tokens))
                 .unwrap();
             assert_eq!(
-                outcome.accepted,
+                outcome.accepted(),
                 parser.recognize(&table, &tokens),
                 "`{sentence}`"
             );
         }
+    }
+
+    #[test]
+    fn tiny_fuel_budget_exhausts_mid_parse() {
+        let g = fixtures::booleans();
+        let table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let mut ctx = ParseCtx::new();
+        let sentence = "true or false and true or true and false or true";
+        let tokens = tokenize_names(&g, sentence).unwrap();
+        let budget = ParseBudget::default().with_fuel(1);
+        let outcome = parser.parse_into_budgeted(&mut ctx, &table, &tokens, budget);
+        assert_eq!(outcome.exhausted(), Some(ExhaustReason::Fuel));
+        assert!(!outcome.accepted());
+        // A reset context parses fine afterwards (partial state is benign
+        // once reset).
+        let again = parser.parse_into(&mut ctx, &table, &tokens);
+        assert!(again.accepted());
+        assert!(again.exhausted().is_none());
+    }
+
+    #[test]
+    fn tiny_gss_byte_cap_exhausts() {
+        let g = fixtures::booleans();
+        let table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let mut ctx = ParseCtx::new();
+        let sentence = "true or false and true or true and false or true";
+        let tokens = tokenize_names(&g, sentence).unwrap();
+        let budget = ParseBudget::default().with_max_gss_bytes(1);
+        let outcome = parser.parse_into_budgeted(&mut ctx, &table, &tokens, budget);
+        assert_eq!(outcome.exhausted(), Some(ExhaustReason::GssBytes));
+    }
+
+    #[test]
+    fn generous_budget_is_outcome_identical_to_unbudgeted() {
+        let g = fixtures::ambiguous_expressions();
+        let table = lr0_table(&g);
+        let parser = GssParser::new(&g);
+        let mut ctx = ParseCtx::new();
+        let sentence = "id + id * id + id";
+        let tokens = tokenize_names(&g, sentence).unwrap();
+        let budget = ParseBudget::default()
+            .with_fuel(10_000_000)
+            .with_max_gss_bytes(64 << 20)
+            .with_max_forest_bytes(64 << 20);
+        let budgeted = parser.parse_into_budgeted(&mut ctx, &table, &tokens, budget);
+        let budgeted_digest = digest(&g, budgeted.accepted(), ctx.forest());
+        assert!(budgeted.exhausted().is_none());
+        let plain = parser.parse_into(&mut ctx, &table, &tokens);
+        assert_eq!(budgeted_digest, digest(&g, plain.accepted(), ctx.forest()));
+        assert_eq!(budgeted.stats(), plain.stats());
     }
 
     use ipg_grammar::Grammar;

@@ -33,12 +33,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
+pub mod fault;
 pub mod forest;
 pub mod fxhash;
 pub mod gss;
 pub mod pool;
 pub mod source;
 
+pub use budget::{ExhaustReason, ParseBudget};
+pub use fault::FaultPlan;
 pub use forest::{Derivation, Derivations, Forest, ForestNode, ForestRef, NodeId};
 pub use gss::{GssParseResult, GssParser, GssStats, ParseCtx, ParseHistory, ParseOutcome};
 pub use pool::{PoolCtx, PoolError, PoolGlrParser, PoolStats};

@@ -1,0 +1,74 @@
+//! Budget equivalence: a [`ParseBudget`] must never change a parse's
+//! *answer*, only its *availability*. Over random grammars and random
+//! sentences:
+//!
+//! - a parse that finishes under a generous budget is digest-identical
+//!   (accept/reject, tree shape, ambiguity census) to the unbudgeted
+//!   parse through the same server — the stride-64 budget checks in the
+//!   hot loops are observationally free;
+//! - under an arbitrary tight fuel budget, the outcome is either that
+//!   same digest-identical result or `ServerError::Exhausted` — never a
+//!   silently wrong accept/reject.
+//!
+//! Case count: `IPG_PROPTEST_CASES` overrides the default (10 debug / 48
+//! release); the CI epoch-stress job runs this suite at 256.
+
+mod common;
+
+use common::{digest, grammar_spec, sentence, TERMINAL_NAMES};
+use ipg::{IpgServer, IpgSession, ParseBudget, ServerError};
+use proptest::prelude::*;
+
+fn cases() -> u32 {
+    std::env::var("IPG_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 10 } else { 48 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn budgets_change_availability_never_answers(
+        spec in grammar_spec(true),
+        sentences in prop::collection::vec(sentence(6), 1..=6),
+        fuel in 1usize..4096,
+    ) {
+        let server = IpgServer::new(IpgSession::new(spec.build()));
+        for codes in &sentences {
+            let words: Vec<&str> = codes.iter().map(|&c| TERMINAL_NAMES[c]).collect();
+            let input = words.join(" ");
+            let oracle = server.parse_sentence(&input).expect("interned terminals");
+
+            // Generous budget: finishes, and identically.
+            let generous = ParseBudget::default()
+                .with_fuel(u64::MAX / 2)
+                .with_max_gss_bytes(usize::MAX / 2)
+                .with_max_forest_bytes(usize::MAX / 2);
+            let budgeted = server
+                .parse_sentence_budgeted(&input, generous)
+                .expect("a generous budget never trips");
+            prop_assert_eq!(
+                digest(&budgeted),
+                digest(&oracle),
+                "generous budget changed the answer for `{}`",
+                input
+            );
+
+            // Tight budget: either the identical answer or a definitive
+            // exhaustion — never a different answer.
+            match server.parse_sentence_budgeted(&input, ParseBudget::default().with_fuel(fuel as u64)) {
+                Ok(result) => prop_assert_eq!(
+                    digest(&result),
+                    digest(&oracle),
+                    "fuel {} changed the answer for `{}`",
+                    fuel,
+                    input
+                ),
+                Err(ServerError::Exhausted(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected error under fuel {fuel}: {e}"),
+            }
+        }
+    }
+}

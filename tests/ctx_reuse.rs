@@ -65,7 +65,7 @@ proptest! {
             );
             // Recognition agrees with parsing through the same context.
             prop_assert_eq!(
-                session.recognize_in(&mut ctx, &tokens).accepted,
+                session.recognize_in(&mut ctx, &tokens).accepted(),
                 fresh.accepted
             );
         }

@@ -284,7 +284,7 @@ fn stale_epoch_edits_see_the_new_language() {
     // stale, so the same edit must re-parse fully — and accept.
     server.add_rule_text(r#"N0 ::= "c""#).unwrap();
     let outcome = server.apply_edit(id, 0..1, "c").unwrap();
-    assert!(outcome.accepted, "the fallback re-parse sees the added rule");
+    assert!(outcome.accepted(), "the fallback re-parse sees the added rule");
     let merged = server.stats().merged();
     assert_eq!(merged.reparse_full, 1);
     assert_eq!(merged.reparse_incremental, 2);
